@@ -1,0 +1,81 @@
+// SPDX-License-Identifier: MIT
+//
+// Extension ablation: the price of per-device capacity limits. Sweeps a cap
+// applied uniformly to every device (as a fraction of the unconstrained
+// optimum's r) and reports total cost, devices used, and r, against the
+// unconstrained TA2 optimum. Expected shape: costs rise smoothly as caps
+// tighten (cheap devices saturate and load spills to pricier ones), until
+// the instance becomes infeasible.
+
+#include <algorithm>
+#include <iostream>
+
+#include "allocation/capacitated.h"
+#include "allocation/ta2.h"
+#include "common/cli.h"
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "workload/distributions.h"
+
+int main(int argc, char** argv) {
+  int64_t m = 2000;
+  int64_t k = 25;
+  double c_max = 5.0;
+  int64_t seed = 7;
+  scec::CliParser cli("ablation_capacity",
+                      "total cost vs per-device capacity limit");
+  cli.AddInt("m", &m, "rows of A");
+  cli.AddInt("k", &k, "edge devices");
+  cli.AddDouble("cmax", &c_max, "uniform cost cap");
+  cli.AddInt("seed", &seed, "RNG seed");
+  if (!cli.Parse(argc, argv)) return 1;
+
+  scec::Xoshiro256StarStar rng(static_cast<uint64_t>(seed));
+  const auto costs = scec::SampleSortedCosts(
+      scec::CostDistribution::Uniform(c_max), static_cast<size_t>(k), rng);
+  const size_t msize = static_cast<size_t>(m);
+
+  const auto unconstrained = scec::RunTA2(msize, costs);
+  if (!unconstrained.ok()) {
+    std::cerr << unconstrained.status() << "\n";
+    return 1;
+  }
+  std::cout << "Unconstrained optimum: cost = " << unconstrained->total_cost
+            << ", r = " << unconstrained->r << ", devices = "
+            << unconstrained->num_devices << "\n\n";
+
+  scec::TablePrinter table(
+      {"cap (x r*)", "cap (rows)", "feasible", "r", "devices", "cost",
+       "cost / unconstrained"});
+  int failures = 0;
+  double prev_cost = unconstrained->total_cost;
+  for (double frac : {2.0, 1.5, 1.0, 0.75, 0.5, 0.3, 0.2, 0.1, 0.05}) {
+    const size_t cap = std::max<size_t>(
+        1, static_cast<size_t>(frac * static_cast<double>(unconstrained->r)));
+    const std::vector<size_t> caps(static_cast<size_t>(k), cap);
+    const auto alloc = scec::RunCapacitatedTA(msize, costs, caps);
+    if (!alloc.ok()) {
+      table.AddRow({scec::FormatDouble(frac, 4), std::to_string(cap), "no",
+                    "-", "-", "-", "-"});
+      continue;
+    }
+    // Cost must be monotone non-decreasing as caps tighten.
+    if (alloc->total_cost + 1e-9 < prev_cost &&
+        alloc->total_cost + 1e-9 < unconstrained->total_cost) {
+      ++failures;
+    }
+    prev_cost = std::max(prev_cost, alloc->total_cost);
+    table.AddRow(
+        {scec::FormatDouble(frac, 4), std::to_string(cap), "yes",
+         std::to_string(alloc->r), std::to_string(alloc->num_devices),
+         scec::FormatDouble(alloc->total_cost, 8),
+         scec::FormatDouble(alloc->total_cost / unconstrained->total_cost,
+                            6)});
+  }
+  table.Print(std::cout);
+
+  std::cout << (failures == 0 ? "  [PASS] " : "  [FAIL] ")
+            << "capacitated cost never beats the unconstrained optimum\n";
+  return failures == 0 ? 0 : 1;
+}

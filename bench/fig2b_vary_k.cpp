@@ -1,0 +1,44 @@
+// SPDX-License-Identifier: MIT
+//
+// Reproduces Fig. 2(b): average total cost vs k (number of edge devices),
+// costs from U(1, c_max), m = 5000 default.
+//
+// Paper shapes checked:
+//   * MCSCEC within 0.5% of the lower bound;
+//   * total cost decreases as k grows (more choice of cheap devices);
+//   * MCSCEC saves ≥ 18% vs MinNode at large k;
+//   * security overhead vs TAw/oS below ~19%.
+
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  scec::bench::FigFlags flags;
+  if (!scec::bench::ParseFigFlags("fig2b_vary_k",
+                                  "Fig. 2(b): total cost vs k", argc, argv,
+                                  &flags)) {
+    return 1;
+  }
+  const auto result = scec::RunFig2b(scec::bench::ToDefaults(flags));
+  scec::bench::EmitResult(result, flags);
+
+  std::cout << "Reproduction checks (paper §V):\n";
+  int failures = scec::bench::CheckGapToLowerBound(result);
+  for (size_t i = 1; i < result.points.size(); ++i) {
+    failures += scec::bench::Check(
+        result.points[i].MeanOf(scec::Series::kMcscec) <=
+            result.points[i - 1].MeanOf(scec::Series::kMcscec) * 1.001,
+        "cost non-increasing from k = " + result.points[i - 1].label +
+            " to k = " + result.points[i].label);
+  }
+  const auto& last = result.points.back();
+  failures += scec::bench::Check(
+      last.SavingVs(scec::Series::kMinNode) > 0.18,
+      "saving vs MinNode > 18% at largest k (" +
+          scec::FormatDouble(last.SavingVs(scec::Series::kMinNode) * 100, 3) +
+          "%)");
+  failures += scec::bench::Check(
+      last.SecurityOverhead() < 0.19,
+      "security overhead vs TAw/oS < 19% at largest k (" +
+          scec::FormatDouble(last.SecurityOverhead() * 100, 3) + "%)");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+// SPDX-License-Identifier: MIT
+//
+// Reproduces Fig. 2(d): average total cost vs σ for N(µ, σ²) device costs,
+// m = 5000, k = 25, µ = 5 defaults.
+//
+// Paper shapes checked:
+//   * MCSCEC within 0.5% of the lower bound;
+//   * σ → 0: MaxNode ≈ MCSCEC (equal costs: spreading over max devices is
+//     optimal);
+//   * large σ: MinNode beats MaxNode — the two baseline curves CROSS;
+//   * security overhead vs TAw/oS below ~48% even at large σ.
+
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  scec::bench::FigFlags flags;
+  if (!scec::bench::ParseFigFlags("fig2d_vary_sigma",
+                                  "Fig. 2(d): total cost vs sigma", argc,
+                                  argv, &flags)) {
+    return 1;
+  }
+  const auto result = scec::RunFig2d(scec::bench::ToDefaults(flags));
+  scec::bench::EmitResult(result, flags);
+
+  std::cout << "Reproduction checks (paper §V):\n";
+  int failures = scec::bench::CheckGapToLowerBound(result);
+  const auto& first = result.points.front();
+  const auto& last = result.points.back();
+  failures += scec::bench::Check(
+      (first.MeanOf(scec::Series::kMaxNode) -
+       first.MeanOf(scec::Series::kMcscec)) /
+              first.MeanOf(scec::Series::kMcscec) <
+          0.02,
+      "MaxNode within 2% of MCSCEC at smallest sigma");
+  failures += scec::bench::Check(
+      first.MeanOf(scec::Series::kMaxNode) <
+          first.MeanOf(scec::Series::kMinNode),
+      "MaxNode beats MinNode at small sigma");
+  failures += scec::bench::Check(
+      last.MeanOf(scec::Series::kMinNode) <
+          last.MeanOf(scec::Series::kMaxNode),
+      "MinNode beats MaxNode at large sigma (curves cross)");
+  failures += scec::bench::Check(
+      last.SecurityOverhead() < 0.48,
+      "security overhead vs TAw/oS < 48% at largest sigma (" +
+          scec::FormatDouble(last.SecurityOverhead() * 100, 3) + "%)");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+// SPDX-License-Identifier: MIT
+//
+// Reproduces Fig. 2(e): average total cost vs µ for N(µ, σ²) device costs,
+// σ = 1.25 fixed.
+//
+// Paper shapes checked:
+//   * MCSCEC within 0.5% of the lower bound;
+//   * total cost grows with µ;
+//   * growing µ with fixed σ shrinks the RELATIVE cost spread, so the gap
+//     between MaxNode and MCSCEC narrows (same effect as σ ↓ in Fig. 2(d));
+//   * security overhead vs TAw/oS below ~14% at large µ.
+
+#include "fig_common.h"
+
+int main(int argc, char** argv) {
+  scec::bench::FigFlags flags;
+  if (!scec::bench::ParseFigFlags("fig2e_vary_mu",
+                                  "Fig. 2(e): total cost vs mu", argc, argv,
+                                  &flags)) {
+    return 1;
+  }
+  const auto result = scec::RunFig2e(scec::bench::ToDefaults(flags));
+  scec::bench::EmitResult(result, flags);
+
+  std::cout << "Reproduction checks (paper §V):\n";
+  int failures = scec::bench::CheckGapToLowerBound(result);
+  for (size_t i = 1; i < result.points.size(); ++i) {
+    failures += scec::bench::Check(
+        result.points[i].MeanOf(scec::Series::kMcscec) >
+            result.points[i - 1].MeanOf(scec::Series::kMcscec),
+        "cost increasing from mu = " + result.points[i - 1].label +
+            " to mu = " + result.points[i].label);
+  }
+  const auto& first = result.points.front();
+  const auto& last = result.points.back();
+  const double relgap_first =
+      (first.MeanOf(scec::Series::kMaxNode) -
+       first.MeanOf(scec::Series::kMcscec)) /
+      first.MeanOf(scec::Series::kMcscec);
+  const double relgap_last = (last.MeanOf(scec::Series::kMaxNode) -
+                              last.MeanOf(scec::Series::kMcscec)) /
+                             last.MeanOf(scec::Series::kMcscec);
+  int failures2 = scec::bench::Check(
+      relgap_last < relgap_first,
+      "MaxNode-vs-MCSCEC relative gap shrinks as mu grows");
+  failures += failures2;
+  failures += scec::bench::Check(
+      last.SecurityOverhead() < 0.14,
+      "security overhead vs TAw/oS < 14% at largest mu (" +
+          scec::FormatDouble(last.SecurityOverhead() * 100, 3) + "%)");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// SPDX-License-Identifier: MIT
+//
+// Shared scaffolding for the Fig. 2 reproduction harnesses: flag parsing for
+// the paper's five parameters, table/CSV emission, and the paper-shape
+// assertions (printed as PASS/FAIL lines so `for b in build/bench/*; do $b;
+// done` doubles as a reproduction check).
+
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/cli.h"
+#include "common/string_util.h"
+#include "workload/experiment.h"
+
+namespace scec::bench {
+
+struct FigFlags {
+  int64_t m = 5000;
+  int64_t k = 25;
+  double c_max = 5.0;
+  double mu = 5.0;
+  double sigma = 1.25;
+  int64_t instances = 1000;
+  int64_t seed = 20190707;
+  int64_t threads = 0;  // 0 = hardware concurrency
+  std::string csv;      // write CSV here when nonempty
+};
+
+inline bool ParseFigFlags(const char* name, const char* description, int argc,
+                          const char* const* argv, FigFlags* flags) {
+  CliParser cli(name, description);
+  cli.AddInt("m", &flags->m, "rows of the data matrix A");
+  cli.AddInt("k", &flags->k, "number of edge devices");
+  cli.AddDouble("cmax", &flags->c_max, "uniform cost upper bound U(1, cmax)");
+  cli.AddDouble("mu", &flags->mu, "normal cost mean");
+  cli.AddDouble("sigma", &flags->sigma, "normal cost stddev");
+  cli.AddInt("instances", &flags->instances, "instances averaged per point");
+  cli.AddInt("seed", &flags->seed, "base RNG seed");
+  cli.AddInt("threads", &flags->threads,
+             "worker threads (0 = hardware concurrency)");
+  cli.AddString("csv", &flags->csv, "optional CSV output path");
+  return cli.Parse(argc, argv);
+}
+
+inline ExperimentDefaults ToDefaults(const FigFlags& flags) {
+  ExperimentDefaults defaults;
+  defaults.m = static_cast<size_t>(flags.m);
+  defaults.k = static_cast<size_t>(flags.k);
+  defaults.c_max = flags.c_max;
+  defaults.mu = flags.mu;
+  defaults.sigma = flags.sigma;
+  defaults.instances = static_cast<size_t>(flags.instances);
+  defaults.seed = static_cast<uint64_t>(flags.seed);
+  defaults.threads = static_cast<size_t>(flags.threads);
+  return defaults;
+}
+
+inline void EmitResult(const SweepResult& result, const FigFlags& flags) {
+  std::cout << result.RenderTable() << "\n";
+  if (!flags.csv.empty()) {
+    std::ofstream out(flags.csv);
+    if (!out) {
+      std::cerr << "cannot open CSV path " << flags.csv << "\n";
+    } else {
+      result.WriteCsv(out);
+      std::cout << "CSV written to " << flags.csv << "\n";
+    }
+  }
+}
+
+// Prints a reproduction-check line; returns 1 on failure for exit codes.
+inline int Check(bool ok, const std::string& claim) {
+  std::cout << (ok ? "  [PASS] " : "  [FAIL] ") << claim << "\n";
+  return ok ? 0 : 1;
+}
+
+// §V headline shared by all panels: MCSCEC within 0.5% of the lower bound.
+inline int CheckGapToLowerBound(const SweepResult& result) {
+  int failures = 0;
+  for (const auto& point : result.points) {
+    failures += Check(point.GapToLowerBound() < 0.005,
+                      "gap to LB < 0.5% at x = " + point.label + " (" +
+                          FormatDouble(point.GapToLowerBound() * 100, 3) +
+                          "%)");
+  }
+  return failures;
+}
+
+}  // namespace scec::bench

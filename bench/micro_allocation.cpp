@@ -1,0 +1,91 @@
+// SPDX-License-Identifier: MIT
+//
+// Micro-benchmarks backing §IV-C's complexity claims: TA1 is O(k) and
+// independent of m; TA2 is O(m + k). Also measures the lower-bound
+// computation and a full planning round.
+
+#include <benchmark/benchmark.h>
+
+#include "allocation/lower_bound.h"
+#include "allocation/ta1.h"
+#include "allocation/ta2.h"
+#include "common/rng.h"
+#include "core/planner.h"
+#include "workload/distributions.h"
+
+namespace {
+
+std::vector<double> MakeCosts(size_t k, uint64_t seed) {
+  scec::Xoshiro256StarStar rng(seed);
+  return scec::SampleSortedCosts(scec::CostDistribution::Uniform(5.0), k,
+                                 rng);
+}
+
+void BM_TA1_VaryM(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const auto costs = MakeCosts(25, 1);
+  for (auto _ : state) {
+    auto alloc = scec::RunTA1(m, costs);
+    benchmark::DoNotOptimize(alloc);
+  }
+}
+BENCHMARK(BM_TA1_VaryM)->RangeMultiplier(10)->Range(100, 1000000);
+
+void BM_TA2_VaryM(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const auto costs = MakeCosts(25, 1);
+  for (auto _ : state) {
+    auto alloc = scec::RunTA2(m, costs);
+    benchmark::DoNotOptimize(alloc);
+  }
+  state.SetComplexityN(static_cast<int64_t>(m));
+}
+BENCHMARK(BM_TA2_VaryM)->RangeMultiplier(10)->Range(100, 1000000)->Complexity();
+
+void BM_TA1_VaryK(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const auto costs = MakeCosts(k, 2);
+  for (auto _ : state) {
+    auto alloc = scec::RunTA1(5000, costs);
+    benchmark::DoNotOptimize(alloc);
+  }
+  state.SetComplexityN(static_cast<int64_t>(k));
+}
+BENCHMARK(BM_TA1_VaryK)->RangeMultiplier(4)->Range(4, 4096)->Complexity();
+
+void BM_TA2_VaryK(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const auto costs = MakeCosts(k, 2);
+  for (auto _ : state) {
+    auto alloc = scec::RunTA2(5000, costs);
+    benchmark::DoNotOptimize(alloc);
+  }
+}
+BENCHMARK(BM_TA2_VaryK)->RangeMultiplier(4)->Range(4, 4096);
+
+void BM_LowerBound(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const auto costs = MakeCosts(k, 3);
+  for (auto _ : state) {
+    auto lb = scec::ComputeLowerBound(5000, costs);
+    benchmark::DoNotOptimize(lb);
+  }
+}
+BENCHMARK(BM_LowerBound)->RangeMultiplier(8)->Range(8, 4096);
+
+void BM_FullPlanning(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  scec::Xoshiro256StarStar rng(4);
+  const auto costs =
+      scec::SampleSortedCosts(scec::CostDistribution::Uniform(5.0), k, rng);
+  const auto problem = scec::MakeAbstractProblem(5000, 64, costs);
+  for (auto _ : state) {
+    auto plan = scec::PlanMcscec(problem);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_FullPlanning)->RangeMultiplier(8)->Range(8, 512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// SPDX-License-Identifier: MIT
+//
+// Decoding-complexity benchmark backing §IV-B's claim: the structured
+// subtraction decoder does m subtractions (O(m)), vs the general Gaussian
+// decoder's O((m+r)^3), vs simply computing A·x locally on the user device
+// (O(m·l)) — the operation secure offloading is supposed to beat.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "coding/decoder.h"
+#include "coding/encoder.h"
+#include "linalg/matrix_ops.h"
+
+namespace {
+
+scec::LcecScheme CanonicalScheme(size_t m, size_t r) {
+  scec::LcecScheme scheme;
+  scheme.m = m;
+  scheme.r = r;
+  scheme.row_counts.push_back(r);
+  size_t remaining = m;
+  while (remaining > 0) {
+    const size_t take = std::min(r, remaining);
+    scheme.row_counts.push_back(take);
+    remaining -= take;
+  }
+  return scheme;
+}
+
+struct DecodeFixture {
+  scec::StructuredCode code;
+  std::vector<double> y;
+  scec::Matrix<double> a;
+  std::vector<double> x;
+
+  static DecodeFixture Make(size_t m, size_t l) {
+    const size_t r = m / 4 + 1;
+    scec::ChaCha20Rng rng(1);
+    DecodeFixture f{scec::StructuredCode(m, r), {}, {}, {}};
+    const auto scheme = CanonicalScheme(m, r);
+    f.a = scec::RandomMatrix<double>(m, l, rng);
+    const auto deployment =
+        scec::EncodeDeployment(f.code, scheme, f.a, rng);
+    f.x = scec::RandomVector<double>(l, rng);
+    std::vector<std::vector<double>> responses;
+    for (const auto& share : deployment.shares) {
+      responses.push_back(
+          scec::MatVec(share.coded_rows, std::span<const double>(f.x)));
+    }
+    f.y = scec::ConcatenateResponses(scheme, responses);
+    return f;
+  }
+};
+
+void BM_SubtractionDecode(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const auto f = DecodeFixture::Make(m, 64);
+  for (auto _ : state) {
+    auto ax = scec::SubtractionDecode(f.code, std::span<const double>(f.y));
+    benchmark::DoNotOptimize(ax);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(m));
+}
+BENCHMARK(BM_SubtractionDecode)->RangeMultiplier(4)->Range(64, 16384);
+
+void BM_GaussianDecode(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const auto f = DecodeFixture::Make(m, 64);
+  const auto b = f.code.DenseB<double>();
+  for (auto _ : state) {
+    auto ax = scec::GaussianDecode(b, m, f.y);
+    benchmark::DoNotOptimize(ax);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(m));
+}
+// Cubic: keep the range modest.
+BENCHMARK(BM_GaussianDecode)->RangeMultiplier(4)->Range(64, 1024);
+
+void BM_LocalRecompute(benchmark::State& state) {
+  // What the user device would pay WITHOUT offloading: the full product.
+  const size_t m = static_cast<size_t>(state.range(0));
+  const auto f = DecodeFixture::Make(m, 64);
+  for (auto _ : state) {
+    auto ax = scec::MatVec(f.a, std::span<const double>(f.x));
+    benchmark::DoNotOptimize(ax);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(m));
+}
+BENCHMARK(BM_LocalRecompute)->RangeMultiplier(4)->Range(64, 16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

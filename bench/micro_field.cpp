@@ -1,0 +1,64 @@
+// SPDX-License-Identifier: MIT
+//
+// Field-arithmetic throughput: GF(2^61−1) (Mersenne folding), GF(256)
+// (log tables) and raw doubles, on the mat-vec kernel every edge device
+// runs. Quantifies the price of exact ITS arithmetic relative to floats.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "field/gf256.h"
+#include "field/gf_prime.h"
+#include "linalg/elimination.h"
+#include "linalg/matrix_ops.h"
+
+namespace {
+
+template <typename T>
+void RunMatVec(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  scec::ChaCha20Rng rng(1);
+  const auto m = scec::RandomMatrix<T>(n, n, rng);
+  const auto x = scec::RandomVector<T>(n, rng);
+  for (auto _ : state) {
+    auto y = scec::MatVec(m, std::span<const T>(x));
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n * n));
+}
+
+void BM_MatVec_Double(benchmark::State& state) { RunMatVec<double>(state); }
+void BM_MatVec_Gf61(benchmark::State& state) { RunMatVec<scec::Gf61>(state); }
+void BM_MatVec_Gf256(benchmark::State& state) {
+  RunMatVec<scec::Gf256>(state);
+}
+
+BENCHMARK(BM_MatVec_Double)->RangeMultiplier(4)->Range(64, 1024);
+BENCHMARK(BM_MatVec_Gf61)->RangeMultiplier(4)->Range(64, 1024);
+BENCHMARK(BM_MatVec_Gf256)->RangeMultiplier(4)->Range(64, 1024);
+
+void BM_Gf61Inverse(benchmark::State& state) {
+  scec::ChaCha20Rng rng(2);
+  scec::Gf61 v = scec::FieldTraits<scec::Gf61>::RandomNonZero(rng);
+  for (auto _ : state) {
+    v = v.Inverse();
+    if (v.IsZero()) v = scec::Gf61::One();  // unreachable; defeats folding
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_Gf61Inverse);
+
+void BM_RankGf61(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  scec::ChaCha20Rng rng(3);
+  const auto m = scec::RandomMatrix<scec::Gf61>(n, n, rng);
+  for (auto _ : state) {
+    auto rank = scec::RankOf(m);
+    benchmark::DoNotOptimize(rank);
+  }
+}
+BENCHMARK(BM_RankGf61)->RangeMultiplier(2)->Range(16, 256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// SPDX-License-Identifier: MIT
+//
+// Attack demo: what a curious edge device actually sees.
+//
+// Three scenes over GF(2^61−1):
+//   1. Traditional distribution (Fig. 1(a)): devices store raw rows — the
+//      eavesdropper reads the data outright.
+//   2. MCSCEC (Fig. 1(b)): every single-device attack fails; we also show
+//      the exhaustively-enumerated observation distribution on a tiny field
+//      is independent of the data (perfect secrecy, Definition 2).
+//   3. Collusion: device 1 + device 2 break the 1-private design (as the
+//      paper's future-work section anticipates); the t-collusion extension
+//      resists.
+//
+// Run:  ./build/examples/attack_demo
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/scec.h"
+#include "linalg/matrix_ops.h"
+#include "security/collusion_attack.h"
+#include "security/eavesdropper.h"
+#include "security/secrecy_enum.h"
+
+namespace {
+
+scec::LcecScheme CanonicalScheme(size_t m, size_t r) {
+  scec::LcecScheme scheme;
+  scheme.m = m;
+  scheme.r = r;
+  scheme.row_counts.push_back(r);
+  size_t remaining = m;
+  while (remaining > 0) {
+    const size_t take = std::min(r, remaining);
+    scheme.row_counts.push_back(take);
+    remaining -= take;
+  }
+  return scheme;
+}
+
+}  // namespace
+
+int main() {
+  const size_t m = 6, r = 3, l = 4;
+  scec::ChaCha20Rng rng(1337);
+  const auto a = scec::RandomMatrix<scec::Gf61>(m, l, rng);
+
+  std::cout << "=== Scene 1: traditional distribution (no coding) ===\n";
+  {
+    // A device stores rows 2..3 of A raw; coefficients are unit vectors.
+    scec::Matrix<scec::Gf61> coefficients(2, m + r);
+    coefficients(0, 2) = scec::Gf61::One();
+    coefficients(1, 3) = scec::Gf61::One();
+    const auto attack =
+        scec::AttemptLinearRecovery(coefficients, a.RowSlice(2, 2), m);
+    std::cout << "  attack succeeded: " << std::boolalpha << attack.succeeded
+              << " — device reads " << attack.recovered.rows()
+              << " independent combinations of A's rows.\n";
+    std::cout << "  e.g. recovered value " << attack.recovered(0, 0)
+              << " (true A entry " << a(2, 0) << ")\n\n";
+  }
+
+  std::cout << "=== Scene 2: MCSCEC coded distribution ===\n";
+  {
+    const scec::StructuredCode code(m, r);
+    const auto scheme = CanonicalScheme(m, r);
+    const auto deployment = scec::EncodeDeployment(code, scheme, a, rng);
+    bool any_leak = false;
+    for (size_t d = 0; d < scheme.num_devices(); ++d) {
+      const auto block = code.DenseBlock<scec::Gf61>(scheme, d);
+      const auto attack = scec::AttemptLinearRecovery(
+          block, deployment.shares[d].coded_rows, m);
+      std::cout << "  device " << d << " (" << scheme.row_counts[d]
+                << " coded rows): attack "
+                << (attack.succeeded ? "SUCCEEDED" : "failed") << "\n";
+      any_leak = any_leak || attack.succeeded;
+    }
+    std::cout << "  => " << (any_leak ? "LEAK" : "no single device learns anything about A")
+              << "\n";
+
+    // Perfect secrecy, shown exhaustively on GF(5).
+    const scec::StructuredCode tiny(2, 1);
+    const auto tiny_scheme = CanonicalScheme(2, 1);
+    std::vector<scec::Matrix<scec::Gf5>> candidates;
+    for (uint64_t v0 = 0; v0 < 5; ++v0) {
+      for (uint64_t v1 = 0; v1 < 5; ++v1) {
+        scec::Matrix<scec::Gf5> cand(2, 1);
+        cand(0, 0) = scec::Gf5(v0);
+        cand(1, 0) = scec::Gf5(v1);
+        candidates.push_back(cand);
+      }
+    }
+    const bool secret =
+        scec::VerifyPerfectSecrecy<5>(tiny, tiny_scheme, candidates);
+    std::cout << "  exhaustive check on GF(5), all 25 possible data\n"
+              << "  matrices: observation distributions identical = "
+              << secret << " (H(A|share) = H(A))\n\n";
+  }
+
+  std::cout << "=== Scene 3: collusion ===\n";
+  {
+    const scec::StructuredCode code(m, r);
+    const auto scheme = CanonicalScheme(m, r);
+    const auto deployment = scec::EncodeDeployment(code, scheme, a, rng);
+    std::vector<scec::Matrix<scec::Gf61>> blocks, shares;
+    for (size_t d = 0; d < scheme.num_devices(); ++d) {
+      blocks.push_back(code.DenseBlock<scec::Gf61>(scheme, d));
+      shares.push_back(deployment.shares[d].coded_rows);
+    }
+    const auto pair_attack =
+        scec::AttemptCollusionRecovery(blocks, shares, {0, 1}, m);
+    std::cout << "  structured code, devices {0, 1} colluding: attack "
+              << (pair_attack.succeeded ? "SUCCEEDED" : "failed") << " ("
+              << pair_attack.recovered.rows() << " rows recovered)\n";
+
+    scec::CollusionCodeParams params;
+    params.m = m;
+    params.t = 2;
+    params.r = 6;
+    const auto counts = scec::PlanCollusionRowCounts(m, 6, 2, 8);
+    const auto strong = scec::BuildCollusionCode(params, *counts, rng);
+    std::vector<scec::Matrix<scec::Gf61>> strong_blocks;
+    for (size_t d = 0; d < strong->scheme.num_devices(); ++d) {
+      strong_blocks.push_back(
+          strong->b.RowSlice(strong->scheme.BlockStart(d),
+                             strong->scheme.row_counts[d]));
+    }
+    const auto coalition =
+        scec::FindSmallestBreakingCoalition(strong_blocks, m, 2);
+    std::cout << "  t=2 extension code, all coalitions up to size 2: "
+              << (coalition.empty() ? "no break — 2-private as designed"
+                                    : "BREAK (bug!)")
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+// SPDX-License-Identifier: MIT
+//
+// Coded gradient descent — the paper's motivating ML workload (§II-B): in
+// gradient methods the data matrix A is the sensitive personal data, while
+// the iterate is transient. Linear regression via full-batch gradient
+// descent needs two matrix–vector products per step,
+//
+//     grad = Aᵀ(A·w − b),
+//
+// so we deploy TWO MCSCEC instances — one for A and one for Aᵀ — and run
+// every product through coded, information-theoretically secure shares. No
+// edge device ever observes a row of A (or of Aᵀ, i.e. a column of A).
+//
+// Run:  ./build/examples/coded_gradient_descent [--rows N] [--cols N]
+
+#include <cmath>
+#include <iostream>
+
+#include "common/cli.h"
+#include "core/scec.h"
+#include "linalg/matrix_ops.h"
+
+namespace {
+
+scec::McscecProblem FleetFor(size_t m, size_t l,
+                             scec::Xoshiro256StarStar& rng, size_t k) {
+  scec::McscecProblem problem;
+  problem.m = m;
+  problem.l = l;
+  for (size_t j = 0; j < k; ++j) {
+    scec::EdgeDevice device;
+    device.name = "edge-" + std::to_string(j);
+    device.costs.storage = 0.005;
+    device.costs.add = 0.0005;
+    device.costs.mul = 0.001;
+    device.costs.comm = rng.NextDouble(1.0, 4.0);
+    problem.fleet.Add(device);
+  }
+  return problem;
+}
+
+double Norm(std::span<const double> v) {
+  double acc = 0.0;
+  for (double e : v) acc += e * e;
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t rows = 120;   // samples
+  int64_t cols = 16;    // features
+  int64_t k = 10;       // devices
+  int64_t steps = 400;
+  double learning_rate = 0.0;  // 0 = auto
+  scec::CliParser cli("coded_gradient_descent",
+                      "linear regression trained on coded shares");
+  cli.AddInt("rows", &rows, "training samples (rows of A)");
+  cli.AddInt("cols", &cols, "features (columns of A)");
+  cli.AddInt("devices", &k, "edge devices per deployment");
+  cli.AddInt("steps", &steps, "gradient steps");
+  cli.AddDouble("lr", &learning_rate, "learning rate (0 = 1/rows)");
+  if (!cli.Parse(argc, argv)) return 1;
+
+  scec::Xoshiro256StarStar rng(7);
+  const size_t m = static_cast<size_t>(rows);
+  const size_t n = static_cast<size_t>(cols);
+
+  // Ground-truth model and noisy observations b = A·w* + ε.
+  const auto a = scec::RandomMatrix<double>(m, n, rng);
+  const auto w_star = scec::RandomVector<double>(n, rng);
+  auto b = scec::MatVec(a, std::span<const double>(w_star));
+  for (auto& e : b) e += 0.01 * rng.NextGaussian();
+
+  // Two secure deployments: A (for A·w) and Aᵀ (for Aᵀ·residual).
+  scec::ChaCha20Rng coding_rng(2019);
+  const auto fleet_a = FleetFor(m, n, rng, static_cast<size_t>(k));
+  const auto deploy_a = scec::Deploy(fleet_a, a, coding_rng);
+  const auto at = a.Transposed();
+  const auto fleet_at = FleetFor(n, m, rng, static_cast<size_t>(k));
+  const auto deploy_at = scec::Deploy(fleet_at, at, coding_rng);
+  if (!deploy_a.ok() || !deploy_at.ok()) {
+    std::cerr << "deployment failed\n";
+    return 1;
+  }
+  std::cout << "Deployed A (" << m << "x" << n << ", r = "
+            << deploy_a->plan.allocation.r << ") and A^T (r = "
+            << deploy_at->plan.allocation.r << ") as secure coded shares.\n";
+
+  const double lr =
+      learning_rate > 0.0 ? learning_rate : 1.0 / static_cast<double>(m);
+  std::vector<double> w(n, 0.0);
+  double last_loss = 0.0;
+  for (int64_t step = 0; step < steps; ++step) {
+    // (1) residual = A·w − b, with A·w computed on coded shares.
+    const auto aw = scec::Query(*deploy_a, w);
+    auto residual = scec::VecSub(std::span<const double>(aw),
+                                 std::span<const double>(b));
+    // (2) grad = Aᵀ·residual, also on coded shares.
+    const auto grad = scec::Query(*deploy_at, residual);
+    for (size_t j = 0; j < n; ++j) w[j] -= lr * grad[j];
+
+    last_loss = Norm(residual);
+    if (step % (steps / 8 > 0 ? steps / 8 : 1) == 0) {
+      std::cout << "  step " << step << ": ||A*w - b|| = " << last_loss
+                << "\n";
+    }
+  }
+
+  // Compare with the model recovered by plain (insecure) gradient descent.
+  std::vector<double> w_plain(n, 0.0);
+  for (int64_t step = 0; step < steps; ++step) {
+    const auto aw = scec::MatVec(a, std::span<const double>(w_plain));
+    const auto residual =
+        scec::VecSub(std::span<const double>(aw), std::span<const double>(b));
+    const auto grad = scec::MatVec(at, std::span<const double>(residual));
+    for (size_t j = 0; j < n; ++j) w_plain[j] -= lr * grad[j];
+  }
+  const double divergence = scec::MaxAbsDiff(std::span<const double>(w),
+                                             std::span<const double>(w_plain));
+  const double error_vs_truth =
+      scec::MaxAbsDiff(std::span<const double>(w),
+                       std::span<const double>(w_star));
+
+  std::cout << "\nFinal: ||A*w - b|| = " << last_loss
+            << "\n  max |w_secure - w_plain|  = " << divergence
+            << " (coded training is numerically identical)"
+            << "\n  max |w_secure - w_true|   = " << error_vs_truth
+            << " (limited by observation noise)\n";
+  const bool ok = divergence < 1e-8 && last_loss < 1.0;
+  std::cout << (ok ? "SUCCESS\n" : "FAILURE\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+// SPDX-License-Identifier: MIT
+//
+// True information-theoretic security on REAL-VALUED data.
+//
+// The double-scalar pipeline decodes exactly but its pads only mask values
+// distributionally. This example shows the production-grade alternative:
+// quantise A and x into GF(2^61−1) with the fixed-point codec, run the SCEC
+// protocol entirely in the field (pads uniform ⇒ Shannon secrecy), and
+// dequantise the result — then measure the quantisation error against plain
+// double arithmetic and demonstrate that a device's share carries zero
+// information (strongest-linear-attack + exhaustive tiny-field check live
+// in the test-suite; here we show the operational flow).
+//
+// Run:  ./build/examples/its_fixed_point [--scale-bits N]
+
+#include <iostream>
+
+#include "common/cli.h"
+#include "core/scec.h"
+#include "field/fixed_point.h"
+#include "linalg/matrix_ops.h"
+#include "security/eavesdropper.h"
+#include "workload/device_profiles.h"
+
+int main(int argc, char** argv) {
+  int64_t m = 24;
+  int64_t l = 48;
+  int64_t scale_bits = 20;
+  scec::CliParser cli("its_fixed_point",
+                      "exact ITS for real-valued data via fixed point");
+  cli.AddInt("m", &m, "rows of A");
+  cli.AddInt("l", &l, "row width");
+  cli.AddInt("scale-bits", &scale_bits, "fixed-point fractional bits");
+  if (!cli.Parse(argc, argv)) return 1;
+
+  scec::Xoshiro256StarStar rng(2026);
+  scec::Matrix<double> a(static_cast<size_t>(m), static_cast<size_t>(l));
+  for (auto& v : a.Data()) v = rng.NextDouble(-4.0, 4.0);
+  std::vector<double> x(static_cast<size_t>(l));
+  for (auto& v : x) v = rng.NextDouble(-4.0, 4.0);
+
+  const scec::FixedPointCodec codec(static_cast<unsigned>(scale_bits), 8.0);
+  std::cout << "Fixed-point codec: " << scale_bits << " fractional bits, "
+            << "resolution " << codec.resolution()
+            << ", dot-product width budget " << codec.ProductWidthBudget()
+            << " (need " << l << ")\n";
+  if (codec.ProductWidthBudget() < static_cast<size_t>(l)) {
+    std::cerr << "configuration would overflow; lower --scale-bits\n";
+    return 1;
+  }
+
+  scec::McscecProblem problem;
+  problem.m = a.rows();
+  problem.l = a.cols();
+  problem.fleet = scec::MakeCampusFleet(14, rng);
+
+  scec::ChaCha20Rng coding_rng(424242);
+  const auto deployment =
+      scec::Deploy(problem, codec.EncodeMatrix(a), coding_rng);
+  if (!deployment.ok()) {
+    std::cerr << deployment.status() << "\n";
+    return 1;
+  }
+  std::cout << "Deployed over " << deployment->plan.scheme.num_devices()
+            << " devices, r = " << deployment->plan.allocation.r
+            << " uniform GF(2^61-1) pad rows (Shannon-secret shares).\n";
+
+  // Every device's strongest linear attack fails — shown live.
+  for (size_t d = 0; d < deployment->plan.scheme.num_devices(); ++d) {
+    const auto block =
+        deployment->code.DenseBlock<scec::Gf61>(deployment->plan.scheme, d);
+    if (scec::DeviceCanRecoverData(block, problem.m)) {
+      std::cerr << "device " << d << " could recover data — BUG\n";
+      return 1;
+    }
+  }
+  std::cout << "Strongest linear attack fails on every device.\n\n";
+
+  const auto y_field = scec::Query(*deployment, codec.EncodeVector(x));
+  const auto y = codec.DecodeProduct(y_field);
+  const auto expected = scec::MatVec(a, std::span<const double>(x));
+
+  double worst = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    worst = std::max(worst, std::abs(y[i] - expected[i]));
+  }
+  std::cout << "Decoded A*x through the exact field pipeline:\n"
+            << "  max |field - double| = " << worst
+            << "  (quantisation bound ~ "
+            << 2.0 * static_cast<double>(l) * 8.0 * codec.resolution()
+            << ")\n";
+  const bool ok =
+      worst <= 2.0 * static_cast<double>(l) * 8.0 * codec.resolution();
+  std::cout << (ok ? "SUCCESS\n" : "FAILURE\n");
+  return ok ? 0 : 1;
+}

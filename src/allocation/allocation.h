@@ -1,0 +1,98 @@
+// SPDX-License-Identifier: MIT
+//
+// Allocation result types shared by TA1, TA2 and the baselines.
+//
+// Lemma 2 of the paper shows an optimal solution always has the shape
+//   V(B_1) = … = V(B_{i−1}) = r,   V(B_i) = m − (i−2)·r,   V(B_j) = 0 (j > i)
+// over devices sorted by unit cost, where i = ⌈(m+r)/r⌉. `Allocation`
+// stores (m, r, i) plus that canonical row distribution.
+
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/error.h"
+
+namespace scec {
+
+struct Allocation {
+  size_t m = 0;  // data rows
+  size_t r = 0;  // random rows (0 => no security, TAw/oS baseline only)
+  size_t num_devices = 0;                 // i: devices participating
+  std::vector<size_t> rows_per_device;    // size k, sorted-device order
+  double total_cost = 0.0;                // Σ c_j V_j over sorted costs
+  std::string algorithm;                  // which algorithm produced it
+
+  // Builds the Lemma-2 canonical shape for given (m, r) over k devices with
+  // the given ascending unit costs. Checks r ∈ [⌈m/(k−1)⌉, m] feasibility.
+  static Allocation FromShape(size_t m, size_t r,
+                              const std::vector<double>& sorted_costs,
+                              std::string algorithm);
+
+  // Number of coded rows in total (must equal m + r for secure schemes).
+  size_t TotalRows() const {
+    return std::accumulate(rows_per_device.begin(), rows_per_device.end(),
+                           size_t{0});
+  }
+
+  // Lemma 1 invariant: every device holds at most r rows.
+  bool SatisfiesPerDeviceBound() const {
+    for (size_t v : rows_per_device) {
+      if (v > r) return false;
+    }
+    return true;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Allocation& a);
+
+// ceil(a / b) for positive integers.
+constexpr size_t CeilDiv(size_t a, size_t b) { return (a + b - 1) / b; }
+
+inline Allocation Allocation::FromShape(size_t m, size_t r,
+                                        const std::vector<double>& sorted_costs,
+                                        std::string algorithm) {
+  SCEC_CHECK_GE(m, 1u);
+  SCEC_CHECK_GE(r, 1u);
+  SCEC_CHECK_LE(r, m) << "Theorem 2: r <= m";
+  const size_t k = sorted_costs.size();
+  SCEC_CHECK_GE(k, 2u);
+  const size_t i = CeilDiv(m + r, r);
+  SCEC_CHECK_LE(i, k) << "allocation needs more devices than available";
+  Allocation a;
+  a.m = m;
+  a.r = r;
+  a.num_devices = i;
+  a.rows_per_device.assign(k, 0);
+  for (size_t j = 0; j + 1 < i; ++j) a.rows_per_device[j] = r;
+  // Last participating device: m − (i−2)·r rows (in (0, r]).
+  const size_t last = m - (i - 2) * r;
+  SCEC_CHECK_GE(last, 1u);
+  SCEC_CHECK_LE(last, r);
+  a.rows_per_device[i - 1] = last;
+  a.total_cost = 0.0;
+  for (size_t j = 0; j < k; ++j) {
+    a.total_cost +=
+        sorted_costs[j] * static_cast<double>(a.rows_per_device[j]);
+  }
+  a.algorithm = std::move(algorithm);
+  SCEC_CHECK_EQ(a.TotalRows(), m + r);
+  return a;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Allocation& a) {
+  os << a.algorithm << "{m=" << a.m << " r=" << a.r << " i=" << a.num_devices
+     << " cost=" << a.total_cost << " rows=[";
+  for (size_t j = 0; j < a.rows_per_device.size(); ++j) {
+    if (j > 0) os << ' ';
+    os << a.rows_per_device[j];
+  }
+  return os << "]}";
+}
+
+}  // namespace scec

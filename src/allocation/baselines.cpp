@@ -1,0 +1,70 @@
+// SPDX-License-Identifier: MIT
+
+#include "allocation/baselines.h"
+
+#include <algorithm>
+
+#include "allocation/lower_bound.h"
+#include "common/check.h"
+
+namespace scec {
+
+Result<Allocation> RunTAWithoutSecurity(
+    size_t m, const std::vector<double>& sorted_costs) {
+  if (m < 1) return InvalidArgument("TAw/oS: m must be >= 1");
+  const size_t k = sorted_costs.size();
+  if (k < 2) return Infeasible("TAw/oS: need at least two edge devices");
+
+  // m rows spread as evenly as possible over the i* cheapest devices; no
+  // random rows. (Allocation::FromShape does not apply: r = 0.)
+  const size_t i_star = ComputeIStar(sorted_costs);
+  const size_t used = std::min(i_star, m);  // never assign 0-row devices
+  Allocation a;
+  a.m = m;
+  a.r = 0;
+  a.num_devices = used;
+  a.algorithm = "TAw/oS";
+  a.rows_per_device.assign(k, 0);
+  const size_t base = m / used;
+  const size_t extra = m % used;  // first `extra` devices get one more row
+  for (size_t j = 0; j < used; ++j) {
+    a.rows_per_device[j] = base + (j < extra ? 1 : 0);
+  }
+  a.total_cost = 0.0;
+  for (size_t j = 0; j < k; ++j) {
+    a.total_cost +=
+        sorted_costs[j] * static_cast<double>(a.rows_per_device[j]);
+  }
+  SCEC_CHECK_EQ(a.TotalRows(), m);
+  return a;
+}
+
+Result<Allocation> RunMaxNode(size_t m,
+                              const std::vector<double>& sorted_costs) {
+  if (m < 1) return InvalidArgument("MaxNode: m must be >= 1");
+  const size_t k = sorted_costs.size();
+  if (k < 2) return Infeasible("MaxNode: need at least two edge devices");
+  const size_t r = CeilDiv(m, k - 1);
+  return Allocation::FromShape(m, r, sorted_costs, "MaxNode");
+}
+
+Result<Allocation> RunMinNode(size_t m,
+                              const std::vector<double>& sorted_costs) {
+  if (m < 1) return InvalidArgument("MinNode: m must be >= 1");
+  const size_t k = sorted_costs.size();
+  if (k < 2) return Infeasible("MinNode: need at least two edge devices");
+  return Allocation::FromShape(m, /*r=*/m, sorted_costs, "MinNode");
+}
+
+Result<Allocation> RunRandomNode(size_t m,
+                                 const std::vector<double>& sorted_costs,
+                                 Xoshiro256StarStar& rng) {
+  if (m < 1) return InvalidArgument("RNode: m must be >= 1");
+  const size_t k = sorted_costs.size();
+  if (k < 2) return Infeasible("RNode: need at least two edge devices");
+  const size_t r_min = CeilDiv(m, k - 1);
+  const size_t r = rng.NextUint64(r_min, m);
+  return Allocation::FromShape(m, r, sorted_costs, "RNode");
+}
+
+}  // namespace scec

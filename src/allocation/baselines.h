@@ -1,0 +1,29 @@
+// SPDX-License-Identifier: MIT
+//
+// The four baseline allocation strategies the paper evaluates against (§V):
+//
+//   * TAw/oS — no security: the m data rows are split as evenly as possible
+//     over the i* cheapest devices, no random rows. (Not ITS-secure; exists
+//     purely to measure the price of security.)
+//   * MaxNode — r = ⌈m/(k−1)⌉, the smallest feasible r (Theorem 2), which
+//     spreads load over the maximum number of devices.
+//   * MinNode — r = m, i = 2: only the two cheapest devices participate.
+//   * RNode — r drawn uniformly from [⌈m/(k−1)⌉, m].
+
+#pragma once
+
+#include "allocation/allocation.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace scec {
+
+Result<Allocation> RunTAWithoutSecurity(size_t m,
+                                        const std::vector<double>& sorted_costs);
+Result<Allocation> RunMaxNode(size_t m, const std::vector<double>& sorted_costs);
+Result<Allocation> RunMinNode(size_t m, const std::vector<double>& sorted_costs);
+Result<Allocation> RunRandomNode(size_t m,
+                                 const std::vector<double>& sorted_costs,
+                                 Xoshiro256StarStar& rng);
+
+}  // namespace scec

@@ -1,0 +1,76 @@
+// SPDX-License-Identifier: MIT
+
+#include "allocation/capacitated.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace scec {
+
+double CapacitatedCostForR(size_t m, size_t r,
+                           const std::vector<double>& sorted_costs,
+                           const std::vector<size_t>& caps,
+                           std::vector<size_t>* rows_out) {
+  SCEC_CHECK_EQ(sorted_costs.size(), caps.size());
+  SCEC_CHECK_GE(r, 1u);
+  const size_t total = m + r;
+  size_t placed = 0;
+  double cost = 0.0;
+  std::vector<size_t> rows(caps.size(), 0);
+  for (size_t j = 0; j < caps.size() && placed < total; ++j) {
+    const size_t take = std::min({r, caps[j], total - placed});
+    if (take == 0) continue;
+    rows[j] = take;
+    placed += take;
+    cost += static_cast<double>(take) * sorted_costs[j];
+  }
+  if (placed < total) return -1.0;  // infeasible at this r
+  if (rows_out != nullptr) *rows_out = std::move(rows);
+  return cost;
+}
+
+Result<Allocation> RunCapacitatedTA(size_t m,
+                                    const std::vector<double>& sorted_costs,
+                                    const std::vector<size_t>& caps) {
+  if (m < 1) return InvalidArgument("capacitated TA: m must be >= 1");
+  const size_t k = sorted_costs.size();
+  if (k < 2) return Infeasible("capacitated TA: need at least two devices");
+  if (caps.size() != k) {
+    return InvalidArgument("capacitated TA: caps/costs size mismatch");
+  }
+
+  double best_cost = -1.0;
+  size_t best_r = 0;
+  std::vector<size_t> best_rows;
+  for (size_t r = 1; r <= m; ++r) {
+    std::vector<size_t> rows;
+    const double cost = CapacitatedCostForR(m, r, sorted_costs, caps, &rows);
+    if (cost < 0.0) continue;
+    if (best_cost < 0.0 || cost < best_cost) {
+      best_cost = cost;
+      best_r = r;
+      best_rows = std::move(rows);
+    }
+  }
+  if (best_cost < 0.0) {
+    return Infeasible(
+        "capacitated TA: fleet capacity cannot host m + r rows for any r");
+  }
+
+  Allocation allocation;
+  allocation.m = m;
+  allocation.r = best_r;
+  allocation.rows_per_device = std::move(best_rows);
+  allocation.total_cost = best_cost;
+  allocation.algorithm = "CapTA";
+  allocation.num_devices = 0;
+  for (size_t rows : allocation.rows_per_device) {
+    if (rows > 0) ++allocation.num_devices;
+  }
+  SCEC_CHECK_EQ(allocation.TotalRows(), m + best_r);
+  SCEC_CHECK(allocation.SatisfiesPerDeviceBound());
+  return allocation;
+}
+
+}  // namespace scec

@@ -1,0 +1,43 @@
+// SPDX-License-Identifier: MIT
+//
+// EXTENSION: task allocation with per-device capacity limits.
+//
+// The paper motivates SCEC with resource-limited edge devices (§I) but its
+// allocation model lets any selected device hold up to r rows. Real fleets
+// cap a device's share by its storage budget. This module generalises TA2:
+// device j can hold at most cap_j coded rows (cap_j counts rows of width l;
+// cap 0 = device unusable).
+//
+// For a fixed r the optimal placement is greedy: fill devices in unit-cost
+// order with min(r, cap_j) rows until m + r rows are placed (standard
+// exchange argument — swapping any row to a costlier device cannot help;
+// the Lemma-1 bound V(B_j) ≤ r remains, so the structured Eq. (8) code and
+// its generalised security property still apply to the resulting partition).
+// The optimum over r is found by sweeping Theorem 2's feasible range, O(m·k).
+//
+// With all caps >= m the result coincides with TA2 (tested).
+
+#pragma once
+
+#include <vector>
+
+#include "allocation/allocation.h"
+#include "common/error.h"
+
+namespace scec {
+
+// caps[j] is aligned with sorted_costs[j]. Returns kInfeasible when no r in
+// [1, m] admits a placement (i.e. total usable capacity is too small for
+// m + r rows at every r).
+Result<Allocation> RunCapacitatedTA(size_t m,
+                                    const std::vector<double>& sorted_costs,
+                                    const std::vector<size_t>& caps);
+
+// Cost of the greedy placement for a fixed r; returns a negative value when
+// infeasible at this r. Exposed for tests and the ablation bench.
+double CapacitatedCostForR(size_t m, size_t r,
+                           const std::vector<double>& sorted_costs,
+                           const std::vector<size_t>& caps,
+                           std::vector<size_t>* rows_out = nullptr);
+
+}  // namespace scec

@@ -1,0 +1,63 @@
+// SPDX-License-Identifier: MIT
+
+#include "allocation/cost_model.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace scec {
+
+double UnitCost(const ResourceCosts& costs, size_t l) {
+  SCEC_CHECK_GE(l, 1u);
+  const double ld = static_cast<double>(l);
+  return (ld + 1.0) * costs.storage + ld * costs.mul +
+         (ld - 1.0) * costs.add + costs.comm;
+}
+
+std::vector<double> UnitCosts(const DeviceFleet& fleet, size_t l) {
+  std::vector<double> out;
+  out.reserve(fleet.size());
+  for (const EdgeDevice& device : fleet.devices()) {
+    out.push_back(UnitCost(device.costs, l));
+  }
+  return out;
+}
+
+DeviceCostBreakdown ItemisedCost(const ResourceCosts& costs, size_t rows,
+                                 size_t l) {
+  SCEC_CHECK_GE(l, 1u);
+  const double ld = static_cast<double>(l);
+  const double rd = static_cast<double>(rows);
+  DeviceCostBreakdown breakdown;
+  breakdown.storage = (ld + (ld + 1.0) * rd) * costs.storage;
+  breakdown.computation = rd * (ld * costs.mul + (ld - 1.0) * costs.add);
+  breakdown.communication = rd * costs.comm;
+  return breakdown;
+}
+
+double AssignmentCost(const std::vector<double>& unit_costs,
+                      const std::vector<size_t>& rows_per_device) {
+  SCEC_CHECK_EQ(unit_costs.size(), rows_per_device.size());
+  double total = 0.0;
+  for (size_t j = 0; j < unit_costs.size(); ++j) {
+    total += unit_costs[j] * static_cast<double>(rows_per_device[j]);
+  }
+  return total;
+}
+
+SortedCosts SortCosts(const std::vector<double>& unit_costs) {
+  SortedCosts sorted;
+  sorted.original.resize(unit_costs.size());
+  std::iota(sorted.original.begin(), sorted.original.end(), size_t{0});
+  std::stable_sort(sorted.original.begin(), sorted.original.end(),
+                   [&](size_t a, size_t b) {
+                     return unit_costs[a] < unit_costs[b];
+                   });
+  sorted.costs.reserve(unit_costs.size());
+  for (size_t idx : sorted.original) sorted.costs.push_back(unit_costs[idx]);
+  return sorted;
+}
+
+}  // namespace scec

@@ -1,0 +1,57 @@
+// SPDX-License-Identifier: MIT
+//
+// The paper's cost model (Eq. (1)).
+//
+// For device s_j holding V_j coded rows of width l:
+//   storage    : (l + (l+1)·V_j) · c_j^s    — input x, V_j coded rows,
+//                                             V_j intermediate values
+//   computation: V_j · (l·c_j^m + (l−1)·c_j^a)
+//   communication: V_j · c_j^d
+//
+// Folding per-row terms gives the unit cost
+//   c_j = (l+1)·c_j^s + l·c_j^m + (l−1)·c_j^a + c_j^d,
+// total = Σ_j c_j · V_j + Σ_{j selected} l·c_j^s; the second term is fixed
+// given the selection, so the optimisation minimises Σ c_j V_j.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "allocation/device.h"
+
+namespace scec {
+
+// Unit cost of one coded row on a device with the given resource costs and
+// row width l (Eq. (1) folded).
+double UnitCost(const ResourceCosts& costs, size_t l);
+
+// Unit-cost vector for a whole fleet, in fleet order (NOT sorted).
+std::vector<double> UnitCosts(const DeviceFleet& fleet, size_t l);
+
+// Itemised cost of holding/serving `rows` coded rows of width `l`.
+struct DeviceCostBreakdown {
+  double storage = 0.0;
+  double computation = 0.0;
+  double communication = 0.0;
+  double total() const { return storage + computation + communication; }
+};
+
+DeviceCostBreakdown ItemisedCost(const ResourceCosts& costs, size_t rows,
+                                 size_t l);
+
+// Total cost of an assignment: Σ_j V_j · c_j (the objective the paper
+// minimises), given per-device unit costs and row counts.
+double AssignmentCost(const std::vector<double>& unit_costs,
+                      const std::vector<size_t>& rows_per_device);
+
+// Sorted view of a unit-cost vector: costs ascending plus the permutation
+// mapping sorted index -> original fleet index.
+struct SortedCosts {
+  std::vector<double> costs;     // ascending
+  std::vector<size_t> original;  // original[i] = fleet index of sorted i
+};
+
+SortedCosts SortCosts(const std::vector<double>& unit_costs);
+
+}  // namespace scec

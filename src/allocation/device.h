@@ -1,0 +1,74 @@
+// SPDX-License-Identifier: MIT
+//
+// Edge-device description: per-resource unit costs as in §II-A of the paper.
+//
+//   c_j^s — unit storage cost          (per stored value)
+//   c_j^a — unit addition cost         (per scalar addition)
+//   c_j^m — unit multiplication cost   (per scalar multiplication)
+//   c_j^d — unit communication cost    (per value sent to the user)
+//
+// The paper folds these into a single unit cost per coded row (Eq. (1)):
+//   c_j = (l+1)·c_j^s + l·c_j^m + (l−1)·c_j^a + c_j^d.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace scec {
+
+struct ResourceCosts {
+  double storage = 0.0;   // c^s
+  double add = 0.0;       // c^a
+  double mul = 0.0;       // c^m
+  double comm = 0.0;      // c^d
+
+  // The paper assumes c^a <= c^m (addition no dearer than multiplication).
+  bool Valid() const {
+    return storage >= 0.0 && add >= 0.0 && mul >= 0.0 && comm >= 0.0 &&
+           add <= mul;
+  }
+};
+
+struct EdgeDevice {
+  std::string name;
+  ResourceCosts costs;
+
+  // Simulation-only characteristics (ignored by the analytic cost model):
+  double compute_rate_flops = 1e9;   // scalar ops per second
+  double uplink_bps = 1e8;           // device -> user bandwidth, bits/s
+  double downlink_bps = 1e8;         // cloud/user -> device bandwidth
+  double link_latency_s = 1e-3;      // one-way propagation latency
+};
+
+// Fleet of edge devices. The paper indexes devices s_1..s_k with unit costs
+// sorted ascending; `SortedByUnitCost` produces that canonical order.
+class DeviceFleet {
+ public:
+  DeviceFleet() = default;
+  explicit DeviceFleet(std::vector<EdgeDevice> devices)
+      : devices_(std::move(devices)) {}
+
+  size_t size() const { return devices_.size(); }
+  bool empty() const { return devices_.empty(); }
+  const EdgeDevice& operator[](size_t idx) const {
+    SCEC_CHECK_LT(idx, devices_.size());
+    return devices_[idx];
+  }
+  EdgeDevice& operator[](size_t idx) {
+    SCEC_CHECK_LT(idx, devices_.size());
+    return devices_[idx];
+  }
+
+  void Add(EdgeDevice device) { devices_.push_back(std::move(device)); }
+
+  const std::vector<EdgeDevice>& devices() const { return devices_; }
+
+ private:
+  std::vector<EdgeDevice> devices_;
+};
+
+}  // namespace scec

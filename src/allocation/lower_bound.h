@@ -1,0 +1,34 @@
+// SPDX-License-Identifier: MIT
+//
+// i* and the MCSCEC lower bound (Theorem 1).
+//
+// i* is the maximum i in {2..k} with Σ_{j=1}^{i−1} c_j ≥ (i−2)·c_i  (costs
+// ascending). Lemma 3 proves the predicate holds for all α ≤ i* and fails
+// for all α > i*, so a linear scan finds it. Theorem 1:
+//   c^L = m/(i*−1) · Σ_{j=1}^{i*} c_j
+// and Corollary 1: the bound is achieved when (i*−1) | m with r = m/(i*−1).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace scec {
+
+// Computes i* for ascending unit costs (size k >= 2). O(k).
+size_t ComputeIStar(const std::vector<double>& sorted_costs);
+
+// Theorem 1 lower bound for data size m.
+double LowerBound(size_t m, const std::vector<double>& sorted_costs);
+
+// Convenience: both at once (avoids recomputing i*).
+struct LowerBoundResult {
+  size_t i_star = 0;
+  double bound = 0.0;
+  bool achievable = false;  // Corollary 1: (i*−1) divides m
+};
+
+LowerBoundResult ComputeLowerBound(size_t m,
+                                   const std::vector<double>& sorted_costs);
+
+}  // namespace scec

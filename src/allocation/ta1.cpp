@@ -1,0 +1,57 @@
+// SPDX-License-Identifier: MIT
+
+#include "allocation/ta1.h"
+
+#include <algorithm>
+
+#include "allocation/lower_bound.h"
+#include "common/check.h"
+
+namespace scec {
+namespace {
+
+// Cost of the canonical allocation for a given r (Lemma 2 shape):
+//   c(r) = r·Σ_{j<i} c_j + (m − (i−2)·r)·c_i,  i = ⌈(m+r)/r⌉.
+double CanonicalCost(size_t m, size_t r,
+                     const std::vector<double>& sorted_costs) {
+  const size_t i = CeilDiv(m + r, r);
+  SCEC_CHECK_LE(i, sorted_costs.size());
+  double prefix = 0.0;
+  for (size_t j = 0; j + 1 < i; ++j) prefix += sorted_costs[j];
+  const double last = static_cast<double>(m - (i - 2) * r);
+  return static_cast<double>(r) * prefix + last * sorted_costs[i - 1];
+}
+
+}  // namespace
+
+Result<Allocation> RunTA1(size_t m, const std::vector<double>& sorted_costs) {
+  if (m < 1) return InvalidArgument("TA1: m must be >= 1");
+  const size_t k = sorted_costs.size();
+  if (k < 2) return Infeasible("TA1: need at least two edge devices");
+
+  const size_t i_star = ComputeIStar(sorted_costs);
+  const size_t r_min = CeilDiv(m, k - 1);  // Theorem 2 lower end
+
+  size_t r = 0;
+  if (m % (i_star - 1) == 0) {
+    // Corollary 1: the lower bound is achieved exactly.
+    r = m / (i_star - 1);
+  } else {
+    const size_t r_floor = m / (i_star - 1);
+    const size_t r_ceil = r_floor + 1;
+    if (r_floor < r_min) {
+      // Only the ceiling candidate is feasible (r >= ⌈m/(k−1)⌉). Since
+      // i* <= k, ⌈m/(i*−1)⌉ >= ⌈m/(k−1)⌉ always holds.
+      r = r_ceil;
+    } else {
+      const double cost_floor = CanonicalCost(m, r_floor, sorted_costs);
+      const double cost_ceil = CanonicalCost(m, r_ceil, sorted_costs);
+      r = cost_floor <= cost_ceil ? r_floor : r_ceil;
+    }
+  }
+  SCEC_CHECK_GE(r, r_min);
+  SCEC_CHECK_LE(r, m);
+  return Allocation::FromShape(m, r, sorted_costs, "TA1");
+}
+
+}  // namespace scec

@@ -1,0 +1,22 @@
+// SPDX-License-Identifier: MIT
+//
+// Task Allocation Algorithm 1 (Algorithm 1, §IV-A1). O(k).
+//
+// Strategy (Theorem 4): the cost c(r) of the Lemma-2 canonical allocation is
+// non-increasing for r ≤ ⌊m/(i*−1)⌋ and non-decreasing for r ≥ ⌈m/(i*−1)⌉,
+// so the optimum is at r = m/(i*−1) when integral (Corollary 1, meets the
+// lower bound), else at ⌊m/(i*−1)⌋ or ⌈m/(i*−1)⌉ — clipped into the feasible
+// range [⌈m/(k−1)⌉, m] of Theorem 2.
+
+#pragma once
+
+#include "allocation/allocation.h"
+#include "common/error.h"
+
+namespace scec {
+
+// Preconditions: m >= 1, sorted_costs ascending with k >= 2 positive entries.
+// Returns kInfeasible if k < 2.
+Result<Allocation> RunTA1(size_t m, const std::vector<double>& sorted_costs);
+
+}  // namespace scec

@@ -1,0 +1,37 @@
+// SPDX-License-Identifier: MIT
+
+#include "allocation/ta2.h"
+
+#include "common/check.h"
+
+namespace scec {
+
+Result<Allocation> RunTA2(size_t m, const std::vector<double>& sorted_costs) {
+  if (m < 1) return InvalidArgument("TA2: m must be >= 1");
+  const size_t k = sorted_costs.size();
+  if (k < 2) return Infeasible("TA2: need at least two edge devices");
+
+  // Prefix sums: prefix[i] = Σ_{j=1}^{i} c_j (1-based count).
+  std::vector<double> prefix(k + 1, 0.0);
+  for (size_t j = 0; j < k; ++j) prefix[j + 1] = prefix[j] + sorted_costs[j];
+
+  const size_t r_min = CeilDiv(m, k - 1);
+  size_t best_r = 0;
+  double best_cost = 0.0;
+  for (size_t r = r_min; r <= m; ++r) {
+    const size_t i = CeilDiv(m + r, r);
+    SCEC_CHECK_GE(i, 2u);
+    SCEC_CHECK_LE(i, k);
+    const double cost =
+        static_cast<double>(r) * prefix[i - 1] +
+        static_cast<double>(m - (i - 2) * r) * sorted_costs[i - 1];
+    if (best_r == 0 || cost < best_cost) {
+      best_r = r;
+      best_cost = cost;
+    }
+  }
+  SCEC_CHECK_GE(best_r, 1u);
+  return Allocation::FromShape(m, best_r, sorted_costs, "TA2");
+}
+
+}  // namespace scec

@@ -1,0 +1,20 @@
+// SPDX-License-Identifier: MIT
+//
+// Task Allocation Algorithm 2 (Algorithm 2, §IV-A2). O(m + k).
+//
+// Exhaustive search over the feasible range of r from Theorem 2,
+// ⌈m/(k−1)⌉ ≤ r ≤ m, evaluating the canonical Lemma-2 cost for each r with
+// prefix sums so the whole sweep is linear. Kept intentionally independent
+// of TA1: the test suite cross-validates the two optimal algorithms against
+// each other and against brute force.
+
+#pragma once
+
+#include "allocation/allocation.h"
+#include "common/error.h"
+
+namespace scec {
+
+Result<Allocation> RunTA2(size_t m, const std::vector<double>& sorted_costs);
+
+}  // namespace scec

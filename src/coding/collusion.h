@@ -1,0 +1,67 @@
+// SPDX-License-Identifier: MIT
+//
+// EXTENSION (the paper's stated future work, §VI): coding that stays secure
+// when up to t edge devices collude.
+//
+// The structured Eq. (8) design is 1-private only: device s_1 holds the pads
+// in the clear, so s_1 colluding with any s_j recovers rows of A by
+// subtraction. For t-privacy we switch to a randomized design over GF(p):
+//
+//     B = [ D | G ],   D = [E_m; O_{r,m}]  (data part),
+//                      G  = (m+r)×r with i.i.d. uniform entries (pad part).
+//
+// Sufficient condition for t-privacy (proved in DESIGN.md §5, checked
+// exactly here): for every union S of ≤ t devices, any nonzero combination
+// of B_S's rows with zero pad part must also have zero data part. With the
+// Lemma-1-style cap  Σ_{j∈S} V(B_j) ≤ r  for every t-subset — i.e. per-device
+// load ≤ ⌊r/t⌋ under equal loads — a uniform G makes every such G_S full row
+// rank with probability ≥ 1 − (m+r)·t/p, so rejection sampling terminates
+// immediately for p = 2^61−1.
+//
+// Decoding uses the general Gaussian decoder (B is no longer structured).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coding/lcec.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "field/gf_prime.h"
+#include "linalg/matrix.h"
+
+namespace scec {
+
+struct CollusionCodeParams {
+  size_t m = 0;          // data rows
+  size_t t = 1;          // collusion threshold (t >= 1)
+  size_t r = 0;          // pad rows; per-device cap is ⌊r/t⌋
+  size_t max_attempts = 16;  // rejection-sampling retries for full rank
+};
+
+struct CollusionCode {
+  CollusionCodeParams params;
+  LcecScheme scheme;       // per-device row counts (each ≤ ⌊r/t⌋)
+  Matrix<Gf61> b;          // the (m+r)×(m+r) encoding matrix [D | G]
+};
+
+// Plans the cheapest t-private allocation over ascending unit costs: every
+// participating device gets at most cap = ⌊r/t⌋ rows, filled cheapest-first.
+// Returns kInfeasible when k·cap < m + r.
+Result<std::vector<size_t>> PlanCollusionRowCounts(
+    size_t m, size_t r, size_t t, size_t k);
+
+// Builds (and verifies) a t-private code. Verification: availability via
+// exact rank, and t-privacy via exhaustive subset checking when the number
+// of subsets is small (≤ subset_check_limit), else via the sufficient
+// pad-rank condition on every t-subset of the heaviest devices.
+Result<CollusionCode> BuildCollusionCode(const CollusionCodeParams& params,
+                                         const std::vector<size_t>& row_counts,
+                                         ChaCha20Rng& rng);
+
+// Exact t-privacy check: for every subset S with |S| ≤ t, the span of B_S
+// intersects the data span trivially. Exponential in t; callers cap size.
+bool VerifyCollusionPrivacy(const CollusionCode& code, size_t t);
+
+}  // namespace scec

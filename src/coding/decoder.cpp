@@ -1,0 +1,34 @@
+// SPDX-License-Identifier: MIT
+
+#include "coding/decoder.h"
+
+#include "field/gf_prime.h"
+
+namespace scec {
+
+template std::vector<double> ConcatenateResponses<double>(
+    const LcecScheme&, const std::vector<std::vector<double>>&);
+template std::vector<Gf61> ConcatenateResponses<Gf61>(
+    const LcecScheme&, const std::vector<std::vector<Gf61>>&);
+
+template std::vector<double> SubtractionDecode<double>(
+    const StructuredCode&, std::span<const double>);
+template std::vector<Gf61> SubtractionDecode<Gf61>(const StructuredCode&,
+                                                   std::span<const Gf61>);
+
+template Result<std::vector<double>> GaussianDecode<double>(
+    const Matrix<double>&, size_t, std::vector<double>);
+template Result<std::vector<Gf61>> GaussianDecode<Gf61>(const Matrix<Gf61>&,
+                                                        size_t,
+                                                        std::vector<Gf61>);
+
+// GF(2^8) instantiations: byte-aligned payloads (e.g. coded shares of raw
+// binary blobs) use the same protocol verbatim.
+template std::vector<Gf256> ConcatenateResponses<Gf256>(
+    const LcecScheme&, const std::vector<std::vector<Gf256>>&);
+template std::vector<Gf256> SubtractionDecode<Gf256>(
+    const StructuredCode&, std::span<const Gf256>);
+template Result<std::vector<Gf256>> GaussianDecode<Gf256>(
+    const Matrix<Gf256>&, size_t, std::vector<Gf256>);
+
+}  // namespace scec

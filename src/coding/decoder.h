@@ -1,0 +1,70 @@
+// SPDX-License-Identifier: MIT
+//
+// User-side decoders.
+//
+// SubtractionDecoder — the paper's O(m) decode (§IV-B): with the structured
+// B of Eq. (8), the concatenated responses y = B·T·x satisfy
+//     y[q]     = R_q · x                    (q < r)
+//     y[r + p] = (A_p + R_{p mod r}) · x    (p < m)
+// so  A_p·x = y[r+p] − y[p mod r]  — exactly m subtractions.
+//
+// GaussianDecoder — general fallback for ANY full-rank B: solves B·z = y and
+// returns the first m entries of z = T·x. O((m+r)^3); exists to (a) decode
+// the randomized t-collusion codes, and (b) serve as the baseline in the
+// decoding-complexity benchmark backing the paper's low-complexity claim.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "coding/encoding_matrix.h"
+#include "common/error.h"
+#include "linalg/elimination.h"
+
+namespace scec {
+
+// Reassembles the full response vector y = B·T·x from per-device chunks in
+// scheme order.
+template <typename T>
+std::vector<T> ConcatenateResponses(
+    const LcecScheme& scheme, const std::vector<std::vector<T>>& responses) {
+  SCEC_CHECK_EQ(responses.size(), scheme.num_devices());
+  std::vector<T> y;
+  y.reserve(scheme.total_rows());
+  for (size_t device = 0; device < responses.size(); ++device) {
+    SCEC_CHECK_EQ(responses[device].size(), scheme.row_counts[device]);
+    y.insert(y.end(), responses[device].begin(), responses[device].end());
+  }
+  return y;
+}
+
+// O(m) structured decode. y.size() must be m + r.
+template <typename T>
+std::vector<T> SubtractionDecode(const StructuredCode& code,
+                                 std::span<const T> y) {
+  SCEC_CHECK_EQ(y.size(), code.total_rows());
+  const size_t m = code.m();
+  const size_t r = code.r();
+  std::vector<T> ax(m);
+  for (size_t p = 0; p < m; ++p) ax[p] = y[r + p] - y[p % r];
+  return ax;
+}
+
+// General decode for an arbitrary full-rank encoding matrix `b` (n×n where
+// n = m + r): solves b·z = y, returns z[0..m). kDecodeFailure if singular.
+template <typename T>
+Result<std::vector<T>> GaussianDecode(const Matrix<T>& b, size_t m,
+                                      std::vector<T> y) {
+  SCEC_CHECK_EQ(b.rows(), b.cols());
+  SCEC_CHECK_EQ(b.rows(), y.size());
+  SCEC_CHECK_LE(m, b.rows());
+  auto solution = Solve(b, std::move(y));
+  if (!solution.has_value()) {
+    return DecodeFailure("encoding matrix is singular");
+  }
+  solution->resize(m);
+  return *std::move(solution);
+}
+
+}  // namespace scec

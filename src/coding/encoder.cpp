@@ -1,0 +1,34 @@
+// SPDX-License-Identifier: MIT
+//
+// Explicit instantiations of the encoder templates for the two scalar types
+// used across the library, keeping template bloat out of client TUs.
+
+#include "coding/encoder.h"
+
+namespace scec {
+
+template Matrix<double> GeneratePadRows<double>(size_t, size_t, ChaCha20Rng&);
+template Matrix<Gf61> GeneratePadRows<Gf61>(size_t, size_t, ChaCha20Rng&);
+template Matrix<Gf256> GeneratePadRows<Gf256>(size_t, size_t, ChaCha20Rng&);
+template std::vector<DeviceShare<Gf256>> EncodeShares<Gf256>(
+    const StructuredCode&, const LcecScheme&, const Matrix<Gf256>&,
+    const Matrix<Gf256>&);
+template EncodedDeployment<Gf256> EncodeDeployment<Gf256>(
+    const StructuredCode&, const LcecScheme&, const Matrix<Gf256>&,
+    ChaCha20Rng&);
+
+template std::vector<DeviceShare<double>> EncodeShares<double>(
+    const StructuredCode&, const LcecScheme&, const Matrix<double>&,
+    const Matrix<double>&);
+template std::vector<DeviceShare<Gf61>> EncodeShares<Gf61>(
+    const StructuredCode&, const LcecScheme&, const Matrix<Gf61>&,
+    const Matrix<Gf61>&);
+
+template EncodedDeployment<double> EncodeDeployment<double>(
+    const StructuredCode&, const LcecScheme&, const Matrix<double>&,
+    ChaCha20Rng&);
+template EncodedDeployment<Gf61> EncodeDeployment<Gf61>(
+    const StructuredCode&, const LcecScheme&, const Matrix<Gf61>&,
+    ChaCha20Rng&);
+
+}  // namespace scec

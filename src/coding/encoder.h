@@ -1,0 +1,104 @@
+// SPDX-License-Identifier: MIT
+//
+// Cloud-side encoder: generates the r random rows and produces each device's
+// coded matrix B_j·T without materialising B (structural encoding: every
+// coded row is either R_q or A_p + R_{p mod r}, so the whole encode is
+// O((m+r)·l) additions).
+//
+// Randomness: the pads default to ChaCha20 (see rng.h) — ITS requires
+// uniform, unpredictable pad rows.
+
+#pragma once
+
+#include <vector>
+
+#include "coding/encoding_matrix.h"
+#include "coding/lcec.h"
+#include "common/rng.h"
+#include "field/field_traits.h"
+#include "linalg/matrix.h"
+
+namespace scec {
+
+// The coded payload shipped to one device.
+template <typename T>
+struct DeviceShare {
+  size_t device = 0;        // index within the scheme (0-based)
+  Matrix<T> coded_rows;     // B_j · T, V(B_j) × l
+};
+
+// Generates r uniformly random pad rows of width l.
+template <typename T>
+Matrix<T> GeneratePadRows(size_t r, size_t l, ChaCha20Rng& rng) {
+  Matrix<T> pads(r, l);
+  for (size_t row = 0; row < r; ++row) {
+    for (size_t col = 0; col < l; ++col) {
+      pads(row, col) = FieldTraits<T>::Random(rng);
+    }
+  }
+  return pads;
+}
+
+// Encodes one coded row given the spec (A_p + R_q or R_q).
+template <typename T>
+std::vector<T> EncodeRow(const Matrix<T>& a, const Matrix<T>& pads,
+                         const CodedRowSpec& spec) {
+  const size_t l = a.cols();
+  SCEC_CHECK_EQ(pads.cols(), l);
+  std::vector<T> row(l);
+  auto pad = pads.Row(spec.random_row);
+  if (spec.data_row.has_value()) {
+    auto data = a.Row(*spec.data_row);
+    for (size_t col = 0; col < l; ++col) row[col] = data[col] + pad[col];
+  } else {
+    for (size_t col = 0; col < l; ++col) row[col] = pad[col];
+  }
+  return row;
+}
+
+// Full encode: all device shares for a scheme. `a` is the m×l data matrix.
+template <typename T>
+std::vector<DeviceShare<T>> EncodeShares(const StructuredCode& code,
+                                         const LcecScheme& scheme,
+                                         const Matrix<T>& a,
+                                         const Matrix<T>& pads) {
+  code.CheckScheme(scheme);
+  SCEC_CHECK_EQ(a.rows(), code.m());
+  SCEC_CHECK_EQ(pads.rows(), code.r());
+  SCEC_CHECK_EQ(pads.cols(), a.cols());
+  std::vector<DeviceShare<T>> shares;
+  shares.reserve(scheme.num_devices());
+  size_t next_row = 0;
+  for (size_t device = 0; device < scheme.num_devices(); ++device) {
+    const size_t count = scheme.row_counts[device];
+    DeviceShare<T> share;
+    share.device = device;
+    share.coded_rows = Matrix<T>(count, a.cols());
+    for (size_t row = 0; row < count; ++row) {
+      const CodedRowSpec spec = code.RowSpec(next_row++);
+      share.coded_rows.SetRow(row, EncodeRow(a, pads, spec));
+    }
+    shares.push_back(std::move(share));
+  }
+  SCEC_CHECK_EQ(next_row, code.total_rows());
+  return shares;
+}
+
+// Convenience: encode with freshly generated pads.
+template <typename T>
+struct EncodedDeployment {
+  Matrix<T> pads;                        // R (r × l) — stays at the cloud
+  std::vector<DeviceShare<T>> shares;    // one per participating device
+};
+
+template <typename T>
+EncodedDeployment<T> EncodeDeployment(const StructuredCode& code,
+                                      const LcecScheme& scheme,
+                                      const Matrix<T>& a, ChaCha20Rng& rng) {
+  EncodedDeployment<T> out;
+  out.pads = GeneratePadRows<T>(code.r(), a.cols(), rng);
+  out.shares = EncodeShares(code, scheme, a, out.pads);
+  return out;
+}
+
+}  // namespace scec

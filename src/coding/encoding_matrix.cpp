@@ -1,0 +1,38 @@
+// SPDX-License-Identifier: MIT
+
+#include "coding/encoding_matrix.h"
+
+namespace scec {
+
+// Non-aborting variant of StructuredCode::CheckScheme for API boundaries:
+// callers that receive untrusted scheme descriptions (e.g. deserialised from
+// a network peer in the simulator) validate with a Status instead of a CHECK.
+Status ValidateSchemeForCode(const StructuredCode& code,
+                             const LcecScheme& scheme) {
+  if (scheme.m != code.m()) {
+    return InvalidArgument("scheme.m does not match code.m");
+  }
+  if (scheme.r != code.r()) {
+    return InvalidArgument("scheme.r does not match code.r");
+  }
+  if (scheme.m < 1 || scheme.r < 1) {
+    return InvalidArgument("scheme requires m >= 1 and r >= 1");
+  }
+  size_t total = 0;
+  for (size_t count : scheme.row_counts) {
+    if (count == 0) {
+      return InvalidArgument("participating device with zero rows");
+    }
+    if (count > scheme.r) {
+      return SecurityViolation(
+          "device holds more rows than r: violates Lemma 1 bound");
+    }
+    total += count;
+  }
+  if (total != scheme.m + scheme.r) {
+    return InvalidArgument("row counts do not sum to m + r");
+  }
+  return Status::Ok();
+}
+
+}  // namespace scec

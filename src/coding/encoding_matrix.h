@@ -1,0 +1,127 @@
+// SPDX-License-Identifier: MIT
+//
+// The structured encoding coefficient matrix B of Eq. (8):
+//
+//        ┌                  ┐
+//        │ O_{r,m}   E_r    │   ← r pure-random rows  (device s_1)
+//   B =  │ E_m       E_{m,r}│   ← m mixed rows        (devices s_2 … s_i)
+//        └                  ┘
+//
+// where E_{m,r} stacks copies of E_r (truncated at the bottom), so row r+p
+// of B encodes  A_p + R_{p mod r}  (0-based p). Three consequences exploited
+// throughout:
+//   * encoding is O((m+r)·l) additions — no dense matrix product;
+//   * decoding is m subtractions:  A_p·x = y[r+p] − y[p mod r];
+//   * any contiguous partition of B's rows into blocks of ≤ r rows is
+//     ITS-secure (Theorem 3 generalised; verified in tests by exact rank
+//     computations over GF(2^61−1)).
+//
+// `RowSpec` is the structural (sparse) description; `DenseB` materialises B
+// over any FieldTraits scalar for verification and the general decoder.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "coding/lcec.h"
+#include "common/check.h"
+#include "common/error.h"
+#include "field/field_traits.h"
+#include "linalg/matrix.h"
+
+namespace scec {
+
+// Which of T's rows combine into coded row `index` of B.
+struct CodedRowSpec {
+  std::optional<size_t> data_row;  // p: row of A, or nullopt for pure random
+  size_t random_row = 0;           // q: row of R (always present)
+};
+
+// Structure of Eq. (8)'s B for given (m, r). Row indexing is 0-based.
+class StructuredCode {
+ public:
+  StructuredCode(size_t m, size_t r) : m_(m), r_(r) {
+    SCEC_CHECK_GE(m, 1u);
+    SCEC_CHECK_GE(r, 1u);
+    SCEC_CHECK_LE(r, m) << "the canonical design uses r <= m (Theorem 2)";
+  }
+
+  size_t m() const { return m_; }
+  size_t r() const { return r_; }
+  size_t total_rows() const { return m_ + r_; }
+
+  CodedRowSpec RowSpec(size_t index) const {
+    SCEC_CHECK_LT(index, total_rows());
+    if (index < r_) return CodedRowSpec{std::nullopt, index};
+    const size_t p = index - r_;
+    return CodedRowSpec{p, p % r_};
+  }
+
+  // The (m+r)×(m+r) dense B, over any supported scalar (entries 0/1).
+  template <typename T>
+  Matrix<T> DenseB() const {
+    const size_t n = total_rows();
+    Matrix<T> b(n, n);
+    const T one = FieldTraits<T>::One();
+    for (size_t row = 0; row < n; ++row) {
+      const CodedRowSpec spec = RowSpec(row);
+      if (spec.data_row.has_value()) b(row, *spec.data_row) = one;
+      b(row, m_ + spec.random_row) = one;
+    }
+    return b;
+  }
+
+  // Device j's coefficient block B_j under the given scheme (dense).
+  template <typename T>
+  Matrix<T> DenseBlock(const LcecScheme& scheme, size_t device) const {
+    CheckScheme(scheme);
+    const size_t start = scheme.BlockStart(device);
+    const size_t count = scheme.row_counts[device];
+    const size_t n = total_rows();
+    Matrix<T> block(count, n);
+    const T one = FieldTraits<T>::One();
+    for (size_t row = 0; row < count; ++row) {
+      const CodedRowSpec spec = RowSpec(start + row);
+      if (spec.data_row.has_value()) block(row, *spec.data_row) = one;
+      block(row, m_ + spec.random_row) = one;
+    }
+    return block;
+  }
+
+  // Validates that a scheme is compatible with this code: covers all rows
+  // and respects the Lemma-1 bound V(B_j) <= r that the structured design
+  // needs for security.
+  void CheckScheme(const LcecScheme& scheme) const {
+    scheme.Validate();
+    SCEC_CHECK_EQ(scheme.m, m_);
+    SCEC_CHECK_EQ(scheme.r, r_);
+    for (size_t count : scheme.row_counts) {
+      SCEC_CHECK_LE(count, r_)
+          << "device holds more than r rows: insecure (Lemma 1)";
+    }
+  }
+
+  // The m×(m+r) matrix λ̄ = [E_m | O_{m,r}] whose row span is the data span.
+  template <typename T>
+  Matrix<T> DataSpanBasis() const {
+    Matrix<T> basis(m_, total_rows());
+    for (size_t row = 0; row < m_; ++row) {
+      basis(row, row) = FieldTraits<T>::One();
+    }
+    return basis;
+  }
+
+ private:
+  size_t m_;
+  size_t r_;
+};
+
+// Non-aborting scheme validation for untrusted inputs (Status instead of
+// SCEC_CHECK). Returns kSecurityViolation when a device would exceed the
+// Lemma-1 bound V(B_j) <= r.
+Status ValidateSchemeForCode(const StructuredCode& code,
+                             const LcecScheme& scheme);
+
+}  // namespace scec

@@ -1,0 +1,55 @@
+// SPDX-License-Identifier: MIT
+
+#include "coding/input_privacy.h"
+
+#include "field/field_traits.h"
+#include "linalg/matrix_ops.h"
+
+namespace scec {
+
+template <typename T>
+InputPad<T> PrepareInputPad(const EncodedDeployment<T>& deployment, size_t l,
+                            ChaCha20Rng& rng) {
+  InputPad<T> pad;
+  pad.z.resize(l);
+  for (auto& e : pad.z) e = FieldTraits<T>::Random(rng);
+  pad.corrections.reserve(deployment.shares.size());
+  for (const DeviceShare<T>& share : deployment.shares) {
+    pad.corrections.push_back(MatVec(share.coded_rows, std::span<const T>(pad.z)));
+  }
+  return pad;
+}
+
+template <typename T>
+std::vector<T> MaskInput(const std::vector<T>& x, const InputPad<T>& pad) {
+  SCEC_CHECK_EQ(x.size(), pad.z.size());
+  return VecAdd(std::span<const T>(x), std::span<const T>(pad.z));
+}
+
+template <typename T>
+std::vector<std::vector<T>> UnmaskResponses(
+    const std::vector<std::vector<T>>& responses, const InputPad<T>& pad) {
+  SCEC_CHECK_EQ(responses.size(), pad.corrections.size());
+  std::vector<std::vector<T>> out;
+  out.reserve(responses.size());
+  for (size_t device = 0; device < responses.size(); ++device) {
+    out.push_back(VecSub(std::span<const T>(responses[device]),
+                         std::span<const T>(pad.corrections[device])));
+  }
+  return out;
+}
+
+template InputPad<double> PrepareInputPad<double>(
+    const EncodedDeployment<double>&, size_t, ChaCha20Rng&);
+template InputPad<Gf61> PrepareInputPad<Gf61>(const EncodedDeployment<Gf61>&,
+                                              size_t, ChaCha20Rng&);
+template std::vector<double> MaskInput<double>(const std::vector<double>&,
+                                               const InputPad<double>&);
+template std::vector<Gf61> MaskInput<Gf61>(const std::vector<Gf61>&,
+                                           const InputPad<Gf61>&);
+template std::vector<std::vector<double>> UnmaskResponses<double>(
+    const std::vector<std::vector<double>>&, const InputPad<double>&);
+template std::vector<std::vector<Gf61>> UnmaskResponses<Gf61>(
+    const std::vector<std::vector<Gf61>>&, const InputPad<Gf61>&);
+
+}  // namespace scec

@@ -1,0 +1,55 @@
+// SPDX-License-Identifier: MIT
+//
+// EXTENSION: protecting the *input vector* x as well as the data matrix A.
+//
+// The paper protects A and notes (§II-B) that x-protection "can also be
+// extended ... in future work". We implement the natural one-time-pad
+// protocol over GF(p):
+//
+//   Offline (trusted cloud, once per pad):
+//     sample z uniform in GF(p)^l; compute and hand the user the correction
+//     vectors  u_j = B_j·T·z  (one value per coded row, m+r values total).
+//   Online (user):
+//     send x' = x + z to the devices (x' is uniform ⇒ devices learn nothing
+//     about x, information-theoretically);
+//     receive  B_j·T·x' ; compute  B_j·T·x = response − u_j ; decode as
+//     usual with the O(m) subtraction decoder.
+//
+// Works only over a finite field — over the reals a shifted vector is not
+// uniform, so the double instantiation exists for plumbing tests but gives
+// *computational obfuscation at best*, which the doc comments flag loudly.
+
+#pragma once
+
+#include <vector>
+
+#include "coding/decoder.h"
+#include "coding/encoder.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace scec {
+
+// One prepared pad: z and its per-device corrections. Single use — reusing a
+// pad across two inputs leaks their difference (standard OTP rule).
+template <typename T>
+struct InputPad {
+  std::vector<T> z;                          // l
+  std::vector<std::vector<T>> corrections;   // per device: B_j·T·z
+};
+
+// Prepares a pad from the cloud-side deployment (which still has T around).
+template <typename T>
+InputPad<T> PrepareInputPad(const EncodedDeployment<T>& deployment, size_t l,
+                            ChaCha20Rng& rng);
+
+// User side: mask the query.
+template <typename T>
+std::vector<T> MaskInput(const std::vector<T>& x, const InputPad<T>& pad);
+
+// User side: strip the corrections from raw device responses.
+template <typename T>
+std::vector<std::vector<T>> UnmaskResponses(
+    const std::vector<std::vector<T>>& responses, const InputPad<T>& pad);
+
+}  // namespace scec

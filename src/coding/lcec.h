@@ -1,0 +1,67 @@
+// SPDX-License-Identifier: MIT
+//
+// LCEC — Linear Code for Edge Computing (Definition 1 of the paper).
+//
+// An (m+r)-dimensional LCEC is described by the encoding coefficient matrix
+// B = [B_1; …; B_k] over the rows of T = [A; R]. `LcecScheme` captures the
+// partition of B's m+r rows across devices; concrete constructions (the
+// structured Eq. (8) design, the t-collusion randomized design) produce one.
+
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+
+namespace scec {
+
+// Describes which contiguous rows of B belong to which device.
+struct LcecScheme {
+  size_t m = 0;          // data rows
+  size_t r = 0;          // random rows
+  // row_counts[j] = V(B_j) for participating devices only (all > 0);
+  // Σ row_counts = m + r.
+  std::vector<size_t> row_counts;
+
+  size_t num_devices() const { return row_counts.size(); }
+  size_t total_rows() const { return m + r; }
+  size_t code_width() const { return m + r; }  // B is (m+r) × (m+r)
+
+  // First row index (within B) of device j's block.
+  size_t BlockStart(size_t device) const {
+    SCEC_CHECK_LT(device, row_counts.size());
+    size_t start = 0;
+    for (size_t j = 0; j < device; ++j) start += row_counts[j];
+    return start;
+  }
+
+  void Validate() const {
+    SCEC_CHECK_GE(m, 1u);
+    SCEC_CHECK_GE(r, 1u);
+    size_t total = 0;
+    for (size_t count : row_counts) {
+      SCEC_CHECK_GE(count, 1u) << "participating devices must hold rows";
+      total += count;
+    }
+    SCEC_CHECK_EQ(total, m + r) << "row counts must cover B exactly";
+  }
+};
+
+// Builds the scheme layout from an Allocation's canonical shape: devices with
+// zero rows are dropped; device 1 (cheapest) holds the r pure-random rows.
+// See encoding_matrix.h for the row semantics.
+inline LcecScheme SchemeFromRowCounts(size_t m, size_t r,
+                                      const std::vector<size_t>& per_device) {
+  LcecScheme scheme;
+  scheme.m = m;
+  scheme.r = r;
+  for (size_t count : per_device) {
+    if (count > 0) scheme.row_counts.push_back(count);
+  }
+  scheme.Validate();
+  return scheme;
+}
+
+}  // namespace scec

@@ -1,0 +1,78 @@
+// SPDX-License-Identifier: MIT
+
+#include "coding/security_check.h"
+
+#include <sstream>
+
+#include "linalg/elimination.h"
+
+namespace scec {
+
+std::string SchemeSecurityReport::Summary() const {
+  std::ostringstream os;
+  os << "availability=" << (available ? "OK" : "FAIL") << " (rank(B)="
+     << b_rank << "), security=" << (all_secure ? "OK" : "FAIL");
+  for (const DeviceSecurityReport& d : devices) {
+    if (!d.secure()) {
+      os << " [device " << d.device << " leaks dim=" << d.intersection_dim
+         << "]";
+    }
+  }
+  return os.str();
+}
+
+SchemeSecurityReport VerifyEncodingMatrix(
+    const Matrix<Gf61>& b, size_t m, const std::vector<size_t>& row_counts) {
+  SCEC_CHECK_EQ(b.rows(), b.cols());
+  size_t total = 0;
+  for (size_t count : row_counts) total += count;
+  SCEC_CHECK_EQ(total, b.rows());
+  SCEC_CHECK_LE(m, b.cols());
+  const size_t n = b.rows();
+
+  SchemeSecurityReport report;
+  report.b_rank = RankOf(b);
+  report.available = report.b_rank == n;
+
+  // Data span basis λ̄ = [E_m | O].
+  Matrix<Gf61> lambda(m, n);
+  for (size_t row = 0; row < m; ++row) lambda(row, row) = Gf61::One();
+
+  report.all_secure = true;
+  size_t start = 0;
+  for (size_t device = 0; device < row_counts.size(); ++device) {
+    const size_t count = row_counts[device];
+    Matrix<Gf61> block = b.RowSlice(start, count);
+    start += count;
+
+    DeviceSecurityReport dev;
+    dev.device = device;
+    dev.rows = count;
+    dev.rank = RankOf(block);
+    dev.intersection_dim = SpanIntersectionDim(block, lambda);
+    if (!dev.secure()) report.all_secure = false;
+    report.devices.push_back(dev);
+  }
+  return report;
+}
+
+SchemeSecurityReport VerifyStructuredScheme(const StructuredCode& code,
+                                            const LcecScheme& scheme) {
+  code.CheckScheme(scheme);
+  return VerifyEncodingMatrix(code.DenseB<Gf61>(), code.m(),
+                              scheme.row_counts);
+}
+
+Status CheckSchemeSecure(const StructuredCode& code,
+                         const LcecScheme& scheme) {
+  const SchemeSecurityReport report = VerifyStructuredScheme(code, scheme);
+  if (!report.available) {
+    return DecodeFailure("availability violated: B not full rank");
+  }
+  if (!report.all_secure) {
+    return SecurityViolation(report.Summary());
+  }
+  return Status::Ok();
+}
+
+}  // namespace scec

@@ -1,0 +1,57 @@
+// SPDX-License-Identifier: MIT
+//
+// Verification of the paper's two conditions for an LCEC:
+//
+//   Availability (Def. 1): B is full rank ⇒ the user can decode A·x.
+//   Security (Def. 2, ITS): H(A | B_j·T) = H(A) for every device, which by
+//   [Cai & Chan 2011] is equivalent to dim( L(B_j) ∩ L([E_m | 0]) ) = 0.
+//
+// All checks run over the exact field GF(2^61−1) — B's entries are 0/1 so
+// its rank is field-independent for any field of characteristic > 2 (and we
+// additionally cross-check characteristic-2 corner cases in tests).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coding/encoding_matrix.h"
+#include "common/error.h"
+#include "field/gf_prime.h"
+#include "linalg/matrix.h"
+
+namespace scec {
+
+struct DeviceSecurityReport {
+  size_t device = 0;
+  size_t rows = 0;                 // V(B_j)
+  size_t rank = 0;                 // rank(B_j)
+  size_t intersection_dim = 0;     // dim(L(B_j) ∩ L(λ̄)); 0 ⇔ ITS holds
+  bool secure() const { return intersection_dim == 0; }
+};
+
+struct SchemeSecurityReport {
+  bool available = false;          // B full rank
+  bool all_secure = false;         // every device passes ITS
+  size_t b_rank = 0;
+  std::vector<DeviceSecurityReport> devices;
+
+  bool Valid() const { return available && all_secure; }
+  std::string Summary() const;
+};
+
+// Verifies the structured Eq. (8) code under the given scheme.
+SchemeSecurityReport VerifyStructuredScheme(const StructuredCode& code,
+                                            const LcecScheme& scheme);
+
+// Verifies an arbitrary encoding matrix `b` ((m+r)×(m+r) over GF(2^61−1))
+// partitioned by `row_counts` (must sum to m+r). `m` identifies the data
+// span [E_m | 0].
+SchemeSecurityReport VerifyEncodingMatrix(const Matrix<Gf61>& b, size_t m,
+                                          const std::vector<size_t>& row_counts);
+
+// Convenience: Status form for call sites that want to propagate failure.
+Status CheckSchemeSecure(const StructuredCode& code, const LcecScheme& scheme);
+
+}  // namespace scec

@@ -1,0 +1,70 @@
+// SPDX-License-Identifier: MIT
+//
+// Checked assertions for programming errors (contract violations). These are
+// always on (release builds included): the library deals in security claims,
+// so silently continuing past a broken invariant is never acceptable.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace scec::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const std::string& message) {
+  std::fprintf(stderr, "SCEC_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, message.empty() ? "" : " — ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Stream collector so call sites can write SCEC_CHECK(x) << "detail " << v;
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, condition_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+// Voidifier lets the macro expand to an expression of type void in both arms.
+struct Voidify {
+  void operator&(const CheckMessageBuilder&) {}
+};
+
+}  // namespace scec::internal
+
+#define SCEC_CHECK(condition)                                       \
+  (condition) ? (void)0                                             \
+              : ::scec::internal::Voidify() &                       \
+                    ::scec::internal::CheckMessageBuilder(          \
+                        __FILE__, __LINE__, #condition)
+
+#define SCEC_CHECK_EQ(a, b) SCEC_CHECK((a) == (b))
+#define SCEC_CHECK_NE(a, b) SCEC_CHECK((a) != (b))
+#define SCEC_CHECK_LT(a, b) SCEC_CHECK((a) < (b))
+#define SCEC_CHECK_LE(a, b) SCEC_CHECK((a) <= (b))
+#define SCEC_CHECK_GT(a, b) SCEC_CHECK((a) > (b))
+#define SCEC_CHECK_GE(a, b) SCEC_CHECK((a) >= (b))
+
+// Marks unreachable code paths.
+#define SCEC_UNREACHABLE() \
+  ::scec::internal::CheckFailed(__FILE__, __LINE__, "unreachable", "")

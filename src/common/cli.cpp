@@ -1,0 +1,127 @@
+// SPDX-License-Identifier: MIT
+
+#include "common/cli.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace scec {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::AddInt(const std::string& name, int64_t* target,
+                       const std::string& help) {
+  flags_.push_back(Flag{name, help, std::to_string(*target), false,
+                        [target](const std::string& v) {
+                          return ParseInt64(v, target);
+                        }});
+}
+
+void CliParser::AddUint(const std::string& name, uint64_t* target,
+                        const std::string& help) {
+  flags_.push_back(Flag{name, help, std::to_string(*target), false,
+                        [target](const std::string& v) {
+                          return ParseUint64(v, target);
+                        }});
+}
+
+void CliParser::AddDouble(const std::string& name, double* target,
+                          const std::string& help) {
+  flags_.push_back(Flag{name, help, FormatDouble(*target), false,
+                        [target](const std::string& v) {
+                          return ParseDouble(v, target);
+                        }});
+}
+
+void CliParser::AddString(const std::string& name, std::string* target,
+                          const std::string& help) {
+  flags_.push_back(Flag{name, help, *target, false,
+                        [target](const std::string& v) {
+                          *target = v;
+                          return true;
+                        }});
+}
+
+void CliParser::AddBool(const std::string& name, bool* target,
+                        const std::string& help) {
+  flags_.push_back(Flag{name, help, *target ? "true" : "false", true,
+                        [target](const std::string& v) {
+                          if (v == "true" || v == "1" || v.empty()) {
+                            *target = true;
+                          } else if (v == "false" || v == "0") {
+                            *target = false;
+                          } else {
+                            return false;
+                          }
+                          return true;
+                        }});
+}
+
+const CliParser::Flag* CliParser::FindFlag(const std::string& name) const {
+  for (const Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+bool CliParser::Parse(int argc, const char* const* argv) {
+  for (int idx = 1; idx < argc; ++idx) {
+    std::string arg = argv[idx];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(Usage().c_str(), stderr);
+      return false;
+    }
+    if (!StartsWith(arg, "--")) {
+      std::fprintf(stderr, "%s: unexpected positional argument '%s'\n%s",
+                   program_.c_str(), arg.c_str(), Usage().c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    const Flag* flag = FindFlag(name);
+    if (flag == nullptr) {
+      std::fprintf(stderr, "%s: unknown flag '--%s'\n%s", program_.c_str(),
+                   name.c_str(), Usage().c_str());
+      return false;
+    }
+    if (!has_value && !flag->is_bool) {
+      if (idx + 1 >= argc) {
+        std::fprintf(stderr, "%s: flag '--%s' expects a value\n",
+                     program_.c_str(), name.c_str());
+        return false;
+      }
+      value = argv[++idx];
+      has_value = true;
+    }
+    if (!flag->setter(value)) {
+      std::fprintf(stderr, "%s: bad value '%s' for flag '--%s'\n",
+                   program_.c_str(), value.c_str(), name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CliParser::Usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const Flag& flag : flags_) {
+    os << "  --" << flag.name << (flag.is_bool ? "" : " <value>") << "\n"
+       << "      " << flag.help << " (default: " << flag.default_repr
+       << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace scec

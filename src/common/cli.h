@@ -1,0 +1,58 @@
+// SPDX-License-Identifier: MIT
+//
+// Tiny declarative command-line parser for examples and bench harnesses.
+//
+//   scec::CliParser cli("fig2a", "Reproduce Fig. 2(a)");
+//   int64_t k = 25;
+//   cli.AddInt("k", &k, "number of edge devices");
+//   if (!cli.Parse(argc, argv)) return 1;   // prints usage on --help / error
+//
+// Flags are --name=value or --name value; booleans accept bare --name.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace scec {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  void AddInt(const std::string& name, int64_t* target,
+              const std::string& help);
+  void AddUint(const std::string& name, uint64_t* target,
+               const std::string& help);
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+
+  // Returns true if execution should continue; false on --help or parse
+  // error (usage or the error is printed to stderr).
+  bool Parse(int argc, const char* const* argv);
+
+  std::string Usage() const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string help;
+    std::string default_repr;
+    bool is_bool = false;
+    // Returns false if the value does not parse.
+    std::function<bool(const std::string&)> setter;
+  };
+
+  const Flag* FindFlag(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace scec

@@ -1,0 +1,98 @@
+// SPDX-License-Identifier: MIT
+
+#include "common/csv.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace scec {
+
+std::string CsvEscape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t idx = 0; idx < fields.size(); ++idx) {
+    if (idx > 0) os_ << ',';
+    os_ << CsvEscape(fields[idx]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::WriteNumericRow(const std::string& label,
+                                const std::vector<double>& values,
+                                int digits) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size() + 1);
+  fields.push_back(label);
+  for (double v : values) fields.push_back(FormatDouble(v, digits));
+  WriteRow(fields);
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SCEC_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  SCEC_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddNumericRow(const std::string& label,
+                                 const std::vector<double>& vals, int digits) {
+  std::vector<std::string> row;
+  row.reserve(vals.size() + 1);
+  row.push_back(label);
+  for (double v : vals) row.push_back(FormatDouble(v, digits));
+  AddRow(std::move(row));
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t col = 0; col < header_.size(); ++col) {
+    widths[col] = header_[col].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t col = 0; col < row.size(); ++col) {
+      widths[col] = std::max(widths[col], row[col].size());
+    }
+  }
+  std::string out;
+  for (size_t col = 0; col < header_.size(); ++col) {
+    if (col > 0) out += "  ";
+    out += PadRight(header_[col], widths[col]);
+  }
+  out += '\n';
+  size_t total = 0;
+  for (size_t col = 0; col < widths.size(); ++col) {
+    total += widths[col] + (col > 0 ? 2 : 0);
+  }
+  out += std::string(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t col = 0; col < row.size(); ++col) {
+      if (col > 0) out += "  ";
+      // Right-align all but the first (label) column.
+      out += col == 0 ? PadRight(row[col], widths[col])
+                      : PadLeft(row[col], widths[col]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void TablePrinter::Print(std::ostream& os) const { os << Render(); }
+
+}  // namespace scec

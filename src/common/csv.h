@@ -1,0 +1,50 @@
+// SPDX-License-Identifier: MIT
+//
+// CSV and aligned-table writers for benchmark output. Every figure harness
+// emits both: a paper-style aligned table on stdout and (optionally) a CSV
+// file for plotting.
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace scec {
+
+// Escapes a CSV field per RFC 4180 (quotes fields containing , " or \n).
+std::string CsvEscape(const std::string& field);
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void WriteRow(const std::vector<std::string>& fields);
+
+  // Convenience: mixed string/double row.
+  void WriteNumericRow(const std::string& label,
+                       const std::vector<double>& values, int digits = 8);
+
+ private:
+  std::ostream& os_;
+};
+
+// Column-aligned monospace table, right-aligned numeric columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  void AddNumericRow(const std::string& label, const std::vector<double>& vals,
+                     int digits = 6);
+
+  // Renders with a separator line under the header.
+  std::string Render() const;
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace scec

@@ -1,0 +1,159 @@
+// SPDX-License-Identifier: MIT
+//
+// Lightweight status / expected-value error handling for the SCEC library.
+//
+// The library is exception-free on its hot paths: fallible operations return
+// `Status` or `Result<T>`. Programming errors (precondition violations) go
+// through the SCEC_CHECK macros in check.h instead, which abort.
+
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace scec {
+
+// Error category. Deliberately small: the library distinguishes only the
+// classes of failure a caller can react to differently.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed a value outside the documented domain
+  kFailedPrecondition,// object state does not permit the operation
+  kOutOfRange,        // index / size out of range
+  kInfeasible,        // no solution satisfies the constraints (e.g. k < 2)
+  kSecurityViolation, // a coding scheme failed the ITS condition
+  kDecodeFailure,     // encoding matrix not invertible / inconsistent data
+  kInternal,          // invariant violated inside the library
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+// A cheap, copyable status: OK or (code, message).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(ErrorCodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(ErrorCode::kInvalidArgument, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(ErrorCode::kOutOfRange, std::move(msg));
+}
+inline Status Infeasible(std::string msg) {
+  return Status(ErrorCode::kInfeasible, std::move(msg));
+}
+inline Status SecurityViolation(std::string msg) {
+  return Status(ErrorCode::kSecurityViolation, std::move(msg));
+}
+inline Status DecodeFailure(std::string msg) {
+  return Status(ErrorCode::kDecodeFailure, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(ErrorCode::kInternal, std::move(msg));
+}
+
+// Result<T>: either a value or a non-OK Status. A minimal `expected`.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}       // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) { // NOLINT(runtime/explicit)
+    // A Result must never hold an OK status without a value.
+    if (std::get<Status>(data_).ok()) {
+      data_ = Status(ErrorCode::kInternal,
+                     "Result constructed from OK status without a value");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk{};
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  // Precondition: ok(). Checked via std::get (throws std::bad_variant_access
+  // on misuse, which is a programming error).
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // value_or: returns the stored value or `fallback` if in error state.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// RETURN_IF_ERROR(expr): early-return a non-OK Status.
+#define SCEC_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::scec::Status scec_status_ = (expr);           \
+    if (!scec_status_.ok()) return scec_status_;    \
+  } while (0)
+
+// ASSIGN_OR_RETURN(lhs, rexpr): bind a Result's value or propagate its error.
+#define SCEC_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                               \
+  if (!var.ok()) return var.status();               \
+  lhs = std::move(var).value()
+
+#define SCEC_ASSIGN_CONCAT_INNER(a, b) a##b
+#define SCEC_ASSIGN_CONCAT(a, b) SCEC_ASSIGN_CONCAT_INNER(a, b)
+#define SCEC_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SCEC_ASSIGN_OR_RETURN_IMPL(             \
+      SCEC_ASSIGN_CONCAT(scec_result_, __LINE__), lhs, rexpr)
+
+inline const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kInfeasible: return "INFEASIBLE";
+    case ErrorCode::kSecurityViolation: return "SECURITY_VIOLATION";
+    case ErrorCode::kDecodeFailure: return "DECODE_FAILURE";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace scec

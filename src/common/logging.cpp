@@ -1,0 +1,36 @@
+// SPDX-License-Identifier: MIT
+
+#include "common/logging.h"
+
+#include <iostream>
+
+namespace scec {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = sink;
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  if (level < min_level_) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostream& os = sink_ != nullptr ? *sink_ : std::cerr;
+  os << "[" << LogLevelName(level) << "] " << message << "\n";
+}
+
+}  // namespace scec

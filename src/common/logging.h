@@ -1,0 +1,62 @@
+// SPDX-License-Identifier: MIT
+//
+// Minimal leveled logger. Single global sink (stderr by default); thread-safe
+// enough for this codebase (the simulator is single-threaded; experiments may
+// shard across threads, each writing whole lines).
+
+#pragma once
+
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace scec {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level);
+
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void set_min_level(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+  // Redirect output (tests). Pass nullptr to restore stderr.
+  void set_sink(std::ostream* sink);
+
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  std::mutex mutex_;
+  LogLevel min_level_ = LogLevel::kInfo;
+  std::ostream* sink_ = nullptr;
+};
+
+namespace internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::Instance().Write(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define SCEC_LOG(level) ::scec::internal::LogLine(::scec::LogLevel::level)
+// Usage: SCEC_LOG(kInfo) << "message " << value;
+
+}  // namespace scec

@@ -1,0 +1,85 @@
+// SPDX-License-Identifier: MIT
+
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace scec {
+namespace {
+
+constexpr std::array<uint32_t, 4> kChaChaConstants = {
+    0x61707865u, 0x3320646Eu, 0x79622D32u, 0x6B206574u};  // "expand 32-byte k"
+
+inline uint32_t Rotl32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+inline void QuarterRound(std::array<uint32_t, 16>& s, int a, int b, int c,
+                         int d) {
+  s[a] += s[b]; s[d] ^= s[a]; s[d] = Rotl32(s[d], 16);
+  s[c] += s[d]; s[b] ^= s[c]; s[b] = Rotl32(s[b], 12);
+  s[a] += s[b]; s[d] ^= s[a]; s[d] = Rotl32(s[d], 8);
+  s[c] += s[d]; s[b] ^= s[c]; s[b] = Rotl32(s[b], 7);
+}
+
+}  // namespace
+
+ChaCha20Rng::ChaCha20Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  std::array<uint32_t, 8> key;
+  for (auto& word : key) word = static_cast<uint32_t>(sm.Next());
+  std::array<uint32_t, 3> nonce;
+  for (auto& word : nonce) word = static_cast<uint32_t>(sm.Next());
+  *this = ChaCha20Rng(key, nonce);
+}
+
+ChaCha20Rng::ChaCha20Rng(const std::array<uint32_t, 8>& key,
+                         const std::array<uint32_t, 3>& nonce) {
+  for (size_t i = 0; i < 4; ++i) input_[i] = kChaChaConstants[i];
+  for (size_t i = 0; i < 8; ++i) input_[4 + i] = key[i];
+  input_[12] = 0;  // block counter, set per block
+  for (size_t i = 0; i < 3; ++i) input_[13 + i] = nonce[i];
+  block_.fill(0);
+}
+
+void ChaCha20Rng::GenerateBlock() {
+  input_[12] = counter_++;
+  std::array<uint32_t, 16> working = input_;
+  for (int round = 0; round < 10; ++round) {  // 20 rounds = 10 double rounds
+    QuarterRound(working, 0, 4, 8, 12);
+    QuarterRound(working, 1, 5, 9, 13);
+    QuarterRound(working, 2, 6, 10, 14);
+    QuarterRound(working, 3, 7, 11, 15);
+    QuarterRound(working, 0, 5, 10, 15);
+    QuarterRound(working, 1, 6, 11, 12);
+    QuarterRound(working, 2, 7, 8, 13);
+    QuarterRound(working, 3, 4, 9, 14);
+  }
+  for (size_t i = 0; i < 16; ++i) block_[i] = working[i] + input_[i];
+  block_pos_ = 0;
+}
+
+uint32_t ChaCha20Rng::NextUint32() {
+  if (block_pos_ >= 16) GenerateBlock();
+  return block_[block_pos_++];
+}
+
+uint64_t ChaCha20Rng::NextUint64() {
+  const uint64_t lo = NextUint32();
+  const uint64_t hi = NextUint32();
+  return (hi << 32) | lo;
+}
+
+uint64_t ChaCha20Rng::NextBelow(uint64_t bound) {
+  SCEC_CHECK_GT(bound, 0u);
+  if (bound == 1) return 0;
+  // Rejection sampling on the top multiple of `bound` to avoid modulo bias.
+  const uint64_t limit =
+      std::numeric_limits<uint64_t>::max() -
+      (std::numeric_limits<uint64_t>::max() % bound + 1) % bound;
+  uint64_t draw;
+  do {
+    draw = NextUint64();
+  } while (draw > limit);
+  return draw % bound;
+}
+
+}  // namespace scec

@@ -1,0 +1,141 @@
+// SPDX-License-Identifier: MIT
+
+#include "common/serde.h"
+
+#include <bit>
+#include <cstring>
+
+namespace scec {
+namespace {
+
+static_assert(std::endian::native == std::endian::little ||
+                  std::endian::native == std::endian::big,
+              "mixed-endian platforms unsupported");
+
+template <typename T>
+T ToLittle(T v) {
+  if constexpr (std::endian::native == std::endian::big) {
+    T out;
+    auto* src = reinterpret_cast<const unsigned char*>(&v);
+    auto* dst = reinterpret_cast<unsigned char*>(&out);
+    for (size_t i = 0; i < sizeof(T); ++i) dst[i] = src[sizeof(T) - 1 - i];
+    return out;
+  } else {
+    return v;
+  }
+}
+
+}  // namespace
+
+void BinaryWriter::WriteU8(uint8_t v) {
+  os_.write(reinterpret_cast<const char*>(&v), 1);
+}
+
+void BinaryWriter::WriteU32(uint32_t v) {
+  const uint32_t le = ToLittle(v);
+  os_.write(reinterpret_cast<const char*>(&le), sizeof(le));
+}
+
+void BinaryWriter::WriteU64(uint64_t v) {
+  const uint64_t le = ToLittle(v);
+  os_.write(reinterpret_cast<const char*>(&le), sizeof(le));
+}
+
+void BinaryWriter::WriteDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void BinaryWriter::WriteString(const std::string& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  os_.write(v.data(), static_cast<std::streamsize>(v.size()));
+}
+
+void BinaryWriter::WriteU64Vector(const std::vector<uint64_t>& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  for (uint64_t e : v) WriteU64(e);
+}
+
+void BinaryWriter::WriteSizeVector(const std::vector<size_t>& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  for (size_t e : v) WriteU64(static_cast<uint64_t>(e));
+}
+
+void BinaryWriter::WriteDoubleVector(const std::vector<double>& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  for (double e : v) WriteDouble(e);
+}
+
+Status BinaryReader::ReadBytes(void* dst, size_t len) {
+  is_.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(len));
+  if (!is_.good() && !(is_.eof() && static_cast<size_t>(is_.gcount()) == len)) {
+    return DecodeFailure("unexpected end of stream");
+  }
+  if (static_cast<size_t>(is_.gcount()) != len) {
+    return DecodeFailure("unexpected end of stream");
+  }
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadU8(uint8_t* v) { return ReadBytes(v, 1); }
+
+Status BinaryReader::ReadU32(uint32_t* v) {
+  uint32_t raw;
+  SCEC_RETURN_IF_ERROR(ReadBytes(&raw, sizeof(raw)));
+  *v = ToLittle(raw);
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadU64(uint64_t* v) {
+  uint64_t raw;
+  SCEC_RETURN_IF_ERROR(ReadBytes(&raw, sizeof(raw)));
+  *v = ToLittle(raw);
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadDouble(double* v) {
+  uint64_t bits;
+  SCEC_RETURN_IF_ERROR(ReadU64(&bits));
+  std::memcpy(v, &bits, sizeof(*v));
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadString(std::string* v, uint32_t max_len) {
+  uint32_t len;
+  SCEC_RETURN_IF_ERROR(ReadU32(&len));
+  if (len > max_len) return DecodeFailure("string length exceeds limit");
+  v->resize(len);
+  if (len == 0) return Status::Ok();
+  return ReadBytes(v->data(), len);
+}
+
+Status BinaryReader::ReadU64Vector(std::vector<uint64_t>* v,
+                                   uint32_t max_len) {
+  uint32_t len;
+  SCEC_RETURN_IF_ERROR(ReadU32(&len));
+  if (len > max_len) return DecodeFailure("vector length exceeds limit");
+  v->resize(len);
+  for (auto& e : *v) SCEC_RETURN_IF_ERROR(ReadU64(&e));
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadSizeVector(std::vector<size_t>* v,
+                                    uint32_t max_len) {
+  std::vector<uint64_t> raw;
+  SCEC_RETURN_IF_ERROR(ReadU64Vector(&raw, max_len));
+  v->assign(raw.begin(), raw.end());
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadDoubleVector(std::vector<double>* v,
+                                      uint32_t max_len) {
+  uint32_t len;
+  SCEC_RETURN_IF_ERROR(ReadU32(&len));
+  if (len > max_len) return DecodeFailure("vector length exceeds limit");
+  v->resize(len);
+  for (auto& e : *v) SCEC_RETURN_IF_ERROR(ReadDouble(&e));
+  return Status::Ok();
+}
+
+}  // namespace scec

@@ -1,0 +1,59 @@
+// SPDX-License-Identifier: MIT
+//
+// Minimal binary serialization for persisting deployments and shares.
+// Fixed-width little-endian encoding, explicit magic + version, and
+// Status-returning reads (untrusted input never aborts).
+
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace scec {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& os) : os_(os) {}
+
+  void WriteU8(uint8_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteDouble(double v);           // IEEE-754 bit pattern
+  void WriteString(const std::string& v);  // u32 length + bytes
+
+  void WriteU64Vector(const std::vector<uint64_t>& v);
+  void WriteSizeVector(const std::vector<size_t>& v);
+  void WriteDoubleVector(const std::vector<double>& v);
+
+  bool ok() const { return os_.good(); }
+
+ private:
+  std::ostream& os_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& is) : is_(is) {}
+
+  Status ReadU8(uint8_t* v);
+  Status ReadU32(uint32_t* v);
+  Status ReadU64(uint64_t* v);
+  Status ReadDouble(double* v);
+  // `max_len` bounds allocations from hostile inputs.
+  Status ReadString(std::string* v, uint32_t max_len = 1u << 20);
+
+  Status ReadU64Vector(std::vector<uint64_t>* v, uint32_t max_len = 1u << 26);
+  Status ReadSizeVector(std::vector<size_t>* v, uint32_t max_len = 1u << 26);
+  Status ReadDoubleVector(std::vector<double>* v, uint32_t max_len = 1u << 26);
+
+ private:
+  Status ReadBytes(void* dst, size_t len);
+  std::istream& is_;
+};
+
+}  // namespace scec

@@ -1,0 +1,141 @@
+// SPDX-License-Identifier: MIT
+
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace scec {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStat::Reset() { *this = RunningStat(); }
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::stderr_mean() const {
+  if (count_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double RunningStat::ci95_halfwidth() const { return 1.96 * stderr_mean(); }
+
+std::string RunningStat::Summary() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " sd=" << stddev()
+     << " min=" << min() << " max=" << max();
+  return os.str();
+}
+
+void SampleStat::Add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+  running_.Add(x);
+}
+
+double SampleStat::Percentile(double p) const {
+  SCEC_CHECK(!samples_.empty()) << "Percentile of empty sample set";
+  SCEC_CHECK_GE(p, 0.0);
+  SCEC_CHECK_LE(p, 100.0);
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  if (samples_.size() == 1) return samples_[0];
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  SCEC_CHECK_LT(lo, hi);
+  SCEC_CHECK_GT(buckets, 0u);
+}
+
+void Histogram::Add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  double idx_f = (x - lo_) / width;
+  size_t idx;
+  if (idx_f < 0.0) {
+    idx = 0;
+  } else if (idx_f >= static_cast<double>(counts_.size())) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<size_t>(idx_f);
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::bucket_low(size_t idx) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(idx);
+}
+
+double Histogram::bucket_high(size_t idx) const {
+  return bucket_low(idx + 1);
+}
+
+std::string Histogram::Render(size_t max_width) const {
+  uint64_t peak = 0;
+  for (uint64_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (size_t idx = 0; idx < counts_.size(); ++idx) {
+    const size_t bar =
+        peak == 0 ? 0
+                  : static_cast<size_t>(static_cast<double>(counts_[idx]) /
+                                        static_cast<double>(peak) *
+                                        static_cast<double>(max_width));
+    os << "[" << bucket_low(idx) << ", " << bucket_high(idx) << ") "
+       << std::string(bar, '#') << " " << counts_[idx] << "\n";
+  }
+  return os.str();
+}
+
+double RelativeDiff(double a, double b) {
+  if (b == 0.0) return a == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  return (a - b) / b;
+}
+
+}  // namespace scec

@@ -1,0 +1,98 @@
+// SPDX-License-Identifier: MIT
+//
+// Streaming statistics used by the experiment harness and the simulator:
+// Welford running moments, min/max, percentiles over retained samples, and
+// normal-approximation confidence intervals (the paper averages 1000
+// instances per data point; we additionally report dispersion).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scec {
+
+// Numerically stable running mean / variance (Welford). O(1) memory.
+class RunningStat {
+ public:
+  void Add(double x);
+  void Merge(const RunningStat& other);
+  void Reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  // Standard error of the mean.
+  double stderr_mean() const;
+  // Half-width of the ~95% normal-approximation confidence interval.
+  double ci95_halfwidth() const;
+
+  std::string Summary() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Statistics that also retain samples, for exact percentiles.
+class SampleStat {
+ public:
+  void Add(double x);
+  void Reserve(size_t n) { samples_.reserve(n); }
+
+  size_t count() const { return samples_.size(); }
+  double mean() const { return running_.mean(); }
+  double stddev() const { return running_.stddev(); }
+  double min() const { return running_.min(); }
+  double max() const { return running_.max(); }
+
+  // Linear-interpolated percentile, p in [0, 100]. Requires count() > 0.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  RunningStat running_;
+};
+
+// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+// first/last bucket. Used for latency distributions in the simulator.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  size_t bucket_count() const { return counts_.size(); }
+  uint64_t bucket(size_t idx) const { return counts_[idx]; }
+  uint64_t total() const { return total_; }
+  double bucket_low(size_t idx) const;
+  double bucket_high(size_t idx) const;
+
+  // Renders a terminal bar chart, one line per bucket.
+  std::string Render(size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+// Relative difference (a - b) / b, guarded for b == 0.
+double RelativeDiff(double a, double b);
+
+}  // namespace scec

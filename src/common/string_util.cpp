@@ -1,0 +1,125 @@
+// SPDX-License-Identifier: MIT
+
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace scec {
+
+std::vector<std::string> Split(std::string_view text, char delim) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      break;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string Join(const std::vector<std::string>& items,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t idx = 0; idx < items.size(); ++idx) {
+    if (idx > 0) out += sep;
+    out += items[idx];
+  }
+  return out;
+}
+
+std::string FormatDouble(double value, int digits) {
+  std::ostringstream os;
+  os.precision(digits);
+  os << value;
+  return os.str();
+}
+
+std::string PadLeft(std::string_view text, size_t width) {
+  if (text.size() >= width) return std::string(text);
+  return std::string(width - text.size(), ' ') + std::string(text);
+}
+
+std::string PadRight(std::string_view text, size_t width) {
+  if (text.size() >= width) return std::string(text);
+  return std::string(text) + std::string(width - text.size(), ' ');
+}
+
+namespace {
+
+// strto* helpers need a NUL-terminated buffer.
+bool ToBuffer(std::string_view text, char* buf, size_t buflen) {
+  text = Trim(text);
+  if (text.empty() || text.size() >= buflen) return false;
+  text.copy(buf, text.size());
+  buf[text.size()] = '\0';
+  return true;
+}
+
+}  // namespace
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  char buf[64];
+  if (!ToBuffer(text, buf, sizeof(buf))) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buf, &end, 10);
+  if (errno != 0 || end == buf || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool ParseUint64(std::string_view text, uint64_t* out) {
+  char buf[64];
+  if (!ToBuffer(text, buf, sizeof(buf))) return false;
+  if (buf[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(buf, &end, 10);
+  if (errno != 0 || end == buf || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  char buf[64];
+  if (!ToBuffer(text, buf, sizeof(buf))) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf, &end);
+  if (errno != 0 || end == buf || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace scec

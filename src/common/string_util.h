@@ -1,0 +1,39 @@
+// SPDX-License-Identifier: MIT
+//
+// Small string helpers shared by the CLI parser, CSV writer and table
+// printers. No locale dependence.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scec {
+
+// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Joins items with a separator.
+std::string Join(const std::vector<std::string>& items, std::string_view sep);
+
+// Formats a double with `digits` significant digits, no trailing noise.
+std::string FormatDouble(double value, int digits = 6);
+
+// Pads to `width` with spaces (left- or right-aligned).
+std::string PadLeft(std::string_view text, size_t width);
+std::string PadRight(std::string_view text, size_t width);
+
+// Strict parsers: return false (and leave out untouched) on any trailing
+// garbage or range error.
+bool ParseInt64(std::string_view text, int64_t* out);
+bool ParseUint64(std::string_view text, uint64_t* out);
+bool ParseDouble(std::string_view text, double* out);
+
+}  // namespace scec

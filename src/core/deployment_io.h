@@ -1,0 +1,40 @@
+// SPDX-License-Identifier: MIT
+//
+// Persistence for deployments: the cloud plans and encodes ONCE, stores the
+// deployment (plan + per-device coded shares), and ships shares out of band.
+// The wire format is versioned and validated on load — a tampered or
+// truncated file yields a Status, never UB.
+//
+// Format (little-endian):
+//   magic "SCEC" | u32 version | u8 scalar tag (0 = double, 1 = GF(2^61−1))
+//   u64 m | u64 r | u64 l
+//   scheme row counts | participating fleet indices
+//   allocation (rows per device, cost, algorithm) | lower bound | i*
+//   per-device share matrices (row-major payload)
+
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/error.h"
+#include "core/pipeline.h"
+
+namespace scec {
+
+inline constexpr uint32_t kDeploymentFormatVersion = 1;
+
+Status SaveDeployment(const Deployment<double>& deployment, std::ostream& os);
+Status SaveDeployment(const Deployment<Gf61>& deployment, std::ostream& os);
+
+Result<Deployment<double>> LoadDeploymentDouble(std::istream& is);
+Result<Deployment<Gf61>> LoadDeploymentGf61(std::istream& is);
+
+// File-path conveniences.
+Status SaveDeploymentToFile(const Deployment<double>& deployment,
+                            const std::string& path);
+Result<Deployment<double>> LoadDeploymentDoubleFromFile(
+    const std::string& path);
+
+}  // namespace scec

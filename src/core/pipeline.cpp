@@ -1,0 +1,111 @@
+// SPDX-License-Identifier: MIT
+
+#include "core/pipeline.h"
+
+namespace scec {
+
+template <typename T>
+Result<Deployment<T>> Deploy(const McscecProblem& problem, const Matrix<T>& a,
+                             ChaCha20Rng& rng, TaAlgorithm algorithm,
+                             bool verify_security) {
+  if (a.rows() != problem.m || a.cols() != problem.l) {
+    return InvalidArgument("data matrix does not match problem dimensions");
+  }
+  SCEC_ASSIGN_OR_RETURN(Plan plan, PlanMcscec(problem, algorithm));
+
+  Deployment<T> deployment;
+  deployment.plan = plan;
+  deployment.code = StructuredCode(problem.m, plan.allocation.r);
+  deployment.l = problem.l;
+
+  if (verify_security) {
+    SCEC_RETURN_IF_ERROR(
+        CheckSchemeSecure(deployment.code, plan.scheme));
+  }
+
+  EncodedDeployment<T> encoded =
+      EncodeDeployment(deployment.code, plan.scheme, a, rng);
+  deployment.shares = std::move(encoded.shares);
+  // encoded.pads (the matrix R) is dropped here: the cloud does not need it
+  // after distribution, and the user never sees it.
+  return deployment;
+}
+
+template <typename T>
+std::vector<std::vector<T>> ComputeDeviceResponses(
+    const Deployment<T>& deployment, const std::vector<T>& x) {
+  SCEC_CHECK_EQ(x.size(), deployment.l);
+  std::vector<std::vector<T>> responses;
+  responses.reserve(deployment.shares.size());
+  for (const DeviceShare<T>& share : deployment.shares) {
+    responses.push_back(MatVec(share.coded_rows, std::span<const T>(x)));
+  }
+  return responses;
+}
+
+template <typename T>
+std::vector<T> Query(const Deployment<T>& deployment,
+                     const std::vector<T>& x) {
+  const std::vector<std::vector<T>> responses =
+      ComputeDeviceResponses(deployment, x);
+  const std::vector<T> y =
+      ConcatenateResponses(deployment.plan.scheme, responses);
+  return SubtractionDecode(deployment.code, std::span<const T>(y));
+}
+
+template <typename T>
+Matrix<T> QueryBatch(const Deployment<T>& deployment, const Matrix<T>& x) {
+  SCEC_CHECK_EQ(x.rows(), deployment.l);
+  const size_t m = deployment.code.m();
+  const size_t r = deployment.code.r();
+  const size_t batch = x.cols();
+
+  // Devices: each computes its share times X ((V_j × l)·(l × b)).
+  Matrix<T> stacked(m + r, batch);
+  size_t row = 0;
+  for (const DeviceShare<T>& share : deployment.shares) {
+    const Matrix<T> partial = MatMul(share.coded_rows, x);
+    for (size_t i = 0; i < partial.rows(); ++i) {
+      stacked.SetRow(row++, partial.Row(i));
+    }
+  }
+  SCEC_CHECK_EQ(row, m + r);
+
+  // User: column-wise subtraction decode.
+  Matrix<T> result(m, batch);
+  for (size_t p = 0; p < m; ++p) {
+    auto mixed = stacked.Row(r + p);
+    auto pad = stacked.Row(p % r);
+    auto out = result.Row(p);
+    for (size_t col = 0; col < batch; ++col) {
+      out[col] = mixed[col] - pad[col];
+    }
+  }
+  return result;
+}
+
+template Matrix<double> QueryBatch<double>(const Deployment<double>&,
+                                           const Matrix<double>&);
+template Matrix<Gf61> QueryBatch<Gf61>(const Deployment<Gf61>&,
+                                       const Matrix<Gf61>&);
+
+template Result<Deployment<double>> Deploy<double>(const McscecProblem&,
+                                                   const Matrix<double>&,
+                                                   ChaCha20Rng&, TaAlgorithm,
+                                                   bool);
+template Result<Deployment<Gf61>> Deploy<Gf61>(const McscecProblem&,
+                                               const Matrix<Gf61>&,
+                                               ChaCha20Rng&, TaAlgorithm,
+                                               bool);
+
+template std::vector<std::vector<double>> ComputeDeviceResponses<double>(
+    const Deployment<double>&, const std::vector<double>&);
+template std::vector<std::vector<Gf61>> ComputeDeviceResponses<Gf61>(
+    const Deployment<Gf61>&, const std::vector<Gf61>&);
+
+template std::vector<double> Query<double>(const Deployment<double>&,
+                                           const std::vector<double>&);
+template std::vector<Gf61> Query<Gf61>(const Deployment<Gf61>&,
+                                       const std::vector<Gf61>&);
+
+}  // namespace scec

@@ -1,0 +1,66 @@
+// SPDX-License-Identifier: MIT
+//
+// End-to-end MCSCEC pipeline (in-process; the discrete-event simulator in
+// src/sim adds timing and message passing on top of the same phases):
+//
+//   1. plan          — task allocation (TA1/TA2) + coding layout
+//   2. deploy        — cloud generates pads, encodes B_j·T per device
+//   3. query         — user sends x; devices compute B_j·T·x
+//   4. recover       — user runs the O(m) subtraction decode
+//
+// Templated over the scalar: GF(2^61−1) for true ITS, double for numeric
+// workloads (the structured code is 0/1 so double decode is exact, but note
+// real-valued pads provide only distributional masking, not finite-field
+// perfect secrecy; see SECURITY notes in README).
+
+#pragma once
+
+#include <vector>
+
+#include "coding/decoder.h"
+#include "coding/encoder.h"
+#include "coding/security_check.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/planner.h"
+#include "core/problem.h"
+#include "linalg/matrix_ops.h"
+
+namespace scec {
+
+// A deployed SCEC instance: everything needed to serve queries.
+template <typename T>
+struct Deployment {
+  Plan plan;
+  StructuredCode code{1, 1};
+  std::vector<DeviceShare<T>> shares;  // per participating device
+  size_t l = 0;
+};
+
+// Plans, encodes, and (optionally) verifies ITS before returning.
+template <typename T>
+Result<Deployment<T>> Deploy(const McscecProblem& problem, const Matrix<T>& a,
+                             ChaCha20Rng& rng,
+                             TaAlgorithm algorithm = TaAlgorithm::kAuto,
+                             bool verify_security = true);
+
+// Executes one query against a deployment (all devices honest & timely, as
+// the paper assumes). Returns A·x.
+template <typename T>
+std::vector<T> Query(const Deployment<T>& deployment,
+                     const std::vector<T>& x);
+
+// Per-device intermediate results, exposed for the simulator and examples
+// that want to inspect the protocol.
+template <typename T>
+std::vector<std::vector<T>> ComputeDeviceResponses(
+    const Deployment<T>& deployment, const std::vector<T>& x);
+
+// Batch query: Y = A·X for an l×b matrix X of stacked input columns — the
+// paper's "multiplication of two matrices / different input vectors"
+// generalisation (§II-A). Devices compute (B_j·T)·X; the user decodes each
+// column with the same m-subtraction rule, m·b subtractions total.
+template <typename T>
+Matrix<T> QueryBatch(const Deployment<T>& deployment, const Matrix<T>& x);
+
+}  // namespace scec

@@ -1,0 +1,57 @@
+// SPDX-License-Identifier: MIT
+
+#include "core/planner.h"
+
+#include "allocation/ta1.h"
+#include "allocation/ta2.h"
+
+namespace scec {
+
+const char* TaAlgorithmName(TaAlgorithm algorithm) {
+  switch (algorithm) {
+    case TaAlgorithm::kTA1: return "TA1";
+    case TaAlgorithm::kTA2: return "TA2";
+    case TaAlgorithm::kAuto: return "auto";
+  }
+  return "?";
+}
+
+Result<Plan> PlanMcscec(const McscecProblem& problem, TaAlgorithm algorithm) {
+  problem.Validate();
+  const std::vector<double> fleet_costs = problem.FleetUnitCosts();
+  const SortedCosts sorted = SortCosts(fleet_costs);
+
+  // §IV-C: TA1 runs in O(k), TA2 in O(m+k); pick the cheaper one when the
+  // caller does not care.
+  TaAlgorithm chosen = algorithm;
+  if (chosen == TaAlgorithm::kAuto) {
+    chosen = problem.m > problem.k() ? TaAlgorithm::kTA1 : TaAlgorithm::kTA2;
+  }
+
+  Result<Allocation> allocation =
+      chosen == TaAlgorithm::kTA1 ? RunTA1(problem.m, sorted.costs)
+                                  : RunTA2(problem.m, sorted.costs);
+  if (!allocation.ok()) return allocation.status();
+
+  Plan plan;
+  plan.allocation = *std::move(allocation);
+  const LowerBoundResult lb = ComputeLowerBound(problem.m, sorted.costs);
+  plan.lower_bound = lb.bound;
+  plan.i_star = lb.i_star;
+
+  // Scheme over participating devices only (sorted order), mapped back to
+  // fleet indices for distribution.
+  plan.scheme =
+      SchemeFromRowCounts(problem.m, plan.allocation.r,
+                          plan.allocation.rows_per_device);
+  plan.participating.clear();
+  for (size_t j = 0; j < plan.allocation.rows_per_device.size(); ++j) {
+    if (plan.allocation.rows_per_device[j] > 0) {
+      plan.participating.push_back(sorted.original[j]);
+    }
+  }
+  SCEC_CHECK_EQ(plan.participating.size(), plan.scheme.num_devices());
+  return plan;
+}
+
+}  // namespace scec

@@ -1,0 +1,50 @@
+// SPDX-License-Identifier: MIT
+//
+// The MCSCEC planner: runs task allocation (TA1 or TA2, §IV-A) on a problem
+// instance and packages the result as an executable Plan — allocation over
+// *sorted* devices mapped back to fleet indices, plus the coding scheme
+// layout for the structured Eq. (8) code.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "allocation/allocation.h"
+#include "allocation/lower_bound.h"
+#include "coding/lcec.h"
+#include "common/error.h"
+#include "core/problem.h"
+
+namespace scec {
+
+enum class TaAlgorithm {
+  kTA1,   // O(k) closed-form around i* (Algorithm 1)
+  kTA2,   // O(m+k) exhaustive over r (Algorithm 2)
+  kAuto,  // pick by complexity: TA1 when m > k, else either (paper §IV-C)
+};
+
+const char* TaAlgorithmName(TaAlgorithm algorithm);
+
+struct Plan {
+  Allocation allocation;       // canonical shape over sorted devices
+  LcecScheme scheme;           // rows per *participating* device
+  // participating[d] = fleet index of the d-th scheme device (sorted order).
+  std::vector<size_t> participating;
+  double lower_bound = 0.0;    // Theorem 1
+  size_t i_star = 0;
+
+  // Gap to the lower bound, (cost − LB) / LB.
+  double OptimalityGap() const {
+    return lower_bound > 0.0
+               ? (allocation.total_cost - lower_bound) / lower_bound
+               : 0.0;
+  }
+};
+
+// Plans secure coded execution for the problem. Costs are folded via
+// Eq. (1); devices are sorted by unit cost internally.
+Result<Plan> PlanMcscec(const McscecProblem& problem,
+                        TaAlgorithm algorithm = TaAlgorithm::kAuto);
+
+}  // namespace scec

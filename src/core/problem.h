@@ -1,0 +1,67 @@
+// SPDX-License-Identifier: MIT
+//
+// The MCSCEC problem instance (Definition 3): an edge system S, per-device
+// unit costs C, and the data matrix dimensions. The planner consumes this to
+// produce a Plan (allocation + coding scheme).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "allocation/cost_model.h"
+#include "allocation/device.h"
+#include "common/check.h"
+
+namespace scec {
+
+struct McscecProblem {
+  size_t m = 0;  // data rows
+  size_t l = 0;  // row width
+  DeviceFleet fleet;
+
+  size_t k() const { return fleet.size(); }
+
+  // Unit costs in fleet order (Eq. (1) folded) for row width l.
+  std::vector<double> FleetUnitCosts() const {
+    SCEC_CHECK_GE(l, 1u);
+    return UnitCosts(fleet, l);
+  }
+
+  void Validate() const {
+    SCEC_CHECK_GE(m, 1u) << "MCSCEC requires at least one data row";
+    SCEC_CHECK_GE(l, 1u) << "MCSCEC requires row width >= 1";
+    SCEC_CHECK_GE(fleet.size(), 2u) << "MCSCEC requires k >= 2 edge devices";
+    for (const EdgeDevice& device : fleet.devices()) {
+      SCEC_CHECK(device.costs.Valid())
+          << "device '" << device.name << "' has invalid resource costs";
+    }
+  }
+};
+
+// Convenience constructor: a fleet of k devices with the given unit-cost
+// knobs already folded (storage/add/mul/comm all derived from one scalar so
+// that UnitCost == roughly `unit`). Used by tests and examples that only
+// care about the abstract cost model.
+McscecProblem MakeAbstractProblem(size_t m, size_t l,
+                                  const std::vector<double>& comm_costs);
+
+inline McscecProblem MakeAbstractProblem(
+    size_t m, size_t l, const std::vector<double>& comm_costs) {
+  McscecProblem problem;
+  problem.m = m;
+  problem.l = l;
+  for (size_t j = 0; j < comm_costs.size(); ++j) {
+    EdgeDevice device;
+    device.name = "edge-" + std::to_string(j);
+    // Put the whole cost on the communication term: UnitCost == comm value,
+    // independent of l. Keeps abstract experiments aligned with the paper's
+    // "unit cost c_j" treatment.
+    device.costs.comm = comm_costs[j];
+    problem.fleet.Add(device);
+  }
+  return problem;
+}
+
+}  // namespace scec

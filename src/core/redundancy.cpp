@@ -1,0 +1,71 @@
+// SPDX-License-Identifier: MIT
+
+#include "core/redundancy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "allocation/cost_model.h"
+
+namespace scec {
+
+Result<RedundantPlan> PlanRedundantMcscec(const McscecProblem& problem,
+                                          size_t replication,
+                                          TaAlgorithm algorithm) {
+  SCEC_ASSIGN_OR_RETURN(Plan base, PlanMcscec(problem, algorithm));
+
+  const size_t blocks = base.scheme.num_devices();
+  const size_t needed = blocks * (replication + 1);
+  if (needed > problem.k()) {
+    return Infeasible(
+        "redundant plan: need " + std::to_string(needed) + " devices (" +
+        std::to_string(blocks) + " blocks x " +
+        std::to_string(replication + 1) + " replicas) but fleet has " +
+        std::to_string(problem.k()));
+  }
+
+  const std::vector<double> fleet_costs = problem.FleetUnitCosts();
+  const SortedCosts sorted = SortCosts(fleet_costs);
+
+  RedundantPlan plan;
+  plan.base = base;
+  plan.replication = replication;
+  plan.replica_groups.assign(blocks, {});
+  for (size_t d = 0; d < blocks; ++d) {
+    plan.replica_groups[d].push_back(base.participating[d]);
+  }
+
+  // Blocks in descending row count; the canonical shape has all blocks = r
+  // except possibly the last, but we stay general. Stable order keeps the
+  // assignment deterministic.
+  std::vector<size_t> block_order(blocks);
+  std::iota(block_order.begin(), block_order.end(), size_t{0});
+  std::stable_sort(block_order.begin(), block_order.end(),
+                   [&](size_t a, size_t b) {
+                     return base.scheme.row_counts[a] >
+                            base.scheme.row_counts[b];
+                   });
+
+  // Remaining devices, cheapest first (sorted indices i..k-1 map to fleet
+  // indices via the permutation).
+  size_t next_sorted = blocks;  // base plan consumed sorted devices [0, blocks)
+  for (size_t round = 0; round < replication; ++round) {
+    for (size_t block : block_order) {
+      SCEC_CHECK_LT(next_sorted, sorted.original.size());
+      plan.replica_groups[block].push_back(sorted.original[next_sorted]);
+      ++next_sorted;
+    }
+  }
+
+  // Total cost: every replica pays the block's row count times its unit cost.
+  plan.total_cost = 0.0;
+  for (size_t d = 0; d < blocks; ++d) {
+    for (size_t fleet_idx : plan.replica_groups[d]) {
+      plan.total_cost += static_cast<double>(base.scheme.row_counts[d]) *
+                         fleet_costs[fleet_idx];
+    }
+  }
+  return plan;
+}
+
+}  // namespace scec

@@ -1,0 +1,46 @@
+// SPDX-License-Identifier: MIT
+//
+// EXTENSION (paper footnote 1, §II-A): "redundant vectors can also be used
+// to provide processing delay guarantee." We implement the natural scheme:
+// every coded block B_j·T is replicated onto g additional devices, the user
+// queries all replicas and decodes from the FIRST response per block —
+// turning the per-device load bound of Lemma 1 into a straggler-tolerant
+// latency bound.
+//
+// Security is preserved: each replica holds the same ≤ r coded rows as its
+// primary, so every single device still satisfies the ITS condition (the
+// attack model remains non-colluding, §II-B — a replica pair holds identical
+// information, so even those two "colluding" learn nothing more than one).
+//
+// Cost model: the replication factor multiplies the storage/compute/comm
+// spend; PlanRedundantMcscec minimises the total by assigning the largest
+// blocks to the cheapest unused devices (exchange-argument optimal for the
+// canonical block shape).
+
+#pragma once
+
+#include <vector>
+
+#include "common/error.h"
+#include "core/planner.h"
+#include "core/problem.h"
+
+namespace scec {
+
+struct RedundantPlan {
+  Plan base;
+  size_t replication = 0;  // g: extra replicas per block (g = 0 ⇒ base plan)
+  // replica_groups[d] = fleet indices serving scheme block d; element 0 is
+  // the primary (== base.participating[d]), the rest are replicas.
+  std::vector<std::vector<size_t>> replica_groups;
+  double total_cost = 0.0;  // Σ over every replica of V_block · c_device
+};
+
+// Plans an MCSCEC deployment with g replicas per block. Needs
+// (g+1) · (participating devices) <= k. The base allocation is the plain
+// MCSCEC optimum; replica placement is cost-greedy on the remaining devices.
+Result<RedundantPlan> PlanRedundantMcscec(
+    const McscecProblem& problem, size_t replication,
+    TaAlgorithm algorithm = TaAlgorithm::kAuto);
+
+}  // namespace scec

@@ -1,0 +1,35 @@
+// SPDX-License-Identifier: MIT
+//
+// Umbrella header: the public API of the SCEC library.
+//
+//   #include "core/scec.h"
+//
+//   scec::McscecProblem problem = ...;          // devices + data dims
+//   auto plan = scec::PlanMcscec(problem);      // TA1/TA2 + lower bound
+//   auto deployment = scec::Deploy(problem, A, rng);   // encode + verify ITS
+//   auto y = scec::Query(*deployment, x);       // y == A·x
+//
+// See examples/quickstart.cpp for the guided tour.
+
+#pragma once
+
+#include "allocation/allocation.h"       // IWYU pragma: export
+#include "allocation/baselines.h"        // IWYU pragma: export
+#include "allocation/capacitated.h"      // IWYU pragma: export
+#include "allocation/cost_model.h"       // IWYU pragma: export
+#include "allocation/device.h"           // IWYU pragma: export
+#include "allocation/lower_bound.h"      // IWYU pragma: export
+#include "allocation/ta1.h"              // IWYU pragma: export
+#include "allocation/ta2.h"              // IWYU pragma: export
+#include "coding/collusion.h"            // IWYU pragma: export
+#include "coding/decoder.h"              // IWYU pragma: export
+#include "coding/encoder.h"              // IWYU pragma: export
+#include "coding/encoding_matrix.h"      // IWYU pragma: export
+#include "coding/input_privacy.h"        // IWYU pragma: export
+#include "coding/lcec.h"                 // IWYU pragma: export
+#include "coding/security_check.h"       // IWYU pragma: export
+#include "core/deployment_io.h"          // IWYU pragma: export
+#include "core/pipeline.h"               // IWYU pragma: export
+#include "core/planner.h"                // IWYU pragma: export
+#include "core/problem.h"                // IWYU pragma: export
+#include "core/redundancy.h"             // IWYU pragma: export

@@ -1,0 +1,99 @@
+// SPDX-License-Identifier: MIT
+//
+// Uniform compile-time interface over the scalar types the linear algebra
+// layer accepts: exact finite fields (GF(p), GF(2^8)) and IEEE doubles.
+//
+// The elimination routines dispatch on `is_exact`:
+//   * exact fields — any nonzero pivot is usable; equality is exact.
+//   * doubles      — partial pivoting and a magnitude tolerance are required.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <type_traits>
+
+#include "field/gf256.h"
+#include "field/gf_prime.h"
+
+namespace scec {
+
+template <typename T>
+struct FieldTraits;
+
+template <uint64_t P>
+struct FieldTraits<GfElem<P>> {
+  using Scalar = GfElem<P>;
+  static constexpr bool is_exact = true;
+
+  static constexpr Scalar Zero() { return Scalar::Zero(); }
+  static constexpr Scalar One() { return Scalar::One(); }
+  static bool IsZero(Scalar v) { return v.IsZero(); }
+  // Pivot quality: for exact fields, any nonzero element is a perfect pivot.
+  static double PivotMagnitude(Scalar v) { return v.IsZero() ? 0.0 : 1.0; }
+  static Scalar Inverse(Scalar v) { return v.Inverse(); }
+  // Uniformly random element, given a generator with NextBelow(bound).
+  template <typename Rng>
+  static Scalar Random(Rng& rng) {
+    return Scalar(rng.NextBelow(P));
+  }
+  // Uniformly random *nonzero* element.
+  template <typename Rng>
+  static Scalar RandomNonZero(Rng& rng) {
+    return Scalar(1 + rng.NextBelow(P - 1));
+  }
+};
+
+template <>
+struct FieldTraits<Gf256> {
+  using Scalar = Gf256;
+  static constexpr bool is_exact = true;
+
+  static constexpr Scalar Zero() { return Scalar::Zero(); }
+  static constexpr Scalar One() { return Scalar::One(); }
+  static bool IsZero(Scalar v) { return v.IsZero(); }
+  static double PivotMagnitude(Scalar v) { return v.IsZero() ? 0.0 : 1.0; }
+  static Scalar Inverse(Scalar v) { return v.Inverse(); }
+  template <typename Rng>
+  static Scalar Random(Rng& rng) {
+    return Scalar(static_cast<uint8_t>(rng.NextBelow(256)));
+  }
+  template <typename Rng>
+  static Scalar RandomNonZero(Rng& rng) {
+    return Scalar(static_cast<uint8_t>(1 + rng.NextBelow(255)));
+  }
+};
+
+template <>
+struct FieldTraits<double> {
+  using Scalar = double;
+  static constexpr bool is_exact = false;
+  // Relative tolerance used by rank / elimination routines.
+  static constexpr double kEpsilon = 1e-9;
+
+  static constexpr Scalar Zero() { return 0.0; }
+  static constexpr Scalar One() { return 1.0; }
+  static bool IsZero(Scalar v) { return std::fabs(v) <= kEpsilon; }
+  static double PivotMagnitude(Scalar v) { return std::fabs(v); }
+  static Scalar Inverse(Scalar v) { return 1.0 / v; }
+  template <typename Rng>
+  static Scalar Random(Rng& rng) {
+    // Uniform in [-1, 1): a generic dense scalar for numeric tests.
+    return 2.0 * (static_cast<double>(rng.NextUint64() >> 11) * 0x1.0p-53) -
+           1.0;
+  }
+  template <typename Rng>
+  static Scalar RandomNonZero(Rng& rng) {
+    double v;
+    do {
+      v = Random(rng);
+    } while (IsZero(v));
+    return v;
+  }
+};
+
+// Concept-ish helper.
+template <typename T>
+inline constexpr bool kIsExactField = FieldTraits<T>::is_exact;
+
+}  // namespace scec

@@ -1,0 +1,107 @@
+// SPDX-License-Identifier: MIT
+//
+// Fixed-point embedding of real-valued data into GF(p), so real matrices
+// can ride the EXACT field pipeline and enjoy true information-theoretic
+// security (real-valued pads only mask distributionally; field pads give
+// Shannon secrecy — see README "Security notes").
+//
+// Encoding: x ↦ round(x · 2^scale_bits) lifted two's-complement style into
+// [0, p): negatives map to p − |v|. A matrix–vector product of width l then
+// carries scale 2^(2·scale_bits) and magnitude ≤ l · (max|A| · max|x| ·
+// 2^(2·scale_bits)); decoding lifts back from [0, p) to signed and divides
+// by the accumulated scale. Exactness holds as long as every intermediate
+// stays below (p−1)/2 — `ProductBound` computes the budget, and the codec
+// CHECKs inputs against its configured range.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "field/gf_prime.h"
+#include "linalg/matrix.h"
+
+namespace scec {
+
+class FixedPointCodec {
+ public:
+  // scale_bits: fractional precision (value resolution 2^-scale_bits).
+  // max_magnitude: largest |value| the caller promises to encode.
+  explicit FixedPointCodec(unsigned scale_bits, double max_magnitude = 1e6)
+      : scale_bits_(scale_bits),
+        scale_(std::ldexp(1.0, static_cast<int>(scale_bits))),
+        max_magnitude_(max_magnitude) {
+    SCEC_CHECK_LE(scale_bits, 40u) << "precision leaves no headroom";
+    SCEC_CHECK_GT(max_magnitude, 0.0);
+    // Encoded values must stay within ±(p−1)/2.
+    SCEC_CHECK_LT(max_magnitude * scale_,
+                  static_cast<double>(kMersenne61 / 2))
+        << "max_magnitude too large for this precision";
+  }
+
+  unsigned scale_bits() const { return scale_bits_; }
+  double resolution() const { return 1.0 / scale_; }
+
+  // Largest product width l such that an l-term dot product of encoded
+  // values (each ≤ max_magnitude) cannot wrap. Callers must keep
+  // matrix width ≤ ProductWidthBudget().
+  size_t ProductWidthBudget() const {
+    const double per_term = max_magnitude_ * scale_ * max_magnitude_ * scale_;
+    const double budget = static_cast<double>(kMersenne61 / 2) / per_term;
+    return budget >= 1.0 ? static_cast<size_t>(budget) : 0;
+  }
+
+  Gf61 Encode(double value) const {
+    SCEC_CHECK_LE(std::fabs(value), max_magnitude_)
+        << "value exceeds the codec's configured magnitude";
+    const double scaled = std::nearbyint(value * scale_);
+    const int64_t integral = static_cast<int64_t>(scaled);
+    return Gf61::FromSigned(integral);
+  }
+
+  // Decodes an element carrying `scale_power` accumulated scale factors
+  // (1 for raw values, 2 for entries of a product of two encoded operands).
+  double Decode(Gf61 element, unsigned scale_power = 1) const {
+    const uint64_t raw = element.value();
+    // Lift [0, p) -> signed: values above p/2 are negative.
+    const double signed_value =
+        raw > kMersenne61 / 2
+            ? -static_cast<double>(kMersenne61 - raw)
+            : static_cast<double>(raw);
+    return signed_value / std::pow(scale_, static_cast<double>(scale_power));
+  }
+
+  Matrix<Gf61> EncodeMatrix(const Matrix<double>& m) const {
+    Matrix<Gf61> out(m.rows(), m.cols());
+    for (size_t row = 0; row < m.rows(); ++row) {
+      for (size_t col = 0; col < m.cols(); ++col) {
+        out(row, col) = Encode(m(row, col));
+      }
+    }
+    return out;
+  }
+
+  std::vector<Gf61> EncodeVector(std::span<const double> v) const {
+    std::vector<Gf61> out(v.size());
+    for (size_t i = 0; i < v.size(); ++i) out[i] = Encode(v[i]);
+    return out;
+  }
+
+  // Decodes a product vector (scale_power = 2): entries of (encoded A) ·
+  // (encoded x).
+  std::vector<double> DecodeProduct(std::span<const Gf61> v) const {
+    std::vector<double> out(v.size());
+    for (size_t i = 0; i < v.size(); ++i) out[i] = Decode(v[i], 2);
+    return out;
+  }
+
+ private:
+  unsigned scale_bits_;
+  double scale_;
+  double max_magnitude_;
+};
+
+}  // namespace scec

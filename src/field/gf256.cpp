@@ -1,0 +1,72 @@
+// SPDX-License-Identifier: MIT
+
+#include "field/gf256.h"
+
+#include <array>
+
+#include "common/check.h"
+
+namespace scec {
+namespace {
+
+struct Tables {
+  std::array<uint8_t, 256> log;        // log[0] unused
+  std::array<uint8_t, 255> antilog;    // antilog[i] = g^i
+};
+
+// Builds log/antilog tables for generator 0x03 over polynomial 0x11B.
+Tables BuildTables() {
+  Tables t{};
+  uint16_t value = 1;
+  for (int exp = 0; exp < 255; ++exp) {
+    t.antilog[exp] = static_cast<uint8_t>(value);
+    t.log[static_cast<uint8_t>(value)] = static_cast<uint8_t>(exp);
+    // Multiply by generator 0x03 = x + 1: value*2 ^ value, with reduction.
+    uint16_t doubled = static_cast<uint16_t>(value << 1);
+    if (doubled & 0x100) doubled ^= 0x11B;
+    value = doubled ^ value;
+    value &= 0xFF;
+  }
+  return t;
+}
+
+const Tables& GetTables() {
+  static const Tables tables = BuildTables();
+  return tables;
+}
+
+}  // namespace
+
+Gf256 operator*(Gf256 a, Gf256 b) {
+  if (a.IsZero() || b.IsZero()) return Gf256::Zero();
+  const Tables& t = GetTables();
+  const int sum = t.log[a.value_] + t.log[b.value_];
+  return Gf256(t.antilog[sum % 255]);
+}
+
+Gf256 operator/(Gf256 a, Gf256 b) {
+  SCEC_CHECK(!b.IsZero()) << "division by zero in GF(256)";
+  if (a.IsZero()) return Gf256::Zero();
+  const Tables& t = GetTables();
+  const int diff = t.log[a.value_] - t.log[b.value_] + 255;
+  return Gf256(t.antilog[diff % 255]);
+}
+
+Gf256 Gf256::Inverse() const {
+  SCEC_CHECK(!IsZero()) << "inverse of zero in GF(256)";
+  return One() / *this;
+}
+
+Gf256 Gf256::Pow(uint64_t exponent) const {
+  Gf256 base = *this;
+  Gf256 acc = One();
+  uint64_t e = exponent;
+  while (e != 0) {
+    if (e & 1) acc *= base;
+    base *= base;
+    e >>= 1;
+  }
+  return acc;
+}
+
+}  // namespace scec

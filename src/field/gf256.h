@@ -1,0 +1,55 @@
+// SPDX-License-Identifier: MIT
+//
+// GF(2^8) with the AES polynomial x^8 + x^4 + x^3 + x + 1 (0x11B), using
+// log/antilog tables over the generator 0x03. Useful when coded shares must
+// be byte-aligned (e.g. when payloads are raw bytes rather than wide words).
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace scec {
+
+class Gf256 {
+ public:
+  constexpr Gf256() = default;
+  constexpr explicit Gf256(uint8_t value) : value_(value) {}
+
+  static constexpr Gf256 Zero() { return Gf256(0); }
+  static constexpr Gf256 One() { return Gf256(1); }
+
+  constexpr uint8_t value() const { return value_; }
+  constexpr bool IsZero() const { return value_ == 0; }
+
+  friend constexpr Gf256 operator+(Gf256 a, Gf256 b) {
+    return Gf256(static_cast<uint8_t>(a.value_ ^ b.value_));
+  }
+  friend constexpr Gf256 operator-(Gf256 a, Gf256 b) { return a + b; }
+  constexpr Gf256 operator-() const { return *this; }
+
+  friend Gf256 operator*(Gf256 a, Gf256 b);
+  friend Gf256 operator/(Gf256 a, Gf256 b);
+
+  Gf256& operator+=(Gf256 o) { return *this = *this + o; }
+  Gf256& operator-=(Gf256 o) { return *this = *this - o; }
+  Gf256& operator*=(Gf256 o) { return *this = *this * o; }
+  Gf256& operator/=(Gf256 o) { return *this = *this / o; }
+
+  friend constexpr bool operator==(Gf256 a, Gf256 b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(Gf256 a, Gf256 b) { return !(a == b); }
+
+  Gf256 Inverse() const;  // precondition: nonzero (checked)
+  Gf256 Pow(uint64_t exponent) const;
+
+  friend std::ostream& operator<<(std::ostream& os, Gf256 e) {
+    return os << static_cast<int>(e.value_);
+  }
+
+ private:
+  uint8_t value_ = 0;
+};
+
+}  // namespace scec

@@ -1,0 +1,73 @@
+// SPDX-License-Identifier: MIT
+
+#include "linalg/rank.h"
+
+#include <cmath>
+
+#include "linalg/elimination.h"
+
+namespace scec {
+namespace {
+
+// Rank with an explicit, scale-aware tolerance. The matrix is normalised to
+// unit peak magnitude, then eliminated with partial pivoting; a pivot counts
+// only if it exceeds `tolerance` relative to the (normalised) scale. This is
+// a dedicated implementation rather than a call into the generic template so
+// the caller's tolerance is honoured exactly (FieldTraits<double> hard-codes
+// its own epsilon).
+size_t RankDoubleImpl(Matrix<double> m, double tolerance) {
+  double peak = 0.0;
+  for (double v : m.Data()) {
+    const double mag = v < 0 ? -v : v;
+    if (mag > peak) peak = mag;
+  }
+  if (peak == 0.0) return 0;
+  const double inv_peak = 1.0 / peak;
+  for (auto& v : m.Data()) v *= inv_peak;
+
+  size_t rank = 0;
+  for (size_t col = 0; col < m.cols() && rank < m.rows(); ++col) {
+    size_t best = rank;
+    double best_mag = std::fabs(m(rank, col));
+    for (size_t row = rank + 1; row < m.rows(); ++row) {
+      const double mag = std::fabs(m(row, col));
+      if (mag > best_mag) {
+        best = row;
+        best_mag = mag;
+      }
+    }
+    if (best_mag <= tolerance) continue;
+    m.SwapRows(rank, best);
+    const double inv = 1.0 / m(rank, col);
+    auto prow = m.Row(rank);
+    for (size_t c = col; c < m.cols(); ++c) prow[c] *= inv;
+    for (size_t row = rank + 1; row < m.rows(); ++row) {
+      const double factor = m(row, col);
+      if (factor == 0.0) continue;
+      auto rrow = m.Row(row);
+      for (size_t c = col; c < m.cols(); ++c) rrow[c] -= factor * prow[c];
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace
+
+size_t RankDouble(const Matrix<double>& m, double tolerance) {
+  return RankDoubleImpl(m, tolerance);
+}
+
+size_t RankGf61(const Matrix<Gf61>& m) { return RankOf(m); }
+
+bool InvertibleDouble(const Matrix<double>& m, double tolerance) {
+  if (m.rows() != m.cols()) return false;
+  return RankDouble(m, tolerance) == m.rows();
+}
+
+bool InvertibleGf61(const Matrix<Gf61>& m) {
+  if (m.rows() != m.cols()) return false;
+  return RankGf61(m) == m.rows();
+}
+
+}  // namespace scec

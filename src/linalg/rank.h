@@ -1,0 +1,23 @@
+// SPDX-License-Identifier: MIT
+//
+// Non-template conveniences over the elimination kernels for the two scalar
+// types used throughout: double and Gf61. Keeps heavy template instantiation
+// out of most translation units.
+
+#pragma once
+
+#include <cstddef>
+
+#include "field/gf_prime.h"
+#include "linalg/matrix.h"
+
+namespace scec {
+
+size_t RankDouble(const Matrix<double>& m, double tolerance = 1e-9);
+size_t RankGf61(const Matrix<Gf61>& m);
+
+// True iff the square matrix is invertible.
+bool InvertibleDouble(const Matrix<double>& m, double tolerance = 1e-9);
+bool InvertibleGf61(const Matrix<Gf61>& m);
+
+}  // namespace scec

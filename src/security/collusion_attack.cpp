@@ -1,0 +1,90 @@
+// SPDX-License-Identifier: MIT
+
+#include "security/collusion_attack.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+
+#include "common/check.h"
+
+namespace scec {
+namespace {
+
+template <typename T>
+Matrix<T> StackSubset(const std::vector<Matrix<T>>& parts,
+                      const std::vector<size_t>& subset) {
+  Matrix<T> stacked;
+  for (size_t idx : subset) {
+    SCEC_CHECK_LT(idx, parts.size());
+    stacked = stacked.VStack(parts[idx]);
+  }
+  return stacked;
+}
+
+// Lexicographic subset enumeration (same walk as coding/collusion.cpp, kept
+// local: the two modules are independently testable).
+bool ForEachSubset(size_t n, size_t size,
+                   const std::function<bool(const std::vector<size_t>&)>& fn) {
+  if (size == 0 || size > n) return true;
+  std::vector<size_t> subset(size);
+  for (size_t i = 0; i < size; ++i) subset[i] = i;
+  while (true) {
+    if (!fn(subset)) return false;
+    ptrdiff_t idx = static_cast<ptrdiff_t>(size) - 1;
+    while (idx >= 0 &&
+           subset[static_cast<size_t>(idx)] ==
+               static_cast<size_t>(idx) + n - size) {
+      --idx;
+    }
+    if (idx < 0) return true;
+    ++subset[static_cast<size_t>(idx)];
+    for (size_t j = static_cast<size_t>(idx) + 1; j < size; ++j) {
+      subset[j] = subset[j - 1] + 1;
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+RecoveryAttack<T> AttemptCollusionRecovery(
+    const std::vector<Matrix<T>>& blocks, const std::vector<Matrix<T>>& shares,
+    const std::vector<size_t>& subset, size_t m) {
+  SCEC_CHECK_EQ(blocks.size(), shares.size());
+  const Matrix<T> joint_block = StackSubset(blocks, subset);
+  const Matrix<T> joint_share = StackSubset(shares, subset);
+  return AttemptLinearRecovery(joint_block, joint_share, m);
+}
+
+template <typename T>
+std::vector<size_t> FindSmallestBreakingCoalition(
+    const std::vector<Matrix<T>>& blocks, size_t m, size_t max_size) {
+  std::vector<size_t> found;
+  for (size_t size = 1; size <= std::min(max_size, blocks.size()); ++size) {
+    const bool clean = ForEachSubset(
+        blocks.size(), size, [&](const std::vector<size_t>& subset) {
+          const Matrix<T> joint = StackSubset(blocks, subset);
+          if (DeviceCanRecoverData(joint, m)) {
+            found = subset;
+            return false;  // abort: coalition found
+          }
+          return true;
+        });
+    if (!clean) return found;
+  }
+  return {};
+}
+
+template RecoveryAttack<Gf61> AttemptCollusionRecovery<Gf61>(
+    const std::vector<Matrix<Gf61>>&, const std::vector<Matrix<Gf61>>&,
+    const std::vector<size_t>&, size_t);
+template RecoveryAttack<double> AttemptCollusionRecovery<double>(
+    const std::vector<Matrix<double>>&, const std::vector<Matrix<double>>&,
+    const std::vector<size_t>&, size_t);
+template std::vector<size_t> FindSmallestBreakingCoalition<Gf61>(
+    const std::vector<Matrix<Gf61>>&, size_t, size_t);
+template std::vector<size_t> FindSmallestBreakingCoalition<double>(
+    const std::vector<Matrix<double>>&, size_t, size_t);
+
+}  // namespace scec

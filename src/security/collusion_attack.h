@@ -1,0 +1,35 @@
+// SPDX-License-Identifier: MIT
+//
+// Colluding passive attackers: a subset of devices pools coefficient blocks
+// and coded rows and mounts the joint null-space attack. Used to
+//   * demonstrate that the paper's 1-private Eq. (8) design breaks under
+//     collusion (device 1 holds pads in the clear), and
+//   * validate the t-collusion extension code (coding/collusion.h) against
+//     every subset up to size t.
+
+#pragma once
+
+#include <vector>
+
+#include "field/gf_prime.h"
+#include "linalg/matrix.h"
+#include "security/eavesdropper.h"
+
+namespace scec {
+
+// Stacks the given devices' blocks and attacks jointly.
+//   blocks[d]  — device d's coefficient block (V_d × (m+r))
+//   shares[d]  — device d's coded rows (V_d × l)
+//   subset     — indices into blocks/shares of the colluding devices
+template <typename T>
+RecoveryAttack<T> AttemptCollusionRecovery(
+    const std::vector<Matrix<T>>& blocks, const std::vector<Matrix<T>>& shares,
+    const std::vector<size_t>& subset, size_t m);
+
+// Smallest subset (by exhaustive search over sizes 1..max_size) that can
+// recover data; returns empty vector when none exists up to max_size.
+template <typename T>
+std::vector<size_t> FindSmallestBreakingCoalition(
+    const std::vector<Matrix<T>>& blocks, size_t m, size_t max_size);
+
+}  // namespace scec

@@ -1,0 +1,53 @@
+// SPDX-License-Identifier: MIT
+//
+// Passive eavesdropper (the paper's attack model, §II-B): an edge device —
+// or an attacker who compromised one — that tries to learn linear
+// information about the data matrix A from what it holds.
+//
+// What the attacker knows:
+//   * its own coded rows  B_j·T  (the values), and
+//   * its coefficient block B_j  (coding coefficients are public in linear
+//     ITS schemes — secrecy rests on the pads R being random, never on the
+//     coefficients being hidden).
+//
+// The strongest linear attack: find weights w with  w·G_j = 0  where G_j is
+// the pad-columns part of B_j. Then  w·(B_j·T) = (w·D_j)·A  — a linear
+// combination of A's rows, computed without knowing R. The attack succeeds
+// iff some such w has  w·D_j ≠ 0, which is exactly the negation of the
+// paper's security condition  dim(L(B_j) ∩ L(λ̄)) = 0 (Def. 2).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "field/gf_prime.h"
+#include "linalg/matrix.h"
+
+namespace scec {
+
+template <typename T>
+struct RecoveryAttack {
+  bool succeeded = false;
+  // Each row: coefficients over A's rows (length m) of one recovered
+  // combination. Empty when the attack fails.
+  Matrix<T> combinations;
+  // Each row: the recovered values  (combination)·A  (length l).
+  Matrix<T> recovered;
+};
+
+// Mounts the null-space attack described above.
+//   coefficients — B_j, V×(m+r); columns [0,m) are D_j, columns [m,m+r) G_j.
+//   coded_rows   — B_j·T, V×l (what the device physically stores).
+template <typename T>
+RecoveryAttack<T> AttemptLinearRecovery(const Matrix<T>& coefficients,
+                                        const Matrix<T>& coded_rows,
+                                        size_t m);
+
+// Convenience: true iff the device can recover at least one nonzero
+// combination of A's rows.
+template <typename T>
+bool DeviceCanRecoverData(const Matrix<T>& coefficients, size_t m);
+
+}  // namespace scec

@@ -1,0 +1,166 @@
+// SPDX-License-Identifier: MIT
+
+#include "security/secrecy_enum.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "coding/encoder.h"
+#include "common/check.h"
+
+namespace scec {
+namespace {
+
+// Serialises a share matrix into a map key.
+template <uint64_t Q>
+std::string Serialise(const Matrix<GfElem<Q>>& share) {
+  std::ostringstream os;
+  for (const GfElem<Q>& e : share.Data()) os << e.value() << ',';
+  return os.str();
+}
+
+// Computes device `device`'s share B_j·T for explicit pads.
+template <uint64_t Q>
+Matrix<GfElem<Q>> DeviceShareFor(const StructuredCode& code,
+                                 const LcecScheme& scheme, size_t device,
+                                 const Matrix<GfElem<Q>>& a,
+                                 const Matrix<GfElem<Q>>& pads) {
+  const size_t start = scheme.BlockStart(device);
+  const size_t count = scheme.row_counts[device];
+  Matrix<GfElem<Q>> share(count, a.cols());
+  for (size_t row = 0; row < count; ++row) {
+    share.SetRow(row, EncodeRow(a, pads, code.RowSpec(start + row)));
+  }
+  return share;
+}
+
+// Iterates all pad matrices in GF(Q)^{r×l} via odometer increment, calling
+// fn(pads) for each. Total Q^(r·l) iterations — caller keeps params tiny.
+template <uint64_t Q, typename Fn>
+void ForEachPad(size_t r, size_t l, Fn&& fn) {
+  const size_t cells = r * l;
+  // Guard against runaway enumeration: Q^cells must fit comfortably.
+  double total = 1.0;
+  for (size_t i = 0; i < cells; ++i) total *= static_cast<double>(Q);
+  SCEC_CHECK_LE(total, 2e7) << "secrecy enumeration too large";
+
+  Matrix<GfElem<Q>> pads(r, l);
+  std::vector<uint64_t> odometer(cells, 0);
+  while (true) {
+    fn(static_cast<const Matrix<GfElem<Q>>&>(pads));
+    // Increment.
+    size_t pos = 0;
+    while (pos < cells) {
+      odometer[pos] += 1;
+      if (odometer[pos] < Q) break;
+      odometer[pos] = 0;
+      ++pos;
+    }
+    if (pos == cells) return;
+    // Refresh the changed cells (all positions <= pos).
+    for (size_t i = 0; i <= pos; ++i) {
+      pads(i / l, i % l) = GfElem<Q>(odometer[i]);
+    }
+  }
+}
+
+}  // namespace
+
+template <uint64_t Q>
+ObservationDistribution EnumerateObservations(const StructuredCode& code,
+                                              const LcecScheme& scheme,
+                                              size_t device,
+                                              const Matrix<GfElem<Q>>& a) {
+  // Deliberately NOT code.CheckScheme(scheme): this function is also used to
+  // measure what a *leaky* partition (one violating the Lemma-1 cap) reveals,
+  // so only structural consistency is enforced here.
+  scheme.Validate();
+  SCEC_CHECK_EQ(scheme.m, code.m());
+  SCEC_CHECK_EQ(scheme.r, code.r());
+  SCEC_CHECK_EQ(a.rows(), code.m());
+  ObservationDistribution dist;
+  ForEachPad<Q>(code.r(), a.cols(), [&](const Matrix<GfElem<Q>>& pads) {
+    dist[Serialise(DeviceShareFor(code, scheme, device, a, pads))] += 1;
+  });
+  return dist;
+}
+
+template <uint64_t Q>
+bool VerifyPerfectSecrecy(const StructuredCode& code, const LcecScheme& scheme,
+                          const std::vector<Matrix<GfElem<Q>>>& candidates) {
+  SCEC_CHECK_GE(candidates.size(), 2u)
+      << "secrecy is relative to at least two candidate matrices";
+  for (size_t device = 0; device < scheme.num_devices(); ++device) {
+    const ObservationDistribution reference =
+        EnumerateObservations(code, scheme, device, candidates[0]);
+    for (size_t c = 1; c < candidates.size(); ++c) {
+      if (EnumerateObservations(code, scheme, device, candidates[c]) !=
+          reference) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+template <uint64_t Q>
+double ConditionalEntropyBits(
+    const StructuredCode& code, const LcecScheme& scheme, size_t device,
+    const std::vector<Matrix<GfElem<Q>>>& candidates) {
+  SCEC_CHECK(!candidates.empty());
+  // Joint counts: observation -> per-candidate count.
+  std::map<std::string, std::vector<uint64_t>> joint;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    const ObservationDistribution dist =
+        EnumerateObservations(code, scheme, device, candidates[c]);
+    for (const auto& [obs, count] : dist) {
+      auto& row = joint[obs];
+      row.resize(candidates.size(), 0);
+      row[c] = count;
+    }
+  }
+  // H(A | Obs) = Σ_obs P(obs) · H(A | obs) with uniform prior over
+  // candidates and uniform pads.
+  uint64_t grand_total = 0;
+  for (const auto& [obs, counts] : joint) {
+    for (uint64_t c : counts) grand_total += c;
+  }
+  SCEC_CHECK_GT(grand_total, 0u);
+  double h = 0.0;
+  for (const auto& [obs, counts] : joint) {
+    uint64_t obs_total = 0;
+    for (uint64_t c : counts) obs_total += c;
+    const double p_obs =
+        static_cast<double>(obs_total) / static_cast<double>(grand_total);
+    double h_given = 0.0;
+    for (uint64_t c : counts) {
+      if (c == 0) continue;
+      const double p =
+          static_cast<double>(c) / static_cast<double>(obs_total);
+      h_given -= p * std::log2(p);
+    }
+    h += p_obs * h_given;
+  }
+  return h;
+}
+
+// Instantiations for the tiny fields used in tests.
+template ObservationDistribution EnumerateObservations<5>(
+    const StructuredCode&, const LcecScheme&, size_t, const Matrix<Gf5>&);
+template bool VerifyPerfectSecrecy<5>(const StructuredCode&,
+                                      const LcecScheme&,
+                                      const std::vector<Matrix<Gf5>>&);
+template double ConditionalEntropyBits<5>(const StructuredCode&,
+                                          const LcecScheme&, size_t,
+                                          const std::vector<Matrix<Gf5>>&);
+
+template ObservationDistribution EnumerateObservations<2>(
+    const StructuredCode&, const LcecScheme&, size_t, const Matrix<Gf2>&);
+template bool VerifyPerfectSecrecy<2>(const StructuredCode&,
+                                      const LcecScheme&,
+                                      const std::vector<Matrix<Gf2>>&);
+template double ConditionalEntropyBits<2>(const StructuredCode&,
+                                          const LcecScheme&, size_t,
+                                          const std::vector<Matrix<Gf2>>&);
+
+}  // namespace scec

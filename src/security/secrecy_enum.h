@@ -1,0 +1,53 @@
+// SPDX-License-Identifier: MIT
+//
+// Exhaustive perfect-secrecy verification on tiny instances.
+//
+// Definition 2 says H(A | B_j·T) = H(A). For a *uniform* prior over a
+// candidate set of data matrices and uniform pads over a small field GF(q),
+// perfect secrecy is equivalent to: for every candidate A, the distribution
+// of the device's observation B_j·T (induced by the pads R) is the same.
+// On tiny parameters (q ≤ 7, r·l ≤ 6 or so) we can enumerate all q^(r·l)
+// pad matrices and compare the observation distributions *exactly* — turning
+// the paper's information-theoretic claim into an executable test.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "coding/encoding_matrix.h"
+#include "field/gf_prime.h"
+#include "linalg/matrix.h"
+
+namespace scec {
+
+// Distribution of a device's observation: serialised share -> count over all
+// pad choices. Exact (integer counts).
+using ObservationDistribution = std::map<std::string, uint64_t>;
+
+// Enumerates all pads R in GF(q)^{r×l} (q = small prime Q) and tabulates the
+// distribution of device `device`'s share under the structured code.
+template <uint64_t Q>
+ObservationDistribution EnumerateObservations(const StructuredCode& code,
+                                              const LcecScheme& scheme,
+                                              size_t device,
+                                              const Matrix<GfElem<Q>>& a);
+
+// True iff every candidate data matrix induces the *identical* observation
+// distribution on every device — i.e. the scheme is perfectly secret with
+// respect to the candidate set.
+template <uint64_t Q>
+bool VerifyPerfectSecrecy(const StructuredCode& code, const LcecScheme& scheme,
+                          const std::vector<Matrix<GfElem<Q>>>& candidates);
+
+// Conditional entropy H(A | observation of device) in bits, for a uniform
+// prior over `candidates` and uniform pads. Equals log2(candidates.size())
+// exactly when the scheme is perfectly secret.
+template <uint64_t Q>
+double ConditionalEntropyBits(const StructuredCode& code,
+                              const LcecScheme& scheme, size_t device,
+                              const std::vector<Matrix<GfElem<Q>>>& candidates);
+
+}  // namespace scec

@@ -1,0 +1,122 @@
+// SPDX-License-Identifier: MIT
+//
+// Actors of the SCEC protocol (§II-D framework): a cloud that stages coded
+// shares, edge devices that multiply their share by incoming queries, and a
+// user that broadcasts queries and decodes responses. Actors communicate
+// only through the Network (wired together by ScecProtocol in protocol.h),
+// so the simulation reproduces the message pattern of a real deployment.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "allocation/device.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "sim/straggler.h"
+
+namespace scec::sim {
+
+class ReliableChannel;
+
+// Fixed node ids: cloud = 0, user = 1, device d = kFirstDeviceNode + d.
+inline constexpr NodeId kCloudNode = 0;
+inline constexpr NodeId kUserNode = 1;
+inline constexpr NodeId kFirstDeviceNode = 2;
+
+inline NodeId DeviceNode(size_t device_index) {
+  return kFirstDeviceNode + static_cast<NodeId>(device_index);
+}
+
+struct SimOptions {
+  double value_bytes = 8.0;      // wire size of one scalar
+  StragglerModel straggler;      // applied to device compute times
+  uint64_t straggler_seed = 7;   // RNG seed for straggler draws
+  // Fault injection: node indices (EdgeDeviceActor::index()) that return
+  // corrupted results. The paper's attack model is passive; this knob exists
+  // to exercise the Byzantine-DETECTION extension in the redundant protocol.
+  std::vector<size_t> byzantine_nodes;
+  // Lossy transport: when > 0, every message (data and ack) is dropped with
+  // this probability and the protocol runs over the reliable channel
+  // (ack/timeout/retransmit, see sim/reliable.h).
+  double loss_probability = 0.0;
+  uint64_t loss_seed = 99;
+  double retransmit_timeout_s = 0.05;
+  size_t max_retries = 25;
+};
+
+// An edge device actor: stores its coded share, answers queries.
+class EdgeDeviceActor {
+ public:
+  // `respond` delivers (device index, response) to the user — it is invoked
+  // at network-delivery time, not at compute-completion time.
+  using ResponseSink =
+      std::function<void(size_t device, std::vector<double> response)>;
+
+  // `channel` may be null (perfect links); when set, responses ride the
+  // reliable ack/retransmit transport instead of raw network sends.
+  EdgeDeviceActor(size_t index, const EdgeDevice& spec, EventQueue* queue,
+                  Network* network, const SimOptions* options,
+                  Xoshiro256StarStar* straggler_rng, ResponseSink respond,
+                  ReliableChannel* channel = nullptr);
+
+  // Called (via the network) when the staged share arrives. Storage
+  // accounting: x (l values) + share ((l+1)·V_j values incl. result slots).
+  void OnShareDelivered(Matrix<double> share);
+
+  // Called when a query vector arrives; computes share·x over the device's
+  // compute rate (inflated by the straggler model) and ships V_j values to
+  // the user. A device is single-core: back-to-back queries queue behind
+  // the one in progress (busy_until_), and responses leave in arrival order
+  // — so a pipelined user can match the q-th response from this device to
+  // its q-th query.
+  void OnQueryDelivered(std::vector<double> x);
+
+  bool HasShare() const { return has_share_; }
+  size_t index() const { return index_; }
+  const DeviceMetrics& metrics() const { return metrics_; }
+
+ private:
+  size_t index_;
+  EdgeDevice spec_;
+  EventQueue* queue_;
+  Network* network_;
+  const SimOptions* options_;
+  Xoshiro256StarStar* straggler_rng_;
+  ResponseSink respond_;
+  ReliableChannel* channel_;
+  Matrix<double> share_;
+  bool has_share_ = false;
+  SimTime busy_until_ = 0.0;  // compute queue tail
+  DeviceMetrics metrics_;
+};
+
+// The user-side response collector: counts responses per device (in scheme
+// order) and fires `on_complete` once every participating device answered.
+class ResponseCollector {
+ public:
+  ResponseCollector(size_t num_devices, std::function<void()> on_complete);
+
+  void OnResponse(size_t device, std::vector<double> response);
+
+  bool Complete() const { return received_ == responses_.size(); }
+  const std::vector<std::vector<double>>& responses() const {
+    return responses_;
+  }
+  // Arrival time of the last response (== query completion, pre-decode).
+  double last_arrival() const { return last_arrival_; }
+  void NoteArrivalTime(double when) { last_arrival_ = when; }
+
+ private:
+  std::vector<std::vector<double>> responses_;
+  std::vector<bool> seen_;
+  size_t received_ = 0;
+  double last_arrival_ = 0.0;
+  std::function<void()> on_complete_;
+};
+
+}  // namespace scec::sim

@@ -1,0 +1,63 @@
+// SPDX-License-Identifier: MIT
+
+#include "sim/event_queue.h"
+
+#include <limits>
+
+namespace scec::sim {
+
+uint64_t EventQueue::ScheduleAt(SimTime when, Callback fn) {
+  SCEC_CHECK_GE(when, now_) << "cannot schedule events in the past";
+  SCEC_CHECK(fn != nullptr);
+  const uint64_t id = next_seq_++;
+  heap_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool EventQueue::Cancel(uint64_t event_id) {
+  return callbacks_.erase(event_id) > 0;
+}
+
+bool EventQueue::PopNext(Entry* out) {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    if (callbacks_.find(top.seq) != callbacks_.end()) {
+      *out = top;
+      return true;
+    }
+    // Cancelled: skip lazily.
+  }
+  return false;
+}
+
+SimTime EventQueue::RunUntilEmpty() {
+  RunUntil(std::numeric_limits<SimTime>::infinity());
+  return now_;
+}
+
+uint64_t EventQueue::RunUntil(SimTime deadline) {
+  uint64_t ran = 0;
+  Entry entry{};
+  while (true) {
+    // Peek: find next live entry without consuming past the deadline.
+    while (!heap_.empty() &&
+           callbacks_.find(heap_.top().seq) == callbacks_.end()) {
+      heap_.pop();  // drop cancelled
+    }
+    if (heap_.empty() || heap_.top().when > deadline) break;
+    const bool ok = PopNext(&entry);
+    SCEC_CHECK(ok);
+    now_ = entry.when;
+    auto it = callbacks_.find(entry.seq);
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    fn();
+    ++processed_;
+    ++ran;
+  }
+  return ran;
+}
+
+}  // namespace scec::sim

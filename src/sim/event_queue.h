@@ -1,0 +1,71 @@
+// SPDX-License-Identifier: MIT
+//
+// Discrete-event simulation kernel: a time-ordered queue of callbacks with a
+// deterministic FIFO tiebreak for simultaneous events. Single-threaded by
+// design — determinism matters more than parallelism for an accounting
+// simulator.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace scec::sim {
+
+using SimTime = double;  // seconds
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+  size_t pending() const { return heap_.size(); }
+  uint64_t processed() const { return processed_; }
+
+  // Schedules `fn` at absolute time `when` (>= now). Returns an event id.
+  uint64_t ScheduleAt(SimTime when, Callback fn);
+
+  // Schedules `fn` after a relative delay (>= 0).
+  uint64_t ScheduleAfter(SimTime delay, Callback fn) {
+    SCEC_CHECK_GE(delay, 0.0);
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending event; returns false if already fired or unknown.
+  bool Cancel(uint64_t event_id);
+
+  // Runs until the queue drains. Returns the final simulation time.
+  SimTime RunUntilEmpty();
+
+  // Runs events with time <= `deadline`; clock ends at min(deadline, last
+  // event time). Returns the number of events processed by this call.
+  uint64_t RunUntil(SimTime deadline);
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;   // FIFO tiebreak & event id
+    // Ordering: earliest time first; FIFO among equal times.
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  bool PopNext(Entry* out);
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 1;
+  uint64_t processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  // Callbacks keyed by seq; erased on fire/cancel. Cancelled ids simply
+  // vanish from the map and their heap entries are skipped lazily.
+  std::unordered_map<uint64_t, Callback> callbacks_;
+};
+
+}  // namespace scec::sim

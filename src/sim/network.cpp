@@ -1,0 +1,40 @@
+// SPDX-License-Identifier: MIT
+
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace scec::sim {
+
+void Network::AddLink(NodeId from, NodeId to, LinkSpec spec) {
+  SCEC_CHECK_GT(spec.bandwidth_bps, 0.0);
+  SCEC_CHECK_GE(spec.latency_s, 0.0);
+  links_[Key(from, to)] = LinkState{spec, /*busy_until=*/0.0,
+                                    /*bytes_sent=*/0};
+}
+
+SimTime Network::Send(NodeId from, NodeId to, uint64_t bytes,
+                      EventQueue::Callback on_delivered) {
+  auto it = links_.find(Key(from, to));
+  SCEC_CHECK(it != links_.end())
+      << "no link " << from << " -> " << to << " declared";
+  LinkState& link = it->second;
+
+  const SimTime start = std::max(queue_->now(), link.busy_until);
+  const double serialisation =
+      static_cast<double>(bytes) * 8.0 / link.spec.bandwidth_bps;
+  const SimTime last_bit_out = start + serialisation;
+  const SimTime delivered = last_bit_out + link.spec.latency_s;
+  link.busy_until = last_bit_out;
+  link.bytes_sent += bytes;
+
+  queue_->ScheduleAt(delivered, std::move(on_delivered));
+  return delivered;
+}
+
+uint64_t Network::BytesSent(NodeId from, NodeId to) const {
+  auto it = links_.find(Key(from, to));
+  return it == links_.end() ? 0 : it->second.bytes_sent;
+}
+
+}  // namespace scec::sim

@@ -1,0 +1,67 @@
+// SPDX-License-Identifier: MIT
+//
+// Network model for the edge simulator: point-to-point links with one-way
+// propagation latency and serialisation bandwidth. A transfer of `bytes`
+// over a link completes after  latency + 8·bytes / bandwidth  seconds; each
+// link serialises its transfers (a second message queues behind the first),
+// which models a device's access link rather than a switched fabric — the
+// right granularity for the paper's user↔device star topology.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/event_queue.h"
+
+namespace scec::sim {
+
+using NodeId = uint32_t;
+
+struct LinkSpec {
+  double latency_s = 1e-3;
+  double bandwidth_bps = 1e8;
+};
+
+class Network {
+ public:
+  explicit Network(EventQueue* queue) : queue_(queue) {
+    SCEC_CHECK(queue != nullptr);
+  }
+
+  // Declares a unidirectional link. Overwrites any previous spec.
+  void AddLink(NodeId from, NodeId to, LinkSpec spec);
+
+  bool HasLink(NodeId from, NodeId to) const {
+    return links_.find(Key(from, to)) != links_.end();
+  }
+
+  // Schedules delivery of a `bytes`-sized message from → to; `on_delivered`
+  // fires at the arrival time. Accounts serialisation: the link is busy
+  // until the last bit leaves, and the message then propagates for
+  // latency_s. Returns the simulated delivery time.
+  SimTime Send(NodeId from, NodeId to, uint64_t bytes,
+               EventQueue::Callback on_delivered);
+
+  // Total bytes offered on a link so far (accounting for benches/tests).
+  uint64_t BytesSent(NodeId from, NodeId to) const;
+
+ private:
+  struct LinkState {
+    LinkSpec spec;
+    SimTime busy_until = 0.0;  // when the link finishes its current backlog
+    uint64_t bytes_sent = 0;
+  };
+
+  static uint64_t Key(NodeId from, NodeId to) {
+    return (static_cast<uint64_t>(from) << 32) | to;
+  }
+
+  EventQueue* queue_;
+  std::unordered_map<uint64_t, LinkState> links_;
+};
+
+}  // namespace scec::sim

@@ -1,0 +1,181 @@
+// SPDX-License-Identifier: MIT
+
+#include "sim/redundant_protocol.h"
+
+#include <algorithm>
+
+namespace scec::sim {
+
+RedundantScecProtocol::RedundantScecProtocol(
+    const Deployment<double>* deployment, const RedundantPlan* plan,
+    const std::vector<EdgeDevice>* fleet, SimOptions options)
+    : deployment_(deployment),
+      plan_(plan),
+      fleet_(fleet),
+      options_(options),
+      straggler_rng_(options.straggler_seed) {
+  SCEC_CHECK(deployment_ != nullptr);
+  SCEC_CHECK(plan_ != nullptr);
+  SCEC_CHECK(fleet_ != nullptr);
+  const size_t blocks = plan_->base.scheme.num_devices();
+  SCEC_CHECK_EQ(deployment_->shares.size(), blocks);
+  SCEC_CHECK_EQ(plan_->replica_groups.size(), blocks);
+
+  size_t node_index = 0;
+  for (size_t block = 0; block < blocks; ++block) {
+    for (size_t ordinal = 0; ordinal < plan_->replica_groups[block].size();
+         ++ordinal) {
+      const size_t fleet_idx = plan_->replica_groups[block][ordinal];
+      SCEC_CHECK_LT(fleet_idx, fleet_->size());
+      const EdgeDevice& spec = (*fleet_)[fleet_idx];
+      const NodeId node = DeviceNode(node_index);
+      network_.AddLink(kCloudNode, node,
+                       LinkSpec{spec.link_latency_s, spec.downlink_bps});
+      network_.AddLink(kUserNode, node,
+                       LinkSpec{spec.link_latency_s, spec.downlink_bps});
+      network_.AddLink(node, kUserNode,
+                       LinkSpec{spec.link_latency_s, spec.uplink_bps});
+
+      Replica replica;
+      replica.block = block;
+      replica.ordinal = ordinal;
+      replica.actor = std::make_unique<EdgeDeviceActor>(
+          node_index, spec, &queue_, &network_, &options_, &straggler_rng_,
+          [this, block, ordinal](size_t /*device*/,
+                                 std::vector<double> response) {
+            if (ordinal == 0) primary_response_time_[block] = queue_.now();
+            last_response_time_[block] = queue_.now();
+            if (first_response_time_[block] < 0.0) {
+              first_response_time_[block] = queue_.now();
+              first_response_[block] = response;
+              if (ordinal != 0) ++metrics_.blocks_won_by_replica;
+            }
+            all_responses_[block][ordinal] = std::move(response);
+          });
+      replicas_.push_back(std::move(replica));
+      ++node_index;
+    }
+  }
+}
+
+void RedundantScecProtocol::Stage() {
+  SCEC_CHECK(!staged_);
+  for (Replica& replica : replicas_) {
+    const Matrix<double>& share =
+        deployment_->shares[replica.block].coded_rows;
+    const uint64_t bytes = static_cast<uint64_t>(
+        static_cast<double>(share.size()) * options_.value_bytes);
+    metrics_.total_bytes += bytes;
+    EdgeDeviceActor* actor = replica.actor.get();
+    network_.Send(kCloudNode, DeviceNode(actor->index()), bytes,
+                  [actor, share]() { actor->OnShareDelivered(share); });
+  }
+  queue_.RunUntilEmpty();
+  metrics_.staging_completion_time = queue_.now();
+  staged_ = true;
+}
+
+void RedundantScecProtocol::Broadcast(const std::vector<double>& x) {
+  SCEC_CHECK(staged_);
+  SCEC_CHECK_EQ(x.size(), deployment_->l);
+  const size_t blocks = plan_->base.scheme.num_devices();
+  first_response_.assign(blocks, {});
+  first_response_time_.assign(blocks, -1.0);
+  primary_response_time_.assign(blocks, -1.0);
+  last_response_time_.assign(blocks, 0.0);
+  all_responses_.assign(blocks, {});
+  for (size_t block = 0; block < blocks; ++block) {
+    all_responses_[block].resize(plan_->replica_groups[block].size());
+  }
+  metrics_.blocks_won_by_replica = 0;
+  metrics_.blocks_with_disagreement = 0;
+  metrics_.blocks_unresolved = 0;
+
+  const uint64_t x_bytes = static_cast<uint64_t>(
+      static_cast<double>(x.size()) * options_.value_bytes);
+  for (Replica& replica : replicas_) {
+    EdgeDeviceActor* actor = replica.actor.get();
+    metrics_.total_bytes += x_bytes;
+    network_.Send(kUserNode, DeviceNode(actor->index()), x_bytes,
+                  [actor, x]() { actor->OnQueryDelivered(x); });
+  }
+}
+
+std::vector<double> RedundantScecProtocol::RunQuery(
+    const std::vector<double>& x) {
+  const SimTime start = queue_.now();
+  Broadcast(x);
+  queue_.RunUntilEmpty();
+  const size_t blocks = plan_->base.scheme.num_devices();
+
+  double completion = 0.0;
+  double primary_completion = 0.0;
+  for (size_t block = 0; block < blocks; ++block) {
+    SCEC_CHECK_GE(first_response_time_[block], 0.0)
+        << "block " << block << " never answered";
+    completion = std::max(completion, first_response_time_[block]);
+    primary_completion =
+        std::max(primary_completion, primary_response_time_[block]);
+  }
+  metrics_.query_completion_time = completion - start;
+  metrics_.primary_only_completion_time = primary_completion - start;
+
+  const std::vector<double> y =
+      ConcatenateResponses(plan_->base.scheme, first_response_);
+  return SubtractionDecode(deployment_->code, std::span<const double>(y));
+}
+
+std::vector<double> RedundantScecProtocol::RunVerifiedQuery(
+    const std::vector<double>& x) {
+  const SimTime start = queue_.now();
+  Broadcast(x);
+  queue_.RunUntilEmpty();
+  const size_t blocks = plan_->base.scheme.num_devices();
+
+  // Majority vote per block. Honest replicas run the identical computation
+  // on the identical share, so their responses are bit-equal; any deviation
+  // marks a fault.
+  std::vector<std::vector<double>> voted(blocks);
+  double verified_completion = 0.0;
+  for (size_t block = 0; block < blocks; ++block) {
+    const auto& candidates = all_responses_[block];
+    SCEC_CHECK(!candidates.empty());
+    verified_completion =
+        std::max(verified_completion, last_response_time_[block]);
+
+    size_t best_index = 0;
+    size_t best_votes = 0;
+    bool disagreement = false;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      size_t votes = 0;
+      for (size_t j = 0; j < candidates.size(); ++j) {
+        if (candidates[j] == candidates[i]) ++votes;
+      }
+      if (votes > best_votes) {
+        best_votes = votes;
+        best_index = i;
+      }
+      if (candidates[i] != candidates[0]) disagreement = true;
+    }
+    if (disagreement) ++metrics_.blocks_with_disagreement;
+    if (best_votes * 2 <= candidates.size()) ++metrics_.blocks_unresolved;
+    voted[block] = candidates[best_index];
+  }
+  metrics_.verified_completion_time = verified_completion - start;
+  // Also populate the first-response latency metrics for comparison.
+  double completion = 0.0;
+  double primary_completion = 0.0;
+  for (size_t block = 0; block < blocks; ++block) {
+    completion = std::max(completion, first_response_time_[block]);
+    primary_completion =
+        std::max(primary_completion, primary_response_time_[block]);
+  }
+  metrics_.query_completion_time = completion - start;
+  metrics_.primary_only_completion_time = primary_completion - start;
+
+  const std::vector<double> y =
+      ConcatenateResponses(plan_->base.scheme, voted);
+  return SubtractionDecode(deployment_->code, std::span<const double>(y));
+}
+
+}  // namespace scec::sim

@@ -1,0 +1,90 @@
+// SPDX-License-Identifier: MIT
+
+#include "sim/reliable.h"
+
+#include <memory>
+#include <utility>
+
+namespace scec::sim {
+
+ReliableChannel::ReliableChannel(EventQueue* queue, Network* network,
+                                 double loss_probability, uint64_t loss_seed)
+    : queue_(queue),
+      network_(network),
+      loss_probability_(loss_probability),
+      loss_rng_(loss_seed) {
+  SCEC_CHECK(queue_ != nullptr);
+  SCEC_CHECK(network_ != nullptr);
+  SCEC_CHECK_GE(loss_probability, 0.0);
+  SCEC_CHECK_LT(loss_probability, 1.0) << "loss of 1.0 can never deliver";
+}
+
+void ReliableChannel::Send(NodeId from, NodeId to, uint64_t bytes,
+                           EventQueue::Callback on_delivered,
+                           EventQueue::Callback on_failure, double timeout_s,
+                           size_t max_retries, uint64_t ack_bytes) {
+  SCEC_CHECK(on_delivered != nullptr);
+  SCEC_CHECK_GT(timeout_s, 0.0);
+  auto transfer = std::make_shared<Transfer>();
+  transfer->from = from;
+  transfer->to = to;
+  transfer->bytes = bytes;
+  transfer->ack_bytes = ack_bytes;
+  transfer->timeout_s = timeout_s;
+  transfer->retries_left = max_retries;
+  transfer->sequence = next_sequence_++;
+  transfer->on_delivered = std::move(on_delivered);
+  transfer->on_failure = std::move(on_failure);
+  Attempt(std::move(transfer));
+}
+
+void ReliableChannel::Attempt(std::shared_ptr<Transfer> transfer) {
+  ++stats_.data_sends;
+  const bool data_lost = Dropped();
+  if (data_lost) ++stats_.data_drops;
+
+  // The attempt occupies the forward link either way (the serialisation
+  // time is spent; the packet dies in flight). We model loss by sending a
+  // same-size message whose arrival does nothing.
+  network_->Send(
+      transfer->from, transfer->to, transfer->bytes,
+      [this, transfer, data_lost]() {
+        if (data_lost || transfer->acked) {
+          // Lost in flight, or a duplicate of an already-acked transfer.
+          if (!data_lost && transfer->acked) {
+            // Delivered again after ack: receiver dedups silently.
+            ++stats_.duplicates_suppressed;
+          }
+          return;
+        }
+        // First successful arrival of this sequence?
+        if (delivered_.insert(transfer->sequence).second) {
+          ++stats_.deliveries;
+          transfer->on_delivered();
+        } else {
+          ++stats_.duplicates_suppressed;
+        }
+        // Send the ack on the reverse link (may itself be lost).
+        const bool ack_lost = Dropped();
+        if (ack_lost) ++stats_.ack_drops;
+        network_->Send(transfer->to, transfer->from, transfer->ack_bytes,
+                       [transfer, ack_lost]() {
+                         if (!ack_lost) transfer->acked = true;
+                       });
+      });
+
+  // Sender-side timeout: if no ack by then, retransmit or give up.
+  queue_->ScheduleAfter(transfer->timeout_s, [this, transfer]() {
+    if (transfer->acked) return;
+    if (transfer->retries_left == 0) {
+      ++stats_.failures;
+      if (transfer->on_failure != nullptr) transfer->on_failure();
+      return;
+    }
+    --transfer->retries_left;
+    ++stats_.retransmissions;
+    Attempt(transfer);
+  });
+}
+
+}  // namespace scec::sim

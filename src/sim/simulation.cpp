@@ -1,0 +1,64 @@
+// SPDX-License-Identifier: MIT
+
+#include "sim/simulation.h"
+
+#include <cmath>
+
+#include "linalg/matrix_ops.h"
+
+namespace scec::sim {
+namespace {
+
+// Decode tolerance: the structured decode is a single subtraction per value,
+// so errors stay within a few ulps of the straight product.
+bool NearlyEqual(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max({1.0, std::fabs(a[i]), std::fabs(b[i])});
+    if (std::fabs(a[i] - b[i]) > 1e-9 * scale) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<SimulationResult> SimulateDeployment(
+    const Deployment<double>& deployment, std::vector<EdgeDevice> specs,
+    const Matrix<double>& a, const std::vector<double>& x,
+    SimOptions options) {
+  if (x.size() != deployment.l) {
+    return InvalidArgument("query vector width does not match deployment");
+  }
+  ScecProtocol protocol(&deployment, std::move(specs), options);
+  protocol.Stage();
+
+  SimulationResult result;
+  result.decoded = protocol.RunQuery(x);
+  result.metrics = protocol.metrics();
+
+  const std::vector<double> expected = MatVec(a, std::span<const double>(x));
+  result.metrics.decoded_correctly =
+      NearlyEqual(result.decoded, expected);
+  if (!result.metrics.decoded_correctly) {
+    return Internal("simulated decode does not match direct product");
+  }
+  return result;
+}
+
+Result<SimulationResult> SimulateScec(const McscecProblem& problem,
+                                      const Matrix<double>& a,
+                                      const std::vector<double>& x,
+                                      ChaCha20Rng& coding_rng,
+                                      SimOptions options) {
+  SCEC_ASSIGN_OR_RETURN(Deployment<double> deployment,
+                        Deploy(problem, a, coding_rng));
+  // Participating devices' hardware specs in scheme order.
+  std::vector<EdgeDevice> specs;
+  specs.reserve(deployment.plan.participating.size());
+  for (size_t fleet_index : deployment.plan.participating) {
+    specs.push_back(problem.fleet[fleet_index]);
+  }
+  return SimulateDeployment(deployment, std::move(specs), a, x, options);
+}
+
+}  // namespace scec::sim

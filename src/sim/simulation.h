@@ -1,0 +1,40 @@
+// SPDX-License-Identifier: MIT
+//
+// High-level simulation facade: plan + encode a problem, run the protocol
+// under the discrete-event simulator, verify the decoded result against the
+// direct product, and return the full metrics. This is the entry point the
+// examples and the completion-time benchmark use.
+
+#pragma once
+
+#include <vector>
+
+#include "common/error.h"
+#include "core/pipeline.h"
+#include "sim/metrics.h"
+#include "sim/protocol.h"
+
+namespace scec::sim {
+
+struct SimulationResult {
+  std::vector<double> decoded;   // A·x as decoded through the protocol
+  RunMetrics metrics;
+};
+
+// Simulates staging plus `queries` rounds of y = A·x against the problem's
+// fleet. The deployment is planned internally (TA1/TA2 via kAuto).
+// `verify_against` may pass the true A to cross-check every decode.
+Result<SimulationResult> SimulateScec(const McscecProblem& problem,
+                                      const Matrix<double>& a,
+                                      const std::vector<double>& x,
+                                      ChaCha20Rng& coding_rng,
+                                      SimOptions options = {});
+
+// Lower-level: simulate against an existing deployment. `specs` are the
+// participating devices' hardware characteristics in scheme order.
+Result<SimulationResult> SimulateDeployment(
+    const Deployment<double>& deployment, std::vector<EdgeDevice> specs,
+    const Matrix<double>& a, const std::vector<double>& x,
+    SimOptions options = {});
+
+}  // namespace scec::sim

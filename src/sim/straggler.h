@@ -1,0 +1,39 @@
+// SPDX-License-Identifier: MIT
+//
+// Straggler models for edge devices. The paper assumes all devices respond
+// in a timely manner (§II-A) — `kNone` reproduces that. Remark 1 observes
+// that the Lemma-1 bound V(B_j) ≤ r caps the per-device work, which bounds
+// the completion time *distribution*; the shifted-exponential model (the
+// standard model in the coded-computing literature the paper cites, e.g.
+// Lee et al. 2018) lets the benchmark `sim_completion_time` exercise that.
+
+#pragma once
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace scec::sim {
+
+enum class StragglerKind {
+  kNone,                 // deterministic compute time
+  kExponentialSlowdown,  // time *= 1 + Exp(rate): occasional slow devices
+};
+
+struct StragglerModel {
+  StragglerKind kind = StragglerKind::kNone;
+  double rate = 5.0;  // for kExponentialSlowdown: larger = fewer stragglers
+
+  // Multiplies a nominal compute duration by the sampled slowdown.
+  double Apply(double nominal_seconds, Xoshiro256StarStar& rng) const {
+    SCEC_CHECK_GE(nominal_seconds, 0.0);
+    switch (kind) {
+      case StragglerKind::kNone:
+        return nominal_seconds;
+      case StragglerKind::kExponentialSlowdown:
+        return nominal_seconds * (1.0 + rng.NextExponential(rate));
+    }
+    SCEC_UNREACHABLE();
+  }
+};
+
+}  // namespace scec::sim

@@ -1,0 +1,108 @@
+// SPDX-License-Identifier: MIT
+
+#include "workload/device_profiles.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace scec {
+namespace {
+
+struct ProfileNumbers {
+  ResourceCosts costs;
+  double flops;
+  double uplink_bps;
+  double downlink_bps;
+  double latency_s;
+};
+
+// Cost units are abstract (the paper's c_j scale); hardware units are SI.
+ProfileNumbers Numbers(DeviceProfile profile) {
+  switch (profile) {
+    case DeviceProfile::kMicrocontroller:
+      return {{/*storage=*/0.04, /*add=*/0.004, /*mul=*/0.008,
+               /*comm=*/0.8},
+              /*flops=*/5e6, /*up=*/2.5e5, /*down=*/2.5e5, /*lat=*/2e-2};
+    case DeviceProfile::kPhone:
+      return {{0.01, 0.0008, 0.0016, 2.0},
+              2e9, 2e7, 5e7, 3e-2};
+    case DeviceProfile::kSingleBoard:
+      return {{0.008, 0.0005, 0.001, 1.2},
+              5e8, 5e7, 5e7, 5e-3};
+    case DeviceProfile::kEdgeGateway:
+      return {{0.006, 0.0003, 0.0006, 0.9},
+              4e9, 2e8, 2e8, 2e-3};
+    case DeviceProfile::kEdgeServer:
+      return {{0.02, 0.0002, 0.0004, 3.5},
+              5e10, 1e9, 1e9, 1e-3};
+  }
+  SCEC_UNREACHABLE();
+}
+
+double Jittered(double value, Xoshiro256StarStar& rng, double jitter) {
+  return value * (1.0 + rng.NextDouble(-jitter, jitter));
+}
+
+}  // namespace
+
+const char* DeviceProfileName(DeviceProfile profile) {
+  switch (profile) {
+    case DeviceProfile::kMicrocontroller: return "mcu";
+    case DeviceProfile::kPhone: return "phone";
+    case DeviceProfile::kSingleBoard: return "sbc";
+    case DeviceProfile::kEdgeGateway: return "gateway";
+    case DeviceProfile::kEdgeServer: return "edge-server";
+  }
+  return "?";
+}
+
+EdgeDevice MakeDevice(DeviceProfile profile, const std::string& name,
+                      Xoshiro256StarStar& rng, double jitter) {
+  SCEC_CHECK_GE(jitter, 0.0);
+  SCEC_CHECK_LT(jitter, 1.0);
+  const ProfileNumbers base = Numbers(profile);
+  EdgeDevice device;
+  device.name = name;
+  device.costs.storage = Jittered(base.costs.storage, rng, jitter);
+  device.costs.add = Jittered(base.costs.add, rng, jitter);
+  // Keep the paper's c^a <= c^m invariant under jitter.
+  device.costs.mul =
+      std::max(device.costs.add, Jittered(base.costs.mul, rng, jitter));
+  device.costs.comm = Jittered(base.costs.comm, rng, jitter);
+  device.compute_rate_flops = Jittered(base.flops, rng, jitter);
+  device.uplink_bps = Jittered(base.uplink_bps, rng, jitter);
+  device.downlink_bps = Jittered(base.downlink_bps, rng, jitter);
+  device.link_latency_s = Jittered(base.latency_s, rng, jitter);
+  SCEC_CHECK(device.costs.Valid());
+  return device;
+}
+
+DeviceFleet MakeFleet(const std::vector<FleetSpec>& spec,
+                      Xoshiro256StarStar& rng, double jitter) {
+  DeviceFleet fleet;
+  for (const FleetSpec& group : spec) {
+    for (size_t i = 0; i < group.count; ++i) {
+      const std::string name = std::string(DeviceProfileName(group.profile)) +
+                               "-" + std::to_string(i);
+      fleet.Add(MakeDevice(group.profile, name, rng, jitter));
+    }
+  }
+  return fleet;
+}
+
+DeviceFleet MakeCampusFleet(size_t approx_size, Xoshiro256StarStar& rng) {
+  SCEC_CHECK_GE(approx_size, 4u);
+  // Roughly: 45% phones, 30% SBCs, 15% gateways, 10% servers, min 1 each.
+  const size_t phones = std::max<size_t>(1, approx_size * 45 / 100);
+  const size_t sbcs = std::max<size_t>(1, approx_size * 30 / 100);
+  const size_t gateways = std::max<size_t>(1, approx_size * 15 / 100);
+  const size_t servers = std::max<size_t>(1, approx_size / 10);
+  return MakeFleet({{DeviceProfile::kPhone, phones},
+                    {DeviceProfile::kSingleBoard, sbcs},
+                    {DeviceProfile::kEdgeGateway, gateways},
+                    {DeviceProfile::kEdgeServer, servers}},
+                   rng);
+}
+
+}  // namespace scec

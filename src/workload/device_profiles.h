@@ -1,0 +1,50 @@
+// SPDX-License-Identifier: MIT
+//
+// Named edge-device profiles with realistic resource characteristics, used
+// by examples and simulation benches to build heterogeneous fleets without
+// hand-tuning ten numbers per device.
+//
+// Unit-cost scales are normalised so a mid-range phone ≈ the paper's cost
+// range (its experiments draw c_j from U(1, 5)); absolute hardware numbers
+// (flops, link rates) feed only the discrete-event simulator's timing.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "allocation/device.h"
+#include "common/rng.h"
+
+namespace scec {
+
+enum class DeviceProfile {
+  kMicrocontroller,  // sensor-class: tiny compute, cheap but slow links
+  kPhone,            // mid-range smartphone
+  kSingleBoard,      // Raspberry-Pi-class SBC
+  kEdgeGateway,      // wired gateway box
+  kEdgeServer,       // rack-mount edge server: fast and expensive
+};
+
+const char* DeviceProfileName(DeviceProfile profile);
+
+// Builds a device of the given profile. `jitter` in [0, 1) perturbs every
+// characteristic by up to ±jitter·value (deterministic per rng draw), so a
+// fleet of the same profile is not perfectly homogeneous.
+EdgeDevice MakeDevice(DeviceProfile profile, const std::string& name,
+                      Xoshiro256StarStar& rng, double jitter = 0.15);
+
+// A mixed fleet: `counts[i]` devices of `profiles[i]`.
+struct FleetSpec {
+  DeviceProfile profile;
+  size_t count = 0;
+};
+
+DeviceFleet MakeFleet(const std::vector<FleetSpec>& spec,
+                      Xoshiro256StarStar& rng, double jitter = 0.15);
+
+// Convenience: the "campus" fleet used by examples — a few gateways, a pile
+// of phones and SBCs, a couple of edge servers.
+DeviceFleet MakeCampusFleet(size_t approx_size, Xoshiro256StarStar& rng);
+
+}  // namespace scec

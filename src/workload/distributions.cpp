@@ -1,0 +1,54 @@
+// SPDX-License-Identifier: MIT
+
+#include "workload/distributions.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace scec {
+
+double CostDistribution::Sample(Xoshiro256StarStar& rng) const {
+  switch (kind) {
+    case CostDistributionKind::kUniform: {
+      SCEC_CHECK_LT(uniform_lo, uniform_hi);
+      SCEC_CHECK_GE(uniform_lo, kMinUnitCost);
+      return rng.NextDouble(uniform_lo, uniform_hi);
+    }
+    case CostDistributionKind::kNormal: {
+      SCEC_CHECK_GT(sigma, 0.0);
+      // Resample until positive (truncation; see header).
+      for (int attempt = 0; attempt < 1000; ++attempt) {
+        const double draw = mu + sigma * rng.NextGaussian();
+        if (draw >= kMinUnitCost) return draw;
+      }
+      // Pathological parameters (µ deeply negative): fall back to the floor.
+      return kMinUnitCost;
+    }
+  }
+  SCEC_UNREACHABLE();
+}
+
+std::string CostDistribution::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case CostDistributionKind::kUniform:
+      os << "U(" << uniform_lo << ", " << uniform_hi << ")";
+      break;
+    case CostDistributionKind::kNormal:
+      os << "N(" << mu << ", " << sigma << "^2) truncated at " << kMinUnitCost;
+      break;
+  }
+  return os.str();
+}
+
+std::vector<double> SampleSortedCosts(const CostDistribution& distribution,
+                                      size_t k, Xoshiro256StarStar& rng) {
+  std::vector<double> costs(k);
+  for (auto& c : costs) c = distribution.Sample(rng);
+  std::sort(costs.begin(), costs.end());
+  return costs;
+}
+
+}  // namespace scec

@@ -1,0 +1,60 @@
+// SPDX-License-Identifier: MIT
+//
+// Unit-cost distributions used in the paper's evaluation (§V):
+//   * Uniform  U(1, c_max)            — panels (a)–(c)
+//   * Normal   N(µ, σ²), truncated    — panels (d)–(e)
+//
+// The paper requires c_j > 0 but does not state how it handles negative
+// normal draws; we resample until the draw exceeds a small positive floor
+// (kMinUnitCost), which preserves the distribution shape for the σ/µ ranges
+// the paper sweeps (P(X ≤ floor) is tiny for µ=5, σ ≤ 2.5).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace scec {
+
+inline constexpr double kMinUnitCost = 1e-3;
+
+enum class CostDistributionKind { kUniform, kNormal };
+
+struct CostDistribution {
+  CostDistributionKind kind = CostDistributionKind::kUniform;
+  // Uniform parameters: draws from U(lo, hi).
+  double uniform_lo = 1.0;
+  double uniform_hi = 5.0;   // the paper's c_max default
+  // Normal parameters.
+  double mu = 5.0;
+  double sigma = 1.25;
+
+  static CostDistribution Uniform(double c_max, double lo = 1.0) {
+    CostDistribution d;
+    d.kind = CostDistributionKind::kUniform;
+    d.uniform_lo = lo;
+    d.uniform_hi = c_max;
+    return d;
+  }
+
+  static CostDistribution Normal(double mu, double sigma) {
+    CostDistribution d;
+    d.kind = CostDistributionKind::kNormal;
+    d.mu = mu;
+    d.sigma = sigma;
+    return d;
+  }
+
+  double Sample(Xoshiro256StarStar& rng) const;
+  std::string ToString() const;
+};
+
+// Draws k unit costs and returns them sorted ascending (the paper's
+// canonical device order).
+std::vector<double> SampleSortedCosts(const CostDistribution& distribution,
+                                      size_t k, Xoshiro256StarStar& rng);
+
+}  // namespace scec

@@ -1,0 +1,245 @@
+// SPDX-License-Identifier: MIT
+
+#include "workload/experiment.h"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <thread>
+
+#include "common/check.h"
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace scec {
+
+double SweepPointResult::GapToLowerBound() const {
+  const double lb = MeanOf(Series::kLowerBound);
+  const double mcscec = MeanOf(Series::kMcscec);
+  return lb > 0.0 ? (mcscec - lb) / lb : 0.0;
+}
+
+double SweepPointResult::SavingVs(Series baseline) const {
+  const double base = MeanOf(baseline);
+  const double mcscec = MeanOf(Series::kMcscec);
+  return base > 0.0 ? (base - mcscec) / base : 0.0;
+}
+
+double SweepPointResult::SecurityOverhead() const {
+  const double tawos = MeanOf(Series::kTAWithoutSecurity);
+  const double mcscec = MeanOf(Series::kMcscec);
+  return tawos > 0.0 ? (mcscec - tawos) / tawos : 0.0;
+}
+
+std::string SweepResult::RenderTable() const {
+  std::vector<std::string> header = {x_name};
+  for (size_t s = 0; s < kSeriesCount; ++s) {
+    header.push_back(SeriesName(static_cast<Series>(s)));
+  }
+  header.push_back("gap-vs-LB");
+  header.push_back("save-vs-Max");
+  header.push_back("save-vs-Min");
+  header.push_back("save-vs-R");
+  header.push_back("sec-overhead");
+
+  TablePrinter table(header);
+  for (const SweepPointResult& point : points) {
+    std::vector<std::string> row = {point.label};
+    for (size_t s = 0; s < kSeriesCount; ++s) {
+      row.push_back(FormatDouble(point.series[s].mean(), 6));
+    }
+    row.push_back(FormatDouble(point.GapToLowerBound() * 100.0, 3) + "%");
+    row.push_back(FormatDouble(point.SavingVs(Series::kMaxNode) * 100.0, 3) +
+                  "%");
+    row.push_back(FormatDouble(point.SavingVs(Series::kMinNode) * 100.0, 3) +
+                  "%");
+    row.push_back(FormatDouble(point.SavingVs(Series::kRNode) * 100.0, 3) +
+                  "%");
+    row.push_back(FormatDouble(point.SecurityOverhead() * 100.0, 3) + "%");
+    table.AddRow(std::move(row));
+  }
+  std::ostringstream os;
+  os << name << "\n";
+  table.Print(os);
+  return os.str();
+}
+
+void SweepResult::WriteCsv(std::ostream& os) const {
+  CsvWriter csv(os);
+  std::vector<std::string> header = {x_name};
+  for (size_t s = 0; s < kSeriesCount; ++s) {
+    header.push_back(SeriesName(static_cast<Series>(s)));
+  }
+  csv.WriteRow(header);
+  for (const SweepPointResult& point : points) {
+    std::vector<double> values;
+    for (size_t s = 0; s < kSeriesCount; ++s) {
+      values.push_back(point.series[s].mean());
+    }
+    csv.WriteNumericRow(point.label, values);
+  }
+}
+
+namespace {
+
+// Per-instance generator derived purely from (seed, point, rep): shard- and
+// thread-count-independent determinism.
+Xoshiro256StarStar InstanceRng(uint64_t seed, size_t point_idx, size_t rep) {
+  SplitMix64 mixer(seed ^ (0x9E3779B97F4A7C15ULL * (point_idx + 1)));
+  const uint64_t base = mixer.Next();
+  return Xoshiro256StarStar(base + 0xBF58476D1CE4E5B9ULL * (rep + 1));
+}
+
+}  // namespace
+
+SweepResult RunSweep(const std::string& name, const std::string& x_name,
+                     const std::vector<SweepPoint>& points, size_t instances,
+                     uint64_t seed, size_t threads) {
+  SCEC_CHECK_GE(instances, 1u);
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, instances);
+
+  SweepResult result;
+  result.name = name;
+  result.x_name = x_name;
+  result.points.reserve(points.size());
+  for (size_t idx = 0; idx < points.size(); ++idx) {
+    const SweepPoint& point = points[idx];
+    SweepPointResult point_result;
+    point_result.label = point.label;
+
+    // Shard instances; each shard accumulates private stats, merged in
+    // shard order (RunningStat::Merge), so the aggregate is independent of
+    // scheduling.
+    std::vector<std::array<RunningStat, kSeriesCount>> shard_stats(threads);
+    auto worker = [&](size_t shard) {
+      for (size_t rep = shard; rep < instances; rep += threads) {
+        Xoshiro256StarStar rng = InstanceRng(seed, idx, rep);
+        const ExperimentInstance instance =
+            SampleInstance(point.m, point.k, point.distribution, rng);
+        const std::array<double, kSeriesCount> costs =
+            EvaluateInstance(instance, rng);
+        for (size_t s = 0; s < kSeriesCount; ++s) {
+          shard_stats[shard][s].Add(costs[s]);
+        }
+      }
+    };
+    if (threads == 1) {
+      worker(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (size_t shard = 0; shard < threads; ++shard) {
+        pool.emplace_back(worker, shard);
+      }
+      for (auto& thread : pool) thread.join();
+    }
+    for (size_t shard = 0; shard < threads; ++shard) {
+      for (size_t s = 0; s < kSeriesCount; ++s) {
+        point_result.series[s].Merge(shard_stats[shard][s]);
+      }
+    }
+    result.points.push_back(std::move(point_result));
+  }
+  return result;
+}
+
+namespace {
+
+std::string SizeLabel(size_t v) { return std::to_string(v); }
+
+}  // namespace
+
+SweepResult RunFig2a(const ExperimentDefaults& defaults,
+                     std::vector<size_t> m_values) {
+  if (m_values.empty()) {
+    m_values = {100, 500, 1000, 2000, 5000, 10000};
+  }
+  std::vector<SweepPoint> points;
+  for (size_t m : m_values) {
+    SweepPoint p;
+    p.label = SizeLabel(m);
+    p.m = m;
+    p.k = defaults.k;
+    p.distribution = CostDistribution::Uniform(defaults.c_max);
+    points.push_back(p);
+  }
+  return RunSweep("Fig. 2(a): total cost vs m (data rows)", "m", points,
+                  defaults.instances, defaults.seed, defaults.threads);
+}
+
+SweepResult RunFig2b(const ExperimentDefaults& defaults,
+                     std::vector<size_t> k_values) {
+  if (k_values.empty()) {
+    k_values = {5, 10, 15, 20, 25, 50, 75, 100};
+  }
+  std::vector<SweepPoint> points;
+  for (size_t k : k_values) {
+    SweepPoint p;
+    p.label = SizeLabel(k);
+    p.m = defaults.m;
+    p.k = k;
+    p.distribution = CostDistribution::Uniform(defaults.c_max);
+    points.push_back(p);
+  }
+  return RunSweep("Fig. 2(b): total cost vs k (edge devices)", "k", points,
+                  defaults.instances, defaults.seed + 1, defaults.threads);
+}
+
+SweepResult RunFig2c(const ExperimentDefaults& defaults,
+                     std::vector<double> c_max_values) {
+  if (c_max_values.empty()) {
+    c_max_values = {2, 3, 5, 8, 12, 16, 20};
+  }
+  std::vector<SweepPoint> points;
+  for (double c_max : c_max_values) {
+    SweepPoint p;
+    p.label = FormatDouble(c_max, 4);
+    p.m = defaults.m;
+    p.k = defaults.k;
+    p.distribution = CostDistribution::Uniform(c_max);
+    points.push_back(p);
+  }
+  return RunSweep("Fig. 2(c): total cost vs c_max (uniform cost cap)", "c_max",
+                  points, defaults.instances, defaults.seed + 2, defaults.threads);
+}
+
+SweepResult RunFig2d(const ExperimentDefaults& defaults,
+                     std::vector<double> sigma_values) {
+  if (sigma_values.empty()) {
+    sigma_values = {0.01, 0.25, 0.5, 1.0, 1.25, 1.75, 2.5};
+  }
+  std::vector<SweepPoint> points;
+  for (double sigma : sigma_values) {
+    SweepPoint p;
+    p.label = FormatDouble(sigma, 4);
+    p.m = defaults.m;
+    p.k = defaults.k;
+    p.distribution = CostDistribution::Normal(defaults.mu, sigma);
+    points.push_back(p);
+  }
+  return RunSweep("Fig. 2(d): total cost vs sigma (normal cost spread)",
+                  "sigma", points, defaults.instances, defaults.seed + 3, defaults.threads);
+}
+
+SweepResult RunFig2e(const ExperimentDefaults& defaults,
+                     std::vector<double> mu_values) {
+  if (mu_values.empty()) {
+    mu_values = {2, 3, 5, 8, 12, 16, 20};
+  }
+  std::vector<SweepPoint> points;
+  for (double mu : mu_values) {
+    SweepPoint p;
+    p.label = FormatDouble(mu, 4);
+    p.m = defaults.m;
+    p.k = defaults.k;
+    p.distribution = CostDistribution::Normal(mu, defaults.sigma);
+    points.push_back(p);
+  }
+  return RunSweep("Fig. 2(e): total cost vs mu (normal cost mean)", "mu",
+                  points, defaults.instances, defaults.seed + 4, defaults.threads);
+}
+
+}  // namespace scec

@@ -1,0 +1,89 @@
+// SPDX-License-Identifier: MIT
+//
+// Experiment runner for the Fig. 2 reproductions: sweeps one parameter,
+// samples `instances` cost vectors per point, averages each series, and
+// renders the paper-style table (plus optional CSV).
+//
+// Defaults mirror §V: m=5000, k=25, c_max=5, µ=5, σ=1.25, 1000 instances.
+
+#pragma once
+
+#include <array>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "workload/instance.h"
+
+namespace scec {
+
+struct ExperimentDefaults {
+  size_t m = 5000;
+  size_t k = 25;
+  double c_max = 5.0;
+  double mu = 5.0;
+  double sigma = 1.25;
+  size_t instances = 1000;
+  uint64_t seed = 20190707;  // ICDCS'19 vintage; any fixed value works
+  size_t threads = 1;        // 0 = hardware concurrency
+};
+
+// One sweep point: the label (x value) and a fully specified sampling setup.
+struct SweepPoint {
+  std::string label;
+  size_t m = 0;
+  size_t k = 0;
+  CostDistribution distribution;
+};
+
+struct SweepPointResult {
+  std::string label;
+  std::array<RunningStat, kSeriesCount> series;
+
+  double MeanOf(Series s) const {
+    return series[static_cast<size_t>(s)].mean();
+  }
+  // Key §V headline: relative gap of MCSCEC above the lower bound.
+  double GapToLowerBound() const;
+  // Relative saving of MCSCEC vs a baseline: (base − mcscec) / base.
+  double SavingVs(Series baseline) const;
+  // Price of security: (mcscec − tawos) / tawos.
+  double SecurityOverhead() const;
+};
+
+struct SweepResult {
+  std::string name;          // e.g. "Fig. 2(a): total cost vs m"
+  std::string x_name;        // e.g. "m"
+  std::vector<SweepPointResult> points;
+
+  // Paper-style table: one row per x value, one column per series, then the
+  // derived columns (gap to LB, saving vs best baseline, security overhead).
+  std::string RenderTable() const;
+  void WriteCsv(std::ostream& os) const;
+};
+
+// Runs the sweep. Each instance's RNG stream is derived purely from
+// (seed, point index, instance index), so the SAMPLED INSTANCES are
+// identical for a given seed regardless of `threads`; aggregated means then
+// agree across thread counts up to floating-point summation order (exactly,
+// when threads is unchanged). threads = 0 picks hardware concurrency.
+SweepResult RunSweep(const std::string& name, const std::string& x_name,
+                     const std::vector<SweepPoint>& points, size_t instances,
+                     uint64_t seed, size_t threads = 1);
+
+// Builders for the paper's five panels, honouring `defaults` for everything
+// not swept. Empty `values` selects the paper's sweep grid.
+SweepResult RunFig2a(const ExperimentDefaults& defaults,
+                     std::vector<size_t> m_values = {});
+SweepResult RunFig2b(const ExperimentDefaults& defaults,
+                     std::vector<size_t> k_values = {});
+SweepResult RunFig2c(const ExperimentDefaults& defaults,
+                     std::vector<double> c_max_values = {});
+SweepResult RunFig2d(const ExperimentDefaults& defaults,
+                     std::vector<double> sigma_values = {});
+SweepResult RunFig2e(const ExperimentDefaults& defaults,
+                     std::vector<double> mu_values = {});
+
+}  // namespace scec

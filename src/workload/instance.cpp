@@ -1,0 +1,76 @@
+// SPDX-License-Identifier: MIT
+
+#include "workload/instance.h"
+
+#include <cmath>
+
+#include "allocation/baselines.h"
+#include "allocation/lower_bound.h"
+#include "allocation/ta1.h"
+#include "allocation/ta2.h"
+#include "common/check.h"
+
+namespace scec {
+
+ExperimentInstance SampleInstance(size_t m, size_t k,
+                                  const CostDistribution& distribution,
+                                  Xoshiro256StarStar& rng) {
+  ExperimentInstance instance;
+  instance.m = m;
+  instance.sorted_costs = SampleSortedCosts(distribution, k, rng);
+  return instance;
+}
+
+const char* SeriesName(Series series) {
+  switch (series) {
+    case Series::kLowerBound: return "LB";
+    case Series::kMcscec: return "MCSCEC";
+    case Series::kTAWithoutSecurity: return "TAw/oS";
+    case Series::kMaxNode: return "MaxNode";
+    case Series::kMinNode: return "MinNode";
+    case Series::kRNode: return "RNode";
+    case Series::kCount: break;
+  }
+  return "?";
+}
+
+std::array<double, kSeriesCount> EvaluateInstance(
+    const ExperimentInstance& instance, Xoshiro256StarStar& rng) {
+  const size_t m = instance.m;
+  const std::vector<double>& costs = instance.sorted_costs;
+
+  std::array<double, kSeriesCount> out{};
+  out[static_cast<size_t>(Series::kLowerBound)] = LowerBound(m, costs);
+
+  const Result<Allocation> ta1 = RunTA1(m, costs);
+  SCEC_CHECK(ta1.ok()) << ta1.status();
+  const Result<Allocation> ta2 = RunTA2(m, costs);
+  SCEC_CHECK(ta2.ok()) << ta2.status();
+  // Theorems 4 & 5: both algorithms are optimal, so their costs must agree
+  // to rounding. This cross-check runs on every instance of every benchmark.
+  SCEC_CHECK(std::abs(ta1->total_cost - ta2->total_cost) <=
+             1e-9 * (1.0 + ta1->total_cost))
+      << "TA1 (" << ta1->total_cost << ") and TA2 (" << ta2->total_cost
+      << ") disagree: optimality bug";
+  out[static_cast<size_t>(Series::kMcscec)] = ta1->total_cost;
+
+  const Result<Allocation> tawos = RunTAWithoutSecurity(m, costs);
+  SCEC_CHECK(tawos.ok()) << tawos.status();
+  out[static_cast<size_t>(Series::kTAWithoutSecurity)] = tawos->total_cost;
+
+  const Result<Allocation> max_node = RunMaxNode(m, costs);
+  SCEC_CHECK(max_node.ok()) << max_node.status();
+  out[static_cast<size_t>(Series::kMaxNode)] = max_node->total_cost;
+
+  const Result<Allocation> min_node = RunMinNode(m, costs);
+  SCEC_CHECK(min_node.ok()) << min_node.status();
+  out[static_cast<size_t>(Series::kMinNode)] = min_node->total_cost;
+
+  const Result<Allocation> r_node = RunRandomNode(m, costs, rng);
+  SCEC_CHECK(r_node.ok()) << r_node.status();
+  out[static_cast<size_t>(Series::kRNode)] = r_node->total_cost;
+
+  return out;
+}
+
+}  // namespace scec

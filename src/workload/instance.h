@@ -1,0 +1,49 @@
+// SPDX-License-Identifier: MIT
+//
+// A sampled MCSCEC experiment instance — (m, k, sorted unit costs) — and the
+// evaluation of every algorithm the paper compares on it.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "allocation/allocation.h"
+#include "common/rng.h"
+#include "workload/distributions.h"
+
+namespace scec {
+
+struct ExperimentInstance {
+  size_t m = 0;
+  std::vector<double> sorted_costs;  // ascending, size k
+};
+
+ExperimentInstance SampleInstance(size_t m, size_t k,
+                                  const CostDistribution& distribution,
+                                  Xoshiro256StarStar& rng);
+
+// The six series the paper plots in every Fig. 2 panel, in its order.
+enum class Series : size_t {
+  kLowerBound = 0,
+  kMcscec,
+  kTAWithoutSecurity,
+  kMaxNode,
+  kMinNode,
+  kRNode,
+  kCount,
+};
+
+inline constexpr size_t kSeriesCount = static_cast<size_t>(Series::kCount);
+
+const char* SeriesName(Series series);
+
+// Total cost of each series on one instance. RNode uses `rng`.
+// MCSCEC is computed with TA1 and cross-checked against TA2 (the two proved-
+// optimal algorithms must agree; a mismatch is an internal error).
+std::array<double, kSeriesCount> EvaluateInstance(
+    const ExperimentInstance& instance, Xoshiro256StarStar& rng);
+
+}  // namespace scec

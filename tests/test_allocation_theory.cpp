@@ -1,0 +1,158 @@
+// SPDX-License-Identifier: MIT
+//
+// Executable versions of the paper's theory section (§III, §IV-C): each test
+// checks one lemma/theorem statement on randomly sampled instances.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "allocation/allocation.h"
+#include "allocation/lower_bound.h"
+#include "allocation/ta1.h"
+#include "allocation/ta2.h"
+#include "common/rng.h"
+#include "workload/distributions.h"
+
+namespace scec {
+namespace {
+
+// Cost of the Lemma-2 canonical allocation for a given r.
+double CanonicalCost(size_t m, size_t r, const std::vector<double>& costs) {
+  const Allocation a = Allocation::FromShape(m, r, costs, "probe");
+  return a.total_cost;
+}
+
+TEST(Lemma1, OptimalAllocationsRespectPerDeviceBound) {
+  Xoshiro256StarStar rng(60);
+  const CostDistribution dist = CostDistribution::Uniform(5.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t m = 1 + rng.NextUint64(0, 300);
+    const size_t k = 2 + rng.NextUint64(0, 15);
+    const auto costs = SampleSortedCosts(dist, k, rng);
+    for (const auto& alloc : {RunTA1(m, costs), RunTA2(m, costs)}) {
+      ASSERT_TRUE(alloc.ok());
+      EXPECT_TRUE(alloc->SatisfiesPerDeviceBound());
+    }
+  }
+}
+
+TEST(Lemma2, CanonicalShapeIsRealisableForEveryFeasibleR) {
+  Xoshiro256StarStar rng(61);
+  const CostDistribution dist = CostDistribution::Uniform(5.0);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t m = 1 + rng.NextUint64(0, 100);
+    const size_t k = 2 + rng.NextUint64(0, 10);
+    const auto costs = SampleSortedCosts(dist, k, rng);
+    const size_t r_min = CeilDiv(m, k - 1);
+    for (size_t r = r_min; r <= m; ++r) {
+      const Allocation a = Allocation::FromShape(m, r, costs, "probe");
+      EXPECT_EQ(a.TotalRows(), m + r);
+      EXPECT_TRUE(a.SatisfiesPerDeviceBound());
+      EXPECT_LE(a.num_devices, k);
+    }
+  }
+}
+
+TEST(Theorem1, LowerBoundHolds) {
+  Xoshiro256StarStar rng(62);
+  for (const auto& dist : {CostDistribution::Uniform(5.0),
+                           CostDistribution::Normal(5.0, 1.25)}) {
+    for (int trial = 0; trial < 200; ++trial) {
+      const size_t m = 1 + rng.NextUint64(0, 400);
+      const size_t k = 2 + rng.NextUint64(0, 20);
+      const auto costs = SampleSortedCosts(dist, k, rng);
+      const double lb = LowerBound(m, costs);
+      // Every feasible canonical allocation costs at least c^L.
+      const size_t r_min = CeilDiv(m, k - 1);
+      for (size_t r = r_min; r <= m; r += 1 + m / 17) {
+        EXPECT_GE(CanonicalCost(m, r, costs), lb - 1e-9)
+            << "r=" << r << " m=" << m << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Corollary1, DivisibleCaseAchievesTheBoundWithPredictedR) {
+  Xoshiro256StarStar rng(63);
+  const CostDistribution dist = CostDistribution::Uniform(5.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t k = 2 + rng.NextUint64(0, 12);
+    const auto costs = SampleSortedCosts(dist, k, rng);
+    const size_t i_star = ComputeIStar(costs);
+    const size_t m = (i_star - 1) * (1 + rng.NextUint64(0, 40));
+    const auto full = ComputeLowerBound(m, costs);
+    ASSERT_TRUE(full.achievable);
+    const size_t r = m / (full.i_star - 1);
+    EXPECT_NEAR(CanonicalCost(m, r, costs), full.bound,
+                1e-9 * (1.0 + full.bound));
+  }
+}
+
+TEST(Theorem4, CostIsUnimodalInR) {
+  // c(r) non-increasing for r <= floor(m/(i*−1)), non-decreasing for
+  // r >= ceil(m/(i*−1)) — the property TA1 exploits.
+  Xoshiro256StarStar rng(64);
+  const CostDistribution dist = CostDistribution::Uniform(5.0);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t m = 20 + rng.NextUint64(0, 200);
+    const size_t k = 3 + rng.NextUint64(0, 12);
+    const auto costs = SampleSortedCosts(dist, k, rng);
+    const size_t i_star = ComputeIStar(costs);
+    const size_t r_min = CeilDiv(m, k - 1);
+    const size_t pivot_lo = m / (i_star - 1);
+    const size_t pivot_hi = CeilDiv(m, i_star - 1);
+    for (size_t r = r_min; r + 1 <= m; ++r) {
+      const double now = CanonicalCost(m, r, costs);
+      const double next = CanonicalCost(m, r + 1, costs);
+      if (r + 1 <= pivot_lo) {
+        EXPECT_LE(next, now + 1e-9)
+            << "decreasing branch violated at r=" << r;
+      }
+      if (r >= pivot_hi) {
+        EXPECT_GE(next, now - 1e-9)
+            << "increasing branch violated at r=" << r;
+      }
+    }
+  }
+}
+
+TEST(Theorem2, OptimalRImpliesDeviceCountFormula) {
+  Xoshiro256StarStar rng(65);
+  const CostDistribution dist = CostDistribution::Uniform(5.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t m = 1 + rng.NextUint64(0, 300);
+    const size_t k = 2 + rng.NextUint64(0, 15);
+    const auto costs = SampleSortedCosts(dist, k, rng);
+    const auto alloc = RunTA2(m, costs);
+    ASSERT_TRUE(alloc.ok());
+    EXPECT_EQ(alloc->num_devices,
+              CeilDiv(m + alloc->r, alloc->r));
+    if (alloc->num_devices == 2) {
+      EXPECT_EQ(alloc->r, m) << "i = 2 forces r = m";
+    }
+  }
+}
+
+TEST(AllocationShape, StreamOperatorMentionsKeyFields) {
+  const std::vector<double> costs = {1.0, 2.0};
+  const auto alloc = RunTA1(4, costs);
+  ASSERT_TRUE(alloc.ok());
+  std::ostringstream os;
+  os << *alloc;
+  const std::string repr = os.str();
+  EXPECT_NE(repr.find("TA1"), std::string::npos);
+  EXPECT_NE(repr.find("r=4"), std::string::npos);
+  EXPECT_NE(repr.find("i=2"), std::string::npos);
+}
+
+TEST(AllocationDeathTest, FromShapeRejectsBadR) {
+  const std::vector<double> costs = {1.0, 2.0, 3.0};
+  EXPECT_DEATH(Allocation::FromShape(5, 0, costs, "x"), "");
+  EXPECT_DEATH(Allocation::FromShape(5, 6, costs, "x"), "r <= m");
+  // r = 1 with k = 3 needs ceil(6/1) = 6 devices > 3.
+  EXPECT_DEATH(Allocation::FromShape(5, 1, costs, "x"), "more devices");
+}
+
+}  // namespace
+}  // namespace scec

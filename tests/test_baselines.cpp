@@ -1,0 +1,124 @@
+// SPDX-License-Identifier: MIT
+
+#include "allocation/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "allocation/lower_bound.h"
+#include "allocation/ta1.h"
+#include "common/rng.h"
+#include "workload/distributions.h"
+
+namespace scec {
+namespace {
+
+TEST(TAWithoutSecurity, EqualSplitOverIStarDevices) {
+  const std::vector<double> costs(5, 1.0);  // i* = 5
+  const auto alloc = RunTAWithoutSecurity(10, costs);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc->r, 0u);
+  EXPECT_EQ(alloc->num_devices, 5u);
+  EXPECT_EQ(alloc->rows_per_device, (std::vector<size_t>{2, 2, 2, 2, 2}));
+  EXPECT_DOUBLE_EQ(alloc->total_cost, 10.0);
+  EXPECT_EQ(alloc->TotalRows(), 10u);  // no random rows
+}
+
+TEST(TAWithoutSecurity, UnevenSplitGivesExtrasToCheapest) {
+  const std::vector<double> costs = {1.0, 2.0, 3.0};  // i* = 3
+  ASSERT_EQ(ComputeIStar(costs), 3u);
+  const auto alloc = RunTAWithoutSecurity(7, costs);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc->rows_per_device, (std::vector<size_t>{3, 2, 2}));
+}
+
+TEST(TAWithoutSecurity, FewRowsUsesFewerDevices) {
+  const std::vector<double> costs(5, 1.0);  // i* = 5 but m = 2
+  const auto alloc = RunTAWithoutSecurity(2, costs);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc->num_devices, 2u);
+  EXPECT_EQ(alloc->TotalRows(), 2u);
+}
+
+TEST(MaxNode, UsesSmallestFeasibleR) {
+  const std::vector<double> costs = {1.0, 1.0, 1.0, 1.0, 1.0};
+  const auto alloc = RunMaxNode(12, costs);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc->r, 3u);  // ceil(12/4)
+  EXPECT_EQ(alloc->num_devices, 5u);  // ceil(15/3)
+  EXPECT_TRUE(alloc->SatisfiesPerDeviceBound());
+}
+
+TEST(MinNode, UsesTwoCheapestDevices) {
+  const std::vector<double> costs = {1.0, 2.0, 0.5, 9.0};
+  // costs arrive sorted in library usage; emulate caller sorting
+  std::vector<double> sorted = costs;
+  std::sort(sorted.begin(), sorted.end());
+  const auto alloc = RunMinNode(6, sorted);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc->r, 6u);
+  EXPECT_EQ(alloc->num_devices, 2u);
+  EXPECT_DOUBLE_EQ(alloc->total_cost, 6.0 * 0.5 + 6.0 * 1.0);
+}
+
+TEST(RNode, RStaysInTheoremRange) {
+  Xoshiro256StarStar rng(50);
+  const CostDistribution dist = CostDistribution::Uniform(5.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t m = 1 + rng.NextUint64(0, 200);
+    const size_t k = 2 + rng.NextUint64(0, 10);
+    const auto costs = SampleSortedCosts(dist, k, rng);
+    const auto alloc = RunRandomNode(m, costs, rng);
+    ASSERT_TRUE(alloc.ok());
+    EXPECT_GE(alloc->r, (m + k - 2) / (k - 1));
+    EXPECT_LE(alloc->r, m);
+    EXPECT_TRUE(alloc->SatisfiesPerDeviceBound());
+  }
+}
+
+TEST(Baselines, NeverBeatMcscec) {
+  // MCSCEC is optimal among secure allocations; every secure baseline must
+  // cost at least as much, and TAw/oS (insecure) must cost no more.
+  Xoshiro256StarStar rng(51);
+  const CostDistribution dist = CostDistribution::Uniform(5.0);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t m = 1 + rng.NextUint64(0, 500);
+    const size_t k = 2 + rng.NextUint64(0, 20);
+    const auto costs = SampleSortedCosts(dist, k, rng);
+    const auto optimal = RunTA1(m, costs);
+    ASSERT_TRUE(optimal.ok());
+    for (const auto& baseline :
+         {RunMaxNode(m, costs), RunMinNode(m, costs),
+          RunRandomNode(m, costs, rng)}) {
+      ASSERT_TRUE(baseline.ok());
+      EXPECT_GE(baseline->total_cost, optimal->total_cost - 1e-9);
+    }
+    const auto tawos = RunTAWithoutSecurity(m, costs);
+    ASSERT_TRUE(tawos.ok());
+    EXPECT_LE(tawos->total_cost, optimal->total_cost + 1e-9)
+        << "security cannot be free";
+  }
+}
+
+TEST(Baselines, AlgorithmLabels) {
+  const std::vector<double> costs = {1.0, 2.0, 3.0};
+  Xoshiro256StarStar rng(1);
+  EXPECT_EQ(RunTAWithoutSecurity(4, costs)->algorithm, "TAw/oS");
+  EXPECT_EQ(RunMaxNode(4, costs)->algorithm, "MaxNode");
+  EXPECT_EQ(RunMinNode(4, costs)->algorithm, "MinNode");
+  EXPECT_EQ(RunRandomNode(4, costs, rng)->algorithm, "RNode");
+}
+
+TEST(Baselines, ErrorPaths) {
+  Xoshiro256StarStar rng(1);
+  const std::vector<double> one = {1.0};
+  EXPECT_FALSE(RunTAWithoutSecurity(4, one).ok());
+  EXPECT_FALSE(RunMaxNode(4, one).ok());
+  EXPECT_FALSE(RunMinNode(4, one).ok());
+  EXPECT_FALSE(RunRandomNode(4, one, rng).ok());
+  EXPECT_FALSE(RunMaxNode(0, {1.0, 2.0}).ok());
+}
+
+}  // namespace
+}  // namespace scec

@@ -1,0 +1,108 @@
+// SPDX-License-Identifier: MIT
+
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace scec {
+namespace {
+
+std::vector<const char*> Argv(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args);
+  return argv;
+}
+
+TEST(Cli, ParsesEqualsSyntax) {
+  CliParser cli("t", "test");
+  int64_t k = 0;
+  cli.AddInt("k", &k, "devices");
+  auto argv = Argv({"--k=25"});
+  ASSERT_TRUE(cli.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(k, 25);
+}
+
+TEST(Cli, ParsesSpaceSyntax) {
+  CliParser cli("t", "test");
+  double sigma = 0.0;
+  cli.AddDouble("sigma", &sigma, "spread");
+  auto argv = Argv({"--sigma", "1.25"});
+  ASSERT_TRUE(cli.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_DOUBLE_EQ(sigma, 1.25);
+}
+
+TEST(Cli, DefaultsSurviveWhenUnset) {
+  CliParser cli("t", "test");
+  int64_t m = 5000;
+  cli.AddInt("m", &m, "rows");
+  auto argv = Argv({});
+  ASSERT_TRUE(cli.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(m, 5000);
+}
+
+TEST(Cli, BoolBareAndExplicit) {
+  CliParser cli("t", "test");
+  bool csv = false, verbose = true;
+  cli.AddBool("csv", &csv, "emit csv");
+  cli.AddBool("verbose", &verbose, "logging");
+  auto argv = Argv({"--csv", "--verbose=false"});
+  ASSERT_TRUE(cli.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(csv);
+  EXPECT_FALSE(verbose);
+}
+
+TEST(Cli, StringFlag) {
+  CliParser cli("t", "test");
+  std::string out = "default.csv";
+  cli.AddString("out", &out, "output path");
+  auto argv = Argv({"--out=results.csv"});
+  ASSERT_TRUE(cli.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(out, "results.csv");
+}
+
+TEST(Cli, UnknownFlagFails) {
+  CliParser cli("t", "test");
+  auto argv = Argv({"--nope=1"});
+  EXPECT_FALSE(cli.Parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, BadValueFails) {
+  CliParser cli("t", "test");
+  int64_t k = 0;
+  cli.AddInt("k", &k, "devices");
+  auto argv = Argv({"--k=abc"});
+  EXPECT_FALSE(cli.Parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, MissingValueFails) {
+  CliParser cli("t", "test");
+  int64_t k = 0;
+  cli.AddInt("k", &k, "devices");
+  auto argv = Argv({"--k"});
+  EXPECT_FALSE(cli.Parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli("t", "test");
+  auto argv = Argv({"--help"});
+  EXPECT_FALSE(cli.Parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, PositionalRejected) {
+  CliParser cli("t", "test");
+  auto argv = Argv({"stray"});
+  EXPECT_FALSE(cli.Parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, UsageListsFlagsAndDefaults) {
+  CliParser cli("prog", "does things");
+  int64_t m = 5000;
+  cli.AddInt("m", &m, "data rows");
+  const std::string usage = cli.Usage();
+  EXPECT_NE(usage.find("--m"), std::string::npos);
+  EXPECT_NE(usage.find("data rows"), std::string::npos);
+  EXPECT_NE(usage.find("5000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scec

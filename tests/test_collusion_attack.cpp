@@ -1,0 +1,125 @@
+// SPDX-License-Identifier: MIT
+
+#include "security/collusion_attack.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "coding/collusion.h"
+#include "coding/encoder.h"
+#include "linalg/matrix_ops.h"
+
+namespace scec {
+namespace {
+
+LcecScheme CanonicalScheme(size_t m, size_t r) {
+  LcecScheme scheme;
+  scheme.m = m;
+  scheme.r = r;
+  scheme.row_counts.push_back(r);
+  size_t remaining = m;
+  while (remaining > 0) {
+    const size_t take = std::min(r, remaining);
+    scheme.row_counts.push_back(take);
+    remaining -= take;
+  }
+  return scheme;
+}
+
+struct StructuredDeployment {
+  StructuredCode code;
+  LcecScheme scheme;
+  std::vector<Matrix<Gf61>> blocks;
+  std::vector<Matrix<Gf61>> shares;
+  Matrix<Gf61> a;
+};
+
+StructuredDeployment MakeStructured(size_t m, size_t r, size_t l,
+                                    uint64_t seed) {
+  ChaCha20Rng rng(seed);
+  StructuredDeployment d{StructuredCode(m, r), CanonicalScheme(m, r), {}, {},
+                         RandomMatrix<Gf61>(m, l, rng)};
+  const auto deployment = EncodeDeployment(d.code, d.scheme, d.a, rng);
+  for (size_t device = 0; device < d.scheme.num_devices(); ++device) {
+    d.blocks.push_back(d.code.DenseBlock<Gf61>(d.scheme, device));
+    d.shares.push_back(deployment.shares[device].coded_rows);
+  }
+  return d;
+}
+
+TEST(CollusionAttack, StructuredCodeBreaksUnderAnyPairWithDeviceOne) {
+  // The paper's design is 1-private: device 1 holds pads in the clear, so
+  // {device 1, device j} recovers device j's data rows outright.
+  const auto d = MakeStructured(8, 4, 3, 100);
+  const auto attack =
+      AttemptCollusionRecovery(d.blocks, d.shares, {0, 1}, d.code.m());
+  ASSERT_TRUE(attack.succeeded);
+  EXPECT_GE(attack.recovered.rows(), 4u)
+      << "all of device 2's rows fall";
+  // Verify one recovered value against ground truth.
+  for (size_t row = 0; row < attack.recovered.rows(); ++row) {
+    const auto combo = attack.combinations.Row(row);
+    const auto expected = MatVec(d.a.Transposed(), combo);
+    for (size_t col = 0; col < d.a.cols(); ++col) {
+      EXPECT_EQ(attack.recovered(row, col), expected[col]);
+    }
+  }
+}
+
+TEST(CollusionAttack, PairsOfMixedDevicesWithDistinctWindowsAreSafe) {
+  // Two mixed-row devices share pad indices {0..r−1} but their data rows
+  // differ: combined span still meets the data span (A_p − A_q leaks). For
+  // the structured code ANY two mixed devices collude successfully.
+  const auto d = MakeStructured(8, 4, 3, 101);
+  const auto attack =
+      AttemptCollusionRecovery(d.blocks, d.shares, {1, 2}, d.code.m());
+  EXPECT_TRUE(attack.succeeded)
+      << "mixed devices share pads: differences leak";
+}
+
+TEST(CollusionAttack, SmallestCoalitionForStructuredCodeIsTwo) {
+  const auto d = MakeStructured(6, 3, 2, 102);
+  const auto coalition =
+      FindSmallestBreakingCoalition(d.blocks, d.code.m(), 3);
+  ASSERT_EQ(coalition.size(), 2u) << "1-private design: pairs break it";
+}
+
+TEST(CollusionAttack, TPrivateCodeResistsPairsButNotTriples) {
+  ChaCha20Rng rng(103);
+  CollusionCodeParams params;
+  params.m = 6;
+  params.t = 2;
+  params.r = 6;  // cap 3/device
+  const auto counts = PlanCollusionRowCounts(params.m, params.r, params.t, 8);
+  ASSERT_TRUE(counts.ok());
+  const auto code = BuildCollusionCode(params, *counts, rng);
+  ASSERT_TRUE(code.ok());
+
+  std::vector<Matrix<Gf61>> blocks;
+  for (size_t device = 0; device < code->scheme.num_devices(); ++device) {
+    blocks.push_back(code->b.RowSlice(code->scheme.BlockStart(device),
+                                      code->scheme.row_counts[device]));
+  }
+  const auto coalition =
+      FindSmallestBreakingCoalition(blocks, params.m, params.t);
+  EXPECT_TRUE(coalition.empty()) << "no coalition up to t may break";
+
+  // Beyond t the guarantee lapses: 3 devices pool 9 > r = 6 rows; with
+  // data parts present a break is certain for this construction.
+  const auto bigger = FindSmallestBreakingCoalition(blocks, params.m,
+                                                    params.t + 1);
+  EXPECT_EQ(bigger.size(), params.t + 1);
+}
+
+TEST(CollusionAttack, SingletonSubsetsMatchEavesdropperResults) {
+  const auto d = MakeStructured(6, 3, 2, 104);
+  for (size_t device = 0; device < d.blocks.size(); ++device) {
+    const auto attack = AttemptCollusionRecovery(d.blocks, d.shares,
+                                                 {device}, d.code.m());
+    EXPECT_FALSE(attack.succeeded) << "single devices never break (ITS)";
+  }
+}
+
+}  // namespace
+}  // namespace scec

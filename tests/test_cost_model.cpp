@@ -1,0 +1,99 @@
+// SPDX-License-Identifier: MIT
+
+#include "allocation/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace scec {
+namespace {
+
+TEST(UnitCost, FoldsEquationOne) {
+  // c_j = (l+1)c^s + l·c^m + (l−1)c^a + c^d with l = 10.
+  ResourceCosts costs;
+  costs.storage = 0.5;
+  costs.add = 0.1;
+  costs.mul = 0.2;
+  costs.comm = 3.0;
+  const double expected = 11 * 0.5 + 10 * 0.2 + 9 * 0.1 + 3.0;
+  EXPECT_DOUBLE_EQ(UnitCost(costs, 10), expected);
+}
+
+TEST(UnitCost, WidthOneHasNoAdditions) {
+  ResourceCosts costs;
+  costs.add = 100.0;  // must not appear: l−1 = 0 multiplications... additions
+  costs.mul = 1.0;
+  const double expected = 2 * 0.0 + 1.0;  // (l+1)·0 + 1·1 + 0·100 + 0
+  EXPECT_DOUBLE_EQ(UnitCost(costs, 1), expected);
+}
+
+TEST(ResourceCosts, ValidityRequiresAddLeqMul) {
+  ResourceCosts costs;
+  costs.add = 2.0;
+  costs.mul = 1.0;
+  EXPECT_FALSE(costs.Valid());
+  costs.add = 0.5;
+  EXPECT_TRUE(costs.Valid());
+  costs.storage = -1.0;
+  EXPECT_FALSE(costs.Valid());
+}
+
+TEST(ItemisedCost, MatchesEquationOneTermByTerm) {
+  ResourceCosts costs;
+  costs.storage = 2.0;
+  costs.add = 0.5;
+  costs.mul = 1.5;
+  costs.comm = 4.0;
+  const size_t l = 8, rows = 3;
+  const DeviceCostBreakdown breakdown = ItemisedCost(costs, rows, l);
+  EXPECT_DOUBLE_EQ(breakdown.storage, (8.0 + 9.0 * 3.0) * 2.0);
+  EXPECT_DOUBLE_EQ(breakdown.computation, 3.0 * (8.0 * 1.5 + 7.0 * 0.5));
+  EXPECT_DOUBLE_EQ(breakdown.communication, 3.0 * 4.0);
+  // Consistency with the folded unit cost: total = V·c_j + l·c^s.
+  EXPECT_NEAR(breakdown.total(),
+              3.0 * UnitCost(costs, l) + 8.0 * costs.storage, 1e-12);
+}
+
+TEST(ItemisedCost, ZeroRowsStillStoresInput) {
+  ResourceCosts costs;
+  costs.storage = 1.0;
+  const DeviceCostBreakdown breakdown = ItemisedCost(costs, 0, 5);
+  EXPECT_DOUBLE_EQ(breakdown.storage, 5.0);
+  EXPECT_DOUBLE_EQ(breakdown.computation, 0.0);
+  EXPECT_DOUBLE_EQ(breakdown.communication, 0.0);
+}
+
+TEST(AssignmentCost, WeightedSum) {
+  const std::vector<double> costs = {1.0, 2.0, 3.0};
+  const std::vector<size_t> rows = {4, 0, 2};
+  EXPECT_DOUBLE_EQ(AssignmentCost(costs, rows), 4.0 + 0.0 + 6.0);
+}
+
+TEST(SortCosts, SortsAndTracksPermutation) {
+  const std::vector<double> costs = {3.0, 1.0, 2.0};
+  const SortedCosts sorted = SortCosts(costs);
+  EXPECT_EQ(sorted.costs, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(sorted.original, (std::vector<size_t>{1, 2, 0}));
+}
+
+TEST(SortCosts, StableForTies) {
+  const std::vector<double> costs = {2.0, 1.0, 2.0};
+  const SortedCosts sorted = SortCosts(costs);
+  EXPECT_EQ(sorted.original, (std::vector<size_t>{1, 0, 2}));
+}
+
+TEST(UnitCosts, FleetOrderPreserved) {
+  DeviceFleet fleet;
+  EdgeDevice a;
+  a.costs.comm = 5.0;
+  EdgeDevice b;
+  b.costs.comm = 1.0;
+  fleet.Add(a);
+  fleet.Add(b);
+  const auto costs = UnitCosts(fleet, 4);
+  ASSERT_EQ(costs.size(), 2u);
+  EXPECT_DOUBLE_EQ(costs[0], 5.0);
+  EXPECT_DOUBLE_EQ(costs[1], 1.0);
+}
+
+}  // namespace
+}  // namespace scec

@@ -1,0 +1,58 @@
+// SPDX-License-Identifier: MIT
+
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace scec {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(CsvEscape("hello"), "hello");
+  EXPECT_EQ(CsvEscape("123.5"), "123.5");
+}
+
+TEST(CsvEscape, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.WriteRow({"m", "LB", "MCSCEC"});
+  writer.WriteRow({"100", "1,5", "2"});
+  EXPECT_EQ(os.str(), "m,LB,MCSCEC\n100,\"1,5\",2\n");
+}
+
+TEST(CsvWriter, NumericRow) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.WriteNumericRow("row", {1.5, 2.0}, 4);
+  EXPECT_EQ(os.str(), "row,1.5,2\n");
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "23456"});
+  const std::string render = table.Render();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(render.begin(), render.end(), '\n'), 4);
+  EXPECT_NE(render.find("name"), std::string::npos);
+  EXPECT_NE(render.find("longer"), std::string::npos);
+  // Numeric column is right-aligned: "    1" under "value" width 5.
+  EXPECT_NE(render.find("     1"), std::string::npos);
+}
+
+TEST(TablePrinter, NumericRowFormatting) {
+  TablePrinter table({"x", "y"});
+  table.AddNumericRow("p", {3.14159}, 3);
+  EXPECT_NE(table.Render().find("3.14"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scec

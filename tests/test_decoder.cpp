@@ -1,0 +1,181 @@
+// SPDX-License-Identifier: MIT
+
+#include "coding/decoder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "coding/encoder.h"
+#include "linalg/matrix_ops.h"
+
+namespace scec {
+namespace {
+
+LcecScheme CanonicalScheme(size_t m, size_t r) {
+  LcecScheme scheme;
+  scheme.m = m;
+  scheme.r = r;
+  scheme.row_counts.push_back(r);
+  size_t remaining = m;
+  while (remaining > 0) {
+    const size_t take = std::min(r, remaining);
+    scheme.row_counts.push_back(take);
+    remaining -= take;
+  }
+  return scheme;
+}
+
+TEST(ConcatenateResponses, OrdersByScheme) {
+  const LcecScheme scheme = CanonicalScheme(3, 2);  // counts {2, 2, 1}
+  const std::vector<std::vector<double>> responses = {{1, 2}, {3, 4}, {5}};
+  const auto y = ConcatenateResponses(scheme, responses);
+  EXPECT_EQ(y, (std::vector<double>{1, 2, 3, 4, 5}));
+}
+
+TEST(ConcatenateResponsesDeathTest, WrongChunkSizeAborts) {
+  const LcecScheme scheme = CanonicalScheme(3, 2);
+  const std::vector<std::vector<double>> responses = {{1}, {3, 4}, {5}};
+  EXPECT_DEATH(ConcatenateResponses(scheme, responses), "");
+}
+
+TEST(SubtractionDecode, HandComputedExample) {
+  // m = 2, r = 1: y = [R·x, A_0·x + R·x, A_1·x + R·x].
+  const StructuredCode code(2, 1);
+  const std::vector<double> y = {5.0, 7.0, 11.0};
+  const auto ax = SubtractionDecode(code, std::span<const double>(y));
+  EXPECT_EQ(ax, (std::vector<double>{2.0, 6.0}));
+}
+
+// Property: full encode → device compute → decode recovers A·x exactly over
+// a field, across a parameter grid.
+class RoundTripTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(RoundTripTest, FieldRoundTripIsExact) {
+  const auto [m, r, l] = GetParam();
+  ChaCha20Rng rng(1000 + m * 100 + r * 10 + l);
+  const StructuredCode code(m, r);
+  const LcecScheme scheme = CanonicalScheme(m, r);
+  const auto a = RandomMatrix<Gf61>(m, l, rng);
+  const auto deployment = EncodeDeployment(code, scheme, a, rng);
+  const auto x = RandomVector<Gf61>(l, rng);
+
+  // Each device computes its share times x.
+  std::vector<std::vector<Gf61>> responses;
+  for (const auto& share : deployment.shares) {
+    responses.push_back(MatVec(share.coded_rows, std::span<const Gf61>(x)));
+  }
+  const auto y = ConcatenateResponses(scheme, responses);
+  const auto decoded = SubtractionDecode(code, std::span<const Gf61>(y));
+  EXPECT_EQ(decoded, MatVec(a, std::span<const Gf61>(x)));
+}
+
+TEST_P(RoundTripTest, DoubleRoundTripIsExactForStructuredCode) {
+  // B is 0/1 so decoding is a single subtraction per value; the numerical
+  // error budget is a few ulps.
+  const auto [m, r, l] = GetParam();
+  ChaCha20Rng rng(2000 + m * 100 + r * 10 + l);
+  Xoshiro256StarStar data_rng(m * 7 + r);
+  const StructuredCode code(m, r);
+  const LcecScheme scheme = CanonicalScheme(m, r);
+  const auto a = RandomMatrix<double>(m, l, data_rng);
+  const auto deployment = EncodeDeployment(code, scheme, a, rng);
+  const auto x = RandomVector<double>(l, data_rng);
+
+  std::vector<std::vector<double>> responses;
+  for (const auto& share : deployment.shares) {
+    responses.push_back(MatVec(share.coded_rows, std::span<const double>(x)));
+  }
+  const auto y = ConcatenateResponses(scheme, responses);
+  const auto decoded = SubtractionDecode(code, std::span<const double>(y));
+  const auto expected = MatVec(a, std::span<const double>(x));
+  EXPECT_LT(MaxAbsDiff(std::span<const double>(decoded),
+                       std::span<const double>(expected)),
+            1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, RoundTripTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 1, 3),
+                      std::make_tuple(4, 2, 5), std::make_tuple(5, 2, 2),
+                      std::make_tuple(6, 3, 4), std::make_tuple(7, 3, 1),
+                      std::make_tuple(8, 8, 2), std::make_tuple(9, 4, 6),
+                      std::make_tuple(12, 5, 3), std::make_tuple(16, 4, 4)));
+
+TEST(RoundTrip, Gf256ByteAlignedPayloads) {
+  // GF(2^8) instantiation: shares of raw byte payloads, same protocol.
+  ChaCha20Rng rng(77);
+  const size_t m = 7, r = 3, l = 16;
+  const StructuredCode code(m, r);
+  const LcecScheme scheme = CanonicalScheme(m, r);
+  const auto a = RandomMatrix<Gf256>(m, l, rng);
+  const auto deployment = EncodeDeployment(code, scheme, a, rng);
+  const auto x = RandomVector<Gf256>(l, rng);
+  std::vector<std::vector<Gf256>> responses;
+  for (const auto& share : deployment.shares) {
+    responses.push_back(MatVec(share.coded_rows, std::span<const Gf256>(x)));
+  }
+  const auto y = ConcatenateResponses(scheme, responses);
+  const auto decoded = SubtractionDecode(code, std::span<const Gf256>(y));
+  EXPECT_EQ(decoded, MatVec(a, std::span<const Gf256>(x)));
+  // The general decoder agrees (char-2 field: subtraction == addition).
+  const auto general = GaussianDecode(code.DenseB<Gf256>(), m, y);
+  ASSERT_TRUE(general.ok());
+  EXPECT_EQ(decoded, *general);
+}
+
+TEST(GaussianDecode, MatchesSubtractionDecodeOnStructuredCode) {
+  ChaCha20Rng rng(31);
+  const size_t m = 6, r = 3, l = 2;
+  const StructuredCode code(m, r);
+  const LcecScheme scheme = CanonicalScheme(m, r);
+  const auto a = RandomMatrix<Gf61>(m, l, rng);
+  const auto deployment = EncodeDeployment(code, scheme, a, rng);
+  const auto x = RandomVector<Gf61>(l, rng);
+
+  std::vector<std::vector<Gf61>> responses;
+  for (const auto& share : deployment.shares) {
+    responses.push_back(MatVec(share.coded_rows, std::span<const Gf61>(x)));
+  }
+  const auto y = ConcatenateResponses(scheme, responses);
+
+  const auto fast = SubtractionDecode(code, std::span<const Gf61>(y));
+  const auto general = GaussianDecode(code.DenseB<Gf61>(), m, y);
+  ASSERT_TRUE(general.ok()) << general.status();
+  EXPECT_EQ(fast, *general);
+}
+
+TEST(GaussianDecode, RecoversThroughArbitraryInvertibleB) {
+  // The general decoder must work for ANY full-rank B, not just Eq. (8).
+  ChaCha20Rng rng(32);
+  const size_t m = 4, r = 3, l = 2;
+  const size_t n = m + r;
+  const auto b = RandomMatrix<Gf61>(n, n, rng);  // full rank whp
+  const auto a = RandomMatrix<Gf61>(m, l, rng);
+  const auto pads = RandomMatrix<Gf61>(r, l, rng);
+  const auto t = a.VStack(pads);
+  const auto x = RandomVector<Gf61>(l, rng);
+  const auto tx = MatVec(t, std::span<const Gf61>(x));
+  const auto y = MatVec(b, std::span<const Gf61>(tx));
+  const auto decoded = GaussianDecode(b, m, y);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, MatVec(a, std::span<const Gf61>(x)));
+}
+
+TEST(GaussianDecode, SingularBReportsDecodeFailure) {
+  Matrix<Gf61> b(3, 3);  // zero matrix: singular
+  const auto decoded = GaussianDecode(b, 2, std::vector<Gf61>(3));
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kDecodeFailure);
+}
+
+TEST(SubtractionDecodeDeathTest, WrongLengthAborts) {
+  const StructuredCode code(2, 1);
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_DEATH(SubtractionDecode(code, std::span<const double>(y)), "");
+}
+
+}  // namespace
+}  // namespace scec

@@ -1,0 +1,150 @@
+// SPDX-License-Identifier: MIT
+
+#include "core/deployment_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "linalg/matrix_ops.h"
+#include "workload/distributions.h"
+
+namespace scec {
+namespace {
+
+McscecProblem UniformProblem(size_t m, size_t l, size_t k, uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  const auto costs =
+      SampleSortedCosts(CostDistribution::Uniform(5.0), k, rng);
+  return MakeAbstractProblem(m, l, costs);
+}
+
+template <typename T>
+Deployment<T> MakeDeployment(uint64_t seed) {
+  const McscecProblem problem = UniformProblem(15, 4, 7, seed);
+  ChaCha20Rng rng(seed);
+  const auto a = RandomMatrix<T>(problem.m, problem.l, rng);
+  auto deployment = Deploy(problem, a, rng);
+  EXPECT_TRUE(deployment.ok());
+  return *std::move(deployment);
+}
+
+TEST(DeploymentIo, DoubleRoundTripPreservesEverything) {
+  const auto original = MakeDeployment<double>(1);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveDeployment(original, buf).ok());
+  const auto loaded = LoadDeploymentDouble(buf);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->l, original.l);
+  EXPECT_EQ(loaded->code.m(), original.code.m());
+  EXPECT_EQ(loaded->code.r(), original.code.r());
+  EXPECT_EQ(loaded->plan.scheme.row_counts,
+            original.plan.scheme.row_counts);
+  EXPECT_EQ(loaded->plan.participating, original.plan.participating);
+  EXPECT_EQ(loaded->plan.allocation.rows_per_device,
+            original.plan.allocation.rows_per_device);
+  EXPECT_EQ(loaded->plan.allocation.algorithm,
+            original.plan.allocation.algorithm);
+  EXPECT_DOUBLE_EQ(loaded->plan.allocation.total_cost,
+                   original.plan.allocation.total_cost);
+  EXPECT_DOUBLE_EQ(loaded->plan.lower_bound, original.plan.lower_bound);
+  EXPECT_EQ(loaded->plan.i_star, original.plan.i_star);
+  ASSERT_EQ(loaded->shares.size(), original.shares.size());
+  for (size_t d = 0; d < loaded->shares.size(); ++d) {
+    EXPECT_EQ(loaded->shares[d].coded_rows, original.shares[d].coded_rows);
+  }
+}
+
+TEST(DeploymentIo, LoadedDeploymentStillAnswersQueries) {
+  const McscecProblem problem = UniformProblem(12, 5, 6, 2);
+  ChaCha20Rng rng(2);
+  Xoshiro256StarStar drng(3);
+  const auto a = RandomMatrix<double>(problem.m, problem.l, drng);
+  const auto deployment = Deploy(problem, a, rng);
+  ASSERT_TRUE(deployment.ok());
+
+  std::stringstream buf;
+  ASSERT_TRUE(SaveDeployment(*deployment, buf).ok());
+  const auto loaded = LoadDeploymentDouble(buf);
+  ASSERT_TRUE(loaded.ok());
+
+  const auto x = RandomVector<double>(problem.l, drng);
+  const auto y = Query(*loaded, x);
+  const auto expected = MatVec(a, std::span<const double>(x));
+  EXPECT_LT(MaxAbsDiff(std::span<const double>(y),
+                       std::span<const double>(expected)),
+            1e-9);
+}
+
+TEST(DeploymentIo, FieldRoundTrip) {
+  const auto original = MakeDeployment<Gf61>(4);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveDeployment(original, buf).ok());
+  const auto loaded = LoadDeploymentGf61(buf);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->shares.size(), original.shares.size());
+  for (size_t d = 0; d < loaded->shares.size(); ++d) {
+    EXPECT_EQ(loaded->shares[d].coded_rows, original.shares[d].coded_rows);
+  }
+}
+
+TEST(DeploymentIo, ScalarTagMismatchRejected) {
+  const auto original = MakeDeployment<double>(5);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveDeployment(original, buf).ok());
+  const auto loaded = LoadDeploymentGf61(buf);  // wrong scalar
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kDecodeFailure);
+}
+
+TEST(DeploymentIo, BadMagicRejected) {
+  std::stringstream buf;
+  buf << "NOPE garbage";
+  const auto loaded = LoadDeploymentDouble(buf);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kDecodeFailure);
+}
+
+TEST(DeploymentIo, TruncatedFileRejected) {
+  const auto original = MakeDeployment<double>(6);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveDeployment(original, buf).ok());
+  const std::string full = buf.str();
+  // Chop the payload at several depths; every prefix must fail cleanly.
+  for (size_t cut : {size_t{4}, size_t{9}, full.size() / 2,
+                     full.size() - 3}) {
+    std::stringstream truncated(full.substr(0, cut));
+    const auto loaded = LoadDeploymentDouble(truncated);
+    EXPECT_FALSE(loaded.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(DeploymentIo, CorruptedSchemeRejected) {
+  // Flip the r field to exceed m: loader must reject before reading shares.
+  const auto original = MakeDeployment<double>(7);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveDeployment(original, buf).ok());
+  std::string bytes = buf.str();
+  // Layout: magic(4) version(4) tag(1) m(8) r(8) ...; corrupt r.
+  const size_t r_offset = 4 + 4 + 1 + 8;
+  bytes[r_offset] = static_cast<char>(0xFF);
+  bytes[r_offset + 1] = static_cast<char>(0xFF);
+  std::stringstream corrupted(bytes);
+  const auto loaded = LoadDeploymentDouble(corrupted);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(DeploymentIo, FileHelpersRoundTrip) {
+  const auto original = MakeDeployment<double>(8);
+  const std::string path =
+      ::testing::TempDir() + "/scec_deployment_test.bin";
+  ASSERT_TRUE(SaveDeploymentToFile(original, path).ok());
+  const auto loaded = LoadDeploymentDoubleFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->shares.size(), original.shares.size());
+  EXPECT_FALSE(LoadDeploymentDoubleFromFile("/nonexistent/nope.bin").ok());
+}
+
+}  // namespace
+}  // namespace scec

@@ -1,0 +1,81 @@
+// SPDX-License-Identifier: MIT
+
+#include "workload/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace scec {
+namespace {
+
+TEST(Uniform, SamplesWithinRange) {
+  Xoshiro256StarStar rng(1);
+  const CostDistribution dist = CostDistribution::Uniform(5.0);
+  for (int i = 0; i < 10000; ++i) {
+    const double c = dist.Sample(rng);
+    EXPECT_GE(c, 1.0);
+    EXPECT_LT(c, 5.0);
+  }
+}
+
+TEST(Uniform, MeanMatches) {
+  Xoshiro256StarStar rng(2);
+  const CostDistribution dist = CostDistribution::Uniform(9.0);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += dist.Sample(rng);
+  EXPECT_NEAR(sum / kDraws, 5.0, 0.05);
+}
+
+TEST(Normal, MomentsMatch) {
+  Xoshiro256StarStar rng(3);
+  const CostDistribution dist = CostDistribution::Normal(5.0, 1.25);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double c = dist.Sample(rng);
+    EXPECT_GE(c, kMinUnitCost);
+    sum += c;
+    sum_sq += c * c;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  // Truncation at 1e-3 is negligible for mu = 5, sigma = 1.25.
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 1.25 * 1.25, 0.1);
+}
+
+TEST(Normal, TruncationKeepsCostsPositive) {
+  Xoshiro256StarStar rng(4);
+  // Brutal parameters: most of the mass below zero.
+  const CostDistribution dist = CostDistribution::Normal(0.1, 2.0);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_GE(dist.Sample(rng), kMinUnitCost);
+  }
+}
+
+TEST(SampleSortedCosts, SortedAscending) {
+  Xoshiro256StarStar rng(5);
+  const auto costs =
+      SampleSortedCosts(CostDistribution::Uniform(5.0), 50, rng);
+  ASSERT_EQ(costs.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(costs.begin(), costs.end()));
+}
+
+TEST(SampleSortedCosts, DeterministicForSeed) {
+  Xoshiro256StarStar rng_a(6), rng_b(6);
+  const auto a = SampleSortedCosts(CostDistribution::Normal(5, 1), 10, rng_a);
+  const auto b = SampleSortedCosts(CostDistribution::Normal(5, 1), 10, rng_b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CostDistribution, ToStringDescribes) {
+  EXPECT_NE(CostDistribution::Uniform(5.0).ToString().find("U(1, 5)"),
+            std::string::npos);
+  EXPECT_NE(CostDistribution::Normal(5.0, 1.25).ToString().find("N(5"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace scec

@@ -1,0 +1,142 @@
+// SPDX-License-Identifier: MIT
+
+#include "security/eavesdropper.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "coding/encoder.h"
+#include "linalg/matrix_ops.h"
+
+namespace scec {
+namespace {
+
+LcecScheme CanonicalScheme(size_t m, size_t r) {
+  LcecScheme scheme;
+  scheme.m = m;
+  scheme.r = r;
+  scheme.row_counts.push_back(r);
+  size_t remaining = m;
+  while (remaining > 0) {
+    const size_t take = std::min(r, remaining);
+    scheme.row_counts.push_back(take);
+    remaining -= take;
+  }
+  return scheme;
+}
+
+TEST(Eavesdropper, EverySingleDeviceFailsAgainstStructuredCode) {
+  // Theorem 3 operationally: mount the strongest linear attack from every
+  // device's perspective; all must fail.
+  ChaCha20Rng rng(90);
+  const size_t m = 9, r = 3, l = 4;
+  const StructuredCode code(m, r);
+  const LcecScheme scheme = CanonicalScheme(m, r);
+  const auto a = RandomMatrix<Gf61>(m, l, rng);
+  const auto deployment = EncodeDeployment(code, scheme, a, rng);
+  for (size_t device = 0; device < scheme.num_devices(); ++device) {
+    const auto block = code.DenseBlock<Gf61>(scheme, device);
+    const auto attack = AttemptLinearRecovery(
+        block, deployment.shares[device].coded_rows, m);
+    EXPECT_FALSE(attack.succeeded) << "device " << device << " leaked";
+    EXPECT_FALSE(DeviceCanRecoverData(block, m));
+  }
+}
+
+TEST(Eavesdropper, UncodedStorageIsFullyRecovered) {
+  // Fig. 1(a) scheme: a device stores raw rows of A. The attack must
+  // recover them bit-for-bit.
+  ChaCha20Rng rng(91);
+  const size_t m = 4, l = 3;
+  const auto a = RandomMatrix<Gf61>(m, l, rng);
+  // Device holds rows 1 and 2 of A; coefficient space has no pad columns
+  // conceptually — model with r = 1 pad column that the device never uses.
+  Matrix<Gf61> coefficients(2, m + 1);
+  coefficients(0, 1) = Gf61::One();
+  coefficients(1, 2) = Gf61::One();
+  const auto share = a.RowSlice(1, 2);
+  const auto attack = AttemptLinearRecovery(coefficients, share, m);
+  ASSERT_TRUE(attack.succeeded);
+  EXPECT_EQ(attack.recovered.rows(), 2u);
+  // The recovered rows span {A_1, A_2}: check each recovered value equals
+  // the combination of A the attack reports.
+  for (size_t row = 0; row < attack.recovered.rows(); ++row) {
+    const auto combo = attack.combinations.Row(row);
+    const auto expected = MatVec(a.Transposed(), combo);
+    for (size_t col = 0; col < l; ++col) {
+      EXPECT_EQ(attack.recovered(row, col), expected[col]);
+    }
+  }
+}
+
+TEST(Eavesdropper, OversizedBlockLeaksDifferenceOfRows) {
+  // r+1 consecutive mixed rows: the attack recovers A_p − A_{p+r}.
+  ChaCha20Rng rng(92);
+  const size_t m = 6, r = 2, l = 3;
+  const StructuredCode code(m, r);
+  const auto a = RandomMatrix<Gf61>(m, l, rng);
+  const auto pads = GeneratePadRows<Gf61>(r, l, rng);
+
+  // A rogue partition gives one device rows r .. r+r (inclusive): mixed rows
+  // A_0+R_0, A_1+R_1, A_2+R_0.
+  const auto b = code.DenseB<Gf61>();
+  const auto block = b.RowSlice(r, r + 1);
+  Matrix<Gf61> share(r + 1, l);
+  for (size_t row = 0; row < r + 1; ++row) {
+    share.SetRow(row, EncodeRow(a, pads, code.RowSpec(r + row)));
+  }
+  const auto attack = AttemptLinearRecovery(block, share, m);
+  ASSERT_TRUE(attack.succeeded);
+  // Expected leak: A_0 − A_2 (combination +1 at 0, −1 at 2).
+  ASSERT_EQ(attack.recovered.rows(), 1u);
+  const auto combo = attack.combinations.Row(0);
+  // Normalise sign: combo[0] is ±1.
+  const Gf61 sign = combo[0];
+  ASSERT_FALSE(sign.IsZero());
+  for (size_t col = 0; col < l; ++col) {
+    const Gf61 expected = sign * (a(0, col) - a(2, col));
+    EXPECT_EQ(attack.recovered(0, col), expected);
+  }
+}
+
+TEST(Eavesdropper, RecoveredValuesNeverDependOnPads) {
+  // Whatever a successful attack recovers must be a pad-free function of A:
+  // run the same attack under two different pad draws and compare.
+  ChaCha20Rng rng1(93), rng2(94);
+  const size_t m = 5, r = 2, l = 2;
+  const StructuredCode code(m, r);
+  ChaCha20Rng data_rng(95);
+  const auto a = RandomMatrix<Gf61>(m, l, data_rng);
+  const auto pads1 = GeneratePadRows<Gf61>(r, l, rng1);
+  const auto pads2 = GeneratePadRows<Gf61>(r, l, rng2);
+  ASSERT_NE(pads1, pads2);
+
+  const auto b = code.DenseB<Gf61>();
+  const auto block = b.RowSlice(r, r + 1);  // oversized: leaks
+  auto share_for = [&](const Matrix<Gf61>& pads) {
+    Matrix<Gf61> share(r + 1, l);
+    for (size_t row = 0; row < r + 1; ++row) {
+      share.SetRow(row, EncodeRow(a, pads, code.RowSpec(r + row)));
+    }
+    return share;
+  };
+  const auto attack1 = AttemptLinearRecovery(block, share_for(pads1), m);
+  const auto attack2 = AttemptLinearRecovery(block, share_for(pads2), m);
+  ASSERT_TRUE(attack1.succeeded);
+  ASSERT_TRUE(attack2.succeeded);
+  EXPECT_EQ(attack1.recovered, attack2.recovered);
+}
+
+TEST(Eavesdropper, DoubleScalarsSupported) {
+  const size_t m = 3;
+  Matrix<double> coefficients{{1, 0, 0, 0}};  // raw row, one pad column
+  Matrix<double> share{{0.25, -0.5}};
+  const auto attack = AttemptLinearRecovery(coefficients, share, m);
+  ASSERT_TRUE(attack.succeeded);
+  EXPECT_DOUBLE_EQ(attack.recovered(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(attack.recovered(0, 1), -0.5);
+}
+
+}  // namespace
+}  // namespace scec

@@ -1,0 +1,199 @@
+// SPDX-License-Identifier: MIT
+
+#include "linalg/elimination.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "field/gf_prime.h"
+#include "linalg/matrix_ops.h"
+#include "linalg/rank.h"
+
+namespace scec {
+namespace {
+
+TEST(Rank, FullRankIdentity) {
+  EXPECT_EQ(RankOf(Matrix<double>::Identity(5)), 5u);
+  EXPECT_EQ(RankOf(Matrix<Gf61>::Identity(5)), 5u);
+}
+
+TEST(Rank, ZeroMatrix) {
+  EXPECT_EQ(RankOf(Matrix<double>(3, 4)), 0u);
+  EXPECT_EQ(RankOf(Matrix<Gf61>(3, 4)), 0u);
+}
+
+TEST(Rank, DuplicatedRows) {
+  Matrix<double> m{{1, 2, 3}, {1, 2, 3}, {2, 4, 6}};
+  EXPECT_EQ(RankOf(m), 1u);
+}
+
+TEST(Rank, RectangularBounds) {
+  Xoshiro256StarStar rng(10);
+  const auto tall = RandomMatrix<double>(7, 3, rng);
+  EXPECT_LE(RankOf(tall), 3u);
+  const auto wide = RandomMatrix<double>(3, 7, rng);
+  EXPECT_LE(RankOf(wide), 3u);
+}
+
+TEST(Rank, RandomFieldMatrixIsFullRankWhp) {
+  // Over GF(2^61−1) a random square matrix is singular with prob ~ n/p.
+  ChaCha20Rng rng(123);
+  const auto m = RandomMatrix<Gf61>(20, 20, rng);
+  EXPECT_EQ(RankOf(m), 20u);
+}
+
+TEST(Rank, ProductRankBound) {
+  Xoshiro256StarStar rng(11);
+  // rank(AB) <= min(rank A, rank B): make B rank-2 via a 2-col factor.
+  const auto left = RandomMatrix<double>(6, 2, rng);
+  const auto right = RandomMatrix<double>(2, 6, rng);
+  EXPECT_LE(RankOf(MatMul(left, right)), 2u);
+}
+
+TEST(RankDouble, ToleranceFlushesNoise) {
+  Matrix<double> m{{1.0, 2.0}, {1.0 + 1e-13, 2.0 - 1e-13}};
+  EXPECT_EQ(RankDouble(m), 1u);
+  EXPECT_EQ(RankDouble(m, 1e-15), 2u) << "tighter tolerance sees full rank";
+}
+
+TEST(RankDouble, ScaleAware) {
+  // Same structure at a huge scale: relative tolerance must still flush.
+  Matrix<double> m{{1e12, 2e12}, {1e12 + 1e-2, 2e12 - 1e-2}};
+  EXPECT_EQ(RankDouble(m), 1u);
+}
+
+TEST(RowEchelon, PivotColumnsAreSorted) {
+  Xoshiro256StarStar rng(12);
+  auto m = RandomMatrix<double>(5, 8, rng);
+  const auto pivots = RowEchelon(m);
+  for (size_t i = 1; i < pivots.size(); ++i) {
+    EXPECT_LT(pivots[i - 1], pivots[i]);
+  }
+}
+
+TEST(ReducedRowEchelon, ProducesIdentityOnInvertible) {
+  ChaCha20Rng rng(77);
+  auto m = RandomMatrix<Gf61>(6, 6, rng);
+  auto copy = m;
+  const auto pivots = ReducedRowEchelon(copy);
+  ASSERT_EQ(pivots.size(), 6u);
+  EXPECT_EQ(copy, Matrix<Gf61>::Identity(6));
+}
+
+TEST(Solve, RoundTripDouble) {
+  Xoshiro256StarStar rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto m = RandomMatrix<double>(8, 8, rng);
+    const auto x = RandomVector<double>(8, rng);
+    const auto b = MatVec(m, std::span<const double>(x));
+    const auto solved = Solve(m, b);
+    ASSERT_TRUE(solved.has_value());
+    EXPECT_LT(MaxAbsDiff(std::span<const double>(*solved),
+                         std::span<const double>(x)),
+              1e-8);
+  }
+}
+
+TEST(Solve, RoundTripField) {
+  ChaCha20Rng rng(14);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto m = RandomMatrix<Gf61>(8, 8, rng);
+    const auto x = RandomVector<Gf61>(8, rng);
+    const auto b = MatVec(m, std::span<const Gf61>(x));
+    const auto solved = Solve(m, b);
+    ASSERT_TRUE(solved.has_value());
+    EXPECT_EQ(*solved, x) << "field solve must be exact";
+  }
+}
+
+TEST(Solve, SingularReturnsNullopt) {
+  Matrix<double> m{{1, 2}, {2, 4}};
+  EXPECT_FALSE(Solve(m, std::vector<double>{1, 2}).has_value());
+  Matrix<Gf61> f(2, 2);
+  f(0, 0) = Gf61(1); f(0, 1) = Gf61(2);
+  f(1, 0) = Gf61(2); f(1, 1) = Gf61(4);
+  EXPECT_FALSE(Solve(f, std::vector<Gf61>{Gf61(1), Gf61(2)}).has_value());
+}
+
+TEST(Inverse, RoundTrip) {
+  ChaCha20Rng rng(15);
+  const auto m = RandomMatrix<Gf61>(7, 7, rng);
+  const auto inv = Inverse(m);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(MatMul(m, *inv), Matrix<Gf61>::Identity(7));
+  EXPECT_EQ(MatMul(*inv, m), Matrix<Gf61>::Identity(7));
+}
+
+TEST(Inverse, SingularReturnsNullopt) {
+  Matrix<double> m{{1, 2}, {2, 4}};
+  EXPECT_FALSE(Inverse(m).has_value());
+}
+
+TEST(NullSpace, DimensionMatchesRankNullity) {
+  ChaCha20Rng rng(16);
+  // 3×6 random matrix: rank 3 whp, nullity 3.
+  const auto m = RandomMatrix<Gf61>(3, 6, rng);
+  ASSERT_EQ(RankOf(m), 3u);
+  const auto basis = NullSpaceBasis(m);
+  EXPECT_EQ(basis.rows(), 3u);
+  // Every basis vector is in the kernel.
+  for (size_t row = 0; row < basis.rows(); ++row) {
+    const auto product = MatVec(m, basis.Row(row));
+    for (const Gf61& e : product) EXPECT_TRUE(e.IsZero());
+  }
+  // Basis rows are independent.
+  EXPECT_EQ(RankOf(basis), 3u);
+}
+
+TEST(NullSpace, FullRankSquareHasTrivialKernel) {
+  ChaCha20Rng rng(17);
+  const auto m = RandomMatrix<Gf61>(5, 5, rng);
+  ASSERT_EQ(RankOf(m), 5u);
+  EXPECT_EQ(NullSpaceBasis(m).rows(), 0u);
+}
+
+TEST(NullSpace, ZeroMatrixKernelIsEverything) {
+  const Matrix<Gf61> zero(2, 4);
+  EXPECT_EQ(NullSpaceBasis(zero).rows(), 4u);
+}
+
+TEST(SpanIntersection, DisjointSpans) {
+  // span{e1} vs span{e2}: trivial intersection.
+  Matrix<double> a{{1, 0, 0}};
+  Matrix<double> b{{0, 1, 0}};
+  EXPECT_EQ(SpanIntersectionDim(a, b), 0u);
+}
+
+TEST(SpanIntersection, IdenticalSpans) {
+  Matrix<double> a{{1, 0, 0}, {0, 1, 0}};
+  Matrix<double> b{{1, 1, 0}, {1, -1, 0}};
+  EXPECT_EQ(SpanIntersectionDim(a, b), 2u);
+}
+
+TEST(SpanIntersection, PartialOverlap) {
+  Matrix<double> a{{1, 0, 0}, {0, 1, 0}};
+  Matrix<double> b{{0, 1, 0}, {0, 0, 1}};
+  EXPECT_EQ(SpanIntersectionDim(a, b), 1u);
+}
+
+TEST(SpanIntersection, EmptyOperand) {
+  Matrix<double> a;
+  Matrix<double> b{{1, 0}};
+  EXPECT_EQ(SpanIntersectionDim(a, b), 0u);
+}
+
+TEST(SpanIntersection, GrassmannConsistencyRandom) {
+  // Property: dim(U∩W) = rank(A)+rank(B)−rank([A;B]) is within bounds for
+  // random field matrices of various shapes.
+  ChaCha20Rng rng(18);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t cols = 6;
+    const auto a = RandomMatrix<Gf61>(1 + trial % 4, cols, rng);
+    const auto b = RandomMatrix<Gf61>(1 + (trial / 4) % 4, cols, rng);
+    const size_t dim = SpanIntersectionDim(a, b);
+    EXPECT_LE(dim, std::min(RankOf(a), RankOf(b)));
+  }
+}
+
+}  // namespace
+}  // namespace scec

@@ -1,0 +1,134 @@
+// SPDX-License-Identifier: MIT
+
+#include "coding/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "linalg/elimination.h"
+#include "linalg/matrix_ops.h"
+
+namespace scec {
+namespace {
+
+LcecScheme CanonicalScheme(size_t m, size_t r) {
+  LcecScheme scheme;
+  scheme.m = m;
+  scheme.r = r;
+  scheme.row_counts.push_back(r);
+  size_t remaining = m;
+  while (remaining > 0) {
+    const size_t take = std::min(r, remaining);
+    scheme.row_counts.push_back(take);
+    remaining -= take;
+  }
+  return scheme;
+}
+
+TEST(Encoder, PadRowsAreDeterministicPerSeed) {
+  ChaCha20Rng a(99), b(99), c(100);
+  const auto pads_a = GeneratePadRows<Gf61>(3, 4, a);
+  const auto pads_b = GeneratePadRows<Gf61>(3, 4, b);
+  const auto pads_c = GeneratePadRows<Gf61>(3, 4, c);
+  EXPECT_EQ(pads_a, pads_b);
+  EXPECT_NE(pads_a, pads_c);
+}
+
+TEST(Encoder, SharesMatchDenseMatrixProduct) {
+  // Structural encoding must equal B·T computed densely.
+  ChaCha20Rng rng(7);
+  const size_t m = 6, r = 3, l = 4;
+  const StructuredCode code(m, r);
+  const LcecScheme scheme = CanonicalScheme(m, r);
+  const auto a = RandomMatrix<Gf61>(m, l, rng);
+  const auto pads = GeneratePadRows<Gf61>(r, l, rng);
+  const auto shares = EncodeShares(code, scheme, a, pads);
+
+  const Matrix<Gf61> t = a.VStack(pads);  // T = [A; R]
+  const Matrix<Gf61> b = code.DenseB<Gf61>();
+  const Matrix<Gf61> bt = MatMul(b, t);
+
+  size_t start = 0;
+  for (const auto& share : shares) {
+    for (size_t row = 0; row < share.coded_rows.rows(); ++row) {
+      for (size_t col = 0; col < l; ++col) {
+        EXPECT_EQ(share.coded_rows(row, col), bt(start + row, col));
+      }
+    }
+    start += share.coded_rows.rows();
+  }
+  EXPECT_EQ(start, m + r);
+}
+
+TEST(Encoder, DeviceOneHoldsPureRandomRows) {
+  ChaCha20Rng rng(8);
+  const size_t m = 5, r = 2, l = 3;
+  const StructuredCode code(m, r);
+  const LcecScheme scheme = CanonicalScheme(m, r);
+  const auto a = RandomMatrix<Gf61>(m, l, rng);
+  const auto pads = GeneratePadRows<Gf61>(r, l, rng);
+  const auto shares = EncodeShares(code, scheme, a, pads);
+  ASSERT_EQ(shares[0].coded_rows.rows(), r);
+  EXPECT_EQ(shares[0].coded_rows, pads);
+}
+
+TEST(Encoder, MixedRowsAreDataPlusPad) {
+  ChaCha20Rng rng(9);
+  const size_t m = 5, r = 2, l = 3;
+  const StructuredCode code(m, r);
+  const LcecScheme scheme = CanonicalScheme(m, r);
+  const auto a = RandomMatrix<Gf61>(m, l, rng);
+  const auto pads = GeneratePadRows<Gf61>(r, l, rng);
+  const auto shares = EncodeShares(code, scheme, a, pads);
+  // Device 2 holds rows A_0 + R_0, A_1 + R_1.
+  for (size_t row = 0; row < 2; ++row) {
+    for (size_t col = 0; col < l; ++col) {
+      EXPECT_EQ(shares[1].coded_rows(row, col),
+                a(row, col) + pads(row % r, col));
+    }
+  }
+}
+
+TEST(Encoder, ShareSizesFollowScheme) {
+  ChaCha20Rng rng(10);
+  const size_t m = 10, r = 4, l = 2;
+  const StructuredCode code(m, r);
+  const LcecScheme scheme = CanonicalScheme(m, r);
+  const auto deployment = EncodeDeployment(
+      code, scheme, RandomMatrix<Gf61>(m, l, rng), rng);
+  ASSERT_EQ(deployment.shares.size(), scheme.num_devices());
+  for (size_t d = 0; d < deployment.shares.size(); ++d) {
+    EXPECT_EQ(deployment.shares[d].coded_rows.rows(), scheme.row_counts[d]);
+    EXPECT_EQ(deployment.shares[d].coded_rows.cols(), l);
+    EXPECT_EQ(deployment.shares[d].device, d);
+  }
+}
+
+TEST(Encoder, DoubleScalarsWork) {
+  ChaCha20Rng rng(11);
+  const size_t m = 4, r = 2, l = 3;
+  const StructuredCode code(m, r);
+  const LcecScheme scheme = CanonicalScheme(m, r);
+  Xoshiro256StarStar data_rng(5);
+  const auto a = RandomMatrix<double>(m, l, data_rng);
+  const auto deployment = EncodeDeployment(code, scheme, a, rng);
+  EXPECT_EQ(deployment.shares.size(), 3u);
+  // Mixed row check: share[1] row 0 == a row 0 + pad row 0.
+  for (size_t col = 0; col < l; ++col) {
+    EXPECT_DOUBLE_EQ(deployment.shares[1].coded_rows(0, col),
+                     a(0, col) + deployment.pads(0, col));
+  }
+}
+
+TEST(EncoderDeathTest, DimensionMismatchesAbort) {
+  ChaCha20Rng rng(12);
+  const StructuredCode code(4, 2);
+  const LcecScheme scheme = CanonicalScheme(4, 2);
+  const auto a = RandomMatrix<Gf61>(3, 3, rng);  // wrong m
+  const auto pads = GeneratePadRows<Gf61>(2, 3, rng);
+  EXPECT_DEATH(EncodeShares(code, scheme, a, pads), "");
+}
+
+}  // namespace
+}  // namespace scec

@@ -1,0 +1,176 @@
+// SPDX-License-Identifier: MIT
+
+#include "coding/encoding_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "field/gf_prime.h"
+#include "linalg/elimination.h"
+
+namespace scec {
+namespace {
+
+LcecScheme CanonicalScheme(size_t m, size_t r) {
+  LcecScheme scheme;
+  scheme.m = m;
+  scheme.r = r;
+  scheme.row_counts.push_back(r);  // device 1: pure randoms
+  size_t remaining = m;
+  while (remaining > 0) {
+    const size_t take = std::min(r, remaining);
+    scheme.row_counts.push_back(take);
+    remaining -= take;
+  }
+  scheme.Validate();
+  return scheme;
+}
+
+TEST(StructuredCode, RowSpecMatchesEquation8) {
+  const StructuredCode code(5, 2);
+  // First r = 2 rows: pure randoms R_0, R_1.
+  EXPECT_FALSE(code.RowSpec(0).data_row.has_value());
+  EXPECT_EQ(code.RowSpec(0).random_row, 0u);
+  EXPECT_FALSE(code.RowSpec(1).data_row.has_value());
+  EXPECT_EQ(code.RowSpec(1).random_row, 1u);
+  // Row r+p: A_p + R_{p mod r}.
+  for (size_t p = 0; p < 5; ++p) {
+    const CodedRowSpec spec = code.RowSpec(2 + p);
+    ASSERT_TRUE(spec.data_row.has_value());
+    EXPECT_EQ(*spec.data_row, p);
+    EXPECT_EQ(spec.random_row, p % 2);
+  }
+}
+
+TEST(StructuredCode, DenseBHasExactlyEquation8Pattern) {
+  const StructuredCode code(4, 2);
+  const auto b = code.DenseB<double>();
+  ASSERT_EQ(b.rows(), 6u);
+  ASSERT_EQ(b.cols(), 6u);
+  // Row 0: [0 0 0 0 | 1 0]; row 1: [0 0 0 0 | 0 1].
+  for (size_t col = 0; col < 4; ++col) {
+    EXPECT_EQ(b(0, col), 0.0);
+    EXPECT_EQ(b(1, col), 0.0);
+  }
+  EXPECT_EQ(b(0, 4), 1.0);
+  EXPECT_EQ(b(1, 5), 1.0);
+  // Row 2+p: e_p in data part, e_{p mod 2} in random part.
+  for (size_t p = 0; p < 4; ++p) {
+    for (size_t col = 0; col < 4; ++col) {
+      EXPECT_EQ(b(2 + p, col), col == p ? 1.0 : 0.0);
+    }
+    EXPECT_EQ(b(2 + p, 4 + p % 2), 1.0);
+    EXPECT_EQ(b(2 + p, 4 + (p + 1) % 2), 0.0);
+  }
+}
+
+TEST(StructuredCode, DenseBIsFullRankAcrossParameterSweep) {
+  // Theorem 3 availability, across a grid of (m, r) including corner cases
+  // r = 1, r = m, and non-divisible remainders.
+  for (size_t m : {1u, 2u, 3u, 5u, 8u, 13u, 20u}) {
+    for (size_t r = 1; r <= m; ++r) {
+      const StructuredCode code(m, r);
+      EXPECT_EQ(RankOf(code.DenseB<Gf61>()), m + r)
+          << "m=" << m << " r=" << r;
+    }
+  }
+}
+
+TEST(StructuredCode, DenseBFullRankOverGf2Too) {
+  // B is 0/1; over characteristic 2 the upper-triangular argument still
+  // applies. Regression guard for field-independence of availability.
+  for (size_t m : {1u, 3u, 6u, 10u}) {
+    for (size_t r = 1; r <= m; ++r) {
+      const StructuredCode code(m, r);
+      EXPECT_EQ(RankOf(code.DenseB<Gf2>()), m + r);
+    }
+  }
+}
+
+TEST(StructuredCode, DenseBlockMatchesDenseBSlices) {
+  const StructuredCode code(7, 3);
+  const LcecScheme scheme = CanonicalScheme(7, 3);
+  const auto b = code.DenseB<Gf61>();
+  size_t start = 0;
+  for (size_t device = 0; device < scheme.num_devices(); ++device) {
+    const auto block = code.DenseBlock<Gf61>(scheme, device);
+    EXPECT_EQ(block, b.RowSlice(start, scheme.row_counts[device]));
+    start += scheme.row_counts[device];
+  }
+}
+
+TEST(StructuredCode, DataSpanBasisShape) {
+  const StructuredCode code(3, 2);
+  const auto lambda = code.DataSpanBasis<Gf61>();
+  EXPECT_EQ(lambda.rows(), 3u);
+  EXPECT_EQ(lambda.cols(), 5u);
+  for (size_t row = 0; row < 3; ++row) {
+    for (size_t col = 0; col < 5; ++col) {
+      EXPECT_EQ(lambda(row, col),
+                col == row ? Gf61::One() : Gf61::Zero());
+    }
+  }
+}
+
+TEST(Scheme, BlockStartAccumulates) {
+  const LcecScheme scheme = CanonicalScheme(7, 3);
+  EXPECT_EQ(scheme.BlockStart(0), 0u);
+  EXPECT_EQ(scheme.BlockStart(1), 3u);
+  EXPECT_EQ(scheme.BlockStart(2), 6u);
+  EXPECT_EQ(scheme.num_devices(), 4u);  // 3 + 3 + 3 + 1 rows
+  EXPECT_EQ(scheme.total_rows(), 10u);
+}
+
+TEST(Scheme, FromRowCountsDropsIdleDevices) {
+  const LcecScheme scheme = SchemeFromRowCounts(5, 2, {2, 2, 2, 1, 0, 0});
+  EXPECT_EQ(scheme.num_devices(), 4u);
+  EXPECT_EQ(scheme.row_counts, (std::vector<size_t>{2, 2, 2, 1}));
+}
+
+TEST(ValidateSchemeForCode, AcceptsCanonical) {
+  const StructuredCode code(7, 3);
+  EXPECT_TRUE(ValidateSchemeForCode(code, CanonicalScheme(7, 3)).ok());
+}
+
+TEST(ValidateSchemeForCode, RejectsOversizedDevice) {
+  const StructuredCode code(7, 3);
+  LcecScheme scheme;
+  scheme.m = 7;
+  scheme.r = 3;
+  scheme.row_counts = {4, 3, 3};  // first device exceeds r = 3
+  const Status status = ValidateSchemeForCode(code, scheme);
+  EXPECT_EQ(status.code(), ErrorCode::kSecurityViolation);
+}
+
+TEST(ValidateSchemeForCode, RejectsWrongTotals) {
+  const StructuredCode code(7, 3);
+  LcecScheme scheme;
+  scheme.m = 7;
+  scheme.r = 3;
+  scheme.row_counts = {3, 3, 3};  // sums to 9, needs 10
+  EXPECT_EQ(ValidateSchemeForCode(code, scheme).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(ValidateSchemeForCode, RejectsMismatchedDims) {
+  const StructuredCode code(7, 3);
+  LcecScheme scheme;
+  scheme.m = 6;
+  scheme.r = 3;
+  scheme.row_counts = {3, 3, 3};
+  EXPECT_EQ(ValidateSchemeForCode(code, scheme).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(StructuredCodeDeathTest, SchemeExceedingLemma1Aborts) {
+  const StructuredCode code(7, 3);
+  LcecScheme scheme;
+  scheme.m = 7;
+  scheme.r = 3;
+  scheme.row_counts = {4, 3, 3};
+  EXPECT_DEATH(code.CheckScheme(scheme), "Lemma 1");
+}
+
+}  // namespace
+}  // namespace scec

@@ -1,0 +1,112 @@
+// SPDX-License-Identifier: MIT
+
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+namespace scec {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoryHelpersCarryCodeAndMessage) {
+  EXPECT_EQ(InvalidArgument("x").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(FailedPrecondition("x").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRange("x").code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(Infeasible("x").code(), ErrorCode::kInfeasible);
+  EXPECT_EQ(SecurityViolation("x").code(), ErrorCode::kSecurityViolation);
+  EXPECT_EQ(DecodeFailure("x").code(), ErrorCode::kDecodeFailure);
+  EXPECT_EQ(Internal("x").code(), ErrorCode::kInternal);
+  EXPECT_EQ(InvalidArgument("boom").message(), "boom");
+  EXPECT_FALSE(InvalidArgument("boom").ok());
+}
+
+TEST(Status, ToStringIncludesCodeName) {
+  EXPECT_EQ(SecurityViolation("leak").ToString(), "SECURITY_VIOLATION: leak");
+}
+
+TEST(Status, Equality) {
+  EXPECT_EQ(InvalidArgument("a"), InvalidArgument("a"));
+  EXPECT_FALSE(InvalidArgument("a") == InvalidArgument("b"));
+  EXPECT_FALSE(InvalidArgument("a") == Internal("a"));
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = InvalidArgument("bad");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, ValueOrReturnsValueWhenOk) {
+  Result<int> r(7);
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(Result, OkStatusWithoutValueBecomesInternalError) {
+  Result<int> r = Status::Ok();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInternal);
+}
+
+TEST(Result, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+Status FailingOp() { return OutOfRange("nope"); }
+
+Status UsesReturnIfError() {
+  SCEC_RETURN_IF_ERROR(FailingOp());
+  return Status::Ok();
+}
+
+TEST(Macros, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), ErrorCode::kOutOfRange);
+}
+
+Result<int> GiveFive() { return 5; }
+
+Status UsesAssignOrReturn(int* out) {
+  SCEC_ASSIGN_OR_RETURN(int v, GiveFive());
+  *out = v;
+  return Status::Ok();
+}
+
+TEST(Macros, AssignOrReturnBindsValue) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(&out).ok());
+  EXPECT_EQ(out, 5);
+}
+
+Result<int> GiveError() { return Infeasible("no"); }
+
+Status UsesAssignOrReturnError(int* out) {
+  SCEC_ASSIGN_OR_RETURN(int v, GiveError());
+  *out = v;
+  return Status::Ok();
+}
+
+TEST(Macros, AssignOrReturnPropagatesError) {
+  int out = 0;
+  EXPECT_EQ(UsesAssignOrReturnError(&out).code(), ErrorCode::kInfeasible);
+  EXPECT_EQ(out, 0);
+}
+
+}  // namespace
+}  // namespace scec

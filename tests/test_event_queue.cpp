@@ -1,0 +1,99 @@
+// SPDX-License-Identifier: MIT
+
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scec::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.ScheduleAt(3.0, [&] { order.push_back(3); });
+  queue.ScheduleAt(1.0, [&] { order.push_back(1); });
+  queue.ScheduleAt(2.0, [&] { order.push_back(2); });
+  queue.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+  EXPECT_EQ(queue.processed(), 3u);
+}
+
+TEST(EventQueue, FifoTieBreakAtEqualTimes) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.ScheduleAt(5.0, [&, i] { order.push_back(i); });
+  }
+  queue.RunUntilEmpty();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue queue;
+  double fired_at = -1.0;
+  queue.ScheduleAt(2.0, [&] {
+    queue.ScheduleAfter(1.5, [&] { fired_at = queue.now(); });
+  });
+  queue.RunUntilEmpty();
+  EXPECT_DOUBLE_EQ(fired_at, 3.5);
+}
+
+TEST(EventQueue, NestedSchedulingDuringRun) {
+  EventQueue queue;
+  int count = 0;
+  // Each event schedules the next until 5 total.
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) queue.ScheduleAfter(1.0, chain);
+  };
+  queue.ScheduleAt(0.0, chain);
+  queue.RunUntilEmpty();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(queue.now(), 4.0);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue queue;
+  bool ran = false;
+  const uint64_t id = queue.ScheduleAt(1.0, [&] { ran = true; });
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_FALSE(queue.Cancel(id)) << "double cancel reports failure";
+  queue.RunUntilEmpty();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(queue.processed(), 0u);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.ScheduleAt(1.0, [&] { order.push_back(1); });
+  queue.ScheduleAt(2.0, [&] { order.push_back(2); });
+  queue.ScheduleAt(3.0, [&] { order.push_back(3); });
+  const uint64_t ran = queue.RunUntil(2.0);
+  EXPECT_EQ(ran, 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(queue.pending(), 1u);
+  queue.RunUntilEmpty();
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(EventQueue, PendingCountsLiveEvents) {
+  EventQueue queue;
+  queue.ScheduleAt(1.0, [] {});
+  queue.ScheduleAt(2.0, [] {});
+  EXPECT_EQ(queue.pending(), 2u);
+}
+
+TEST(EventQueueDeathTest, PastSchedulingAborts) {
+  EventQueue queue;
+  queue.ScheduleAt(5.0, [] {});
+  queue.RunUntilEmpty();
+  EXPECT_DOUBLE_EQ(queue.now(), 5.0);
+  EXPECT_DEATH(queue.ScheduleAt(1.0, [] {}), "past");
+}
+
+}  // namespace
+}  // namespace scec::sim

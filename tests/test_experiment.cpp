@@ -1,0 +1,167 @@
+// SPDX-License-Identifier: MIT
+
+#include "workload/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace scec {
+namespace {
+
+ExperimentDefaults SmallDefaults() {
+  ExperimentDefaults defaults;
+  defaults.m = 200;        // shrunk for test speed; shapes persist
+  defaults.k = 10;
+  defaults.instances = 50;
+  return defaults;
+}
+
+TEST(EvaluateInstance, SeriesOrderingInvariants) {
+  Xoshiro256StarStar rng(1);
+  const CostDistribution dist = CostDistribution::Uniform(5.0);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto instance = SampleInstance(150, 12, dist, rng);
+    const auto costs = EvaluateInstance(instance, rng);
+    const double lb = costs[static_cast<size_t>(Series::kLowerBound)];
+    const double mcscec = costs[static_cast<size_t>(Series::kMcscec)];
+    EXPECT_GE(mcscec, lb - 1e-9);
+    for (Series baseline :
+         {Series::kMaxNode, Series::kMinNode, Series::kRNode}) {
+      EXPECT_GE(costs[static_cast<size_t>(baseline)], mcscec - 1e-9)
+          << SeriesName(baseline);
+    }
+    EXPECT_LE(costs[static_cast<size_t>(Series::kTAWithoutSecurity)],
+              mcscec + 1e-9);
+  }
+}
+
+TEST(RunSweep, DeterministicForSeed) {
+  std::vector<SweepPoint> points(1);
+  points[0].label = "p";
+  points[0].m = 100;
+  points[0].k = 8;
+  points[0].distribution = CostDistribution::Uniform(5.0);
+  const auto a = RunSweep("test", "x", points, 20, 99);
+  const auto b = RunSweep("test", "x", points, 20, 99);
+  ASSERT_EQ(a.points.size(), 1u);
+  for (size_t s = 0; s < kSeriesCount; ++s) {
+    EXPECT_DOUBLE_EQ(a.points[0].series[s].mean(),
+                     b.points[0].series[s].mean());
+  }
+}
+
+TEST(RunSweep, CollectsRequestedInstanceCount) {
+  std::vector<SweepPoint> points(2);
+  points[0] = {"a", 50, 6, CostDistribution::Uniform(5.0)};
+  points[1] = {"b", 80, 6, CostDistribution::Uniform(5.0)};
+  const auto result = RunSweep("test", "x", points, 33, 1);
+  ASSERT_EQ(result.points.size(), 2u);
+  for (const auto& point : result.points) {
+    for (size_t s = 0; s < kSeriesCount; ++s) {
+      EXPECT_EQ(point.series[s].count(), 33u);
+    }
+  }
+}
+
+TEST(Fig2a, GapToLowerBoundIsTiny) {
+  // §V headline: MCSCEC within 0.5% of LB. Holds even at reduced scale.
+  const auto result = RunFig2a(SmallDefaults(), {100, 500, 1000});
+  ASSERT_EQ(result.points.size(), 3u);
+  for (const auto& point : result.points) {
+    EXPECT_LT(point.GapToLowerBound(), 0.005) << point.label;
+    EXPECT_GE(point.GapToLowerBound(), -1e-12);
+  }
+}
+
+TEST(Fig2a, CostGrowsWithM) {
+  const auto result = RunFig2a(SmallDefaults(), {100, 400, 1600});
+  for (size_t i = 1; i < result.points.size(); ++i) {
+    EXPECT_GT(result.points[i].MeanOf(Series::kMcscec),
+              result.points[i - 1].MeanOf(Series::kMcscec));
+  }
+}
+
+TEST(Fig2b, CostFallsWithK) {
+  // More devices = cheaper selections (paper Fig. 2(b) trend).
+  ExperimentDefaults defaults = SmallDefaults();
+  const auto result = RunFig2b(defaults, {4, 8, 16, 32});
+  for (size_t i = 1; i < result.points.size(); ++i) {
+    EXPECT_LE(result.points[i].MeanOf(Series::kMcscec),
+              result.points[i - 1].MeanOf(Series::kMcscec) + 1e-9);
+  }
+}
+
+TEST(Fig2d, MaxNodeAndMinNodeCross) {
+  // σ → 0: MaxNode ≈ MCSCEC (spreading is free). Large σ: MinNode wins.
+  ExperimentDefaults defaults = SmallDefaults();
+  const auto result = RunFig2d(defaults, {0.01, 2.5});
+  ASSERT_EQ(result.points.size(), 2u);
+  const auto& low_sigma = result.points[0];
+  const auto& high_sigma = result.points[1];
+  EXPECT_LT(low_sigma.MeanOf(Series::kMaxNode),
+            low_sigma.MeanOf(Series::kMinNode))
+      << "near-equal costs: spreading wins";
+  EXPECT_GT(high_sigma.MeanOf(Series::kMaxNode),
+            high_sigma.MeanOf(Series::kMinNode))
+      << "dispersed costs: concentration wins";
+  // MaxNode tracks MCSCEC closely at sigma -> 0.
+  EXPECT_LT((low_sigma.MeanOf(Series::kMaxNode) -
+             low_sigma.MeanOf(Series::kMcscec)) /
+                low_sigma.MeanOf(Series::kMcscec),
+            0.02);
+}
+
+TEST(SweepResult, TableAndCsvRender) {
+  const auto result = RunFig2a(SmallDefaults(), {100});
+  const std::string table = result.RenderTable();
+  EXPECT_NE(table.find("MCSCEC"), std::string::npos);
+  EXPECT_NE(table.find("LB"), std::string::npos);
+  EXPECT_NE(table.find("gap-vs-LB"), std::string::npos);
+
+  std::ostringstream csv;
+  result.WriteCsv(csv);
+  EXPECT_NE(csv.str().find("m,LB,MCSCEC,TAw/oS,MaxNode,MinNode,RNode"),
+            std::string::npos);
+  EXPECT_NE(csv.str().find("100,"), std::string::npos);
+}
+
+TEST(RunSweep, ThreadCountDoesNotChangeSampledStatistics) {
+  // Instance RNG streams derive from (seed, point, rep) only: counts match
+  // exactly and means agree to float summation order across thread counts.
+  std::vector<SweepPoint> points(1);
+  points[0] = {"p", 120, 8, CostDistribution::Uniform(5.0)};
+  const auto sequential = RunSweep("t", "x", points, 64, 7, /*threads=*/1);
+  const auto parallel = RunSweep("t", "x", points, 64, 7, /*threads=*/4);
+  for (size_t s = 0; s < kSeriesCount; ++s) {
+    EXPECT_EQ(sequential.points[0].series[s].count(),
+              parallel.points[0].series[s].count());
+    EXPECT_NEAR(sequential.points[0].series[s].mean(),
+                parallel.points[0].series[s].mean(),
+                1e-9 * (1.0 + sequential.points[0].series[s].mean()));
+    EXPECT_DOUBLE_EQ(sequential.points[0].series[s].min(),
+                     parallel.points[0].series[s].min());
+    EXPECT_DOUBLE_EQ(sequential.points[0].series[s].max(),
+                     parallel.points[0].series[s].max());
+  }
+}
+
+TEST(RunSweep, ZeroThreadsMeansHardwareConcurrency) {
+  std::vector<SweepPoint> points(1);
+  points[0] = {"p", 60, 6, CostDistribution::Uniform(5.0)};
+  const auto result = RunSweep("t", "x", points, 16, 9, /*threads=*/0);
+  EXPECT_EQ(result.points[0].series[0].count(), 16u);
+}
+
+TEST(SweepPointResult, DerivedMetrics) {
+  const auto result = RunFig2a(SmallDefaults(), {500});
+  const auto& point = result.points[0];
+  EXPECT_GT(point.SavingVs(Series::kMaxNode), 0.0);
+  EXPECT_GT(point.SavingVs(Series::kMinNode), 0.0);
+  EXPECT_GT(point.SecurityOverhead(), 0.0) << "security is never free";
+  EXPECT_LT(point.SecurityOverhead(), 1.0)
+      << "but costs at most ~1/(i*-1) extra";
+}
+
+}  // namespace
+}  // namespace scec

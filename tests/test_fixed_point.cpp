@@ -1,0 +1,137 @@
+// SPDX-License-Identifier: MIT
+
+#include "field/fixed_point.h"
+
+#include <gtest/gtest.h>
+
+#include "coding/decoder.h"
+#include "coding/encoder.h"
+#include "core/pipeline.h"
+#include "linalg/matrix_ops.h"
+#include "workload/distributions.h"
+
+namespace scec {
+namespace {
+
+TEST(FixedPoint, ScalarRoundTrip) {
+  const FixedPointCodec codec(20, 1000.0);
+  for (double v : {0.0, 1.0, -1.0, 3.14159265, -2.71828, 999.999, -999.999,
+                   0.0000012, -0.0000012}) {
+    EXPECT_NEAR(codec.Decode(codec.Encode(v)), v, codec.resolution())
+        << "v=" << v;
+  }
+}
+
+TEST(FixedPoint, ResolutionMatchesScaleBits) {
+  const FixedPointCodec fine(30, 10.0);
+  const FixedPointCodec coarse(8, 10.0);
+  EXPECT_LT(fine.resolution(), coarse.resolution());
+  EXPECT_DOUBLE_EQ(coarse.resolution(), 1.0 / 256.0);
+}
+
+TEST(FixedPoint, NegativesLiftCorrectly) {
+  const FixedPointCodec codec(10, 100.0);
+  const Gf61 encoded = codec.Encode(-5.5);
+  EXPECT_GT(encoded.value(), kMersenne61 / 2) << "negatives live in (p/2, p)";
+  EXPECT_NEAR(codec.Decode(encoded), -5.5, codec.resolution());
+}
+
+TEST(FixedPoint, AdditionIsExactInRange) {
+  const FixedPointCodec codec(16, 1000.0);
+  Xoshiro256StarStar rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.NextDouble(-100, 100);
+    const double b = rng.NextDouble(-100, 100);
+    const double decoded = codec.Decode(codec.Encode(a) + codec.Encode(b));
+    EXPECT_NEAR(decoded, a + b, 2 * codec.resolution());
+  }
+}
+
+TEST(FixedPoint, ProductDecodesWithDoubleScale) {
+  const FixedPointCodec codec(16, 1000.0);
+  Xoshiro256StarStar rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.NextDouble(-30, 30);
+    const double b = rng.NextDouble(-30, 30);
+    const double decoded = codec.Decode(codec.Encode(a) * codec.Encode(b), 2);
+    // Error budget: |a|*res + |b|*res + res^2.
+    EXPECT_NEAR(decoded, a * b, 61.0 * codec.resolution());
+  }
+}
+
+TEST(FixedPoint, MatVecThroughFieldMatchesDoubleMath) {
+  const FixedPointCodec codec(18, 64.0);
+  ASSERT_GE(codec.ProductWidthBudget(), 16u);
+  Xoshiro256StarStar rng(3);
+  Matrix<double> a(6, 16);
+  for (auto& v : a.Data()) v = rng.NextDouble(-2, 2);
+  std::vector<double> x(16);
+  for (auto& v : x) v = rng.NextDouble(-2, 2);
+
+  const auto a_enc = codec.EncodeMatrix(a);
+  const auto x_enc = codec.EncodeVector(x);
+  const auto y_enc = MatVec(a_enc, std::span<const Gf61>(x_enc));
+  const auto y = codec.DecodeProduct(y_enc);
+
+  const auto expected = MatVec(a, std::span<const double>(x));
+  for (size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], expected[i], 1e-3) << "i=" << i;
+  }
+}
+
+TEST(FixedPoint, FullItsPipelineOnRealData) {
+  // The headline use: real-valued A and x, exact GF(p) SCEC protocol, true
+  // ITS — decoded result matches plain double math to quantization error.
+  const FixedPointCodec codec(18, 64.0);
+  Xoshiro256StarStar rng(4);
+  const size_t m = 10, l = 12, k = 6;
+  Matrix<double> a(m, l);
+  for (auto& v : a.Data()) v = rng.NextDouble(-3, 3);
+  std::vector<double> x(l);
+  for (auto& v : x) v = rng.NextDouble(-3, 3);
+
+  const auto costs = SampleSortedCosts(CostDistribution::Uniform(5.0), k, rng);
+  const McscecProblem problem = MakeAbstractProblem(m, l, costs);
+  ChaCha20Rng coding_rng(5);
+  const auto deployment = Deploy(problem, codec.EncodeMatrix(a), coding_rng);
+  ASSERT_TRUE(deployment.ok());
+
+  const auto y_enc = Query(*deployment, codec.EncodeVector(x));
+  const auto y = codec.DecodeProduct(y_enc);
+  const auto expected = MatVec(a, std::span<const double>(x));
+  for (size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], expected[i], 1e-3);
+  }
+}
+
+TEST(FixedPoint, ProductWidthBudgetIsConservative) {
+  const FixedPointCodec codec(12, 4.0);
+  const size_t budget = codec.ProductWidthBudget();
+  ASSERT_GT(budget, 0u);
+  // A dot product at exactly the budget width with worst-case values must
+  // decode exactly.
+  const size_t l = std::min<size_t>(budget, 4096);
+  std::vector<Gf61> row(l), x(l);
+  for (size_t i = 0; i < l; ++i) {
+    row[i] = codec.Encode(i % 2 == 0 ? 4.0 : -4.0);
+    x[i] = codec.Encode(-4.0);
+  }
+  const Gf61 dot = Dot(std::span<const Gf61>(row), std::span<const Gf61>(x));
+  double expected = 0.0;
+  for (size_t i = 0; i < l; ++i) {
+    expected += (i % 2 == 0 ? 4.0 : -4.0) * -4.0;
+  }
+  EXPECT_NEAR(codec.Decode(dot, 2), expected, 1e-6 * (1.0 + std::fabs(expected)));
+}
+
+TEST(FixedPointDeathTest, OutOfRangeValueAborts) {
+  const FixedPointCodec codec(10, 10.0);
+  EXPECT_DEATH(codec.Encode(11.0), "magnitude");
+}
+
+TEST(FixedPointDeathTest, AbsurdConfigurationAborts) {
+  EXPECT_DEATH(FixedPointCodec(40, 1e18), "");
+}
+
+}  // namespace
+}  // namespace scec

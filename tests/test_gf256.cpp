@@ -1,0 +1,90 @@
+// SPDX-License-Identifier: MIT
+
+#include "field/gf256.h"
+
+#include <gtest/gtest.h>
+
+namespace scec {
+namespace {
+
+TEST(Gf256, AdditionIsXor) {
+  EXPECT_EQ(Gf256(0x57) + Gf256(0x83), Gf256(0xD4));
+  EXPECT_EQ(Gf256(0xFF) + Gf256(0xFF), Gf256(0));
+  EXPECT_EQ(Gf256(0x12) - Gf256(0x12), Gf256(0));
+}
+
+TEST(Gf256, KnownProducts) {
+  // AES classic test vector: 0x57 * 0x83 = 0xC1 over 0x11B.
+  EXPECT_EQ(Gf256(0x57) * Gf256(0x83), Gf256(0xC1));
+  // 0x57 * 0x13 = 0xFE (FIPS-197 worked example).
+  EXPECT_EQ(Gf256(0x57) * Gf256(0x13), Gf256(0xFE));
+  EXPECT_EQ(Gf256(0x02) * Gf256(0x80), Gf256(0x1B));  // reduction kicks in
+}
+
+TEST(Gf256, ZeroAndOne) {
+  for (int v = 0; v < 256; ++v) {
+    const Gf256 e(static_cast<uint8_t>(v));
+    EXPECT_EQ(e * Gf256::One(), e);
+    EXPECT_EQ(e * Gf256::Zero(), Gf256::Zero());
+    EXPECT_EQ(e + Gf256::Zero(), e);
+  }
+}
+
+TEST(Gf256, ExhaustiveInverses) {
+  for (int v = 1; v < 256; ++v) {
+    const Gf256 e(static_cast<uint8_t>(v));
+    EXPECT_EQ(e * e.Inverse(), Gf256::One()) << "v=" << v;
+  }
+}
+
+TEST(Gf256, ExhaustiveDivisionRoundTrip) {
+  for (int a = 0; a < 256; a += 7) {
+    for (int b = 1; b < 256; b += 5) {
+      const Gf256 ea(static_cast<uint8_t>(a));
+      const Gf256 eb(static_cast<uint8_t>(b));
+      EXPECT_EQ((ea / eb) * eb, ea);
+    }
+  }
+}
+
+TEST(Gf256, MultiplicationCommutesAndAssociates) {
+  for (int a = 1; a < 256; a += 17) {
+    for (int b = 1; b < 256; b += 13) {
+      const Gf256 ea(static_cast<uint8_t>(a));
+      const Gf256 eb(static_cast<uint8_t>(b));
+      EXPECT_EQ(ea * eb, eb * ea);
+      for (int c = 1; c < 256; c += 97) {
+        const Gf256 ec(static_cast<uint8_t>(c));
+        EXPECT_EQ((ea * eb) * ec, ea * (eb * ec));
+        EXPECT_EQ(ea * (eb + ec), ea * eb + ea * ec);
+      }
+    }
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMultiplication) {
+  const Gf256 g(0x03);
+  Gf256 acc = Gf256::One();
+  for (uint64_t e = 0; e < 40; ++e) {
+    EXPECT_EQ(g.Pow(e), acc);
+    acc *= g;
+  }
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // 0x03 generates the multiplicative group: g^255 = 1 and g^k != 1 for
+  // proper divisors of 255 (3, 5, 17, 51, 85, 15).
+  const Gf256 g(0x03);
+  EXPECT_EQ(g.Pow(255), Gf256::One());
+  for (uint64_t k : {3u, 5u, 15u, 17u, 51u, 85u}) {
+    EXPECT_NE(g.Pow(k), Gf256::One()) << "k=" << k;
+  }
+}
+
+TEST(Gf256DeathTest, DivisionByZeroAborts) {
+  EXPECT_DEATH(Gf256(3) / Gf256(0), "division by zero");
+  EXPECT_DEATH(Gf256(0).Inverse(), "inverse of zero");
+}
+
+}  // namespace
+}  // namespace scec

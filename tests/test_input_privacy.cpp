@@ -1,0 +1,128 @@
+// SPDX-License-Identifier: MIT
+
+#include "coding/input_privacy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "coding/decoder.h"
+#include "linalg/matrix_ops.h"
+
+namespace scec {
+namespace {
+
+LcecScheme CanonicalScheme(size_t m, size_t r) {
+  LcecScheme scheme;
+  scheme.m = m;
+  scheme.r = r;
+  scheme.row_counts.push_back(r);
+  size_t remaining = m;
+  while (remaining > 0) {
+    const size_t take = std::min(r, remaining);
+    scheme.row_counts.push_back(take);
+    remaining -= take;
+  }
+  return scheme;
+}
+
+TEST(InputPrivacy, MaskedQueryStillDecodesToAx) {
+  ChaCha20Rng rng(81);
+  const size_t m = 6, r = 3, l = 4;
+  const StructuredCode code(m, r);
+  const LcecScheme scheme = CanonicalScheme(m, r);
+  const auto a = RandomMatrix<Gf61>(m, l, rng);
+  const auto deployment = EncodeDeployment(code, scheme, a, rng);
+  const InputPad<Gf61> pad = PrepareInputPad(deployment, l, rng);
+
+  const auto x = RandomVector<Gf61>(l, rng);
+  const auto masked = MaskInput(x, pad);
+
+  // Devices compute on the masked input only.
+  std::vector<std::vector<Gf61>> responses;
+  for (const auto& share : deployment.shares) {
+    responses.push_back(
+        MatVec(share.coded_rows, std::span<const Gf61>(masked)));
+  }
+  const auto unmasked = UnmaskResponses(responses, pad);
+  const auto y = ConcatenateResponses(scheme, unmasked);
+  const auto decoded = SubtractionDecode(code, std::span<const Gf61>(y));
+  EXPECT_EQ(decoded, MatVec(a, std::span<const Gf61>(x)));
+}
+
+TEST(InputPrivacy, MaskedInputDiffersFromPlainInput) {
+  ChaCha20Rng rng(82);
+  const size_t m = 4, r = 2, l = 5;
+  const StructuredCode code(m, r);
+  const LcecScheme scheme = CanonicalScheme(m, r);
+  const auto deployment =
+      EncodeDeployment(code, scheme, RandomMatrix<Gf61>(m, l, rng), rng);
+  const InputPad<Gf61> pad = PrepareInputPad(deployment, l, rng);
+  const auto x = RandomVector<Gf61>(l, rng);
+  const auto masked = MaskInput(x, pad);
+  EXPECT_NE(masked, x) << "pad must actually move the input (whp)";
+}
+
+TEST(InputPrivacy, MaskingIsOneTimePadUniform) {
+  // Over GF(p), x + z with uniform z is uniform: empirically, the masked
+  // value of two DIFFERENT inputs under fresh pads is identically
+  // distributed. Spot-check via first-coordinate histogram over a small
+  // prime field... here we use Gf61 but bucket by residue mod 8.
+  const size_t l = 1;
+  std::array<size_t, 8> histogram_a{}, histogram_b{};
+  for (uint64_t trial = 0; trial < 4000; ++trial) {
+    ChaCha20Rng rng(100000 + trial);
+    InputPad<Gf61> pad;
+    pad.z = {FieldTraits<Gf61>::Random(rng)};
+    const std::vector<Gf61> xa = {Gf61(1)};
+    const std::vector<Gf61> xb = {Gf61(1234567)};
+    histogram_a[MaskInput(xa, pad)[0].value() % 8] += 1;
+    histogram_b[MaskInput(xb, pad)[0].value() % 8] += 1;
+  }
+  for (size_t bucket = 0; bucket < 8; ++bucket) {
+    EXPECT_NEAR(static_cast<double>(histogram_a[bucket]),
+                static_cast<double>(histogram_b[bucket]),
+                4.0 * std::sqrt(4000.0 / 8.0))
+        << "masked distributions should be indistinguishable";
+  }
+  (void)l;
+}
+
+TEST(InputPrivacy, DoubleInstantiationPlumbs) {
+  // double pads are only computational masking (documented); the protocol
+  // must still round-trip numerically.
+  ChaCha20Rng rng(83);
+  const size_t m = 3, r = 1, l = 2;
+  const StructuredCode code(m, r);
+  const LcecScheme scheme = CanonicalScheme(m, r);
+  Xoshiro256StarStar drng(9);
+  const auto a = RandomMatrix<double>(m, l, drng);
+  const auto deployment = EncodeDeployment(code, scheme, a, rng);
+  const InputPad<double> pad = PrepareInputPad(deployment, l, rng);
+  const auto x = RandomVector<double>(l, drng);
+  const auto masked = MaskInput(x, pad);
+  std::vector<std::vector<double>> responses;
+  for (const auto& share : deployment.shares) {
+    responses.push_back(
+        MatVec(share.coded_rows, std::span<const double>(masked)));
+  }
+  const auto unmasked = UnmaskResponses(responses, pad);
+  const auto y = ConcatenateResponses(scheme, unmasked);
+  const auto decoded = SubtractionDecode(code, std::span<const double>(y));
+  const auto expected = MatVec(a, std::span<const double>(x));
+  EXPECT_LT(MaxAbsDiff(std::span<const double>(decoded),
+                       std::span<const double>(expected)),
+            1e-8);
+}
+
+TEST(InputPrivacyDeathTest, MismatchedWidthAborts) {
+  InputPad<Gf61> pad;
+  pad.z = {Gf61(1), Gf61(2)};
+  const std::vector<Gf61> x = {Gf61(1)};
+  EXPECT_DEATH(MaskInput(x, pad), "");
+}
+
+}  // namespace
+}  // namespace scec

@@ -1,0 +1,51 @@
+// SPDX-License-Identifier: MIT
+
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace scec {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::Instance().set_sink(&sink_);
+    Logger::Instance().set_min_level(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    Logger::Instance().set_sink(nullptr);
+    Logger::Instance().set_min_level(LogLevel::kInfo);
+  }
+  std::ostringstream sink_;
+};
+
+TEST_F(LoggingTest, WritesWithLevelTag) {
+  SCEC_LOG(kInfo) << "hello " << 42;
+  EXPECT_EQ(sink_.str(), "[INFO] hello 42\n");
+}
+
+TEST_F(LoggingTest, FiltersBelowMinLevel) {
+  Logger::Instance().set_min_level(LogLevel::kWarning);
+  SCEC_LOG(kInfo) << "dropped";
+  SCEC_LOG(kWarning) << "kept";
+  EXPECT_EQ(sink_.str(), "[WARN] kept\n");
+}
+
+TEST_F(LoggingTest, ErrorAlwaysPasses) {
+  Logger::Instance().set_min_level(LogLevel::kError);
+  SCEC_LOG(kError) << "boom";
+  EXPECT_EQ(sink_.str(), "[ERROR] boom\n");
+}
+
+TEST(LogLevelName, Names) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace scec

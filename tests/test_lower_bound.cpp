@@ -1,0 +1,83 @@
+// SPDX-License-Identifier: MIT
+
+#include "allocation/lower_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/distributions.h"
+
+namespace scec {
+namespace {
+
+TEST(IStar, UniformCostsSelectAllDevices) {
+  // Equal costs: Σ_{j<i} c = (i−1)c >= (i−2)c for every i, so i* = k.
+  const std::vector<double> costs(10, 2.5);
+  EXPECT_EQ(ComputeIStar(costs), 10u);
+}
+
+TEST(IStar, TwoDevicesAlwaysIStarTwo) {
+  EXPECT_EQ(ComputeIStar({1.0, 100.0}), 2u);
+  EXPECT_EQ(ComputeIStar({1.0, 1.0}), 2u);
+}
+
+TEST(IStar, SteeplyRisingCostsStopEarly) {
+  // c = {1, 1, 100, ...}: at i=3, prefix = 2 < 1·100 ⇒ i* = 2... but i=3
+  // needs Σ_{j=1}^{2} = 2 >= (3−2)·100 = 100: false. So i* = 2.
+  EXPECT_EQ(ComputeIStar({1.0, 1.0, 100.0, 200.0}), 2u);
+}
+
+TEST(IStar, ModerateGrowthKeepsMore) {
+  // {1, 1, 1.5}: i=3 needs 1+1 >= 1·1.5 ⇒ true ⇒ i* = 3.
+  EXPECT_EQ(ComputeIStar({1.0, 1.0, 1.5}), 3u);
+}
+
+TEST(IStar, DefinitionIsMaximumSatisfyingIndex) {
+  // Construct costs where the predicate holds at 4 but fails at 3 is
+  // impossible (Lemma 3 monotonicity) — verify monotonicity empirically.
+  Xoshiro256StarStar rng(21);
+  const CostDistribution dist = CostDistribution::Uniform(5.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto costs = SampleSortedCosts(dist, 12, rng);
+    const size_t i_star = ComputeIStar(costs);
+    double prefix = 0.0;
+    for (size_t i = 2; i <= costs.size(); ++i) {
+      prefix += costs[i - 2];
+      const bool holds =
+          prefix >= static_cast<double>(i - 2) * costs[i - 1];
+      EXPECT_EQ(holds, i <= i_star)
+          << "Lemma 3 monotonicity violated at i=" << i;
+    }
+  }
+}
+
+TEST(LowerBound, ClosedFormMatches) {
+  const std::vector<double> costs = {1.0, 2.0, 3.0};
+  // i* = 3 iff 1+2 >= 1*3: true. LB = m/2 * (1+2+3) = 3m.
+  ASSERT_EQ(ComputeIStar(costs), 3u);
+  EXPECT_DOUBLE_EQ(LowerBound(10, costs), 30.0);
+}
+
+TEST(LowerBound, ScalesLinearlyInM) {
+  Xoshiro256StarStar rng(22);
+  const auto costs =
+      SampleSortedCosts(CostDistribution::Uniform(5.0), 8, rng);
+  const double lb1 = LowerBound(100, costs);
+  const double lb2 = LowerBound(200, costs);
+  EXPECT_NEAR(lb2, 2.0 * lb1, 1e-9);
+}
+
+TEST(LowerBound, AchievabilityFlag) {
+  const std::vector<double> costs = {1.0, 2.0, 3.0};  // i* = 3
+  EXPECT_TRUE(ComputeLowerBound(10, costs).achievable);   // 2 | 10
+  EXPECT_FALSE(ComputeLowerBound(11, costs).achievable);  // 2 ∤ 11
+}
+
+TEST(LowerBoundDeathTest, RequiresSortedPositiveCosts) {
+  EXPECT_DEATH(ComputeIStar({2.0, 1.0}), "sorted");
+  EXPECT_DEATH(ComputeIStar({0.0, 1.0}), "positive");
+  EXPECT_DEATH(ComputeIStar({1.0}), "k >= 2");
+}
+
+}  // namespace
+}  // namespace scec

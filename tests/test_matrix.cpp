@@ -1,0 +1,184 @@
+// SPDX-License-Identifier: MIT
+
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "field/gf_prime.h"
+#include "linalg/matrix_ops.h"
+
+namespace scec {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix<double> m(2, 3, 0.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_FALSE(m.empty());
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.5);
+  m(1, 2) = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 9.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix<double> m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, Identity) {
+  const auto id = Matrix<double>::Identity(3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, RowSpanReadsAndWrites) {
+  Matrix<double> m{{1, 2}, {3, 4}};
+  auto row = m.Row(1);
+  EXPECT_DOUBLE_EQ(row[0], 3.0);
+  row[0] = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+}
+
+TEST(Matrix, SetRow) {
+  Matrix<double> m(2, 3);
+  const std::vector<double> vals = {1, 2, 3};
+  m.SetRow(1, std::span<const double>(vals));
+  EXPECT_DOUBLE_EQ(m(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, RowSliceAndBlock) {
+  Matrix<double> m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const auto slice = m.RowSlice(1, 2);
+  EXPECT_EQ(slice.rows(), 2u);
+  EXPECT_DOUBLE_EQ(slice(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(slice(1, 2), 9.0);
+
+  const auto block = m.Block(0, 1, 2, 2);
+  EXPECT_DOUBLE_EQ(block(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(block(1, 1), 6.0);
+}
+
+TEST(Matrix, VStackHStack) {
+  Matrix<double> a{{1, 2}};
+  Matrix<double> b{{3, 4}, {5, 6}};
+  const auto v = a.VStack(b);
+  EXPECT_EQ(v.rows(), 3u);
+  EXPECT_DOUBLE_EQ(v(2, 1), 6.0);
+
+  Matrix<double> c{{1}, {2}};
+  const auto h = c.HStack(b);
+  EXPECT_EQ(h.cols(), 3u);
+  EXPECT_DOUBLE_EQ(h(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(h(1, 2), 6.0);
+}
+
+TEST(Matrix, StackWithEmpty) {
+  Matrix<double> e;
+  Matrix<double> a{{1, 2}};
+  EXPECT_EQ(e.VStack(a), a);
+  EXPECT_EQ(a.VStack(e), a);
+  EXPECT_EQ(e.HStack(a), a);
+}
+
+TEST(Matrix, Transposed) {
+  Matrix<double> m{{1, 2, 3}, {4, 5, 6}};
+  const auto t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t.Transposed(), m);
+}
+
+TEST(Matrix, SwapRows) {
+  Matrix<double> m{{1, 2}, {3, 4}};
+  m.SwapRows(0, 1);
+  EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 2.0);
+  m.SwapRows(1, 1);  // self-swap is a no-op
+  EXPECT_DOUBLE_EQ(m(1, 0), 1.0);
+}
+
+TEST(Matrix, Equality) {
+  Matrix<double> a{{1, 2}};
+  Matrix<double> b{{1, 2}};
+  Matrix<double> c{{1, 3}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, Matrix<double>(2, 1));
+}
+
+TEST(MatrixDeathTest, OutOfRangeAborts) {
+  Matrix<double> m(2, 2);
+  EXPECT_DEATH(m(2, 0), "");
+  EXPECT_DEATH(m(0, 2), "");
+}
+
+TEST(MatrixDeathTest, RaggedInitializerAborts) {
+  EXPECT_DEATH((Matrix<double>{{1, 2}, {3}}), "ragged");
+}
+
+TEST(MatVec, DoubleAndField) {
+  Matrix<double> m{{1, 2}, {3, 4}};
+  const std::vector<double> x = {5, 6};
+  const auto y = MatVec(m, std::span<const double>(x));
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 17.0);
+  EXPECT_DOUBLE_EQ(y[1], 39.0);
+
+  Matrix<Gf5> f(2, 2);
+  f(0, 0) = Gf5(1); f(0, 1) = Gf5(2);
+  f(1, 0) = Gf5(3); f(1, 1) = Gf5(4);
+  const std::vector<Gf5> xf = {Gf5(5 % 5), Gf5(6 % 5)};  // {0, 1}
+  const auto yf = MatVec(f, std::span<const Gf5>(xf));
+  EXPECT_EQ(yf[0], Gf5(2));
+  EXPECT_EQ(yf[1], Gf5(4));
+}
+
+TEST(MatMul, MatchesHandComputation) {
+  Matrix<double> a{{1, 2}, {3, 4}};
+  Matrix<double> b{{5, 6}, {7, 8}};
+  const auto c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatMul, IdentityIsNeutral) {
+  Xoshiro256StarStar rng(9);
+  const auto m = RandomMatrix<double>(4, 4, rng);
+  EXPECT_EQ(MatMul(Matrix<double>::Identity(4), m), m);
+  EXPECT_EQ(MatMul(m, Matrix<double>::Identity(4)), m);
+}
+
+TEST(VecOps, AddSubScaleDot) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {4, 5, 6};
+  const auto sum = VecAdd(std::span<const double>(a), std::span<const double>(b));
+  EXPECT_DOUBLE_EQ(sum[2], 9.0);
+  const auto diff = VecSub(std::span<const double>(b), std::span<const double>(a));
+  EXPECT_DOUBLE_EQ(diff[0], 3.0);
+  const auto scaled = VecScale(std::span<const double>(a), 2.0);
+  EXPECT_DOUBLE_EQ(scaled[1], 4.0);
+  EXPECT_DOUBLE_EQ(Dot(std::span<const double>(a), std::span<const double>(b)),
+                   32.0);
+}
+
+TEST(MaxAbsDiff, Basics) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {1, 2.5, 2};
+  EXPECT_DOUBLE_EQ(
+      MaxAbsDiff(std::span<const double>(a), std::span<const double>(b)), 1.0);
+}
+
+}  // namespace
+}  // namespace scec

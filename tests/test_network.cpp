@@ -1,0 +1,93 @@
+// SPDX-License-Identifier: MIT
+
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+namespace scec::sim {
+namespace {
+
+TEST(Network, DeliveryTimeIsLatencyPlusSerialisation) {
+  EventQueue queue;
+  Network network(&queue);
+  network.AddLink(0, 1, LinkSpec{/*latency_s=*/0.01, /*bandwidth_bps=*/8000});
+  double delivered_at = -1.0;
+  // 100 bytes = 800 bits at 8000 bps = 0.1 s serialisation + 0.01 latency.
+  const SimTime predicted =
+      network.Send(0, 1, 100, [&] { delivered_at = queue.now(); });
+  queue.RunUntilEmpty();
+  EXPECT_DOUBLE_EQ(delivered_at, 0.11);
+  EXPECT_DOUBLE_EQ(predicted, 0.11);
+}
+
+TEST(Network, BackToBackTransfersSerialise) {
+  EventQueue queue;
+  Network network(&queue);
+  network.AddLink(0, 1, LinkSpec{0.0, 8000});
+  std::vector<double> deliveries;
+  network.Send(0, 1, 100, [&] { deliveries.push_back(queue.now()); });
+  network.Send(0, 1, 100, [&] { deliveries.push_back(queue.now()); });
+  queue.RunUntilEmpty();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_DOUBLE_EQ(deliveries[0], 0.1);
+  EXPECT_DOUBLE_EQ(deliveries[1], 0.2) << "second message queues behind";
+}
+
+TEST(Network, IndependentLinksDoNotInterfere) {
+  EventQueue queue;
+  Network network(&queue);
+  network.AddLink(0, 1, LinkSpec{0.0, 8000});
+  network.AddLink(0, 2, LinkSpec{0.0, 8000});
+  std::vector<double> deliveries;
+  network.Send(0, 1, 100, [&] { deliveries.push_back(queue.now()); });
+  network.Send(0, 2, 100, [&] { deliveries.push_back(queue.now()); });
+  queue.RunUntilEmpty();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_DOUBLE_EQ(deliveries[0], 0.1);
+  EXPECT_DOUBLE_EQ(deliveries[1], 0.1);
+}
+
+TEST(Network, DirectionalLinks) {
+  EventQueue queue;
+  Network network(&queue);
+  network.AddLink(0, 1, LinkSpec{0.0, 1e6});
+  EXPECT_TRUE(network.HasLink(0, 1));
+  EXPECT_FALSE(network.HasLink(1, 0));
+}
+
+TEST(Network, BytesAccounting) {
+  EventQueue queue;
+  Network network(&queue);
+  network.AddLink(0, 1, LinkSpec{0.0, 1e6});
+  network.Send(0, 1, 100, [] {});
+  network.Send(0, 1, 250, [] {});
+  EXPECT_EQ(network.BytesSent(0, 1), 350u);
+  EXPECT_EQ(network.BytesSent(1, 0), 0u);
+}
+
+TEST(Network, ZeroLatencyZeroBytesDeliversImmediately) {
+  EventQueue queue;
+  Network network(&queue);
+  network.AddLink(0, 1, LinkSpec{0.0, 1e6});
+  bool delivered = false;
+  network.Send(0, 1, 0, [&] { delivered = true; });
+  queue.RunUntilEmpty();
+  EXPECT_TRUE(delivered);
+  EXPECT_DOUBLE_EQ(queue.now(), 0.0);
+}
+
+TEST(NetworkDeathTest, MissingLinkAborts) {
+  EventQueue queue;
+  Network network(&queue);
+  EXPECT_DEATH(network.Send(0, 1, 10, [] {}), "no link");
+}
+
+TEST(NetworkDeathTest, InvalidLinkSpecAborts) {
+  EventQueue queue;
+  Network network(&queue);
+  EXPECT_DEATH(network.AddLink(0, 1, LinkSpec{0.0, 0.0}), "");
+  EXPECT_DEATH(network.AddLink(0, 1, LinkSpec{-1.0, 10.0}), "");
+}
+
+}  // namespace
+}  // namespace scec::sim

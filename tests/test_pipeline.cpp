@@ -1,0 +1,178 @@
+// SPDX-License-Identifier: MIT
+
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "workload/distributions.h"
+
+namespace scec {
+namespace {
+
+McscecProblem UniformProblem(size_t m, size_t l, size_t k, uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  const auto costs =
+      SampleSortedCosts(CostDistribution::Uniform(5.0), k, rng);
+  return MakeAbstractProblem(m, l, costs);
+}
+
+TEST(Pipeline, EndToEndFieldQueryEqualsDirectProduct) {
+  const McscecProblem problem = UniformProblem(20, 6, 8, 10);
+  ChaCha20Rng rng(1);
+  const auto a = RandomMatrix<Gf61>(problem.m, problem.l, rng);
+  const auto deployment = Deploy(problem, a, rng);
+  ASSERT_TRUE(deployment.ok()) << deployment.status();
+
+  const auto x = RandomVector<Gf61>(problem.l, rng);
+  const auto y = Query(*deployment, x);
+  EXPECT_EQ(y, MatVec(a, std::span<const Gf61>(x)));
+}
+
+TEST(Pipeline, EndToEndDoubleQueryMatchesNumerically) {
+  const McscecProblem problem = UniformProblem(30, 5, 10, 11);
+  ChaCha20Rng rng(2);
+  Xoshiro256StarStar drng(3);
+  const auto a = RandomMatrix<double>(problem.m, problem.l, drng);
+  const auto deployment = Deploy(problem, a, rng);
+  ASSERT_TRUE(deployment.ok());
+
+  const auto x = RandomVector<double>(problem.l, drng);
+  const auto y = Query(*deployment, x);
+  const auto expected = MatVec(a, std::span<const double>(x));
+  EXPECT_LT(MaxAbsDiff(std::span<const double>(y),
+                       std::span<const double>(expected)),
+            1e-9);
+}
+
+TEST(Pipeline, MultipleQueriesReuseDeployment) {
+  const McscecProblem problem = UniformProblem(12, 4, 6, 12);
+  ChaCha20Rng rng(4);
+  const auto a = RandomMatrix<Gf61>(problem.m, problem.l, rng);
+  const auto deployment = Deploy(problem, a, rng);
+  ASSERT_TRUE(deployment.ok());
+  for (int q = 0; q < 10; ++q) {
+    const auto x = RandomVector<Gf61>(problem.l, rng);
+    EXPECT_EQ(Query(*deployment, x), MatVec(a, std::span<const Gf61>(x)));
+  }
+}
+
+TEST(Pipeline, ShareSizesMatchPlan) {
+  const McscecProblem problem = UniformProblem(50, 3, 9, 13);
+  ChaCha20Rng rng(5);
+  const auto a = RandomMatrix<Gf61>(problem.m, problem.l, rng);
+  const auto deployment = Deploy(problem, a, rng);
+  ASSERT_TRUE(deployment.ok());
+  ASSERT_EQ(deployment->shares.size(),
+            deployment->plan.scheme.num_devices());
+  for (size_t d = 0; d < deployment->shares.size(); ++d) {
+    EXPECT_EQ(deployment->shares[d].coded_rows.rows(),
+              deployment->plan.scheme.row_counts[d]);
+  }
+}
+
+TEST(Pipeline, DataDimensionMismatchIsError) {
+  const McscecProblem problem = UniformProblem(10, 4, 5, 14);
+  ChaCha20Rng rng(6);
+  const auto wrong = RandomMatrix<Gf61>(9, 4, rng);
+  const auto deployment = Deploy(problem, wrong, rng);
+  EXPECT_FALSE(deployment.ok());
+  EXPECT_EQ(deployment.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Pipeline, ResponsesExposeProtocolStructure) {
+  const McscecProblem problem = UniformProblem(15, 4, 6, 15);
+  ChaCha20Rng rng(7);
+  const auto a = RandomMatrix<Gf61>(problem.m, problem.l, rng);
+  const auto deployment = Deploy(problem, a, rng);
+  ASSERT_TRUE(deployment.ok());
+  const auto x = RandomVector<Gf61>(problem.l, rng);
+  const auto responses = ComputeDeviceResponses(*deployment, x);
+  ASSERT_EQ(responses.size(), deployment->shares.size());
+  for (size_t d = 0; d < responses.size(); ++d) {
+    EXPECT_EQ(responses[d].size(), deployment->plan.scheme.row_counts[d]);
+  }
+}
+
+// Parameterised sweep: deploy + query across problem shapes.
+class PipelineSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(PipelineSweep, RoundTrip) {
+  const auto [m, l, k] = GetParam();
+  const McscecProblem problem = UniformProblem(m, l, k, 16 + m + l + k);
+  ChaCha20Rng rng(8 + m);
+  const auto a = RandomMatrix<Gf61>(m, l, rng);
+  const auto deployment = Deploy(problem, a, rng);
+  ASSERT_TRUE(deployment.ok()) << deployment.status();
+  const auto x = RandomVector<Gf61>(l, rng);
+  EXPECT_EQ(Query(*deployment, x), MatVec(a, std::span<const Gf61>(x)));
+  // Headline security assertion on the deployed scheme.
+  EXPECT_TRUE(
+      CheckSchemeSecure(deployment->code, deployment->plan.scheme).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PipelineSweep,
+    ::testing::Values(std::make_tuple(1, 1, 2), std::make_tuple(2, 3, 2),
+                      std::make_tuple(5, 2, 3), std::make_tuple(10, 10, 4),
+                      std::make_tuple(17, 3, 7), std::make_tuple(32, 2, 16),
+                      std::make_tuple(40, 5, 3), std::make_tuple(64, 1, 9)));
+
+TEST(QueryBatch, MatchesDirectMatrixProductOverField) {
+  const McscecProblem problem = UniformProblem(14, 5, 6, 20);
+  ChaCha20Rng rng(30);
+  const auto a = RandomMatrix<Gf61>(problem.m, problem.l, rng);
+  const auto deployment = Deploy(problem, a, rng);
+  ASSERT_TRUE(deployment.ok());
+  const auto x = RandomMatrix<Gf61>(problem.l, 7, rng);  // batch of 7
+  const auto y = QueryBatch(*deployment, x);
+  EXPECT_EQ(y, MatMul(a, x));
+}
+
+TEST(QueryBatch, SingleColumnAgreesWithQuery) {
+  const McscecProblem problem = UniformProblem(10, 4, 5, 21);
+  ChaCha20Rng rng(31);
+  const auto a = RandomMatrix<Gf61>(problem.m, problem.l, rng);
+  const auto deployment = Deploy(problem, a, rng);
+  ASSERT_TRUE(deployment.ok());
+  const auto xv = RandomVector<Gf61>(problem.l, rng);
+  Matrix<Gf61> x(problem.l, 1);
+  for (size_t i = 0; i < problem.l; ++i) x(i, 0) = xv[i];
+  const auto batched = QueryBatch(*deployment, x);
+  const auto single = Query(*deployment, xv);
+  for (size_t i = 0; i < problem.m; ++i) {
+    EXPECT_EQ(batched(i, 0), single[i]);
+  }
+}
+
+TEST(QueryBatch, DoubleScalars) {
+  const McscecProblem problem = UniformProblem(8, 3, 4, 22);
+  ChaCha20Rng rng(32);
+  Xoshiro256StarStar drng(33);
+  const auto a = RandomMatrix<double>(problem.m, problem.l, drng);
+  const auto deployment = Deploy(problem, a, rng);
+  ASSERT_TRUE(deployment.ok());
+  const auto x = RandomMatrix<double>(problem.l, 5, drng);
+  const auto y = QueryBatch(*deployment, x);
+  const auto expected = MatMul(a, x);
+  for (size_t row = 0; row < y.rows(); ++row) {
+    for (size_t col = 0; col < y.cols(); ++col) {
+      EXPECT_NEAR(y(row, col), expected(row, col), 1e-9);
+    }
+  }
+}
+
+TEST(QueryBatchDeathTest, WrongInputHeightAborts) {
+  const McscecProblem problem = UniformProblem(8, 3, 4, 23);
+  ChaCha20Rng rng(34);
+  const auto a = RandomMatrix<Gf61>(problem.m, problem.l, rng);
+  const auto deployment = Deploy(problem, a, rng);
+  ASSERT_TRUE(deployment.ok());
+  const Matrix<Gf61> bad(problem.l + 1, 2);
+  EXPECT_DEATH(QueryBatch(*deployment, bad), "");
+}
+
+}  // namespace
+}  // namespace scec

@@ -1,0 +1,118 @@
+// SPDX-License-Identifier: MIT
+
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/distributions.h"
+
+namespace scec {
+namespace {
+
+McscecProblem UniformProblem(size_t m, size_t l, size_t k, uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  const auto costs =
+      SampleSortedCosts(CostDistribution::Uniform(5.0), k, rng);
+  return MakeAbstractProblem(m, l, costs);
+}
+
+TEST(Planner, ProducesConsistentPlan) {
+  const McscecProblem problem = UniformProblem(100, 8, 10, 1);
+  const auto plan = PlanMcscec(problem);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->allocation.m, 100u);
+  EXPECT_EQ(plan->scheme.m, 100u);
+  EXPECT_EQ(plan->scheme.r, plan->allocation.r);
+  EXPECT_EQ(plan->participating.size(), plan->scheme.num_devices());
+  EXPECT_EQ(plan->scheme.total_rows(), 100 + plan->allocation.r);
+  EXPECT_GE(plan->lower_bound, 0.0);
+  EXPECT_GE(plan->allocation.total_cost, plan->lower_bound - 1e-9);
+  EXPECT_GE(plan->i_star, 2u);
+}
+
+TEST(Planner, ParticipatingIndicesPointAtCheapestDevices) {
+  // Fleet with obvious cost ordering reversed: planner must pick from the
+  // cheap end.
+  McscecProblem problem;
+  problem.m = 10;
+  problem.l = 4;
+  for (int j = 0; j < 6; ++j) {
+    EdgeDevice device;
+    device.name = "d" + std::to_string(j);
+    device.costs.comm = 10.0 - j;  // device 5 is cheapest
+    problem.fleet.Add(device);
+  }
+  const auto plan = PlanMcscec(problem);
+  ASSERT_TRUE(plan.ok());
+  // The first participating device must be fleet index 5 (cheapest).
+  EXPECT_EQ(plan->participating.front(), 5u);
+  // Participating indices are distinct.
+  std::set<size_t> unique(plan->participating.begin(),
+                          plan->participating.end());
+  EXPECT_EQ(unique.size(), plan->participating.size());
+}
+
+TEST(Planner, TA1AndTA2ProduceSameCost) {
+  const McscecProblem problem = UniformProblem(333, 4, 12, 2);
+  const auto p1 = PlanMcscec(problem, TaAlgorithm::kTA1);
+  const auto p2 = PlanMcscec(problem, TaAlgorithm::kTA2);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_NEAR(p1->allocation.total_cost, p2->allocation.total_cost, 1e-9);
+}
+
+TEST(Planner, AutoSelectsByProblemShape) {
+  // kAuto must not change the result, only the algorithm choice.
+  const McscecProblem big_m = UniformProblem(1000, 4, 5, 3);
+  const auto plan = PlanMcscec(big_m, TaAlgorithm::kAuto);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->allocation.algorithm, "TA1") << "m > k picks TA1";
+
+  const McscecProblem big_k = UniformProblem(5, 4, 50, 4);
+  const auto plan2 = PlanMcscec(big_k, TaAlgorithm::kAuto);
+  ASSERT_TRUE(plan2.ok());
+  EXPECT_EQ(plan2->allocation.algorithm, "TA2") << "k >= m picks TA2";
+}
+
+TEST(Planner, OptimalityGapComputed) {
+  const McscecProblem problem = UniformProblem(500, 4, 25, 5);
+  const auto plan = PlanMcscec(problem);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GE(plan->OptimalityGap(), 0.0);
+  EXPECT_LT(plan->OptimalityGap(), 0.25) << "gap should be small";
+}
+
+TEST(Planner, UnitCostsDependOnRowWidth) {
+  // The same fleet with different l yields different unit costs when
+  // compute costs are nonzero.
+  McscecProblem problem;
+  problem.m = 10;
+  problem.l = 2;
+  for (int j = 0; j < 4; ++j) {
+    EdgeDevice device;
+    device.costs.mul = 1.0;
+    device.costs.storage = 0.5;
+    device.costs.comm = static_cast<double>(j + 1);
+    problem.fleet.Add(device);
+  }
+  const auto narrow = problem.FleetUnitCosts();
+  problem.l = 20;
+  const auto wide = problem.FleetUnitCosts();
+  for (size_t j = 0; j < 4; ++j) EXPECT_GT(wide[j], narrow[j]);
+}
+
+TEST(PlannerDeathTest, InvalidProblemAborts) {
+  McscecProblem problem;  // empty
+  EXPECT_DEATH(PlanMcscec(problem), "");
+}
+
+TEST(TaAlgorithmName, Names) {
+  EXPECT_STREQ(TaAlgorithmName(TaAlgorithm::kTA1), "TA1");
+  EXPECT_STREQ(TaAlgorithmName(TaAlgorithm::kTA2), "TA2");
+  EXPECT_STREQ(TaAlgorithmName(TaAlgorithm::kAuto), "auto");
+}
+
+}  // namespace
+}  // namespace scec

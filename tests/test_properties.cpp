@@ -1,0 +1,224 @@
+// SPDX-License-Identifier: MIT
+//
+// Cross-cutting randomized property tests. These are the "fuzz" layer of
+// the suite: each test states one invariant and hammers it with random
+// instances far outside the benchmarks' parameter comfort zone.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "allocation/lower_bound.h"
+#include "allocation/ta1.h"
+#include "allocation/ta2.h"
+#include "coding/decoder.h"
+#include "coding/encoder.h"
+#include "coding/security_check.h"
+#include "common/rng.h"
+#include "linalg/matrix_ops.h"
+#include "workload/distributions.h"
+
+namespace scec {
+namespace {
+
+// Random partition of total into parts with 1 <= part <= cap.
+std::vector<size_t> RandomPartition(size_t total, size_t cap,
+                                    Xoshiro256StarStar& rng) {
+  std::vector<size_t> parts;
+  size_t remaining = total;
+  while (remaining > 0) {
+    const size_t hi = std::min(cap, remaining);
+    const size_t take = rng.NextUint64(1, hi);
+    parts.push_back(take);
+    remaining -= take;
+  }
+  return parts;
+}
+
+// THE structural security theorem behind Eq. (8), generalised: a contiguous
+// partition of B's rows is ITS-secure IFF every block has at most r rows.
+TEST(PartitionSecurity, SecureIffEveryBlockAtMostR) {
+  Xoshiro256StarStar rng(1);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t m = 2 + rng.NextUint64(0, 14);
+    const size_t r = 1 + rng.NextUint64(0, m - 1);
+    const StructuredCode code(m, r);
+    const auto dense = code.DenseB<Gf61>();
+
+    // (a) every random partition with cap r is secure.
+    const auto good = RandomPartition(m + r, r, rng);
+    const auto good_report = VerifyEncodingMatrix(dense, m, good);
+    EXPECT_TRUE(good_report.available);
+    EXPECT_TRUE(good_report.all_secure)
+        << "m=" << m << " r=" << r << ": " << good_report.Summary();
+
+    // (b) force one block to exceed r (needs m + r > r, always true): the
+    // partition must leak in exactly the oversized block(s).
+    if (m + r >= r + 1) {
+      std::vector<size_t> bad = RandomPartition(m + r, r, rng);
+      // Merge two adjacent blocks until some block exceeds r.
+      while (*std::max_element(bad.begin(), bad.end()) <= r &&
+             bad.size() >= 2) {
+        bad[0] += bad[1];
+        bad.erase(bad.begin() + 1);
+      }
+      if (*std::max_element(bad.begin(), bad.end()) > r) {
+        const auto bad_report = VerifyEncodingMatrix(dense, m, bad);
+        EXPECT_FALSE(bad_report.all_secure)
+            << "m=" << m << " r=" << r << " counts[0]=" << bad[0];
+        for (size_t d = 0; d < bad.size(); ++d) {
+          if (bad[d] > r) {
+            EXPECT_FALSE(bad_report.devices[d].secure());
+          } else {
+            EXPECT_TRUE(bad_report.devices[d].secure());
+          }
+        }
+      }
+    }
+  }
+}
+
+// Statistical distinguisher: an edge device holding its coded share tries
+// to tell which of two KNOWN candidate data matrices was deployed. Under
+// ITS its advantage is exactly zero; empirically, any statistic of the
+// share must have the same distribution under both. We compare the mean of
+// (share mod 2^16) across many pad draws.
+TEST(Distinguisher, ShareStatisticsIndependentOfData) {
+  const size_t m = 4, r = 2, l = 3;
+  const StructuredCode code(m, r);
+  LcecScheme scheme;
+  scheme.m = m;
+  scheme.r = r;
+  scheme.row_counts = {2, 2, 2};
+
+  ChaCha20Rng data_rng(42);
+  const auto a0 = RandomMatrix<Gf61>(m, l, data_rng);
+  const auto a1 = RandomMatrix<Gf61>(m, l, data_rng);
+
+  constexpr int kTrials = 3000;
+  // Device 1 (first mixed block) observes shares under fresh pads.
+  double mean0 = 0.0, mean1 = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    ChaCha20Rng pad_rng(1000 + trial);
+    const auto pads = GeneratePadRows<Gf61>(r, l, pad_rng);
+    const auto shares0 = EncodeShares(code, scheme, a0, pads);
+    ChaCha20Rng pad_rng2(90000 + trial);  // independent pads for a1
+    const auto pads2 = GeneratePadRows<Gf61>(r, l, pad_rng2);
+    const auto shares1 = EncodeShares(code, scheme, a1, pads2);
+    for (const Gf61& v : shares0[1].coded_rows.Data()) {
+      mean0 += static_cast<double>(v.value() & 0xFFFF);
+    }
+    for (const Gf61& v : shares1[1].coded_rows.Data()) {
+      mean1 += static_cast<double>(v.value() & 0xFFFF);
+    }
+  }
+  const double n = static_cast<double>(kTrials) * 2 * l;
+  mean0 /= n;
+  mean1 /= n;
+  // Uniform over [0, 2^16): mean 32767.5, sd ~ 18918/sqrt(n) ≈ 141.
+  EXPECT_NEAR(mean0, mean1, 5 * 18918.0 / std::sqrt(n))
+      << "share statistics must not depend on the data matrix";
+}
+
+// Allocation fuzz under exotic cost distributions: TA1 == TA2 == above LB,
+// even for degenerate, heavy-tailed, and near-constant cost vectors.
+TEST(AllocationFuzz, ExoticCostDistributions) {
+  Xoshiro256StarStar rng(7);
+  for (int trial = 0; trial < 400; ++trial) {
+    const size_t m = 1 + rng.NextUint64(0, 999);
+    const size_t k = 2 + rng.NextUint64(0, 40);
+    std::vector<double> costs(k);
+    switch (trial % 5) {
+      case 0:  // heavy tail (lognormal-ish)
+        for (auto& c : costs) c = std::exp(2.0 * rng.NextGaussian());
+        break;
+      case 1:  // near-constant
+        for (auto& c : costs) c = 1.0 + 1e-9 * rng.NextDouble();
+        break;
+      case 2:  // two clusters
+        for (auto& c : costs) {
+          c = (rng.NextUint64(0, 1) != 0u ? 1.0 : 100.0) + rng.NextDouble();
+        }
+        break;
+      case 3:  // geometric ramp
+        for (size_t j = 0; j < k; ++j) {
+          costs[j] = std::pow(1.5, static_cast<double>(j)) *
+                     (1.0 + 0.1 * rng.NextDouble());
+        }
+        break;
+      default:  // tiny magnitudes
+        for (auto& c : costs) c = 1e-6 * (1.0 + rng.NextDouble());
+        break;
+    }
+    std::sort(costs.begin(), costs.end());
+    const auto a1 = RunTA1(m, costs);
+    const auto a2 = RunTA2(m, costs);
+    ASSERT_TRUE(a1.ok()) << "trial " << trial;
+    ASSERT_TRUE(a2.ok());
+    const double scale = 1.0 + a1->total_cost;
+    EXPECT_NEAR(a1->total_cost, a2->total_cost, 1e-9 * scale)
+        << "m=" << m << " k=" << k << " kind=" << trial % 5;
+    EXPECT_GE(a1->total_cost, LowerBound(m, costs) - 1e-9 * scale);
+    EXPECT_TRUE(a1->SatisfiesPerDeviceBound());
+    EXPECT_TRUE(a2->SatisfiesPerDeviceBound());
+  }
+}
+
+// Encoding/decoding fuzz across simultaneously random (m, r, l, partition).
+TEST(CodingFuzz, RandomSchemesRoundTripAndStaySecure) {
+  Xoshiro256StarStar shape_rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t m = 1 + shape_rng.NextUint64(0, 19);
+    const size_t r = 1 + shape_rng.NextUint64(0, m - 1);
+    const size_t l = 1 + shape_rng.NextUint64(0, 7);
+    const StructuredCode code(m, r);
+    LcecScheme scheme;
+    scheme.m = m;
+    scheme.r = r;
+    scheme.row_counts = RandomPartition(m + r, r, shape_rng);
+
+    ChaCha20Rng rng(5000 + trial);
+    const auto a = RandomMatrix<Gf61>(m, l, rng);
+    const auto deployment = EncodeDeployment(code, scheme, a, rng);
+    const auto x = RandomVector<Gf61>(l, rng);
+    std::vector<std::vector<Gf61>> responses;
+    for (const auto& share : deployment.shares) {
+      responses.push_back(MatVec(share.coded_rows, std::span<const Gf61>(x)));
+    }
+    const auto y = ConcatenateResponses(scheme, responses);
+    const auto decoded = SubtractionDecode(code, std::span<const Gf61>(y));
+    EXPECT_EQ(decoded, MatVec(a, std::span<const Gf61>(x)))
+        << "m=" << m << " r=" << r << " l=" << l;
+    EXPECT_TRUE(CheckSchemeSecure(code, scheme).ok());
+  }
+}
+
+// The i* predicate and lower bound behave sanely under scaling: multiplying
+// all costs by a constant scales LB and optimal cost by the same constant.
+TEST(ScalingInvariance, CostsScaleLinearly) {
+  Xoshiro256StarStar rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t m = 1 + rng.NextUint64(0, 300);
+    const size_t k = 2 + rng.NextUint64(0, 15);
+    auto costs = SampleSortedCosts(CostDistribution::Uniform(5.0), k, rng);
+    const double factor = rng.NextDouble(0.01, 50.0);
+    auto scaled = costs;
+    for (auto& c : scaled) c *= factor;
+
+    EXPECT_EQ(ComputeIStar(costs), ComputeIStar(scaled));
+    EXPECT_NEAR(LowerBound(m, scaled), factor * LowerBound(m, costs),
+                1e-9 * (1.0 + factor * LowerBound(m, costs)));
+    const auto base = RunTA2(m, costs);
+    const auto scaled_alloc = RunTA2(m, scaled);
+    ASSERT_TRUE(base.ok());
+    ASSERT_TRUE(scaled_alloc.ok());
+    EXPECT_EQ(base->r, scaled_alloc->r);
+    EXPECT_NEAR(scaled_alloc->total_cost, factor * base->total_cost,
+                1e-9 * (1.0 + scaled_alloc->total_cost));
+  }
+}
+
+}  // namespace
+}  // namespace scec

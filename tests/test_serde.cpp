@@ -1,0 +1,119 @@
+// SPDX-License-Identifier: MIT
+
+#include "common/serde.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace scec {
+namespace {
+
+TEST(Serde, ScalarRoundTrip) {
+  std::stringstream buf;
+  BinaryWriter writer(buf);
+  writer.WriteU8(0xAB);
+  writer.WriteU32(0xDEADBEEF);
+  writer.WriteU64(0x0123456789ABCDEFULL);
+  writer.WriteDouble(3.141592653589793);
+  writer.WriteDouble(-0.0);
+  writer.WriteDouble(std::numeric_limits<double>::infinity());
+  ASSERT_TRUE(writer.ok());
+
+  BinaryReader reader(buf);
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  double d1, d2, d3;
+  ASSERT_TRUE(reader.ReadU8(&u8).ok());
+  ASSERT_TRUE(reader.ReadU32(&u32).ok());
+  ASSERT_TRUE(reader.ReadU64(&u64).ok());
+  ASSERT_TRUE(reader.ReadDouble(&d1).ok());
+  ASSERT_TRUE(reader.ReadDouble(&d2).ok());
+  ASSERT_TRUE(reader.ReadDouble(&d3).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(d1, 3.141592653589793);
+  EXPECT_EQ(d2, 0.0);
+  EXPECT_TRUE(std::signbit(d2));
+  EXPECT_TRUE(std::isinf(d3));
+}
+
+TEST(Serde, StringRoundTrip) {
+  std::stringstream buf;
+  BinaryWriter writer(buf);
+  writer.WriteString("hello");
+  writer.WriteString("");
+  writer.WriteString(std::string("\0with\0nuls", 10));
+
+  BinaryReader reader(buf);
+  std::string a, b, c;
+  ASSERT_TRUE(reader.ReadString(&a).ok());
+  ASSERT_TRUE(reader.ReadString(&b).ok());
+  ASSERT_TRUE(reader.ReadString(&c).ok());
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, std::string("\0with\0nuls", 10));
+}
+
+TEST(Serde, VectorRoundTrip) {
+  std::stringstream buf;
+  BinaryWriter writer(buf);
+  writer.WriteU64Vector({1, 2, 3});
+  writer.WriteSizeVector({7, 8});
+  writer.WriteDoubleVector({1.5, -2.5});
+
+  BinaryReader reader(buf);
+  std::vector<uint64_t> u;
+  std::vector<size_t> s;
+  std::vector<double> d;
+  ASSERT_TRUE(reader.ReadU64Vector(&u).ok());
+  ASSERT_TRUE(reader.ReadSizeVector(&s).ok());
+  ASSERT_TRUE(reader.ReadDoubleVector(&d).ok());
+  EXPECT_EQ(u, (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(s, (std::vector<size_t>{7, 8}));
+  EXPECT_EQ(d, (std::vector<double>{1.5, -2.5}));
+}
+
+TEST(Serde, TruncatedStreamIsDecodeFailure) {
+  std::stringstream buf;
+  BinaryWriter writer(buf);
+  writer.WriteU32(42);
+
+  BinaryReader reader(buf);
+  uint64_t v;  // asks for 8 bytes but only 4 available
+  const Status status = reader.ReadU64(&v);
+  EXPECT_EQ(status.code(), ErrorCode::kDecodeFailure);
+}
+
+TEST(Serde, OversizedStringRejected) {
+  std::stringstream buf;
+  BinaryWriter writer(buf);
+  writer.WriteU32(1000);  // claims 1000 bytes, provides none
+  BinaryReader reader(buf);
+  std::string s;
+  EXPECT_EQ(reader.ReadString(&s, /*max_len=*/10).code(),
+            ErrorCode::kDecodeFailure);
+}
+
+TEST(Serde, OversizedVectorRejected) {
+  std::stringstream buf;
+  BinaryWriter writer(buf);
+  writer.WriteU32(0xFFFFFFFF);
+  BinaryReader reader(buf);
+  std::vector<uint64_t> v;
+  EXPECT_EQ(reader.ReadU64Vector(&v, 100).code(), ErrorCode::kDecodeFailure);
+}
+
+TEST(Serde, EmptyStreamFailsCleanly) {
+  std::stringstream buf;
+  BinaryReader reader(buf);
+  uint8_t v;
+  EXPECT_FALSE(reader.ReadU8(&v).ok());
+}
+
+}  // namespace
+}  // namespace scec

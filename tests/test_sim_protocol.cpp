@@ -1,0 +1,268 @@
+// SPDX-License-Identifier: MIT
+
+#include "sim/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.h"
+#include "workload/distributions.h"
+
+namespace scec::sim {
+namespace {
+
+McscecProblem MakeProblem(size_t m, size_t l, size_t k, uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  McscecProblem problem;
+  problem.m = m;
+  problem.l = l;
+  for (size_t j = 0; j < k; ++j) {
+    EdgeDevice device;
+    device.name = "edge-" + std::to_string(j);
+    device.costs.comm = rng.NextDouble(1.0, 5.0);
+    device.costs.storage = 0.01;
+    device.costs.mul = 0.002;
+    device.costs.add = 0.001;
+    device.compute_rate_flops = rng.NextDouble(1e8, 1e9);
+    device.uplink_bps = rng.NextDouble(1e7, 1e8);
+    device.downlink_bps = rng.NextDouble(1e7, 1e8);
+    device.link_latency_s = rng.NextDouble(1e-4, 5e-3);
+    problem.fleet.Add(device);
+  }
+  return problem;
+}
+
+TEST(SimProtocol, DecodesCorrectly) {
+  const McscecProblem problem = MakeProblem(24, 8, 10, 1);
+  ChaCha20Rng coding_rng(10);
+  Xoshiro256StarStar drng(11);
+  const auto a = RandomMatrix<double>(problem.m, problem.l, drng);
+  const auto x = RandomVector<double>(problem.l, drng);
+  const auto result = SimulateScec(problem, a, x, coding_rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->metrics.decoded_correctly);
+  const auto expected = MatVec(a, std::span<const double>(x));
+  EXPECT_LT(MaxAbsDiff(std::span<const double>(result->decoded),
+                       std::span<const double>(expected)),
+            1e-9);
+}
+
+TEST(SimProtocol, AccountingMatchesEquationOne) {
+  // The simulator's per-device counters must reproduce Eq. (1)'s units:
+  // storage l + (l+1)V, multiplications V·l, additions V·(l−1), sent V.
+  const McscecProblem problem = MakeProblem(30, 6, 8, 2);
+  ChaCha20Rng coding_rng(20);
+  Xoshiro256StarStar drng(21);
+  const auto a = RandomMatrix<double>(problem.m, problem.l, drng);
+  const auto x = RandomVector<double>(problem.l, drng);
+  const auto result = SimulateScec(problem, a, x, coding_rng);
+  ASSERT_TRUE(result.ok());
+
+  const uint64_t l = problem.l;
+  uint64_t total_rows = 0;
+  for (const DeviceMetrics& device : result->metrics.devices) {
+    const uint64_t v = device.coded_rows;
+    EXPECT_GE(v, 1u);
+    EXPECT_EQ(device.stored_values, l + (l + 1) * v);
+    EXPECT_EQ(device.multiplications, v * l);
+    EXPECT_EQ(device.additions, v * (l - 1));
+    EXPECT_EQ(device.values_sent, v);
+    total_rows += v;
+  }
+  // Total coded rows must be m + r.
+  EXPECT_GT(total_rows, problem.m);
+  // Decode is exactly m subtractions (§IV-B).
+  EXPECT_EQ(result->metrics.decode_subtractions, problem.m);
+}
+
+TEST(SimProtocol, CompletionTimeIsPositiveAndBounded) {
+  const McscecProblem problem = MakeProblem(16, 4, 6, 3);
+  ChaCha20Rng coding_rng(30);
+  Xoshiro256StarStar drng(31);
+  const auto a = RandomMatrix<double>(problem.m, problem.l, drng);
+  const auto x = RandomVector<double>(problem.l, drng);
+  const auto result = SimulateScec(problem, a, x, coding_rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->metrics.staging_completion_time, 0.0);
+  EXPECT_GT(result->metrics.query_completion_time, 0.0);
+  EXPECT_LT(result->metrics.query_completion_time, 10.0)
+      << "sanity ceiling for these link rates";
+}
+
+TEST(SimProtocol, StragglersOnlySlowThingsDown) {
+  const McscecProblem problem = MakeProblem(16, 4, 6, 4);
+  Xoshiro256StarStar drng(41);
+  const auto a = RandomMatrix<double>(problem.m, problem.l, drng);
+  const auto x = RandomVector<double>(problem.l, drng);
+
+  ChaCha20Rng rng_a(50);
+  SimOptions fast;
+  const auto base = SimulateScec(problem, a, x, rng_a, fast);
+  ASSERT_TRUE(base.ok());
+
+  ChaCha20Rng rng_b(50);
+  SimOptions slow;
+  slow.straggler.kind = StragglerKind::kExponentialSlowdown;
+  slow.straggler.rate = 0.5;  // heavy stragglers
+  const auto straggly = SimulateScec(problem, a, x, rng_b, slow);
+  ASSERT_TRUE(straggly.ok());
+
+  EXPECT_TRUE(straggly->metrics.decoded_correctly)
+      << "stragglers delay but never corrupt";
+  EXPECT_GE(straggly->metrics.query_completion_time,
+            base->metrics.query_completion_time);
+}
+
+TEST(SimProtocol, BytesMatchValueCounts) {
+  const McscecProblem problem = MakeProblem(20, 5, 7, 5);
+  ChaCha20Rng coding_rng(60);
+  Xoshiro256StarStar drng(61);
+  const auto a = RandomMatrix<double>(problem.m, problem.l, drng);
+  const auto x = RandomVector<double>(problem.l, drng);
+  const auto result = SimulateScec(problem, a, x, coding_rng);
+  ASSERT_TRUE(result.ok());
+  const auto& metrics = result->metrics;
+  // Response bytes = (m + r) values * 8 bytes.
+  EXPECT_EQ(metrics.query_downlink_bytes, metrics.TotalValuesSent() * 8);
+  // Broadcast bytes = one x per participating device.
+  EXPECT_EQ(metrics.query_uplink_bytes,
+            metrics.devices.size() * problem.l * 8);
+  // Staging moved every coded value exactly once.
+  uint64_t share_values = 0;
+  for (const auto& device : metrics.devices) {
+    share_values += device.coded_rows * problem.l;
+  }
+  EXPECT_EQ(metrics.staging_bytes, share_values * 8);
+}
+
+TEST(SimProtocol, LowerLevelApiRunsAgainstExistingDeployment) {
+  const McscecProblem problem = MakeProblem(10, 3, 5, 6);
+  ChaCha20Rng coding_rng(70);
+  Xoshiro256StarStar drng(71);
+  const auto a = RandomMatrix<double>(problem.m, problem.l, drng);
+  const auto deployment = Deploy(problem, a, coding_rng);
+  ASSERT_TRUE(deployment.ok());
+  std::vector<EdgeDevice> specs;
+  for (size_t idx : deployment->plan.participating) {
+    specs.push_back(problem.fleet[idx]);
+  }
+  const auto x = RandomVector<double>(problem.l, drng);
+  const auto result = SimulateDeployment(*deployment, specs, a, x);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->metrics.decoded_correctly);
+}
+
+TEST(SimProtocol, SingleCoreDeviceSerialisesConcurrentQueries) {
+  // Two queries arriving back-to-back at one device must finish at least
+  // one compute-duration apart (the device is single-core).
+  const McscecProblem problem = MakeProblem(16, 64, 4, 12);
+  ChaCha20Rng coding_rng(120);
+  Xoshiro256StarStar drng(121);
+  const auto a = RandomMatrix<double>(problem.m, problem.l, drng);
+  const auto deployment = Deploy(problem, a, coding_rng);
+  ASSERT_TRUE(deployment.ok());
+  std::vector<EdgeDevice> specs;
+  for (size_t idx : deployment->plan.participating) {
+    specs.push_back(problem.fleet[idx]);
+  }
+  std::vector<std::vector<double>> xs = {
+      RandomVector<double>(problem.l, drng),
+      RandomVector<double>(problem.l, drng)};
+
+  ScecProtocol protocol(&*deployment, specs, {});
+  protocol.Stage();
+  const auto stream = protocol.RunQueryStream(xs);
+  // The slowest device's compute time per query:
+  double max_compute = 0.0;
+  for (size_t d = 0; d < specs.size(); ++d) {
+    const double v =
+        static_cast<double>(deployment->plan.scheme.row_counts[d]);
+    const double flops = v * (2.0 * problem.l - 1.0);
+    max_compute = std::max(max_compute, flops / specs[d].compute_rate_flops);
+  }
+  EXPECT_GE(stream.completion_times[1] - stream.completion_times[0],
+            max_compute * 0.5)
+      << "second query must queue behind the first somewhere";
+}
+
+TEST(SimProtocol, StreamedQueriesDecodeLikeSequentialOnes) {
+  const McscecProblem problem = MakeProblem(14, 5, 6, 10);
+  ChaCha20Rng coding_rng(100);
+  Xoshiro256StarStar drng(101);
+  const auto a = RandomMatrix<double>(problem.m, problem.l, drng);
+  const auto deployment = Deploy(problem, a, coding_rng);
+  ASSERT_TRUE(deployment.ok());
+  std::vector<EdgeDevice> specs;
+  for (size_t idx : deployment->plan.participating) {
+    specs.push_back(problem.fleet[idx]);
+  }
+
+  std::vector<std::vector<double>> xs;
+  for (int q = 0; q < 6; ++q) {
+    xs.push_back(RandomVector<double>(problem.l, drng));
+  }
+
+  ScecProtocol protocol(&*deployment, specs, {});
+  protocol.Stage();
+  const auto stream = protocol.RunQueryStream(xs);
+  ASSERT_EQ(stream.decoded.size(), xs.size());
+  for (size_t q = 0; q < xs.size(); ++q) {
+    const auto expected = MatVec(a, std::span<const double>(xs[q]));
+    EXPECT_LT(MaxAbsDiff(std::span<const double>(stream.decoded[q]),
+                         std::span<const double>(expected)),
+              1e-9)
+        << "query " << q;
+  }
+  // Completion times are per-query and ordered (FIFO service).
+  for (size_t q = 1; q < xs.size(); ++q) {
+    EXPECT_GE(stream.completion_times[q],
+              stream.completion_times[q - 1] - 1e-12);
+  }
+  EXPECT_GE(stream.makespan, stream.completion_times.back() - 1e-12);
+}
+
+TEST(SimProtocol, PipeliningBeatsSequentialMakespan) {
+  const McscecProblem problem = MakeProblem(20, 8, 7, 11);
+  ChaCha20Rng coding_rng(110);
+  Xoshiro256StarStar drng(111);
+  const auto a = RandomMatrix<double>(problem.m, problem.l, drng);
+  const auto deployment = Deploy(problem, a, coding_rng);
+  ASSERT_TRUE(deployment.ok());
+  std::vector<EdgeDevice> specs;
+  for (size_t idx : deployment->plan.participating) {
+    specs.push_back(problem.fleet[idx]);
+  }
+  std::vector<std::vector<double>> xs;
+  for (int q = 0; q < 10; ++q) {
+    xs.push_back(RandomVector<double>(problem.l, drng));
+  }
+
+  // Sequential: fresh protocol so both start from identical state.
+  ScecProtocol sequential(&*deployment, specs, {});
+  sequential.Stage();
+  double sequential_total = 0.0;
+  for (const auto& x : xs) {
+    const double before = sequential.queue().now();
+    (void)sequential.RunQuery(x);
+    sequential_total += sequential.queue().now() - before;
+  }
+
+  ScecProtocol pipelined(&*deployment, specs, {});
+  pipelined.Stage();
+  const auto stream = pipelined.RunQueryStream(xs);
+  EXPECT_LT(stream.makespan, sequential_total)
+      << "overlapping transfer+compute must beat stop-and-wait";
+}
+
+TEST(SimProtocol, WrongQueryWidthIsError) {
+  const McscecProblem problem = MakeProblem(10, 3, 5, 7);
+  ChaCha20Rng coding_rng(80);
+  Xoshiro256StarStar drng(81);
+  const auto a = RandomMatrix<double>(problem.m, problem.l, drng);
+  const auto x = RandomVector<double>(problem.l + 1, drng);  // too wide
+  const auto result = SimulateScec(problem, a, x, coding_rng);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace scec::sim

@@ -1,0 +1,149 @@
+// SPDX-License-Identifier: MIT
+
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace scec {
+namespace {
+
+TEST(RunningStat, EmptyIsZeroed) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  Xoshiro256StarStar rng(17);
+  RunningStat whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble(-5, 20);
+    whole.Add(v);
+    (i < 400 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmptySides) {
+  RunningStat a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.Merge(a);  // empty lhs adopts rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStat, NumericalStabilityLargeOffset) {
+  // Welford must survive values with a huge common offset.
+  RunningStat s;
+  for (double v : {1e9 + 1, 1e9 + 2, 1e9 + 3}) s.Add(v);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(RunningStat, Ci95ShrinksWithSamples) {
+  RunningStat small, big;
+  Xoshiro256StarStar rng(3);
+  for (int i = 0; i < 10; ++i) small.Add(rng.NextGaussian());
+  for (int i = 0; i < 10000; ++i) big.Add(rng.NextGaussian());
+  EXPECT_GT(small.ci95_halfwidth(), big.ci95_halfwidth());
+}
+
+TEST(SampleStat, PercentilesExact) {
+  SampleStat s;
+  for (double v : {10.0, 20.0, 30.0, 40.0, 50.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 30.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 20.0);
+  // Interpolation between ranks.
+  EXPECT_DOUBLE_EQ(s.Percentile(10), 14.0);
+}
+
+TEST(SampleStat, SingleSample) {
+  SampleStat s;
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 7.0);
+}
+
+TEST(SampleStat, AddAfterPercentileStillCorrect) {
+  SampleStat s;
+  s.Add(3.0);
+  s.Add(1.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 2.0);
+  s.Add(2.0);  // re-sorts lazily on next query
+  EXPECT_DOUBLE_EQ(s.Median(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 3.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);    // bucket 0
+  h.Add(9.99);   // bucket 4
+  h.Add(-3.0);   // clamps to 0
+  h.Add(42.0);   // clamps to 4
+  h.Add(5.0);    // bucket 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bucket_high(2), 6.0);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(1.6);
+  const std::string render = h.Render(10);
+  EXPECT_NE(render.find("1"), std::string::npos);
+  EXPECT_NE(render.find("2"), std::string::npos);
+  EXPECT_NE(render.find("#"), std::string::npos);
+}
+
+TEST(RelativeDiff, Basics) {
+  EXPECT_DOUBLE_EQ(RelativeDiff(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeDiff(90.0, 100.0), -0.1);
+  EXPECT_DOUBLE_EQ(RelativeDiff(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(RelativeDiff(1.0, 0.0)));
+}
+
+}  // namespace
+}  // namespace scec

@@ -1,0 +1,122 @@
+// SPDX-License-Identifier: MIT
+
+#include "allocation/ta1.h"
+
+#include <gtest/gtest.h>
+
+#include "allocation/lower_bound.h"
+#include "common/rng.h"
+#include "workload/distributions.h"
+
+namespace scec {
+namespace {
+
+TEST(TA1, TwoDevicesForcesRm) {
+  const std::vector<double> costs = {1.0, 2.0};
+  const auto alloc = RunTA1(10, costs);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc->r, 10u);
+  EXPECT_EQ(alloc->num_devices, 2u);
+  EXPECT_EQ(alloc->rows_per_device, (std::vector<size_t>{10, 10}));
+  EXPECT_DOUBLE_EQ(alloc->total_cost, 10.0 * 1.0 + 10.0 * 2.0);
+}
+
+TEST(TA1, DivisibleCaseHitsLowerBoundExactly) {
+  // Equal costs, k = 6 ⇒ i* = 6; m = 50 divisible by 5 ⇒ r = 10,
+  // LB = 50/5 · 6c = 60c.
+  const std::vector<double> costs(6, 2.0);
+  const auto alloc = RunTA1(50, costs);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc->r, 10u);
+  EXPECT_EQ(alloc->num_devices, 6u);
+  EXPECT_DOUBLE_EQ(alloc->total_cost, LowerBound(50, costs));
+}
+
+TEST(TA1, CanonicalShapeInvariant) {
+  Xoshiro256StarStar rng(30);
+  const CostDistribution dist = CostDistribution::Uniform(5.0);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t m = 1 + rng.NextUint64(0, 400);
+    const size_t k = 2 + rng.NextUint64(0, 14);
+    const auto costs = SampleSortedCosts(dist, k, rng);
+    const auto alloc = RunTA1(m, costs);
+    ASSERT_TRUE(alloc.ok());
+    // Lemma 2 shape: first i−1 devices hold r, device i holds the
+    // remainder in (0, r], rest hold 0.
+    const size_t i = alloc->num_devices;
+    ASSERT_GE(i, 2u);
+    ASSERT_LE(i, k);
+    for (size_t j = 0; j + 1 < i; ++j) {
+      EXPECT_EQ(alloc->rows_per_device[j], alloc->r);
+    }
+    EXPECT_GE(alloc->rows_per_device[i - 1], 1u);
+    EXPECT_LE(alloc->rows_per_device[i - 1], alloc->r);
+    for (size_t j = i; j < k; ++j) {
+      EXPECT_EQ(alloc->rows_per_device[j], 0u);
+    }
+    EXPECT_EQ(alloc->TotalRows(), m + alloc->r);
+    EXPECT_TRUE(alloc->SatisfiesPerDeviceBound());
+    // Theorem 2 range.
+    EXPECT_GE(alloc->r, (m + k - 2) / (k - 1));
+    EXPECT_LE(alloc->r, m);
+  }
+}
+
+TEST(TA1, NeverBelowLowerBound) {
+  Xoshiro256StarStar rng(31);
+  const CostDistribution dist = CostDistribution::Uniform(10.0);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t m = 1 + rng.NextUint64(0, 1000);
+    const size_t k = 2 + rng.NextUint64(0, 30);
+    const auto costs = SampleSortedCosts(dist, k, rng);
+    const auto alloc = RunTA1(m, costs);
+    ASSERT_TRUE(alloc.ok());
+    EXPECT_GE(alloc->total_cost, LowerBound(m, costs) - 1e-9);
+  }
+}
+
+TEST(TA1, GapToLowerBoundVanishesWhenDivisible) {
+  Xoshiro256StarStar rng(32);
+  const CostDistribution dist = CostDistribution::Uniform(5.0);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t k = 3 + rng.NextUint64(0, 10);
+    const auto costs = SampleSortedCosts(dist, k, rng);
+    const size_t i_star = ComputeIStar(costs);
+    // Choose m as a multiple of i*−1 (Corollary 1 conditions).
+    const size_t m = (i_star - 1) * (1 + rng.NextUint64(0, 50));
+    const auto alloc = RunTA1(m, costs);
+    ASSERT_TRUE(alloc.ok());
+    EXPECT_NEAR(alloc->total_cost, LowerBound(m, costs),
+                1e-9 * (1.0 + alloc->total_cost));
+  }
+}
+
+TEST(TA1, MOneWorks) {
+  const std::vector<double> costs = {1.0, 2.0, 3.0};
+  const auto alloc = RunTA1(1, costs);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc->r, 1u);
+  EXPECT_EQ(alloc->num_devices, 2u);
+  EXPECT_DOUBLE_EQ(alloc->total_cost, 1.0 + 2.0);
+}
+
+TEST(TA1, SingleDeviceInfeasible) {
+  const auto alloc = RunTA1(5, std::vector<double>{1.0});
+  EXPECT_FALSE(alloc.ok());
+  EXPECT_EQ(alloc.status().code(), ErrorCode::kInfeasible);
+}
+
+TEST(TA1, ZeroRowsInvalid) {
+  const auto alloc = RunTA1(0, std::vector<double>{1.0, 2.0});
+  EXPECT_FALSE(alloc.ok());
+  EXPECT_EQ(alloc.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(TA1, AlgorithmLabel) {
+  const auto alloc = RunTA1(4, std::vector<double>{1.0, 2.0});
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc->algorithm, "TA1");
+}
+
+}  // namespace
+}  // namespace scec

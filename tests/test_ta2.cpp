@@ -1,0 +1,157 @@
+// SPDX-License-Identifier: MIT
+
+#include "allocation/ta2.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "allocation/lower_bound.h"
+#include "allocation/ta1.h"
+#include "common/rng.h"
+#include "workload/distributions.h"
+
+namespace scec {
+namespace {
+
+TEST(TA2, TwoDevicesForcesRm) {
+  const std::vector<double> costs = {1.5, 2.5};
+  const auto alloc = RunTA2(7, costs);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc->r, 7u);
+  EXPECT_EQ(alloc->num_devices, 2u);
+  EXPECT_DOUBLE_EQ(alloc->total_cost, 7.0 * (1.5 + 2.5));
+}
+
+TEST(TA2, MatchesTA1OnRandomInstancesUniform) {
+  // Theorems 4 & 5: both algorithms are optimal, so costs must coincide.
+  Xoshiro256StarStar rng(40);
+  const CostDistribution dist = CostDistribution::Uniform(5.0);
+  for (int trial = 0; trial < 500; ++trial) {
+    const size_t m = 1 + rng.NextUint64(0, 500);
+    const size_t k = 2 + rng.NextUint64(0, 20);
+    const auto costs = SampleSortedCosts(dist, k, rng);
+    const auto a1 = RunTA1(m, costs);
+    const auto a2 = RunTA2(m, costs);
+    ASSERT_TRUE(a1.ok());
+    ASSERT_TRUE(a2.ok());
+    EXPECT_NEAR(a1->total_cost, a2->total_cost,
+                1e-9 * (1.0 + a1->total_cost))
+        << "m=" << m << " k=" << k;
+  }
+}
+
+TEST(TA2, MatchesTA1OnRandomInstancesNormal) {
+  Xoshiro256StarStar rng(41);
+  const CostDistribution dist = CostDistribution::Normal(5.0, 2.0);
+  for (int trial = 0; trial < 500; ++trial) {
+    const size_t m = 1 + rng.NextUint64(0, 500);
+    const size_t k = 2 + rng.NextUint64(0, 20);
+    const auto costs = SampleSortedCosts(dist, k, rng);
+    const auto a1 = RunTA1(m, costs);
+    const auto a2 = RunTA2(m, costs);
+    ASSERT_TRUE(a1.ok());
+    ASSERT_TRUE(a2.ok());
+    EXPECT_NEAR(a1->total_cost, a2->total_cost,
+                1e-9 * (1.0 + a1->total_cost));
+  }
+}
+
+TEST(TA2, MatchesTA1WithHeavyTies) {
+  // Degenerate cost vectors (many exact ties) stress the argmax edges.
+  Xoshiro256StarStar rng(42);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t m = 1 + rng.NextUint64(0, 100);
+    const size_t k = 2 + rng.NextUint64(0, 10);
+    std::vector<double> costs(k);
+    for (auto& c : costs) {
+      c = 1.0 + static_cast<double>(rng.NextUint64(0, 2));  // {1, 2, 3}
+    }
+    std::sort(costs.begin(), costs.end());
+    const auto a1 = RunTA1(m, costs);
+    const auto a2 = RunTA2(m, costs);
+    ASSERT_TRUE(a1.ok());
+    ASSERT_TRUE(a2.ok());
+    EXPECT_NEAR(a1->total_cost, a2->total_cost, 1e-9);
+  }
+}
+
+// Brute-force oracle: minimum of Σ c_j V_j over EVERY distribution with
+// Σ V_j = m + r, V_j ≤ r (the paper's feasibility, Lemma 1), for every
+// r ∈ [1, r_max]. Exponential; used on tiny instances only.
+double BruteForceOptimum(size_t m, const std::vector<double>& costs,
+                         size_t r_max) {
+  const size_t k = costs.size();
+  double best = -1.0;
+  for (size_t r = 1; r <= r_max; ++r) {
+    const size_t total = m + r;
+    // Enumerate V vectors via odometer over [0, r]^k.
+    std::vector<size_t> v(k, 0);
+    while (true) {
+      size_t sum = 0;
+      for (size_t x : v) sum += x;
+      if (sum == total) {
+        double cost = 0.0;
+        for (size_t j = 0; j < k; ++j) {
+          cost += costs[j] * static_cast<double>(v[j]);
+        }
+        if (best < 0.0 || cost < best) best = cost;
+      }
+      size_t pos = 0;
+      while (pos < k) {
+        if (++v[pos] <= r) break;
+        v[pos] = 0;
+        ++pos;
+      }
+      if (pos == k) break;
+    }
+  }
+  return best;
+}
+
+TEST(TA2, MatchesBruteForceOracleOnTinyInstances) {
+  Xoshiro256StarStar rng(43);
+  const CostDistribution dist = CostDistribution::Uniform(4.0);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t m = 1 + rng.NextUint64(0, 5);
+    const size_t k = 2 + rng.NextUint64(0, 2);
+    const auto costs = SampleSortedCosts(dist, k, rng);
+    // Allow the oracle r beyond m to confirm Theorem 2's r <= m claim.
+    const double oracle = BruteForceOptimum(m, costs, m + 2);
+    ASSERT_GE(oracle, 0.0) << "oracle found no feasible allocation";
+    const auto a2 = RunTA2(m, costs);
+    ASSERT_TRUE(a2.ok());
+    EXPECT_NEAR(a2->total_cost, oracle, 1e-9)
+        << "m=" << m << " k=" << k;
+  }
+}
+
+TEST(TA2, RespectsTheorem2Range) {
+  Xoshiro256StarStar rng(44);
+  const CostDistribution dist = CostDistribution::Uniform(8.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t m = 1 + rng.NextUint64(0, 300);
+    const size_t k = 2 + rng.NextUint64(0, 12);
+    const auto costs = SampleSortedCosts(dist, k, rng);
+    const auto alloc = RunTA2(m, costs);
+    ASSERT_TRUE(alloc.ok());
+    EXPECT_GE(alloc->r, (m + k - 2) / (k - 1));
+    EXPECT_LE(alloc->r, m);
+  }
+}
+
+TEST(TA2, ErrorsMirrorTA1) {
+  EXPECT_EQ(RunTA2(0, std::vector<double>{1.0, 2.0}).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(RunTA2(5, std::vector<double>{1.0}).status().code(),
+            ErrorCode::kInfeasible);
+}
+
+TEST(TA2, AlgorithmLabel) {
+  const auto alloc = RunTA2(4, std::vector<double>{1.0, 2.0});
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(alloc->algorithm, "TA2");
+}
+
+}  // namespace
+}  // namespace scec
