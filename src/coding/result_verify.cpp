@@ -1,0 +1,98 @@
+// SPDX-License-Identifier: MIT
+
+#include "coding/result_verify.h"
+
+#include <cmath>
+
+#include "field/gf_prime.h"
+
+namespace scec {
+namespace {
+
+// Exact fields compare exactly; doubles need a tolerance scaled by the
+// magnitude of the accumulated terms (the honest identity holds to a few
+// ulps, injected corruptions sit many orders of magnitude above it).
+template <typename T>
+bool ProbesAgree(T lhs, T rhs, double magnitude) {
+  if constexpr (FieldTraits<T>::is_exact) {
+    (void)magnitude;
+    return lhs == rhs;
+  } else {
+    const double scale = magnitude < 1.0 ? 1.0 : magnitude;
+    return std::fabs(static_cast<double>(lhs - rhs)) <= 1e-9 * scale;
+  }
+}
+
+template <typename T>
+double MagnitudeOf(T value) {
+  if constexpr (FieldTraits<T>::is_exact) {
+    (void)value;
+    return 0.0;
+  } else {
+    return std::fabs(static_cast<double>(value));
+  }
+}
+
+}  // namespace
+
+template <typename T>
+ResultVerifier<T> ResultVerifier<T>::Create(
+    const std::vector<DeviceShare<T>>& shares, ChaCha20Rng& rng) {
+  ResultVerifier verifier;
+  verifier.entries_.reserve(shares.size());
+  for (const DeviceShare<T>& share : shares) {
+    const Matrix<T>& s = share.coded_rows;
+    Entry entry;
+    entry.weights.reserve(s.rows());
+    for (size_t row = 0; row < s.rows(); ++row) {
+      entry.weights.push_back(FieldTraits<T>::Random(rng));
+    }
+    // u = wᵀ·S — one pass over the share, done once at staging time.
+    entry.digest.assign(s.cols(), FieldTraits<T>::Zero());
+    for (size_t row = 0; row < s.rows(); ++row) {
+      const T w = entry.weights[row];
+      auto coded = s.Row(row);
+      for (size_t col = 0; col < s.cols(); ++col) {
+        entry.digest[col] += w * coded[col];
+      }
+    }
+    verifier.entries_.push_back(std::move(entry));
+  }
+  return verifier;
+}
+
+template <typename T>
+size_t ResultVerifier<T>::DigestValues() const {
+  size_t total = 0;
+  for (const Entry& entry : entries_) total += entry.digest.size();
+  return total;
+}
+
+template <typename T>
+bool ResultVerifier<T>::Check(size_t device, std::span<const T> x,
+                              std::span<const T> response) const {
+  SCEC_CHECK_LT(device, entries_.size());
+  const Entry& entry = entries_[device];
+  if (response.size() != entry.weights.size()) return false;
+  SCEC_CHECK_EQ(x.size(), entry.digest.size());
+
+  T lhs = FieldTraits<T>::Zero();
+  T rhs = FieldTraits<T>::Zero();
+  double magnitude = 0.0;
+  for (size_t row = 0; row < response.size(); ++row) {
+    const T term = entry.weights[row] * response[row];
+    lhs += term;
+    magnitude += MagnitudeOf(term);
+  }
+  for (size_t col = 0; col < x.size(); ++col) {
+    const T term = entry.digest[col] * x[col];
+    rhs += term;
+    magnitude += MagnitudeOf(term);
+  }
+  return ProbesAgree(lhs, rhs, magnitude);
+}
+
+template class ResultVerifier<double>;
+template class ResultVerifier<Gf61>;
+
+}  // namespace scec

@@ -63,6 +63,35 @@ SchemeSecurityReport VerifyStructuredScheme(const StructuredCode& code,
                               scheme.row_counts);
 }
 
+DeviceSecurityReport VerifyCumulativeView(const Matrix<Gf61>& block,
+                                          size_t m) {
+  SCEC_CHECK_LE(m, block.cols());
+  DeviceSecurityReport empty_report;
+  if (block.rows() == 0) return empty_report;  // a device that holds nothing
+  Matrix<Gf61> lambda(m, block.cols());
+  for (size_t row = 0; row < m; ++row) lambda(row, row) = Gf61::One();
+
+  DeviceSecurityReport report;
+  report.rows = block.rows();
+  report.rank = RankOf(block);
+  report.intersection_dim = SpanIntersectionDim(block, lambda);
+  return report;
+}
+
+SchemeSecurityReport VerifyCumulativeViews(
+    const std::vector<Matrix<Gf61>>& blocks, size_t m) {
+  SchemeSecurityReport report;
+  report.available = true;  // per-round property, see header
+  report.all_secure = true;
+  for (size_t device = 0; device < blocks.size(); ++device) {
+    DeviceSecurityReport dev = VerifyCumulativeView(blocks[device], m);
+    dev.device = device;
+    if (!dev.secure()) report.all_secure = false;
+    report.devices.push_back(dev);
+  }
+  return report;
+}
+
 Status CheckSchemeSecure(const StructuredCode& code,
                          const LcecScheme& scheme) {
   const SchemeSecurityReport report = VerifyStructuredScheme(code, scheme);

@@ -54,4 +54,20 @@ SchemeSecurityReport VerifyEncodingMatrix(const Matrix<Gf61>& b, size_t m,
 // Convenience: Status form for call sites that want to propagate failure.
 Status CheckSchemeSecure(const StructuredCode& code, const LcecScheme& scheme);
 
+// Def. 2 for one device's CUMULATIVE view: when recovery re-encoding ships a
+// device additional coded rows (see sim/fault_tolerant_protocol.h), its
+// knowledge is the stack of every coefficient row it ever held, expressed
+// over the extended basis [A_1…A_m | pads of every encoding round]. ITS
+// holds for the device iff that stacked span still meets the data span
+// [E_m | 0] only at 0 — which is exactly why recovery must draw FRESH pads:
+// reusing a pad column lets (old row − new row) cancel the pad and expose a
+// difference of data rows. `block` is rows × width with width ≥ m.
+DeviceSecurityReport VerifyCumulativeView(const Matrix<Gf61>& block, size_t m);
+
+// Aggregate form over every device's cumulative block (same width for all).
+// `available` is set to true unconditionally: availability is a per-round
+// property of each encoding's B and is checked at (re-)encode time, not here.
+SchemeSecurityReport VerifyCumulativeViews(
+    const std::vector<Matrix<Gf61>>& blocks, size_t m);
+
 }  // namespace scec

@@ -1,0 +1,48 @@
+// SPDX-License-Identifier: MIT
+//
+// Reusable retry policy: bounded attempts with exponential backoff. Used by
+// the fault-tolerant protocol (sim/fault_tolerant_protocol.h) to pace query
+// re-dispatches to silent devices; deliberately independent of the simulator
+// so wall-clock users (a future RPC layer) can share it.
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/check.h"
+
+namespace scec {
+
+struct RetryPolicy {
+  // Total dispatch attempts (first try included). 1 = never retry.
+  size_t max_attempts = 3;
+  double initial_backoff_s = 0.02;  // delay before the first retry
+  double backoff_factor = 2.0;      // multiplier per subsequent retry
+  double max_backoff_s = 1.0;       // backoff ceiling
+
+  void Validate() const {
+    SCEC_CHECK_GE(max_attempts, 1u);
+    SCEC_CHECK_GE(initial_backoff_s, 0.0);
+    SCEC_CHECK_GE(backoff_factor, 1.0);
+    SCEC_CHECK_GE(max_backoff_s, initial_backoff_s);
+  }
+
+  // Delay before retry number `retry_index` (0-based: 0 = first retry).
+  double BackoffFor(size_t retry_index) const {
+    double delay = initial_backoff_s;
+    for (size_t i = 0; i < retry_index; ++i) {
+      delay *= backoff_factor;
+      if (delay >= max_backoff_s) return max_backoff_s;
+    }
+    return delay < max_backoff_s ? delay : max_backoff_s;
+  }
+
+  // Sum of every backoff delay the policy can spend (for deadline budgeting).
+  double TotalBackoff() const {
+    double total = 0.0;
+    for (size_t i = 0; i + 1 < max_attempts; ++i) total += BackoffFor(i);
+    return total;
+  }
+};
+
+}  // namespace scec

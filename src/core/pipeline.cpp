@@ -54,6 +54,25 @@ std::vector<T> Query(const Deployment<T>& deployment,
 }
 
 template <typename T>
+Result<std::vector<T>> QueryVerified(
+    const Deployment<T>& deployment, const ResultVerifier<T>& verifier,
+    const std::vector<T>& x, const std::vector<std::vector<T>>& responses) {
+  SCEC_CHECK_EQ(x.size(), deployment.l);
+  SCEC_CHECK_EQ(responses.size(), deployment.shares.size());
+  SCEC_CHECK_EQ(verifier.num_devices(), deployment.shares.size());
+  for (size_t device = 0; device < responses.size(); ++device) {
+    if (!verifier.Check(device, std::span<const T>(x),
+                        std::span<const T>(responses[device]))) {
+      return DecodeFailure("device " + std::to_string(device) +
+                           " failed result verification");
+    }
+  }
+  const std::vector<T> y =
+      ConcatenateResponses(deployment.plan.scheme, responses);
+  return SubtractionDecode(deployment.code, std::span<const T>(y));
+}
+
+template <typename T>
 Matrix<T> QueryBatch(const Deployment<T>& deployment, const Matrix<T>& x) {
   SCEC_CHECK_EQ(x.rows(), deployment.l);
   const size_t m = deployment.code.m();
@@ -107,5 +126,12 @@ template std::vector<double> Query<double>(const Deployment<double>&,
                                            const std::vector<double>&);
 template std::vector<Gf61> Query<Gf61>(const Deployment<Gf61>&,
                                        const std::vector<Gf61>&);
+
+template Result<std::vector<double>> QueryVerified<double>(
+    const Deployment<double>&, const ResultVerifier<double>&,
+    const std::vector<double>&, const std::vector<std::vector<double>>&);
+template Result<std::vector<Gf61>> QueryVerified<Gf61>(
+    const Deployment<Gf61>&, const ResultVerifier<Gf61>&,
+    const std::vector<Gf61>&, const std::vector<std::vector<Gf61>>&);
 
 }  // namespace scec

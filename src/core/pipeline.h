@@ -19,6 +19,7 @@
 
 #include "coding/decoder.h"
 #include "coding/encoder.h"
+#include "coding/result_verify.h"
 #include "coding/security_check.h"
 #include "common/error.h"
 #include "common/rng.h"
@@ -55,6 +56,16 @@ std::vector<T> Query(const Deployment<T>& deployment,
 template <typename T>
 std::vector<std::vector<T>> ComputeDeviceResponses(
     const Deployment<T>& deployment, const std::vector<T>& x);
+
+// Verified query: checks every (externally produced, possibly corrupted)
+// device response against its Freivalds digest before decoding
+// (coding/result_verify.h; the verifier comes from
+// ResultVerifier<T>::Create(deployment.shares, rng) at deploy time).
+// Returns kDecodeFailure naming the offending device when a check fails.
+template <typename T>
+Result<std::vector<T>> QueryVerified(
+    const Deployment<T>& deployment, const ResultVerifier<T>& verifier,
+    const std::vector<T>& x, const std::vector<std::vector<T>>& responses);
 
 // Batch query: Y = A·X for an l×b matrix X of stacked input columns — the
 // paper's "multiplication of two matrices / different input vectors"

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "linalg/matrix_ops.h"
+#include "sim/faults.h"
 #include "sim/reliable.h"
 
 namespace scec::sim {
@@ -48,6 +49,13 @@ void EdgeDeviceActor::OnQueryDelivered(std::vector<double> x) {
   SCEC_CHECK(has_share_) << "query before staging on device " << index_;
   SCEC_CHECK_EQ(x.size(), share_.cols());
 
+  // A crashed or transiently offline device never receives the query; a
+  // caller with a deadline+retry loop can re-deliver after the outage.
+  if (options_->faults != nullptr &&
+      !options_->faults->AcceptsQueryAt(index_, queue_->now())) {
+    return;
+  }
+
   const uint64_t l = share_.cols();
   const uint64_t v = share_.rows();
   // Eq. (1) computation term: V_j·l multiplications, V_j·(l−1) additions.
@@ -72,7 +80,16 @@ void EdgeDeviceActor::OnQueryDelivered(std::vector<double> x) {
     }
   }
 
-  queue_->ScheduleAfter(wait, [this, response = std::move(response)]() {
+  queue_->ScheduleAfter(wait, [this, response = std::move(response)]() mutable {
+    // Fail-stop mid-compute, or an omission fault (the work above was done
+    // and billed, the response is silently withheld).
+    if (options_->faults != nullptr &&
+        !options_->faults->SendsResponseAt(index_, queue_->now())) {
+      return;
+    }
+    if (options_->faults != nullptr) {
+      options_->faults->MaybeCorrupt(index_, queue_->now(), response);
+    }
     const uint64_t bytes = static_cast<uint64_t>(
         static_cast<double>(response.size()) * options_->value_bytes);
     metrics_.values_sent += response.size();

@@ -22,6 +22,7 @@
 namespace scec::sim {
 
 class ReliableChannel;
+class FaultSchedule;
 
 // Fixed node ids: cloud = 0, user = 1, device d = kFirstDeviceNode + d.
 inline constexpr NodeId kCloudNode = 0;
@@ -40,6 +41,10 @@ struct SimOptions {
   // corrupted results. The paper's attack model is passive; this knob exists
   // to exercise the Byzantine-DETECTION extension in the redundant protocol.
   std::vector<size_t> byzantine_nodes;
+  // Scripted per-device faults (crash / omission / corruption / transient),
+  // consulted by every EdgeDeviceActor; see sim/faults.h. Faults act on the
+  // query path (arrival + response), not on staging. Not owned.
+  const FaultSchedule* faults = nullptr;
   // Lossy transport: when > 0, every message (data and ack) is dropped with
   // this probability and the protocol runs over the reliable channel
   // (ack/timeout/retransmit, see sim/reliable.h).

@@ -1,0 +1,441 @@
+// SPDX-License-Identifier: MIT
+
+#include "sim/fault_tolerant_protocol.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace scec::sim {
+
+FaultTolerantScecProtocol::FaultTolerantScecProtocol(
+    const Deployment<double>* deployment, const Matrix<double>* a,
+    std::vector<EdgeDevice> fleet_specs, SimOptions options,
+    FaultToleranceOptions ft_options)
+    : deployment_(deployment),
+      a_(a),
+      options_(options),
+      ft_(ft_options),
+      straggler_rng_(options.straggler_seed),
+      verifier_rng_(ft_options.verifier_seed),
+      repair_rng_(ft_options.repair_pad_seed) {
+  SCEC_CHECK(deployment_ != nullptr);
+  SCEC_CHECK(a_ != nullptr);
+  SCEC_CHECK_EQ(a_->rows(), deployment_->code.m());
+  SCEC_CHECK_EQ(a_->cols(), deployment_->l);
+  ft_.retry.Validate();
+  SCEC_CHECK_GT(ft_.deadline_factor, 0.0);
+  SCEC_CHECK_GT(ft_.min_deadline_s, 0.0);
+
+  devices_.reserve(fleet_specs.size());
+  for (EdgeDevice& spec : fleet_specs) {
+    DeviceState state;
+    state.spec = std::move(spec);
+    devices_.push_back(std::move(state));
+  }
+  for (size_t fleet_index : deployment_->plan.participating) {
+    SCEC_CHECK_LT(fleet_index, devices_.size())
+        << "fleet_specs must cover every participating device";
+  }
+  BuildTopology();
+
+  // The base deployment is segment 0: all m data rows, the planner's scheme,
+  // participating fleet indices as the physical mapping.
+  std::vector<size_t> all_rows(a_->rows());
+  std::iota(all_rows.begin(), all_rows.end(), size_t{0});
+  AddSegment(std::move(all_rows), deployment_->code, deployment_->plan.scheme,
+             deployment_->plan.participating, deployment_->shares);
+  recovery_.base_plan_cost = deployment_->plan.allocation.total_cost;
+}
+
+size_t FaultTolerantScecProtocol::num_evicted() const {
+  size_t count = 0;
+  for (const DeviceState& dev : devices_) count += dev.evicted ? 1 : 0;
+  return count;
+}
+
+void FaultTolerantScecProtocol::BuildTopology() {
+  if (options_.loss_probability > 0.0) {
+    channel_ = std::make_unique<ReliableChannel>(
+        &queue_, &network_, options_.loss_probability, options_.loss_seed);
+  }
+  // Links for the FULL fleet (node id = fleet index): recovery can re-plan
+  // onto any surviving device, whether or not segment 0 used it.
+  for (size_t d = 0; d < devices_.size(); ++d) {
+    const EdgeDevice& spec = devices_[d].spec;
+    const NodeId node = DeviceNode(d);
+    network_.AddLink(kCloudNode, node,
+                     LinkSpec{spec.link_latency_s, spec.downlink_bps});
+    network_.AddLink(node, kCloudNode,
+                     LinkSpec{spec.link_latency_s, spec.uplink_bps});
+    network_.AddLink(kUserNode, node,
+                     LinkSpec{spec.link_latency_s, spec.downlink_bps});
+    network_.AddLink(node, kUserNode,
+                     LinkSpec{spec.link_latency_s, spec.uplink_bps});
+  }
+}
+
+void FaultTolerantScecProtocol::SendMsg(NodeId from, NodeId to, uint64_t bytes,
+                                        EventQueue::Callback on_delivered,
+                                        bool abort_on_failure) {
+  if (channel_ != nullptr) {
+    EventQueue::Callback on_failure = nullptr;
+    if (abort_on_failure) {
+      on_failure = []() {
+        SCEC_CHECK(false) << "reliable transfer exhausted its retry budget";
+      };
+    }
+    // Query-path sends fail silently: the protocol's own deadline + retry
+    // layer handles the loss.
+    channel_->Send(from, to, bytes, std::move(on_delivered),
+                   std::move(on_failure), options_.retransmit_timeout_s,
+                   options_.max_retries);
+  } else {
+    network_.Send(from, to, bytes, std::move(on_delivered));
+  }
+}
+
+void FaultTolerantScecProtocol::AddSegment(
+    std::vector<size_t> data_rows, StructuredCode code, LcecScheme scheme,
+    std::vector<size_t> phys, std::vector<DeviceShare<double>> shares) {
+  SCEC_CHECK_EQ(data_rows.size(), code.m());
+  SCEC_CHECK_EQ(phys.size(), scheme.num_devices());
+  SCEC_CHECK_EQ(shares.size(), scheme.num_devices());
+
+  Segment seg;
+  seg.data_rows = std::move(data_rows);
+  seg.code = code;
+  seg.scheme = std::move(scheme);
+  seg.phys = std::move(phys);
+  seg.verifier = ResultVerifier<double>::Create(shares, verifier_rng_);
+  seg.share_rows.reserve(shares.size());
+  for (DeviceShare<double>& share : shares) {
+    seg.share_rows.push_back(std::move(share.coded_rows));
+  }
+
+  // Record every coefficient row each device receives, over the extended
+  // basis [A | pads of all rounds] — the input to the cumulative Def. 2
+  // check. Pad columns of this round start at pads_total_.
+  for (size_t j = 0; j < seg.scheme.num_devices(); ++j) {
+    const size_t start = seg.scheme.BlockStart(j);
+    DeviceState& dev = devices_[seg.phys[j]];
+    for (size_t row = 0; row < seg.scheme.row_counts[j]; ++row) {
+      const CodedRowSpec spec = seg.code.RowSpec(start + row);
+      HeldRow held;
+      if (spec.data_row.has_value()) {
+        held.data_row = seg.data_rows[*spec.data_row];
+      }
+      held.pad_col = pads_total_ + spec.random_row;
+      dev.held.push_back(held);
+    }
+  }
+  pads_total_ += seg.code.r();
+
+  const size_t seg_index = segments_.size();
+  for (size_t j = 0; j < seg.scheme.num_devices(); ++j) {
+    const size_t phys_index = seg.phys[j];
+    seg.actors.push_back(std::make_unique<EdgeDeviceActor>(
+        phys_index, devices_[phys_index].spec, &queue_, &network_, &options_,
+        &straggler_rng_,
+        [this, seg_index, j](size_t, std::vector<double> response) {
+          OnResponse(seg_index, j, std::move(response));
+        },
+        channel_.get()));
+  }
+  seg.responses.assign(seg.scheme.num_devices(), std::nullopt);
+  segments_.push_back(std::move(seg));
+}
+
+void FaultTolerantScecProtocol::StageSegment(size_t segment_index) {
+  Segment& seg = segments_[segment_index];
+  for (size_t j = 0; j < seg.actors.size(); ++j) {
+    const Matrix<double>& share = seg.share_rows[j];
+    const uint64_t bytes = static_cast<uint64_t>(
+        static_cast<double>(share.size()) * options_.value_bytes);
+    metrics_.staging_bytes += bytes;
+    EdgeDeviceActor* actor = seg.actors[j].get();
+    SendMsg(kCloudNode, DeviceNode(seg.phys[j]), bytes,
+            [actor, share]() { actor->OnShareDelivered(share); },
+            /*abort_on_failure=*/true);
+  }
+  queue_.RunUntilEmpty();
+  for (const auto& actor : seg.actors) SCEC_CHECK(actor->HasShare());
+}
+
+void FaultTolerantScecProtocol::Stage() {
+  SCEC_CHECK(!staged_) << "Stage() must run exactly once";
+  StageSegment(0);
+  metrics_.staging_completion_time = queue_.now();
+  staged_ = true;
+}
+
+double FaultTolerantScecProtocol::DeadlineFor(const Pending& pending) const {
+  const Segment& seg = segments_[pending.segment];
+  const EdgeDevice& spec = devices_[pending.phys].spec;
+  const double l = static_cast<double>(deployment_->l);
+  const double v =
+      static_cast<double>(seg.scheme.row_counts[pending.local]);
+  const double x_bits = l * options_.value_bytes * 8.0;
+  const double response_bits = v * options_.value_bytes * 8.0;
+  const double flops = v * (2.0 * l - 1.0);
+  const double estimate = 2.0 * spec.link_latency_s +
+                          x_bits / spec.downlink_bps +
+                          flops / spec.compute_rate_flops +
+                          response_bits / spec.uplink_bps;
+  return std::max(ft_.min_deadline_s, ft_.deadline_factor * estimate);
+}
+
+void FaultTolerantScecProtocol::Dispatch(Pending* pending) {
+  ++pending->attempts;
+  const size_t attempt = pending->attempts;
+  EdgeDeviceActor* actor =
+      segments_[pending->segment].actors[pending->local].get();
+  const std::vector<double> x = *current_x_;
+  const uint64_t x_bytes = static_cast<uint64_t>(
+      static_cast<double>(x.size()) * options_.value_bytes);
+  metrics_.query_uplink_bytes += x_bytes;
+  SendMsg(kUserNode, DeviceNode(pending->phys), x_bytes,
+          [actor, x]() { actor->OnQueryDelivered(x); },
+          /*abort_on_failure=*/false);
+
+  queue_.ScheduleAfter(DeadlineFor(*pending), [this, pending, attempt]() {
+    if (pending->accepted || pending->failed) return;
+    // A later dispatch owns the live deadline; this one is stale.
+    if (pending->attempts != attempt) return;
+    ++recovery_.deadline_timeouts;
+    if (pending->attempts >= ft_.retry.max_attempts) {
+      pending->failed = true;
+      ++recovery_.devices_evicted_timeout;
+      devices_[pending->phys].evicted = true;
+      return;
+    }
+    ++recovery_.retries_sent;
+    const double backoff = ft_.retry.BackoffFor(pending->attempts - 1);
+    queue_.ScheduleAfter(backoff, [this, pending]() {
+      if (pending->accepted || pending->failed) return;
+      Dispatch(pending);
+    });
+  });
+}
+
+void FaultTolerantScecProtocol::OnResponse(size_t segment, size_t local,
+                                           std::vector<double> response) {
+  metrics_.query_downlink_bytes += static_cast<uint64_t>(
+      static_cast<double>(response.size()) * options_.value_bytes);
+  if (segment >= pending_index_.size()) return;
+  Pending* pending = pending_index_[segment][local];
+  // Not part of this round, a duplicate after a retry, or a late response
+  // from an already-evicted device.
+  if (pending == nullptr || pending->accepted || pending->failed) return;
+
+  Segment& seg = segments_[segment];
+  if (!seg.verifier.Check(local, std::span<const double>(*current_x_),
+                          std::span<const double>(response))) {
+    // A corrupted response is Byzantine behaviour, not noise: evict
+    // immediately instead of retrying.
+    ++recovery_.corrupt_responses;
+    ++recovery_.devices_evicted_corrupt;
+    pending->failed = true;
+    devices_[pending->phys].evicted = true;
+    return;
+  }
+  if (pending->attempts > 1) ++recovery_.devices_recovered_by_retry;
+  pending->accepted = true;
+  seg.responses[local] = std::move(response);
+}
+
+void FaultTolerantScecProtocol::CollectRound(std::vector<Pending>* pendings) {
+  pending_index_.assign(segments_.size(), {});
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    pending_index_[s].assign(segments_[s].scheme.num_devices(), nullptr);
+  }
+  for (Pending& pending : *pendings) {
+    pending_index_[pending.segment][pending.local] = &pending;
+  }
+  for (Pending& pending : *pendings) Dispatch(&pending);
+  queue_.RunUntilEmpty();
+  for (const Pending& pending : *pendings) {
+    SCEC_CHECK(pending.accepted || pending.failed)
+        << "collection round ended with an unresolved device";
+  }
+  pending_index_.clear();
+}
+
+std::vector<size_t> FaultTolerantScecProtocol::DecodeAvailable(
+    std::vector<std::optional<double>>* decoded) {
+  for (const Segment& seg : segments_) {
+    // row -> (scheme device, offset within its response).
+    std::vector<std::pair<size_t, size_t>> holder(seg.code.total_rows());
+    size_t row = 0;
+    for (size_t j = 0; j < seg.scheme.num_devices(); ++j) {
+      for (size_t k = 0; k < seg.scheme.row_counts[j]; ++k) {
+        holder[row++] = {j, k};
+      }
+    }
+    const size_t r = seg.code.r();
+    for (size_t p = 0; p < seg.data_rows.size(); ++p) {
+      const size_t global = seg.data_rows[p];
+      if ((*decoded)[global].has_value()) continue;
+      const auto [mixed_dev, mixed_off] = holder[r + p];
+      const auto [pad_dev, pad_off] = holder[p % r];
+      const auto& mixed = seg.responses[mixed_dev];
+      const auto& pad = seg.responses[pad_dev];
+      if (!mixed.has_value() || !pad.has_value()) continue;
+      (*decoded)[global] = (*mixed)[mixed_off] - (*pad)[pad_off];
+      ++metrics_.decode_subtractions;
+    }
+  }
+  std::vector<size_t> missing;
+  for (size_t g = 0; g < decoded->size(); ++g) {
+    if (!(*decoded)[g].has_value()) missing.push_back(g);
+  }
+  return missing;
+}
+
+Result<std::vector<double>> FaultTolerantScecProtocol::RunQuery(
+    const std::vector<double>& x) {
+  SCEC_CHECK(staged_) << "RunQuery() requires Stage() first";
+  SCEC_CHECK_EQ(x.size(), deployment_->l);
+  const SimTime query_start = queue_.now();
+  current_x_ = &x;
+
+  for (Segment& seg : segments_) {
+    seg.responses.assign(seg.scheme.num_devices(), std::nullopt);
+  }
+
+  // Round 0: query every non-evicted holder across all segments.
+  std::vector<Pending> round;
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    for (size_t j = 0; j < segments_[s].scheme.num_devices(); ++j) {
+      const size_t phys = segments_[s].phys[j];
+      if (devices_[phys].evicted) continue;
+      Pending pending;
+      pending.segment = s;
+      pending.local = j;
+      pending.phys = phys;
+      round.push_back(pending);
+    }
+  }
+  CollectRound(&round);
+  recovery_.first_attempt_completion_s = queue_.now() - query_start;
+
+  std::vector<std::optional<double>> decoded(a_->rows());
+  std::vector<size_t> lost = DecodeAvailable(&decoded);
+
+  size_t rounds_this_query = 0;
+  while (!lost.empty()) {
+    if (rounds_this_query >= ft_.max_recovery_rounds) {
+      current_x_ = nullptr;
+      return Internal("rows still undecodable after " +
+                      std::to_string(ft_.max_recovery_rounds) +
+                      " recovery rounds");
+    }
+    ++rounds_this_query;
+
+    // Re-plan the lost rows with TA2 over the surviving fleet.
+    std::vector<size_t> survivor_phys;
+    DeviceFleet survivors;
+    for (size_t d = 0; d < devices_.size(); ++d) {
+      if (devices_[d].evicted) continue;
+      survivor_phys.push_back(d);
+      survivors.Add(devices_[d].spec);
+    }
+    if (survivor_phys.size() < 2) {
+      current_x_ = nullptr;
+      return Infeasible("fewer than 2 devices survive; MCSCEC requires k >= 2");
+    }
+    McscecProblem problem;
+    problem.m = lost.size();
+    problem.l = deployment_->l;
+    problem.fleet = std::move(survivors);
+    auto planned = PlanMcscec(problem, TaAlgorithm::kTA2);
+    if (!planned.ok()) {
+      current_x_ = nullptr;
+      return planned.status();
+    }
+    const Plan& plan = planned.value();
+    StructuredCode code(lost.size(), plan.allocation.r);
+    Status secure = CheckSchemeSecure(code, plan.scheme);
+    if (!secure.ok()) {
+      current_x_ = nullptr;
+      return secure;
+    }
+
+    // Re-encode with FRESH pads (repair_rng_ never rewinds); see the header
+    // for why pad reuse would break cumulative ITS.
+    Matrix<double> a_lost(lost.size(), deployment_->l);
+    for (size_t p = 0; p < lost.size(); ++p) {
+      a_lost.SetRow(p, a_->Row(lost[p]));
+    }
+    EncodedDeployment<double> encoded =
+        EncodeDeployment(code, plan.scheme, a_lost, repair_rng_);
+
+    std::vector<size_t> phys;
+    phys.reserve(plan.participating.size());
+    for (size_t survivor_index : plan.participating) {
+      phys.push_back(survivor_phys[survivor_index]);
+    }
+
+    const SimTime stage_start = queue_.now();
+    AddSegment(lost, code, plan.scheme, std::move(phys),
+               std::move(encoded.shares));
+    StageSegment(segments_.size() - 1);
+    recovery_.recovery_staging_seconds += queue_.now() - stage_start;
+    ++recovery_.recovery_rounds;
+    recovery_.replanned_rows += lost.size();
+    recovery_.recovery_plan_cost += plan.allocation.total_cost;
+
+    // Def. 2 must hold for every device's view ACROSS rounds, not just
+    // within the new encoding. Exact-rank check; abort on any leak.
+    SCEC_CHECK(VerifyCumulativeSecurity().all_secure)
+        << "recovery re-encode leaked data rows (cumulative ITS violated)";
+
+    Segment& seg = segments_.back();
+    std::vector<Pending> recovery_round;
+    for (size_t j = 0; j < seg.scheme.num_devices(); ++j) {
+      Pending pending;
+      pending.segment = segments_.size() - 1;
+      pending.local = j;
+      pending.phys = seg.phys[j];
+      recovery_round.push_back(pending);
+    }
+    CollectRound(&recovery_round);
+    lost = DecodeAvailable(&decoded);
+  }
+
+  current_x_ = nullptr;
+  recovery_.total_completion_s = queue_.now() - query_start;
+  metrics_.query_completion_time = recovery_.total_completion_s;
+  metrics_.devices.clear();
+  for (const Segment& seg : segments_) {
+    for (const auto& actor : seg.actors) {
+      metrics_.devices.push_back(actor->metrics());
+    }
+  }
+
+  std::vector<double> result(decoded.size());
+  for (size_t g = 0; g < decoded.size(); ++g) result[g] = *decoded[g];
+  return result;
+}
+
+SchemeSecurityReport FaultTolerantScecProtocol::VerifyCumulativeSecurity()
+    const {
+  const size_t m = a_->rows();
+  const size_t width = m + pads_total_;
+  std::vector<Matrix<Gf61>> blocks;
+  blocks.reserve(devices_.size());
+  for (const DeviceState& dev : devices_) {
+    Matrix<Gf61> block(dev.held.size(), width);
+    for (size_t i = 0; i < dev.held.size(); ++i) {
+      const HeldRow& held = dev.held[i];
+      if (held.data_row.has_value()) {
+        block(i, *held.data_row) = Gf61::One();
+      }
+      block(i, m + held.pad_col) = Gf61::One();
+    }
+    blocks.push_back(std::move(block));
+  }
+  return VerifyCumulativeViews(blocks, m);
+}
+
+}  // namespace scec::sim

@@ -1,0 +1,193 @@
+// SPDX-License-Identifier: MIT
+//
+// Fault-tolerant SCEC runtime over the discrete-event simulator.
+//
+// The paper's protocol (§II-D, sim/protocol.h) assumes every selected device
+// is honest and answers; a single crashed, silent, or Byzantine device stalls
+// or silently corrupts the query. This protocol keeps SCEC's guarantees under
+// the scripted faults of sim/faults.h by adding three layers:
+//
+//   Detection  — a per-device response deadline (estimated from the device's
+//                link and compute specs, scaled by `deadline_factor`) with
+//                exponential-backoff query re-delivery (common/retry.h), and
+//                a Freivalds digest check on every response
+//                (coding/result_verify.h) that flags corruption with failure
+//                probability ≤ 1/q per response.
+//   Eviction   — a device that exhausts its retry budget, or fails a single
+//                digest check (Byzantine ⇒ no second chances), is evicted
+//                from the fleet for the rest of the protocol's lifetime.
+//   Recovery   — the data rows the evicted devices made undecodable are
+//                re-planned with TA2 over the surviving fleet, re-encoded
+//                with FRESH ChaCha20 pads, re-staged, and re-queried. Fresh
+//                pads are what keeps Def. 2 ITS intact for every device's
+//                CUMULATIVE view across encoding rounds (reusing a pad lets
+//                old−new rows cancel it and expose data); the protocol
+//                re-verifies this after every recovery round with exact
+//                GF(2^61−1) ranks (VerifyCumulativeViews) and aborts on any
+//                leak.
+//
+// Each encoding round is a `Segment`: a set of data rows, its own structured
+// code + scheme, and fresh actors mapped onto the surviving physical
+// devices. A query is answered by decoding each data row from the first
+// segment that yields it, so the protocol keeps serving queries after
+// evictions without touching rows that never left healthy devices.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "coding/result_verify.h"
+#include "coding/security_check.h"
+#include "common/retry.h"
+#include "core/pipeline.h"
+#include "sim/actors.h"
+#include "sim/metrics.h"
+#include "sim/reliable.h"
+
+namespace scec::sim {
+
+struct FaultToleranceOptions {
+  // Pacing of query re-deliveries to a silent device.
+  RetryPolicy retry;
+  // Deadline = max(min_deadline_s, deadline_factor × estimated round trip),
+  // where the estimate covers x transfer + compute + response transfer for
+  // the specific device. The factor absorbs stragglers and queueing.
+  double deadline_factor = 4.0;
+  double min_deadline_s = 0.02;
+  // Re-plan / re-encode rounds per query before giving up (kInternal).
+  size_t max_recovery_rounds = 4;
+  // Secret Freivalds weights (cloud-side; must be cryptographically strong).
+  uint64_t verifier_seed = 0xF4E1A7D5u;
+  // Fresh pads for recovery re-encodes. Independent of the seed that padded
+  // the base deployment — cumulative ITS is re-verified either way.
+  uint64_t repair_pad_seed = 0x9D2C5680u;
+};
+
+class FaultTolerantScecProtocol {
+ public:
+  // Unlike ScecProtocol, `fleet_specs` is the FULL fleet (one EdgeDevice per
+  // fleet index, the same fleet the deployment was planned against):
+  // recovery re-plans over the surviving fleet, so every device must have a
+  // physical identity up front. `a` is the original data matrix (the cloud
+  // keeps it; recovery re-encodes lost rows from it). Both pointers must
+  // outlive the protocol.
+  FaultTolerantScecProtocol(const Deployment<double>* deployment,
+                            const Matrix<double>* a,
+                            std::vector<EdgeDevice> fleet_specs,
+                            SimOptions options,
+                            FaultToleranceOptions ft_options = {});
+
+  // Phase 1 for the base segment. Runs the event queue to completion.
+  void Stage();
+
+  // Phases 2–3 with detection + recovery. Returns the decoded A·x, or
+  //   kInfeasible — fewer than 2 devices survive to re-plan over,
+  //   kInternal   — rows still undecodable after max_recovery_rounds.
+  Result<std::vector<double>> RunQuery(const std::vector<double>& x);
+
+  const RunMetrics& metrics() const { return metrics_; }
+  const FaultRecoveryMetrics& recovery_metrics() const { return recovery_; }
+  EventQueue& queue() { return queue_; }
+
+  // Exact Def. 2 check of every fleet device's cumulative view across all
+  // encoding rounds so far (see security_check.h). The protocol runs this
+  // itself after every recovery round; exposed so tests and benches can
+  // assert `all_secure` end-to-end.
+  SchemeSecurityReport VerifyCumulativeSecurity() const;
+
+  size_t num_segments() const { return segments_.size(); }
+  size_t num_evicted() const;
+
+ private:
+  // One encoding round: `data_rows[p]` is the global row of A encoded at
+  // data position p of this segment's structured code.
+  struct Segment {
+    std::vector<size_t> data_rows;
+    StructuredCode code{1, 1};
+    LcecScheme scheme;
+    std::vector<size_t> phys;  // scheme device -> fleet index
+    ResultVerifier<double> verifier;
+    // Cloud-side copy of each device's B_j·T, shipped at staging time.
+    std::vector<Matrix<double>> share_rows;
+    std::vector<std::unique_ptr<EdgeDeviceActor>> actors;
+    // Verified responses of the current query (scheme order).
+    std::vector<std::optional<std::vector<double>>> responses;
+  };
+
+  // One coefficient row a device holds, over the extended basis
+  // [A_1..A_m | pad columns of every round]; used for cumulative ITS.
+  struct HeldRow {
+    std::optional<size_t> data_row;  // global row of A, if mixed
+    size_t pad_col;                  // absolute pad index across all rounds
+  };
+
+  struct DeviceState {
+    EdgeDevice spec;
+    bool evicted = false;
+    std::vector<HeldRow> held;  // every coefficient row ever staged
+  };
+
+  // In-flight collection state for one (segment, device) of the current
+  // round.
+  struct Pending {
+    size_t segment = 0;
+    size_t local = 0;  // scheme device index within the segment
+    size_t phys = 0;
+    size_t attempts = 0;
+    bool accepted = false;
+    bool failed = false;
+  };
+
+  void BuildTopology();
+  void SendMsg(NodeId from, NodeId to, uint64_t bytes,
+               EventQueue::Callback on_delivered, bool abort_on_failure);
+
+  // Builds a segment (actors wired to OnResponse) from an encode result and
+  // stages its shares; appends the held coefficient rows to device states.
+  void AddSegment(std::vector<size_t> data_rows, StructuredCode code,
+                  LcecScheme scheme, std::vector<size_t> phys,
+                  std::vector<DeviceShare<double>> shares);
+  void StageSegment(size_t segment_index);
+
+  double DeadlineFor(const Pending& pending) const;
+  void Dispatch(Pending* pending);
+  void OnResponse(size_t segment, size_t local, std::vector<double> response);
+
+  // Runs one collection round (dispatch + deadlines + retries) over the
+  // given pendings; on return every pending is accepted or failed.
+  void CollectRound(std::vector<Pending>* pendings);
+
+  // Decodes every row the current responses yield into `decoded` (rows
+  // already decoded are kept); returns the global rows still missing.
+  std::vector<size_t> DecodeAvailable(
+      std::vector<std::optional<double>>* decoded);
+
+  const Deployment<double>* deployment_;
+  const Matrix<double>* a_;
+  SimOptions options_;
+  FaultToleranceOptions ft_;
+
+  EventQueue queue_;
+  Network network_{&queue_};
+  std::unique_ptr<ReliableChannel> channel_;  // non-null iff lossy links
+  Xoshiro256StarStar straggler_rng_;
+  ChaCha20Rng verifier_rng_;
+  ChaCha20Rng repair_rng_;
+
+  std::vector<DeviceState> devices_;  // full fleet, by fleet index
+  std::vector<Segment> segments_;
+  size_t pads_total_ = 0;  // pad columns allocated across all rounds
+
+  // Current-query routing: pending_index_[segment][local] -> Pending.
+  std::vector<std::vector<Pending*>> pending_index_;
+  const std::vector<double>* current_x_ = nullptr;
+
+  RunMetrics metrics_;
+  FaultRecoveryMetrics recovery_;
+  bool staged_ = false;
+};
+
+}  // namespace scec::sim

@@ -1,0 +1,103 @@
+// SPDX-License-Identifier: MIT
+
+#include "sim/faults.h"
+
+namespace scec::sim {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kOmission: return "omission";
+    case FaultKind::kCorruption: return "corruption";
+    case FaultKind::kTransient: return "transient";
+  }
+  return "unknown";
+}
+
+void FaultSchedule::Add(size_t device, FaultEvent event) {
+  SCEC_CHECK_GE(event.start_s, 0.0);
+  SCEC_CHECK_GE(event.end_s, event.start_s);
+  if (device >= events_.size()) events_.resize(device + 1);
+  events_[device].push_back(event);
+}
+
+void FaultSchedule::AddCrash(size_t device, double at_s) {
+  Add(device, FaultEvent{FaultKind::kCrash, at_s,
+                         std::numeric_limits<double>::infinity(), 0, 0.0});
+}
+
+void FaultSchedule::AddOmission(size_t device, double from_s) {
+  Add(device, FaultEvent{FaultKind::kOmission, from_s,
+                         std::numeric_limits<double>::infinity(), 0, 0.0});
+}
+
+void FaultSchedule::AddCorruption(size_t device, double from_s, size_t element,
+                                  double delta) {
+  SCEC_CHECK(delta != 0.0) << "a zero-delta corruption is a no-op";
+  Add(device, FaultEvent{FaultKind::kCorruption, from_s,
+                         std::numeric_limits<double>::infinity(), element,
+                         delta});
+}
+
+void FaultSchedule::AddTransient(size_t device, double from_s,
+                                 double until_s) {
+  SCEC_CHECK_GT(until_s, from_s) << "transient window must be non-empty";
+  Add(device, FaultEvent{FaultKind::kTransient, from_s, until_s, 0, 0.0});
+}
+
+const std::vector<FaultEvent>* FaultSchedule::EventsFor(size_t device) const {
+  if (device >= events_.size()) return nullptr;
+  return &events_[device];
+}
+
+bool FaultSchedule::AcceptsQueryAt(size_t device, double when) const {
+  const auto* events = EventsFor(device);
+  if (events == nullptr) return true;
+  for (const FaultEvent& event : *events) {
+    if (event.kind == FaultKind::kCrash && when >= event.start_s) {
+      ++stats_.crash_drops;
+      return false;
+    }
+    if (event.kind == FaultKind::kTransient && when >= event.start_s &&
+        when < event.end_s) {
+      ++stats_.transient_drops;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FaultSchedule::SendsResponseAt(size_t device, double when) const {
+  const auto* events = EventsFor(device);
+  if (events == nullptr) return true;
+  for (const FaultEvent& event : *events) {
+    if (event.kind == FaultKind::kCrash && when >= event.start_s) {
+      ++stats_.crash_drops;
+      return false;
+    }
+    if (event.kind == FaultKind::kOmission && when >= event.start_s) {
+      ++stats_.omission_drops;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FaultSchedule::MaybeCorrupt(size_t device, double when,
+                                 std::vector<double>& response) const {
+  const auto* events = EventsFor(device);
+  if (events == nullptr || response.empty()) return false;
+  bool corrupted = false;
+  for (const FaultEvent& event : *events) {
+    if (event.kind != FaultKind::kCorruption || when < event.start_s ||
+        when >= event.end_s) {
+      continue;
+    }
+    response[event.element % response.size()] += event.delta;
+    ++stats_.corruptions;
+    corrupted = true;
+  }
+  return corrupted;
+}
+
+}  // namespace scec::sim

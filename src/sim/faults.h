@@ -1,0 +1,99 @@
+// SPDX-License-Identifier: MIT
+//
+// Device fault injection for the SCEC simulator. The paper assumes every
+// edge device is honest and "responds in a timely manner" (§II-A); this
+// module scripts the ways a real device breaks that contract:
+//
+//   kCrash      — fail-stop at time t: the device stops receiving queries
+//                 and never sends a response again (including responses whose
+//                 compute was in flight when it died).
+//   kOmission   — the device accepts work (the compute is performed and
+//                 billed) but silently never responds.
+//   kCorruption — Byzantine response corruption: an element of B_j·T·x is
+//                 perturbed before transmission. Per-device element/delta so
+//                 tests can script *disagreeing* corruptions across replicas.
+//   kTransient  — the device is unreachable during [start, end): queries
+//                 arriving in the window are lost, but a retry after the
+//                 window succeeds.
+//
+// A FaultSchedule is attached via SimOptions::faults and consulted by
+// EdgeDeviceActor (sim/actors.cpp), so the same injection layer drives
+// ScecProtocol, RedundantScecProtocol and FaultTolerantScecProtocol.
+// Injection counters are mutable: they are simulator-side bookkeeping that
+// tests use to assert a scripted fault actually fired.
+
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace scec::sim {
+
+enum class FaultKind {
+  kCrash,
+  kOmission,
+  kCorruption,
+  kTransient,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  double start_s = 0.0;  // when the fault becomes active (sim time)
+  double end_s = std::numeric_limits<double>::infinity();  // kTransient only
+  // kCorruption knobs: which response element is perturbed and by how much.
+  size_t element = 0;
+  double delta = 1.0;
+};
+
+// How many injections of each kind actually fired during a run.
+struct FaultInjectionStats {
+  size_t crash_drops = 0;      // queries/responses swallowed by a crash
+  size_t omission_drops = 0;   // responses computed but never sent
+  size_t corruptions = 0;      // responses perturbed before sending
+  size_t transient_drops = 0;  // queries lost while the device was offline
+
+  size_t Total() const {
+    return crash_drops + omission_drops + corruptions + transient_drops;
+  }
+};
+
+class FaultSchedule {
+ public:
+  // Scripting API. `device` is the actor index (EdgeDeviceActor::index()).
+  void AddCrash(size_t device, double at_s);
+  void AddOmission(size_t device, double from_s = 0.0);
+  void AddCorruption(size_t device, double from_s = 0.0, size_t element = 0,
+                     double delta = 1.0);
+  void AddTransient(size_t device, double from_s, double until_s);
+  void Add(size_t device, FaultEvent event);
+
+  // Queried by EdgeDeviceActor at query-arrival time: false when the device
+  // is crashed or transiently offline (the query is never received).
+  bool AcceptsQueryAt(size_t device, double when) const;
+
+  // Queried at response-send time: false when the device crashed mid-compute
+  // or has an active omission fault (silence).
+  bool SendsResponseAt(size_t device, double when) const;
+
+  // Applies any active corruption to `response`; returns true if perturbed.
+  bool MaybeCorrupt(size_t device, double when,
+                    std::vector<double>& response) const;
+
+  const FaultInjectionStats& stats() const { return stats_; }
+  size_t num_scripted_devices() const { return events_.size(); }
+
+ private:
+  const std::vector<FaultEvent>* EventsFor(size_t device) const;
+
+  // events_[device] = scripted faults for that actor index.
+  std::vector<std::vector<FaultEvent>> events_;
+  // Injection bookkeeping, not simulation state (see header comment).
+  mutable FaultInjectionStats stats_;
+};
+
+}  // namespace scec::sim

@@ -62,4 +62,35 @@ struct RunMetrics {
   }
 };
 
+// Extra accounting for the fault-tolerant protocol (fault_tolerant_protocol.h):
+// what detection saw, what recovery cost. The base RunMetrics stays untouched
+// so fault-free runs compare field-by-field against ScecProtocol.
+struct FaultRecoveryMetrics {
+  // Detection.
+  uint64_t deadline_timeouts = 0;    // per-device deadline expiries
+  uint64_t retries_sent = 0;         // query re-deliveries after a timeout
+  uint64_t corrupt_responses = 0;    // Freivalds check failures
+  uint64_t devices_recovered_by_retry = 0;  // answered after >= 1 retry
+  uint64_t devices_evicted_timeout = 0;     // retry budget exhausted
+  uint64_t devices_evicted_corrupt = 0;     // evicted on a bad digest
+
+  // Recovery (re-plan + re-encode + re-stage of lost rows).
+  uint64_t recovery_rounds = 0;
+  uint64_t replanned_rows = 0;       // data rows re-planned across all rounds
+  double base_plan_cost = 0.0;       // Eq. (1) cost of the original plan
+  double recovery_plan_cost = 0.0;   // summed cost of all recovery plans
+  double recovery_staging_seconds = 0.0;  // time spent re-staging shares
+
+  // Latency decomposition of the query that triggered recovery.
+  double first_attempt_completion_s = 0.0;  // until the first round settled
+  double total_completion_s = 0.0;          // until the final decode
+
+  double RecoveryLatency() const {
+    return total_completion_s - first_attempt_completion_s;
+  }
+  uint64_t TotalEvictions() const {
+    return devices_evicted_timeout + devices_evicted_corrupt;
+  }
+};
+
 }  // namespace scec::sim

@@ -16,7 +16,9 @@ ReliableChannel::ReliableChannel(EventQueue* queue, Network* network,
   SCEC_CHECK(queue_ != nullptr);
   SCEC_CHECK(network_ != nullptr);
   SCEC_CHECK_GE(loss_probability, 0.0);
-  SCEC_CHECK_LT(loss_probability, 1.0) << "loss of 1.0 can never deliver";
+  // 1.0 is allowed: such a channel can never deliver, but every Send still
+  // terminates via on_failure after its retry budget (tested).
+  SCEC_CHECK_LE(loss_probability, 1.0);
 }
 
 void ReliableChannel::Send(NodeId from, NodeId to, uint64_t bytes,
@@ -38,8 +40,15 @@ void ReliableChannel::Send(NodeId from, NodeId to, uint64_t bytes,
   Attempt(std::move(transfer));
 }
 
+void ReliableChannel::MaybePrune(const std::shared_ptr<Transfer>& transfer) {
+  if (transfer->settled && transfer->copies_in_flight == 0) {
+    delivered_.erase(transfer->sequence);
+  }
+}
+
 void ReliableChannel::Attempt(std::shared_ptr<Transfer> transfer) {
   ++stats_.data_sends;
+  ++transfer->copies_in_flight;
   const bool data_lost = Dropped();
   if (data_lost) ++stats_.data_drops;
 
@@ -49,12 +58,14 @@ void ReliableChannel::Attempt(std::shared_ptr<Transfer> transfer) {
   network_->Send(
       transfer->from, transfer->to, transfer->bytes,
       [this, transfer, data_lost]() {
+        --transfer->copies_in_flight;
         if (data_lost || transfer->acked) {
           // Lost in flight, or a duplicate of an already-acked transfer.
           if (!data_lost && transfer->acked) {
             // Delivered again after ack: receiver dedups silently.
             ++stats_.duplicates_suppressed;
           }
+          MaybePrune(transfer);
           return;
         }
         // First successful arrival of this sequence?
@@ -64,20 +75,34 @@ void ReliableChannel::Attempt(std::shared_ptr<Transfer> transfer) {
         } else {
           ++stats_.duplicates_suppressed;
         }
+        MaybePrune(transfer);
         // Send the ack on the reverse link (may itself be lost).
         const bool ack_lost = Dropped();
         if (ack_lost) ++stats_.ack_drops;
         network_->Send(transfer->to, transfer->from, transfer->ack_bytes,
-                       [transfer, ack_lost]() {
-                         if (!ack_lost) transfer->acked = true;
+                       [this, transfer, ack_lost]() {
+                         if (!ack_lost) {
+                           transfer->acked = true;
+                           // The sender stops retransmitting at its next
+                           // timeout; the timeout handler settles + prunes.
+                         }
                        });
       });
 
   // Sender-side timeout: if no ack by then, retransmit or give up.
   queue_->ScheduleAfter(transfer->timeout_s, [this, transfer]() {
-    if (transfer->acked) return;
+    if (transfer->acked) {
+      transfer->settled = true;
+      MaybePrune(transfer);
+      return;
+    }
     if (transfer->retries_left == 0) {
+      // max_retries = 0 still performed the one initial attempt above; the
+      // budget counts RETRANSMISSIONS, and exhausting it must report failure
+      // (never hang) — even at loss_probability = 1.0.
       ++stats_.failures;
+      transfer->settled = true;
+      MaybePrune(transfer);
       if (transfer->on_failure != nullptr) transfer->on_failure();
       return;
     }

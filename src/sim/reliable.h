@@ -42,7 +42,9 @@ class ReliableChannel {
  public:
   // `loss_probability` applies independently to every data and ack
   // transmission. Requires links in BOTH directions between the endpoints
-  // of every Send (acks use the reverse link).
+  // of every Send (acks use the reverse link). loss_probability = 1.0 is
+  // allowed: every Send then terminates with `on_failure` once its retry
+  // budget runs out (it can never deliver, but it must not hang).
   ReliableChannel(EventQueue* queue, Network* network, double loss_probability,
                   uint64_t loss_seed);
 
@@ -58,6 +60,12 @@ class ReliableChannel {
 
   const ReliableChannelStats& stats() const { return stats_; }
 
+  // Receiver-side dedup entries currently retained. Entries are pruned as
+  // soon as their transfer settles (acked or failed) and no copy is still in
+  // flight, so this stays bounded by the number of ACTIVE transfers instead
+  // of growing with every message ever sent (regression: long simulations).
+  size_t dedup_entries() const { return delivered_.size(); }
+
  private:
   struct Transfer {
     NodeId from;
@@ -70,9 +78,15 @@ class ReliableChannel {
     EventQueue::Callback on_delivered;
     EventQueue::Callback on_failure;
     bool acked = false;
+    // Dedup lifetime tracking: the sequence can be forgotten once the sender
+    // will never retransmit (`settled`) and every copy already on the wire
+    // has arrived (`copies_in_flight == 0`).
+    bool settled = false;
+    size_t copies_in_flight = 0;
   };
 
   void Attempt(std::shared_ptr<Transfer> transfer);
+  void MaybePrune(const std::shared_ptr<Transfer>& transfer);
   bool Dropped() { return loss_rng_.NextDouble() < loss_probability_; }
 
   EventQueue* queue_;

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "linalg/matrix_ops.h"
+#include "sim/faults.h"
 #include "sim/redundant_protocol.h"
 #include "workload/distributions.h"
 
@@ -195,6 +196,40 @@ TEST(RedundantProtocol, VerifiedQueryFlagsUnresolvableTie) {
   EXPECT_EQ(protocol.metrics().blocks_with_disagreement, 1u);
   EXPECT_EQ(protocol.metrics().blocks_unresolved, 1u)
       << "g = 1 detects but cannot arbitrate";
+}
+
+TEST(RedundantProtocol, VerifiedQueryFlagsThreeWayDisagreement) {
+  // Two Byzantine replicas with DISTINCT corruptions (scripted via the fault
+  // schedule, which supports per-device deltas — byzantine_nodes applies the
+  // same +1.0 everywhere and would fake an agreeing pair): all three replicas
+  // of block 0 return different vectors, so no strict majority exists and
+  // the block must be flagged unresolved.
+  const auto problem = MakeProblem(12, 4, 18, 8);
+  ChaCha20Rng coding_rng(85);
+  Xoshiro256StarStar drng(86);
+  const auto a = RandomMatrix<double>(problem.m, problem.l, drng);
+  const auto deployment = Deploy(problem, a, coding_rng);
+  ASSERT_TRUE(deployment.ok());
+  const auto plan = PlanRedundantMcscec(problem, 2);  // 3 replicas per block
+  ASSERT_TRUE(plan.ok());
+
+  const auto x = RandomVector<double>(problem.l, drng);
+  sim::FaultSchedule faults;
+  // Node indices are block-major: nodes 1 and 2 are block 0's replicas.
+  faults.AddCorruption(/*device=*/1, /*from_s=*/0.0, /*element=*/0,
+                       /*delta=*/1.0);
+  faults.AddCorruption(/*device=*/2, /*from_s=*/0.0, /*element=*/0,
+                       /*delta=*/2.0);
+  sim::SimOptions options;
+  options.faults = &faults;
+  sim::RedundantScecProtocol protocol(&*deployment, &*plan,
+                                      &problem.fleet.devices(), options);
+  protocol.Stage();
+  (void)protocol.RunVerifiedQuery(x);
+  EXPECT_EQ(faults.stats().corruptions, 2u) << "both corruptions must fire";
+  EXPECT_GE(protocol.metrics().blocks_with_disagreement, 1u);
+  EXPECT_GE(protocol.metrics().blocks_unresolved, 1u)
+      << "1-1-1 split has no strict majority; the result is untrustworthy";
 }
 
 TEST(RedundantProtocol, VerifiedQueryCleanFleetHasNoFindings) {

@@ -79,6 +79,58 @@ TEST(ReliableChannel, ReportsFailureAfterRetryBudget) {
   EXPECT_EQ(static_cast<uint64_t>(delivered), channel.stats().deliveries);
 }
 
+TEST(ReliableChannel, DedupSetStaysBounded) {
+  // Regression: delivered_ used to retain every sequence ever delivered, so
+  // long simulations grew the set without bound. Entries must be pruned once
+  // the transfer settles and no copy is still in flight.
+  Rig rig;
+  ReliableChannel channel(&rig.queue, &rig.network, 0.4, 17);
+  int delivered = 0;
+  for (int msg = 0; msg < 200; ++msg) {
+    channel.Send(0, 1, 50, [&] { ++delivered; },
+                 /*on_failure=*/nullptr, 0.05, 60);
+  }
+  rig.queue.RunUntilEmpty();
+  EXPECT_EQ(delivered, 200);
+  EXPECT_EQ(channel.dedup_entries(), 0u)
+      << "every settled transfer must be pruned from the dedup set";
+}
+
+TEST(ReliableChannel, ZeroRetriesAttemptsOnceThenFails) {
+  // max_retries counts RETRANSMISSIONS: 0 still means one initial attempt,
+  // and exhausting the budget must invoke on_failure, not hang.
+  Rig rig;
+  ReliableChannel channel(&rig.queue, &rig.network, 1.0, 6);
+  int delivered = 0, failed = 0;
+  channel.Send(0, 1, 50, [&] { ++delivered; }, [&] { ++failed; },
+               /*timeout_s=*/0.02, /*max_retries=*/0);
+  rig.queue.RunUntilEmpty();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(failed, 1);
+  EXPECT_EQ(channel.stats().data_sends, 1u) << "exactly one wire attempt";
+  EXPECT_EQ(channel.stats().retransmissions, 0u);
+  EXPECT_EQ(channel.stats().failures, 1u);
+}
+
+TEST(ReliableChannel, TotalLossTerminatesWithFailure) {
+  // loss_probability = 1.0 can never deliver; every Send must still
+  // terminate via on_failure after its retry budget instead of spinning.
+  Rig rig;
+  ReliableChannel channel(&rig.queue, &rig.network, 1.0, 7);
+  int delivered = 0, failed = 0;
+  for (int msg = 0; msg < 5; ++msg) {
+    channel.Send(0, 1, 50, [&] { ++delivered; }, [&] { ++failed; },
+                 /*timeout_s=*/0.01, /*max_retries=*/3);
+  }
+  rig.queue.RunUntilEmpty();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(failed, 5);
+  EXPECT_EQ(channel.stats().failures, 5u);
+  EXPECT_EQ(channel.stats().data_sends, 5u * 4u)
+      << "1 initial attempt + 3 retransmissions per send";
+  EXPECT_EQ(channel.dedup_entries(), 0u);
+}
+
 TEST(ReliableChannel, LossSlowsDeliveryDown) {
   Rig clean_rig, lossy_rig;
   ReliableChannel clean(&clean_rig.queue, &clean_rig.network, 0.0, 5);
