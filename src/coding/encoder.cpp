@@ -12,23 +12,23 @@ template Matrix<Gf61> GeneratePadRows<Gf61>(size_t, size_t, ChaCha20Rng&);
 template Matrix<Gf256> GeneratePadRows<Gf256>(size_t, size_t, ChaCha20Rng&);
 template std::vector<DeviceShare<Gf256>> EncodeShares<Gf256>(
     const StructuredCode&, const LcecScheme&, const Matrix<Gf256>&,
-    const Matrix<Gf256>&);
+    const Matrix<Gf256>&, ThreadPool*);
 template EncodedDeployment<Gf256> EncodeDeployment<Gf256>(
     const StructuredCode&, const LcecScheme&, const Matrix<Gf256>&,
-    ChaCha20Rng&);
+    ChaCha20Rng&, ThreadPool*);
 
 template std::vector<DeviceShare<double>> EncodeShares<double>(
     const StructuredCode&, const LcecScheme&, const Matrix<double>&,
-    const Matrix<double>&);
+    const Matrix<double>&, ThreadPool*);
 template std::vector<DeviceShare<Gf61>> EncodeShares<Gf61>(
     const StructuredCode&, const LcecScheme&, const Matrix<Gf61>&,
-    const Matrix<Gf61>&);
+    const Matrix<Gf61>&, ThreadPool*);
 
 template EncodedDeployment<double> EncodeDeployment<double>(
     const StructuredCode&, const LcecScheme&, const Matrix<double>&,
-    ChaCha20Rng&);
+    ChaCha20Rng&, ThreadPool*);
 template EncodedDeployment<Gf61> EncodeDeployment<Gf61>(
     const StructuredCode&, const LcecScheme&, const Matrix<Gf61>&,
-    ChaCha20Rng&);
+    ChaCha20Rng&, ThreadPool*);
 
 }  // namespace scec

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "field/gf_prime.h"
+#include "linalg/matrix_ops.h"
 
 namespace scec {
 namespace {
@@ -76,23 +77,32 @@ bool ResultVerifier<T>::Check(size_t device, std::span<const T> x,
   if (response.size() != entry.weights.size()) return false;
   SCEC_CHECK_EQ(x.size(), entry.digest.size());
 
-  T lhs = FieldTraits<T>::Zero();
-  T rhs = FieldTraits<T>::Zero();
-  double magnitude = 0.0;
-  for (size_t row = 0; row < response.size(); ++row) {
-    const T term = entry.weights[row] * response[row];
-    lhs += term;
-    magnitude += MagnitudeOf(term);
+  if constexpr (FieldTraits<T>::is_exact) {
+    // Hot path: the delayed-reduction dot product (field/accumulator.h) —
+    // exact fields need no magnitude tracking.
+    const T lhs = Dot(std::span<const T>(entry.weights), response);
+    const T rhs = Dot(std::span<const T>(entry.digest), x);
+    return ProbesAgree(lhs, rhs, 0.0);
+  } else {
+    T lhs = FieldTraits<T>::Zero();
+    T rhs = FieldTraits<T>::Zero();
+    double magnitude = 0.0;
+    for (size_t row = 0; row < response.size(); ++row) {
+      const T term = entry.weights[row] * response[row];
+      lhs += term;
+      magnitude += MagnitudeOf(term);
+    }
+    for (size_t col = 0; col < x.size(); ++col) {
+      const T term = entry.digest[col] * x[col];
+      rhs += term;
+      magnitude += MagnitudeOf(term);
+    }
+    return ProbesAgree(lhs, rhs, magnitude);
   }
-  for (size_t col = 0; col < x.size(); ++col) {
-    const T term = entry.digest[col] * x[col];
-    rhs += term;
-    magnitude += MagnitudeOf(term);
-  }
-  return ProbesAgree(lhs, rhs, magnitude);
 }
 
 template class ResultVerifier<double>;
 template class ResultVerifier<Gf61>;
+template class ResultVerifier<Gf256>;
 
 }  // namespace scec

@@ -22,45 +22,67 @@ std::string SchemeSecurityReport::Summary() const {
 }
 
 SchemeSecurityReport VerifyEncodingMatrix(
-    const Matrix<Gf61>& b, size_t m, const std::vector<size_t>& row_counts) {
+    const Matrix<Gf61>& b, size_t m, const std::vector<size_t>& row_counts,
+    ThreadPool* pool) {
   SCEC_CHECK_EQ(b.rows(), b.cols());
   size_t total = 0;
   for (size_t count : row_counts) total += count;
   SCEC_CHECK_EQ(total, b.rows());
   SCEC_CHECK_LE(m, b.cols());
   const size_t n = b.rows();
+  const size_t num_devices = row_counts.size();
 
   SchemeSecurityReport report;
-  report.b_rank = RankOf(b);
-  report.available = report.b_rank == n;
+  report.devices.resize(num_devices);
 
   // Data span basis λ̄ = [E_m | O].
   Matrix<Gf61> lambda(m, n);
   for (size_t row = 0; row < m; ++row) lambda(row, row) = Gf61::One();
 
-  report.all_secure = true;
+  std::vector<size_t> starts(num_devices);
   size_t start = 0;
-  for (size_t device = 0; device < row_counts.size(); ++device) {
-    const size_t count = row_counts[device];
-    Matrix<Gf61> block = b.RowSlice(start, count);
-    start += count;
+  for (size_t device = 0; device < num_devices; ++device) {
+    starts[device] = start;
+    start += row_counts[device];
+  }
 
-    DeviceSecurityReport dev;
+  // Task 0 is the global availability rank; tasks 1..k the per-device ITS
+  // checks. All are independent exact-rank computations writing disjoint
+  // slots, so the report is identical for every pool size.
+  auto run_check = [&](size_t task) {
+    if (task == 0) {
+      report.b_rank = RankOf(b);
+      return;
+    }
+    const size_t device = task - 1;
+    const size_t count = row_counts[device];
+    const Matrix<Gf61> block = b.RowSlice(starts[device], count);
+    DeviceSecurityReport& dev = report.devices[device];
     dev.device = device;
     dev.rows = count;
     dev.rank = RankOf(block);
     dev.intersection_dim = SpanIntersectionDim(block, lambda);
+  };
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(0, num_devices + 1, run_check, /*grain=*/1);
+  } else {
+    for (size_t task = 0; task <= num_devices; ++task) run_check(task);
+  }
+
+  report.available = report.b_rank == n;
+  report.all_secure = true;
+  for (const DeviceSecurityReport& dev : report.devices) {
     if (!dev.secure()) report.all_secure = false;
-    report.devices.push_back(dev);
   }
   return report;
 }
 
 SchemeSecurityReport VerifyStructuredScheme(const StructuredCode& code,
-                                            const LcecScheme& scheme) {
+                                            const LcecScheme& scheme,
+                                            ThreadPool* pool) {
   code.CheckScheme(scheme);
   return VerifyEncodingMatrix(code.DenseB<Gf61>(), code.m(),
-                              scheme.row_counts);
+                              scheme.row_counts, pool);
 }
 
 DeviceSecurityReport VerifyCumulativeView(const Matrix<Gf61>& block,
@@ -92,9 +114,10 @@ SchemeSecurityReport VerifyCumulativeViews(
   return report;
 }
 
-Status CheckSchemeSecure(const StructuredCode& code,
-                         const LcecScheme& scheme) {
-  const SchemeSecurityReport report = VerifyStructuredScheme(code, scheme);
+Status CheckSchemeSecure(const StructuredCode& code, const LcecScheme& scheme,
+                         ThreadPool* pool) {
+  const SchemeSecurityReport report = VerifyStructuredScheme(code, scheme,
+                                                             pool);
   if (!report.available) {
     return DecodeFailure("availability violated: B not full rank");
   }

@@ -18,6 +18,7 @@
 
 #include "coding/encoding_matrix.h"
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "field/gf_prime.h"
 #include "linalg/matrix.h"
 
@@ -41,18 +42,24 @@ struct SchemeSecurityReport {
   std::string Summary() const;
 };
 
-// Verifies the structured Eq. (8) code under the given scheme.
+// Verifies the structured Eq. (8) code under the given scheme. The k
+// per-device ITS rank checks (and the global availability rank) are
+// independent exact-rank computations; with a pool they run in parallel and
+// produce the identical report for every pool size.
 SchemeSecurityReport VerifyStructuredScheme(const StructuredCode& code,
-                                            const LcecScheme& scheme);
+                                            const LcecScheme& scheme,
+                                            ThreadPool* pool = nullptr);
 
 // Verifies an arbitrary encoding matrix `b` ((m+r)×(m+r) over GF(2^61−1))
 // partitioned by `row_counts` (must sum to m+r). `m` identifies the data
 // span [E_m | 0].
-SchemeSecurityReport VerifyEncodingMatrix(const Matrix<Gf61>& b, size_t m,
-                                          const std::vector<size_t>& row_counts);
+SchemeSecurityReport VerifyEncodingMatrix(
+    const Matrix<Gf61>& b, size_t m, const std::vector<size_t>& row_counts,
+    ThreadPool* pool = nullptr);
 
 // Convenience: Status form for call sites that want to propagate failure.
-Status CheckSchemeSecure(const StructuredCode& code, const LcecScheme& scheme);
+Status CheckSchemeSecure(const StructuredCode& code, const LcecScheme& scheme,
+                         ThreadPool* pool = nullptr);
 
 // Def. 2 for one device's CUMULATIVE view: when recovery re-encoding ships a
 // device additional coded rows (see sim/fault_tolerant_protocol.h), its

@@ -1,0 +1,123 @@
+// SPDX-License-Identifier: MIT
+
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace scec {
+namespace {
+
+// Set while a pool worker (or a ParallelFor caller) is executing chunks, so
+// nested ParallelFor calls degrade to serial execution instead of
+// deadlocking on the pool they are already inside.
+thread_local bool t_inside_parallel_region = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreads();
+  workers_.reserve(num_threads - 1);
+  for (size_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("SCEC_THREADS")) {
+    const long parsed = std::atol(env);
+    if (parsed >= 1) return static_cast<size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(DefaultThreads());
+  return pool;
+}
+
+void ThreadPool::RunChunks(Job& job) {
+  for (;;) {
+    const size_t start = job.next.fetch_add(job.grain,
+                                            std::memory_order_relaxed);
+    if (start >= job.count) break;
+    const size_t stop = std::min(job.count, start + job.grain);
+    for (size_t i = start; i < stop; ++i) (*job.body)(job.begin + i);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, IndexFnRef body,
+                             size_t grain) {
+  if (end <= begin) return;
+  const size_t count = end - begin;
+  if (workers_.empty() || count == 1 || t_inside_parallel_region) {
+    for (size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  if (grain == 0) {
+    // ~4 chunks per participant keeps tail latency low without making the
+    // atomic claim counter contended. Chunking never affects results (see
+    // determinism contract) — only load balance.
+    grain = std::max<size_t>(1, count / (4 * num_threads()));
+  }
+
+  Job job;
+  job.begin = begin;
+  job.count = count;
+  job.grain = grain;
+  job.body = &body;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  t_inside_parallel_region = true;
+  RunChunks(job);
+  t_inside_parallel_region = false;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return job.inside == 0 &&
+           job.next.load(std::memory_order_relaxed) >= job.count;
+  });
+  job_ = nullptr;  // workers only join a job while job_ is set (under mu_)
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+      ++job->inside;  // caller cannot retire the job while we are inside
+    }
+    t_inside_parallel_region = true;
+    RunChunks(*job);
+    t_inside_parallel_region = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --job->inside;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace scec

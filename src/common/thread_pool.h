@@ -1,0 +1,105 @@
+// SPDX-License-Identifier: MIT
+//
+// A small fixed-size thread pool for the embarrassingly parallel hot paths
+// (per-device encoding, per-device ITS checks, batched panel kernels).
+//
+// Determinism contract
+// --------------------
+// ParallelFor(begin, end, body) invokes body(i) exactly once for every index
+// in [begin, end). Which *thread* runs an index is scheduling-dependent, but
+// each index sees the same inputs and writes its own disjoint outputs, so any
+// computation of the form "slot i ← f(inputs, i)" produces bit-identical
+// results for every pool size (including the serial pool) and every run.
+// Callers that need a reduction must reduce per-index partial outputs
+// serially afterwards — ParallelFor deliberately offers no combiner.
+//
+// Zero-allocation contract: ParallelFor performs no heap allocation. The job
+// descriptor lives on the caller's stack and the body is passed by reference
+// (IndexFnRef), so steady-state query serving can use the pool allocation-
+// free.
+//
+// Nesting: a ParallelFor issued from inside a pool worker runs serially on
+// that worker (no deadlock, same results).
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace scec {
+
+// Non-owning reference to a callable `void(size_t)`. Cheap to copy; the
+// referenced callable must outlive every invocation (ParallelFor blocks
+// until completion, so stack lambdas are safe).
+class IndexFnRef {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>,
+                                                        IndexFnRef>>>
+  IndexFnRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : ctx_(const_cast<void*>(static_cast<const void*>(&f))),
+        fn_(+[](void* ctx, size_t i) {
+          (*static_cast<std::remove_reference_t<F>*>(ctx))(i);
+        }) {}
+
+  void operator()(size_t i) const { fn_(ctx_, i); }
+
+ private:
+  void* ctx_;
+  void (*fn_)(void*, size_t);
+};
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads - 1` workers; the thread that calls ParallelFor is
+  // always the num_threads-th participant. num_threads == 0 selects
+  // DefaultThreads(). A pool of 1 runs everything inline.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  // Runs body(i) for every i in [begin, end), partitioned across the pool in
+  // contiguous chunks claimed atomically. Blocks until all indices are done.
+  // `grain` is the chunk size; 0 picks one derived from the range and pool
+  // size. See the determinism contract above.
+  void ParallelFor(size_t begin, size_t end, IndexFnRef body, size_t grain = 0);
+
+  // SCEC_THREADS env var if set (>=1), otherwise hardware concurrency.
+  static size_t DefaultThreads();
+
+  // Process-wide shared pool of DefaultThreads() threads, created on first
+  // use. Intended for callers that want parallelism without plumbing a pool.
+  static ThreadPool& Shared();
+
+ private:
+  struct Job {
+    size_t begin = 0;
+    size_t count = 0;
+    size_t grain = 1;
+    const IndexFnRef* body = nullptr;
+    std::atomic<size_t> next{0};  // next unclaimed chunk start (relative)
+    size_t inside = 0;            // workers currently running chunks (mu_)
+  };
+
+  void WorkerLoop();
+  static void RunChunks(Job& job);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a job
+  std::condition_variable done_cv_;   // caller waits for completion
+  Job* job_ = nullptr;                // current job, guarded by mu_
+  uint64_t generation_ = 0;           // bumped per job, guarded by mu_
+  bool stop_ = false;                 // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace scec

@@ -3,11 +3,27 @@
 #include "core/pipeline.h"
 
 namespace scec {
+namespace {
+
+// Per-device row offsets into the concatenated response vector y = B·T·x.
+template <typename T>
+void FillOffsets(const Deployment<T>& deployment,
+                 std::vector<size_t>& offsets) {
+  offsets.resize(deployment.shares.size());
+  size_t row = 0;
+  for (size_t device = 0; device < deployment.shares.size(); ++device) {
+    offsets[device] = row;
+    row += deployment.shares[device].coded_rows.rows();
+  }
+  SCEC_CHECK_EQ(row, deployment.code.total_rows());
+}
+
+}  // namespace
 
 template <typename T>
 Result<Deployment<T>> Deploy(const McscecProblem& problem, const Matrix<T>& a,
                              ChaCha20Rng& rng, TaAlgorithm algorithm,
-                             bool verify_security) {
+                             bool verify_security, ThreadPool* pool) {
   if (a.rows() != problem.m || a.cols() != problem.l) {
     return InvalidArgument("data matrix does not match problem dimensions");
   }
@@ -20,15 +36,44 @@ Result<Deployment<T>> Deploy(const McscecProblem& problem, const Matrix<T>& a,
 
   if (verify_security) {
     SCEC_RETURN_IF_ERROR(
-        CheckSchemeSecure(deployment.code, plan.scheme));
+        CheckSchemeSecure(deployment.code, plan.scheme, pool));
   }
 
   EncodedDeployment<T> encoded =
-      EncodeDeployment(deployment.code, plan.scheme, a, rng);
+      EncodeDeployment(deployment.code, plan.scheme, a, rng, pool);
   deployment.shares = std::move(encoded.shares);
   // encoded.pads (the matrix R) is dropped here: the cloud does not need it
   // after distribution, and the user never sees it.
   return deployment;
+}
+
+template <typename T>
+QueryWorkspace<T> MakeQueryWorkspace(const Deployment<T>& deployment) {
+  QueryWorkspace<T> ws;
+  ws.y.assign(deployment.code.total_rows(), FieldTraits<T>::Zero());
+  ws.ax.assign(deployment.code.m(), FieldTraits<T>::Zero());
+  FillOffsets(deployment, ws.offsets);
+  return ws;
+}
+
+template <typename T>
+std::span<const T> QueryInto(const Deployment<T>& deployment,
+                             std::span<const T> x, QueryWorkspace<T>& ws) {
+  SCEC_CHECK_EQ(x.size(), deployment.l);
+  SCEC_CHECK_EQ(ws.y.size(), deployment.code.total_rows());
+  SCEC_CHECK_EQ(ws.offsets.size(), deployment.shares.size());
+  // Device responses are contiguous blocks of y in scheme order, so each
+  // device's MatVec writes straight into its slice of y — no concatenation
+  // pass and no allocation.
+  std::span<T> y(ws.y);
+  for (size_t device = 0; device < deployment.shares.size(); ++device) {
+    const Matrix<T>& share = deployment.shares[device].coded_rows;
+    MatVecInto(share, x, y.subspan(ws.offsets[device], share.rows()));
+  }
+  const size_t m = deployment.code.m();
+  const size_t r = deployment.code.r();
+  for (size_t p = 0; p < m; ++p) ws.ax[p] = ws.y[r + p] - ws.y[p % r];
+  return std::span<const T>(ws.ax);
 }
 
 template <typename T>
@@ -38,19 +83,40 @@ std::vector<std::vector<T>> ComputeDeviceResponses(
   std::vector<std::vector<T>> responses;
   responses.reserve(deployment.shares.size());
   for (const DeviceShare<T>& share : deployment.shares) {
-    responses.push_back(MatVec(share.coded_rows, std::span<const T>(x)));
+    std::vector<T>& response = responses.emplace_back(share.coded_rows.rows());
+    MatVecInto(share.coded_rows, std::span<const T>(x),
+               std::span<T>(response));
   }
   return responses;
 }
 
 template <typename T>
+std::vector<Matrix<T>> ComputeDeviceResponsePanels(
+    const Deployment<T>& deployment, const Matrix<T>& x, ThreadPool* pool) {
+  SCEC_CHECK_EQ(x.rows(), deployment.l);
+  const size_t num_devices = deployment.shares.size();
+  std::vector<Matrix<T>> panels(num_devices);
+  for (size_t device = 0; device < num_devices; ++device) {
+    panels[device] =
+        Matrix<T>(deployment.shares[device].coded_rows.rows(), x.cols());
+  }
+  auto compute = [&](size_t device) {
+    MatMulPanel(deployment.shares[device].coded_rows, x, panels[device]);
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && num_devices > 1) {
+    pool->ParallelFor(0, num_devices, compute, /*grain=*/1);
+  } else {
+    for (size_t device = 0; device < num_devices; ++device) compute(device);
+  }
+  return panels;
+}
+
+template <typename T>
 std::vector<T> Query(const Deployment<T>& deployment,
                      const std::vector<T>& x) {
-  const std::vector<std::vector<T>> responses =
-      ComputeDeviceResponses(deployment, x);
-  const std::vector<T> y =
-      ConcatenateResponses(deployment.plan.scheme, responses);
-  return SubtractionDecode(deployment.code, std::span<const T>(y));
+  QueryWorkspace<T> ws = MakeQueryWorkspace(deployment);
+  QueryInto(deployment, std::span<const T>(x), ws);
+  return std::move(ws.ax);
 }
 
 template <typename T>
@@ -73,22 +139,85 @@ Result<std::vector<T>> QueryVerified(
 }
 
 template <typename T>
-Matrix<T> QueryBatch(const Deployment<T>& deployment, const Matrix<T>& x) {
+Result<Matrix<T>> QueryVerifiedBatch(
+    const Deployment<T>& deployment, const ResultVerifier<T>& verifier,
+    const Matrix<T>& x, const std::vector<Matrix<T>>& response_panels) {
   SCEC_CHECK_EQ(x.rows(), deployment.l);
+  SCEC_CHECK_EQ(response_panels.size(), deployment.shares.size());
+  SCEC_CHECK_EQ(verifier.num_devices(), deployment.shares.size());
   const size_t m = deployment.code.m();
   const size_t r = deployment.code.r();
   const size_t batch = x.cols();
 
-  // Devices: each computes its share times X ((V_j × l)·(l × b)).
+  // Freivalds check per (device, column): each column of a panel is one
+  // ordinary response vector.
+  std::vector<T> xcol(deployment.l);
+  std::vector<T> rcol;
+  for (size_t col = 0; col < batch; ++col) {
+    for (size_t i = 0; i < deployment.l; ++i) xcol[i] = x(i, col);
+    for (size_t device = 0; device < response_panels.size(); ++device) {
+      const Matrix<T>& panel = response_panels[device];
+      SCEC_CHECK_EQ(panel.cols(), batch);
+      rcol.assign(panel.rows(), FieldTraits<T>::Zero());
+      for (size_t i = 0; i < panel.rows(); ++i) rcol[i] = panel(i, col);
+      if (!verifier.Check(device, std::span<const T>(xcol),
+                          std::span<const T>(rcol))) {
+        return DecodeFailure("device " + std::to_string(device) +
+                             " failed result verification (batch column " +
+                             std::to_string(col) + ")");
+      }
+    }
+  }
+
+  // Stack verified panels and run the column-wise subtraction decode.
   Matrix<T> stacked(m + r, batch);
   size_t row = 0;
-  for (const DeviceShare<T>& share : deployment.shares) {
-    const Matrix<T> partial = MatMul(share.coded_rows, x);
-    for (size_t i = 0; i < partial.rows(); ++i) {
-      stacked.SetRow(row++, partial.Row(i));
+  for (const Matrix<T>& panel : response_panels) {
+    for (size_t i = 0; i < panel.rows(); ++i) {
+      stacked.SetRow(row++, panel.Row(i));
     }
   }
   SCEC_CHECK_EQ(row, m + r);
+  Matrix<T> result(m, batch);
+  for (size_t p = 0; p < m; ++p) {
+    auto mixed = stacked.Row(r + p);
+    auto pad = stacked.Row(p % r);
+    auto out = result.Row(p);
+    for (size_t col = 0; col < batch; ++col) out[col] = mixed[col] - pad[col];
+  }
+  return result;
+}
+
+template <typename T>
+Matrix<T> QueryBatch(const Deployment<T>& deployment, const Matrix<T>& x,
+                     ThreadPool* pool) {
+  SCEC_CHECK_EQ(x.rows(), deployment.l);
+  const size_t m = deployment.code.m();
+  const size_t r = deployment.code.r();
+  const size_t batch = x.cols();
+  const size_t num_devices = deployment.shares.size();
+
+  // Devices: each computes its share times X ((V_j × l)·(l × b)) with the
+  // blocked panel kernel, writing straight into its contiguous row block of
+  // the stacked response matrix — disjoint slices, so the device loop is
+  // safe to fan out and deterministic for every pool size.
+  std::vector<size_t> offsets;
+  FillOffsets(deployment, offsets);
+  Matrix<T> stacked(m + r, batch);
+  std::span<T> sdata = stacked.Data();
+  auto compute_device = [&](size_t device) {
+    const Matrix<T>& share = deployment.shares[device].coded_rows;
+    MatMulPanelSpan(share, x,
+                    sdata.subspan(offsets[device] * batch,
+                                  share.rows() * batch));
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && num_devices > 1) {
+    pool->ParallelFor(0, num_devices, compute_device, /*grain=*/1);
+  } else {
+    for (size_t device = 0; device < num_devices; ++device) {
+      compute_device(device);
+    }
+  }
 
   // User: column-wise subtraction decode.
   Matrix<T> result(m, batch);
@@ -103,35 +232,33 @@ Matrix<T> QueryBatch(const Deployment<T>& deployment, const Matrix<T>& x) {
   return result;
 }
 
-template Matrix<double> QueryBatch<double>(const Deployment<double>&,
-                                           const Matrix<double>&);
-template Matrix<Gf61> QueryBatch<Gf61>(const Deployment<Gf61>&,
-                                       const Matrix<Gf61>&);
+// Explicit instantiations for the three scalar types the library serves.
+#define SCEC_INSTANTIATE_PIPELINE(T)                                         \
+  template Result<Deployment<T>> Deploy<T>(const McscecProblem&,             \
+                                           const Matrix<T>&, ChaCha20Rng&,   \
+                                           TaAlgorithm, bool, ThreadPool*);  \
+  template QueryWorkspace<T> MakeQueryWorkspace<T>(const Deployment<T>&);    \
+  template std::span<const T> QueryInto<T>(                                  \
+      const Deployment<T>&, std::span<const T>, QueryWorkspace<T>&);         \
+  template std::vector<T> Query<T>(const Deployment<T>&,                     \
+                                   const std::vector<T>&);                   \
+  template std::vector<std::vector<T>> ComputeDeviceResponses<T>(            \
+      const Deployment<T>&, const std::vector<T>&);                          \
+  template std::vector<Matrix<T>> ComputeDeviceResponsePanels<T>(            \
+      const Deployment<T>&, const Matrix<T>&, ThreadPool*);                  \
+  template Result<std::vector<T>> QueryVerified<T>(                          \
+      const Deployment<T>&, const ResultVerifier<T>&, const std::vector<T>&, \
+      const std::vector<std::vector<T>>&);                                   \
+  template Result<Matrix<T>> QueryVerifiedBatch<T>(                          \
+      const Deployment<T>&, const ResultVerifier<T>&, const Matrix<T>&,      \
+      const std::vector<Matrix<T>>&);                                        \
+  template Matrix<T> QueryBatch<T>(const Deployment<T>&, const Matrix<T>&,   \
+                                   ThreadPool*)
 
-template Result<Deployment<double>> Deploy<double>(const McscecProblem&,
-                                                   const Matrix<double>&,
-                                                   ChaCha20Rng&, TaAlgorithm,
-                                                   bool);
-template Result<Deployment<Gf61>> Deploy<Gf61>(const McscecProblem&,
-                                               const Matrix<Gf61>&,
-                                               ChaCha20Rng&, TaAlgorithm,
-                                               bool);
+SCEC_INSTANTIATE_PIPELINE(double);
+SCEC_INSTANTIATE_PIPELINE(Gf61);
+SCEC_INSTANTIATE_PIPELINE(Gf256);
 
-template std::vector<std::vector<double>> ComputeDeviceResponses<double>(
-    const Deployment<double>&, const std::vector<double>&);
-template std::vector<std::vector<Gf61>> ComputeDeviceResponses<Gf61>(
-    const Deployment<Gf61>&, const std::vector<Gf61>&);
-
-template std::vector<double> Query<double>(const Deployment<double>&,
-                                           const std::vector<double>&);
-template std::vector<Gf61> Query<Gf61>(const Deployment<Gf61>&,
-                                       const std::vector<Gf61>&);
-
-template Result<std::vector<double>> QueryVerified<double>(
-    const Deployment<double>&, const ResultVerifier<double>&,
-    const std::vector<double>&, const std::vector<std::vector<double>>&);
-template Result<std::vector<Gf61>> QueryVerified<Gf61>(
-    const Deployment<Gf61>&, const ResultVerifier<Gf61>&,
-    const std::vector<Gf61>&, const std::vector<std::vector<Gf61>>&);
+#undef SCEC_INSTANTIATE_PIPELINE
 
 }  // namespace scec

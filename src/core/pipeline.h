@@ -15,6 +15,7 @@
 
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "coding/decoder.h"
@@ -23,8 +24,10 @@
 #include "coding/security_check.h"
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/planner.h"
 #include "core/problem.h"
+#include "linalg/batch_kernels.h"
 #include "linalg/matrix_ops.h"
 
 namespace scec {
@@ -38,12 +41,37 @@ struct Deployment {
   size_t l = 0;
 };
 
-// Plans, encodes, and (optionally) verifies ITS before returning.
+// Plans, encodes, and (optionally) verifies ITS before returning. With a
+// pool, the per-device encoding and the per-device ITS rank checks (both
+// embarrassingly parallel across the k devices) fan out; pad generation
+// stays serial on `rng`, so the deployment is bit-identical to the serial
+// one for every pool size.
 template <typename T>
 Result<Deployment<T>> Deploy(const McscecProblem& problem, const Matrix<T>& a,
                              ChaCha20Rng& rng,
                              TaAlgorithm algorithm = TaAlgorithm::kAuto,
-                             bool verify_security = true);
+                             bool verify_security = true,
+                             ThreadPool* pool = nullptr);
+
+// Preallocated scratch for the steady-state query path: after construction,
+// QueryInto serves queries with zero heap allocations (enforced by an
+// operator-new counting test).
+template <typename T>
+struct QueryWorkspace {
+  std::vector<T> y;              // m + r stacked device responses
+  std::vector<T> ax;             // m decoded outputs
+  std::vector<size_t> offsets;   // per-device row offset into y
+};
+
+template <typename T>
+QueryWorkspace<T> MakeQueryWorkspace(const Deployment<T>& deployment);
+
+// Allocation-free query: devices' responses land in ws.y (each device's
+// block written in place of the concatenation), the subtraction decode in
+// ws.ax. Returns a view of ws.ax (valid until the next QueryInto on ws).
+template <typename T>
+std::span<const T> QueryInto(const Deployment<T>& deployment,
+                             std::span<const T> x, QueryWorkspace<T>& ws);
 
 // Executes one query against a deployment (all devices honest & timely, as
 // the paper assumes). Returns A·x.
@@ -57,6 +85,14 @@ template <typename T>
 std::vector<std::vector<T>> ComputeDeviceResponses(
     const Deployment<T>& deployment, const std::vector<T>& x);
 
+// Batched per-device intermediate results: device j's V_j × b response
+// panel (B_j·T)·X, computed with the blocked panel kernel. Column c of the
+// panels equals ComputeDeviceResponses on column c of x, bit for bit.
+template <typename T>
+std::vector<Matrix<T>> ComputeDeviceResponsePanels(
+    const Deployment<T>& deployment, const Matrix<T>& x,
+    ThreadPool* pool = nullptr);
+
 // Verified query: checks every (externally produced, possibly corrupted)
 // device response against its Freivalds digest before decoding
 // (coding/result_verify.h; the verifier comes from
@@ -67,11 +103,23 @@ Result<std::vector<T>> QueryVerified(
     const Deployment<T>& deployment, const ResultVerifier<T>& verifier,
     const std::vector<T>& x, const std::vector<std::vector<T>>& responses);
 
+// Batched verified query: every column of every device panel is checked
+// against the device's Freivalds digest before the panel decode. Returns
+// kDecodeFailure naming the offending device when a check fails.
+template <typename T>
+Result<Matrix<T>> QueryVerifiedBatch(
+    const Deployment<T>& deployment, const ResultVerifier<T>& verifier,
+    const Matrix<T>& x, const std::vector<Matrix<T>>& response_panels);
+
 // Batch query: Y = A·X for an l×b matrix X of stacked input columns — the
 // paper's "multiplication of two matrices / different input vectors"
-// generalisation (§II-A). Devices compute (B_j·T)·X; the user decodes each
-// column with the same m-subtraction rule, m·b subtractions total.
+// generalisation (§II-A). Devices compute (B_j·T)·X with the blocked panel
+// kernel (optionally in parallel across devices); the user decodes each
+// column with the same m-subtraction rule, m·b subtractions total. Column c
+// of the result is bit-identical to Query on column c of x, for every
+// scalar type and pool size.
 template <typename T>
-Matrix<T> QueryBatch(const Deployment<T>& deployment, const Matrix<T>& x);
+Matrix<T> QueryBatch(const Deployment<T>& deployment, const Matrix<T>& x,
+                     ThreadPool* pool = nullptr);
 
 }  // namespace scec

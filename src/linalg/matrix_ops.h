@@ -9,23 +9,35 @@
 #include <vector>
 
 #include "common/check.h"
+#include "field/accumulator.h"
 #include "field/field_traits.h"
 #include "linalg/matrix.h"
 
 namespace scec {
 
+// y = M * x written into a caller-owned buffer: the allocation-free form the
+// steady-state query path uses (QueryInto, the simulator's device actors).
+// Uses the delayed-reduction accumulator — exact for fields, and for doubles
+// the accumulation order matches the naive k-ascending loop bit for bit.
+template <typename T>
+void MatVecInto(const Matrix<T>& m, std::span<const T> x, std::span<T> y) {
+  SCEC_CHECK_EQ(m.cols(), x.size());
+  SCEC_CHECK_EQ(m.rows(), y.size());
+  const size_t cols = m.cols();
+  for (size_t row = 0; row < m.rows(); ++row) {
+    DotAccumulator<T> acc;
+    auto mrow = m.Row(row);
+    for (size_t col = 0; col < cols; ++col) acc.MulAdd(mrow[col], x[col]);
+    y[row] = acc.Value();
+  }
+}
+
 // y = M * x. Complexity: rows*cols multiplications, rows*(cols-1) additions —
 // exactly the per-device computation the paper's cost model (Eq. (1)) counts.
 template <typename T>
 std::vector<T> MatVec(const Matrix<T>& m, std::span<const T> x) {
-  SCEC_CHECK_EQ(m.cols(), x.size());
   std::vector<T> y(m.rows(), FieldTraits<T>::Zero());
-  for (size_t row = 0; row < m.rows(); ++row) {
-    T acc = FieldTraits<T>::Zero();
-    auto mrow = m.Row(row);
-    for (size_t col = 0; col < m.cols(); ++col) acc += mrow[col] * x[col];
-    y[row] = acc;
-  }
+  MatVecInto(m, x, std::span<T>(y));
   return y;
 }
 
@@ -69,12 +81,14 @@ std::vector<T> VecScale(std::span<const T> a, T s) {
   return out;
 }
 
+// Delayed-reduction dot product (see field/accumulator.h): exact over
+// fields, bit-identical to the naive loop over doubles.
 template <typename T>
 T Dot(std::span<const T> a, std::span<const T> b) {
   SCEC_CHECK_EQ(a.size(), b.size());
-  T acc = FieldTraits<T>::Zero();
-  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  DotAccumulator<T> acc;
+  for (size_t i = 0; i < a.size(); ++i) acc.MulAdd(a[i], b[i]);
+  return acc.Value();
 }
 
 // Maximum absolute difference between two double vectors (test helper).

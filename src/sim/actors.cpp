@@ -72,7 +72,8 @@ void EdgeDeviceActor::OnQueryDelivered(std::vector<double> x) {
   busy_until_ = done;
   const double wait = done - queue_->now();
 
-  std::vector<double> response = MatVec(share_, std::span<const double>(x));
+  std::vector<double> response(share_.rows());
+  MatVecInto(share_, std::span<const double>(x), std::span<double>(response));
   // Fault injection: a Byzantine device silently corrupts its first value.
   for (size_t byzantine : options_->byzantine_nodes) {
     if (byzantine == index_ && !response.empty()) {

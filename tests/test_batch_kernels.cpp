@@ -1,0 +1,247 @@
+// SPDX-License-Identifier: MIT
+//
+// The delayed-reduction accumulator and the batched panel kernels must agree
+// *exactly* (bit for bit) with the naive scalar path — random inputs,
+// adversarial all-(P−1) inputs, every scalar type, every thread count.
+
+#include "linalg/batch_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "field/accumulator.h"
+#include "linalg/matrix_ops.h"
+
+namespace scec {
+namespace {
+
+// The naive per-MAC reduction path the accumulator must match: one modular
+// multiply and one modular add per term, reduced immediately.
+template <typename T>
+T NaiveDot(std::span<const T> a, std::span<const T> b) {
+  T acc = FieldTraits<T>::Zero();
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+template <typename T>
+std::vector<T> NaiveMatVec(const Matrix<T>& m, std::span<const T> x) {
+  std::vector<T> y(m.rows(), FieldTraits<T>::Zero());
+  for (size_t row = 0; row < m.rows(); ++row) {
+    y[row] = NaiveDot(std::span<const T>(m.Row(row)), x);
+  }
+  return y;
+}
+
+template <typename T>
+void ExpectDotAgreement(size_t n, uint64_t seed) {
+  ChaCha20Rng rng(seed);
+  const auto a = RandomVector<T>(n, rng);
+  const auto b = RandomVector<T>(n, rng);
+  const T naive = NaiveDot(std::span<const T>(a), std::span<const T>(b));
+  const T delayed = Dot(std::span<const T>(a), std::span<const T>(b));
+  EXPECT_EQ(naive, delayed) << "n=" << n;
+}
+
+TEST(DotAccumulator, Gf61AgreesWithPerMacReductionOnRandomInputs) {
+  // Sizes straddle the fold interval (63) and several multiples of it.
+  for (size_t n : {0u, 1u, 2u, 62u, 63u, 64u, 126u, 127u, 1000u, 4096u}) {
+    ExpectDotAgreement<Gf61>(n, 100 + n);
+  }
+}
+
+TEST(DotAccumulator, Gf61AgreesOnAdversarialAllMaxInputs) {
+  // Every operand is P−1, the largest canonical element: each product is
+  // the maximal (P−1)^2, driving the 128-bit accumulator as close to
+  // overflow as possible. 10000 terms cross the fold interval 158 times.
+  const Gf61 max_elem(kMersenne61 - 1);
+  const std::vector<Gf61> a(10000, max_elem);
+  const std::vector<Gf61> b(10000, max_elem);
+  const Gf61 naive = NaiveDot(std::span<const Gf61>(a),
+                              std::span<const Gf61>(b));
+  const Gf61 delayed = Dot(std::span<const Gf61>(a), std::span<const Gf61>(b));
+  EXPECT_EQ(naive, delayed);
+  // Independent ground truth: (P−1)^2 ≡ 1 (mod P), so the dot product is
+  // the term count mod P.
+  EXPECT_EQ(delayed, Gf61(10000));
+}
+
+TEST(DotAccumulator, Gf61AddMatchesScalarAddition) {
+  DotAccumulator<Gf61> acc;
+  Gf61 expected = Gf61::Zero();
+  ChaCha20Rng rng(7);
+  for (size_t i = 0; i < 500; ++i) {
+    const Gf61 v = FieldTraits<Gf61>::Random(rng);
+    acc.Add(v);
+    expected += v;
+  }
+  EXPECT_EQ(acc.Value(), expected);
+}
+
+TEST(DotAccumulator, GenericFallbackAgreesForOtherScalars) {
+  for (size_t n : {0u, 1u, 63u, 100u, 1000u}) {
+    ExpectDotAgreement<Gf256>(n, 200 + n);
+    ExpectDotAgreement<GfSmall>(n, 300 + n);
+    ExpectDotAgreement<double>(n, 400 + n);
+  }
+}
+
+TEST(MatVecInto, MatchesNaiveMatVecForAllScalarTypes) {
+  ChaCha20Rng rng(11);
+  const auto check = [&](auto tag, size_t rows, size_t cols) {
+    using T = decltype(tag);
+    const auto m = RandomMatrix<T>(rows, cols, rng);
+    const auto x = RandomVector<T>(cols, rng);
+    std::vector<T> y(rows);
+    MatVecInto(m, std::span<const T>(x), std::span<T>(y));
+    EXPECT_EQ(y, NaiveMatVec(m, std::span<const T>(x)));
+    EXPECT_EQ(MatVec(m, std::span<const T>(x)), y);
+  };
+  check(Gf61{}, 17, 130);
+  check(Gf256{}, 9, 70);
+  check(double{}, 13, 90);
+}
+
+template <typename T>
+void ExpectPanelMatchesPerColumnMatVec(size_t rows, size_t l, size_t b,
+                                       uint64_t seed,
+                                       ThreadPool* pool = nullptr) {
+  ChaCha20Rng rng(seed);
+  const auto a = RandomMatrix<T>(rows, l, rng);
+  const auto x = RandomMatrix<T>(l, b, rng);
+  const Matrix<T> y = MatVecBatch(a, x, pool);
+  ASSERT_EQ(y.rows(), rows);
+  ASSERT_EQ(y.cols(), b);
+  for (size_t col = 0; col < b; ++col) {
+    std::vector<T> xcol(l);
+    for (size_t i = 0; i < l; ++i) xcol[i] = x(i, col);
+    const std::vector<T> expected = MatVec(a, std::span<const T>(xcol));
+    for (size_t row = 0; row < rows; ++row) {
+      ASSERT_EQ(y(row, col), expected[row])
+          << "row=" << row << " col=" << col << " b=" << b;
+    }
+  }
+}
+
+TEST(MatVecBatch, Gf61MatchesPerQueryAcrossBatchSizes) {
+  for (size_t b : {1u, 3u, 16u, 65u}) {
+    ExpectPanelMatchesPerColumnMatVec<Gf61>(21, 97, b, 500 + b);
+  }
+}
+
+TEST(MatVecBatch, Gf256MatchesPerQueryAcrossBatchSizes) {
+  for (size_t b : {1u, 3u, 16u, 65u}) {
+    ExpectPanelMatchesPerColumnMatVec<Gf256>(14, 33, b, 600 + b);
+  }
+}
+
+TEST(MatVecBatch, DoubleMatchesPerQueryAcrossBatchSizes) {
+  for (size_t b : {1u, 3u, 16u, 65u}) {
+    ExpectPanelMatchesPerColumnMatVec<double>(18, 77, b, 700 + b);
+  }
+}
+
+TEST(MatVecBatch, DoubleColumnsAreBitIdenticalToMatVec) {
+  // Stronger than value equality: the raw bytes must match, which pins the
+  // accumulation order of the panel kernel to the scalar path.
+  ChaCha20Rng rng(42);
+  const size_t rows = 11, l = 53, b = 19;
+  const auto a = RandomMatrix<double>(rows, l, rng);
+  const auto x = RandomMatrix<double>(l, b, rng);
+  const Matrix<double> y = MatVecBatch(a, x);
+  for (size_t col = 0; col < b; ++col) {
+    std::vector<double> xcol(l);
+    for (size_t i = 0; i < l; ++i) xcol[i] = x(i, col);
+    const std::vector<double> expected =
+        MatVec(a, std::span<const double>(xcol));
+    for (size_t row = 0; row < rows; ++row) {
+      ASSERT_EQ(std::memcmp(&y(row, col), &expected[row], sizeof(double)), 0)
+          << "row=" << row << " col=" << col;
+    }
+  }
+}
+
+TEST(MatVecBatch, Gf61AdversarialAllMaxPanel) {
+  // All operands P−1: the delayed-reduction inner loops sit at the overflow
+  // edge for the entire product. (P−1)^2 ≡ 1, so every output is l mod P.
+  const size_t rows = 5, l = 1000, b = 9;
+  const Gf61 max_elem(kMersenne61 - 1);
+  Matrix<Gf61> a(rows, l, max_elem);
+  Matrix<Gf61> x(l, b, max_elem);
+  const Matrix<Gf61> y = MatVecBatch(a, x);
+  for (size_t row = 0; row < rows; ++row) {
+    for (size_t col = 0; col < b; ++col) {
+      ASSERT_EQ(y(row, col), Gf61(l));
+    }
+  }
+}
+
+TEST(MatVecBatch, ExactTypesMatchMatMul) {
+  ChaCha20Rng rng(55);
+  const auto a61 = RandomMatrix<Gf61>(12, 40, rng);
+  const auto x61 = RandomMatrix<Gf61>(40, 7, rng);
+  EXPECT_EQ(MatVecBatch(a61, x61), MatMul(a61, x61));
+  const auto a256 = RandomMatrix<Gf256>(8, 25, rng);
+  const auto x256 = RandomMatrix<Gf256>(25, 20, rng);
+  EXPECT_EQ(MatVecBatch(a256, x256), MatMul(a256, x256));
+}
+
+TEST(MatMulPanel, ParallelResultsBitIdenticalAcrossThreadCounts) {
+  ChaCha20Rng rng(66);
+  const auto a = RandomMatrix<Gf61>(37, 64, rng);
+  const auto x = RandomMatrix<Gf61>(64, 16, rng);
+  const Matrix<Gf61> serial = MatVecBatch(a, x);
+  const size_t hw = ThreadPool::DefaultThreads();
+  for (size_t threads : {size_t{1}, size_t{2}, hw}) {
+    ThreadPool pool(threads);
+    ASSERT_EQ(MatVecBatch(a, x, &pool), serial) << "threads=" << threads;
+  }
+  // And for doubles, where reassociation would be visible.
+  const auto ad = RandomMatrix<double>(23, 50, rng);
+  const auto xd = RandomMatrix<double>(50, 33, rng);
+  const Matrix<double> serial_d = MatVecBatch(ad, xd);
+  for (size_t threads : {size_t{1}, size_t{2}, hw}) {
+    ThreadPool pool(threads);
+    ASSERT_EQ(MatVecBatch(ad, xd, &pool), serial_d) << "threads=" << threads;
+  }
+}
+
+TEST(MatMulPanel, WritesIntoPreallocatedOutput) {
+  ChaCha20Rng rng(77);
+  const auto a = RandomMatrix<Gf61>(6, 30, rng);
+  const auto x = RandomMatrix<Gf61>(30, 4, rng);
+  Matrix<Gf61> out(6, 4);
+  MatMulPanel(a, x, out);
+  EXPECT_EQ(out, MatMul(a, x));
+}
+
+TEST(MatMulPanel, PanelSpanWritesSliceOfLargerBuffer) {
+  // The pipeline writes each device's panel into a slice of the stacked
+  // response matrix; emulate that here.
+  ChaCha20Rng rng(88);
+  const auto a = RandomMatrix<Gf61>(5, 20, rng);
+  const auto x = RandomMatrix<Gf61>(20, 3, rng);
+  std::vector<Gf61> buffer(10 * 3, Gf61(7));  // 10 rows, slice = rows 2..7
+  MatMulPanelSpan(a, x, std::span<Gf61>(buffer).subspan(2 * 3, 5 * 3));
+  const Matrix<Gf61> expected = MatMul(a, x);
+  for (size_t row = 0; row < 5; ++row) {
+    for (size_t col = 0; col < 3; ++col) {
+      EXPECT_EQ(buffer[(2 + row) * 3 + col], expected(row, col));
+    }
+  }
+  // Rows outside the slice untouched.
+  for (size_t i = 0; i < 2 * 3; ++i) EXPECT_EQ(buffer[i], Gf61(7));
+  for (size_t i = 7 * 3; i < 10 * 3; ++i) EXPECT_EQ(buffer[i], Gf61(7));
+}
+
+TEST(MatMulPanelDeathTest, DimensionMismatchAborts) {
+  const Matrix<Gf61> a(3, 4);
+  const Matrix<Gf61> x(5, 2);  // inner dimension mismatch
+  EXPECT_DEATH(MatVecBatch(a, x), "");
+}
+
+}  // namespace
+}  // namespace scec

@@ -1,0 +1,127 @@
+// SPDX-License-Identifier: MIT
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace scec {
+namespace {
+
+// A per-index computation with enough state that scheduling mistakes
+// (skipped/duplicated indices) would corrupt the output.
+uint64_t Mix(uint64_t i) {
+  uint64_t z = i + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+TEST(ThreadPool, DefaultThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+}
+
+TEST(ThreadPool, NumThreadsMatchesConstruction) {
+  ThreadPool pool1(1);
+  EXPECT_EQ(pool1.num_threads(), 1u);
+  ThreadPool pool4(4);
+  EXPECT_EQ(pool4.num_threads(), 4u);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, [&](size_t) { calls.fetch_add(1); });
+  pool.ParallelFor(7, 3, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  constexpr size_t kCount = 10000;
+  for (size_t threads : {1u, 2u, 4u, 7u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.ParallelFor(0, kCount,
+                     [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " with " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ThreadPool, NonZeroBeginOffsetsIndices) {
+  ThreadPool pool(4);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(40, 60, [&](size_t i) { hits[i] += 1; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], (i >= 40 && i < 60) ? 1 : 0);
+  }
+}
+
+TEST(ThreadPool, ResultsBitIdenticalAcrossThreadCountsAndGrains) {
+  constexpr size_t kCount = 4096;
+  std::vector<uint64_t> serial(kCount);
+  for (size_t i = 0; i < kCount; ++i) serial[i] = Mix(i);
+
+  const size_t hw = ThreadPool::DefaultThreads();
+  for (size_t threads : {size_t{1}, size_t{2}, hw}) {
+    for (size_t grain : {size_t{0}, size_t{1}, size_t{64}, kCount * 2}) {
+      ThreadPool pool(threads);
+      std::vector<uint64_t> parallel(kCount, 0);
+      pool.ParallelFor(0, kCount, [&](size_t i) { parallel[i] = Mix(i); },
+                       grain);
+      ASSERT_EQ(parallel, serial)
+          << "threads=" << threads << " grain=" << grain;
+    }
+  }
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossManyCalls) {
+  ThreadPool pool(4);
+  uint64_t expected = 0;
+  for (size_t i = 0; i < 256; ++i) expected += Mix(i);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<uint64_t> out(256, 0);
+    pool.ParallelFor(0, out.size(), [&](size_t i) { out[i] = Mix(i); });
+    const uint64_t sum = std::accumulate(out.begin(), out.end(), uint64_t{0});
+    ASSERT_EQ(sum, expected) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsSeriallyWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64 * 64);
+  pool.ParallelFor(0, 64, [&](size_t outer) {
+    pool.ParallelFor(0, 64, [&](size_t inner) {
+      hits[outer * 64 + inner].fetch_add(1);
+    });
+  });
+  for (size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, SharedPoolWorks) {
+  std::vector<uint64_t> out(1000, 0);
+  ThreadPool::Shared().ParallelFor(0, out.size(),
+                                   [&](size_t i) { out[i] = Mix(i); });
+  for (size_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], Mix(i));
+}
+
+TEST(ThreadPool, StressManySmallJobs) {
+  // Exercises the wake/sleep handshake under contention (TSan target).
+  ThreadPool pool(4);
+  std::atomic<uint64_t> total{0};
+  for (int round = 0; round < 500; ++round) {
+    pool.ParallelFor(0, 8, [&](size_t i) {
+      total.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 500u * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+}
+
+}  // namespace
+}  // namespace scec
