@@ -9,6 +9,7 @@
 // view stays ITS-secure (fresh pads per recovery round).
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 
 #include "common/cli.h"
@@ -17,6 +18,8 @@
 #include "linalg/matrix_ops.h"
 #include "sim/fault_tolerant_protocol.h"
 #include "sim/faults.h"
+#include "sim/metrics.h"
+#include "telemetry.h"
 #include "workload/device_profiles.h"
 
 int main(int argc, char** argv) {
@@ -24,13 +27,22 @@ int main(int argc, char** argv) {
   int64_t l = 96;
   int64_t fleet_size = 12;
   int64_t seed = 9;
+  std::string metrics_csv;
+  std::string metrics_json;
+  scec::bench::TelemetryFlags telemetry;
   scec::CliParser cli("fault_recovery",
                       "fault-tolerant SCEC latency/cost vs device faults");
   cli.AddInt("m", &m, "rows of A");
   cli.AddInt("l", &l, "row width");
   cli.AddInt("fleet", &fleet_size, "campus fleet size");
   cli.AddInt("seed", &seed, "RNG seed");
+  cli.AddString("run-metrics-csv", &metrics_csv,
+                "write per-scenario run+recovery metrics CSV here");
+  cli.AddString("run-metrics-json", &metrics_json,
+                "write per-scenario run+recovery metrics JSON lines here");
+  scec::bench::AddTelemetryFlags(&cli, &telemetry);
   if (!cli.Parse(argc, argv)) return 1;
+  scec::bench::StartTelemetry(telemetry);
 
   scec::Xoshiro256StarStar rng(static_cast<uint64_t>(seed));
   scec::McscecProblem problem;
@@ -55,6 +67,12 @@ int main(int argc, char** argv) {
   scec::TablePrinter table({"fault", "query(ms)", "overhead", "rounds",
                             "rows replanned", "plan cost x", "decoded",
                             "ITS"});
+  // Scenario metrics accumulate through the unified src/sim serialisers
+  // (sim::ToJson / sim::ToCsvRow) instead of bench-local formatting.
+  std::string csv_lines = "scenario," + scec::sim::RunMetricsCsvHeader() +
+                          "," + scec::sim::FaultRecoveryMetricsCsvHeader() +
+                          "\n";
+  std::string json_lines;
   bool ok = true;
   double baseline_ms = -1.0;
   // Scenario list: 0..max_crashes fail-stop devices, then one corruption.
@@ -99,6 +117,11 @@ int main(int argc, char** argv) {
             : 1.0;
     ok = ok && exact && secure;
     if (scenario > 0) ok = ok && query_ms >= baseline_ms;
+    csv_lines += label + "," + scec::sim::ToCsvRow(protocol.metrics()) + "," +
+                 scec::sim::ToCsvRow(recovery) + "\n";
+    json_lines += "{\"scenario\":\"" + label +
+                  "\",\"run\":" + scec::sim::ToJson(protocol.metrics()) +
+                  ",\"recovery\":" + scec::sim::ToJson(recovery) + "}\n";
     table.AddRow({label, scec::FormatDouble(query_ms, 4),
                   scec::FormatDouble(overhead, 2) + "x",
                   std::to_string(recovery.recovery_rounds),
@@ -107,6 +130,20 @@ int main(int argc, char** argv) {
                   exact ? "exact" : "WRONG", secure ? "OK" : "LEAK"});
   }
   table.Print(std::cout);
+
+  auto write_file = [](const std::string& path, const std::string& body) {
+    if (path.empty()) return true;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot open " << path << "\n";
+      return false;
+    }
+    out << body;
+    return true;
+  };
+  ok = write_file(metrics_csv, csv_lines) && ok;
+  ok = write_file(metrics_json, json_lines) && ok;
+  ok = scec::bench::ExportTelemetry(telemetry) && ok;
 
   std::cout << (ok ? "  [PASS] " : "  [FAIL] ")
             << "every fault scenario decodes exactly with cumulative ITS "

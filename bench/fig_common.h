@@ -14,6 +14,7 @@
 
 #include "common/cli.h"
 #include "common/string_util.h"
+#include "telemetry.h"
 #include "workload/experiment.h"
 
 namespace scec::bench {
@@ -28,6 +29,7 @@ struct FigFlags {
   int64_t seed = 20190707;
   int64_t threads = 0;  // 0 = hardware concurrency
   std::string csv;      // write CSV here when nonempty
+  TelemetryFlags telemetry;
 };
 
 inline bool ParseFigFlags(const char* name, const char* description, int argc,
@@ -43,7 +45,10 @@ inline bool ParseFigFlags(const char* name, const char* description, int argc,
   cli.AddInt("threads", &flags->threads,
              "worker threads (0 = hardware concurrency)");
   cli.AddString("csv", &flags->csv, "optional CSV output path");
-  return cli.Parse(argc, argv);
+  AddTelemetryFlags(&cli, &flags->telemetry);
+  if (!cli.Parse(argc, argv)) return false;
+  StartTelemetry(flags->telemetry);
+  return true;
 }
 
 inline ExperimentDefaults ToDefaults(const FigFlags& flags) {
@@ -70,6 +75,7 @@ inline void EmitResult(const SweepResult& result, const FigFlags& flags) {
       std::cout << "CSV written to " << flags.csv << "\n";
     }
   }
+  ExportTelemetry(flags.telemetry);
 }
 
 // Prints a reproduction-check line; returns 1 on failure for exit codes.

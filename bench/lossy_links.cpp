@@ -6,12 +6,15 @@
 // latency grows roughly with 1/(1−p) plus timeout penalties, correctness is
 // never affected (the decode is bit-exact at every loss rate).
 
+#include <fstream>
 #include <iostream>
 
 #include "common/cli.h"
 #include "common/csv.h"
 #include "common/string_util.h"
+#include "sim/metrics.h"
 #include "sim/simulation.h"
+#include "telemetry.h"
 #include "workload/device_profiles.h"
 
 int main(int argc, char** argv) {
@@ -19,13 +22,19 @@ int main(int argc, char** argv) {
   int64_t l = 128;
   int64_t fleet_size = 12;
   int64_t seed = 9;
+  std::string metrics_csv;
+  scec::bench::TelemetryFlags telemetry;
   scec::CliParser cli("lossy_links",
                       "SCEC completion time vs per-message loss rate");
   cli.AddInt("m", &m, "rows of A");
   cli.AddInt("l", &l, "row width");
   cli.AddInt("fleet", &fleet_size, "campus fleet size");
   cli.AddInt("seed", &seed, "RNG seed");
+  cli.AddString("run-metrics-csv", &metrics_csv,
+                "write per-loss-rate run metrics CSV here");
+  scec::bench::AddTelemetryFlags(&cli, &telemetry);
   if (!cli.Parse(argc, argv)) return 1;
+  scec::bench::StartTelemetry(telemetry);
 
   scec::Xoshiro256StarStar rng(static_cast<uint64_t>(seed));
   scec::McscecProblem problem;
@@ -36,6 +45,8 @@ int main(int argc, char** argv) {
   const auto x = scec::RandomVector<double>(problem.l, rng);
 
   scec::TablePrinter table({"loss", "staging(ms)", "query(ms)", "decoded"});
+  std::string csv_lines =
+      "loss," + scec::sim::RunMetricsCsvHeader() + "\n";
   int failures = 0;
   double baseline_total = -1.0;
   double worst_total = -1.0;
@@ -56,6 +67,8 @@ int main(int argc, char** argv) {
     if (loss == 0.0) baseline_total = total;
     worst_total = std::max(worst_total, total);
     if (!result->metrics.decoded_correctly) ++failures;
+    csv_lines += scec::FormatDouble(loss, 3) + "," +
+                 scec::sim::ToCsvRow(result->metrics) + "\n";
     table.AddRow(
         {scec::FormatDouble(loss, 3),
          scec::FormatDouble(result->metrics.staging_completion_time * 1e3, 6),
@@ -64,7 +77,19 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout);
 
-  const bool ok = failures == 0 && worst_total > baseline_total;
+  bool io_ok = true;
+  if (!metrics_csv.empty()) {
+    std::ofstream out(metrics_csv);
+    if (out) {
+      out << csv_lines;
+    } else {
+      std::cerr << "cannot open " << metrics_csv << "\n";
+      io_ok = false;
+    }
+  }
+  io_ok = scec::bench::ExportTelemetry(telemetry) && io_ok;
+
+  const bool ok = io_ok && failures == 0 && worst_total > baseline_total;
   std::cout << (ok ? "  [PASS] " : "  [FAIL] ")
             << "every loss rate decodes exactly; loss only costs time ("
             << scec::FormatDouble(baseline_total * 1e3, 5) << " ms -> "

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "telemetry.h"
+
 #include "allocation/lower_bound.h"
 #include "allocation/ta1.h"
 #include "allocation/ta2.h"
@@ -88,4 +90,4 @@ BENCHMARK(BM_FullPlanning)->RangeMultiplier(8)->Range(8, 512);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SCEC_BENCHMARK_MAIN();

@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "telemetry.h"
+
 #include "core/scec.h"
 #include "linalg/batch_kernels.h"
 #include "linalg/matrix_ops.h"
@@ -197,4 +199,4 @@ BENCHMARK(BM_QueryAllocatingGf61);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SCEC_BENCHMARK_MAIN();

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "telemetry.h"
+
 #include "coding/encoder.h"
 #include "linalg/matrix_ops.h"
 
@@ -93,4 +95,4 @@ BENCHMARK(BM_DeviceShareMultiply)->RangeMultiplier(4)->Range(16, 4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SCEC_BENCHMARK_MAIN();

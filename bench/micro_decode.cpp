@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "telemetry.h"
+
 #include <algorithm>
 
 #include "coding/decoder.h"
@@ -92,4 +94,4 @@ BENCHMARK(BM_LocalRecompute)->RangeMultiplier(4)->Range(64, 16384);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SCEC_BENCHMARK_MAIN();

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "telemetry.h"
+
 #include "common/rng.h"
 #include "field/gf256.h"
 #include "field/gf_prime.h"
@@ -61,4 +63,4 @@ BENCHMARK(BM_RankGf61)->RangeMultiplier(2)->Range(16, 256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SCEC_BENCHMARK_MAIN();

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "telemetry.h"
+
 #include "core/scec.h"
 #include "linalg/matrix_ops.h"
 #include "workload/distributions.h"
@@ -99,4 +101,4 @@ BENCHMARK(BM_QueryBatch32)->RangeMultiplier(4)->Range(16, 1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SCEC_BENCHMARK_MAIN();

@@ -17,6 +17,7 @@
 #include "common/string_util.h"
 #include "core/redundancy.h"
 #include "sim/redundant_protocol.h"
+#include "telemetry.h"
 #include "workload/distributions.h"
 
 namespace {
@@ -52,6 +53,7 @@ int main(int argc, char** argv) {
   int64_t max_replication = 3;
   double straggler_rate = 0.8;
   int64_t seed = 5;
+  scec::bench::TelemetryFlags telemetry;
   scec::CliParser cli("redundancy_latency",
                       "tail latency vs replication factor under stragglers");
   cli.AddInt("m", &m, "rows of A");
@@ -62,7 +64,9 @@ int main(int argc, char** argv) {
   cli.AddDouble("straggler-rate", &straggler_rate,
                 "exponential slowdown rate (smaller = heavier tail)");
   cli.AddInt("seed", &seed, "RNG seed");
+  scec::bench::AddTelemetryFlags(&cli, &telemetry);
   if (!cli.Parse(argc, argv)) return 1;
+  scec::bench::StartTelemetry(telemetry);
 
   const auto problem =
       MakeProblem(static_cast<size_t>(m), static_cast<size_t>(l),
@@ -119,6 +123,7 @@ int main(int argc, char** argv) {
                   scec::FormatDouble(wins.mean(), 4)});
   }
   table.Print(std::cout);
+  scec::bench::ExportTelemetry(telemetry);
 
   const bool improved = best_p99 < baseline_p99;
   std::cout << (improved ? "  [PASS] " : "  [FAIL] ")

@@ -15,6 +15,7 @@
 #include "common/string_util.h"
 #include "core/pipeline.h"
 #include "sim/simulation.h"
+#include "telemetry.h"
 #include "workload/distributions.h"
 
 namespace {
@@ -47,13 +48,16 @@ int main(int argc, char** argv) {
   int64_t l = 256;
   int64_t k = 17;
   int64_t seed = 11;
+  scec::bench::TelemetryFlags telemetry;
   scec::CliParser cli("sim_completion_time",
                       "simulated completion time across r (Remark 1)");
   cli.AddInt("m", &m, "rows of A");
   cli.AddInt("l", &l, "row width");
   cli.AddInt("k", &k, "edge devices");
   cli.AddInt("seed", &seed, "RNG seed");
+  scec::bench::AddTelemetryFlags(&cli, &telemetry);
   if (!cli.Parse(argc, argv)) return 1;
+  scec::bench::StartTelemetry(telemetry);
 
   const scec::McscecProblem problem =
       MakeProblem(static_cast<size_t>(m), static_cast<size_t>(l),
@@ -136,6 +140,7 @@ int main(int argc, char** argv) {
   }
   (void)prev_query;
   table.Print(std::cout);
+  scec::bench::ExportTelemetry(telemetry);
 
   std::cout << (failures == 0 ? "  [PASS] " : "  [FAIL] ")
             << "all simulated runs decoded A*x correctly\n"

@@ -15,6 +15,7 @@
 #include "common/string_util.h"
 #include "core/pipeline.h"
 #include "sim/protocol.h"
+#include "telemetry.h"
 #include "workload/device_profiles.h"
 
 int main(int argc, char** argv) {
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
   int64_t fleet_size = 12;
   int64_t max_depth = 64;
   int64_t seed = 3;
+  scec::bench::TelemetryFlags telemetry;
   scec::CliParser cli("sim_throughput",
                       "pipelined query throughput vs stop-and-wait");
   cli.AddInt("m", &m, "rows of A");
@@ -30,7 +32,9 @@ int main(int argc, char** argv) {
   cli.AddInt("fleet", &fleet_size, "campus fleet size");
   cli.AddInt("max-depth", &max_depth, "largest stream depth");
   cli.AddInt("seed", &seed, "RNG seed");
+  scec::bench::AddTelemetryFlags(&cli, &telemetry);
   if (!cli.Parse(argc, argv)) return 1;
+  scec::bench::StartTelemetry(telemetry);
 
   scec::Xoshiro256StarStar rng(static_cast<uint64_t>(seed));
   scec::McscecProblem problem;
@@ -86,6 +90,7 @@ int main(int argc, char** argv) {
   }
   (void)prev_speedup;
   table.Print(std::cout);
+  scec::bench::ExportTelemetry(telemetry);
   std::cout << (failures == 0 ? "  [PASS] " : "  [FAIL] ")
             << "pipelining never loses to stop-and-wait at depth > 1\n";
   return failures == 0 ? 0 : 1;

@@ -1,0 +1,114 @@
+// SPDX-License-Identifier: MIT
+//
+// Telemetry flags shared by every bench binary:
+//
+//   --trace-out=PATH    enable span tracing (obs/trace.h) and write the ring
+//                       as Chrome trace_event JSON (about:tracing / Perfetto)
+//                       when the workload finishes;
+//   --metrics-out=PATH  write the global metrics registry as a JSON snapshot.
+//
+// Plain CLI binaries register the flags through AddTelemetryFlags() and call
+// StartTelemetry() after parsing / ExportTelemetry() before exiting.
+// google-benchmark binaries use SCEC_BENCHMARK_MAIN() instead of
+// BENCHMARK_MAIN(): it consumes the two flags before benchmark::Initialize
+// (which rejects unknown arguments) and exports on the way out.
+
+#pragma once
+
+#include <cstring>
+#include <string>
+
+#include "common/cli.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+
+namespace scec::bench {
+
+struct TelemetryFlags {
+  std::string trace_out;    // Chrome trace JSON path ("" = tracing off)
+  std::string metrics_out;  // metrics JSON snapshot path ("" = off)
+};
+
+inline void AddTelemetryFlags(CliParser* cli, TelemetryFlags* flags) {
+  cli->AddString("trace-out", &flags->trace_out,
+                 "enable tracing; write Chrome trace JSON here on exit");
+  cli->AddString("metrics-out", &flags->metrics_out,
+                 "write metrics JSON snapshot here on exit");
+}
+
+// Call once after flag parsing, before the workload runs.
+inline void StartTelemetry(const TelemetryFlags& flags) {
+  if (!flags.trace_out.empty()) {
+    scec::obs::Tracer::Global().Enable(true);
+  }
+  if (!flags.metrics_out.empty()) {
+    scec::obs::MetricsRegistry::Global();  // force registration before work
+  }
+}
+
+// Call once after the workload. Returns false if a file could not be
+// written (a warning is logged either way).
+inline bool ExportTelemetry(const TelemetryFlags& flags) {
+  bool ok = true;
+  if (!flags.trace_out.empty()) {
+    ok = scec::obs::ExportTraceFile(flags.trace_out) && ok;
+  }
+  if (!flags.metrics_out.empty()) {
+    ok = scec::obs::ExportMetricsJsonFile(flags.metrics_out) && ok;
+  }
+  return ok;
+}
+
+// Strips --trace-out/--metrics-out (both "--flag=value" and "--flag value"
+// forms) from argv before google-benchmark sees them. Returns the parsed
+// flags; argc is updated in place.
+inline TelemetryFlags ConsumeTelemetryArgs(int* argc, char** argv) {
+  TelemetryFlags flags;
+  auto match = [](const char* arg, const char* name,
+                  std::string* out) -> int {
+    const size_t name_len = std::strlen(name);
+    if (std::strncmp(arg, name, name_len) != 0) return 0;
+    if (arg[name_len] == '=') {
+      *out = arg + name_len + 1;
+      return 1;  // consumed this token
+    }
+    if (arg[name_len] == '\0') return 2;  // value is the next token
+    return 0;
+  };
+  int write = 1;
+  for (int read = 1; read < *argc; ++read) {
+    std::string* target = nullptr;
+    int kind = match(argv[read], "--trace-out", &flags.trace_out);
+    if (kind != 0) {
+      target = &flags.trace_out;
+    } else {
+      kind = match(argv[read], "--metrics-out", &flags.metrics_out);
+      if (kind != 0) target = &flags.metrics_out;
+    }
+    if (kind == 0) {
+      argv[write++] = argv[read];
+    } else if (kind == 2 && read + 1 < *argc) {
+      *target = argv[++read];
+    }
+  }
+  *argc = write;
+  return flags;
+}
+
+}  // namespace scec::bench
+
+// Drop-in replacement for BENCHMARK_MAIN() that accepts the telemetry
+// flags. Only valid in a TU that includes <benchmark/benchmark.h>.
+#define SCEC_BENCHMARK_MAIN()                                               \
+  int main(int argc, char** argv) {                                        \
+    const ::scec::bench::TelemetryFlags scec_telemetry =                   \
+        ::scec::bench::ConsumeTelemetryArgs(&argc, argv);                  \
+    ::scec::bench::StartTelemetry(scec_telemetry);                         \
+    ::benchmark::Initialize(&argc, argv);                                  \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;    \
+    ::benchmark::RunSpecifiedBenchmarks();                                 \
+    ::benchmark::Shutdown();                                               \
+    ::scec::bench::ExportTelemetry(scec_telemetry);                        \
+    return 0;                                                              \
+  }                                                                        \
+  static_assert(true, "require a trailing semicolon")

@@ -3,8 +3,10 @@
 #include "coding/security_check.h"
 
 #include <sstream>
+#include <string>
 
 #include "linalg/elimination.h"
+#include "obs/trace.h"
 
 namespace scec {
 
@@ -50,6 +52,12 @@ SchemeSecurityReport VerifyEncodingMatrix(
   // checks. All are independent exact-rank computations writing disjoint
   // slots, so the report is identical for every pool size.
   auto run_check = [&](size_t task) {
+    obs::SpanGuard span(
+        [&] {
+          return task == 0 ? std::string("its_check/availability_rank")
+                           : "its_check/device " + std::to_string(task - 1);
+        },
+        "security");
     if (task == 0) {
       report.b_rank = RankOf(b);
       return;

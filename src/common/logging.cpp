@@ -2,7 +2,12 @@
 
 #include "common/logging.h"
 
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <iostream>
+
+#include "obs/export.h"
 
 namespace scec {
 
@@ -21,16 +26,51 @@ Logger& Logger::Instance() {
   return logger;
 }
 
+double Logger::MonotonicSeconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+uint64_t Logger::ThreadId() {
+  static std::atomic<uint64_t> next{1};
+  thread_local const uint64_t id = next.fetch_add(1);
+  return id;
+}
+
 void Logger::set_sink(std::ostream* sink) {
   std::lock_guard<std::mutex> lock(mutex_);
   sink_ = sink;
 }
 
 void Logger::Write(LogLevel level, const std::string& message) {
-  if (level < min_level_) return;
+  if (level < min_level()) return;
+  const LogFormat fmt = format();
+  // Stamp outside the lock: only the sink write needs serialising.
+  const double ts = MonotonicSeconds();
+  const uint64_t tid = ThreadId();
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostream& os = sink_ != nullptr ? *sink_ : std::cerr;
-  os << "[" << LogLevelName(level) << "] " << message << "\n";
+  switch (fmt) {
+    case LogFormat::kPlain:
+      os << "[" << LogLevelName(level) << "] " << message << "\n";
+      break;
+    case LogFormat::kText: {
+      char ts_buf[32];
+      std::snprintf(ts_buf, sizeof(ts_buf), "%.6f", ts);
+      os << "[" << LogLevelName(level) << "] " << ts_buf << " tid=" << tid
+         << " " << message << "\n";
+      break;
+    }
+    case LogFormat::kJson: {
+      char ts_buf[32];
+      std::snprintf(ts_buf, sizeof(ts_buf), "%.6f", ts);
+      os << "{\"ts_s\":" << ts_buf << ",\"level\":\"" << LogLevelName(level)
+         << "\",\"tid\":" << tid << ",\"msg\":\""
+         << obs::JsonEscape(message) << "\"}\n";
+      break;
+    }
+  }
 }
 
 }  // namespace scec

@@ -1,11 +1,24 @@
 // SPDX-License-Identifier: MIT
 //
-// Minimal leveled logger. Single global sink (stderr by default); thread-safe
-// enough for this codebase (the simulator is single-threaded; experiments may
-// shard across threads, each writing whole lines).
+// Minimal leveled logger with structured output. Single global sink (stderr
+// by default) and three line formats:
+//
+//   kPlain — "[INFO] message"                       (default; stable format
+//            relied on by tests and log-scraping scripts)
+//   kText  — "[INFO] 12.345678 tid=3 message"       (monotonic seconds since
+//            process start + dense thread id)
+//   kJson  — {"ts_s":12.345678,"level":"INFO","tid":3,"msg":"message"}
+//            one JSON object per line (JSON-lines), machine-parseable.
+//
+// Thread safety: Deploy/Query run on a thread pool (PR 2), so concurrent
+// LogLine writers are the norm, not the exception. Each LogLine buffers its
+// whole message and hands it to Logger::Write, which formats and writes the
+// entire line under one mutex — lines never interleave. Level filtering and
+// format selection are atomics, safe to flip while other threads log.
 
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <ostream>
 #include <sstream>
@@ -14,6 +27,7 @@
 namespace scec {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+enum class LogFormat { kPlain = 0, kText = 1, kJson = 2 };
 
 const char* LogLevelName(LogLevel level);
 
@@ -21,19 +35,34 @@ class Logger {
  public:
   static Logger& Instance();
 
-  void set_min_level(LogLevel level) { min_level_ = level; }
-  LogLevel min_level() const { return min_level_; }
+  void set_min_level(LogLevel level) {
+    min_level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel min_level() const {
+    return min_level_.load(std::memory_order_relaxed);
+  }
+
+  void set_format(LogFormat format) {
+    format_.store(format, std::memory_order_relaxed);
+  }
+  LogFormat format() const { return format_.load(std::memory_order_relaxed); }
 
   // Redirect output (tests). Pass nullptr to restore stderr.
   void set_sink(std::ostream* sink);
 
   void Write(LogLevel level, const std::string& message);
 
+  // Monotonic seconds since the first Logger use in this process.
+  static double MonotonicSeconds();
+  // Dense id (1, 2, ...) of the calling thread, stable for its lifetime.
+  static uint64_t ThreadId();
+
  private:
   Logger() = default;
   std::mutex mutex_;
-  LogLevel min_level_ = LogLevel::kInfo;
-  std::ostream* sink_ = nullptr;
+  std::atomic<LogLevel> min_level_{LogLevel::kInfo};
+  std::atomic<LogFormat> format_{LogFormat::kPlain};
+  std::ostream* sink_ = nullptr;  // guarded by mutex_
 };
 
 namespace internal {

@@ -3,7 +3,12 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace scec {
 namespace {
@@ -13,13 +18,45 @@ namespace {
 // deadlocking on the pool they are already inside.
 thread_local bool t_inside_parallel_region = false;
 
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
+
+// All instruments live in the global registry, so concurrent pools (tests,
+// benches) aggregate into one process-wide view. Busy time is recorded per
+// participant slot; slot 0 is always the ParallelFor caller.
+struct ThreadPool::PoolMetrics {
+  obs::Counter& jobs;
+  obs::Counter& chunks;
+  obs::Gauge& jobs_inflight;
+  std::vector<obs::Counter*> busy_ns;  // by participant slot
+
+  explicit PoolMetrics(size_t num_threads)
+      : jobs(obs::MetricsRegistry::Global().GetCounter(
+            "scec_pool_jobs_total")),
+        chunks(obs::MetricsRegistry::Global().GetCounter(
+            "scec_pool_chunks_total")),
+        jobs_inflight(obs::MetricsRegistry::Global().GetGauge(
+            "scec_pool_jobs_inflight")) {
+    busy_ns.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      busy_ns.push_back(&obs::MetricsRegistry::Global().GetCounter(
+          "scec_pool_busy_ns", {{"worker", std::to_string(i)}}));
+    }
+  }
+};
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = DefaultThreads();
+  metrics_ = std::make_unique<PoolMetrics>(num_threads);
   workers_.reserve(num_threads - 1);
   for (size_t i = 0; i + 1 < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i + 1); });
   }
 }
 
@@ -46,13 +83,22 @@ ThreadPool& ThreadPool::Shared() {
   return pool;
 }
 
-void ThreadPool::RunChunks(Job& job) {
+void ThreadPool::RunChunks(Job& job, size_t participant) {
+  obs::SpanGuard span(
+      [&] { return "pool_job w" + std::to_string(participant); }, "pool");
+  const uint64_t busy_start = NowNs();
+  uint64_t chunks_run = 0;
   for (;;) {
     const size_t start = job.next.fetch_add(job.grain,
                                             std::memory_order_relaxed);
     if (start >= job.count) break;
+    ++chunks_run;
     const size_t stop = std::min(job.count, start + job.grain);
     for (size_t i = start; i < stop; ++i) (*job.body)(job.begin + i);
+  }
+  if (chunks_run > 0) {
+    metrics_->chunks.Increment(chunks_run);
+    metrics_->busy_ns[participant]->Increment(NowNs() - busy_start);
   }
 }
 
@@ -70,6 +116,8 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, IndexFnRef body,
     // determinism contract) — only load balance.
     grain = std::max<size_t>(1, count / (4 * num_threads()));
   }
+  metrics_->jobs.Increment();
+  metrics_->jobs_inflight.Add(1.0);
 
   Job job;
   job.begin = begin;
@@ -84,7 +132,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, IndexFnRef body,
   work_cv_.notify_all();
 
   t_inside_parallel_region = true;
-  RunChunks(job);
+  RunChunks(job, /*participant=*/0);
   t_inside_parallel_region = false;
 
   std::unique_lock<std::mutex> lock(mu_);
@@ -93,9 +141,10 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, IndexFnRef body,
            job.next.load(std::memory_order_relaxed) >= job.count;
   });
   job_ = nullptr;  // workers only join a job while job_ is set (under mu_)
+  metrics_->jobs_inflight.Add(-1.0);
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
   uint64_t seen_generation = 0;
   for (;;) {
     Job* job = nullptr;
@@ -110,7 +159,7 @@ void ThreadPool::WorkerLoop() {
       ++job->inside;  // caller cannot retire the job while we are inside
     }
     t_inside_parallel_region = true;
-    RunChunks(*job);
+    RunChunks(*job, worker_index);
     t_inside_parallel_region = false;
     {
       std::lock_guard<std::mutex> lock(mu_);

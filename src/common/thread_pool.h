@@ -20,12 +20,20 @@
 //
 // Nesting: a ParallelFor issued from inside a pool worker runs serially on
 // that worker (no deadlock, same results).
+//
+// Telemetry: every pool feeds the global metrics registry (obs/metrics.h) —
+// scec_pool_jobs_total, scec_pool_chunks_total, scec_pool_jobs_inflight and
+// per-participant scec_pool_busy_ns{worker=i} (worker 0 is the calling
+// thread) — one relaxed atomic op per job/chunk, nothing on the per-index
+// path. With tracing enabled (obs/trace.h) each participant's share of a
+// job appears as a wall-clock "pool_job" span on its own thread track.
 
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
@@ -90,8 +98,14 @@ class ThreadPool {
     size_t inside = 0;            // workers currently running chunks (mu_)
   };
 
-  void WorkerLoop();
-  static void RunChunks(Job& job);
+  void WorkerLoop(size_t worker_index);
+  // `participant` is 0 for the ParallelFor caller, 1.. for pool workers.
+  void RunChunks(Job& job, size_t participant);
+
+  // Cached global-registry instruments (obs/metrics.h); set in the ctor so
+  // the hot path never takes the registry lock.
+  struct PoolMetrics;
+  std::unique_ptr<PoolMetrics> metrics_;
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for a job

@@ -2,8 +2,52 @@
 
 #include "core/pipeline.h"
 
+#include <string>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace scec {
 namespace {
+
+template <typename T>
+constexpr const char* ScalarName() {
+  if constexpr (std::is_same_v<T, double>) return "double";
+  if constexpr (std::is_same_v<T, Gf61>) return "gf61";
+  if constexpr (std::is_same_v<T, Gf256>) return "gf256";
+  return "scalar";
+}
+
+// Cached per scalar type: one registry lookup per instantiation, then only
+// relaxed atomics on the hot paths (QueryInto stays allocation-free after
+// its first call).
+template <typename T>
+struct PipelineMetrics {
+  obs::Counter& deploys;
+  obs::Counter& queries;
+  obs::Counter& query_batches;
+  obs::Histogram& deploy_seconds;
+  obs::Histogram& query_seconds;
+  obs::Histogram& query_batch_seconds;
+
+  static const PipelineMetrics& Get() {
+    static const PipelineMetrics metrics{
+        obs::MetricsRegistry::Global().GetCounter(
+            "scec_deploys_total", {{"scalar", ScalarName<T>()}}),
+        obs::MetricsRegistry::Global().GetCounter(
+            "scec_queries_total", {{"scalar", ScalarName<T>()}}),
+        obs::MetricsRegistry::Global().GetCounter(
+            "scec_query_batches_total", {{"scalar", ScalarName<T>()}}),
+        obs::MetricsRegistry::Global().GetHistogram(
+            "scec_deploy_seconds", {{"scalar", ScalarName<T>()}}),
+        obs::MetricsRegistry::Global().GetHistogram(
+            "scec_query_seconds", {{"scalar", ScalarName<T>()}}),
+        obs::MetricsRegistry::Global().GetHistogram(
+            "scec_query_batch_seconds", {{"scalar", ScalarName<T>()}})};
+    return metrics;
+  }
+};
 
 // Per-device row offsets into the concatenated response vector y = B·T·x.
 template <typename T>
@@ -27,23 +71,37 @@ Result<Deployment<T>> Deploy(const McscecProblem& problem, const Matrix<T>& a,
   if (a.rows() != problem.m || a.cols() != problem.l) {
     return InvalidArgument("data matrix does not match problem dimensions");
   }
-  SCEC_ASSIGN_OR_RETURN(Plan plan, PlanMcscec(problem, algorithm));
+  SCEC_TRACE_SPAN("deploy", "pipeline");
+  const Stopwatch stopwatch;
 
   Deployment<T> deployment;
-  deployment.plan = plan;
-  deployment.code = StructuredCode(problem.m, plan.allocation.r);
+  {
+    SCEC_TRACE_SPAN("deploy/plan", "pipeline");
+    SCEC_ASSIGN_OR_RETURN(Plan plan, PlanMcscec(problem, algorithm));
+    deployment.plan = std::move(plan);
+  }
+  deployment.code =
+      StructuredCode(problem.m, deployment.plan.allocation.r);
   deployment.l = problem.l;
 
   if (verify_security) {
+    SCEC_TRACE_SPAN("deploy/security_check", "pipeline");
     SCEC_RETURN_IF_ERROR(
-        CheckSchemeSecure(deployment.code, plan.scheme, pool));
+        CheckSchemeSecure(deployment.code, deployment.plan.scheme, pool));
   }
 
-  EncodedDeployment<T> encoded =
-      EncodeDeployment(deployment.code, plan.scheme, a, rng, pool);
-  deployment.shares = std::move(encoded.shares);
+  {
+    SCEC_TRACE_SPAN("deploy/encode", "pipeline");
+    EncodedDeployment<T> encoded =
+        EncodeDeployment(deployment.code, deployment.plan.scheme, a, rng,
+                         pool);
+    deployment.shares = std::move(encoded.shares);
+  }
   // encoded.pads (the matrix R) is dropped here: the cloud does not need it
   // after distribution, and the user never sees it.
+  const PipelineMetrics<T>& metrics = PipelineMetrics<T>::Get();
+  metrics.deploys.Increment();
+  metrics.deploy_seconds.Observe(stopwatch.ElapsedSeconds());
   return deployment;
 }
 
@@ -62,6 +120,8 @@ std::span<const T> QueryInto(const Deployment<T>& deployment,
   SCEC_CHECK_EQ(x.size(), deployment.l);
   SCEC_CHECK_EQ(ws.y.size(), deployment.code.total_rows());
   SCEC_CHECK_EQ(ws.offsets.size(), deployment.shares.size());
+  SCEC_TRACE_SPAN("query", "pipeline");
+  const Stopwatch stopwatch;
   // Device responses are contiguous blocks of y in scheme order, so each
   // device's MatVec writes straight into its slice of y — no concatenation
   // pass and no allocation.
@@ -72,7 +132,13 @@ std::span<const T> QueryInto(const Deployment<T>& deployment,
   }
   const size_t m = deployment.code.m();
   const size_t r = deployment.code.r();
-  for (size_t p = 0; p < m; ++p) ws.ax[p] = ws.y[r + p] - ws.y[p % r];
+  {
+    SCEC_TRACE_SPAN("query/decode", "pipeline");
+    for (size_t p = 0; p < m; ++p) ws.ax[p] = ws.y[r + p] - ws.y[p % r];
+  }
+  const PipelineMetrics<T>& metrics = PipelineMetrics<T>::Get();
+  metrics.queries.Increment();
+  metrics.query_seconds.Observe(stopwatch.ElapsedSeconds());
   return std::span<const T>(ws.ax);
 }
 
@@ -101,6 +167,9 @@ std::vector<Matrix<T>> ComputeDeviceResponsePanels(
         Matrix<T>(deployment.shares[device].coded_rows.rows(), x.cols());
   }
   auto compute = [&](size_t device) {
+    obs::SpanGuard span(
+        [&] { return "device_response/device " + std::to_string(device); },
+        "pipeline");
     MatMulPanel(deployment.shares[device].coded_rows, x, panels[device]);
   };
   if (pool != nullptr && pool->num_threads() > 1 && num_devices > 1) {
@@ -192,6 +261,8 @@ template <typename T>
 Matrix<T> QueryBatch(const Deployment<T>& deployment, const Matrix<T>& x,
                      ThreadPool* pool) {
   SCEC_CHECK_EQ(x.rows(), deployment.l);
+  SCEC_TRACE_SPAN("query_batch", "pipeline");
+  const Stopwatch stopwatch;
   const size_t m = deployment.code.m();
   const size_t r = deployment.code.r();
   const size_t batch = x.cols();
@@ -206,6 +277,9 @@ Matrix<T> QueryBatch(const Deployment<T>& deployment, const Matrix<T>& x,
   Matrix<T> stacked(m + r, batch);
   std::span<T> sdata = stacked.Data();
   auto compute_device = [&](size_t device) {
+    obs::SpanGuard span(
+        [&] { return "query_batch/device " + std::to_string(device); },
+        "pipeline");
     const Matrix<T>& share = deployment.shares[device].coded_rows;
     MatMulPanelSpan(share, x,
                     sdata.subspan(offsets[device] * batch,
@@ -221,14 +295,20 @@ Matrix<T> QueryBatch(const Deployment<T>& deployment, const Matrix<T>& x,
 
   // User: column-wise subtraction decode.
   Matrix<T> result(m, batch);
-  for (size_t p = 0; p < m; ++p) {
-    auto mixed = stacked.Row(r + p);
-    auto pad = stacked.Row(p % r);
-    auto out = result.Row(p);
-    for (size_t col = 0; col < batch; ++col) {
-      out[col] = mixed[col] - pad[col];
+  {
+    SCEC_TRACE_SPAN("query_batch/decode", "pipeline");
+    for (size_t p = 0; p < m; ++p) {
+      auto mixed = stacked.Row(r + p);
+      auto pad = stacked.Row(p % r);
+      auto out = result.Row(p);
+      for (size_t col = 0; col < batch; ++col) {
+        out[col] = mixed[col] - pad[col];
+      }
     }
   }
+  const PipelineMetrics<T>& metrics = PipelineMetrics<T>::Get();
+  metrics.query_batches.Increment();
+  metrics.query_batch_seconds.Observe(stopwatch.ElapsedSeconds());
   return result;
 }
 

@@ -73,7 +73,11 @@
 #include "linalg/batch_kernels.h"
 
 #include <chrono>
+#include <string>
 #include <vector>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
 
 #if defined(__x86_64__) && defined(__GNUC__)
 #include <immintrin.h>
@@ -463,7 +467,12 @@ bool Gf61IfmaAvailable() {
 // problem (best of kReps to shed scheduler noise) and cache the winner.
 // Both kernels return identical canonical values, so the choice never
 // affects results.
-bool Gf61IfmaWinsCalibration() {
+struct CalibrationTimes {
+  double mul32_ns = 0.0;
+  double ifma_ns = 0.0;
+};
+
+CalibrationTimes MeasureGf61Calibration() {
   constexpr size_t kRows = 32, kL = 256, kB = 16, kReps = 5;
   std::vector<Elem> a(kRows * kL), out(kRows * kB);
   std::vector<uint64_t> scratch(2 * kL);
@@ -498,12 +507,22 @@ bool Gf61IfmaWinsCalibration() {
                       scratch.data() + kL, out.data(), kL, kB, 0, kRows, 0,
                       kB);
   });
-  return ifma < mul32;
+  CalibrationTimes times;
+  times.mul32_ns =
+      std::chrono::duration<double, std::nano>(mul32).count();
+  times.ifma_ns = std::chrono::duration<double, std::nano>(ifma).count();
+  return times;
+}
+
+const CalibrationTimes& Gf61CalibrationTimes() {
+  static const CalibrationTimes times = MeasureGf61Calibration();
+  return times;
 }
 
 bool Gf61UseIfma() {
   static const bool use_ifma =
-      Gf61IfmaAvailable() && Gf61IfmaWinsCalibration();
+      Gf61IfmaAvailable() &&
+      Gf61CalibrationTimes().ifma_ns < Gf61CalibrationTimes().mul32_ns;
   return use_ifma;
 }
 
@@ -513,6 +532,9 @@ bool Gf61UseIfma() {
 
 void PanelRowsGf61(const Matrix<Elem>& a, const Matrix<Elem>& x,
                    std::span<Elem> out, size_t row_begin, size_t row_end) {
+  // First panel call publishes the calibration outcome (metrics + one kInfo
+  // line); afterwards this is a single static-init guard check.
+  Gf61KernelTier();
   const size_t l = a.cols();
   const size_t b = x.cols();
   const Elem* adata = a.Data().data();
@@ -552,3 +574,45 @@ void PanelRowsGf61(const Matrix<Elem>& a, const Matrix<Elem>& x,
 }
 
 }  // namespace scec::kernel_internal
+
+namespace scec {
+
+const Gf61KernelReport& Gf61KernelTier() {
+  static const Gf61KernelReport report = [] {
+    Gf61KernelReport r;
+#if SCEC_GF61_AVX512
+    if (kernel_internal::Gf61Avx512Available()) {
+      if (kernel_internal::Gf61IfmaAvailable()) {
+        const auto& times = kernel_internal::Gf61CalibrationTimes();
+        r.calibrated = true;
+        r.mul32_best_ns = times.mul32_ns;
+        r.ifma_best_ns = times.ifma_ns;
+        r.tier = kernel_internal::Gf61UseIfma() ? "avx512-ifma"
+                                                : "avx512-mul32";
+      } else {
+        r.tier = "avx512-mul32";
+      }
+    }
+#endif
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetGauge("scec_gf61_kernel_tier", {{"tier", r.tier}}).Set(1.0);
+    if (r.calibrated) {
+      registry
+          .GetGauge("scec_gf61_calibration_best_ns", {{"tier", "mul32"}})
+          .Set(r.mul32_best_ns);
+      registry.GetGauge("scec_gf61_calibration_best_ns", {{"tier", "ifma"}})
+          .Set(r.ifma_best_ns);
+    }
+    SCEC_LOG(kInfo) << "gf61 panel kernel tier: " << r.tier
+                    << (r.calibrated
+                            ? " (calibration best-of ns: mul32=" +
+                                  std::to_string(r.mul32_best_ns) +
+                                  ", ifma=" + std::to_string(r.ifma_best_ns) +
+                                  ")"
+                            : "");
+    return r;
+  }();
+  return report;
+}
+
+}  // namespace scec

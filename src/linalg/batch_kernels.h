@@ -153,4 +153,18 @@ Matrix<T> MatVecBatch(const Matrix<T>& a, const Matrix<T>& x,
   return out;
 }
 
+// Which GF(2^61−1) panel tier the runtime dispatch selected, and — when the
+// host offered both vector tiers — the one-time timing calibration that
+// picked it. The first call (or the first Gf61 panel product) publishes the
+// outcome to the global metrics registry (scec_gf61_kernel_tier,
+// scec_gf61_calibration_best_ns) and logs one kInfo line, so benchmark
+// telemetry records which kernel produced its numbers.
+struct Gf61KernelReport {
+  const char* tier = "scalar";  // "scalar" | "avx512-mul32" | "avx512-ifma"
+  bool calibrated = false;      // both vector tiers were timed on this host
+  double mul32_best_ns = 0.0;   // best-of-5 panel timing per tier
+  double ifma_best_ns = 0.0;
+};
+const Gf61KernelReport& Gf61KernelTier();
+
 }  // namespace scec

@@ -1,0 +1,216 @@
+// SPDX-License-Identifier: MIT
+
+#include "obs/export.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace scec::obs {
+namespace {
+
+// %.17g loses nothing for doubles and keeps integers readable.
+std::string NumberRepr(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void WriteLabelsJson(std::ostream& os, const LabelSet& labels) {
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << JsonEscape(k) << "\":\"" << JsonEscape(v) << '"';
+  }
+  os << '}';
+}
+
+std::string PrometheusSeriesName(const MetricsRegistry::Series& series,
+                                 const std::string& suffix = "",
+                                 const std::string& extra_label = "") {
+  std::string out = series.name + suffix;
+  if (series.labels.empty() && extra_label.empty()) return out;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : series.labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + v + '"';
+  }
+  if (!extra_label.empty()) {
+    if (!first) out += ',';
+    out += extra_label;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteChromeTrace(std::ostream& os, const std::vector<TraceEvent>& events,
+                      uint64_t dropped) {
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
+     << dropped << "},\"traceEvents\":[";
+  // Name the two clock-domain "processes" so the viewer labels them.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kWallPid
+     << ",\"tid\":0,\"args\":{\"name\":\"wall clock\"}},";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kSimPid
+     << ",\"tid\":0,\"args\":{\"name\":\"simulated time\"}}";
+  for (const TraceEvent& event : events) {
+    os << ",{\"name\":\"" << JsonEscape(event.name) << "\",\"cat\":\""
+       << JsonEscape(event.category) << "\",\"ph\":\"" << event.phase
+       << "\",\"ts\":" << NumberRepr(event.ts_us);
+    if (event.phase == 'X') os << ",\"dur\":" << NumberRepr(event.dur_us);
+    os << ",\"pid\":" << event.pid << ",\"tid\":" << event.tid;
+    if (event.phase == 'i') os << ",\"s\":\"t\"";
+    os << ",\"args\":{\"span_id\":" << event.id << ",\"parent_id\":"
+       << event.parent << "}}";
+  }
+  os << "]}\n";
+}
+
+void WritePrometheusText(std::ostream& os, const MetricsRegistry& registry) {
+  for (const MetricsRegistry::Series& series : registry.Snapshot()) {
+    if (series.counter != nullptr) {
+      os << "# TYPE " << series.name << " counter\n";
+      os << PrometheusSeriesName(series) << ' ' << series.counter->value()
+         << '\n';
+    } else if (series.gauge != nullptr) {
+      os << "# TYPE " << series.name << " gauge\n";
+      os << PrometheusSeriesName(series) << ' '
+         << NumberRepr(series.gauge->value()) << '\n';
+    } else if (series.histogram != nullptr) {
+      const Histogram& h = *series.histogram;
+      os << "# TYPE " << series.name << " histogram\n";
+      const std::vector<uint64_t> cumulative = h.CumulativeCounts();
+      const std::vector<double>& bounds = h.upper_bounds();
+      for (size_t i = 0; i < bounds.size(); ++i) {
+        os << PrometheusSeriesName(series, "_bucket",
+                                   "le=\"" + NumberRepr(bounds[i]) + "\"")
+           << ' ' << cumulative[i] << '\n';
+      }
+      os << PrometheusSeriesName(series, "_bucket", "le=\"+Inf\"") << ' '
+         << cumulative.back() << '\n';
+      os << PrometheusSeriesName(series, "_sum") << ' '
+         << NumberRepr(h.sum()) << '\n';
+      os << PrometheusSeriesName(series, "_count") << ' ' << h.count()
+         << '\n';
+    }
+  }
+}
+
+void WriteMetricsJson(std::ostream& os, const MetricsRegistry& registry) {
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const MetricsRegistry::Series& series : registry.Snapshot()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << JsonEscape(series.name) << "\",\"labels\":";
+    WriteLabelsJson(os, series.labels);
+    if (series.counter != nullptr) {
+      os << ",\"type\":\"counter\",\"value\":" << series.counter->value();
+    } else if (series.gauge != nullptr) {
+      os << ",\"type\":\"gauge\",\"value\":"
+         << NumberRepr(series.gauge->value());
+    } else if (series.histogram != nullptr) {
+      const Histogram& h = *series.histogram;
+      os << ",\"type\":\"histogram\",\"count\":" << h.count()
+         << ",\"sum\":" << NumberRepr(h.sum())
+         << ",\"p50\":" << NumberRepr(h.P50())
+         << ",\"p95\":" << NumberRepr(h.P95())
+         << ",\"p99\":" << NumberRepr(h.P99());
+    }
+    os << '}';
+  }
+  os << "]}\n";
+}
+
+bool ExportTraceFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    SCEC_LOG(kWarning) << "cannot open trace output path " << path;
+    return false;
+  }
+  Tracer& tracer = Tracer::Global();
+  WriteChromeTrace(out, tracer.Snapshot(), tracer.dropped());
+  return static_cast<bool>(out);
+}
+
+bool ExportMetricsJsonFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    SCEC_LOG(kWarning) << "cannot open metrics output path " << path;
+    return false;
+  }
+  WriteMetricsJson(out, MetricsRegistry::Global());
+  return static_cast<bool>(out);
+}
+
+bool ExportPrometheusFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    SCEC_LOG(kWarning) << "cannot open metrics output path " << path;
+    return false;
+  }
+  WritePrometheusText(out, MetricsRegistry::Global());
+  return static_cast<bool>(out);
+}
+
+namespace internal {
+
+void InitEnvTelemetryOnce(Tracer& tracer) {
+  static std::once_flag once;
+  std::call_once(once, [&tracer] {
+    static std::string trace_path;    // static: read by the atexit handler
+    static std::string metrics_path;
+    if (const char* env = std::getenv("SCEC_TRACE")) {
+      const std::string value = env;
+      if (!value.empty() && value != "0") {
+        tracer.Enable(true);
+        if (value != "1") trace_path = value;
+      }
+    }
+    if (const char* env = std::getenv("SCEC_METRICS")) {
+      if (env[0] != '\0') metrics_path = env;
+    }
+    if (!trace_path.empty() || !metrics_path.empty()) {
+      std::atexit([] {
+        if (!trace_path.empty()) ExportTraceFile(trace_path);
+        if (!metrics_path.empty()) ExportMetricsJsonFile(metrics_path);
+      });
+    }
+  });
+}
+
+}  // namespace internal
+}  // namespace scec::obs

@@ -1,0 +1,162 @@
+// SPDX-License-Identifier: MIT
+
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace scec::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      buckets_(upper_bounds_.size() + 1) {
+  SCEC_CHECK(!upper_bounds_.empty());
+  for (size_t i = 1; i < upper_bounds_.size(); ++i) {
+    SCEC_CHECK(upper_bounds_[i - 1] < upper_bounds_[i])
+        << "histogram bounds must be strictly increasing";
+  }
+}
+
+const std::vector<double>& Histogram::LatencyBucketsSeconds() {
+  static const std::vector<double> bounds = {
+      1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4,
+      5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1,
+      2e-1, 5e-1, 1.0,  2.0,  5.0,  1e1,  1e2};
+  return bounds;
+}
+
+void Histogram::Observe(double value) {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  const size_t bucket = static_cast<size_t>(it - upper_bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::CumulativeCounts() const {
+  std::vector<uint64_t> cumulative(buckets_.size());
+  uint64_t running = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    running += buckets_[i].load(std::memory_order_relaxed);
+    cumulative[i] = running;
+  }
+  return cumulative;
+}
+
+double Histogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const std::vector<uint64_t> cumulative = CumulativeCounts();
+  const uint64_t total = cumulative.back();
+  if (total == 0) return 0.0;
+  // Rank of the requested quantile, 1-based (nearest-rank with
+  // interpolation inside the bucket).
+  const double rank = q * static_cast<double>(total);
+  for (size_t i = 0; i < upper_bounds_.size(); ++i) {
+    if (static_cast<double>(cumulative[i]) >= rank) {
+      const uint64_t below = i == 0 ? 0 : cumulative[i - 1];
+      const uint64_t in_bucket = cumulative[i] - below;
+      const double lower = i == 0 ? 0.0 : upper_bounds_[i - 1];
+      const double upper = upper_bounds_[i];
+      if (in_bucket == 0) return upper;
+      const double fraction =
+          (rank - static_cast<double>(below)) / static_cast<double>(in_bucket);
+      return lower + std::clamp(fraction, 0.0, 1.0) * (upper - lower);
+    }
+  }
+  // Rank falls in the overflow bucket: the best bounded answer is the
+  // largest finite bound.
+  return upper_bounds_.back();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+std::string MetricsRegistry::Key(const std::string& name,
+                                 const LabelSet& labels) {
+  std::string key = name;
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& [k, v] : sorted) {
+    key += '\x1f';  // unit separator: cannot appear in sane label text
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[Key(name, labels)];
+  if (entry.counter == nullptr) {
+    SCEC_CHECK(entry.gauge == nullptr && entry.histogram == nullptr)
+        << "metric " << name << " already registered with another type";
+    entry.name = name;
+    entry.labels = labels;
+    std::sort(entry.labels.begin(), entry.labels.end());
+    entry.counter = std::make_unique<Counter>();
+  }
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const LabelSet& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[Key(name, labels)];
+  if (entry.gauge == nullptr) {
+    SCEC_CHECK(entry.counter == nullptr && entry.histogram == nullptr)
+        << "metric " << name << " already registered with another type";
+    entry.name = name;
+    entry.labels = labels;
+    std::sort(entry.labels.begin(), entry.labels.end());
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const LabelSet& labels,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[Key(name, labels)];
+  if (entry.histogram == nullptr) {
+    SCEC_CHECK(entry.counter == nullptr && entry.gauge == nullptr)
+        << "metric " << name << " already registered with another type";
+    entry.name = name;
+    entry.labels = labels;
+    std::sort(entry.labels.begin(), entry.labels.end());
+    entry.histogram = std::make_unique<Histogram>(bounds);
+  }
+  return *entry.histogram;
+}
+
+std::vector<MetricsRegistry::Series> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Series> series;
+  series.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    Series s;
+    s.name = entry.name;
+    s.labels = entry.labels;
+    s.counter = entry.counter.get();
+    s.gauge = entry.gauge.get();
+    s.histogram = entry.histogram.get();
+    series.push_back(std::move(s));
+  }
+  return series;  // map order == (name, serialized labels) order
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace scec::obs

@@ -1,0 +1,147 @@
+// SPDX-License-Identifier: MIT
+//
+// Lock-cheap metrics registry: counters, gauges, and fixed-bucket latency
+// histograms addressable by name + labels.
+//
+// Design
+// ------
+// * Instrument handles (Counter/Gauge/Histogram) live in node-based storage
+//   owned by the registry, so references returned by GetCounter() et al. stay
+//   valid for the registry's lifetime. Hot paths look an instrument up once
+//   (often in a `static` local) and then touch only atomics.
+// * Updates are single relaxed atomic RMW operations — no lock, no
+//   allocation. Only the name+labels -> instrument lookup takes the registry
+//   mutex (and allocates on first use of a series).
+// * Histograms use fixed bucket upper bounds (default: exponential latency
+//   buckets from 1 µs to ~100 s). Percentiles are estimated by linear
+//   interpolation inside the bucket containing the requested rank, which is
+//   exact to within one bucket's width (tested against a sorted-vector
+//   oracle in tests/test_obs_metrics.cpp).
+//
+// Exporters (Prometheus text, JSON snapshot) live in obs/export.h.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scec::obs {
+
+// Sorted (key, value) pairs identifying one series of a metric.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  // `upper_bounds` must be strictly increasing; an implicit +inf bucket is
+  // appended. Values are expected in the same unit as the bounds.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  // Exponential latency ladder in seconds: 1 µs, 2 µs, 5 µs, 10 µs, ...,
+  // 100 s (decades of 1/2/5). 16 finite buckets + overflow.
+  static const std::vector<double>& LatencyBucketsSeconds();
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  // Estimated value at quantile q in [0, 1] (0.5 = median). Returns 0 when
+  // empty. The estimate interpolates linearly within the selected bucket;
+  // ranks landing in the overflow bucket return the largest finite bound.
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  // Cumulative count of observations <= upper_bounds()[i]; the final extra
+  // entry is the total count (the +inf bucket).
+  std::vector<uint64_t> CumulativeCounts() const;
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // size upper_bounds_+1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Process-wide registry used by the library's instrumentation.
+  static MetricsRegistry& Global();
+
+  // Fetch-or-create. The returned reference stays valid until Clear() or
+  // registry destruction; repeated calls with the same (name, labels) return
+  // the same instrument.
+  Counter& GetCounter(const std::string& name, const LabelSet& labels = {});
+  Gauge& GetGauge(const std::string& name, const LabelSet& labels = {});
+  Histogram& GetHistogram(const std::string& name, const LabelSet& labels = {},
+                          const std::vector<double>& upper_bounds =
+                              Histogram::LatencyBucketsSeconds());
+
+  // One series as seen by the exporters.
+  struct Series {
+    std::string name;
+    LabelSet labels;
+    const Counter* counter = nullptr;      // exactly one of these three
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+  // Stable order: by (name, serialized labels).
+  std::vector<Series> Snapshot() const;
+
+  // Drops every instrument (invalidates references; tests only).
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string name;
+    LabelSet labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  static std::string Key(const std::string& name, const LabelSet& labels);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  // key -> instrument
+};
+
+}  // namespace scec::obs

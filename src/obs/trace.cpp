@@ -1,0 +1,201 @@
+// SPDX-License-Identifier: MIT
+
+#include "obs/trace.h"
+
+#include <chrono>
+
+#include "obs/export.h"
+
+namespace scec::obs {
+namespace {
+
+// Small dense thread ids (1, 2, ...) read better in about:tracing than
+// hashed std::thread::id values.
+uint64_t ThisThreadId() {
+  static std::atomic<uint64_t> next{1};
+  thread_local const uint64_t id = next.fetch_add(1);
+  return id;
+}
+
+struct OpenSpan {
+  uint64_t id;
+  std::string name;
+  const char* category;
+  double start_us;
+  uint64_t parent;
+};
+
+thread_local std::vector<OpenSpan> t_span_stack;
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // never destroyed: atexit export
+  internal::InitEnvTelemetryOnce(*tracer);
+  return *tracer;
+}
+
+double Tracer::NowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+void Tracer::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  head_ = 0;
+  full_ = false;
+  dropped_ = 0;
+}
+
+void Tracer::Append(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+    return;
+  }
+  // Ring is at capacity: overwrite the oldest slot.
+  full_ = true;
+  ring_[head_] = std::move(event);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+uint64_t Tracer::CurrentSpanId() {
+  return t_span_stack.empty() ? 0 : t_span_stack.back().id;
+}
+
+uint64_t Tracer::BeginSpan(std::string name, const char* category) {
+  const uint64_t id = next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  t_span_stack.push_back(OpenSpan{id, std::move(name), category, NowMicros(),
+                                  CurrentSpanId()});
+  return id;
+}
+
+void Tracer::EndSpan() {
+  if (t_span_stack.empty()) return;  // unbalanced End: drop silently
+  OpenSpan open = std::move(t_span_stack.back());
+  t_span_stack.pop_back();
+  TraceEvent event;
+  event.name = std::move(open.name);
+  event.category = open.category;
+  event.phase = 'X';
+  event.ts_us = open.start_us;
+  event.dur_us = NowMicros() - open.start_us;
+  event.pid = kWallPid;
+  event.tid = ThisThreadId();
+  event.id = open.id;
+  event.parent = open.parent;
+  Append(std::move(event));
+}
+
+void Tracer::Instant(std::string name, const char* category) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = 'i';
+  event.ts_us = NowMicros();
+  event.pid = kWallPid;
+  event.tid = ThisThreadId();
+  event.parent = CurrentSpanId();
+  Append(std::move(event));
+}
+
+uint64_t Tracer::BeginAsyncSpan(std::string name, const char* category) {
+  const uint64_t id = next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  OpenAsync open;
+  open.name = std::move(name);
+  open.category = category;
+  open.start_us = NowMicros();
+  open.parent = CurrentSpanId();
+  open.tid = ThisThreadId();
+  std::lock_guard<std::mutex> lock(mutex_);
+  open_async_.emplace_back(id, std::move(open));
+  return id;
+}
+
+void Tracer::EndAsyncSpan(uint64_t id) {
+  TraceEvent event;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = open_async_.begin();
+    for (; it != open_async_.end(); ++it) {
+      if (it->first == id) break;
+    }
+    if (it == open_async_.end()) return;  // unknown or already ended
+    OpenAsync open = std::move(it->second);
+    open_async_.erase(it);
+    event.name = std::move(open.name);
+    event.category = open.category;
+    event.ts_us = open.start_us;
+    event.tid = open.tid;  // attributed to the starting thread
+    event.parent = open.parent;
+  }
+  event.phase = 'X';
+  event.dur_us = NowMicros() - event.ts_us;
+  event.pid = kWallPid;
+  event.id = id;
+  Append(std::move(event));
+}
+
+void Tracer::RecordSimSpan(std::string name, double start_s, double duration_s,
+                           uint64_t tid, const char* category) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = 'X';
+  event.ts_us = start_s * 1e6;
+  event.dur_us = duration_s * 1e6;
+  event.pid = kSimPid;
+  event.tid = tid;
+  event.id = next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  Append(std::move(event));
+}
+
+void Tracer::RecordSimInstant(std::string name, double ts_s, uint64_t tid,
+                              const char* category) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = 'i';
+  event.ts_us = ts_s * 1e6;
+  event.pid = kSimPid;
+  event.tid = tid;
+  Append(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> events;
+  events.reserve(ring_.size());
+  if (full_) {
+    // Oldest-first: [head_, end) then [0, head_).
+    events.insert(events.end(), ring_.begin() + static_cast<long>(head_),
+                  ring_.end());
+    events.insert(events.end(), ring_.begin(),
+                  ring_.begin() + static_cast<long>(head_));
+  } else {
+    events = ring_;
+  }
+  return events;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  head_ = 0;
+  full_ = false;
+  dropped_ = 0;
+  open_async_.clear();
+}
+
+}  // namespace scec::obs

@@ -4,7 +4,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 #include <utility>
+
+#include "obs/trace.h"
 
 namespace scec::sim {
 
@@ -164,8 +167,14 @@ void FaultTolerantScecProtocol::StageSegment(size_t segment_index) {
 
 void FaultTolerantScecProtocol::Stage() {
   SCEC_CHECK(!staged_) << "Stage() must run exactly once";
+  const SimTime stage_start = queue_.now();
   StageSegment(0);
   metrics_.staging_completion_time = queue_.now();
+  if (obs::Tracer::Enabled()) {
+    obs::Tracer::Global().RecordSimSpan("stage", stage_start,
+                                        queue_.now() - stage_start,
+                                        /*tid=*/devices_.size());
+  }
   staged_ = true;
 }
 
@@ -188,6 +197,13 @@ double FaultTolerantScecProtocol::DeadlineFor(const Pending& pending) const {
 void FaultTolerantScecProtocol::Dispatch(Pending* pending) {
   ++pending->attempts;
   const size_t attempt = pending->attempts;
+  if (attempt == 1) {
+    pending->dispatch_s = queue_.now();
+  } else if (obs::Tracer::Enabled()) {
+    obs::Tracer::Global().RecordSimInstant(
+        "retry attempt " + std::to_string(attempt), queue_.now(),
+        /*tid=*/pending->phys, "fault");
+  }
   EdgeDeviceActor* actor =
       segments_[pending->segment].actors[pending->local].get();
   const std::vector<double> x = *current_x_;
@@ -203,10 +219,18 @@ void FaultTolerantScecProtocol::Dispatch(Pending* pending) {
     // A later dispatch owns the live deadline; this one is stale.
     if (pending->attempts != attempt) return;
     ++recovery_.deadline_timeouts;
+    if (obs::Tracer::Enabled()) {
+      obs::Tracer::Global().RecordSimInstant("deadline_timeout", queue_.now(),
+                                             /*tid=*/pending->phys, "fault");
+    }
     if (pending->attempts >= ft_.retry.max_attempts) {
       pending->failed = true;
       ++recovery_.devices_evicted_timeout;
       devices_[pending->phys].evicted = true;
+      if (obs::Tracer::Enabled()) {
+        obs::Tracer::Global().RecordSimInstant("evict(timeout)", queue_.now(),
+                                               /*tid=*/pending->phys, "fault");
+      }
       return;
     }
     ++recovery_.retries_sent;
@@ -237,10 +261,19 @@ void FaultTolerantScecProtocol::OnResponse(size_t segment, size_t local,
     ++recovery_.devices_evicted_corrupt;
     pending->failed = true;
     devices_[pending->phys].evicted = true;
+    if (obs::Tracer::Enabled()) {
+      obs::Tracer::Global().RecordSimInstant("evict(corrupt)", queue_.now(),
+                                             /*tid=*/pending->phys, "fault");
+    }
     return;
   }
   if (pending->attempts > 1) ++recovery_.devices_recovered_by_retry;
   pending->accepted = true;
+  if (obs::Tracer::Enabled()) {
+    obs::Tracer::Global().RecordSimSpan(
+        "device_response seg" + std::to_string(segment), pending->dispatch_s,
+        queue_.now() - pending->dispatch_s, /*tid=*/pending->phys);
+  }
   seg.responses[local] = std::move(response);
 }
 
@@ -331,6 +364,10 @@ Result<std::vector<double>> FaultTolerantScecProtocol::RunQuery(
                       " recovery rounds");
     }
     ++rounds_this_query;
+    SCEC_TRACE_SPAN(
+        [&] { return "recovery_round " + std::to_string(rounds_this_query); },
+        "fault");
+    const SimTime round_start = queue_.now();
 
     // Re-plan the lost rows with TA2 over the surviving fleet.
     std::vector<size_t> survivor_phys;
@@ -348,7 +385,10 @@ Result<std::vector<double>> FaultTolerantScecProtocol::RunQuery(
     problem.m = lost.size();
     problem.l = deployment_->l;
     problem.fleet = std::move(survivors);
-    auto planned = PlanMcscec(problem, TaAlgorithm::kTA2);
+    auto planned = [&] {
+      SCEC_TRACE_SPAN("recovery/replan", "fault");
+      return PlanMcscec(problem, TaAlgorithm::kTA2);
+    }();
     if (!planned.ok()) {
       current_x_ = nullptr;
       return planned.status();
@@ -367,8 +407,10 @@ Result<std::vector<double>> FaultTolerantScecProtocol::RunQuery(
     for (size_t p = 0; p < lost.size(); ++p) {
       a_lost.SetRow(p, a_->Row(lost[p]));
     }
-    EncodedDeployment<double> encoded =
-        EncodeDeployment(code, plan.scheme, a_lost, repair_rng_);
+    EncodedDeployment<double> encoded = [&] {
+      SCEC_TRACE_SPAN("recovery/re_encode", "fault");
+      return EncodeDeployment(code, plan.scheme, a_lost, repair_rng_);
+    }();
 
     std::vector<size_t> phys;
     phys.reserve(plan.participating.size());
@@ -381,6 +423,11 @@ Result<std::vector<double>> FaultTolerantScecProtocol::RunQuery(
                std::move(encoded.shares));
     StageSegment(segments_.size() - 1);
     recovery_.recovery_staging_seconds += queue_.now() - stage_start;
+    if (obs::Tracer::Enabled()) {
+      obs::Tracer::Global().RecordSimSpan("recovery_stage", stage_start,
+                                          queue_.now() - stage_start,
+                                          /*tid=*/devices_.size(), "fault");
+    }
     ++recovery_.recovery_rounds;
     recovery_.replanned_rows += lost.size();
     recovery_.recovery_plan_cost += plan.allocation.total_cost;
@@ -401,10 +448,20 @@ Result<std::vector<double>> FaultTolerantScecProtocol::RunQuery(
     }
     CollectRound(&recovery_round);
     lost = DecodeAvailable(&decoded);
+    if (obs::Tracer::Enabled()) {
+      obs::Tracer::Global().RecordSimSpan(
+          "recovery_round " + std::to_string(rounds_this_query), round_start,
+          queue_.now() - round_start, /*tid=*/devices_.size(), "fault");
+    }
   }
 
   current_x_ = nullptr;
   recovery_.total_completion_s = queue_.now() - query_start;
+  if (obs::Tracer::Enabled()) {
+    obs::Tracer::Global().RecordSimSpan("query", query_start,
+                                        queue_.now() - query_start,
+                                        /*tid=*/devices_.size());
+  }
   metrics_.query_completion_time = recovery_.total_completion_s;
   metrics_.devices.clear();
   for (const Segment& seg : segments_) {

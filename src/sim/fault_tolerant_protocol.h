@@ -139,6 +139,7 @@ class FaultTolerantScecProtocol {
     size_t attempts = 0;
     bool accepted = false;
     bool failed = false;
+    double dispatch_s = 0.0;  // sim time of the first dispatch (for tracing)
   };
 
   void BuildTopology();

@@ -93,4 +93,17 @@ struct FaultRecoveryMetrics {
   }
 };
 
+// Unified export (sim/metrics.cpp): every bench and example serialises run
+// metrics through these instead of hand-rolling per-binary printing. The
+// JSON form nests per-device metrics and the Eq. (1) totals; the CSV form is
+// one flat row (totals only) matching CsvHeader()'s column order.
+std::string ToJson(const DeviceMetrics& metrics);
+std::string ToJson(const RunMetrics& metrics);
+std::string ToJson(const FaultRecoveryMetrics& metrics);
+
+std::string RunMetricsCsvHeader();
+std::string ToCsvRow(const RunMetrics& metrics);
+std::string FaultRecoveryMetricsCsvHeader();
+std::string ToCsvRow(const FaultRecoveryMetrics& metrics);
+
 }  // namespace scec::sim

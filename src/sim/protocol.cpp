@@ -5,7 +5,15 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace scec::sim {
+
+namespace {
+// Sim-time trace track for protocol-level (non-device) events: one past the
+// last device index, so it gets its own row in the viewer.
+uint64_t ProtocolTid(size_t num_devices) { return num_devices; }
+}  // namespace
 
 ScecProtocol::ScecProtocol(const Deployment<double>* deployment,
                            std::vector<EdgeDevice> fleet_specs,
@@ -57,6 +65,11 @@ void ScecProtocol::BuildTopology() {
     devices_.push_back(std::make_unique<EdgeDeviceActor>(
         d, spec, &queue_, &network_, &options_, &straggler_rng_,
         [this](size_t device, std::vector<double> response) {
+          if (obs::Tracer::Enabled()) {
+            obs::Tracer::Global().RecordSimSpan(
+                "device_response", query_start_, queue_.now() - query_start_,
+                /*tid=*/device);
+          }
           if (stream_inbox_ != nullptr) {
             (*stream_inbox_)[device].emplace_back(queue_.now(),
                                                   std::move(response));
@@ -81,9 +94,15 @@ void ScecProtocol::Stage() {
     SendMsg(kCloudNode, DeviceNode(d), bytes,
                   [device, share]() { device->OnShareDelivered(share); });
   }
+  const SimTime stage_start = queue_.now();
   queue_.RunUntilEmpty();
   metrics_.staging_completion_time = queue_.now();
   metrics_.staging_bytes = total_bytes;
+  if (obs::Tracer::Enabled()) {
+    obs::Tracer::Global().RecordSimSpan("stage", stage_start,
+                                        queue_.now() - stage_start,
+                                        ProtocolTid(devices_.size()));
+  }
   staged_ = true;
   for (const auto& device : devices_) {
     SCEC_CHECK(device->HasShare());
@@ -95,6 +114,7 @@ std::vector<double> ScecProtocol::RunQuery(const std::vector<double>& x) {
   SCEC_CHECK_EQ(x.size(), deployment_->l);
 
   const SimTime query_start = queue_.now();
+  query_start_ = query_start;
   collector_ = std::make_unique<ResponseCollector>(devices_.size(), nullptr);
 
   // Phase 2: broadcast x (one unicast per device over its downlink).
@@ -117,6 +137,14 @@ std::vector<double> ScecProtocol::RunQuery(const std::vector<double>& x) {
   std::vector<double> result =
       SubtractionDecode(deployment_->code, std::span<const double>(y));
 
+  if (obs::Tracer::Enabled()) {
+    obs::Tracer& tracer = obs::Tracer::Global();
+    tracer.RecordSimSpan("query", query_start,
+                         collector_->last_arrival() - query_start,
+                         ProtocolTid(devices_.size()));
+    tracer.RecordSimInstant("decode", collector_->last_arrival(),
+                            ProtocolTid(devices_.size()));
+  }
   metrics_.query_completion_time = collector_->last_arrival() - query_start;
   metrics_.decode_subtractions += deployment_->code.m();
   for (const std::vector<double>& response : collector_->responses()) {
@@ -142,6 +170,7 @@ ScecProtocol::StreamResult ScecProtocol::RunQueryStream(
   for (const auto& x : xs) SCEC_CHECK_EQ(x.size(), deployment_->l);
 
   const SimTime start = queue_.now();
+  query_start_ = start;
   const size_t devices = devices_.size();
 
   // Per-device FIFO of (arrival time, response). Ordered channels: the q-th

@@ -84,6 +84,10 @@ class ScecProtocol {
       stream_inbox_ = nullptr;
   RunMetrics metrics_;
   bool staged_ = false;
+  // Dispatch time of the in-flight query (or stream), so the per-device
+  // response callback can emit a sim-time span without plumbing state
+  // through the actors.
+  SimTime query_start_ = 0.0;
 };
 
 }  // namespace scec::sim

@@ -5,11 +5,34 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace scec::sim {
+
+// Mirrors the retry-relevant ReliableChannelStats fields into the global
+// metrics registry so exported telemetry shows wire-level loss behaviour.
+struct ReliableChannel::ChannelMetrics {
+  obs::Counter& data_sends;
+  obs::Counter& data_drops;
+  obs::Counter& retransmissions;
+  obs::Counter& failures;
+
+  ChannelMetrics()
+      : data_sends(obs::MetricsRegistry::Global().GetCounter(
+            "scec_channel_data_sends_total")),
+        data_drops(obs::MetricsRegistry::Global().GetCounter(
+            "scec_channel_data_drops_total")),
+        retransmissions(obs::MetricsRegistry::Global().GetCounter(
+            "scec_channel_retransmissions_total")),
+        failures(obs::MetricsRegistry::Global().GetCounter(
+            "scec_channel_failures_total")) {}
+};
 
 ReliableChannel::ReliableChannel(EventQueue* queue, Network* network,
                                  double loss_probability, uint64_t loss_seed)
-    : queue_(queue),
+    : metrics_(std::make_unique<ChannelMetrics>()),
+      queue_(queue),
       network_(network),
       loss_probability_(loss_probability),
       loss_rng_(loss_seed) {
@@ -20,6 +43,8 @@ ReliableChannel::ReliableChannel(EventQueue* queue, Network* network,
   // terminates via on_failure after its retry budget (tested).
   SCEC_CHECK_LE(loss_probability, 1.0);
 }
+
+ReliableChannel::~ReliableChannel() = default;
 
 void ReliableChannel::Send(NodeId from, NodeId to, uint64_t bytes,
                            EventQueue::Callback on_delivered,
@@ -48,9 +73,13 @@ void ReliableChannel::MaybePrune(const std::shared_ptr<Transfer>& transfer) {
 
 void ReliableChannel::Attempt(std::shared_ptr<Transfer> transfer) {
   ++stats_.data_sends;
+  metrics_->data_sends.Increment();
   ++transfer->copies_in_flight;
   const bool data_lost = Dropped();
-  if (data_lost) ++stats_.data_drops;
+  if (data_lost) {
+    ++stats_.data_drops;
+    metrics_->data_drops.Increment();
+  }
 
   // The attempt occupies the forward link either way (the serialisation
   // time is spent; the packet dies in flight). We model loss by sending a
@@ -101,6 +130,12 @@ void ReliableChannel::Attempt(std::shared_ptr<Transfer> transfer) {
       // budget counts RETRANSMISSIONS, and exhausting it must report failure
       // (never hang) — even at loss_probability = 1.0.
       ++stats_.failures;
+      metrics_->failures.Increment();
+      if (obs::Tracer::Enabled()) {
+        obs::Tracer::Global().RecordSimInstant(
+            "transfer_failed", queue_->now(),
+            /*tid=*/static_cast<uint64_t>(transfer->to), "channel");
+      }
       transfer->settled = true;
       MaybePrune(transfer);
       if (transfer->on_failure != nullptr) transfer->on_failure();
@@ -108,6 +143,12 @@ void ReliableChannel::Attempt(std::shared_ptr<Transfer> transfer) {
     }
     --transfer->retries_left;
     ++stats_.retransmissions;
+    metrics_->retransmissions.Increment();
+    if (obs::Tracer::Enabled()) {
+      obs::Tracer::Global().RecordSimInstant(
+          "retransmit", queue_->now(),
+          /*tid=*/static_cast<uint64_t>(transfer->to), "channel");
+    }
     Attempt(transfer);
   });
 }

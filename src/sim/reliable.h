@@ -47,6 +47,7 @@ class ReliableChannel {
   // budget runs out (it can never deliver, but it must not hang).
   ReliableChannel(EventQueue* queue, Network* network, double loss_probability,
                   uint64_t loss_seed);
+  ~ReliableChannel();  // out-of-line: ChannelMetrics is incomplete here
 
   // At-least-once wire, exactly-once app delivery. `on_delivered` runs at
   // the receiver when the (first copy of the) message lands;
@@ -88,6 +89,12 @@ class ReliableChannel {
   void Attempt(std::shared_ptr<Transfer> transfer);
   void MaybePrune(const std::shared_ptr<Transfer>& transfer);
   bool Dropped() { return loss_rng_.NextDouble() < loss_probability_; }
+
+  // Cached global-registry counters (obs/metrics.h) mirroring stats_, so
+  // channel retry behaviour shows up in exported telemetry; resolved once in
+  // the ctor, updated with relaxed atomics on the wire path.
+  struct ChannelMetrics;
+  std::unique_ptr<ChannelMetrics> metrics_;
 
   EventQueue* queue_;
   Network* network_;

@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
 #include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 namespace scec {
 namespace {
@@ -18,6 +22,13 @@ class LoggingTest : public ::testing::Test {
   void TearDown() override {
     Logger::Instance().set_sink(nullptr);
     Logger::Instance().set_min_level(LogLevel::kInfo);
+    Logger::Instance().set_format(LogFormat::kPlain);
+  }
+  std::vector<std::string> Lines() const {
+    std::vector<std::string> lines;
+    std::istringstream in(sink_.str());
+    for (std::string line; std::getline(in, line);) lines.push_back(line);
+    return lines;
   }
   std::ostringstream sink_;
 };
@@ -38,6 +49,75 @@ TEST_F(LoggingTest, ErrorAlwaysPasses) {
   Logger::Instance().set_min_level(LogLevel::kError);
   SCEC_LOG(kError) << "boom";
   EXPECT_EQ(sink_.str(), "[ERROR] boom\n");
+}
+
+TEST_F(LoggingTest, TextFormatStampsTimeAndThread) {
+  Logger::Instance().set_format(LogFormat::kText);
+  SCEC_LOG(kWarning) << "stamped";
+  // "[WARN] <seconds>.<6 digits> tid=<n> stamped"
+  const std::regex pattern(
+      R"(\[WARN\] \d+\.\d{6} tid=\d+ stamped)");
+  EXPECT_TRUE(std::regex_match(Lines().at(0), pattern)) << sink_.str();
+}
+
+TEST_F(LoggingTest, JsonFormatEmitsOneObjectPerLine) {
+  Logger::Instance().set_format(LogFormat::kJson);
+  SCEC_LOG(kInfo) << "first";
+  SCEC_LOG(kError) << "second";
+  const std::vector<std::string> lines = Lines();
+  ASSERT_EQ(lines.size(), 2u);
+  const std::regex pattern(
+      R"(\{"ts_s":\d+\.\d{6},"level":"INFO","tid":\d+,"msg":"first"\})");
+  EXPECT_TRUE(std::regex_match(lines[0], pattern)) << lines[0];
+  EXPECT_NE(lines[1].find("\"level\":\"ERROR\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"msg\":\"second\""), std::string::npos);
+}
+
+TEST_F(LoggingTest, JsonFormatEscapesSpecialCharacters) {
+  Logger::Instance().set_format(LogFormat::kJson);
+  SCEC_LOG(kInfo) << "a \"quoted\" path\\with\nnewline";
+  const std::string line = Lines().at(0);
+  EXPECT_NE(line.find(R"(a \"quoted\" path\\with\nnewline)"),
+            std::string::npos)
+      << line;
+}
+
+TEST_F(LoggingTest, MonotonicTimestampsNeverDecrease) {
+  Logger::Instance().set_format(LogFormat::kJson);
+  for (int i = 0; i < 10; ++i) SCEC_LOG(kInfo) << "tick " << i;
+  double prev = -1.0;
+  for (const std::string& line : Lines()) {
+    const size_t start = line.find(':') + 1;
+    const double ts = std::stod(line.substr(start));
+    EXPECT_GE(ts, prev);
+    prev = ts;
+  }
+}
+
+TEST_F(LoggingTest, ConcurrentWritersNeverInterleaveLines) {
+  Logger::Instance().set_format(LogFormat::kText);
+  constexpr int kThreads = 8;
+  constexpr int kLinesPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kLinesPerThread; ++i) {
+        SCEC_LOG(kInfo) << "writer " << t << " line " << i << " end";
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::vector<std::string> lines = Lines();
+  ASSERT_EQ(lines.size(),
+            static_cast<size_t>(kThreads) * kLinesPerThread);
+  // Every line must be exactly one well-formed record: interleaved writes
+  // would corrupt the "writer <t> line <i> end" suffix.
+  const std::regex pattern(
+      R"(\[INFO\] \d+\.\d{6} tid=\d+ writer \d+ line \d+ end)");
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(std::regex_match(line, pattern)) << line;
+  }
 }
 
 TEST(LogLevelName, Names) {

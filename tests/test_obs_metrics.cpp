@@ -1,0 +1,159 @@
+// SPDX-License-Identifier: MIT
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace scec::obs {
+namespace {
+
+TEST(Counter, IncrementsAndReads) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.Add(1.5);
+  gauge.Add(-4.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(Histogram, CountSumAndCumulativeCounts) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // bucket <= 1
+  h.Observe(1.0);    // boundary lands in its own bucket (le semantics)
+  h.Observe(7.0);    // bucket <= 10
+  h.Observe(1000.0); // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1008.5);
+  const std::vector<uint64_t> cumulative = h.CumulativeCounts();
+  ASSERT_EQ(cumulative.size(), 4u);  // 3 finite + overflow
+  EXPECT_EQ(cumulative[0], 2u);
+  EXPECT_EQ(cumulative[1], 3u);
+  EXPECT_EQ(cumulative[2], 3u);
+  EXPECT_EQ(cumulative[3], 4u);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+// The documented accuracy contract: the estimate is exact to within the
+// width of the bucket containing the requested rank. Verify against a
+// sorted-vector oracle on latency-like lognormal data.
+TEST(Histogram, QuantileMatchesSortedVectorOracleWithinBucketWidth) {
+  const std::vector<double>& bounds = Histogram::LatencyBucketsSeconds();
+  Histogram h(bounds);
+  ChaCha20Rng rng(1234);
+  std::vector<double> values;
+  constexpr size_t kSamples = 20000;
+  values.reserve(kSamples);
+  for (size_t i = 0; i < kSamples; ++i) {
+    // Lognormal-ish latencies centred near 1 ms, spanning several buckets.
+    const double u1 = rng.NextDouble();
+    const double u2 = rng.NextDouble();
+    const double normal =
+        std::sqrt(-2.0 * std::log(u1 + 1e-12)) * std::cos(6.283185307 * u2);
+    const double v = 1e-3 * std::exp(0.8 * normal);
+    values.push_back(v);
+    h.Observe(v);
+  }
+  std::sort(values.begin(), values.end());
+
+  for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+    const double rank = q * static_cast<double>(kSamples);
+    const size_t index = std::min(
+        kSamples - 1, static_cast<size_t>(std::ceil(rank)) - 1);
+    const double oracle = values[index];
+    // The bucket containing the oracle value bounds the estimate's error.
+    const auto it = std::lower_bound(bounds.begin(), bounds.end(), oracle);
+    ASSERT_NE(it, bounds.end()) << "oracle fell in the overflow bucket";
+    const double upper = *it;
+    const double lower = it == bounds.begin() ? 0.0 : *(it - 1);
+    const double estimate = h.Quantile(q);
+    EXPECT_GE(estimate, lower) << "q=" << q;
+    EXPECT_LE(estimate, upper) << "q=" << q;
+  }
+}
+
+TEST(Histogram, OverflowRankReturnsLargestFiniteBound) {
+  Histogram h({1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h.Observe(100.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 2.0);
+}
+
+TEST(MetricsRegistry, FetchOrCreateReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("requests", {{"path", "/x"}});
+  Counter& b = registry.GetCounter("requests", {{"path", "/x"}});
+  Counter& c = registry.GetCounter("requests", {{"path", "/y"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.Increment();
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsRegistry, LabelOrderDoesNotMatter) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("m", {{"a", "1"}, {"b", "2"}});
+  Counter& b = registry.GetCounter("m", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistry, SnapshotListsEverySeriesWithStableOrder) {
+  MetricsRegistry registry;
+  registry.GetGauge("zeta");
+  registry.GetCounter("alpha", {{"k", "v"}});
+  registry.GetHistogram("mid");
+  const std::vector<MetricsRegistry::Series> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "alpha");
+  EXPECT_NE(snapshot[0].counter, nullptr);
+  EXPECT_EQ(snapshot[1].name, "mid");
+  EXPECT_NE(snapshot[1].histogram, nullptr);
+  EXPECT_EQ(snapshot[2].name, "zeta");
+  EXPECT_NE(snapshot[2].gauge, nullptr);
+}
+
+// Relaxed-atomic updates must not lose increments under real pool
+// concurrency. This test also runs under the TSan CI job.
+TEST(MetricsRegistry, ConcurrentIncrementsUnderThreadPoolLoseNothing) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("concurrent_total");
+  Histogram& histogram = registry.GetHistogram("concurrent_seconds");
+  Gauge& gauge = registry.GetGauge("concurrent_gauge");
+  ThreadPool pool(4);
+  constexpr size_t kTasks = 10000;
+  pool.ParallelFor(0, kTasks, [&](size_t i) {
+    counter.Increment();
+    histogram.Observe(1e-4 * static_cast<double>(i % 7));
+    gauge.Add(1.0);
+  });
+  EXPECT_EQ(counter.value(), kTasks);
+  EXPECT_EQ(histogram.count(), kTasks);
+  EXPECT_EQ(histogram.CumulativeCounts().back(), kTasks);
+  EXPECT_DOUBLE_EQ(gauge.value(), static_cast<double>(kTasks));
+}
+
+TEST(MetricsRegistry, GlobalIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+}  // namespace
+}  // namespace scec::obs

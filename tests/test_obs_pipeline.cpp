@@ -1,0 +1,159 @@
+// SPDX-License-Identifier: MIT
+//
+// End-to-end telemetry over the real pipeline: Deploy/Query emit a span
+// tree (parent links intact) and bump the pipeline metrics series.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workload/distributions.h"
+
+namespace scec {
+namespace {
+
+McscecProblem UniformProblem(size_t m, size_t l, size_t k, uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  const auto costs = SampleSortedCosts(CostDistribution::Uniform(5.0), k, rng);
+  return MakeAbstractProblem(m, l, costs);
+}
+
+class PipelineTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Tracer::Global().Clear();
+    obs::Tracer::Global().Enable(true);
+  }
+  void TearDown() override {
+    obs::Tracer::Global().Enable(false);
+    obs::Tracer::Global().Clear();
+  }
+
+  static const obs::TraceEvent* FindByName(
+      const std::vector<obs::TraceEvent>& events, const std::string& name) {
+    const auto it = std::find_if(
+        events.begin(), events.end(),
+        [&](const obs::TraceEvent& e) { return e.name == name; });
+    return it == events.end() ? nullptr : &*it;
+  }
+};
+
+TEST_F(PipelineTraceTest, DeployAndQueryEmitSpanTree) {
+  const McscecProblem problem = UniformProblem(20, 6, 8, 21);
+  ChaCha20Rng rng(7);
+  const auto a = RandomMatrix<Gf61>(problem.m, problem.l, rng);
+  const auto deployment = Deploy(problem, a, rng);
+  ASSERT_TRUE(deployment.ok()) << deployment.status();
+
+  const auto x = RandomVector<Gf61>(problem.l, rng);
+  const auto y = Query(*deployment, x);
+  EXPECT_EQ(y, MatVec(a, std::span<const Gf61>(x)));
+
+  const std::vector<obs::TraceEvent> events =
+      obs::Tracer::Global().Snapshot();
+
+  const obs::TraceEvent* deploy = FindByName(events, "deploy");
+  const obs::TraceEvent* plan = FindByName(events, "deploy/plan");
+  const obs::TraceEvent* encode = FindByName(events, "deploy/encode");
+  const obs::TraceEvent* check = FindByName(events, "deploy/security_check");
+  const obs::TraceEvent* query = FindByName(events, "query");
+  const obs::TraceEvent* decode = FindByName(events, "query/decode");
+  ASSERT_NE(deploy, nullptr);
+  ASSERT_NE(plan, nullptr);
+  ASSERT_NE(encode, nullptr);
+  ASSERT_NE(check, nullptr);
+  ASSERT_NE(query, nullptr);
+  ASSERT_NE(decode, nullptr);
+
+  // Phases nest under their pipeline root span.
+  EXPECT_EQ(plan->parent, deploy->id);
+  EXPECT_EQ(encode->parent, deploy->id);
+  EXPECT_EQ(check->parent, deploy->id);
+  EXPECT_EQ(decode->parent, query->id);
+  EXPECT_EQ(deploy->parent, 0u);
+
+  // Children are contained in the parent's [ts, ts+dur] window.
+  EXPECT_GE(plan->ts_us, deploy->ts_us);
+  EXPECT_LE(plan->ts_us + plan->dur_us,
+            deploy->ts_us + deploy->dur_us + 1.0);
+  EXPECT_GE(decode->ts_us, query->ts_us);
+
+  // The ITS check fans out per device under the security_check span.
+  const obs::TraceEvent* rank =
+      FindByName(events, "its_check/availability_rank");
+  ASSERT_NE(rank, nullptr);
+  for (const obs::TraceEvent& event : events) {
+    if (event.name.rfind("its_check/device ", 0) == 0) {
+      EXPECT_STREQ(event.category, "security");
+    }
+  }
+}
+
+TEST_F(PipelineTraceTest, QueryBatchEmitsPerDeviceSpans) {
+  const McscecProblem problem = UniformProblem(24, 5, 6, 22);
+  ChaCha20Rng rng(9);
+  const auto a = RandomMatrix<double>(problem.m, problem.l, rng);
+  const auto deployment = Deploy(problem, a, rng);
+  ASSERT_TRUE(deployment.ok());
+
+  Matrix<double> x(problem.l, 4);
+  Xoshiro256StarStar xrng(11);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    for (size_t j = 0; j < x.cols(); ++j) x(i, j) = xrng.NextDouble();
+  }
+  obs::Tracer::Global().Clear();  // only the batch below
+  const Matrix<double> result = QueryBatch(*deployment, x);
+  ASSERT_EQ(result.rows(), problem.m);
+
+  const std::vector<obs::TraceEvent> events =
+      obs::Tracer::Global().Snapshot();
+  const obs::TraceEvent* batch = FindByName(events, "query_batch");
+  const obs::TraceEvent* decode = FindByName(events, "query_batch/decode");
+  ASSERT_NE(batch, nullptr);
+  ASSERT_NE(decode, nullptr);
+  EXPECT_EQ(decode->parent, batch->id);
+
+  size_t device_spans = 0;
+  for (const obs::TraceEvent& event : events) {
+    if (event.name.rfind("query_batch/device ", 0) == 0) {
+      ++device_spans;
+      EXPECT_EQ(event.phase, 'X');
+      EXPECT_EQ(event.pid, obs::kWallPid);
+    }
+  }
+  EXPECT_EQ(device_spans, deployment->shares.size());
+}
+
+TEST_F(PipelineTraceTest, PipelineMetricsSeriesAdvance) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter& deploys =
+      registry.GetCounter("scec_deploys_total", {{"scalar", "gf61"}});
+  obs::Counter& queries =
+      registry.GetCounter("scec_queries_total", {{"scalar", "gf61"}});
+  obs::Histogram& query_seconds =
+      registry.GetHistogram("scec_query_seconds", {{"scalar", "gf61"}});
+  const uint64_t deploys_before = deploys.value();
+  const uint64_t queries_before = queries.value();
+  const uint64_t observations_before = query_seconds.count();
+
+  const McscecProblem problem = UniformProblem(16, 4, 5, 23);
+  ChaCha20Rng rng(13);
+  const auto a = RandomMatrix<Gf61>(problem.m, problem.l, rng);
+  const auto deployment = Deploy(problem, a, rng);
+  ASSERT_TRUE(deployment.ok());
+  const auto x = RandomVector<Gf61>(problem.l, rng);
+  QueryWorkspace<Gf61> ws = MakeQueryWorkspace(*deployment);
+  for (int i = 0; i < 3; ++i) QueryInto(*deployment, std::span<const Gf61>(x), ws);
+
+  EXPECT_EQ(deploys.value(), deploys_before + 1);
+  EXPECT_EQ(queries.value(), queries_before + 3);
+  EXPECT_EQ(query_seconds.count(), observations_before + 3);
+}
+
+}  // namespace
+}  // namespace scec

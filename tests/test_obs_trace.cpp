@@ -1,0 +1,386 @@
+// SPDX-License-Identifier: MIT
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+
+namespace scec::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser — just enough to validate exporter output structure.
+// Supports objects, arrays, strings (with the escapes JsonEscape emits),
+// numbers, true/false/null. Not a general-purpose parser.
+// ---------------------------------------------------------------------------
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  std::optional<JsonValue> Parse() {
+    std::optional<JsonValue> value = ParseValue();
+    SkipWhitespace();
+    if (!value.has_value() || pos_ != text_.size()) return std::nullopt;
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  std::optional<JsonValue> ParseObject() {
+    if (!Consume('{')) return std::nullopt;
+    JsonValue value;
+    value.type = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return value;
+    for (;;) {
+      std::optional<JsonValue> key = ParseString();
+      if (!key.has_value() || !Consume(':')) return std::nullopt;
+      std::optional<JsonValue> item = ParseValue();
+      if (!item.has_value()) return std::nullopt;
+      value.object.emplace(key->str, std::move(*item));
+      if (Consume(',')) continue;
+      if (Consume('}')) return value;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> ParseArray() {
+    if (!Consume('[')) return std::nullopt;
+    JsonValue value;
+    value.type = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return value;
+    for (;;) {
+      std::optional<JsonValue> item = ParseValue();
+      if (!item.has_value()) return std::nullopt;
+      value.array.push_back(std::move(*item));
+      if (Consume(',')) continue;
+      if (Consume(']')) return value;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> ParseString() {
+    if (!Consume('"')) return std::nullopt;
+    JsonValue value;
+    value.type = JsonValue::Type::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char escape = text_[pos_++];
+        switch (escape) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            pos_ += 4;  // schema validation does not need the code point
+            c = '?';
+            break;
+          default: return std::nullopt;
+        }
+      }
+      value.str += c;
+    }
+    if (!Consume('"')) return std::nullopt;
+    return value;
+  }
+
+  std::optional<JsonValue> ParseBool() {
+    JsonValue value;
+    value.type = JsonValue::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value.boolean = true;
+      pos_ += 4;
+      return value;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return value;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> ParseNull() {
+    if (text_.compare(pos_, 4, "null") != 0) return std::nullopt;
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    JsonValue value;
+    value.type = JsonValue::Type::kNumber;
+    value.number = std::stod(text_.substr(start, pos_ - start));
+    return value;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Clear();
+    Tracer::Global().Enable(true);
+  }
+  void TearDown() override {
+    Tracer::Global().Enable(false);
+    Tracer::Global().Clear();
+  }
+};
+
+TEST_F(TracerTest, DisabledTracerRecordsNothingAndSkipsNameBuilding) {
+  Tracer::Global().Enable(false);
+  { SCEC_TRACE_SPAN("ignored"); }
+  bool name_built = false;
+  {
+    SpanGuard guard([&] {
+      name_built = true;
+      return std::string("never");
+    });
+  }
+  EXPECT_FALSE(name_built);
+  EXPECT_TRUE(Tracer::Global().Snapshot().empty());
+}
+
+TEST_F(TracerTest, SpanGuardRecordsCompleteEvent) {
+  { SCEC_TRACE_SPAN("unit_of_work", "testing"); }
+  const std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "unit_of_work");
+  EXPECT_STREQ(events[0].category, "testing");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_EQ(events[0].pid, kWallPid);
+  EXPECT_GE(events[0].dur_us, 0.0);
+  EXPECT_NE(events[0].id, 0u);
+  EXPECT_EQ(events[0].parent, 0u);
+}
+
+TEST_F(TracerTest, NestedSpansRecordParentage) {
+  {
+    SCEC_TRACE_SPAN("outer");
+    SCEC_TRACE_SPAN("inner");
+  }
+  const std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans are recorded at End, so the inner span lands first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].parent, events[1].id);
+  EXPECT_EQ(events[1].parent, 0u);
+  EXPECT_LE(events[1].ts_us, events[0].ts_us);
+}
+
+TEST_F(TracerTest, InstantAndAsyncSpans) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Instant("marker");
+  const uint64_t id = tracer.BeginAsyncSpan("async work");
+  tracer.EndAsyncSpan(id);
+  const std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "marker");
+  EXPECT_EQ(events[0].phase, 'i');
+  EXPECT_EQ(events[1].name, "async work");
+  EXPECT_EQ(events[1].phase, 'X');
+  EXPECT_EQ(events[1].id, id);
+}
+
+TEST_F(TracerTest, SimEventsUseSimClockDomain) {
+  Tracer& tracer = Tracer::Global();
+  tracer.RecordSimSpan("device_response", 1.5, 0.25, /*tid=*/3);
+  tracer.RecordSimInstant("evict(timeout)", 2.0, /*tid=*/7, "fault");
+  const std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].pid, kSimPid);
+  EXPECT_DOUBLE_EQ(events[0].ts_us, 1.5e6);
+  EXPECT_DOUBLE_EQ(events[0].dur_us, 0.25e6);
+  EXPECT_EQ(events[0].tid, 3u);
+  EXPECT_EQ(events[1].pid, kSimPid);
+  EXPECT_EQ(events[1].phase, 'i');
+  EXPECT_EQ(events[1].tid, 7u);
+  EXPECT_STREQ(events[1].category, "fault");
+}
+
+TEST_F(TracerTest, RingBufferKeepsNewestAndCountsDropped) {
+  Tracer& tracer = Tracer::Global();
+  tracer.SetCapacity(4);
+  for (int i = 0; i < 6; ++i) {
+    tracer.Instant("event " + std::to_string(i));
+  }
+  const std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  EXPECT_EQ(events.front().name, "event 2");  // oldest surviving
+  EXPECT_EQ(events.back().name, "event 5");   // newest
+  tracer.SetCapacity(1 << 16);  // restore default for later tests
+}
+
+TEST_F(TracerTest, ChromeTraceExportIsValidJsonWithExpectedSchema) {
+  Tracer& tracer = Tracer::Global();
+  {
+    SCEC_TRACE_SPAN("deploy", "pipeline");
+    SCEC_TRACE_SPAN("deploy/encode", "pipeline");
+  }
+  tracer.Instant("checkpoint");
+  tracer.RecordSimSpan("device_response", 0.5, 0.125, /*tid=*/2);
+
+  std::ostringstream os;
+  WriteChromeTrace(os, tracer.Snapshot(), tracer.dropped());
+  std::optional<JsonValue> root = JsonParser(os.str()).Parse();
+  ASSERT_TRUE(root.has_value()) << os.str();
+  ASSERT_EQ(root->type, JsonValue::Type::kObject);
+
+  const JsonValue* other = root->Find("otherData");
+  ASSERT_NE(other, nullptr);
+  ASSERT_NE(other->Find("dropped_events"), nullptr);
+  EXPECT_DOUBLE_EQ(other->Find("dropped_events")->number, 0.0);
+
+  const JsonValue* events = root->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type, JsonValue::Type::kArray);
+  // 2 process_name metadata + 4 recorded events.
+  ASSERT_EQ(events->array.size(), 6u);
+
+  size_t metadata = 0, complete = 0, instant = 0;
+  bool saw_wall = false, saw_sim = false;
+  for (const JsonValue& event : events->array) {
+    ASSERT_EQ(event.type, JsonValue::Type::kObject);
+    ASSERT_NE(event.Find("name"), nullptr);
+    ASSERT_NE(event.Find("ph"), nullptr);
+    ASSERT_NE(event.Find("pid"), nullptr);
+    ASSERT_NE(event.Find("tid"), nullptr);
+    const std::string& phase = event.Find("ph")->str;
+    if (phase == "M") {
+      ++metadata;
+      EXPECT_EQ(event.Find("name")->str, "process_name");
+      continue;
+    }
+    ASSERT_NE(event.Find("ts"), nullptr);
+    ASSERT_NE(event.Find("cat"), nullptr);
+    ASSERT_NE(event.Find("args"), nullptr);
+    EXPECT_NE(event.Find("args")->Find("span_id"), nullptr);
+    EXPECT_NE(event.Find("args")->Find("parent_id"), nullptr);
+    if (phase == "X") {
+      ++complete;
+      EXPECT_NE(event.Find("dur"), nullptr);
+    } else if (phase == "i") {
+      ++instant;
+      ASSERT_NE(event.Find("s"), nullptr);
+      EXPECT_EQ(event.Find("s")->str, "t");
+    }
+    const double pid = event.Find("pid")->number;
+    if (pid == static_cast<double>(kWallPid)) saw_wall = true;
+    if (pid == static_cast<double>(kSimPid)) saw_sim = true;
+  }
+  EXPECT_EQ(metadata, 2u);
+  EXPECT_EQ(complete, 3u);  // deploy, deploy/encode, sim span
+  EXPECT_EQ(instant, 1u);
+  EXPECT_TRUE(saw_wall);
+  EXPECT_TRUE(saw_sim);
+}
+
+TEST_F(TracerTest, MetricsJsonExportParses) {
+  MetricsRegistry registry;
+  registry.GetCounter("scec_test_total", {{"kind", "a"}}).Increment(3);
+  registry.GetHistogram("scec_test_seconds").Observe(0.001);
+  std::ostringstream os;
+  WriteMetricsJson(os, registry);
+  std::optional<JsonValue> root = JsonParser(os.str()).Parse();
+  ASSERT_TRUE(root.has_value()) << os.str();
+  const JsonValue* metrics = root->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_EQ(metrics->array.size(), 2u);
+  // Snapshot order is by name: "..._seconds" sorts before "..._total".
+  const JsonValue& histogram = metrics->array[0];
+  EXPECT_EQ(histogram.Find("type")->str, "histogram");
+  EXPECT_NE(histogram.Find("p50"), nullptr);
+  EXPECT_NE(histogram.Find("p95"), nullptr);
+  EXPECT_NE(histogram.Find("p99"), nullptr);
+  const JsonValue& counter = metrics->array[1];
+  EXPECT_EQ(counter.Find("type")->str, "counter");
+  EXPECT_DOUBLE_EQ(counter.Find("value")->number, 3.0);
+  EXPECT_EQ(counter.Find("labels")->Find("kind")->str, "a");
+}
+
+TEST_F(TracerTest, PrometheusTextHasBucketSumCount) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("scec_lat_seconds", {{"op", "q"}});
+  h.Observe(0.5);
+  std::ostringstream os;
+  WritePrometheusText(os, registry);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE scec_lat_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("scec_lat_seconds_bucket{op=\"q\",le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("scec_lat_seconds_sum{op=\"q\"} 0.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("scec_lat_seconds_count{op=\"q\"} 1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace scec::obs
