@@ -1,0 +1,362 @@
+// SPDX-License-Identifier: MIT
+//
+// Chaos-soak harness: runs hundreds of seeded episodes composing scripted
+// faults (crash/omission/corruption/transient) with stragglers, lossy links,
+// and hedging/adaptive timeouts, and checks four invariants after every
+// episode (decode, cumulative ITS, ledger consistency, liveness). Failing
+// episodes are dumped with their seed + schedule for one-command repro via
+// --replay. A paired A/B mode (--ab-trials) measures what hedging buys under
+// kExponentialSlowdown stragglers: p50/p99 completion with hedging on vs
+// off on the SAME straggler draws, plus hedge rate and extra-cost overhead.
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/csv.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "linalg/matrix_ops.h"
+#include "sim/chaos.h"
+#include "sim/fault_tolerant_protocol.h"
+#include "sim/metrics.h"
+#include "telemetry.h"
+#include "workload/device_profiles.h"
+
+namespace {
+
+using scec::sim::ChaosConfig;
+using scec::sim::ChaosEpisode;
+using scec::sim::ChaosSabotage;
+using scec::sim::ChaosSoakSummary;
+
+bool WriteFile(const std::string& path, const std::string& body) {
+  if (path.empty()) return true;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << "\n";
+    return false;
+  }
+  out << body;
+  return true;
+}
+
+std::string EpisodeJson(const ChaosEpisode& episode) {
+  return "{\"episode\":" + std::to_string(episode.index) +
+         ",\"seed\":" + std::to_string(episode.seed) + ",\"mix\":\"" +
+         episode.mix + "\",\"outcome\":\"" + episode.outcome +
+         "\",\"ok\":" + (episode.ok() ? "true" : "false") +
+         ",\"run\":" + scec::sim::ToJson(episode.run) +
+         ",\"recovery\":" + scec::sim::ToJson(episode.recovery) + "}\n";
+}
+
+// Replays one episode (optionally sabotaged) and prints its verdicts. In
+// sabotage mode success means the harness CAUGHT the deliberate violation.
+int Replay(const ChaosConfig& config, size_t index, ChaosSabotage sabotage) {
+  const ChaosEpisode episode =
+      scec::sim::RunChaosEpisode(config, index, sabotage);
+  std::cout << scec::sim::DescribeSchedule(episode);
+  std::cout << "  outcome=" << episode.outcome
+            << " decode=" << (episode.invariants.decode ? "ok" : "FAIL")
+            << " security=" << (episode.invariants.security ? "ok" : "FAIL")
+            << " ledger=" << (episode.invariants.ledger ? "ok" : "FAIL")
+            << " liveness=" << (episode.invariants.liveness ? "ok" : "FAIL")
+            << "\n";
+  if (!episode.failure.empty()) {
+    std::cout << "  failure: " << episode.failure << "\n";
+  }
+  if (sabotage != ChaosSabotage::kNone) {
+    const bool caught = !episode.ok();
+    std::cout << (caught ? "  [PASS] " : "  [FAIL] ")
+              << "deliberately broken invariant "
+              << (caught ? "was caught" : "SLIPPED THROUGH") << "\n";
+    return caught ? 0 : 1;
+  }
+  return episode.ok() ? 0 : 1;
+}
+
+struct AbResult {
+  scec::SampleStat off;       // query completion, hedging disabled
+  scec::SampleStat on;        // query completion, hedging + adaptive on
+  uint64_t dispatches_off = 0;
+  uint64_t dispatches_on = 0;
+  uint64_t retries_off = 0;
+  uint64_t retries_on = 0;
+  uint64_t timeouts_off = 0;
+  uint64_t timeouts_on = 0;
+  uint64_t hedges = 0;
+  uint64_t hedges_won = 0;
+  uint64_t staging_extra_bytes = 0;
+  bool ok = true;
+};
+
+// Paired trials: the same deployment and the SAME straggler seed per trial,
+// run once with hedging off and once with hedging + adaptive timeouts on, so
+// the two arms see identical slowdown draws. Both arms are measured at
+// settled_completion_s (time the last pending of the final round resolved),
+// the semantics-neutral completion time — query_completion_time keeps the
+// historical queue-drain value when hedging is off, which would compare
+// stale-deadline drain against settle and taint the A/B.
+//
+// The fleet is compute-bound on purpose (slow cores, fast links): the
+// exponential slowdown multiplies compute time, so a straggler's response
+// lands straggler-multiplier x later while a hedge to an idle survivor
+// costs only a small staging + dispatch detour.
+AbResult RunHedgeAb(size_t trials, size_t queries, uint64_t seed) {
+  AbResult result;
+  scec::Xoshiro256StarStar rng(seed);
+  scec::McscecProblem problem;
+  problem.m = 48;
+  problem.l = 256;
+  for (size_t j = 0; j < 14; ++j) {
+    scec::EdgeDevice device;
+    device.name = "edge-" + std::to_string(j);
+    device.costs.comm = rng.NextDouble(1.0, 5.0);
+    device.costs.storage = 0.01;
+    device.costs.mul = 0.002;
+    device.costs.add = 0.001;
+    device.compute_rate_flops = rng.NextDouble(1e6, 2e6);  // compute-bound
+    device.uplink_bps = 2e8;
+    device.downlink_bps = 2e8;
+    device.link_latency_s = 2e-4;
+    problem.fleet.Add(device);
+  }
+  const auto a = scec::RandomMatrix<double>(problem.m, problem.l, rng);
+  const auto x = scec::RandomVector<double>(problem.l, rng);
+  const auto expected = scec::MatVec(a, std::span<const double>(x));
+
+  scec::ChaCha20Rng coding_rng(seed ^ 0xABu);
+  const auto deployment = scec::Deploy(problem, a, coding_rng);
+  SCEC_CHECK(deployment.ok());
+
+  for (size_t trial = 0; trial < trials; ++trial) {
+    scec::sim::SimOptions options;
+    options.straggler.kind = scec::sim::StragglerKind::kExponentialSlowdown;
+    options.straggler.rate = 0.8;  // mean slowdown 1 + 1/0.8 = 2.25x
+    options.straggler_seed = seed + 1000 + trial;
+    for (const bool hedging : {false, true}) {
+      scec::sim::FaultToleranceOptions ft;
+      ft.hedging = hedging;
+      ft.adaptive_timeouts = hedging;
+      ft.hedge_quantile = 0.5;  // hedge anything slower than its median
+      ft.hedge_margin = 1.25;
+      scec::sim::FaultTolerantScecProtocol protocol(
+          &*deployment, &a, problem.fleet.devices(), options, ft);
+      protocol.Stage();
+      for (size_t q = 0; q < queries; ++q) {
+        const auto decoded = protocol.RunQuery(x);
+        if (!decoded.ok() ||
+            scec::MaxAbsDiff(std::span<const double>(*decoded),
+                             std::span<const double>(expected)) >= 1e-9) {
+          result.ok = false;
+          continue;
+        }
+        (hedging ? result.on : result.off)
+            .Add(protocol.recovery_metrics().settled_completion_s);
+      }
+      result.ok = result.ok && protocol.VerifyCumulativeSecurity().all_secure;
+      const auto& recovery = protocol.recovery_metrics();
+      if (hedging) {
+        result.dispatches_on += recovery.queries_dispatched;
+        result.retries_on += recovery.retries_sent;
+        result.timeouts_on += recovery.deadline_timeouts;
+        result.hedges += recovery.hedges_dispatched;
+        result.hedges_won += recovery.hedges_won;
+        result.staging_extra_bytes += recovery.hedge_staging_bytes;
+      } else {
+        result.dispatches_off += recovery.queries_dispatched;
+        result.retries_off += recovery.retries_sent;
+        result.timeouts_off += recovery.deadline_timeouts;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t episodes = 200;
+  int64_t seed = 1;
+  int64_t queries = 2;
+  int64_t replay = -1;
+  int64_t ab_trials = 0;
+  int64_t ab_queries = 4;
+  std::string sabotage_name;
+  std::string fail_out;
+  std::string metrics_csv;
+  std::string metrics_json;
+  scec::bench::TelemetryFlags telemetry;
+  scec::CliParser cli("chaos_soak",
+                      "seeded chaos soak over the fault-tolerant SCEC "
+                      "runtime (composed faults x stragglers x lossy links "
+                      "x hedging), with invariant checks per episode");
+  cli.AddInt("episodes", &episodes, "episodes to run");
+  cli.AddInt("seed", &seed, "master seed (episode i derives from (seed, i))");
+  cli.AddInt("queries", &queries, "queries per episode");
+  cli.AddInt("replay", &replay,
+             "replay just this episode index and print its schedule");
+  cli.AddString("sabotage", &sabotage_name,
+                "with --replay: deliberately break an invariant "
+                "(tamper-result | forge-ledger) and expect it caught");
+  cli.AddString("fail-out", &fail_out,
+                "write failing episodes (seed + schedule + repro) here");
+  cli.AddInt("ab-trials", &ab_trials,
+             "paired hedging-on/off trials under exponential stragglers "
+             "(0 = skip)");
+  cli.AddInt("ab-queries", &ab_queries, "queries per A/B trial");
+  cli.AddString("run-metrics-csv", &metrics_csv,
+                "write per-episode run+recovery metrics CSV here");
+  cli.AddString("run-metrics-json", &metrics_json,
+                "write per-episode run+recovery metrics JSON lines here");
+  scec::bench::AddTelemetryFlags(&cli, &telemetry);
+  if (!cli.Parse(argc, argv)) return 1;
+  scec::bench::StartTelemetry(telemetry);
+
+  ChaosConfig config;
+  config.seed = static_cast<uint64_t>(seed);
+  config.episodes = static_cast<size_t>(episodes);
+  config.queries_per_episode = static_cast<size_t>(queries);
+
+  if (replay >= 0) {
+    ChaosSabotage sabotage = ChaosSabotage::kNone;
+    if (sabotage_name == "tamper-result") {
+      sabotage = ChaosSabotage::kTamperResult;
+    } else if (sabotage_name == "forge-ledger") {
+      sabotage = ChaosSabotage::kForgeLedger;
+    } else if (!sabotage_name.empty()) {
+      std::cerr << "unknown --sabotage: " << sabotage_name << "\n";
+      return 1;
+    }
+    return Replay(config, static_cast<size_t>(replay), sabotage);
+  }
+
+  const ChaosSoakSummary summary = scec::sim::RunChaosSoak(config);
+
+  // Per-mix aggregation.
+  struct MixStats {
+    size_t episodes = 0;
+    size_t passed = 0;
+    size_t decoded = 0;
+    uint64_t evictions = 0;
+    uint64_t recovery_rounds = 0;
+    uint64_t hedges = 0;
+    uint64_t hedges_won = 0;
+  };
+  std::map<std::string, MixStats> mixes;
+  std::string csv_lines = "episode,mix,outcome,ok," +
+                          scec::sim::RunMetricsCsvHeader() + "," +
+                          scec::sim::FaultRecoveryMetricsCsvHeader() + "\n";
+  std::string json_lines;
+  for (const ChaosEpisode& episode : summary.detail) {
+    MixStats& mix = mixes[episode.mix];
+    ++mix.episodes;
+    if (episode.ok()) ++mix.passed;
+    if (episode.outcome == "decoded") ++mix.decoded;
+    mix.evictions += episode.recovery.TotalEvictions();
+    mix.recovery_rounds += episode.recovery.recovery_rounds;
+    mix.hedges += episode.recovery.hedges_dispatched;
+    mix.hedges_won += episode.recovery.hedges_won;
+    csv_lines += std::to_string(episode.index) + "," + episode.mix + "," +
+                 episode.outcome + "," + (episode.ok() ? "1" : "0") + "," +
+                 scec::sim::ToCsvRow(episode.run) + "," +
+                 scec::sim::ToCsvRow(episode.recovery) + "\n";
+    json_lines += EpisodeJson(episode);
+  }
+
+  scec::TablePrinter table({"mix", "episodes", "passed", "decoded",
+                            "evictions", "rec rounds", "hedges", "hedge wins"});
+  for (const auto& [name, mix] : mixes) {
+    table.AddRow({name, std::to_string(mix.episodes),
+                  std::to_string(mix.passed), std::to_string(mix.decoded),
+                  std::to_string(mix.evictions),
+                  std::to_string(mix.recovery_rounds),
+                  std::to_string(mix.hedges), std::to_string(mix.hedges_won)});
+  }
+  table.Print(std::cout);
+  std::cout << "  episodes=" << summary.episodes
+            << " passed=" << summary.passed << " decoded=" << summary.decoded
+            << " infeasible=" << summary.infeasible
+            << " internal=" << summary.internal
+            << " failing=" << summary.failing.size() << "\n";
+
+  std::string fail_report;
+  for (size_t index : summary.failing) {
+    const ChaosEpisode& episode = summary.detail[index];
+    fail_report += scec::sim::DescribeSchedule(episode);
+    fail_report += "  failure: " + episode.failure + "\n";
+    fail_report += "  repro: " + scec::sim::ReproCommand(config, episode) +
+                   "\n\n";
+  }
+  if (!summary.failing.empty()) {
+    std::cerr << fail_report;
+  }
+
+  bool ok = config.episodes == 0 || summary.ok();  // 0 = A/B-only run
+  ok = WriteFile(fail_out, fail_report) && ok;
+  ok = WriteFile(metrics_csv, csv_lines) && ok;
+  ok = WriteFile(metrics_json, json_lines) && ok;
+
+  if (ab_trials > 0) {
+    const AbResult ab =
+        RunHedgeAb(static_cast<size_t>(ab_trials),
+                   static_cast<size_t>(ab_queries),
+                   static_cast<uint64_t>(seed) ^ 0xAB00u);
+    const double p99_off = ab.off.Percentile(99.0);
+    const double p99_on = ab.on.Percentile(99.0);
+    const double hedge_rate =
+        ab.dispatches_on == 0
+            ? 0.0
+            : static_cast<double>(ab.hedges) /
+                  static_cast<double>(ab.dispatches_on);
+    const double extra_dispatch =
+        ab.dispatches_off == 0
+            ? 0.0
+            : static_cast<double>(ab.dispatches_on) /
+                      static_cast<double>(ab.dispatches_off) -
+                  1.0;
+    scec::TablePrinter ab_table({"hedging", "p50(ms)", "p99(ms)", "max(ms)",
+                                 "dispatches", "retries", "timeouts"});
+    ab_table.AddRow({"off", scec::FormatDouble(ab.off.Median() * 1e3, 3),
+                     scec::FormatDouble(p99_off * 1e3, 3),
+                     scec::FormatDouble(ab.off.max() * 1e3, 3),
+                     std::to_string(ab.dispatches_off),
+                     std::to_string(ab.retries_off),
+                     std::to_string(ab.timeouts_off)});
+    ab_table.AddRow({"on", scec::FormatDouble(ab.on.Median() * 1e3, 3),
+                     scec::FormatDouble(p99_on * 1e3, 3),
+                     scec::FormatDouble(ab.on.max() * 1e3, 3),
+                     std::to_string(ab.dispatches_on),
+                     std::to_string(ab.retries_on),
+                     std::to_string(ab.timeouts_on)});
+    ab_table.Print(std::cout);
+    std::cout << "  hedges=" << ab.hedges << " won=" << ab.hedges_won
+              << " hedge_rate=" << scec::FormatDouble(hedge_rate, 4)
+              << " extra_dispatch_overhead="
+              << scec::FormatDouble(extra_dispatch, 4)
+              << " hedge_staging_bytes=" << ab.staging_extra_bytes << "\n";
+    std::cout << "  {\"p50_off_ms\":"
+              << scec::FormatDouble(ab.off.Median() * 1e3, 6)
+              << ",\"p99_off_ms\":" << scec::FormatDouble(p99_off * 1e3, 6)
+              << ",\"p50_on_ms\":"
+              << scec::FormatDouble(ab.on.Median() * 1e3, 6)
+              << ",\"p99_on_ms\":" << scec::FormatDouble(p99_on * 1e3, 6)
+              << ",\"hedge_rate\":" << scec::FormatDouble(hedge_rate, 6)
+              << ",\"extra_dispatch_overhead\":"
+              << scec::FormatDouble(extra_dispatch, 6)
+              << ",\"hedge_staging_bytes\":" << ab.staging_extra_bytes << "}\n";
+    ok = ok && ab.ok && p99_on < p99_off;
+    std::cout << (ab.ok && p99_on < p99_off ? "  [PASS] " : "  [FAIL] ")
+              << "hedging lowers p99 completion under exponential "
+                 "stragglers at bounded extra cost\n";
+  }
+
+  ok = scec::bench::ExportTelemetry(telemetry) && ok;
+  std::cout << (ok ? "  [PASS] " : "  [FAIL] ")
+            << "all episodes hold the four chaos invariants "
+               "(decode, ITS, ledger, liveness)\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,321 @@
+// SPDX-License-Identifier: MIT
+
+#include "sim/chaos.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/rng.h"
+#include "linalg/matrix_ops.h"
+#include "workload/device_profiles.h"
+
+namespace scec::sim {
+namespace {
+
+// Every random choice of episode i flows from this one derived seed, so
+// (master seed, index) fully replays the episode.
+uint64_t EpisodeSeed(uint64_t master, size_t index) {
+  SplitMix64 mix(master ^ (0x9E3779B97F4A7C15ull * (index + 1)));
+  return mix.Next();
+}
+
+size_t DrawInRange(Xoshiro256StarStar& rng, size_t lo, size_t hi) {
+  SCEC_CHECK_LE(lo, hi);
+  return lo + static_cast<size_t>(rng.NextBelow(hi - lo + 1));
+}
+
+std::string Num(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+// Cross-checks the protocol's two independent ledgers (byte counters of
+// RunMetrics vs dispatch/response tallies of FaultRecoveryMetrics, plus the
+// per-device Eq. (1) identity). Returns the first mismatch, or "".
+std::string CheckLedger(const ChaosEpisode& episode, double value_bytes) {
+  const RunMetrics& run = episode.run;
+  const FaultRecoveryMetrics& rec = episode.recovery;
+  const uint64_t x_bytes = static_cast<uint64_t>(
+      static_cast<double>(episode.l) * value_bytes);
+  if (run.query_uplink_bytes != rec.queries_dispatched * x_bytes) {
+    return "uplink bytes " + std::to_string(run.query_uplink_bytes) +
+           " != dispatches " + std::to_string(rec.queries_dispatched) +
+           " x " + std::to_string(x_bytes);
+  }
+  const uint64_t expected_down = static_cast<uint64_t>(
+      static_cast<double>(rec.response_values_received) * value_bytes);
+  if (run.query_downlink_bytes != expected_down) {
+    return "downlink bytes " + std::to_string(run.query_downlink_bytes) +
+           " != response values " +
+           std::to_string(rec.response_values_received) + " x value_bytes";
+  }
+  const uint64_t l = episode.l;
+  for (const DeviceMetrics& dev : run.devices) {
+    // Per response of V rows: V·l mults and V·(l−1) adds, so
+    // mults·(l−1) == adds·l for any number of (possibly dropped) responses.
+    if (dev.multiplications * (l - 1) != dev.additions * l) {
+      return "device " + dev.name + " Eq.(1) op identity broken (" +
+             std::to_string(dev.multiplications) + " mults vs " +
+             std::to_string(dev.additions) + " adds)";
+    }
+  }
+  // Staged bytes == delivered coded rows × l × value_bytes. A hedge staging
+  // aborted by a lossy link counts bytes for shares that never arrived, so
+  // the exact correspondence only holds without aborts.
+  if (rec.hedge_staging_aborts == 0) {
+    uint64_t coded_rows = 0;
+    for (const DeviceMetrics& dev : run.devices) coded_rows += dev.coded_rows;
+    const uint64_t expected_staging = static_cast<uint64_t>(
+        static_cast<double>(coded_rows * l) * value_bytes);
+    if (run.staging_bytes != expected_staging) {
+      return "staging bytes " + std::to_string(run.staging_bytes) +
+             " != delivered coded rows " + std::to_string(coded_rows) +
+             " x l x value_bytes";
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::vector<ChaosMix> DefaultChaosMixes() {
+  return {
+      {.name = "crash", .crash = 0.5},
+      {.name = "omission", .omission = 0.5},
+      {.name = "corruption", .corruption = 0.5},
+      {.name = "transient", .transient = 0.6},
+      {.name = "lossy", .crash = 0.25, .transient = 0.3, .lossy_links = 1.0},
+      {.name = "stragglers", .straggler = 1.0},
+      {.name = "hedged-stragglers",
+       .straggler = 1.0,
+       .hedging = true,
+       .adaptive_timeouts = true},
+      {.name = "kitchen-sink",
+       .crash = 0.2,
+       .omission = 0.2,
+       .corruption = 0.2,
+       .transient = 0.2,
+       .straggler = 0.5,
+       .lossy_links = 0.3,
+       .hedging = true,
+       .adaptive_timeouts = true},
+  };
+}
+
+ChaosEpisode RunChaosEpisode(const ChaosConfig& config, size_t index,
+                             ChaosSabotage sabotage) {
+  const std::vector<ChaosMix> mixes =
+      config.mixes.empty() ? DefaultChaosMixes() : config.mixes;
+  const ChaosMix& mix = mixes[index % mixes.size()];
+
+  ChaosEpisode episode;
+  episode.index = index;
+  episode.seed = EpisodeSeed(config.seed, index);
+  episode.mix = mix.name;
+
+  Xoshiro256StarStar rng(episode.seed);
+  episode.m = DrawInRange(rng, config.m_min, config.m_max);
+  episode.l = DrawInRange(rng, config.l_min, config.l_max);
+  episode.fleet = DrawInRange(rng, config.fleet_min, config.fleet_max);
+  episode.stragglers = rng.NextDouble() < mix.straggler;
+  episode.lossy = rng.NextDouble() < mix.lossy_links;
+  episode.hedging = mix.hedging;
+  episode.adaptive = mix.adaptive_timeouts;
+
+  McscecProblem problem;
+  problem.m = episode.m;
+  problem.l = episode.l;
+  problem.fleet = MakeCampusFleet(episode.fleet, rng);
+  const Matrix<double> a = RandomMatrix<double>(problem.m, problem.l, rng);
+  const std::vector<double> x = RandomVector<double>(problem.l, rng);
+  const std::vector<double> expected = MatVec(a, std::span<const double>(x));
+
+  ChaCha20Rng coding_rng(episode.seed ^ 0xC0D1A6ull);
+  const auto deployment = Deploy(problem, a, coding_rng);
+  if (!deployment.ok()) {
+    episode.outcome = deployment.status().ToString();
+    episode.invariants.liveness = false;
+    episode.failure = "liveness: deployment failed: " + episode.outcome;
+    return episode;
+  }
+  const std::vector<size_t>& participating = deployment->plan.participating;
+
+  // Scripted fault schedule over participating devices, capped so the
+  // script alone cannot push the fleet below k = 2.
+  const size_t cap = std::min(
+      config.max_faulty,
+      participating.size() > 2 ? participating.size() - 2 : size_t{0});
+  std::vector<size_t> candidates = participating;
+  for (size_t i = candidates.size(); i > 1; --i) {  // seeded Fisher–Yates
+    std::swap(candidates[i - 1], candidates[rng.NextBelow(i)]);
+  }
+  const double fault_weight =
+      mix.crash + mix.omission + mix.corruption + mix.transient;
+  FaultSchedule faults;
+  for (size_t i = 0; i < candidates.size() && episode.schedule.size() < cap;
+       ++i) {
+    if (rng.NextDouble() >= fault_weight) continue;
+    double pick = rng.NextDouble() * fault_weight;
+    ChaosScheduledFault fault;
+    fault.device = candidates[i];
+    if ((pick -= mix.crash) < 0.0) {
+      fault.kind = FaultKind::kCrash;
+      fault.start_s = rng.NextDouble(0.0, 0.02);
+      faults.AddCrash(fault.device, fault.start_s);
+    } else if ((pick -= mix.omission) < 0.0) {
+      fault.kind = FaultKind::kOmission;
+      fault.start_s = rng.NextDouble(0.0, 0.01);
+      faults.AddOmission(fault.device, fault.start_s);
+    } else if ((pick -= mix.corruption) < 0.0) {
+      fault.kind = FaultKind::kCorruption;
+      fault.start_s = 0.0;
+      fault.delta = (rng.NextDouble() < 0.5 ? 1.0 : -1.0) *
+                    rng.NextDouble(0.5, 2.0);
+      faults.AddCorruption(fault.device, fault.start_s, 0, fault.delta);
+    } else {
+      fault.kind = FaultKind::kTransient;
+      fault.start_s = rng.NextDouble(0.0, 0.01);
+      fault.end_s = fault.start_s + rng.NextDouble(0.02, 0.1);
+      faults.AddTransient(fault.device, fault.start_s, fault.end_s);
+    }
+    episode.schedule.push_back(fault);
+  }
+
+  SimOptions options;
+  options.faults = &faults;
+  options.straggler_seed = episode.seed ^ 0x57A661ull;
+  if (episode.stragglers) {
+    options.straggler.kind = StragglerKind::kShiftedExponential;
+    options.straggler.rate = rng.NextDouble(0.5, 4.0);
+    options.straggler.shift = 1.0;
+    options.straggler.multiplier_cap = 25.0;  // bounded tail: no stalls
+  }
+  if (episode.lossy) {
+    options.loss_probability = config.loss_probability;
+    options.loss_seed = episode.seed ^ 0x105Eull;
+  }
+
+  FaultToleranceOptions ft = config.ft;
+  ft.hedging = mix.hedging;
+  ft.adaptive_timeouts = mix.adaptive_timeouts;
+  ft.backoff_jitter = config.backoff_jitter;
+  ft.jitter_seed = episode.seed ^ 0x317732ull;
+  ft.verifier_seed = episode.seed ^ 0xF4E1A7D5ull;
+  ft.repair_pad_seed = episode.seed ^ 0x9D2C5680ull;
+  ft.hedge_pad_seed = episode.seed ^ 0xA409382229F31D0Cull;
+
+  FaultTolerantScecProtocol protocol(&*deployment, &a,
+                                     problem.fleet.devices(), options, ft);
+  protocol.Stage();
+
+  episode.outcome = "decoded";
+  for (size_t q = 0; q < config.queries_per_episode; ++q) {
+    const auto result = protocol.RunQuery(x);
+    if (!result.ok()) {
+      const ErrorCode code = result.status().code();
+      if (code == ErrorCode::kInfeasible) {
+        episode.outcome = "infeasible";
+      } else if (code == ErrorCode::kInternal) {
+        episode.outcome = "internal";
+      } else {
+        // Invariant 4: any other status is an unexpected termination mode.
+        episode.outcome = result.status().ToString();
+        episode.invariants.liveness = false;
+        episode.failure = "liveness: " + episode.outcome;
+      }
+      break;
+    }
+    // Invariant 1: the decoded query equals the ground truth A·x.
+    std::vector<double> decoded = *result;
+    if (sabotage == ChaosSabotage::kTamperResult && !decoded.empty()) {
+      decoded[0] += 1.0;
+    }
+    const double err = MaxAbsDiff(std::span<const double>(decoded),
+                                  std::span<const double>(expected));
+    if (!(err < 1e-9) && episode.invariants.decode) {
+      episode.invariants.decode = false;
+      episode.failure =
+          "decode: query " + std::to_string(q) + " off by " + Num(err);
+    }
+  }
+
+  // Invariant 2: cumulative Def. 2 ITS across every encoding round (base +
+  // recoveries + hedges), checked outside the protocol's own asserts.
+  if (!protocol.VerifyCumulativeSecurity().all_secure) {
+    episode.invariants.security = false;
+    if (episode.failure.empty()) {
+      episode.failure = "security: cumulative view rank dropped";
+    }
+  }
+
+  episode.run = protocol.metrics();
+  episode.recovery = protocol.recovery_metrics();
+  if (sabotage == ChaosSabotage::kForgeLedger) {
+    episode.run.query_downlink_bytes += 7;
+  }
+  // Invariant 3: the independent ledgers agree.
+  const std::string ledger = CheckLedger(episode, options.value_bytes);
+  if (!ledger.empty()) {
+    episode.invariants.ledger = false;
+    if (episode.failure.empty()) episode.failure = "ledger: " + ledger;
+  }
+  return episode;
+}
+
+ChaosSoakSummary RunChaosSoak(const ChaosConfig& config) {
+  ChaosSoakSummary summary;
+  summary.episodes = config.episodes;
+  summary.detail.reserve(config.episodes);
+  for (size_t i = 0; i < config.episodes; ++i) {
+    ChaosEpisode episode = RunChaosEpisode(config, i);
+    if (episode.ok()) {
+      ++summary.passed;
+    } else {
+      summary.failing.push_back(i);
+    }
+    if (episode.outcome == "decoded") {
+      ++summary.decoded;
+    } else if (episode.outcome == "infeasible") {
+      ++summary.infeasible;
+    } else if (episode.outcome == "internal") {
+      ++summary.internal;
+    }
+    summary.detail.push_back(std::move(episode));
+  }
+  return summary;
+}
+
+std::string DescribeSchedule(const ChaosEpisode& episode) {
+  std::ostringstream os;
+  os << "episode " << episode.index << " seed=" << episode.seed << " mix="
+     << episode.mix << " m=" << episode.m << " l=" << episode.l
+     << " fleet=" << episode.fleet
+     << " stragglers=" << (episode.stragglers ? 1 : 0)
+     << " lossy=" << (episode.lossy ? 1 : 0)
+     << " hedging=" << (episode.hedging ? 1 : 0)
+     << " adaptive=" << (episode.adaptive ? 1 : 0) << "\n";
+  for (const ChaosScheduledFault& fault : episode.schedule) {
+    os << "  dev " << fault.device << " " << FaultKindName(fault.kind)
+       << " @" << Num(fault.start_s);
+    if (fault.kind == FaultKind::kTransient) {
+      os << " until " << Num(fault.end_s);
+    }
+    if (fault.kind == FaultKind::kCorruption) {
+      os << " delta " << Num(fault.delta);
+    }
+    os << "\n";
+  }
+  if (episode.schedule.empty()) os << "  (no scripted faults)\n";
+  return os.str();
+}
+
+std::string ReproCommand(const ChaosConfig& config,
+                         const ChaosEpisode& episode) {
+  return "bench/chaos_soak --seed=" + std::to_string(config.seed) +
+         " --replay=" + std::to_string(episode.index);
+}
+
+}  // namespace scec::sim

@@ -1,0 +1,168 @@
+// SPDX-License-Identifier: MIT
+//
+// Deterministic chaos-soak harness for the fault-tolerant SCEC runtime.
+//
+// A soak runs many independent EPISODES. Each episode derives every random
+// choice — problem shape, fleet, fault schedule, straggler/loss knobs — from
+// a single SplitMix64-derived seed, builds a fresh deployment, runs queries
+// through FaultTolerantScecProtocol, and checks four invariants:
+//
+//   1. decode    — every successfully answered query equals A·x exactly
+//                  (within float round-off of the ground-truth MatVec);
+//   2. security  — every device's cumulative view stays Def. 2 ITS-secure
+//                  after all recovery rounds and hedges (exact GF(2^61−1)
+//                  ranks via VerifyCumulativeSecurity);
+//   3. ledger    — the protocol's independent tallies agree: uplink bytes ==
+//                  dispatches × l × value_bytes, downlink bytes == response
+//                  values × value_bytes, and the per-device Eq. (1) identity
+//                  mults·(l−1) == adds·l holds; staging bytes match the
+//                  coded rows actually delivered (skipped when a lossy link
+//                  aborted a hedge staging, which legitimately breaks the
+//                  byte/row correspondence);
+//   4. liveness  — the protocol terminates with an explicit outcome:
+//                  decoded, kInfeasible (fleet collapsed below k = 2) or
+//                  kInternal (recovery budget exhausted). Hangs are
+//                  impossible by construction (the event queue drains), so
+//                  this invariant catches status-code regressions.
+//
+// Episodes are REPLAYABLE: a failing episode's master seed + index fully
+// determine its schedule, and ReproCommand() prints the one-command repro
+// (bench/chaos_soak --seed=… --replay=…). Sabotage hooks deliberately break
+// an invariant on an otherwise-healthy episode so tests can prove the
+// harness actually catches violations (a soak that can't fail is not a
+// check).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/fault_tolerant_protocol.h"
+#include "sim/faults.h"
+
+namespace scec::sim {
+
+// One fault-mix profile: per-device probabilities of each scripted fault
+// plus episode-level toggles. Probabilities are per participating device;
+// scripted faults are capped so most episodes stay decodable.
+struct ChaosMix {
+  std::string name = "baseline";
+  double crash = 0.0;
+  double omission = 0.0;
+  double corruption = 0.0;
+  double transient = 0.0;
+  double straggler = 0.0;    // P(episode runs kShiftedExponential stragglers)
+  double lossy_links = 0.0;  // P(episode uses the lossy channel)
+  bool hedging = false;
+  bool adaptive_timeouts = false;
+};
+
+// The standard soak rotation: every fault kind alone, the kitchen sink, and
+// the resilience features on top of stragglers (hedging on/off A/B).
+std::vector<ChaosMix> DefaultChaosMixes();
+
+struct ChaosConfig {
+  uint64_t seed = 1;    // master seed; episode i is fully determined by (seed, i)
+  size_t episodes = 200;
+  size_t queries_per_episode = 2;
+
+  // Problem-shape ranges (inclusive), drawn per episode.
+  size_t m_min = 4;
+  size_t m_max = 12;
+  size_t l_min = 4;
+  size_t l_max = 12;
+  size_t fleet_min = 6;
+  size_t fleet_max = 12;
+
+  // At most this many scripted faulty devices per episode (also capped at
+  // participating − 2 so an episode can't be scripted straight to collapse).
+  size_t max_faulty = 3;
+
+  std::vector<ChaosMix> mixes;  // empty -> DefaultChaosMixes(); episode i
+                                // uses mixes[i % mixes.size()]
+  // Knobs shared by all episodes.
+  double loss_probability = 0.03;
+  double backoff_jitter = 0.2;  // exercises the seeded-jitter path
+  FaultToleranceOptions ft;     // base options; per-mix toggles override
+};
+
+// Deliberately corrupt one invariant input AFTER the episode ran, on copies
+// — the protocol itself is untouched. Used by the negative tests that prove
+// the harness detects violations.
+enum class ChaosSabotage {
+  kNone,
+  kTamperResult,  // flip one decoded value  -> decode invariant must trip
+  kForgeLedger,   // inflate downlink bytes  -> ledger invariant must trip
+};
+
+// One scripted fault of an episode's schedule (printable for repro).
+struct ChaosScheduledFault {
+  size_t device = 0;  // fleet index
+  FaultKind kind = FaultKind::kCrash;
+  double start_s = 0.0;
+  double end_s = 0.0;   // kTransient only
+  double delta = 0.0;   // kCorruption only
+};
+
+// Per-invariant verdicts; all true on a healthy episode.
+struct ChaosInvariants {
+  bool decode = true;
+  bool security = true;
+  bool ledger = true;
+  bool liveness = true;
+  bool AllHold() const { return decode && security && ledger && liveness; }
+};
+
+struct ChaosEpisode {
+  // Identity + derived scenario.
+  size_t index = 0;
+  uint64_t seed = 0;  // derived episode seed
+  std::string mix;
+  size_t m = 0;
+  size_t l = 0;
+  size_t fleet = 0;
+  bool stragglers = false;
+  bool lossy = false;
+  bool hedging = false;
+  bool adaptive = false;
+  std::vector<ChaosScheduledFault> schedule;
+
+  // Outcome.
+  std::string outcome;  // "decoded" | "infeasible" | "internal" | error text
+  ChaosInvariants invariants;
+  std::string failure;  // first violated invariant + detail; empty if ok
+  RunMetrics run;
+  FaultRecoveryMetrics recovery;
+
+  bool ok() const { return invariants.AllHold(); }
+};
+
+struct ChaosSoakSummary {
+  size_t episodes = 0;
+  size_t passed = 0;
+  size_t decoded = 0;
+  size_t infeasible = 0;
+  size_t internal = 0;
+  std::vector<ChaosEpisode> detail;   // every episode, in order
+  std::vector<size_t> failing;        // indices into `detail`
+  bool ok() const { return failing.empty() && episodes > 0; }
+};
+
+// Runs episode `index` of the soak described by `config`, deterministically.
+ChaosEpisode RunChaosEpisode(const ChaosConfig& config, size_t index,
+                             ChaosSabotage sabotage = ChaosSabotage::kNone);
+
+// Runs the full soak. Stops at nothing: every episode executes and failing
+// ones are collected (seed + schedule) for repro.
+ChaosSoakSummary RunChaosSoak(const ChaosConfig& config);
+
+// Human-readable schedule of one episode (one line per scripted fault plus
+// the scenario header).
+std::string DescribeSchedule(const ChaosEpisode& episode);
+
+// One-command repro for a failing episode.
+std::string ReproCommand(const ChaosConfig& config,
+                         const ChaosEpisode& episode);
+
+}  // namespace scec::sim

@@ -3,13 +3,65 @@
 #include "sim/fault_tolerant_protocol.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <utility>
 
+#include "allocation/cost_model.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace scec::sim {
+namespace {
+
+// Lazily-fetched global instruments for the resilience layer (same idiom as
+// ReliableChannel::ChannelMetrics): one lookup, then atomic-only updates.
+struct ResilienceMetrics {
+  obs::Counter& hedges_dispatched;
+  obs::Counter& hedges_won;
+  obs::Counter& hedges_cancelled;
+  obs::Counter& hedge_staging_aborts;
+  obs::Counter& adaptive_deadlines;
+  obs::Histogram& adaptive_deadline_seconds;
+  obs::Histogram& device_response_seconds;
+
+  static ResilienceMetrics& Get() {
+    static ResilienceMetrics metrics;
+    return metrics;
+  }
+
+ private:
+  ResilienceMetrics()
+      : hedges_dispatched(obs::MetricsRegistry::Global().GetCounter(
+            "scec_hedges_total", {{"outcome", "dispatched"}})),
+        hedges_won(obs::MetricsRegistry::Global().GetCounter(
+            "scec_hedges_total", {{"outcome", "won"}})),
+        hedges_cancelled(obs::MetricsRegistry::Global().GetCounter(
+            "scec_hedges_total", {{"outcome", "cancelled"}})),
+        hedge_staging_aborts(obs::MetricsRegistry::Global().GetCounter(
+            "scec_hedge_staging_aborts_total")),
+        adaptive_deadlines(obs::MetricsRegistry::Global().GetCounter(
+            "scec_adaptive_deadlines_total")),
+        adaptive_deadline_seconds(obs::MetricsRegistry::Global().GetHistogram(
+            "scec_adaptive_deadline_seconds")),
+        device_response_seconds(obs::MetricsRegistry::Global().GetHistogram(
+            "scec_device_response_seconds")) {}
+};
+
+// row index within B -> (scheme device, offset within its response).
+std::vector<std::pair<size_t, size_t>> HolderMap(const LcecScheme& scheme) {
+  std::vector<std::pair<size_t, size_t>> holder(scheme.total_rows());
+  size_t row = 0;
+  for (size_t j = 0; j < scheme.num_devices(); ++j) {
+    for (size_t k = 0; k < scheme.row_counts[j]; ++k) {
+      holder[row++] = {j, k};
+    }
+  }
+  return holder;
+}
+
+}  // namespace
 
 FaultTolerantScecProtocol::FaultTolerantScecProtocol(
     const Deployment<double>* deployment, const Matrix<double>* a,
@@ -20,8 +72,10 @@ FaultTolerantScecProtocol::FaultTolerantScecProtocol(
       options_(options),
       ft_(ft_options),
       straggler_rng_(options.straggler_seed),
+      jitter_rng_(ft_options.jitter_seed),
       verifier_rng_(ft_options.verifier_seed),
-      repair_rng_(ft_options.repair_pad_seed) {
+      repair_rng_(ft_options.repair_pad_seed),
+      hedge_rng_(ft_options.hedge_pad_seed) {
   SCEC_CHECK(deployment_ != nullptr);
   SCEC_CHECK(a_ != nullptr);
   SCEC_CHECK_EQ(a_->rows(), deployment_->code.m());
@@ -29,6 +83,15 @@ FaultTolerantScecProtocol::FaultTolerantScecProtocol(
   ft_.retry.Validate();
   SCEC_CHECK_GT(ft_.deadline_factor, 0.0);
   SCEC_CHECK_GT(ft_.min_deadline_s, 0.0);
+  SCEC_CHECK_GE(ft_.backoff_jitter, 0.0);
+  SCEC_CHECK_LT(ft_.backoff_jitter, 1.0);
+  SCEC_CHECK_GE(ft_.timeout_quantile, 0.0);
+  SCEC_CHECK_LE(ft_.timeout_quantile, 1.0);
+  SCEC_CHECK_GT(ft_.timeout_margin, 0.0);
+  SCEC_CHECK_GE(ft_.hedge_quantile, 0.0);
+  SCEC_CHECK_LE(ft_.hedge_quantile, 1.0);
+  SCEC_CHECK_GT(ft_.hedge_margin, 0.0);
+  ft_.estimator.Validate();
 
   devices_.reserve(fleet_specs.size());
   for (EdgeDevice& spec : fleet_specs) {
@@ -40,6 +103,7 @@ FaultTolerantScecProtocol::FaultTolerantScecProtocol(
     SCEC_CHECK_LT(fleet_index, devices_.size())
         << "fleet_specs must cover every participating device";
   }
+  latency_.assign(devices_.size(), LatencyEstimator(ft_.estimator));
   BuildTopology();
 
   // The base deployment is segment 0: all m data rows, the planner's scheme,
@@ -81,15 +145,22 @@ void FaultTolerantScecProtocol::BuildTopology() {
 void FaultTolerantScecProtocol::SendMsg(NodeId from, NodeId to, uint64_t bytes,
                                         EventQueue::Callback on_delivered,
                                         bool abort_on_failure) {
+  EventQueue::Callback on_failure = nullptr;
+  if (abort_on_failure) {
+    on_failure = []() {
+      SCEC_CHECK(false) << "reliable transfer exhausted its retry budget";
+    };
+  }
+  // Query-path sends fail silently: the protocol's own deadline + retry
+  // layer handles the loss.
+  SendMsgEx(from, to, bytes, std::move(on_delivered), std::move(on_failure));
+}
+
+void FaultTolerantScecProtocol::SendMsgEx(NodeId from, NodeId to,
+                                          uint64_t bytes,
+                                          EventQueue::Callback on_delivered,
+                                          EventQueue::Callback on_failure) {
   if (channel_ != nullptr) {
-    EventQueue::Callback on_failure = nullptr;
-    if (abort_on_failure) {
-      on_failure = []() {
-        SCEC_CHECK(false) << "reliable transfer exhausted its retry budget";
-      };
-    }
-    // Query-path sends fail silently: the protocol's own deadline + retry
-    // layer handles the loss.
     channel_->Send(from, to, bytes, std::move(on_delivered),
                    std::move(on_failure), options_.retransmit_timeout_s,
                    options_.max_retries);
@@ -163,6 +234,49 @@ void FaultTolerantScecProtocol::StageSegment(size_t segment_index) {
   }
   queue_.RunUntilEmpty();
   for (const auto& actor : seg.actors) SCEC_CHECK(actor->HasShare());
+  seg.staged = true;
+}
+
+void FaultTolerantScecProtocol::StageSegmentAsync(
+    size_t segment_index, EventQueue::Callback on_staged,
+    EventQueue::Callback on_abort) {
+  Segment& seg = segments_[segment_index];
+  struct StagingState {
+    size_t remaining = 0;
+    bool aborted = false;
+    EventQueue::Callback on_staged;
+    EventQueue::Callback on_abort;
+  };
+  auto state = std::make_shared<StagingState>();
+  state->remaining = seg.actors.size();
+  state->on_staged = std::move(on_staged);
+  state->on_abort = std::move(on_abort);
+  for (size_t j = 0; j < seg.actors.size(); ++j) {
+    const Matrix<double>& share = seg.share_rows[j];
+    const uint64_t bytes = static_cast<uint64_t>(
+        static_cast<double>(share.size()) * options_.value_bytes);
+    metrics_.staging_bytes += bytes;
+    recovery_.hedge_staging_bytes += bytes;
+    EdgeDeviceActor* actor = seg.actors[j].get();
+    SendMsgEx(kCloudNode, DeviceNode(seg.phys[j]), bytes,
+              [actor, share, state]() {
+                actor->OnShareDelivered(share);
+                if (state->aborted) return;
+                // `staged` is NOT set here: the on_staged callback decides.
+                // A hedge whose original resolved while shares were in
+                // flight must stay unstaged, or every later round-0 would
+                // re-query the dead speculative segment.
+                if (--state->remaining == 0) state->on_staged();
+              },
+              [state]() {
+                // Lossy link exhausted its retransmit budget: the segment
+                // can never fully stage, so the hedge is abandoned. The
+                // original pending's own deadline/retry path still runs.
+                if (state->aborted) return;
+                state->aborted = true;
+                state->on_abort();
+              });
+  }
 }
 
 void FaultTolerantScecProtocol::Stage() {
@@ -178,7 +292,8 @@ void FaultTolerantScecProtocol::Stage() {
   staged_ = true;
 }
 
-double FaultTolerantScecProtocol::DeadlineFor(const Pending& pending) const {
+double FaultTolerantScecProtocol::ModelDeadlineFor(
+    const Pending& pending) const {
   const Segment& seg = segments_[pending.segment];
   const EdgeDevice& spec = devices_[pending.phys].spec;
   const double l = static_cast<double>(deployment_->l);
@@ -194,6 +309,56 @@ double FaultTolerantScecProtocol::DeadlineFor(const Pending& pending) const {
   return std::max(ft_.min_deadline_s, ft_.deadline_factor * estimate);
 }
 
+double FaultTolerantScecProtocol::DeadlineFor(const Pending& pending) {
+  const double model = ModelDeadlineFor(pending);
+  if (!ft_.adaptive_timeouts) return model;
+  const LatencyEstimator& est = latency_[pending.phys];
+  if (!est.HasEstimate()) return model;  // cold start: model-based budget
+  const double deadline =
+      std::max(ft_.min_deadline_s,
+               ft_.timeout_margin * est.Quantile(ft_.timeout_quantile));
+  ++recovery_.adaptive_deadlines;
+  ResilienceMetrics::Get().adaptive_deadlines.Increment();
+  ResilienceMetrics::Get().adaptive_deadline_seconds.Observe(deadline);
+  return deadline;
+}
+
+double FaultTolerantScecProtocol::HedgeDelayFor(const Pending& pending) const {
+  const LatencyEstimator& est = latency_[pending.phys];
+  if (est.HasEstimate()) {
+    return std::max(ft_.min_deadline_s,
+                    ft_.hedge_margin * est.Quantile(ft_.hedge_quantile));
+  }
+  // Cold start: hedge at half the eviction deadline, so speculation still
+  // beats the timeout+retry path before a latency profile exists.
+  return 0.5 * ModelDeadlineFor(pending);
+}
+
+void FaultTolerantScecProtocol::Resolve(Pending* pending,
+                                        PendingOutcome outcome) {
+  SCEC_CHECK(!pending->accepted && !pending->failed && !pending->cancelled)
+      << "pending resolved twice";
+  switch (outcome) {
+    case PendingOutcome::kAccepted:
+      pending->accepted = true;
+      break;
+    case PendingOutcome::kFailed:
+      pending->failed = true;
+      break;
+    case PendingOutcome::kCancelled:
+      pending->cancelled = true;
+      break;
+  }
+  SCEC_CHECK_GT(round_unresolved_, 0u);
+  if (--round_unresolved_ == 0) {
+    // The round is settled the moment its last pending resolves; trailing
+    // events (a cancelled straggler's late response, stale deadlines) no
+    // longer affect completion time. Hedge dispatches can re-raise the
+    // count, in which case a later settle overwrites this one.
+    round_settled_s_ = queue_.now();
+  }
+}
+
 void FaultTolerantScecProtocol::Dispatch(Pending* pending) {
   ++pending->attempts;
   const size_t attempt = pending->attempts;
@@ -204,6 +369,7 @@ void FaultTolerantScecProtocol::Dispatch(Pending* pending) {
         "retry attempt " + std::to_string(attempt), queue_.now(),
         /*tid=*/pending->phys, "fault");
   }
+  ++recovery_.queries_dispatched;
   EdgeDeviceActor* actor =
       segments_[pending->segment].actors[pending->local].get();
   const std::vector<double> x = *current_x_;
@@ -214,8 +380,16 @@ void FaultTolerantScecProtocol::Dispatch(Pending* pending) {
           [actor, x]() { actor->OnQueryDelivered(x); },
           /*abort_on_failure=*/false);
 
+  // Arm the hedge trigger once per pending, on the first dispatch: if the
+  // device is still unresolved past its hedge threshold, speculate.
+  if (ft_.hedging && attempt == 1 && !pending->is_hedge &&
+      pending->hedge_group == kNoHedgeGroup) {
+    queue_.ScheduleAfter(HedgeDelayFor(*pending),
+                         [this, pending]() { MaybeHedge(pending); });
+  }
+
   queue_.ScheduleAfter(DeadlineFor(*pending), [this, pending, attempt]() {
-    if (pending->accepted || pending->failed) return;
+    if (pending->accepted || pending->failed || pending->cancelled) return;
     // A later dispatch owns the live deadline; this one is stale.
     if (pending->attempts != attempt) return;
     ++recovery_.deadline_timeouts;
@@ -224,7 +398,7 @@ void FaultTolerantScecProtocol::Dispatch(Pending* pending) {
                                              /*tid=*/pending->phys, "fault");
     }
     if (pending->attempts >= ft_.retry.max_attempts) {
-      pending->failed = true;
+      Resolve(pending, PendingOutcome::kFailed);
       ++recovery_.devices_evicted_timeout;
       devices_[pending->phys].evicted = true;
       if (obs::Tracer::Enabled()) {
@@ -234,9 +408,14 @@ void FaultTolerantScecProtocol::Dispatch(Pending* pending) {
       return;
     }
     ++recovery_.retries_sent;
-    const double backoff = ft_.retry.BackoffFor(pending->attempts - 1);
+    double backoff = ft_.retry.BackoffFor(pending->attempts - 1);
+    if (ft_.backoff_jitter > 0.0) {
+      // Deterministic multiplicative jitter: same jitter_seed, same trace.
+      backoff *=
+          1.0 + ft_.backoff_jitter * (2.0 * jitter_rng_.NextDouble() - 1.0);
+    }
     queue_.ScheduleAfter(backoff, [this, pending]() {
-      if (pending->accepted || pending->failed) return;
+      if (pending->accepted || pending->failed || pending->cancelled) return;
       Dispatch(pending);
     });
   });
@@ -246,11 +425,16 @@ void FaultTolerantScecProtocol::OnResponse(size_t segment, size_t local,
                                            std::vector<double> response) {
   metrics_.query_downlink_bytes += static_cast<uint64_t>(
       static_cast<double>(response.size()) * options_.value_bytes);
+  ++recovery_.responses_received;
+  recovery_.response_values_received += response.size();
   if (segment >= pending_index_.size()) return;
   Pending* pending = pending_index_[segment][local];
-  // Not part of this round, a duplicate after a retry, or a late response
-  // from an already-evicted device.
-  if (pending == nullptr || pending->accepted || pending->failed) return;
+  // Not part of this round, a duplicate after a retry, a late response from
+  // an already-evicted device, or a pending superseded by a hedge decision.
+  if (pending == nullptr || pending->accepted || pending->failed ||
+      pending->cancelled) {
+    return;
+  }
 
   Segment& seg = segments_[segment];
   if (!seg.verifier.Check(local, std::span<const double>(*current_x_),
@@ -259,7 +443,7 @@ void FaultTolerantScecProtocol::OnResponse(size_t segment, size_t local,
     // immediately instead of retrying.
     ++recovery_.corrupt_responses;
     ++recovery_.devices_evicted_corrupt;
-    pending->failed = true;
+    Resolve(pending, PendingOutcome::kFailed);
     devices_[pending->phys].evicted = true;
     if (obs::Tracer::Enabled()) {
       obs::Tracer::Global().RecordSimInstant("evict(corrupt)", queue_.now(),
@@ -268,13 +452,234 @@ void FaultTolerantScecProtocol::OnResponse(size_t segment, size_t local,
     return;
   }
   if (pending->attempts > 1) ++recovery_.devices_recovered_by_retry;
-  pending->accepted = true;
+  Resolve(pending, PendingOutcome::kAccepted);
+  const double duration = queue_.now() - pending->dispatch_s;
+  latency_[pending->phys].Observe(duration);
+  ResilienceMetrics::Get().device_response_seconds.Observe(duration);
   if (obs::Tracer::Enabled()) {
     obs::Tracer::Global().RecordSimSpan(
         "device_response seg" + std::to_string(segment), pending->dispatch_s,
-        queue_.now() - pending->dispatch_s, /*tid=*/pending->phys);
+        duration, /*tid=*/pending->phys);
   }
   seg.responses[local] = std::move(response);
+
+  if (pending->is_hedge) {
+    // First answer wins: once every device of the hedge pair has answered,
+    // the at-risk rows are decodable without the original — cancel it.
+    HedgeGroup& group = hedge_groups_[pending->hedge_group];
+    bool all_accepted = true;
+    for (const Pending* hedge : group.hedges) {
+      all_accepted = all_accepted && hedge->accepted;
+    }
+    if (all_accepted && !group.original->accepted) {
+      if (!group.original->failed && !group.original->cancelled) {
+        Resolve(group.original, PendingOutcome::kCancelled);
+      }
+      ++recovery_.hedges_won;
+      ResilienceMetrics::Get().hedges_won.Increment();
+      if (obs::Tracer::Enabled()) {
+        obs::Tracer::Global().RecordSimInstant(
+            "hedge_win", queue_.now(), /*tid=*/group.original->phys, "fault");
+      }
+      // A hedge is one query's speculation, not permanent redundancy: unless
+      // the original was actually evicted (then the hedge doubles as
+      // pre-emptive recovery), retire the segment so later queries go back
+      // to dispatching the original holder only — otherwise every past hedge
+      // would add duplicate sub-queries to every future query.
+      if (!group.original->failed) seg.staged = false;
+    }
+  } else if (pending->hedge_group != kNoHedgeGroup) {
+    // The original answered first: drop its speculative duplicate.
+    CancelHedges(&hedge_groups_[pending->hedge_group]);
+  }
+}
+
+void FaultTolerantScecProtocol::CancelHedges(HedgeGroup* group) {
+  if (group->abandoned) return;
+  group->abandoned = true;
+  for (Pending* hedge : group->hedges) {
+    if (!hedge->accepted && !hedge->failed && !hedge->cancelled) {
+      Resolve(hedge, PendingOutcome::kCancelled);
+    }
+  }
+  ++recovery_.hedges_cancelled;
+  ResilienceMetrics::Get().hedges_cancelled.Increment();
+  if (obs::Tracer::Enabled()) {
+    obs::Tracer::Global().RecordSimInstant(
+        "hedge_cancel", queue_.now(), /*tid=*/group->original->phys, "fault");
+  }
+  // The original answered (or the hedge never fully staged): retire the
+  // hedge segment so it is not re-queried by future rounds.
+  segments_[group->segment].staged = false;
+}
+
+std::vector<size_t> FaultTolerantScecProtocol::RowsAtRisk(
+    const Pending& pending) const {
+  // Global rows already decodable from verified responses on hand — those
+  // are safe regardless of what the straggler does.
+  std::vector<bool> decodable(a_->rows(), false);
+  for (const Segment& seg : segments_) {
+    if (!seg.staged) continue;
+    const auto holder = HolderMap(seg.scheme);
+    const size_t r = seg.code.r();
+    for (size_t p = 0; p < seg.data_rows.size(); ++p) {
+      const size_t mixed_dev = holder[r + p].first;
+      const size_t pad_dev = holder[p % r].first;
+      if (seg.responses[mixed_dev].has_value() &&
+          seg.responses[pad_dev].has_value()) {
+        decodable[seg.data_rows[p]] = true;
+      }
+    }
+  }
+  // Rows whose decode within the pending's segment needs the straggler's
+  // block (as the mixed-row holder or the pad holder) and have no verified
+  // path yet.
+  const Segment& seg = segments_[pending.segment];
+  const auto holder = HolderMap(seg.scheme);
+  const size_t r = seg.code.r();
+  std::vector<size_t> at_risk;
+  for (size_t p = 0; p < seg.data_rows.size(); ++p) {
+    if (decodable[seg.data_rows[p]]) continue;
+    const size_t mixed_dev = holder[r + p].first;
+    const size_t pad_dev = holder[p % r].first;
+    if (mixed_dev == pending.local || pad_dev == pending.local) {
+      at_risk.push_back(seg.data_rows[p]);
+    }
+  }
+  return at_risk;
+}
+
+bool FaultTolerantScecProtocol::BusyInRound(size_t fleet_index) const {
+  const auto busy = [fleet_index](const Pending& pending) {
+    return pending.phys == fleet_index && !pending.accepted &&
+           !pending.failed && !pending.cancelled;
+  };
+  if (round_pendings_ != nullptr) {
+    for (const Pending& pending : *round_pendings_) {
+      if (busy(pending)) return true;
+    }
+  }
+  for (const Pending& pending : hedge_pendings_) {
+    if (busy(pending)) return true;
+  }
+  return false;
+}
+
+void FaultTolerantScecProtocol::MaybeHedge(Pending* pending) {
+  if (pending->accepted || pending->failed || pending->cancelled) return;
+  if (pending->hedge_group != kNoHedgeGroup) return;
+  if (hedges_this_query_ >= ft_.max_hedges_per_query) return;
+
+  const std::vector<size_t> rows = RowsAtRisk(*pending);
+  if (rows.empty()) return;  // nothing only this device can still yield
+
+  // The two cheapest idle survivors by Eq. (1) unit cost. A PAIR, not one
+  // device: hedged rows get fresh pads, and a single device holding both a
+  // fresh pad row and the mixed row it masks could subtract and unmask the
+  // data — Def. 2 requires the pad holder and the mixed holder to differ.
+  // Spare devices (serving no staged segment) are preferred over
+  // already-answered participants: speculative compute on a participant is
+  // not cancellable once delivered and would queue ahead of its next
+  // sub-query, so hedging onto the serving fleet slows every later query.
+  std::vector<bool> serving(devices_.size(), false);
+  for (const Segment& seg : segments_) {
+    if (!seg.staged) continue;
+    for (size_t phys : seg.phys) serving[phys] = true;
+  }
+  std::vector<size_t> idle;
+  for (size_t d = 0; d < devices_.size(); ++d) {
+    if (devices_[d].evicted || d == pending->phys || BusyInRound(d)) continue;
+    idle.push_back(d);
+  }
+  if (idle.size() < 2) return;
+  std::sort(idle.begin(), idle.end(), [&](size_t lhs, size_t rhs) {
+    if (serving[lhs] != serving[rhs]) return !serving[lhs];  // spares first
+    const double lhs_cost = UnitCost(devices_[lhs].spec.costs, deployment_->l);
+    const double rhs_cost = UnitCost(devices_[rhs].spec.costs, deployment_->l);
+    if (lhs_cost != rhs_cost) return lhs_cost < rhs_cost;
+    return lhs < rhs;
+  });
+
+  // Mini-segment: s data rows, s fresh pads, pad block on one device and
+  // mixed block on the other (Lemma 1 holds: V = s <= r = s).
+  const size_t s = rows.size();
+  StructuredCode code(s, s);
+  LcecScheme scheme = SchemeFromRowCounts(s, s, {s, s});
+  const Status secure = CheckSchemeSecure(code, scheme);
+  SCEC_CHECK(secure.ok()) << secure.message();
+
+  Matrix<double> a_rows(s, deployment_->l);
+  for (size_t p = 0; p < s; ++p) a_rows.SetRow(p, a_->Row(rows[p]));
+  EncodedDeployment<double> encoded =
+      EncodeDeployment(code, scheme, a_rows, hedge_rng_);
+
+  const size_t seg_index = segments_.size();
+  AddSegment(rows, code, std::move(scheme), {idle[0], idle[1]},
+             std::move(encoded.shares));
+  pending_index_.push_back(std::vector<Pending*>(
+      segments_[seg_index].scheme.num_devices(), nullptr));
+
+  ++hedges_this_query_;
+  ++recovery_.hedges_dispatched;
+  recovery_.hedged_rows += s;
+  ResilienceMetrics::Get().hedges_dispatched.Increment();
+  if (obs::Tracer::Enabled()) {
+    obs::Tracer::Global().RecordSimInstant(
+        "hedge_dispatch", queue_.now(), /*tid=*/pending->phys, "fault");
+  }
+
+  hedge_groups_.emplace_back();
+  const size_t group_index = hedge_groups_.size() - 1;
+  HedgeGroup& group = hedge_groups_.back();
+  group.original = pending;
+  group.segment = seg_index;
+  pending->hedge_group = group_index;
+
+  StageSegmentAsync(
+      seg_index, [this, group_index]() { DispatchHedge(group_index); },
+      [this, group_index]() {
+        HedgeGroup& aborted = hedge_groups_[group_index];
+        if (aborted.abandoned) return;
+        aborted.abandoned = true;
+        ++recovery_.hedge_staging_aborts;
+        ++recovery_.hedges_cancelled;
+        ResilienceMetrics::Get().hedge_staging_aborts.Increment();
+        ResilienceMetrics::Get().hedges_cancelled.Increment();
+        if (obs::Tracer::Enabled()) {
+          obs::Tracer::Global().RecordSimInstant(
+              "hedge_stage_abort", queue_.now(),
+              /*tid=*/hedge_groups_[group_index].original->phys, "fault");
+        }
+      });
+}
+
+void FaultTolerantScecProtocol::DispatchHedge(size_t group_index) {
+  HedgeGroup& group = hedge_groups_[group_index];
+  if (group.abandoned) return;
+  Pending* original = group.original;
+  if (original->accepted || original->cancelled) {
+    // The original resolved while the hedge was staging: drop the hedge
+    // before it costs any query work. (A FAILED original is different: the
+    // staged hedge doubles as pre-emptive recovery and still dispatches.)
+    CancelHedges(&group);
+    return;
+  }
+  group.dispatched = true;
+  Segment& seg = segments_[group.segment];
+  seg.staged = true;
+  for (size_t j = 0; j < seg.scheme.num_devices(); ++j) {
+    hedge_pendings_.emplace_back();
+    Pending& pending = hedge_pendings_.back();
+    pending.segment = group.segment;
+    pending.local = j;
+    pending.phys = seg.phys[j];
+    pending.is_hedge = true;
+    pending.hedge_group = group_index;
+    group.hedges.push_back(&pending);
+    pending_index_[group.segment][j] = &pending;
+    ++round_unresolved_;
+  }
+  for (Pending* pending : group.hedges) Dispatch(pending);
 }
 
 void FaultTolerantScecProtocol::CollectRound(std::vector<Pending>* pendings) {
@@ -285,26 +690,30 @@ void FaultTolerantScecProtocol::CollectRound(std::vector<Pending>* pendings) {
   for (Pending& pending : *pendings) {
     pending_index_[pending.segment][pending.local] = &pending;
   }
+  round_pendings_ = pendings;
+  hedge_pendings_.clear();
+  hedge_groups_.clear();
+  round_unresolved_ = pendings->size();
+  round_settled_s_ = queue_.now();
   for (Pending& pending : *pendings) Dispatch(&pending);
   queue_.RunUntilEmpty();
   for (const Pending& pending : *pendings) {
-    SCEC_CHECK(pending.accepted || pending.failed)
+    SCEC_CHECK(pending.accepted || pending.failed || pending.cancelled)
         << "collection round ended with an unresolved device";
   }
+  for (const Pending& pending : hedge_pendings_) {
+    SCEC_CHECK(pending.accepted || pending.failed || pending.cancelled)
+        << "collection round ended with an unresolved hedge";
+  }
+  SCEC_CHECK_EQ(round_unresolved_, 0u);
+  round_pendings_ = nullptr;
   pending_index_.clear();
 }
 
 std::vector<size_t> FaultTolerantScecProtocol::DecodeAvailable(
     std::vector<std::optional<double>>* decoded) {
   for (const Segment& seg : segments_) {
-    // row -> (scheme device, offset within its response).
-    std::vector<std::pair<size_t, size_t>> holder(seg.code.total_rows());
-    size_t row = 0;
-    for (size_t j = 0; j < seg.scheme.num_devices(); ++j) {
-      for (size_t k = 0; k < seg.scheme.row_counts[j]; ++k) {
-        holder[row++] = {j, k};
-      }
-    }
+    const auto holder = HolderMap(seg.scheme);
     const size_t r = seg.code.r();
     for (size_t p = 0; p < seg.data_rows.size(); ++p) {
       const size_t global = seg.data_rows[p];
@@ -331,14 +740,17 @@ Result<std::vector<double>> FaultTolerantScecProtocol::RunQuery(
   SCEC_CHECK_EQ(x.size(), deployment_->l);
   const SimTime query_start = queue_.now();
   current_x_ = &x;
+  hedges_this_query_ = 0;
 
   for (Segment& seg : segments_) {
     seg.responses.assign(seg.scheme.num_devices(), std::nullopt);
   }
 
-  // Round 0: query every non-evicted holder across all segments.
+  // Round 0: query every non-evicted holder across all staged segments
+  // (a hedge segment whose staging was abandoned never gets queried).
   std::vector<Pending> round;
   for (size_t s = 0; s < segments_.size(); ++s) {
+    if (!segments_[s].staged) continue;
     for (size_t j = 0; j < segments_[s].scheme.num_devices(); ++j) {
       const size_t phys = segments_[s].phys[j];
       if (devices_[phys].evicted) continue;
@@ -350,7 +762,18 @@ Result<std::vector<double>> FaultTolerantScecProtocol::RunQuery(
     }
   }
   CollectRound(&round);
-  recovery_.first_attempt_completion_s = queue_.now() - query_start;
+  // With hedging on, completion is when the round SETTLED (last pending
+  // resolved): the event queue also drains a cancelled straggler's late
+  // no-op response, which must not count against the hedged latency. With
+  // hedging off the two times coincide except for such trailing no-ops, and
+  // the drain time is kept for bit-compatibility with prior behaviour.
+  double last_round_end = ft_.hedging ? round_settled_s_ : queue_.now();
+  double last_round_settle = round_settled_s_;
+  recovery_.first_attempt_completion_s = last_round_end - query_start;
+  if (hedges_this_query_ > 0) {
+    SCEC_CHECK(VerifyCumulativeSecurity().all_secure)
+        << "hedge re-encode leaked data rows (cumulative ITS violated)";
+  }
 
   std::vector<std::optional<double>> decoded(a_->rows());
   std::vector<size_t> lost = DecodeAvailable(&decoded);
@@ -447,6 +870,12 @@ Result<std::vector<double>> FaultTolerantScecProtocol::RunQuery(
       recovery_round.push_back(pending);
     }
     CollectRound(&recovery_round);
+    last_round_end = ft_.hedging ? round_settled_s_ : queue_.now();
+    last_round_settle = round_settled_s_;
+    if (hedges_this_query_ > 0) {
+      SCEC_CHECK(VerifyCumulativeSecurity().all_secure)
+          << "hedge re-encode leaked data rows (cumulative ITS violated)";
+    }
     lost = DecodeAvailable(&decoded);
     if (obs::Tracer::Enabled()) {
       obs::Tracer::Global().RecordSimSpan(
@@ -456,7 +885,8 @@ Result<std::vector<double>> FaultTolerantScecProtocol::RunQuery(
   }
 
   current_x_ = nullptr;
-  recovery_.total_completion_s = queue_.now() - query_start;
+  recovery_.total_completion_s = last_round_end - query_start;
+  recovery_.settled_completion_s = last_round_settle - query_start;
   if (obs::Tracer::Enabled()) {
     obs::Tracer::Global().RecordSimSpan("query", query_start,
                                         queue_.now() - query_start,

@@ -5,36 +5,62 @@
 // The paper's protocol (§II-D, sim/protocol.h) assumes every selected device
 // is honest and answers; a single crashed, silent, or Byzantine device stalls
 // or silently corrupts the query. This protocol keeps SCEC's guarantees under
-// the scripted faults of sim/faults.h by adding three layers:
+// the scripted faults of sim/faults.h by adding four layers:
 //
-//   Detection  — a per-device response deadline (estimated from the device's
-//                link and compute specs, scaled by `deadline_factor`) with
-//                exponential-backoff query re-delivery (common/retry.h), and
-//                a Freivalds digest check on every response
-//                (coding/result_verify.h) that flags corruption with failure
-//                probability ≤ 1/q per response.
+//   Detection  — a per-device response deadline with exponential-backoff
+//                query re-delivery (common/retry.h), and a Freivalds digest
+//                check on every response (coding/result_verify.h) that flags
+//                corruption with failure probability ≤ 1/q per response.
+//                Deadlines are either budgeted from the device's link and
+//                compute specs (scaled by `deadline_factor`), or — with
+//                `adaptive_timeouts` — learned online from the device's own
+//                observed `device_response` durations (EWMA + streaming
+//                percentile, sim/latency_estimator.h) so a normally-fast
+//                device is timed out at "slower than its own pXX", not at a
+//                worst-case model bound. Cold start falls back to the model.
+//   Hedging    — optional proactive straggler mitigation (`hedging`): when a
+//                dispatched sub-query exceeds the device's hedge threshold
+//                (its observed pXX), the rows only that device can currently
+//                yield are RE-ENCODED WITH FRESH PADS and speculatively
+//                staged + dispatched to the two cheapest idle survivors.
+//                First answer wins: whichever of original/hedge resolves the
+//                rows first cancels the other's pending work. Two devices —
+//                not one — because a lone device holding both a fresh pad
+//                row and the row it masks could subtract and unmask the
+//                data; the minimal ITS-secure hedge unit is a pad-holder +
+//                mixed-holder pair. Hedge cost is attributed like any other
+//                work (staging bytes, dispatches, device compute);
+//                cancelled work is never double-counted in the decode.
 //   Eviction   — a device that exhausts its retry budget, or fails a single
 //                digest check (Byzantine ⇒ no second chances), is evicted
 //                from the fleet for the rest of the protocol's lifetime.
+//                A straggler saved by a winning hedge is NOT evicted — its
+//                pending is cancelled, trading permanent capacity loss for
+//                speculative duplicate work.
 //   Recovery   — the data rows the evicted devices made undecodable are
 //                re-planned with TA2 over the surviving fleet, re-encoded
 //                with FRESH ChaCha20 pads, re-staged, and re-queried. Fresh
 //                pads are what keeps Def. 2 ITS intact for every device's
 //                CUMULATIVE view across encoding rounds (reusing a pad lets
 //                old−new rows cancel it and expose data); the protocol
-//                re-verifies this after every recovery round with exact
+//                re-verifies this after every recovery round — and after
+//                every query that dispatched a hedge — with exact
 //                GF(2^61−1) ranks (VerifyCumulativeViews) and aborts on any
 //                leak.
 //
 // Each encoding round is a `Segment`: a set of data rows, its own structured
 // code + scheme, and fresh actors mapped onto the surviving physical
-// devices. A query is answered by decoding each data row from the first
-// segment that yields it, so the protocol keeps serving queries after
-// evictions without touching rows that never left healthy devices.
+// devices. Hedge segments are staged asynchronously mid-round; recovery
+// segments synchronously between rounds. A query is answered by decoding
+// each data row from the first segment that yields it, so the protocol keeps
+// serving queries after evictions without touching rows that never left
+// healthy devices.
 
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -44,6 +70,7 @@
 #include "common/retry.h"
 #include "core/pipeline.h"
 #include "sim/actors.h"
+#include "sim/latency_estimator.h"
 #include "sim/metrics.h"
 #include "sim/reliable.h"
 
@@ -52,11 +79,40 @@ namespace scec::sim {
 struct FaultToleranceOptions {
   // Pacing of query re-deliveries to a silent device.
   RetryPolicy retry;
+  // Deterministic multiplicative jitter on every backoff delay:
+  // delay *= 1 + U(-backoff_jitter, +backoff_jitter), drawn from a dedicated
+  // PRNG seeded with `jitter_seed`, so reruns of the same seed replay the
+  // exact event trace while distinct seeds decorrelate retry storms.
+  // 0 (default) reproduces the unjittered PR 1 schedule bit-for-bit.
+  double backoff_jitter = 0.0;
+  uint64_t jitter_seed = 0x243F6A8885A308D3u;
   // Deadline = max(min_deadline_s, deadline_factor × estimated round trip),
   // where the estimate covers x transfer + compute + response transfer for
   // the specific device. The factor absorbs stragglers and queueing.
   double deadline_factor = 4.0;
   double min_deadline_s = 0.02;
+
+  // --- Adaptive timeouts (default OFF: identical behaviour to the fixed
+  // model-based deadlines above). When ON, once a device has
+  // `estimator.min_samples` observed response durations its deadline becomes
+  // max(min_deadline_s, timeout_margin × observed-pXX); before that the
+  // model-based deadline applies (cold start).
+  bool adaptive_timeouts = false;
+  double timeout_quantile = 0.99;  // pXX of the device's observed durations
+  double timeout_margin = 3.0;     // headroom multiplier on that quantile
+  LatencyEstimatorOptions estimator;
+
+  // --- Hedged queries (default OFF). A pending sub-query that exceeds
+  // max(min_deadline_s, hedge_margin × observed-pXX) — or half its eviction
+  // deadline during cold start — triggers a speculative fresh-pad re-encode
+  // of its at-risk rows onto the two cheapest idle survivors.
+  bool hedging = false;
+  double hedge_quantile = 0.95;
+  double hedge_margin = 1.5;
+  size_t max_hedges_per_query = 4;
+  // Fresh pads for hedge re-encodes (independent stream from repair pads).
+  uint64_t hedge_pad_seed = 0xA409382229F31D0Cu;
+
   // Re-plan / re-encode rounds per query before giving up (kInternal).
   size_t max_recovery_rounds = 4;
   // Secret Freivalds weights (cloud-side; must be cryptographically strong).
@@ -94,14 +150,23 @@ class FaultTolerantScecProtocol {
 
   // Exact Def. 2 check of every fleet device's cumulative view across all
   // encoding rounds so far (see security_check.h). The protocol runs this
-  // itself after every recovery round; exposed so tests and benches can
-  // assert `all_secure` end-to-end.
+  // itself after every recovery round and hedged query; exposed so tests and
+  // benches can assert `all_secure` end-to-end.
   SchemeSecurityReport VerifyCumulativeSecurity() const;
 
   size_t num_segments() const { return segments_.size(); }
   size_t num_evicted() const;
 
+  // Observed response-latency estimator of one fleet device (read-only; for
+  // tests and diagnostics).
+  const LatencyEstimator& latency_estimator(size_t fleet_index) const {
+    SCEC_CHECK_LT(fleet_index, latency_.size());
+    return latency_[fleet_index];
+  }
+
  private:
+  static constexpr size_t kNoHedgeGroup = static_cast<size_t>(-1);
+
   // One encoding round: `data_rows[p]` is the global row of A encoded at
   // data position p of this segment's structured code.
   struct Segment {
@@ -115,6 +180,9 @@ class FaultTolerantScecProtocol {
     std::vector<std::unique_ptr<EdgeDeviceActor>> actors;
     // Verified responses of the current query (scheme order).
     std::vector<std::optional<std::vector<double>>> responses;
+    // False until every share of the segment reached its device. Hedge
+    // segments stage asynchronously; an unstaged segment is never queried.
+    bool staged = false;
   };
 
   // One coefficient row a device holds, over the extended basis
@@ -131,20 +199,38 @@ class FaultTolerantScecProtocol {
   };
 
   // In-flight collection state for one (segment, device) of the current
-  // round.
+  // round. Exactly one of accepted/failed/cancelled ends up true.
   struct Pending {
     size_t segment = 0;
     size_t local = 0;  // scheme device index within the segment
     size_t phys = 0;
     size_t attempts = 0;
     bool accepted = false;
-    bool failed = false;
-    double dispatch_s = 0.0;  // sim time of the first dispatch (for tracing)
+    bool failed = false;     // evicted (timeout budget or bad digest)
+    bool cancelled = false;  // superseded by a winning hedge / original
+    bool is_hedge = false;
+    size_t hedge_group = kNoHedgeGroup;  // group this pending belongs to
+    double dispatch_s = 0.0;  // sim time of the first dispatch
+  };
+
+  enum class PendingOutcome { kAccepted, kFailed, kCancelled };
+
+  // One speculative hedge: the straggling original pending plus the pair of
+  // hedge pendings racing it (created once the hedge segment is staged).
+  struct HedgeGroup {
+    Pending* original = nullptr;
+    size_t segment = 0;          // the hedge segment
+    bool dispatched = false;     // hedge pendings created
+    bool abandoned = false;      // staging aborted or original resolved first
+    std::vector<Pending*> hedges;
   };
 
   void BuildTopology();
   void SendMsg(NodeId from, NodeId to, uint64_t bytes,
                EventQueue::Callback on_delivered, bool abort_on_failure);
+  void SendMsgEx(NodeId from, NodeId to, uint64_t bytes,
+                 EventQueue::Callback on_delivered,
+                 EventQueue::Callback on_failure);
 
   // Builds a segment (actors wired to OnResponse) from an encode result and
   // stages its shares; appends the held coefficient rows to device states.
@@ -152,13 +238,37 @@ class FaultTolerantScecProtocol {
                   LcecScheme scheme, std::vector<size_t> phys,
                   std::vector<DeviceShare<double>> shares);
   void StageSegment(size_t segment_index);
+  // Ships the segment's shares without blocking the event loop; exactly one
+  // of `on_staged` / `on_abort` fires (abort only under lossy links). Does
+  // NOT flip `Segment::staged` — the on_staged callback decides, so a hedge
+  // superseded mid-staging never becomes a live segment.
+  void StageSegmentAsync(size_t segment_index, EventQueue::Callback on_staged,
+                         EventQueue::Callback on_abort);
 
-  double DeadlineFor(const Pending& pending) const;
+  // Deadline from the device's link/compute model (PR 1 behaviour).
+  double ModelDeadlineFor(const Pending& pending) const;
+  // Adaptive (estimator-based) deadline when enabled and warmed up;
+  // model-based otherwise.
+  double DeadlineFor(const Pending& pending);
+  // Delay after dispatch at which the pending is considered straggling.
+  double HedgeDelayFor(const Pending& pending) const;
+
   void Dispatch(Pending* pending);
   void OnResponse(size_t segment, size_t local, std::vector<double> response);
 
-  // Runs one collection round (dispatch + deadlines + retries) over the
-  // given pendings; on return every pending is accepted or failed.
+  // Marks the pending resolved, maintains the round's unresolved count, and
+  // records the settle time when it reaches zero.
+  void Resolve(Pending* pending, PendingOutcome outcome);
+
+  // Hedging internals.
+  void MaybeHedge(Pending* pending);
+  void DispatchHedge(size_t group_index);
+  void CancelHedges(HedgeGroup* group);
+  std::vector<size_t> RowsAtRisk(const Pending& pending) const;
+  bool BusyInRound(size_t fleet_index) const;
+
+  // Runs one collection round (dispatch + deadlines + retries + hedges) over
+  // the given pendings; on return every pending is resolved.
   void CollectRound(std::vector<Pending>* pendings);
 
   // Decodes every row the current responses yield into `decoded` (rows
@@ -175,16 +285,28 @@ class FaultTolerantScecProtocol {
   Network network_{&queue_};
   std::unique_ptr<ReliableChannel> channel_;  // non-null iff lossy links
   Xoshiro256StarStar straggler_rng_;
+  Xoshiro256StarStar jitter_rng_;
   ChaCha20Rng verifier_rng_;
   ChaCha20Rng repair_rng_;
+  ChaCha20Rng hedge_rng_;
 
   std::vector<DeviceState> devices_;  // full fleet, by fleet index
+  std::vector<LatencyEstimator> latency_;  // one per fleet device
   std::vector<Segment> segments_;
   size_t pads_total_ = 0;  // pad columns allocated across all rounds
 
   // Current-query routing: pending_index_[segment][local] -> Pending.
   std::vector<std::vector<Pending*>> pending_index_;
   const std::vector<double>* current_x_ = nullptr;
+
+  // Current collection round. Hedge pendings/groups live in deques so
+  // pointers stay stable as hedges launch mid-round.
+  std::vector<Pending>* round_pendings_ = nullptr;
+  std::deque<Pending> hedge_pendings_;
+  std::deque<HedgeGroup> hedge_groups_;
+  size_t round_unresolved_ = 0;
+  double round_settled_s_ = 0.0;  // sim time the last pending resolved
+  size_t hedges_this_query_ = 0;
 
   RunMetrics metrics_;
   FaultRecoveryMetrics recovery_;

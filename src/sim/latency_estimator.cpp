@@ -1,0 +1,50 @@
+// SPDX-License-Identifier: MIT
+
+#include "sim/latency_estimator.h"
+
+#include <algorithm>
+
+namespace scec::sim {
+
+LatencyEstimator::LatencyEstimator(LatencyEstimatorOptions options)
+    : options_(options) {
+  options_.Validate();
+  window_.reserve(options_.window);
+}
+
+void LatencyEstimator::Observe(double seconds) {
+  SCEC_CHECK_GE(seconds, 0.0);
+  if (count_ == 0) {
+    ewma_ = seconds;
+  } else {
+    ewma_ += options_.ewma_alpha * (seconds - ewma_);
+  }
+  if (window_.size() < options_.window) {
+    window_.push_back(seconds);
+  } else {
+    window_[next_] = seconds;
+  }
+  next_ = (next_ + 1) % options_.window;
+  ++count_;
+}
+
+double LatencyEstimator::Ewma() const {
+  SCEC_CHECK_GT(count_, 0u) << "Ewma() before any observation";
+  return ewma_;
+}
+
+double LatencyEstimator::Quantile(double q) const {
+  SCEC_CHECK_GT(count_, 0u) << "Quantile() before any observation";
+  SCEC_CHECK_GE(q, 0.0);
+  SCEC_CHECK_LE(q, 1.0);
+  scratch_ = window_;
+  std::sort(scratch_.begin(), scratch_.end());
+  if (scratch_.size() == 1) return scratch_[0];
+  const double rank = q * static_cast<double>(scratch_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, scratch_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return scratch_[lo] * (1.0 - frac) + scratch_[hi] * frac;
+}
+
+}  // namespace scec::sim

@@ -64,6 +64,17 @@ std::string ToJson(const FaultRecoveryMetrics& metrics) {
      << ",\"devices_evicted_timeout\":" << metrics.devices_evicted_timeout
      << ",\"devices_evicted_corrupt\":" << metrics.devices_evicted_corrupt
      << ",\"total_evictions\":" << metrics.TotalEvictions()
+     << ",\"hedges_dispatched\":" << metrics.hedges_dispatched
+     << ",\"hedges_won\":" << metrics.hedges_won
+     << ",\"hedges_cancelled\":" << metrics.hedges_cancelled
+     << ",\"hedged_rows\":" << metrics.hedged_rows
+     << ",\"hedge_staging_bytes\":" << metrics.hedge_staging_bytes
+     << ",\"hedge_staging_aborts\":" << metrics.hedge_staging_aborts
+     << ",\"hedge_rate\":" << Num(metrics.HedgeRate())
+     << ",\"adaptive_deadlines\":" << metrics.adaptive_deadlines
+     << ",\"queries_dispatched\":" << metrics.queries_dispatched
+     << ",\"responses_received\":" << metrics.responses_received
+     << ",\"response_values_received\":" << metrics.response_values_received
      << ",\"recovery_rounds\":" << metrics.recovery_rounds
      << ",\"replanned_rows\":" << metrics.replanned_rows
      << ",\"base_plan_cost\":" << Num(metrics.base_plan_cost)
@@ -73,6 +84,7 @@ std::string ToJson(const FaultRecoveryMetrics& metrics) {
      << ",\"first_attempt_completion_s\":"
      << Num(metrics.first_attempt_completion_s)
      << ",\"total_completion_s\":" << Num(metrics.total_completion_s)
+     << ",\"settled_completion_s\":" << Num(metrics.settled_completion_s)
      << ",\"recovery_latency_s\":" << Num(metrics.RecoveryLatency()) << "}";
   return os.str();
 }
@@ -100,9 +112,13 @@ std::string ToCsvRow(const RunMetrics& metrics) {
 std::string FaultRecoveryMetricsCsvHeader() {
   return "deadline_timeouts,retries_sent,corrupt_responses,"
          "devices_recovered_by_retry,devices_evicted_timeout,"
-         "devices_evicted_corrupt,recovery_rounds,replanned_rows,"
-         "base_plan_cost,recovery_plan_cost,recovery_staging_seconds,"
-         "first_attempt_completion_s,total_completion_s";
+         "devices_evicted_corrupt,hedges_dispatched,hedges_won,"
+         "hedges_cancelled,hedged_rows,hedge_staging_bytes,"
+         "hedge_staging_aborts,adaptive_deadlines,queries_dispatched,"
+         "responses_received,response_values_received,recovery_rounds,"
+         "replanned_rows,base_plan_cost,recovery_plan_cost,"
+         "recovery_staging_seconds,first_attempt_completion_s,"
+         "total_completion_s,settled_completion_s";
 }
 
 std::string ToCsvRow(const FaultRecoveryMetrics& metrics) {
@@ -111,11 +127,17 @@ std::string ToCsvRow(const FaultRecoveryMetrics& metrics) {
   os << metrics.deadline_timeouts << ',' << metrics.retries_sent << ','
      << metrics.corrupt_responses << ',' << metrics.devices_recovered_by_retry
      << ',' << metrics.devices_evicted_timeout << ','
-     << metrics.devices_evicted_corrupt << ',' << metrics.recovery_rounds
+     << metrics.devices_evicted_corrupt << ',' << metrics.hedges_dispatched
+     << ',' << metrics.hedges_won << ',' << metrics.hedges_cancelled << ','
+     << metrics.hedged_rows << ',' << metrics.hedge_staging_bytes << ','
+     << metrics.hedge_staging_aborts << ',' << metrics.adaptive_deadlines
+     << ',' << metrics.queries_dispatched << ',' << metrics.responses_received
+     << ',' << metrics.response_values_received << ','
+     << metrics.recovery_rounds
      << ',' << metrics.replanned_rows << ',' << metrics.base_plan_cost << ','
      << metrics.recovery_plan_cost << ',' << metrics.recovery_staging_seconds
      << ',' << metrics.first_attempt_completion_s << ','
-     << metrics.total_completion_s;
+     << metrics.total_completion_s << ',' << metrics.settled_completion_s;
   return os.str();
 }
 

@@ -81,15 +81,49 @@ struct FaultRecoveryMetrics {
   double recovery_plan_cost = 0.0;   // summed cost of all recovery plans
   double recovery_staging_seconds = 0.0;  // time spent re-staging shares
 
+  // Hedged queries (speculative fresh-pad duplicates to idle survivors).
+  uint64_t hedges_dispatched = 0;     // hedge groups launched
+  uint64_t hedges_won = 0;            // hedge decoded before the original
+  uint64_t hedges_cancelled = 0;      // original answered first (or staging
+                                      // was abandoned); hedge dropped
+  uint64_t hedged_rows = 0;           // data rows covered by hedge segments
+  uint64_t hedge_staging_bytes = 0;   // share bytes shipped for hedges
+  uint64_t hedge_staging_aborts = 0;  // hedge shares lost in transit
+
+  // Adaptive timeouts.
+  uint64_t adaptive_deadlines = 0;    // deadlines taken from the estimator
+                                      // instead of the link/compute model
+
+  // Independent dispatch/response tally, kept separately from the byte
+  // counters in RunMetrics so the chaos harness can cross-check the two
+  // ledgers (bytes == values x value_bytes exactly).
+  uint64_t queries_dispatched = 0;        // every sub-query send, incl.
+                                          // retries and hedges
+  uint64_t responses_received = 0;        // responses that reached the user
+  uint64_t response_values_received = 0;  // values in those responses
+
   // Latency decomposition of the query that triggered recovery.
   double first_attempt_completion_s = 0.0;  // until the first round settled
   double total_completion_s = 0.0;          // until the final decode
+  // Until the last pending of the final round RESOLVED. total_completion_s
+  // keeps the historical queue-drain semantics when hedging is off (stale
+  // deadline timers drain after the decode and inflate it); this field is
+  // the settle time under either setting, so hedging A/B comparisons
+  // measure the same thing in both arms.
+  double settled_completion_s = 0.0;
 
   double RecoveryLatency() const {
     return total_completion_s - first_attempt_completion_s;
   }
   uint64_t TotalEvictions() const {
     return devices_evicted_timeout + devices_evicted_corrupt;
+  }
+  // Fraction of dispatched sub-queries that were speculative hedges.
+  double HedgeRate() const {
+    return queries_dispatched == 0
+               ? 0.0
+               : static_cast<double>(hedges_dispatched) /
+                     static_cast<double>(queries_dispatched);
   }
 };
 

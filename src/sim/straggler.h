@@ -9,6 +9,8 @@
 
 #pragma once
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "common/rng.h"
 
@@ -17,13 +19,25 @@ namespace scec::sim {
 enum class StragglerKind {
   kNone,                 // deterministic compute time
   kExponentialSlowdown,  // time *= 1 + Exp(rate): occasional slow devices
+  // time *= min(shift + Exp(rate), multiplier_cap): the standard
+  // shifted-exponential straggler of the coded-computing literature, with an
+  // optional hard cap on the multiplier. The cap is what makes this model
+  // safe for chaos soaks: thousands of seeded episodes cannot draw an
+  // unbounded compute time that stalls an episode (Exp has unbounded
+  // support), yet the tail below the cap keeps its heavy shape.
+  kShiftedExponential,
 };
 
 struct StragglerModel {
   StragglerKind kind = StragglerKind::kNone;
-  double rate = 5.0;  // for kExponentialSlowdown: larger = fewer stragglers
+  double rate = 5.0;  // exponential tail rate: larger = fewer stragglers
+  // kShiftedExponential only:
+  double shift = 1.0;           // minimum multiplier (>= straggler-free time)
+  double multiplier_cap = 0.0;  // cap on the multiplier; 0 = uncapped
 
-  // Multiplies a nominal compute duration by the sampled slowdown.
+  // Multiplies a nominal compute duration by the sampled slowdown. kNone and
+  // kExponentialSlowdown draw (or skip) the RNG exactly as they always have,
+  // so existing seeded runs stay bit-identical.
   double Apply(double nominal_seconds, Xoshiro256StarStar& rng) const {
     SCEC_CHECK_GE(nominal_seconds, 0.0);
     switch (kind) {
@@ -31,6 +45,15 @@ struct StragglerModel {
         return nominal_seconds;
       case StragglerKind::kExponentialSlowdown:
         return nominal_seconds * (1.0 + rng.NextExponential(rate));
+      case StragglerKind::kShiftedExponential: {
+        SCEC_CHECK_GT(shift, 0.0);
+        double multiplier = shift + rng.NextExponential(rate);
+        if (multiplier_cap > 0.0) {
+          SCEC_CHECK_GE(multiplier_cap, shift);
+          multiplier = std::min(multiplier, multiplier_cap);
+        }
+        return nominal_seconds * multiplier;
+      }
     }
     SCEC_UNREACHABLE();
   }

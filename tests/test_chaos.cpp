@@ -1,0 +1,141 @@
+// SPDX-License-Identifier: MIT
+//
+// Deterministic chaos-soak harness (sim/chaos.h): episodes are replayable
+// bit-for-bit from (seed, index), a small soak passes all four invariants,
+// and the sabotage hooks prove the harness actually catches violations.
+
+#include "sim/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/metrics.h"
+
+namespace scec::sim {
+namespace {
+
+ChaosConfig SmallConfig() {
+  ChaosConfig config;
+  config.seed = 7;
+  config.episodes = 16;  // two passes over the 8 default mixes
+  config.queries_per_episode = 1;
+  return config;
+}
+
+// First episode of `config` that fully decoded (sabotage tests need a
+// healthy baseline to corrupt).
+size_t FirstDecodedEpisode(const ChaosConfig& config) {
+  for (size_t i = 0; i < config.episodes; ++i) {
+    if (RunChaosEpisode(config, i).outcome == "decoded") return i;
+  }
+  ADD_FAILURE() << "no decoded episode in the small soak";
+  return 0;
+}
+
+TEST(ChaosSoak, SmallSoakHoldsAllFourInvariants) {
+  const ChaosConfig config = SmallConfig();
+  const ChaosSoakSummary summary = RunChaosSoak(config);
+  EXPECT_TRUE(summary.ok());
+  EXPECT_EQ(summary.episodes, config.episodes);
+  EXPECT_EQ(summary.passed, config.episodes);
+  EXPECT_TRUE(summary.failing.empty());
+  // Liveness: every episode ended in an explicit outcome.
+  EXPECT_EQ(summary.decoded + summary.infeasible + summary.internal,
+            summary.episodes);
+  EXPECT_GT(summary.decoded, 0u);
+  for (const ChaosEpisode& episode : summary.detail) {
+    EXPECT_TRUE(episode.invariants.AllHold())
+        << DescribeSchedule(episode) << episode.failure;
+    EXPECT_TRUE(episode.failure.empty()) << episode.failure;
+  }
+}
+
+TEST(ChaosSoak, EpisodesReplayBitForBit) {
+  // The repro contract: (master seed, index) fully determines an episode —
+  // schedule, outcome, and every metric. Serialise both runs and compare
+  // the JSON byte-for-byte.
+  const ChaosConfig config = SmallConfig();
+  for (const size_t index : {0u, 3u, 7u, 11u}) {
+    const ChaosEpisode first = RunChaosEpisode(config, index);
+    const ChaosEpisode second = RunChaosEpisode(config, index);
+    EXPECT_EQ(first.seed, second.seed);
+    EXPECT_EQ(first.mix, second.mix);
+    EXPECT_EQ(first.outcome, second.outcome);
+    EXPECT_EQ(DescribeSchedule(first), DescribeSchedule(second));
+    EXPECT_EQ(ToJson(first.run), ToJson(second.run)) << "episode " << index;
+    EXPECT_EQ(ToJson(first.recovery), ToJson(second.recovery))
+        << "episode " << index;
+  }
+}
+
+TEST(ChaosSoak, DistinctSeedsProduceDistinctSchedules) {
+  ChaosConfig config = SmallConfig();
+  const ChaosEpisode a = RunChaosEpisode(config, 0);
+  config.seed = 8;
+  const ChaosEpisode b = RunChaosEpisode(config, 0);
+  EXPECT_NE(a.seed, b.seed);
+  EXPECT_NE(DescribeSchedule(a), DescribeSchedule(b))
+      << "seed must reshape the scenario, not just relabel it";
+}
+
+TEST(ChaosSoak, TamperSabotageTripsTheDecodeInvariant) {
+  // A harness that cannot fail is not a check: flipping one decoded value
+  // must trip invariant 1 on an otherwise-healthy episode.
+  const ChaosConfig config = SmallConfig();
+  const size_t index = FirstDecodedEpisode(config);
+  const ChaosEpisode episode =
+      RunChaosEpisode(config, index, ChaosSabotage::kTamperResult);
+  EXPECT_FALSE(episode.ok());
+  EXPECT_FALSE(episode.invariants.decode);
+  EXPECT_NE(episode.failure.find("decode"), std::string::npos)
+      << episode.failure;
+}
+
+TEST(ChaosSoak, ForgedLedgerTripsTheLedgerInvariant) {
+  const ChaosConfig config = SmallConfig();
+  const size_t index = FirstDecodedEpisode(config);
+  const ChaosEpisode episode =
+      RunChaosEpisode(config, index, ChaosSabotage::kForgeLedger);
+  EXPECT_FALSE(episode.ok());
+  EXPECT_FALSE(episode.invariants.ledger);
+  EXPECT_TRUE(episode.invariants.decode)
+      << "sabotage is surgical: only the ledger is forged";
+  EXPECT_NE(episode.failure.find("ledger"), std::string::npos)
+      << episode.failure;
+}
+
+TEST(ChaosSoak, ReproCommandNamesSeedAndIndex) {
+  const ChaosConfig config = SmallConfig();
+  const ChaosEpisode episode = RunChaosEpisode(config, 5);
+  const std::string repro = ReproCommand(config, episode);
+  EXPECT_NE(repro.find("--seed=7"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("--replay=5"), std::string::npos) << repro;
+  const std::string schedule = DescribeSchedule(episode);
+  EXPECT_NE(schedule.find("mix=" + episode.mix), std::string::npos)
+      << schedule;
+}
+
+TEST(ChaosSoak, DefaultMixRotationCoversHedgingAndAdaptive) {
+  // The standard rotation must exercise the PR's new machinery, not just
+  // the PR 1 fault kinds.
+  bool any_hedging = false;
+  bool any_adaptive = false;
+  bool any_plain = false;
+  for (const ChaosMix& mix : DefaultChaosMixes()) {
+    any_hedging |= mix.hedging;
+    any_adaptive |= mix.adaptive_timeouts;
+    any_plain |= !mix.hedging && !mix.adaptive_timeouts;
+  }
+  EXPECT_TRUE(any_hedging);
+  EXPECT_TRUE(any_adaptive);
+  EXPECT_TRUE(any_plain);
+}
+
+TEST(ChaosSoak, EmptySoakIsNotOk) {
+  ChaosSoakSummary summary;
+  EXPECT_FALSE(summary.ok()) << "zero episodes must not read as a pass";
+}
+
+}  // namespace
+}  // namespace scec::sim

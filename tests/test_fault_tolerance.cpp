@@ -36,6 +36,29 @@ McscecProblem MakeProblem(size_t m, size_t l, size_t k, uint64_t seed) {
   return problem;
 }
 
+// Compute-bound fleet: device compute dominates the round trip, so a
+// multiplicative compute slowdown (the straggler models) actually moves
+// response times. MakeProblem's fleet is link-dominated — stragglers there
+// barely register, and hedges would never trigger.
+McscecProblem MakeComputeBoundProblem(size_t m, size_t l, size_t k,
+                                      uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  McscecProblem problem;
+  problem.m = m;
+  problem.l = l;
+  for (size_t j = 0; j < k; ++j) {
+    EdgeDevice device;
+    device.name = "edge-" + std::to_string(j);
+    device.costs.comm = rng.NextDouble(1.0, 5.0);
+    device.compute_rate_flops = rng.NextDouble(1e6, 2e6);
+    device.uplink_bps = 2e8;
+    device.downlink_bps = 2e8;
+    device.link_latency_s = 2e-4;
+    problem.fleet.Add(device);
+  }
+  return problem;
+}
+
 struct Rig {
   McscecProblem problem;
   Matrix<double> a;
@@ -44,10 +67,12 @@ struct Rig {
   Deployment<double> deployment;
 
   Rig(size_t m, size_t l, size_t k, uint64_t seed)
-      : problem(MakeProblem(m, l, k, seed)) {
+      : Rig(MakeProblem(m, l, k, seed), seed) {}
+
+  Rig(McscecProblem p, uint64_t seed) : problem(std::move(p)) {
     Xoshiro256StarStar drng(seed + 1);
-    a = RandomMatrix<double>(m, l, drng);
-    x = RandomVector<double>(l, drng);
+    a = RandomMatrix<double>(problem.m, problem.l, drng);
+    x = RandomVector<double>(problem.l, drng);
     expected = MatVec(a, std::span<const double>(x));
     ChaCha20Rng coding_rng(seed + 2);
     auto deployed = Deploy(problem, a, coding_rng);
@@ -426,6 +451,186 @@ TEST(FaultTolerantProtocol, FaultFreeCostMatchesPlainProtocol) {
       << "m subtractions, same as the structured decoder";
   EXPECT_EQ(ft.metrics().TotalMultiplications(),
             base.metrics().TotalMultiplications());
+}
+
+// --- Hedged queries -----------------------------------------------------
+
+TEST(HedgedQueries, FireAndResolveUnderExponentialStragglers) {
+  Rig rig(MakeComputeBoundProblem(48, 256, 10, 60), 60);
+  SimOptions options;
+  options.straggler.kind = StragglerKind::kExponentialSlowdown;
+  options.straggler.rate = 0.8;
+  options.straggler_seed = 61;
+  FaultToleranceOptions ft;
+  ft.hedging = true;
+  ft.hedge_quantile = 0.5;
+  ft.hedge_margin = 1.25;
+  FaultTolerantScecProtocol protocol(&rig.deployment, &rig.a,
+                                     rig.problem.fleet.devices(), options, ft);
+  protocol.Stage();
+  Xoshiro256StarStar drng(62);
+  for (size_t q = 0; q < 8; ++q) {
+    const auto xq = RandomVector<double>(rig.problem.l, drng);
+    const auto expected = MatVec(rig.a, std::span<const double>(xq));
+    const auto result = protocol.RunQuery(xq);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_LT(MaxAbsDiff(std::span<const double>(*result),
+                         std::span<const double>(expected)),
+              1e-9)
+        << "query " << q;
+  }
+  const FaultRecoveryMetrics& rec = protocol.recovery_metrics();
+  EXPECT_GE(rec.hedges_dispatched, 1u) << "stragglers must trigger hedges";
+  EXPECT_GE(rec.hedges_won + rec.hedges_cancelled, 1u)
+      << "every dispatched hedge race resolves one way or the other";
+  EXPECT_GT(rec.hedged_rows, 0u);
+  EXPECT_GT(rec.hedge_staging_bytes, 0u);
+  EXPECT_GT(rec.HedgeRate(), 0.0);
+  EXPECT_LT(rec.HedgeRate(), 1.0);
+  EXPECT_GT(rec.settled_completion_s, 0.0);
+  // The one property hedging must never trade away: fresh-pad re-encodes
+  // keep every device's cumulative view Def. 2 ITS-secure.
+  EXPECT_TRUE(protocol.VerifyCumulativeSecurity().all_secure)
+      << protocol.VerifyCumulativeSecurity().Summary();
+}
+
+TEST(HedgedQueries, FreeWhenNobodyStraggles) {
+  // With no stragglers or faults no hedge threshold is ever crossed, so the
+  // hedging knob must cost nothing: same bytes, same dispatches, same work.
+  Rig rig_off(16, 5, 8, 63);
+  Rig rig_on(16, 5, 8, 63);
+  FaultTolerantScecProtocol off(&rig_off.deployment, &rig_off.a,
+                                rig_off.problem.fleet.devices(), {}, {});
+  FaultToleranceOptions ft;
+  ft.hedging = true;
+  FaultTolerantScecProtocol on(&rig_on.deployment, &rig_on.a,
+                               rig_on.problem.fleet.devices(), {}, ft);
+  off.Stage();
+  on.Stage();
+  ExpectDecodes(rig_off, off.RunQuery(rig_off.x));
+  ExpectDecodes(rig_on, on.RunQuery(rig_on.x));
+
+  EXPECT_EQ(on.recovery_metrics().hedges_dispatched, 0u);
+  EXPECT_EQ(on.recovery_metrics().hedge_staging_bytes, 0u);
+  EXPECT_EQ(on.metrics().staging_bytes, off.metrics().staging_bytes);
+  EXPECT_EQ(on.metrics().query_uplink_bytes,
+            off.metrics().query_uplink_bytes);
+  EXPECT_EQ(on.metrics().query_downlink_bytes,
+            off.metrics().query_downlink_bytes);
+  EXPECT_EQ(on.metrics().TotalMultiplications(),
+            off.metrics().TotalMultiplications());
+  EXPECT_EQ(on.recovery_metrics().queries_dispatched,
+            off.recovery_metrics().queries_dispatched);
+  // Settle time has the same meaning under both settings (unlike the
+  // drain-based total_completion_s, which hedging measures differently).
+  EXPECT_DOUBLE_EQ(on.recovery_metrics().settled_completion_s,
+                   off.recovery_metrics().settled_completion_s);
+}
+
+// --- Adaptive timeouts --------------------------------------------------
+
+TEST(AdaptiveTimeouts, UseEstimatorAfterWarmup) {
+  Rig rig(16, 5, 8, 64);
+  FaultToleranceOptions ft;
+  ft.adaptive_timeouts = true;
+  ft.estimator.min_samples = 2;
+  FaultTolerantScecProtocol protocol(&rig.deployment, &rig.a,
+                                     rig.problem.fleet.devices(), {}, ft);
+  protocol.Stage();
+  Xoshiro256StarStar drng(65);
+  for (size_t q = 0; q < 4; ++q) {
+    const auto xq = RandomVector<double>(rig.problem.l, drng);
+    const auto expected = MatVec(rig.a, std::span<const double>(xq));
+    const auto result = protocol.RunQuery(xq);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_LT(MaxAbsDiff(std::span<const double>(*result),
+                         std::span<const double>(expected)),
+              1e-9);
+  }
+  EXPECT_GT(protocol.recovery_metrics().adaptive_deadlines, 0u)
+      << "after warm-up, deadlines must come from the estimator";
+  EXPECT_EQ(protocol.recovery_metrics().deadline_timeouts, 0u)
+      << "a steady fleet must not be timed out by its own history";
+  for (const size_t device : rig.deployment.plan.participating) {
+    EXPECT_TRUE(protocol.latency_estimator(device).HasEstimate())
+        << "device " << device;
+    EXPECT_GE(protocol.latency_estimator(device).count(), 4u);
+  }
+}
+
+TEST(AdaptiveTimeouts, ColdStartFallsBackToModelDeadline) {
+  Rig rig(16, 5, 8, 66);
+  FaultToleranceOptions ft;
+  ft.adaptive_timeouts = true;
+  ft.estimator.min_samples = 1000;  // never warm within this test
+  FaultTolerantScecProtocol protocol(&rig.deployment, &rig.a,
+                                     rig.problem.fleet.devices(), {}, ft);
+  protocol.Stage();
+  ExpectDecodes(rig, protocol.RunQuery(rig.x));
+  EXPECT_EQ(protocol.recovery_metrics().adaptive_deadlines, 0u)
+      << "below min_samples every deadline is model-based";
+  EXPECT_EQ(protocol.recovery_metrics().deadline_timeouts, 0u);
+}
+
+// --- Seeded backoff jitter ----------------------------------------------
+
+TEST(BackoffJitter, SameSeedReplaysTheExactTrace) {
+  // Two protocols, same scenario, same jitter seed: the full event trace —
+  // and therefore every exported metric — must be bit-identical.
+  auto run = [](uint64_t jitter_seed) {
+    Rig rig(16, 5, 8, 67);
+    FaultSchedule faults;
+    SimOptions options;
+    options.faults = &faults;
+    FaultToleranceOptions ft;
+    ft.retry.max_attempts = 6;
+    ft.retry.initial_backoff_s = 0.06;
+    ft.backoff_jitter = 0.3;
+    ft.jitter_seed = jitter_seed;
+    FaultTolerantScecProtocol protocol(
+        &rig.deployment, &rig.a, rig.problem.fleet.devices(), options, ft);
+    protocol.Stage();
+    const size_t victim = rig.deployment.plan.participating[1];
+    faults.AddTransient(victim, 0.0, protocol.queue().now() + 0.05);
+    const auto result = protocol.RunQuery(rig.x);
+    EXPECT_TRUE(result.ok()) << result.status();
+    EXPECT_GE(protocol.recovery_metrics().retries_sent, 1u)
+        << "the scenario must actually exercise the jittered backoff";
+    return ToJson(protocol.recovery_metrics()) + ToJson(protocol.metrics());
+  };
+  const std::string first = run(12345);
+  const std::string second = run(12345);
+  EXPECT_EQ(first, second);
+  // A different jitter seed perturbs the retry schedule, which shows up in
+  // the completion timing — seeds decorrelate, they don't relabel.
+  EXPECT_NE(run(99999), first);
+}
+
+TEST(BackoffJitter, ZeroJitterMatchesDefaultOptionsBitForBit) {
+  // backoff_jitter = 0 (the default) must reproduce the unjittered schedule
+  // exactly, whatever the jitter seed — the knob is fully inert when off.
+  auto run = [](bool explicit_zero) {
+    Rig rig(16, 5, 8, 68);
+    FaultSchedule faults;
+    const size_t victim = rig.deployment.plan.participating[0];
+    faults.AddCrash(victim, 0.0);
+    SimOptions options;
+    options.faults = &faults;
+    FaultToleranceOptions ft;
+    if (explicit_zero) {
+      ft.backoff_jitter = 0.0;
+      ft.jitter_seed = 42;  // unused when jitter is off
+      ft.hedging = false;
+      ft.adaptive_timeouts = false;
+    }
+    FaultTolerantScecProtocol protocol(
+        &rig.deployment, &rig.a, rig.problem.fleet.devices(), options, ft);
+    protocol.Stage();
+    const auto result = protocol.RunQuery(rig.x);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return ToJson(protocol.recovery_metrics()) + ToJson(protocol.metrics());
+  };
+  EXPECT_EQ(run(false), run(true));
 }
 
 }  // namespace

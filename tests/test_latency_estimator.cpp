@@ -1,0 +1,111 @@
+// SPDX-License-Identifier: MIT
+//
+// Per-device latency estimator (sim/latency_estimator.h): EWMA recurrence,
+// streaming quantile vs the SampleStat oracle, cold-start gating, window
+// eviction, and the monotone response to a slowdown step that the adaptive
+// timeouts and hedging thresholds rely on.
+
+#include "sim/latency_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace scec::sim {
+namespace {
+
+TEST(LatencyEstimator, ColdStartReportsNoEstimate) {
+  LatencyEstimatorOptions options;
+  options.min_samples = 5;
+  LatencyEstimator estimator(options);
+  for (size_t i = 0; i + 1 < options.min_samples; ++i) {
+    estimator.Observe(0.01 * static_cast<double>(i + 1));
+    EXPECT_FALSE(estimator.HasEstimate())
+        << "only " << estimator.count() << " of " << options.min_samples
+        << " samples";
+  }
+  estimator.Observe(0.05);
+  EXPECT_TRUE(estimator.HasEstimate());
+  EXPECT_EQ(estimator.count(), options.min_samples);
+}
+
+TEST(LatencyEstimator, EwmaMatchesHandRolledRecurrence) {
+  LatencyEstimatorOptions options;
+  options.ewma_alpha = 0.25;
+  LatencyEstimator estimator(options);
+  const std::vector<double> samples = {0.010, 0.014, 0.009, 0.050, 0.011};
+  double expected = 0.0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    estimator.Observe(samples[i]);
+    expected = (i == 0) ? samples[i]
+                        : options.ewma_alpha * samples[i] +
+                              (1.0 - options.ewma_alpha) * expected;
+    EXPECT_DOUBLE_EQ(estimator.Ewma(), expected) << "after sample " << i;
+  }
+}
+
+TEST(LatencyEstimator, QuantileMatchesSampleStatOracle) {
+  // While the stream fits in the window the estimator's quantile must equal
+  // SampleStat::Percentile exactly (same linear interpolation; note the
+  // estimator takes q in [0,1], SampleStat takes p in [0,100]).
+  LatencyEstimatorOptions options;
+  options.window = 256;
+  LatencyEstimator estimator(options);
+  SampleStat oracle;
+  Xoshiro256StarStar rng(411);
+  for (size_t i = 0; i < 200; ++i) {
+    const double sample = rng.NextDouble(0.001, 0.2);
+    estimator.Observe(sample);
+    oracle.Add(sample);
+  }
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(estimator.Quantile(q), oracle.Percentile(q * 100.0))
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyEstimator, WindowEvictsOldestSamples) {
+  LatencyEstimatorOptions options;
+  options.window = 4;
+  options.min_samples = 1;
+  LatencyEstimator estimator(options);
+  for (int i = 1; i <= 8; ++i) estimator.Observe(static_cast<double>(i));
+  // Only {5,6,7,8} remain: the quantile range is the window, not the stream.
+  EXPECT_DOUBLE_EQ(estimator.Quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(estimator.Quantile(1.0), 8.0);
+  EXPECT_EQ(estimator.count(), 8u) << "count still tracks the whole stream";
+}
+
+TEST(LatencyEstimator, QuantileAndEwmaTrackSlowdownStep) {
+  // A device that degrades must raise both estimates once the window turns
+  // over — this is what lets adaptive deadlines and hedge thresholds follow
+  // a device's actual behaviour instead of a stale model.
+  LatencyEstimatorOptions options;
+  options.window = 32;
+  LatencyEstimator estimator(options);
+  for (size_t i = 0; i < 64; ++i) estimator.Observe(0.010);
+  const double p95_before = estimator.Quantile(0.95);
+  const double ewma_before = estimator.Ewma();
+  for (size_t i = 0; i < 64; ++i) estimator.Observe(0.050);
+  EXPECT_GT(estimator.Quantile(0.95), p95_before);
+  EXPECT_GT(estimator.Ewma(), ewma_before);
+  EXPECT_DOUBLE_EQ(estimator.Quantile(0.95), 0.050)
+      << "window fully turned over to the slow regime";
+
+  // And it recovers when the device speeds back up.
+  for (size_t i = 0; i < 64; ++i) estimator.Observe(0.010);
+  EXPECT_DOUBLE_EQ(estimator.Quantile(0.95), 0.010);
+}
+
+TEST(LatencyEstimatorOptions, ValidateAcceptsDefaults) {
+  LatencyEstimatorOptions options;
+  options.Validate();  // must not abort
+  EXPECT_GE(options.window, options.min_samples)
+      << "defaults keep the warm-up inside the window";
+}
+
+}  // namespace
+}  // namespace scec::sim

@@ -162,6 +162,60 @@ TEST(FaultRecoveryMetricsExport, JsonAndCsvCarryDerivedFields) {
   }
 }
 
+TEST(FaultRecoveryMetricsExport, HedgeAndAdaptiveFieldsRoundTrip) {
+  FaultRecoveryMetrics metrics;
+  metrics.hedges_dispatched = 4;
+  metrics.hedges_won = 3;
+  metrics.hedges_cancelled = 1;
+  metrics.hedged_rows = 9;
+  metrics.hedge_staging_bytes = 1024;
+  metrics.hedge_staging_aborts = 2;
+  metrics.adaptive_deadlines = 11;
+  metrics.queries_dispatched = 16;
+  metrics.responses_received = 14;
+  metrics.response_values_received = 70;
+  metrics.total_completion_s = 0.5;
+  metrics.settled_completion_s = 0.375;
+
+  const std::string json = ToJson(metrics);
+  EXPECT_EQ(JsonUint(json, "hedges_dispatched"), 4u);
+  EXPECT_EQ(JsonUint(json, "hedges_won"), 3u);
+  EXPECT_EQ(JsonUint(json, "hedges_cancelled"), 1u);
+  EXPECT_EQ(JsonUint(json, "hedged_rows"), 9u);
+  EXPECT_EQ(JsonUint(json, "hedge_staging_bytes"), 1024u);
+  EXPECT_EQ(JsonUint(json, "hedge_staging_aborts"), 2u);
+  EXPECT_EQ(JsonUint(json, "adaptive_deadlines"), 11u);
+  EXPECT_EQ(JsonUint(json, "queries_dispatched"), 16u);
+  EXPECT_EQ(JsonUint(json, "responses_received"), 14u);
+  EXPECT_EQ(JsonUint(json, "response_values_received"), 70u);
+  // Derived: 4 hedges over 16 dispatches.
+  EXPECT_NE(json.find("\"hedge_rate\":0.25"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"settled_completion_s\":0.375"), std::string::npos)
+      << json;
+
+  const std::vector<std::string> header =
+      SplitCsv(FaultRecoveryMetricsCsvHeader());
+  const std::vector<std::string> row = SplitCsv(ToCsvRow(metrics));
+  ASSERT_EQ(header.size(), row.size());
+  auto column = [&](const std::string& name) -> std::string {
+    for (size_t i = 0; i < header.size(); ++i) {
+      if (header[i] == name) return row[i];
+    }
+    ADD_FAILURE() << "column " << name << " missing";
+    return "";
+  };
+  EXPECT_EQ(column("hedges_dispatched"), "4");
+  EXPECT_EQ(column("hedges_won"), "3");
+  EXPECT_EQ(column("hedge_staging_bytes"), "1024");
+  EXPECT_EQ(column("adaptive_deadlines"), "11");
+  EXPECT_EQ(column("queries_dispatched"), "16");
+  EXPECT_DOUBLE_EQ(std::stod(column("settled_completion_s")), 0.375);
+  // Appended columns keep older CSV consumers' column indices valid: the
+  // settle time is the LAST column, right after total_completion_s.
+  EXPECT_EQ(header.back(), "settled_completion_s");
+  EXPECT_EQ(header[header.size() - 2], "total_completion_s");
+}
+
 TEST(RunMetricsExport, EmptyMetricsStillSerialise) {
   const RunMetrics metrics;
   const std::string json = ToJson(metrics);

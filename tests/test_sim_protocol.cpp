@@ -253,6 +253,50 @@ TEST(SimProtocol, PipeliningBeatsSequentialMakespan) {
       << "overlapping transfer+compute must beat stop-and-wait";
 }
 
+TEST(StragglerModel, ShiftedExponentialRespectsShiftAndCap) {
+  StragglerModel model;
+  model.kind = StragglerKind::kShiftedExponential;
+  model.rate = 0.5;
+  model.shift = 1.0;
+  model.multiplier_cap = 3.0;
+  Xoshiro256StarStar rng(90);
+  for (int i = 0; i < 2000; ++i) {
+    const double slowed = model.Apply(2.0, rng);
+    EXPECT_GE(slowed, 2.0 * model.shift) << "shift is the floor";
+    EXPECT_LE(slowed, 2.0 * model.multiplier_cap) << "cap is the ceiling";
+  }
+  // Same seed, cap removed: the heavy tail must actually exceed the cap
+  // sometimes (otherwise the cap tests nothing).
+  StragglerModel uncapped = model;
+  uncapped.multiplier_cap = 0.0;
+  Xoshiro256StarStar rng2(90);
+  bool exceeded = false;
+  for (int i = 0; i < 2000; ++i) {
+    exceeded |= uncapped.Apply(2.0, rng2) > 2.0 * model.multiplier_cap;
+  }
+  EXPECT_TRUE(exceeded);
+}
+
+TEST(StragglerModel, ExistingKindsStayBitIdentical) {
+  // kNone consumes no randomness at all, and kExponentialSlowdown draws
+  // exactly one exponential — seeded runs from before kShiftedExponential
+  // existed must replay unchanged.
+  StragglerModel none;
+  Xoshiro256StarStar rng_a(91);
+  Xoshiro256StarStar rng_b(91);
+  EXPECT_DOUBLE_EQ(none.Apply(1.5, rng_a), 1.5);
+  EXPECT_EQ(rng_a.NextUint64(), rng_b.NextUint64())
+      << "kNone must leave the RNG stream untouched";
+
+  StragglerModel slowdown;
+  slowdown.kind = StragglerKind::kExponentialSlowdown;
+  slowdown.rate = 2.0;
+  Xoshiro256StarStar rng_c(92);
+  Xoshiro256StarStar rng_d(92);
+  EXPECT_DOUBLE_EQ(slowdown.Apply(1.5, rng_c),
+                   1.5 * (1.0 + rng_d.NextExponential(2.0)));
+}
+
 TEST(SimProtocol, WrongQueryWidthIsError) {
   const McscecProblem problem = MakeProblem(10, 3, 5, 7);
   ChaCha20Rng coding_rng(80);
