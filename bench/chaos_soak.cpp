@@ -2,12 +2,16 @@
 //
 // Chaos-soak harness: runs hundreds of seeded episodes composing scripted
 // faults (crash/omission/corruption/transient) with stragglers, lossy links,
-// and hedging/adaptive timeouts, and checks four invariants after every
-// episode (decode, cumulative ITS, ledger consistency, liveness). Failing
+// hedging/adaptive timeouts, and Byzantine adversary mixes, and checks six
+// invariants after every episode (decode, cumulative ITS, ledger
+// consistency, liveness, single-round masking, liar quarantine). Failing
 // episodes are dumped with their seed + schedule for one-command repro via
 // --replay. A paired A/B mode (--ab-trials) measures what hedging buys under
 // kExponentialSlowdown stragglers: p50/p99 completion with hedging on vs
 // off on the SAME straggler draws, plus hedge rate and extra-cost overhead.
+// A second A/B (--byz-trials) runs the same two always-lying devices against
+// byzantine_tolerance t in {0, 1, 2} and records rounds-to-completion,
+// masked fraction, and the Eq. (1) guard-cost overhead vs t (--byz-out).
 
 #include <fstream>
 #include <iostream>
@@ -64,7 +68,9 @@ int Replay(const ChaosConfig& config, size_t index, ChaosSabotage sabotage) {
             << " security=" << (episode.invariants.security ? "ok" : "FAIL")
             << " ledger=" << (episode.invariants.ledger ? "ok" : "FAIL")
             << " liveness=" << (episode.invariants.liveness ? "ok" : "FAIL")
-            << "\n";
+            << " masking=" << (episode.invariants.masking ? "ok" : "FAIL")
+            << " quarantine="
+            << (episode.invariants.quarantine ? "ok" : "FAIL") << "\n";
   if (!episode.failure.empty()) {
     std::cout << "  failure: " << episode.failure << "\n";
   }
@@ -176,6 +182,115 @@ AbResult RunHedgeAb(size_t trials, size_t queries, uint64_t seed) {
   return result;
 }
 
+struct ByzArm {
+  size_t tolerance = 0;
+  size_t effective = 0;
+  size_t queries = 0;
+  uint64_t recovery_rounds = 0;
+  uint64_t masked_queries = 0;
+  uint64_t quarantined = 0;
+  double base_cost = 0.0;
+  double guard_cost = 0.0;
+  bool ok = true;
+
+  double RoundsPerQuery() const {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(recovery_rounds) /
+                              static_cast<double>(queries);
+  }
+  double MaskedFraction() const {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(masked_queries) /
+                              static_cast<double>(queries);
+  }
+  // Eq. (1) overhead of the surplus rows relative to the base plan.
+  double CostOverhead() const {
+    return base_cost <= 0.0 ? 0.0 : guard_cost / base_cost;
+  }
+};
+
+// Byzantine A/B: the SAME two always-lying devices against tolerance
+// t in {0, 1, 2}. t = 0 is the PR 1 evict-and-replan baseline (>= 1
+// recovery round on the first query); t >= 1 must absorb the liars in a
+// single round (zero recovery re-plans) at the Eq. (1) price of 2·t·m
+// surplus guard rows.
+std::vector<ByzArm> RunByzantineAb(size_t trials, size_t queries,
+                                   uint64_t seed) {
+  scec::Xoshiro256StarStar rng(seed);
+  scec::McscecProblem problem;
+  problem.m = 16;
+  problem.l = 8;
+  for (size_t j = 0; j < 12; ++j) {
+    scec::EdgeDevice device;
+    device.name = "edge-" + std::to_string(j);
+    device.costs.comm = rng.NextDouble(1.0, 5.0);
+    device.costs.storage = 0.01;
+    device.costs.mul = 0.002;
+    device.costs.add = 0.001;
+    device.compute_rate_flops = 1e9;
+    device.uplink_bps = 1e8;
+    device.downlink_bps = 1e8;
+    device.link_latency_s = 1e-3;
+    problem.fleet.Add(device);
+  }
+  const auto a = scec::RandomMatrix<double>(problem.m, problem.l, rng);
+  const auto x = scec::RandomVector<double>(problem.l, rng);
+  const auto expected = scec::MatVec(a, std::span<const double>(x));
+
+  std::vector<ByzArm> arms;
+  for (const size_t tolerance : {size_t{0}, size_t{1}, size_t{2}}) {
+    ByzArm arm;
+    arm.tolerance = tolerance;
+    for (size_t trial = 0; trial < trials; ++trial) {
+      scec::ChaCha20Rng coding_rng(seed ^ (0xB1u + trial));
+      const auto deployment = scec::Deploy(problem, a, coding_rng);
+      SCEC_CHECK(deployment.ok());
+      scec::sim::FaultSchedule faults;
+      faults.AddCorruption(deployment->plan.participating[0], 0.0, 0, 1.5);
+      faults.AddCorruption(deployment->plan.participating[2], 0.0, 0, -0.75);
+      scec::sim::SimOptions options;
+      options.faults = &faults;
+      scec::sim::FaultToleranceOptions ft;
+      ft.byzantine_tolerance = tolerance;
+      ft.guard_pad_seed = seed ^ (0x6A09E667u + trial);
+      scec::sim::FaultTolerantScecProtocol protocol(
+          &*deployment, &a, problem.fleet.devices(), options, ft);
+      protocol.Stage();
+      arm.effective = protocol.byzantine_tolerance_effective();
+      for (size_t q = 0; q < queries; ++q) {
+        const auto decoded = protocol.RunQuery(x);
+        ++arm.queries;
+        if (!decoded.ok() ||
+            scec::MaxAbsDiff(std::span<const double>(*decoded),
+                             std::span<const double>(expected)) >= 1e-9) {
+          arm.ok = false;
+        }
+      }
+      arm.ok = arm.ok && protocol.VerifyCumulativeSecurity().all_secure;
+      const auto& recovery = protocol.recovery_metrics();
+      arm.recovery_rounds += recovery.recovery_rounds;
+      arm.masked_queries += recovery.byzantine_masked_queries;
+      arm.quarantined += recovery.devices_quarantined;
+      arm.base_cost += recovery.base_plan_cost;
+      arm.guard_cost += recovery.byzantine_guard_cost;
+    }
+    arms.push_back(arm);
+  }
+  return arms;
+}
+
+std::string ByzArmJson(const ByzArm& arm) {
+  return "{\"tolerance\":" + std::to_string(arm.tolerance) +
+         ",\"effective\":" + std::to_string(arm.effective) +
+         ",\"queries\":" + std::to_string(arm.queries) +
+         ",\"rounds_per_query\":" + scec::FormatDouble(arm.RoundsPerQuery(), 6) +
+         ",\"masked_fraction\":" + scec::FormatDouble(arm.MaskedFraction(), 6) +
+         ",\"quarantined\":" + std::to_string(arm.quarantined) +
+         ",\"guard_cost\":" + scec::FormatDouble(arm.guard_cost, 6) +
+         ",\"cost_overhead\":" + scec::FormatDouble(arm.CostOverhead(), 6) +
+         ",\"ok\":" + (arm.ok ? "true" : "false") + "}";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -185,6 +300,9 @@ int main(int argc, char** argv) {
   int64_t replay = -1;
   int64_t ab_trials = 0;
   int64_t ab_queries = 4;
+  int64_t byz_trials = 0;
+  int64_t byz_queries = 2;
+  std::string byz_out;
   std::string sabotage_name;
   std::string fail_out;
   std::string metrics_csv;
@@ -208,6 +326,12 @@ int main(int argc, char** argv) {
              "paired hedging-on/off trials under exponential stragglers "
              "(0 = skip)");
   cli.AddInt("ab-queries", &ab_queries, "queries per A/B trial");
+  cli.AddInt("byz-trials", &byz_trials,
+             "byzantine A/B trials: tolerance t in {0,1,2} against the same "
+             "two always-lying devices (0 = skip)");
+  cli.AddInt("byz-queries", &byz_queries, "queries per byzantine A/B trial");
+  cli.AddString("byz-out", &byz_out,
+                "write the byzantine A/B summary JSON here");
   cli.AddString("run-metrics-csv", &metrics_csv,
                 "write per-episode run+recovery metrics CSV here");
   cli.AddString("run-metrics-json", &metrics_json,
@@ -354,9 +478,52 @@ int main(int argc, char** argv) {
                  "stragglers at bounded extra cost\n";
   }
 
+  if (byz_trials > 0) {
+    const std::vector<ByzArm> arms =
+        RunByzantineAb(static_cast<size_t>(byz_trials),
+                       static_cast<size_t>(byz_queries),
+                       static_cast<uint64_t>(seed) ^ 0xB12Au);
+    scec::TablePrinter byz_table({"t", "t_eff", "queries", "rounds/query",
+                                  "masked", "quarantined", "guard cost",
+                                  "cost overhead"});
+    std::string byz_json = "{\"byzantine_ab\":[";
+    bool byz_ok = true;
+    for (size_t i = 0; i < arms.size(); ++i) {
+      const ByzArm& arm = arms[i];
+      byz_table.AddRow({std::to_string(arm.tolerance),
+                        std::to_string(arm.effective),
+                        std::to_string(arm.queries),
+                        scec::FormatDouble(arm.RoundsPerQuery(), 4),
+                        scec::FormatDouble(arm.MaskedFraction(), 4),
+                        std::to_string(arm.quarantined),
+                        scec::FormatDouble(arm.guard_cost, 3),
+                        scec::FormatDouble(arm.CostOverhead(), 4)});
+      byz_json += (i == 0 ? "" : ",") + ByzArmJson(arm);
+      byz_ok = byz_ok && arm.ok;
+      // The headline claims: t >= 1 masks both liars in a single round
+      // (zero recovery re-plans), t = 0 pays at least one re-plan; the
+      // surplus cost grows with t and is billed, not hidden.
+      if (arm.tolerance == 0) {
+        byz_ok = byz_ok && arm.recovery_rounds > 0 && arm.guard_cost == 0.0;
+      } else {
+        byz_ok = byz_ok && arm.recovery_rounds == 0 &&
+                 arm.masked_queries > 0 && arm.guard_cost > 0.0 &&
+                 arm.guard_cost > arms[i - 1].guard_cost;
+      }
+    }
+    byz_json += "]}\n";
+    byz_table.Print(std::cout);
+    std::cout << "  " << byz_json;
+    ok = WriteFile(byz_out, byz_json) && ok;
+    ok = ok && byz_ok;
+    std::cout << (byz_ok ? "  [PASS] " : "  [FAIL] ")
+              << "tolerance t masks <= t liars in a single round and bills "
+                 "the Eq. (1) surplus honestly\n";
+  }
+
   ok = scec::bench::ExportTelemetry(telemetry) && ok;
   std::cout << (ok ? "  [PASS] " : "  [FAIL] ")
-            << "all episodes hold the four chaos invariants "
-               "(decode, ITS, ledger, liveness)\n";
+            << "all episodes hold the six chaos invariants (decode, ITS, "
+               "ledger, liveness, masking, quarantine)\n";
   return ok ? 0 : 1;
 }

@@ -1,0 +1,295 @@
+// SPDX-License-Identifier: MIT
+//
+// Error-locating decoder for over-determined SCEC response sets.
+//
+// The structured Eq. (8) code yields each data row A_p·x by subtracting two
+// device responses (pad row from mixed row). When the runtime provisions
+// SURPLUS coded rows — guard segments, replicas, hedges — the same row has
+// several independent decode paths, each a `DecodeCandidate` contributed by
+// a small set of devices. Honest candidates of one row agree; a Byzantine
+// contributor makes its candidate disagree. Given per-device Freivalds
+// digests that FLAG definite liars (the digest has no false rejects, so
+// flagged ⊆ guilty), the locator finds a consistent honest subset:
+//
+//   1. Digest-guided elimination: drop every candidate touched by a flagged
+//      device. If the survivors of every unit agree, the decode is exact and
+//      the guilty set is exactly the flagged set. This is the O(paths) hot
+//      path — a digest over GF(2^61−1) false-accepts with p ≈ 4.3e−19, so
+//      in practice flagging IS locating.
+//   2. Combinatorial fallback: a liar that slipped past its digest (prob
+//      q^−d per response, see result_verify.h) still breaks candidate
+//      agreement. Enumerate exclusion subsets of the suspect devices in
+//      increasing size (≤ max_guilty − |flagged|, budget-capped); the
+//      minimal subset whose exclusion restores global consistency names the
+//      remaining liars. If several minimal subsets work but all yield the
+//      SAME values (e.g. either contributor of a corrupt pair-candidate
+//      explains it), the decode is still exact and only the attribution is
+//      ambiguous; if they disagree, nothing is claimed.
+//
+// The same header carries the majority-vote primitive the replicated
+// protocol used to hand-roll (sim/redundant_protocol.cpp): full replication
+// is the degenerate case of one single-device candidate per replica, so both
+// correction paths share this code.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace scec {
+
+// One independent way to obtain a unit's value, and the devices whose
+// honesty it depends on.
+template <typename Value>
+struct DecodeCandidate {
+  Value value{};
+  std::vector<size_t> devices;
+};
+
+// One value to be decoded (a data row, a replicated block) with all its
+// candidate paths.
+template <typename Value>
+struct DecodeUnit {
+  std::vector<DecodeCandidate<Value>> candidates;
+};
+
+struct LocatorLimits {
+  // Total guilty devices the caller is willing to attribute (flagged
+  // devices count against this budget).
+  size_t max_guilty = 1;
+  // Exclusion subsets the fallback may test before giving up. The
+  // digest-guided hot path never enumerates; this only bounds the rare
+  // false-accept hunt.
+  size_t max_subsets = 4096;
+};
+
+template <typename Value>
+struct LocateResult {
+  bool located = false;       // `values` is the exact decode of every unit
+  bool ambiguous = false;     // several minimal explanations (see header)
+  bool used_fallback = false; // combinatorial search ran
+  std::vector<Value> values;  // one per unit, valid iff `located`
+  std::vector<size_t> guilty; // sorted; flagged ∪ located liars
+  std::string detail;         // why not located / why ambiguous
+};
+
+// Legacy majority-vote over interchangeable candidates (full replication):
+// first-maximum wins, a strict majority (> n/2) is authoritative.
+struct MajorityOutcome {
+  size_t best_index = 0;
+  size_t best_votes = 0;
+  bool disagreement = false;
+  bool strict_majority = false;
+};
+
+template <typename Value, typename Eq>
+MajorityOutcome MajorityVote(const std::vector<Value>& candidates, Eq equal) {
+  SCEC_CHECK(!candidates.empty());
+  MajorityOutcome outcome;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    size_t votes = 0;
+    for (size_t j = 0; j < candidates.size(); ++j) {
+      if (equal(candidates[j], candidates[i])) ++votes;
+    }
+    if (votes > outcome.best_votes) {
+      outcome.best_votes = votes;
+      outcome.best_index = i;
+    }
+    if (!equal(candidates[i], candidates[0])) outcome.disagreement = true;
+  }
+  outcome.strict_majority = outcome.best_votes * 2 > candidates.size();
+  return outcome;
+}
+
+template <typename Value, typename Eq>
+LocateResult<Value> LocateAndDecode(const std::vector<DecodeUnit<Value>>& units,
+                                    const std::vector<size_t>& flagged,
+                                    const LocatorLimits& limits, Eq equal) {
+  LocateResult<Value> result;
+
+  const auto contains = [](const std::vector<size_t>& sorted, size_t device) {
+    return std::binary_search(sorted.begin(), sorted.end(), device);
+  };
+  // Decodes every unit under an exclusion set, or reports the first unit
+  // whose surviving candidates disagree (or vanished entirely).
+  const auto try_decode = [&](const std::vector<size_t>& excluded,
+                              std::vector<Value>* values) -> bool {
+    values->clear();
+    values->reserve(units.size());
+    for (const DecodeUnit<Value>& unit : units) {
+      const Value* agreed = nullptr;
+      for (const DecodeCandidate<Value>& candidate : unit.candidates) {
+        bool valid = true;
+        for (size_t device : candidate.devices) {
+          if (contains(excluded, device)) {
+            valid = false;
+            break;
+          }
+        }
+        if (!valid) continue;
+        if (agreed == nullptr) {
+          agreed = &candidate.value;
+        } else if (!equal(*agreed, candidate.value)) {
+          return false;
+        }
+      }
+      if (agreed == nullptr) return false;
+      values->push_back(*agreed);
+    }
+    return true;
+  };
+
+  std::vector<size_t> excluded = flagged;
+  std::sort(excluded.begin(), excluded.end());
+  excluded.erase(std::unique(excluded.begin(), excluded.end()),
+                 excluded.end());
+  if (excluded.size() > limits.max_guilty) {
+    result.detail = "more flagged devices than the guilt budget";
+    return result;
+  }
+  // Hot path: the digests already named every liar.
+  if (try_decode(excluded, &result.values)) {
+    result.located = true;
+    result.guilty = excluded;
+    return result;
+  }
+
+  // A unit whose every candidate touches a flagged device can never become
+  // consistent by excluding MORE devices — fail fast, the caller must fetch
+  // fresh responses instead.
+  std::vector<size_t> suspects;
+  for (const DecodeUnit<Value>& unit : units) {
+    bool covered = false;
+    for (const DecodeCandidate<Value>& candidate : unit.candidates) {
+      bool valid = true;
+      for (size_t device : candidate.devices) {
+        valid = valid && !contains(excluded, device);
+      }
+      covered = covered || valid;
+    }
+    if (!covered) {
+      result.detail = "a unit has no decode path free of flagged devices";
+      return result;
+    }
+    // Suspects: contributors to units that still disagree.
+    const Value* first = nullptr;
+    bool disagrees = false;
+    for (const DecodeCandidate<Value>& candidate : unit.candidates) {
+      bool valid = true;
+      for (size_t device : candidate.devices) {
+        valid = valid && !contains(excluded, device);
+      }
+      if (!valid) continue;
+      if (first == nullptr) {
+        first = &candidate.value;
+      } else if (!equal(*first, candidate.value)) {
+        disagrees = true;
+      }
+    }
+    if (!disagrees) continue;
+    for (const DecodeCandidate<Value>& candidate : unit.candidates) {
+      for (size_t device : candidate.devices) {
+        if (!contains(excluded, device)) suspects.push_back(device);
+      }
+    }
+  }
+  std::sort(suspects.begin(), suspects.end());
+  suspects.erase(std::unique(suspects.begin(), suspects.end()),
+                 suspects.end());
+
+  // Combinatorial fallback: minimal exclusion subsets in increasing size.
+  result.used_fallback = true;
+  size_t budget = limits.max_subsets;
+  bool truncated = false;
+  std::vector<std::vector<size_t>> winners;
+  std::vector<std::vector<Value>> winner_values;
+  const size_t spare = limits.max_guilty - excluded.size();
+  for (size_t e = 1; e <= spare && e <= suspects.size() && winners.empty();
+       ++e) {
+    std::vector<size_t> pick(e);
+    for (size_t i = 0; i < e; ++i) pick[i] = i;
+    while (true) {
+      if (budget == 0) {
+        truncated = true;
+        break;
+      }
+      --budget;
+      std::vector<size_t> trial = excluded;
+      for (size_t i : pick) trial.push_back(suspects[i]);
+      std::sort(trial.begin(), trial.end());
+      std::vector<Value> values;
+      if (try_decode(trial, &values)) {
+        std::vector<size_t> subset;
+        for (size_t i : pick) subset.push_back(suspects[i]);
+        winners.push_back(std::move(subset));
+        winner_values.push_back(std::move(values));
+      }
+      // Next lexicographic e-combination of suspects.
+      size_t slot = e;
+      while (slot > 0 && pick[slot - 1] == suspects.size() - e + slot - 1) {
+        --slot;
+      }
+      if (slot == 0) break;
+      ++pick[slot - 1];
+      for (size_t i = slot; i < e; ++i) pick[i] = pick[i - 1] + 1;
+    }
+    if (truncated) break;
+  }
+
+  if (winners.empty()) {
+    result.detail = truncated ? "fallback subset budget exhausted"
+                              : "no exclusion subset restores consistency";
+    return result;
+  }
+  if (winners.size() == 1 && !truncated) {
+    result.located = true;
+    result.values = std::move(winner_values.front());
+    result.guilty = excluded;
+    result.guilty.insert(result.guilty.end(), winners.front().begin(),
+                         winners.front().end());
+    std::sort(result.guilty.begin(), result.guilty.end());
+    return result;
+  }
+  // Several minimal explanations (or a truncated search that cannot rule
+  // them out): the decode is still exact iff every explanation yields the
+  // same values; guilt is then the intersection of the explanations.
+  result.ambiguous = true;
+  bool same_values = true;
+  for (size_t w = 1; w < winner_values.size() && same_values; ++w) {
+    for (size_t u = 0; u < winner_values[w].size(); ++u) {
+      if (!equal(winner_values[w][u], winner_values.front()[u])) {
+        same_values = false;
+        break;
+      }
+    }
+  }
+  if (!same_values) {
+    result.detail = "multiple minimal explanations with conflicting values";
+    return result;
+  }
+  result.located = true;
+  result.values = std::move(winner_values.front());
+  std::vector<size_t> intersection = winners.front();
+  for (size_t w = 1; w < winners.size(); ++w) {
+    std::vector<size_t> keep;
+    for (size_t device : intersection) {
+      if (std::find(winners[w].begin(), winners[w].end(), device) !=
+          winners[w].end()) {
+        keep.push_back(device);
+      }
+    }
+    intersection = std::move(keep);
+  }
+  result.guilty = excluded;
+  result.guilty.insert(result.guilty.end(), intersection.begin(),
+                       intersection.end());
+  std::sort(result.guilty.begin(), result.guilty.end());
+  result.detail = "liar attribution ambiguous; decode unanimous";
+  return result;
+}
+
+}  // namespace scec

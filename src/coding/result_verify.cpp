@@ -38,24 +38,35 @@ double MagnitudeOf(T value) {
 
 template <typename T>
 ResultVerifier<T> ResultVerifier<T>::Create(
-    const std::vector<DeviceShare<T>>& shares, ChaCha20Rng& rng) {
+    const std::vector<DeviceShare<T>>& shares, ChaCha20Rng& rng,
+    size_t num_digests) {
+  SCEC_CHECK_GE(num_digests, 1u);
   ResultVerifier verifier;
+  verifier.num_digests_ = num_digests;
   verifier.entries_.reserve(shares.size());
+  // Draw order (per device, then per probe, then per row) keeps d = 1
+  // bit-identical to the historical single-digest construction for any
+  // given rng state.
   for (const DeviceShare<T>& share : shares) {
     const Matrix<T>& s = share.coded_rows;
     Entry entry;
-    entry.weights.reserve(s.rows());
-    for (size_t row = 0; row < s.rows(); ++row) {
-      entry.weights.push_back(FieldTraits<T>::Random(rng));
-    }
-    // u = wᵀ·S — one pass over the share, done once at staging time.
-    entry.digest.assign(s.cols(), FieldTraits<T>::Zero());
-    for (size_t row = 0; row < s.rows(); ++row) {
-      const T w = entry.weights[row];
-      auto coded = s.Row(row);
-      for (size_t col = 0; col < s.cols(); ++col) {
-        entry.digest[col] += w * coded[col];
+    entry.probes.reserve(num_digests);
+    for (size_t d = 0; d < num_digests; ++d) {
+      Probe probe;
+      probe.weights.reserve(s.rows());
+      for (size_t row = 0; row < s.rows(); ++row) {
+        probe.weights.push_back(FieldTraits<T>::Random(rng));
       }
+      // u = wᵀ·S — one pass over the share, done once at staging time.
+      probe.digest.assign(s.cols(), FieldTraits<T>::Zero());
+      for (size_t row = 0; row < s.rows(); ++row) {
+        const T w = probe.weights[row];
+        auto coded = s.Row(row);
+        for (size_t col = 0; col < s.cols(); ++col) {
+          probe.digest[col] += w * coded[col];
+        }
+      }
+      entry.probes.push_back(std::move(probe));
     }
     verifier.entries_.push_back(std::move(entry));
   }
@@ -65,7 +76,9 @@ ResultVerifier<T> ResultVerifier<T>::Create(
 template <typename T>
 size_t ResultVerifier<T>::DigestValues() const {
   size_t total = 0;
-  for (const Entry& entry : entries_) total += entry.digest.size();
+  for (const Entry& entry : entries_) {
+    for (const Probe& probe : entry.probes) total += probe.digest.size();
+  }
   return total;
 }
 
@@ -74,31 +87,34 @@ bool ResultVerifier<T>::Check(size_t device, std::span<const T> x,
                               std::span<const T> response) const {
   SCEC_CHECK_LT(device, entries_.size());
   const Entry& entry = entries_[device];
-  if (response.size() != entry.weights.size()) return false;
-  SCEC_CHECK_EQ(x.size(), entry.digest.size());
+  for (const Probe& probe : entry.probes) {
+    if (response.size() != probe.weights.size()) return false;
+    SCEC_CHECK_EQ(x.size(), probe.digest.size());
 
-  if constexpr (FieldTraits<T>::is_exact) {
-    // Hot path: the delayed-reduction dot product (field/accumulator.h) —
-    // exact fields need no magnitude tracking.
-    const T lhs = Dot(std::span<const T>(entry.weights), response);
-    const T rhs = Dot(std::span<const T>(entry.digest), x);
-    return ProbesAgree(lhs, rhs, 0.0);
-  } else {
-    T lhs = FieldTraits<T>::Zero();
-    T rhs = FieldTraits<T>::Zero();
-    double magnitude = 0.0;
-    for (size_t row = 0; row < response.size(); ++row) {
-      const T term = entry.weights[row] * response[row];
-      lhs += term;
-      magnitude += MagnitudeOf(term);
+    if constexpr (FieldTraits<T>::is_exact) {
+      // Hot path: the delayed-reduction dot product (field/accumulator.h) —
+      // exact fields need no magnitude tracking.
+      const T lhs = Dot(std::span<const T>(probe.weights), response);
+      const T rhs = Dot(std::span<const T>(probe.digest), x);
+      if (!ProbesAgree(lhs, rhs, 0.0)) return false;
+    } else {
+      T lhs = FieldTraits<T>::Zero();
+      T rhs = FieldTraits<T>::Zero();
+      double magnitude = 0.0;
+      for (size_t row = 0; row < response.size(); ++row) {
+        const T term = probe.weights[row] * response[row];
+        lhs += term;
+        magnitude += MagnitudeOf(term);
+      }
+      for (size_t col = 0; col < x.size(); ++col) {
+        const T term = probe.digest[col] * x[col];
+        rhs += term;
+        magnitude += MagnitudeOf(term);
+      }
+      if (!ProbesAgree(lhs, rhs, magnitude)) return false;
     }
-    for (size_t col = 0; col < x.size(); ++col) {
-      const T term = entry.digest[col] * x[col];
-      rhs += term;
-      magnitude += MagnitudeOf(term);
-    }
-    return ProbesAgree(lhs, rhs, magnitude);
   }
+  return true;
 }
 
 template class ResultVerifier<double>;

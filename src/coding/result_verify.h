@@ -22,6 +22,13 @@
 // relative tolerance; a perturbation far above the accumulation noise is
 // caught with probability 1 up to measure-zero weight draws.
 //
+// Small fields need REPETITION: over GF(256) a single digest false-accepts
+// with probability 1/256 — material under sustained Byzantine load. The
+// `num_digests` knob draws d independent weight vectors per device (d
+// digests shipped, d probes checked), driving the false-accept rate to
+// q^−d: GF(256) at d = 2 is ≈ 1.5·10⁻⁵, at d = 4 ≈ 2.3·10⁻¹⁰. Cost scales
+// linearly (d·l digest values shipped, O(d·(V_j + l)) per check).
+//
 // Security: w and u_j live at the trusted user and are never shown to
 // devices, so Def. 2 ITS for the devices is untouched. (u_j itself is one
 // extra padded linear combination of T's rows; handing it to the *user* is
@@ -47,30 +54,36 @@ class ResultVerifier {
  public:
   ResultVerifier() = default;
 
-  // Cloud-side construction: one secret weight per coded row, digests
-  // precomputed against the actual shares. `rng` must be the
-  // cryptographically strong generator — predictable weights let a
-  // Byzantine device craft an undetectable corruption.
+  // Cloud-side construction: `num_digests` independent secret weights per
+  // coded row, digests precomputed against the actual shares. `rng` must be
+  // the cryptographically strong generator — predictable weights let a
+  // Byzantine device craft an undetectable corruption (a response error e
+  // with wᵀe = 0 passes every probe; see tests/test_result_verify.cpp).
   static ResultVerifier Create(const std::vector<DeviceShare<T>>& shares,
-                               ChaCha20Rng& rng);
+                               ChaCha20Rng& rng, size_t num_digests = 1);
 
   size_t num_devices() const { return entries_.size(); }
+  size_t num_digests() const { return num_digests_; }
 
   // Number of scalar values the cloud ships to the user (the digests; the
   // weights stay wherever the check runs).
   size_t DigestValues() const;
 
-  // User-side check of one response in O(V_j + l). `x` is the query,
-  // `response` the claimed S_j·x.
+  // User-side check of one response in O(d·(V_j + l)). `x` is the query,
+  // `response` the claimed S_j·x. All d probes must agree.
   bool Check(size_t device, std::span<const T> x,
              std::span<const T> response) const;
 
  private:
-  struct Entry {
+  struct Probe {
     std::vector<T> weights;  // w_j, one per coded row of device j (secret)
     std::vector<T> digest;   // u_j = w_jᵀ·S_j, length l
   };
+  struct Entry {
+    std::vector<Probe> probes;  // num_digests_ independent probes
+  };
   std::vector<Entry> entries_;
+  size_t num_digests_ = 1;
 };
 
 }  // namespace scec

@@ -1,0 +1,64 @@
+// SPDX-License-Identifier: MIT
+
+#include "core/byzantine.h"
+
+#include <algorithm>
+#include <string>
+
+#include "allocation/cost_model.h"
+
+namespace scec {
+
+std::vector<std::array<size_t, 2>> SelectGuardPairs(
+    const DeviceFleet& fleet, size_t l, const std::vector<size_t>& occupied,
+    size_t tolerance) {
+  std::vector<bool> taken(fleet.size(), false);
+  for (size_t idx : occupied) {
+    if (idx < taken.size()) taken[idx] = true;
+  }
+  std::vector<size_t> spares;
+  for (size_t idx = 0; idx < fleet.size(); ++idx) {
+    if (!taken[idx]) spares.push_back(idx);
+  }
+  std::stable_sort(spares.begin(), spares.end(), [&](size_t a, size_t b) {
+    return UnitCost(fleet[a].costs, l) < UnitCost(fleet[b].costs, l);
+  });
+
+  std::vector<std::array<size_t, 2>> pairs;
+  for (size_t g = 0; g < tolerance && 2 * g + 1 < spares.size(); ++g) {
+    pairs.push_back({spares[2 * g], spares[2 * g + 1]});
+  }
+  return pairs;
+}
+
+Result<ByzantinePlan> PlanByzantineMcscec(const McscecProblem& problem,
+                                          size_t tolerance,
+                                          TaAlgorithm algorithm) {
+  SCEC_ASSIGN_OR_RETURN(Plan base, PlanMcscec(problem, algorithm));
+
+  ByzantinePlan plan;
+  plan.base = std::move(base);
+  plan.tolerance = tolerance;
+  plan.guard_pairs = SelectGuardPairs(problem.fleet, problem.l,
+                                      plan.base.participating, tolerance);
+  if (plan.guard_pairs.size() < tolerance) {
+    return Infeasible(
+        "byzantine plan: tolerance " + std::to_string(tolerance) + " needs " +
+        std::to_string(2 * tolerance) + " spare devices but only " +
+        std::to_string(problem.k() - plan.base.participating.size()) +
+        " remain beyond the base allocation");
+  }
+
+  plan.surplus_rows = 2 * tolerance * problem.m;
+  plan.guard_cost = 0.0;
+  for (const std::array<size_t, 2>& pair : plan.guard_pairs) {
+    for (size_t fleet_idx : pair) {
+      plan.guard_cost += static_cast<double>(problem.m) *
+                         UnitCost(problem.fleet[fleet_idx].costs, problem.l);
+    }
+  }
+  plan.total_cost = plan.base.allocation.total_cost + plan.guard_cost;
+  return plan;
+}
+
+}  // namespace scec

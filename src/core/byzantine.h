@@ -1,0 +1,64 @@
+// SPDX-License-Identifier: MIT
+//
+// EXTENSION (Byzantine tolerance): provisioning SURPLUS coded rows so the
+// user can decode THROUGH up to `t` corrupted devices in a single round
+// instead of evicting and re-planning (cf. Keshtkarjahromi et al., secure
+// coded cooperative computation against Byzantine attacks, PAPERS.md).
+//
+// The scheme rides on the structured Eq. (8) code: beside the base MCSCEC
+// allocation, each of the `t` GUARD segments re-encodes all m data rows with
+// FRESH pads over an independent pair of spare devices (a pad holder and a
+// mixed holder, StructuredCode(m, m)). Each data row then has t+1 disjoint
+// decode paths — its base pad/mixed pair plus one per guard — so any ≤ t
+// Byzantine devices can break at most t paths and the error-locating
+// decoder (coding/byzantine_decoder.h) always finds an intact one, naming
+// the liars from the disagreement pattern.
+//
+// Def. 2 ITS is preserved: guard pads are drawn fresh per segment, every
+// guard device sees either pure pad rows or pad-masked rows under pads no
+// other device holds, and the pairs are disjoint from the base allocation
+// and from each other (checked by the runtime's cumulative-view audit).
+//
+// Eq. (1) cost of the surplus is billed honestly: each guard pair adds
+// m·(c_pad + c_mixed) to the plan — `guard_cost` below, and the runtime's
+// `byzantine_guard_cost` metric at staging time.
+
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "allocation/device.h"
+#include "common/error.h"
+#include "core/planner.h"
+#include "core/problem.h"
+
+namespace scec {
+
+struct ByzantinePlan {
+  Plan base;
+  size_t tolerance = 0;  // t: guard segments provisioned (t = 0 ⇒ base plan)
+  // guard_pairs[g] = {pad holder, mixed holder} fleet indices; disjoint from
+  // base.participating and from every other pair.
+  std::vector<std::array<size_t, 2>> guard_pairs;
+  size_t surplus_rows = 0;   // 2·t·m coded rows beyond the base plan
+  double guard_cost = 0.0;   // Eq. (1) spend on the surplus rows
+  double total_cost = 0.0;   // base.allocation.total_cost + guard_cost
+};
+
+// Picks up to `tolerance` guard pairs from the spare devices (fleet indices
+// not in `occupied`), cheapest Eq. (1) unit cost at row width l first, ties
+// by fleet index. Returns fewer pairs than requested when spares run out —
+// callers decide whether that is an error (planner) or a capped effective
+// tolerance (runtime).
+std::vector<std::array<size_t, 2>> SelectGuardPairs(
+    const DeviceFleet& fleet, size_t l, const std::vector<size_t>& occupied,
+    size_t tolerance);
+
+// Plans MCSCEC with `tolerance` guard segments. Infeasible when the fleet
+// lacks 2·t spare devices beyond the base allocation.
+Result<ByzantinePlan> PlanByzantineMcscec(
+    const McscecProblem& problem, size_t tolerance,
+    TaAlgorithm algorithm = TaAlgorithm::kAuto);
+
+}  // namespace scec

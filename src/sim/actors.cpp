@@ -80,6 +80,26 @@ void EdgeDeviceActor::OnQueryDelivered(std::vector<double> x) {
       response[0] += 1.0;
     }
   }
+  // Configurable Byzantine models (element / magnitude / probability /
+  // lie budget); coins are deterministic per (seed, device, draw index).
+  if (!options_->byzantine.empty() && !response.empty()) {
+    byzantine_lies_.resize(options_->byzantine.size(), 0);
+    for (size_t s = 0; s < options_->byzantine.size(); ++s) {
+      const ByzantineSpec& spec = options_->byzantine[s];
+      if (spec.device != index_) continue;
+      if (byzantine_lies_[s] >= spec.max_lies) continue;
+      if (spec.probability < 1.0) {
+        SplitMix64 mix(options_->byzantine_seed ^
+                       (static_cast<uint64_t>(index_) *
+                        0x9E3779B97F4A7C15ull) ^
+                       (++byzantine_draws_ * 0xBF58476D1CE4E5B9ull));
+        const double coin = static_cast<double>(mix.Next() >> 11) * 0x1.0p-53;
+        if (coin >= spec.probability) continue;
+      }
+      response[spec.element % response.size()] += spec.magnitude;
+      ++byzantine_lies_[s];
+    }
+  }
 
   queue_->ScheduleAfter(wait, [this, response = std::move(response)]() mutable {
     // Fail-stop mid-compute, or an omission fault (the work above was done

@@ -8,7 +8,9 @@
 
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "allocation/device.h"
@@ -33,6 +35,18 @@ inline NodeId DeviceNode(size_t device_index) {
   return kFirstDeviceNode + static_cast<NodeId>(device_index);
 }
 
+// A configurable Byzantine device model: which element of the response is
+// corrupted, by how much, how often, and for how many responses. The legacy
+// `byzantine_nodes` knob is the degenerate spec {element 0, magnitude 1,
+// probability 1, unlimited}.
+struct ByzantineSpec {
+  size_t device = 0;        // actor index (EdgeDeviceActor::index())
+  size_t element = 0;       // corrupted response element (mod length)
+  double magnitude = 1.0;   // added to the element
+  double probability = 1.0; // per-response chance of lying (seeded coin)
+  size_t max_lies = std::numeric_limits<size_t>::max();  // then turns honest
+};
+
 struct SimOptions {
   double value_bytes = 8.0;      // wire size of one scalar
   StragglerModel straggler;      // applied to device compute times
@@ -41,6 +55,11 @@ struct SimOptions {
   // corrupted results. The paper's attack model is passive; this knob exists
   // to exercise the Byzantine-DETECTION extension in the redundant protocol.
   std::vector<size_t> byzantine_nodes;
+  // Configurable Byzantine models (element / magnitude / probability /
+  // lie budget per device); composes with byzantine_nodes and scripted
+  // kCorruption faults. Coins are deterministic per (seed, device, draw).
+  std::vector<ByzantineSpec> byzantine;
+  uint64_t byzantine_seed = 11;
   // Scripted per-device faults (crash / omission / corruption / transient),
   // consulted by every EdgeDeviceActor; see sim/faults.h. Faults act on the
   // query path (arrival + response), not on staging. Not owned.
@@ -98,6 +117,9 @@ class EdgeDeviceActor {
   bool has_share_ = false;
   SimTime busy_until_ = 0.0;  // compute queue tail
   DeviceMetrics metrics_;
+  // ByzantineSpec bookkeeping: coin draws and lies told, per spec index.
+  uint64_t byzantine_draws_ = 0;
+  std::vector<size_t> byzantine_lies_;
 };
 
 // The user-side response collector: counts responses per device (in scheme

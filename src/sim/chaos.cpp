@@ -102,6 +102,26 @@ std::vector<ChaosMix> DefaultChaosMixes() {
        .lossy_links = 0.3,
        .hedging = true,
        .adaptive_timeouts = true},
+      // Byzantine mixes: guard segments + locator decode + reputation.
+      {.name = "byzantine-masked",
+       .corruption = 0.9,
+       .byzantine_tolerance = 2},
+      {.name = "byzantine-intermittent",
+       .corruption = 0.8,
+       .byzantine_tolerance = 2,
+       .corruption_probability = 0.5},
+      {.name = "byzantine-minimal",
+       .corruption = 0.9,
+       .byzantine_tolerance = 2,
+       .corruption_relative = true},
+      {.name = "byzantine-equivocate",
+       .corruption = 0.9,
+       .byzantine_tolerance = 2,
+       .corruption_equivocate = true},
+      {.name = "byzantine-coordinated",
+       .corruption = 1.0,
+       .byzantine_tolerance = 2,
+       .coordinated = true},
   };
 }
 
@@ -124,6 +144,7 @@ ChaosEpisode RunChaosEpisode(const ChaosConfig& config, size_t index,
   episode.lossy = rng.NextDouble() < mix.lossy_links;
   episode.hedging = mix.hedging;
   episode.adaptive = mix.adaptive_timeouts;
+  episode.byzantine_tolerance = mix.byzantine_tolerance;
 
   McscecProblem problem;
   problem.m = episode.m;
@@ -144,10 +165,14 @@ ChaosEpisode RunChaosEpisode(const ChaosConfig& config, size_t index,
   const std::vector<size_t>& participating = deployment->plan.participating;
 
   // Scripted fault schedule over participating devices, capped so the
-  // script alone cannot push the fleet below k = 2.
-  const size_t cap = std::min(
+  // script alone cannot push the fleet below k = 2. Byzantine mixes cap
+  // liars at t as well, so masked episodes stay within the locator's budget.
+  size_t cap = std::min(
       config.max_faulty,
       participating.size() > 2 ? participating.size() - 2 : size_t{0});
+  if (mix.byzantine_tolerance > 0) {
+    cap = std::min(cap, mix.byzantine_tolerance);
+  }
   std::vector<size_t> candidates = participating;
   for (size_t i = candidates.size(); i > 1; --i) {  // seeded Fisher–Yates
     std::swap(candidates[i - 1], candidates[rng.NextBelow(i)]);
@@ -155,6 +180,9 @@ ChaosEpisode RunChaosEpisode(const ChaosConfig& config, size_t index,
   const double fault_weight =
       mix.crash + mix.omission + mix.corruption + mix.transient;
   FaultSchedule faults;
+  faults.SetSeed(episode.seed ^ 0xB42Dull);
+  double coordinated_delta = 0.0;
+  bool coordinated_drawn = false;
   for (size_t i = 0; i < candidates.size() && episode.schedule.size() < cap;
        ++i) {
     if (rng.NextDouble() >= fault_weight) continue;
@@ -172,9 +200,40 @@ ChaosEpisode RunChaosEpisode(const ChaosConfig& config, size_t index,
     } else if ((pick -= mix.corruption) < 0.0) {
       fault.kind = FaultKind::kCorruption;
       fault.start_s = 0.0;
-      fault.delta = (rng.NextDouble() < 0.5 ? 1.0 : -1.0) *
-                    rng.NextDouble(0.5, 2.0);
-      faults.AddCorruption(fault.device, fault.start_s, 0, fault.delta);
+      if (mix.coordinated) {
+        // Coordinated ≤ t-subset attack: every liar injects the SAME
+        // (element, delta), so their corruptions corroborate each other.
+        if (!coordinated_drawn) {
+          coordinated_delta = (rng.NextDouble() < 0.5 ? 1.0 : -1.0) *
+                              rng.NextDouble(0.5, 2.0);
+          coordinated_drawn = true;
+        }
+        fault.delta = coordinated_delta;
+      } else if (mix.corruption_relative) {
+        // Minimal-magnitude attack: deltas near the decode tolerance,
+        // scaled by the element's own magnitude at firing time.
+        fault.delta = (rng.NextDouble() < 0.5 ? 1.0 : -1.0) *
+                      rng.NextDouble(1e-5, 1e-3);
+      } else {
+        fault.delta = (rng.NextDouble() < 0.5 ? 1.0 : -1.0) *
+                      rng.NextDouble(0.5, 2.0);
+      }
+      fault.probability = mix.corruption_probability;
+      fault.relative = mix.corruption_relative;
+      fault.equivocate = mix.corruption_equivocate;
+      if (fault.probability < 1.0 || fault.relative || fault.equivocate) {
+        FaultEvent event;
+        event.kind = FaultKind::kCorruption;
+        event.start_s = fault.start_s;
+        event.element = 0;
+        event.delta = fault.delta;
+        event.probability = fault.probability;
+        event.relative = fault.relative;
+        event.equivocate = fault.equivocate;
+        faults.Add(fault.device, event);
+      } else {
+        faults.AddCorruption(fault.device, fault.start_s, 0, fault.delta);
+      }
     } else {
       fault.kind = FaultKind::kTransient;
       fault.start_s = rng.NextDouble(0.0, 0.01);
@@ -206,10 +265,13 @@ ChaosEpisode RunChaosEpisode(const ChaosConfig& config, size_t index,
   ft.verifier_seed = episode.seed ^ 0xF4E1A7D5ull;
   ft.repair_pad_seed = episode.seed ^ 0x9D2C5680ull;
   ft.hedge_pad_seed = episode.seed ^ 0xA409382229F31D0Cull;
+  ft.byzantine_tolerance = mix.byzantine_tolerance;
+  ft.guard_pad_seed = episode.seed ^ 0x6A09E667ull;
 
   FaultTolerantScecProtocol protocol(&*deployment, &a,
                                      problem.fleet.devices(), options, ft);
   protocol.Stage();
+  episode.byzantine_effective = protocol.byzantine_tolerance_effective();
 
   episode.outcome = "decoded";
   for (size_t q = 0; q < config.queries_per_episode; ++q) {
@@ -256,6 +318,60 @@ ChaosEpisode RunChaosEpisode(const ChaosConfig& config, size_t index,
   if (sabotage == ChaosSabotage::kForgeLedger) {
     episode.run.query_downlink_bytes += 7;
   }
+
+  // Invariants 5 + 6 (byzantine mixes only): single-round masking and liar
+  // quarantine. Gated on always-lying liars (probability 1) on an episode
+  // whose schedule is PURE corruption — any other fault kind legitimately
+  // forces recovery rounds. Minimal-magnitude (relative) lies may slip the
+  // digest (caught by the locator's value check instead), so the
+  // flag-dependent halves are skipped for them.
+  if (mix.byzantine_tolerance > 0 && episode.outcome == "decoded") {
+    size_t liars = 0;
+    bool pure_corruption = true;
+    for (const ChaosScheduledFault& fault : episode.schedule) {
+      if (fault.kind == FaultKind::kCorruption) {
+        ++liars;
+      } else {
+        pure_corruption = false;
+      }
+    }
+    const bool always_lying = mix.corruption_probability >= 1.0;
+    const bool digest_visible = !mix.corruption_relative;
+    if (pure_corruption && always_lying &&
+        episode.byzantine_effective >= 1) {
+      if (episode.recovery.recovery_rounds != 0) {
+        episode.invariants.masking = false;
+        if (episode.failure.empty()) {
+          episode.failure =
+              "masking: " +
+              std::to_string(episode.recovery.recovery_rounds) +
+              " recovery rounds despite guards covering the liars";
+        }
+      }
+      if (digest_visible && liars > 0 &&
+          episode.recovery.byzantine_masked_queries == 0) {
+        episode.invariants.masking = false;
+        if (episode.failure.empty()) {
+          episode.failure = "masking: no query was counted masked despite " +
+                            std::to_string(liars) + " scripted liars";
+        }
+      }
+      if (digest_visible) {
+        for (const ChaosScheduledFault& fault : episode.schedule) {
+          if (protocol.reputation().standing(fault.device) !=
+              DeviceStanding::kQuarantined) {
+            episode.invariants.quarantine = false;
+            if (episode.failure.empty()) {
+              episode.failure = "quarantine: scripted liar " +
+                                std::to_string(fault.device) +
+                                " was never quarantined";
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
   // Invariant 3: the independent ledgers agree.
   const std::string ledger = CheckLedger(episode, options.value_bytes);
   if (!ledger.empty()) {
@@ -296,7 +412,12 @@ std::string DescribeSchedule(const ChaosEpisode& episode) {
      << " stragglers=" << (episode.stragglers ? 1 : 0)
      << " lossy=" << (episode.lossy ? 1 : 0)
      << " hedging=" << (episode.hedging ? 1 : 0)
-     << " adaptive=" << (episode.adaptive ? 1 : 0) << "\n";
+     << " adaptive=" << (episode.adaptive ? 1 : 0);
+  if (episode.byzantine_tolerance > 0) {
+    os << " byz_t=" << episode.byzantine_tolerance
+       << " byz_eff=" << episode.byzantine_effective;
+  }
+  os << "\n";
   for (const ChaosScheduledFault& fault : episode.schedule) {
     os << "  dev " << fault.device << " " << FaultKindName(fault.kind)
        << " @" << Num(fault.start_s);
@@ -305,6 +426,9 @@ std::string DescribeSchedule(const ChaosEpisode& episode) {
     }
     if (fault.kind == FaultKind::kCorruption) {
       os << " delta " << Num(fault.delta);
+      if (fault.probability < 1.0) os << " p=" << Num(fault.probability);
+      if (fault.relative) os << " relative";
+      if (fault.equivocate) os << " equivocate";
     }
     os << "\n";
   }

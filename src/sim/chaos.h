@@ -25,6 +25,14 @@
 //                  impossible by construction (the event queue drains), so
 //                  this invariant catches status-code regressions.
 //
+// Byzantine mixes (byzantine_tolerance > 0) add two more:
+//
+//   5. masking    — with guards provisioned and ≤ t always-lying scripted
+//                   liars, every query decodes exactly with ZERO recovery
+//                   re-plans (single-round masking);
+//   6. quarantine — every always-lying digest-visible scripted liar ends the
+//                   episode quarantined by the reputation tracker.
+//
 // Episodes are REPLAYABLE: a failing episode's master seed + index fully
 // determine its schedule, and ReproCommand() prints the one-command repro
 // (bench/chaos_soak --seed=… --replay=…). Sabotage hooks deliberately break
@@ -56,6 +64,14 @@ struct ChaosMix {
   double lossy_links = 0.0;  // P(episode uses the lossy channel)
   bool hedging = false;
   bool adaptive_timeouts = false;
+  // Byzantine masking: tolerance t provisions guard segments (scripted liars
+  // are additionally capped at t so masked episodes stay locatable), and the
+  // adversary-model knobs flow into every scripted kCorruption event.
+  size_t byzantine_tolerance = 0;
+  double corruption_probability = 1.0;  // < 1: intermittent liars
+  bool corruption_relative = false;     // minimal-magnitude attacks
+  bool corruption_equivocate = false;   // a different lie on every firing
+  bool coordinated = false;  // all liars share one (element, delta)
 };
 
 // The standard soak rotation: every fault kind alone, the kitchen sink, and
@@ -103,6 +119,10 @@ struct ChaosScheduledFault {
   double start_s = 0.0;
   double end_s = 0.0;   // kTransient only
   double delta = 0.0;   // kCorruption only
+  // kCorruption adversary-model knobs (mirrors FaultEvent).
+  double probability = 1.0;
+  bool relative = false;
+  bool equivocate = false;
 };
 
 // Per-invariant verdicts; all true on a healthy episode.
@@ -111,7 +131,17 @@ struct ChaosInvariants {
   bool security = true;
   bool ledger = true;
   bool liveness = true;
-  bool AllHold() const { return decode && security && ledger && liveness; }
+  // Byzantine invariants (trivially true off the byzantine mixes):
+  //   masking    — with guards provisioned and ≤ t always-lying scripted
+  //                liars, every query decodes with ZERO recovery re-plans
+  //                (and, for digest-visible liars, is counted masked);
+  //   quarantine — every always-lying, digest-visible scripted liar ends
+  //                the episode quarantined.
+  bool masking = true;
+  bool quarantine = true;
+  bool AllHold() const {
+    return decode && security && ledger && liveness && masking && quarantine;
+  }
 };
 
 struct ChaosEpisode {
@@ -126,6 +156,8 @@ struct ChaosEpisode {
   bool lossy = false;
   bool hedging = false;
   bool adaptive = false;
+  size_t byzantine_tolerance = 0;  // requested t of the mix
+  size_t byzantine_effective = 0;  // guard segments actually provisioned
   std::vector<ChaosScheduledFault> schedule;
 
   // Outcome.

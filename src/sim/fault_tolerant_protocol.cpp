@@ -3,12 +3,15 @@
 #include "sim/fault_tolerant_protocol.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <numeric>
 #include <string>
 #include <utility>
 
 #include "allocation/cost_model.h"
+#include "coding/byzantine_decoder.h"
+#include "core/byzantine.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -23,6 +26,12 @@ struct ResilienceMetrics {
   obs::Counter& hedges_cancelled;
   obs::Counter& hedge_staging_aborts;
   obs::Counter& adaptive_deadlines;
+  obs::Counter& byzantine_flagged;
+  obs::Counter& byzantine_masked;
+  obs::Counter& byzantine_located;
+  obs::Counter& reputation_quarantines;
+  obs::Counter& reputation_readmissions;
+  obs::Counter& reputation_canaries;
   obs::Histogram& adaptive_deadline_seconds;
   obs::Histogram& device_response_seconds;
 
@@ -43,6 +52,18 @@ struct ResilienceMetrics {
             "scec_hedge_staging_aborts_total")),
         adaptive_deadlines(obs::MetricsRegistry::Global().GetCounter(
             "scec_adaptive_deadlines_total")),
+        byzantine_flagged(obs::MetricsRegistry::Global().GetCounter(
+            "scec_byzantine_total", {{"event", "flagged"}})),
+        byzantine_masked(obs::MetricsRegistry::Global().GetCounter(
+            "scec_byzantine_total", {{"event", "masked_query"}})),
+        byzantine_located(obs::MetricsRegistry::Global().GetCounter(
+            "scec_byzantine_total", {{"event", "located_liar"}})),
+        reputation_quarantines(obs::MetricsRegistry::Global().GetCounter(
+            "scec_reputation_total", {{"event", "quarantine"}})),
+        reputation_readmissions(obs::MetricsRegistry::Global().GetCounter(
+            "scec_reputation_total", {{"event", "readmit"}})),
+        reputation_canaries(obs::MetricsRegistry::Global().GetCounter(
+            "scec_reputation_total", {{"event", "canary"}})),
         adaptive_deadline_seconds(obs::MetricsRegistry::Global().GetHistogram(
             "scec_adaptive_deadline_seconds")),
         device_response_seconds(obs::MetricsRegistry::Global().GetHistogram(
@@ -75,7 +96,8 @@ FaultTolerantScecProtocol::FaultTolerantScecProtocol(
       jitter_rng_(ft_options.jitter_seed),
       verifier_rng_(ft_options.verifier_seed),
       repair_rng_(ft_options.repair_pad_seed),
-      hedge_rng_(ft_options.hedge_pad_seed) {
+      hedge_rng_(ft_options.hedge_pad_seed),
+      guard_rng_(ft_options.guard_pad_seed) {
   SCEC_CHECK(deployment_ != nullptr);
   SCEC_CHECK(a_ != nullptr);
   SCEC_CHECK_EQ(a_->rows(), deployment_->code.m());
@@ -92,6 +114,11 @@ FaultTolerantScecProtocol::FaultTolerantScecProtocol(
   SCEC_CHECK_LE(ft_.hedge_quantile, 1.0);
   SCEC_CHECK_GT(ft_.hedge_margin, 0.0);
   ft_.estimator.Validate();
+  SCEC_CHECK_GE(ft_.num_digests, 1u);
+  // Masking is meaningless without quarantine: a tolerance knob forces the
+  // reputation layer on (defaults apply unless the caller tuned them).
+  if (ft_.byzantine_tolerance > 0) ft_.reputation.enabled = true;
+  ft_.reputation.Validate();
 
   devices_.reserve(fleet_specs.size());
   for (EdgeDevice& spec : fleet_specs) {
@@ -104,6 +131,7 @@ FaultTolerantScecProtocol::FaultTolerantScecProtocol(
         << "fleet_specs must cover every participating device";
   }
   latency_.assign(devices_.size(), LatencyEstimator(ft_.estimator));
+  reputation_ = ReputationTracker(devices_.size(), ft_.reputation);
   BuildTopology();
 
   // The base deployment is segment 0: all m data rows, the planner's scheme,
@@ -181,7 +209,8 @@ void FaultTolerantScecProtocol::AddSegment(
   seg.code = code;
   seg.scheme = std::move(scheme);
   seg.phys = std::move(phys);
-  seg.verifier = ResultVerifier<double>::Create(shares, verifier_rng_);
+  seg.verifier =
+      ResultVerifier<double>::Create(shares, verifier_rng_, ft_.num_digests);
   seg.share_rows.reserve(shares.size());
   for (DeviceShare<double>& share : shares) {
     seg.share_rows.push_back(std::move(share.coded_rows));
@@ -283,6 +312,7 @@ void FaultTolerantScecProtocol::Stage() {
   SCEC_CHECK(!staged_) << "Stage() must run exactly once";
   const SimTime stage_start = queue_.now();
   StageSegment(0);
+  ProvisionGuards();
   metrics_.staging_completion_time = queue_.now();
   if (obs::Tracer::Enabled()) {
     obs::Tracer::Global().RecordSimSpan("stage", stage_start,
@@ -290,6 +320,46 @@ void FaultTolerantScecProtocol::Stage() {
                                         /*tid=*/devices_.size());
   }
   staged_ = true;
+}
+
+void FaultTolerantScecProtocol::ProvisionGuards() {
+  if (ft_.byzantine_tolerance == 0) return;
+  DeviceFleet fleet;
+  for (const DeviceState& dev : devices_) fleet.Add(dev.spec);
+  const std::vector<std::array<size_t, 2>> pairs =
+      SelectGuardPairs(fleet, deployment_->l, deployment_->plan.participating,
+                       ft_.byzantine_tolerance);
+  const size_t m = a_->rows();
+  for (const std::array<size_t, 2>& pair : pairs) {
+    // Each guard re-encodes ALL m data rows with fresh pads: pad block on
+    // pair[0], mixed block on pair[1] (Lemma 1 holds: V = m <= r = m).
+    StructuredCode code(m, m);
+    LcecScheme scheme = SchemeFromRowCounts(m, m, {m, m});
+    const Status secure = CheckSchemeSecure(code, scheme);
+    SCEC_CHECK(secure.ok()) << secure.message();
+    std::vector<size_t> all_rows(m);
+    std::iota(all_rows.begin(), all_rows.end(), size_t{0});
+    EncodedDeployment<double> encoded =
+        EncodeDeployment(code, scheme, *a_, guard_rng_);
+    AddSegment(std::move(all_rows), code, std::move(scheme),
+               {pair[0], pair[1]}, std::move(encoded.shares));
+    StageSegment(segments_.size() - 1);
+    ++recovery_.byzantine_guard_segments;
+    recovery_.byzantine_guard_rows += 2 * m;
+    // Eq. (1) spend on the surplus, same formula as PlanByzantineMcscec.
+    recovery_.byzantine_guard_cost +=
+        static_cast<double>(m) *
+        (UnitCost(devices_[pair[0]].spec.costs, deployment_->l) +
+         UnitCost(devices_[pair[1]].spec.costs, deployment_->l));
+  }
+  byzantine_tolerance_effective_ = pairs.size();
+  SCEC_CHECK(VerifyCumulativeSecurity().all_secure)
+      << "guard re-encode leaked data rows (cumulative ITS violated)";
+  if (obs::Tracer::Enabled() && !pairs.empty()) {
+    obs::Tracer::Global().RecordSimInstant(
+        "guards(" + std::to_string(pairs.size()) + ")", queue_.now(),
+        /*tid=*/devices_.size(), "fault");
+  }
 }
 
 double FaultTolerantScecProtocol::ModelDeadlineFor(
@@ -397,6 +467,19 @@ void FaultTolerantScecProtocol::Dispatch(Pending* pending) {
       obs::Tracer::Global().RecordSimInstant("deadline_timeout", queue_.now(),
                                              /*tid=*/pending->phys, "fault");
     }
+    if (ft_.reputation.enabled) {
+      const bool was_usable = reputation_.Usable(pending->phys);
+      reputation_.RecordTimeout(pending->phys);
+      if (was_usable && !reputation_.Usable(pending->phys)) {
+        ++recovery_.devices_quarantined;
+        ResilienceMetrics::Get().reputation_quarantines.Increment();
+        if (obs::Tracer::Enabled()) {
+          obs::Tracer::Global().RecordSimInstant(
+              "quarantine(timeout)", queue_.now(), /*tid=*/pending->phys,
+              "fault");
+        }
+      }
+    }
     if (pending->attempts >= ft_.retry.max_attempts) {
       Resolve(pending, PendingOutcome::kFailed);
       ++recovery_.devices_evicted_timeout;
@@ -427,6 +510,32 @@ void FaultTolerantScecProtocol::OnResponse(size_t segment, size_t local,
       static_cast<double>(response.size()) * options_.value_bytes);
   ++recovery_.responses_received;
   recovery_.response_values_received += response.size();
+
+  // Canary probes: a quarantined device's answer is digest-checked and then
+  // DISCARDED — it never enters the decode or the pending machinery.
+  const auto canary = canary_probes_.find({segment, local});
+  if (canary != canary_probes_.end()) {
+    const size_t phys = canary->second;
+    canary_probes_.erase(canary);
+    const bool passed = segments_[segment].verifier.Check(
+        local, std::span<const double>(*current_x_),
+        std::span<const double>(response));
+    if (passed) {
+      ++recovery_.canaries_passed;
+    } else {
+      ++recovery_.canaries_failed;
+    }
+    if (reputation_.RecordCanaryResult(phys, passed)) {
+      ++recovery_.devices_readmitted;
+      ResilienceMetrics::Get().reputation_readmissions.Increment();
+      if (obs::Tracer::Enabled()) {
+        obs::Tracer::Global().RecordSimInstant("readmit", queue_.now(),
+                                               /*tid=*/phys, "fault");
+      }
+    }
+    return;
+  }
+
   if (segment >= pending_index_.size()) return;
   Pending* pending = pending_index_[segment][local];
   // Not part of this round, a duplicate after a retry, a late response from
@@ -439,19 +548,26 @@ void FaultTolerantScecProtocol::OnResponse(size_t segment, size_t local,
   Segment& seg = segments_[segment];
   if (!seg.verifier.Check(local, std::span<const double>(*current_x_),
                           std::span<const double>(response))) {
-    // A corrupted response is Byzantine behaviour, not noise: evict
-    // immediately instead of retrying.
     ++recovery_.corrupt_responses;
-    ++recovery_.devices_evicted_corrupt;
     Resolve(pending, PendingOutcome::kFailed);
-    devices_[pending->phys].evicted = true;
-    if (obs::Tracer::Enabled()) {
-      obs::Tracer::Global().RecordSimInstant("evict(corrupt)", queue_.now(),
-                                             /*tid=*/pending->phys, "fault");
+    if (ft_.byzantine_tolerance > 0) {
+      // Masking mode: the liar is QUARANTINED (recoverable via canaries)
+      // and the locator decodes around it in this same round.
+      FlagByzantine(pending->phys);
+    } else {
+      // A corrupted response is Byzantine behaviour, not noise: evict
+      // immediately instead of retrying.
+      ++recovery_.devices_evicted_corrupt;
+      devices_[pending->phys].evicted = true;
+      if (obs::Tracer::Enabled()) {
+        obs::Tracer::Global().RecordSimInstant("evict(corrupt)", queue_.now(),
+                                               /*tid=*/pending->phys, "fault");
+      }
     }
     return;
   }
   if (pending->attempts > 1) ++recovery_.devices_recovered_by_retry;
+  reputation_.RecordVerified(pending->phys);
   Resolve(pending, PendingOutcome::kAccepted);
   const double duration = queue_.now() - pending->dispatch_s;
   latency_[pending->phys].Observe(duration);
@@ -588,7 +704,7 @@ void FaultTolerantScecProtocol::MaybeHedge(Pending* pending) {
   }
   std::vector<size_t> idle;
   for (size_t d = 0; d < devices_.size(); ++d) {
-    if (devices_[d].evicted || d == pending->phys || BusyInRound(d)) continue;
+    if (!UsableDevice(d) || d == pending->phys || BusyInRound(d)) continue;
     idle.push_back(d);
   }
   if (idle.size() < 2) return;
@@ -734,6 +850,165 @@ std::vector<size_t> FaultTolerantScecProtocol::DecodeAvailable(
   return missing;
 }
 
+void FaultTolerantScecProtocol::FlagByzantine(size_t fleet_index) {
+  if (std::find(flagged_this_query_.begin(), flagged_this_query_.end(),
+                fleet_index) == flagged_this_query_.end()) {
+    flagged_this_query_.push_back(fleet_index);
+    ResilienceMetrics::Get().byzantine_flagged.Increment();
+  }
+  if (reputation_.RecordCorrupt(fleet_index)) {
+    ++recovery_.devices_quarantined;
+    ResilienceMetrics::Get().reputation_quarantines.Increment();
+    if (obs::Tracer::Enabled()) {
+      obs::Tracer::Global().RecordSimInstant("quarantine", queue_.now(),
+                                             /*tid=*/fleet_index, "fault");
+    }
+  }
+}
+
+std::vector<size_t> FaultTolerantScecProtocol::DecodeLocating(
+    std::vector<std::optional<double>>* decoded) {
+  // Honest candidates of one row agree to rounding; a lying contributor is
+  // off by its injected magnitude. Relative tolerance, since A·x scales.
+  const auto eq = [](double lhs, double rhs) {
+    return std::fabs(lhs - rhs) <=
+           1e-9 * std::max({1.0, std::fabs(lhs), std::fabs(rhs)});
+  };
+
+  // One DecodeUnit per still-missing global row; one candidate per staged
+  // segment whose pad AND mixed responses for the row are both on hand (a
+  // digest-flagged response was never stored, so flagged devices simply
+  // contribute no path).
+  std::vector<size_t> unit_rows;
+  std::vector<DecodeUnit<double>> units;
+  for (const Segment& seg : segments_) {
+    if (!seg.staged) continue;
+    const auto holder = HolderMap(seg.scheme);
+    const size_t r = seg.code.r();
+    for (size_t p = 0; p < seg.data_rows.size(); ++p) {
+      const size_t global = seg.data_rows[p];
+      if ((*decoded)[global].has_value()) continue;
+      const auto [mixed_dev, mixed_off] = holder[r + p];
+      const auto [pad_dev, pad_off] = holder[p % r];
+      const auto& mixed = seg.responses[mixed_dev];
+      const auto& pad = seg.responses[pad_dev];
+      if (!mixed.has_value() || !pad.has_value()) continue;
+      const auto it =
+          std::find(unit_rows.begin(), unit_rows.end(), global);
+      size_t u;
+      if (it == unit_rows.end()) {
+        u = unit_rows.size();
+        unit_rows.push_back(global);
+        units.emplace_back();
+      } else {
+        u = static_cast<size_t>(it - unit_rows.begin());
+      }
+      DecodeCandidate<double> candidate;
+      candidate.value = (*mixed)[mixed_off] - (*pad)[pad_off];
+      candidate.devices = {seg.phys[pad_dev], seg.phys[mixed_dev]};
+      units[u].candidates.push_back(std::move(candidate));
+    }
+  }
+
+  bool located = false;
+  if (!units.empty()) {
+    LocatorLimits limits;
+    limits.max_guilty =
+        flagged_this_query_.size() + byzantine_tolerance_effective_;
+    const LocateResult<double> result =
+        LocateAndDecode(units, flagged_this_query_, limits, eq);
+    if (result.used_fallback) ++recovery_.byzantine_fallback_locates;
+    if (result.ambiguous) ++recovery_.byzantine_ambiguous_locates;
+    if (result.located) {
+      located = true;
+      for (size_t u = 0; u < unit_rows.size(); ++u) {
+        (*decoded)[unit_rows[u]] = result.values[u];
+        ++metrics_.decode_subtractions;
+      }
+      for (size_t device : result.guilty) {
+        if (std::find(located_this_query_.begin(), located_this_query_.end(),
+                      device) != located_this_query_.end()) {
+          continue;
+        }
+        located_this_query_.push_back(device);
+        ++recovery_.byzantine_located_liars;
+        ResilienceMetrics::Get().byzantine_located.Increment();
+        if (obs::Tracer::Enabled()) {
+          obs::Tracer::Global().RecordSimInstant(
+              "located_liar", queue_.now(), /*tid=*/device, "fault");
+        }
+        FlagByzantine(device);
+      }
+    }
+  }
+  if (!located) {
+    // No consistent locate (> t liars, or broken guard paths): salvage the
+    // rows whose candidates are unanimous, leave the rest to recovery.
+    for (size_t u = 0; u < units.size(); ++u) {
+      const auto& candidates = units[u].candidates;
+      bool unanimous = true;
+      for (size_t c = 1; c < candidates.size(); ++c) {
+        unanimous = unanimous && eq(candidates[c].value, candidates[0].value);
+      }
+      if (unanimous) {
+        (*decoded)[unit_rows[u]] = candidates[0].value;
+        ++metrics_.decode_subtractions;
+      }
+    }
+  }
+
+  std::vector<size_t> missing;
+  for (size_t g = 0; g < decoded->size(); ++g) {
+    if (!(*decoded)[g].has_value()) missing.push_back(g);
+  }
+  return missing;
+}
+
+void FaultTolerantScecProtocol::RunCanaries() {
+  if (!ft_.reputation.enabled) return;
+  SCEC_CHECK(canary_probes_.empty());
+  for (size_t d = 0; d < devices_.size(); ++d) {
+    if (devices_[d].evicted || !reputation_.CanaryDue(d)) continue;
+    // Re-use the device's existing staged share: the probe costs one query
+    // round trip and zero staging, and its response never enters a decode.
+    for (size_t s = 0; s < segments_.size(); ++s) {
+      const Segment& seg = segments_[s];
+      bool sent = false;
+      for (size_t j = 0; j < seg.phys.size(); ++j) {
+        if (seg.phys[j] != d || !seg.actors[j]->HasShare()) continue;
+        canary_probes_[{s, j}] = d;
+        reputation_.NoteCanarySent(d);
+        ++recovery_.canaries_sent;
+        ResilienceMetrics::Get().reputation_canaries.Increment();
+        if (obs::Tracer::Enabled()) {
+          obs::Tracer::Global().RecordSimInstant("canary", queue_.now(),
+                                                 /*tid=*/d, "fault");
+        }
+        EdgeDeviceActor* actor = seg.actors[j].get();
+        const std::vector<double> x = *current_x_;
+        const uint64_t x_bytes = static_cast<uint64_t>(
+            static_cast<double>(x.size()) * options_.value_bytes);
+        metrics_.query_uplink_bytes += x_bytes;
+        ++recovery_.queries_dispatched;
+        SendMsg(kUserNode, DeviceNode(d), x_bytes,
+                [actor, x]() { actor->OnQueryDelivered(x); },
+                /*abort_on_failure=*/false);
+        sent = true;
+        break;
+      }
+      if (sent) break;
+    }
+  }
+  if (canary_probes_.empty()) return;
+  queue_.RunUntilEmpty();
+  // A canary that never came back (crash, omission, loss) fails the streak.
+  for (const auto& [key, phys] : canary_probes_) {
+    ++recovery_.canaries_failed;
+    reputation_.RecordCanaryResult(phys, false);
+  }
+  canary_probes_.clear();
+}
+
 Result<std::vector<double>> FaultTolerantScecProtocol::RunQuery(
     const std::vector<double>& x) {
   SCEC_CHECK(staged_) << "RunQuery() requires Stage() first";
@@ -741,6 +1016,9 @@ Result<std::vector<double>> FaultTolerantScecProtocol::RunQuery(
   const SimTime query_start = queue_.now();
   current_x_ = &x;
   hedges_this_query_ = 0;
+  flagged_this_query_.clear();
+  located_this_query_.clear();
+  reputation_.AdvanceQuery();
 
   for (Segment& seg : segments_) {
     seg.responses.assign(seg.scheme.num_devices(), std::nullopt);
@@ -753,7 +1031,7 @@ Result<std::vector<double>> FaultTolerantScecProtocol::RunQuery(
     if (!segments_[s].staged) continue;
     for (size_t j = 0; j < segments_[s].scheme.num_devices(); ++j) {
       const size_t phys = segments_[s].phys[j];
-      if (devices_[phys].evicted) continue;
+      if (!UsableDevice(phys)) continue;
       Pending pending;
       pending.segment = s;
       pending.local = j;
@@ -776,7 +1054,9 @@ Result<std::vector<double>> FaultTolerantScecProtocol::RunQuery(
   }
 
   std::vector<std::optional<double>> decoded(a_->rows());
-  std::vector<size_t> lost = DecodeAvailable(&decoded);
+  std::vector<size_t> lost = ft_.byzantine_tolerance > 0
+                                 ? DecodeLocating(&decoded)
+                                 : DecodeAvailable(&decoded);
 
   size_t rounds_this_query = 0;
   while (!lost.empty()) {
@@ -796,7 +1076,7 @@ Result<std::vector<double>> FaultTolerantScecProtocol::RunQuery(
     std::vector<size_t> survivor_phys;
     DeviceFleet survivors;
     for (size_t d = 0; d < devices_.size(); ++d) {
-      if (devices_[d].evicted) continue;
+      if (!UsableDevice(d)) continue;
       survivor_phys.push_back(d);
       survivors.Add(devices_[d].spec);
     }
@@ -876,13 +1156,28 @@ Result<std::vector<double>> FaultTolerantScecProtocol::RunQuery(
       SCEC_CHECK(VerifyCumulativeSecurity().all_secure)
           << "hedge re-encode leaked data rows (cumulative ITS violated)";
     }
-    lost = DecodeAvailable(&decoded);
+    lost = ft_.byzantine_tolerance > 0 ? DecodeLocating(&decoded)
+                                       : DecodeAvailable(&decoded);
     if (obs::Tracer::Enabled()) {
       obs::Tracer::Global().RecordSimSpan(
           "recovery_round " + std::to_string(rounds_this_query), round_start,
           queue_.now() - round_start, /*tid=*/devices_.size(), "fault");
     }
   }
+
+  // A masked query: at least one liar was flagged yet the result decoded in
+  // the original round — zero recovery re-plans, the guards absorbed it.
+  if (!flagged_this_query_.empty() && rounds_this_query == 0) {
+    ++recovery_.byzantine_masked_queries;
+    ResilienceMetrics::Get().byzantine_masked.Increment();
+    if (obs::Tracer::Enabled()) {
+      obs::Tracer::Global().RecordSimInstant("masked_query", queue_.now(),
+                                             /*tid=*/devices_.size(), "fault");
+    }
+  }
+  // Probe quarantined devices that are due a canary. Runs after the decode
+  // settles, so probe latency never pollutes the completion metrics.
+  RunCanaries();
 
   current_x_ = nullptr;
   recovery_.total_completion_s = last_round_end - query_start;

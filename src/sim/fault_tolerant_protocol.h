@@ -47,6 +47,20 @@
 //                every query that dispatched a hedge — with exact
 //                GF(2^61−1) ranks (VerifyCumulativeViews) and aborts on any
 //                leak.
+//   Masking    — with `byzantine_tolerance` t > 0, Stage() provisions t
+//                GUARD segments (core/byzantine.h): each re-encodes ALL m
+//                data rows with fresh pads onto a disjoint pair of spare
+//                devices, so every row has t+1 independent decode paths and
+//                ≤ t liars can break at most t of them. A digest-flagged
+//                response no longer evicts: the device is QUARANTINED
+//                (sim/reputation.h) and the error-locating decoder
+//                (coding/byzantine_decoder.h) decodes around it in the SAME
+//                round — zero recovery re-plans — naming the guilty set.
+//                Quarantined devices are skipped by dispatch, hedging, and
+//                recovery planning, and win their way back through periodic
+//                low-stakes CANARY probes (digest-checked, never decoded).
+//                The evict-and-replan path remains the fallback whenever
+//                the liars are not locatable (> t, or guard paths broken).
 //
 // Each encoding round is a `Segment`: a set of data rows, its own structured
 // code + scheme, and fresh actors mapped onto the surviving physical
@@ -61,8 +75,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "coding/result_verify.h"
@@ -73,6 +89,7 @@
 #include "sim/latency_estimator.h"
 #include "sim/metrics.h"
 #include "sim/reliable.h"
+#include "sim/reputation.h"
 
 namespace scec::sim {
 
@@ -120,6 +137,22 @@ struct FaultToleranceOptions {
   // Fresh pads for recovery re-encodes. Independent of the seed that padded
   // the base deployment — cumulative ITS is re-verified either way.
   uint64_t repair_pad_seed = 0x9D2C5680u;
+
+  // --- Byzantine-tolerant overdecoding (default OFF: bit-identical to the
+  // evict-and-replan behaviour above). t > 0 provisions t guard segments at
+  // Stage() time — fresh-pad re-encodes of all m rows onto disjoint spare
+  // pairs — and switches digest failures from eviction to quarantine +
+  // single-round locator decode. Effective tolerance is capped by available
+  // spares: min(t, spares / 2), see byzantine_tolerance_effective().
+  size_t byzantine_tolerance = 0;
+  // Fresh pads for guard re-encodes (independent stream from repair/hedge).
+  uint64_t guard_pad_seed = 0x7C3B1E9F2D4A5608u;
+  // Freivalds digest repetitions per device (false-accept q^-d per
+  // response); 1 is the historical single-digest behaviour.
+  size_t num_digests = 1;
+  // Reputation / quarantine / canary-readmission knobs. `enabled` is forced
+  // on whenever byzantine_tolerance > 0.
+  ReputationOptions reputation;
 };
 
 class FaultTolerantScecProtocol {
@@ -156,6 +189,13 @@ class FaultTolerantScecProtocol {
 
   size_t num_segments() const { return segments_.size(); }
   size_t num_evicted() const;
+
+  // Guard segments actually provisioned at Stage() time: min(requested t,
+  // spare pairs available). 0 before Stage() or when the knob is off.
+  size_t byzantine_tolerance_effective() const {
+    return byzantine_tolerance_effective_;
+  }
+  const ReputationTracker& reputation() const { return reputation_; }
 
   // Observed response-latency estimator of one fleet device (read-only; for
   // tests and diagnostics).
@@ -276,6 +316,25 @@ class FaultTolerantScecProtocol {
   std::vector<size_t> DecodeAvailable(
       std::vector<std::optional<double>>* decoded);
 
+  // Byzantine-tolerant internals (byzantine_tolerance > 0).
+  // Stages the guard segments onto spare pairs; sets the effective t.
+  void ProvisionGuards();
+  // Evicted or quarantined devices get no dispatches of any kind.
+  bool UsableDevice(size_t fleet_index) const {
+    return !devices_[fleet_index].evicted && reputation_.Usable(fleet_index);
+  }
+  // Flags a digest-failed (or locator-implicated) device: quarantine via
+  // the reputation tracker plus per-query flag bookkeeping.
+  void FlagByzantine(size_t fleet_index);
+  // Locator-based decode over all staged segments: exact values through the
+  // error-locating decoder when ≤ t liars are locatable, per-row unanimous
+  // fallback otherwise. Same contract as DecodeAvailable.
+  std::vector<size_t> DecodeLocating(
+      std::vector<std::optional<double>>* decoded);
+  // Sends low-stakes canary probes to quarantined devices that are due one
+  // (existing shares, digest-checked, response discarded) and drains them.
+  void RunCanaries();
+
   const Deployment<double>* deployment_;
   const Matrix<double>* a_;
   SimOptions options_;
@@ -289,6 +348,7 @@ class FaultTolerantScecProtocol {
   ChaCha20Rng verifier_rng_;
   ChaCha20Rng repair_rng_;
   ChaCha20Rng hedge_rng_;
+  ChaCha20Rng guard_rng_;
 
   std::vector<DeviceState> devices_;  // full fleet, by fleet index
   std::vector<LatencyEstimator> latency_;  // one per fleet device
@@ -307,6 +367,15 @@ class FaultTolerantScecProtocol {
   size_t round_unresolved_ = 0;
   double round_settled_s_ = 0.0;  // sim time the last pending resolved
   size_t hedges_this_query_ = 0;
+
+  // Byzantine state: reputation standings, guards provisioned, the devices
+  // flagged/located during the current query, and in-flight canary probes
+  // ((segment, local) -> fleet index) intercepted before normal collection.
+  ReputationTracker reputation_;
+  size_t byzantine_tolerance_effective_ = 0;
+  std::vector<size_t> flagged_this_query_;
+  std::vector<size_t> located_this_query_;
+  std::map<std::pair<size_t, size_t>, size_t> canary_probes_;
 
   RunMetrics metrics_;
   FaultRecoveryMetrics recovery_;

@@ -12,6 +12,11 @@
 //   kCorruption — Byzantine response corruption: an element of B_j·T·x is
 //                 perturbed before transmission. Per-device element/delta so
 //                 tests can script *disagreeing* corruptions across replicas.
+//                 Adversary-model knobs: `probability` fires the corruption
+//                 intermittently (seeded, deterministic), `relative` scales
+//                 the delta with the element's magnitude (minimal-magnitude
+//                 attacks on doubles), `equivocate` changes the lie on every
+//                 firing (different answers across retries/replicas).
 //   kTransient  — the device is unreachable during [start, end): queries
 //                 arriving in the window are lost, but a retry after the
 //                 window succeeds.
@@ -25,6 +30,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -48,6 +54,10 @@ struct FaultEvent {
   // kCorruption knobs: which response element is perturbed and by how much.
   size_t element = 0;
   double delta = 1.0;
+  // Byzantine adversary models (kCorruption only; see header comment).
+  double probability = 1.0;  // per-response chance the lie fires
+  bool relative = false;     // delta scales with max(1, |element value|)
+  bool equivocate = false;   // lie differs on every firing
 };
 
 // How many injections of each kind actually fired during a run.
@@ -55,6 +65,7 @@ struct FaultInjectionStats {
   size_t crash_drops = 0;      // queries/responses swallowed by a crash
   size_t omission_drops = 0;   // responses computed but never sent
   size_t corruptions = 0;      // responses perturbed before sending
+  size_t corruption_skips = 0; // intermittent lies whose coin spared a response
   size_t transient_drops = 0;  // queries lost while the device was offline
 
   size_t Total() const {
@@ -71,6 +82,10 @@ class FaultSchedule {
                      double delta = 1.0);
   void AddTransient(size_t device, double from_s, double until_s);
   void Add(size_t device, FaultEvent event);
+
+  // Seed for the intermittent-lying coin (probability < 1 corruption
+  // events). Deterministic per (seed, device, draw index).
+  void SetSeed(uint64_t seed) { seed_ = seed; }
 
   // Queried by EdgeDeviceActor at query-arrival time: false when the device
   // is crashed or transiently offline (the query is never received).
@@ -92,8 +107,13 @@ class FaultSchedule {
 
   // events_[device] = scripted faults for that actor index.
   std::vector<std::vector<FaultEvent>> events_;
-  // Injection bookkeeping, not simulation state (see header comment).
+  uint64_t seed_ = 0x5EEDC0DEull;
+  // Injection bookkeeping, not simulation state (see header comment):
+  // per-device coin-draw counters and per-event firing counters (the latter
+  // drive equivocation — each firing lies differently).
   mutable FaultInjectionStats stats_;
+  mutable std::vector<uint64_t> draw_counts_;
+  mutable std::vector<std::vector<uint64_t>> fire_counts_;
 };
 
 }  // namespace scec::sim

@@ -72,6 +72,20 @@ std::string ToJson(const FaultRecoveryMetrics& metrics) {
      << ",\"hedge_staging_aborts\":" << metrics.hedge_staging_aborts
      << ",\"hedge_rate\":" << Num(metrics.HedgeRate())
      << ",\"adaptive_deadlines\":" << metrics.adaptive_deadlines
+     << ",\"byzantine_guard_segments\":" << metrics.byzantine_guard_segments
+     << ",\"byzantine_guard_rows\":" << metrics.byzantine_guard_rows
+     << ",\"byzantine_guard_cost\":" << Num(metrics.byzantine_guard_cost)
+     << ",\"byzantine_masked_queries\":" << metrics.byzantine_masked_queries
+     << ",\"byzantine_located_liars\":" << metrics.byzantine_located_liars
+     << ",\"byzantine_fallback_locates\":"
+     << metrics.byzantine_fallback_locates
+     << ",\"byzantine_ambiguous_locates\":"
+     << metrics.byzantine_ambiguous_locates
+     << ",\"devices_quarantined\":" << metrics.devices_quarantined
+     << ",\"devices_readmitted\":" << metrics.devices_readmitted
+     << ",\"canaries_sent\":" << metrics.canaries_sent
+     << ",\"canaries_passed\":" << metrics.canaries_passed
+     << ",\"canaries_failed\":" << metrics.canaries_failed
      << ",\"queries_dispatched\":" << metrics.queries_dispatched
      << ",\"responses_received\":" << metrics.responses_received
      << ",\"response_values_received\":" << metrics.response_values_received
@@ -118,7 +132,12 @@ std::string FaultRecoveryMetricsCsvHeader() {
          "responses_received,response_values_received,recovery_rounds,"
          "replanned_rows,base_plan_cost,recovery_plan_cost,"
          "recovery_staging_seconds,first_attempt_completion_s,"
-         "total_completion_s,settled_completion_s";
+         "total_completion_s,settled_completion_s,"
+         "byzantine_guard_segments,byzantine_guard_rows,"
+         "byzantine_guard_cost,byzantine_masked_queries,"
+         "byzantine_located_liars,byzantine_fallback_locates,"
+         "byzantine_ambiguous_locates,devices_quarantined,"
+         "devices_readmitted,canaries_sent,canaries_passed,canaries_failed";
 }
 
 std::string ToCsvRow(const FaultRecoveryMetrics& metrics) {
@@ -137,7 +156,16 @@ std::string ToCsvRow(const FaultRecoveryMetrics& metrics) {
      << ',' << metrics.replanned_rows << ',' << metrics.base_plan_cost << ','
      << metrics.recovery_plan_cost << ',' << metrics.recovery_staging_seconds
      << ',' << metrics.first_attempt_completion_s << ','
-     << metrics.total_completion_s << ',' << metrics.settled_completion_s;
+     << metrics.total_completion_s << ',' << metrics.settled_completion_s
+     << ',' << metrics.byzantine_guard_segments << ','
+     << metrics.byzantine_guard_rows << ',' << metrics.byzantine_guard_cost
+     << ',' << metrics.byzantine_masked_queries << ','
+     << metrics.byzantine_located_liars << ','
+     << metrics.byzantine_fallback_locates << ','
+     << metrics.byzantine_ambiguous_locates << ','
+     << metrics.devices_quarantined << ',' << metrics.devices_readmitted
+     << ',' << metrics.canaries_sent << ',' << metrics.canaries_passed << ','
+     << metrics.canaries_failed;
   return os.str();
 }
 

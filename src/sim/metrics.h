@@ -94,6 +94,24 @@ struct FaultRecoveryMetrics {
   uint64_t adaptive_deadlines = 0;    // deadlines taken from the estimator
                                       // instead of the link/compute model
 
+  // Byzantine-tolerant overdecoding (guard segments + error location).
+  uint64_t byzantine_guard_segments = 0;  // guard pairs staged (t_eff)
+  uint64_t byzantine_guard_rows = 0;      // surplus coded rows provisioned
+  double byzantine_guard_cost = 0.0;      // Eq. (1) spend on those rows
+  uint64_t byzantine_masked_queries = 0;  // decoded in a single round
+                                          // despite >= 1 flagged liar
+  uint64_t byzantine_located_liars = 0;   // guilty devices named by the
+                                          // locator (digest or fallback)
+  uint64_t byzantine_fallback_locates = 0;  // combinatorial search ran
+  uint64_t byzantine_ambiguous_locates = 0; // decode exact, guilt ambiguous
+
+  // Reputation / quarantine (sim/reputation.h).
+  uint64_t devices_quarantined = 0;   // standing transitions to quarantined
+  uint64_t devices_readmitted = 0;    // probation passed, standing restored
+  uint64_t canaries_sent = 0;         // low-stakes probes to quarantined
+  uint64_t canaries_passed = 0;       // digest-verified canary responses
+  uint64_t canaries_failed = 0;       // digest-flagged canary responses
+
   // Independent dispatch/response tally, kept separately from the byte
   // counters in RunMetrics so the chaos harness can cross-check the two
   // ledgers (bytes == values x value_bytes exactly).

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "coding/byzantine_decoder.h"
+
 namespace scec::sim {
 
 RedundantScecProtocol::RedundantScecProtocol(
@@ -90,6 +92,8 @@ void RedundantScecProtocol::Broadcast(const std::vector<double>& x) {
   metrics_.blocks_won_by_replica = 0;
   metrics_.blocks_with_disagreement = 0;
   metrics_.blocks_unresolved = 0;
+  metrics_.blocks_corrected = 0;
+  metrics_.guilty_devices.clear();
 
   const uint64_t x_bytes = static_cast<uint64_t>(
       static_cast<double>(x.size()) * options_.value_bytes);
@@ -132,9 +136,14 @@ std::vector<double> RedundantScecProtocol::RunVerifiedQuery(
   queue_.RunUntilEmpty();
   const size_t blocks = plan_->base.scheme.num_devices();
 
-  // Majority vote per block. Honest replicas run the identical computation
-  // on the identical share, so their responses are bit-equal; any deviation
-  // marks a fault.
+  // Per-block correction through the shared locator. Honest replicas run
+  // the identical computation on the identical share, so their responses are
+  // bit-equal; any deviation marks a fault. Full replication is the
+  // degenerate locator instance — one unit, one single-device candidate per
+  // replica — so the majority-vote arithmetic lives in
+  // coding/byzantine_decoder.h instead of being hand-rolled here.
+  const auto equal = [](const std::vector<double>& lhs,
+                        const std::vector<double>& rhs) { return lhs == rhs; };
   std::vector<std::vector<double>> voted(blocks);
   double verified_completion = 0.0;
   for (size_t block = 0; block < blocks; ++block) {
@@ -143,24 +152,41 @@ std::vector<double> RedundantScecProtocol::RunVerifiedQuery(
     verified_completion =
         std::max(verified_completion, last_response_time_[block]);
 
-    size_t best_index = 0;
-    size_t best_votes = 0;
-    bool disagreement = false;
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      size_t votes = 0;
-      for (size_t j = 0; j < candidates.size(); ++j) {
-        if (candidates[j] == candidates[i]) ++votes;
-      }
-      if (votes > best_votes) {
-        best_votes = votes;
-        best_index = i;
-      }
-      if (candidates[i] != candidates[0]) disagreement = true;
+    const MajorityOutcome vote = MajorityVote(candidates, equal);
+    if (!vote.disagreement) {
+      voted[block] = candidates[vote.best_index];
+      continue;
     }
-    if (disagreement) ++metrics_.blocks_with_disagreement;
-    if (best_votes * 2 <= candidates.size()) ++metrics_.blocks_unresolved;
-    voted[block] = candidates[best_index];
+    ++metrics_.blocks_with_disagreement;
+
+    DecodeUnit<std::vector<double>> unit;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      unit.candidates.push_back(
+          {candidates[i], {plan_->replica_groups[block][i]}});
+    }
+    LocatorLimits limits;
+    limits.max_guilty = candidates.size() - 1;
+    const LocateResult<std::vector<double>> located = LocateAndDecode(
+        std::vector<DecodeUnit<std::vector<double>>>{std::move(unit)},
+        /*flagged=*/{}, limits, equal);
+    if (located.located && !located.ambiguous) {
+      ++metrics_.blocks_corrected;
+      metrics_.guilty_devices.insert(metrics_.guilty_devices.end(),
+                                     located.guilty.begin(),
+                                     located.guilty.end());
+      voted[block] = located.values.front();
+    } else {
+      // No unique honest explanation (tie, or all-distinct responses): keep
+      // the first-maximum candidate and flag the run as untrustworthy —
+      // exactly the legacy no-strict-majority semantics.
+      ++metrics_.blocks_unresolved;
+      voted[block] = candidates[vote.best_index];
+    }
   }
+  std::sort(metrics_.guilty_devices.begin(), metrics_.guilty_devices.end());
+  metrics_.guilty_devices.erase(std::unique(metrics_.guilty_devices.begin(),
+                                            metrics_.guilty_devices.end()),
+                                metrics_.guilty_devices.end());
   metrics_.verified_completion_time = verified_completion - start;
   // Also populate the first-response latency metrics for comparison.
   double completion = 0.0;

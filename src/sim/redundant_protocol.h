@@ -36,6 +36,12 @@ struct RedundantRunMetrics {
   // Blocks where no strict majority existed (decode keeps the first
   // response and flags the run as untrustworthy).
   size_t blocks_unresolved = 0;
+  // Blocks where the shared error-locating decoder
+  // (coding/byzantine_decoder.h) pinned the disagreement on a unique replica
+  // subset and corrected the block from the surviving candidates.
+  size_t blocks_corrected = 0;
+  // Fleet indices the locator named guilty during the last verified query.
+  std::vector<size_t> guilty_devices;
 };
 
 class RedundantScecProtocol {

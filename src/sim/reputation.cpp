@@ -1,0 +1,122 @@
+// SPDX-License-Identifier: MIT
+
+#include "sim/reputation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace scec::sim {
+
+void ReputationOptions::Validate() const {
+  SCEC_CHECK(initial_score >= 0.0 && initial_score <= 1.0);
+  SCEC_CHECK(verified_reward >= 0.0);
+  SCEC_CHECK(timeout_penalty >= 0.0);
+  SCEC_CHECK(quarantine_threshold >= 0.0 && quarantine_threshold <= 1.0);
+  SCEC_CHECK(readmit_score >= 0.0 && readmit_score <= 1.0);
+  SCEC_CHECK_GT(canary_interval, 0u);
+  SCEC_CHECK_GT(canary_passes_to_readmit, 0u);
+  // Readmission must not land a device straight back in quarantine.
+  SCEC_CHECK(readmit_score >= quarantine_threshold);
+}
+
+ReputationTracker::ReputationTracker(size_t num_devices,
+                                     ReputationOptions options)
+    : options_(options) {
+  options_.Validate();
+  states_.assign(num_devices, State{});
+  for (State& state : states_) state.score = options_.initial_score;
+}
+
+void ReputationTracker::RecordVerified(size_t device) {
+  if (!options_.enabled) return;
+  SCEC_CHECK_LT(device, states_.size());
+  State& state = states_[device];
+  state.score = std::min(1.0, state.score + options_.verified_reward);
+}
+
+bool ReputationTracker::RecordCorrupt(size_t device) {
+  if (!options_.enabled) return false;
+  SCEC_CHECK_LT(device, states_.size());
+  // A digest flag is proof, not evidence: straight to quarantine.
+  states_[device].score = 0.0;
+  return Quarantine(device);
+}
+
+void ReputationTracker::RecordTimeout(size_t device) {
+  if (!options_.enabled) return;
+  SCEC_CHECK_LT(device, states_.size());
+  State& state = states_[device];
+  state.score = std::max(0.0, state.score - options_.timeout_penalty);
+  if (state.score < options_.quarantine_threshold) Quarantine(device);
+}
+
+void ReputationTracker::AdvanceQuery() { ++query_counter_; }
+
+bool ReputationTracker::CanaryDue(size_t device) const {
+  if (!options_.enabled) return false;
+  SCEC_CHECK_LT(device, states_.size());
+  const State& state = states_[device];
+  if (state.standing != DeviceStanding::kQuarantined) return false;
+  return query_counter_ - state.last_canary_query >= options_.canary_interval;
+}
+
+void ReputationTracker::NoteCanarySent(size_t device) {
+  SCEC_CHECK_LT(device, states_.size());
+  states_[device].last_canary_query = query_counter_;
+}
+
+bool ReputationTracker::RecordCanaryResult(size_t device, bool passed) {
+  if (!options_.enabled) return false;
+  SCEC_CHECK_LT(device, states_.size());
+  State& state = states_[device];
+  if (state.standing != DeviceStanding::kQuarantined) return false;
+  if (!passed) {
+    state.canary_passes = 0;
+    return false;
+  }
+  ++state.canary_passes;
+  if (state.canary_passes < options_.canary_passes_to_readmit) return false;
+  state.standing = DeviceStanding::kActive;
+  state.score = options_.readmit_score;
+  state.canary_passes = 0;
+  ++readmitted_total_;
+  return true;
+}
+
+double ReputationTracker::score(size_t device) const {
+  SCEC_CHECK_LT(device, states_.size());
+  return states_[device].score;
+}
+
+DeviceStanding ReputationTracker::standing(size_t device) const {
+  SCEC_CHECK_LT(device, states_.size());
+  return states_[device].standing;
+}
+
+bool ReputationTracker::Usable(size_t device) const {
+  if (!options_.enabled) return true;
+  SCEC_CHECK_LT(device, states_.size());
+  return states_[device].standing == DeviceStanding::kActive;
+}
+
+size_t ReputationTracker::num_quarantined() const {
+  size_t count = 0;
+  for (const State& state : states_) {
+    if (state.standing == DeviceStanding::kQuarantined) ++count;
+  }
+  return count;
+}
+
+bool ReputationTracker::Quarantine(size_t device) {
+  State& state = states_[device];
+  if (state.standing == DeviceStanding::kQuarantined) return false;
+  state.standing = DeviceStanding::kQuarantined;
+  state.canary_passes = 0;
+  // Pace the first canary a full interval out from the offence.
+  state.last_canary_query = query_counter_;
+  ++quarantined_total_;
+  return true;
+}
+
+}  // namespace scec::sim

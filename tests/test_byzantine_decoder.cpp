@@ -1,0 +1,208 @@
+// SPDX-License-Identifier: MIT
+//
+// Error-locating decoder for over-determined response sets
+// (coding/byzantine_decoder.h): digest-guided hot path, combinatorial
+// fallback, ambiguity semantics, and the shared majority-vote primitive.
+
+#include "coding/byzantine_decoder.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scec {
+namespace {
+
+const auto kEq = [](int lhs, int rhs) { return lhs == rhs; };
+
+DecodeCandidate<int> Cand(int value, std::vector<size_t> devices) {
+  DecodeCandidate<int> candidate;
+  candidate.value = value;
+  candidate.devices = std::move(devices);
+  return candidate;
+}
+
+// --- Hot path -----------------------------------------------------------
+
+TEST(LocateAndDecode, ConsistentCandidatesDecodeWithoutFallback) {
+  std::vector<DecodeUnit<int>> units(2);
+  units[0].candidates = {Cand(7, {0, 1}), Cand(7, {2, 3})};
+  units[1].candidates = {Cand(9, {0, 1}), Cand(9, {4, 5})};
+  const auto result = LocateAndDecode(units, /*flagged=*/{}, {}, kEq);
+  ASSERT_TRUE(result.located);
+  EXPECT_FALSE(result.used_fallback);
+  EXPECT_FALSE(result.ambiguous);
+  EXPECT_EQ(result.values, (std::vector<int>{7, 9}));
+  EXPECT_TRUE(result.guilty.empty());
+}
+
+TEST(LocateAndDecode, FlaggedDeviceEliminatedOnHotPath) {
+  // Device 2 is digest-flagged; its candidate carries the wrong value, but
+  // dropping every candidate it touches restores unanimity with no search.
+  std::vector<DecodeUnit<int>> units(2);
+  units[0].candidates = {Cand(7, {0, 1}), Cand(99, {2, 3}), Cand(7, {4, 5})};
+  units[1].candidates = {Cand(9, {0, 1}), Cand(9, {4, 5})};
+  LocatorLimits limits;
+  limits.max_guilty = 1;
+  const auto result = LocateAndDecode(units, /*flagged=*/{2}, limits, kEq);
+  ASSERT_TRUE(result.located);
+  EXPECT_FALSE(result.used_fallback) << "flagging IS locating on the hot path";
+  EXPECT_EQ(result.values, (std::vector<int>{7, 9}));
+  EXPECT_EQ(result.guilty, (std::vector<size_t>{2}));
+}
+
+TEST(LocateAndDecode, MoreFlaggedThanBudgetRefuses) {
+  std::vector<DecodeUnit<int>> units(1);
+  units[0].candidates = {Cand(7, {0, 1}), Cand(7, {2, 3})};
+  LocatorLimits limits;
+  limits.max_guilty = 1;
+  const auto result = LocateAndDecode(units, /*flagged=*/{0, 2}, limits, kEq);
+  EXPECT_FALSE(result.located);
+  EXPECT_NE(result.detail.find("guilt budget"), std::string::npos);
+}
+
+TEST(LocateAndDecode, UnitCoveredOnlyByFlaggedDevicesFailsFast) {
+  // Unit 1's every path touches flagged device 0 — no exclusion superset can
+  // ever make it decodable, so the locator must refuse without searching.
+  std::vector<DecodeUnit<int>> units(2);
+  units[0].candidates = {Cand(7, {0, 1}), Cand(7, {2, 3})};
+  units[1].candidates = {Cand(9, {0, 1}), Cand(9, {0, 4})};
+  LocatorLimits limits;
+  limits.max_guilty = 2;
+  const auto result = LocateAndDecode(units, /*flagged=*/{0}, limits, kEq);
+  EXPECT_FALSE(result.located);
+  EXPECT_FALSE(result.used_fallback);
+  EXPECT_NE(result.detail.find("no decode path"), std::string::npos);
+}
+
+// --- Combinatorial fallback ---------------------------------------------
+
+TEST(LocateAndDecode, FallbackLocatesSingleUnflaggedLiar) {
+  // Replication shape: one unit, three single-device candidates, device 1
+  // lies and slipped its digest (no flags at all).
+  std::vector<DecodeUnit<int>> units(1);
+  units[0].candidates = {Cand(5, {0}), Cand(42, {1}), Cand(5, {2})};
+  LocatorLimits limits;
+  limits.max_guilty = 1;
+  const auto result = LocateAndDecode(units, /*flagged=*/{}, limits, kEq);
+  ASSERT_TRUE(result.located);
+  EXPECT_TRUE(result.used_fallback);
+  EXPECT_FALSE(result.ambiguous);
+  EXPECT_EQ(result.values, (std::vector<int>{5}));
+  EXPECT_EQ(result.guilty, (std::vector<size_t>{1}));
+}
+
+TEST(LocateAndDecode, AmbiguousPairAttributionStillDecodesExactly) {
+  // A corrupt PAIR candidate {1,2}: excluding either contributor explains
+  // the disagreement equally well and yields the same surviving values, so
+  // the decode is exact but neither device can be individually convicted.
+  std::vector<DecodeUnit<int>> units(1);
+  units[0].candidates = {Cand(7, {0, 3}), Cand(99, {1, 2}), Cand(7, {4, 5})};
+  LocatorLimits limits;
+  limits.max_guilty = 1;
+  const auto result = LocateAndDecode(units, /*flagged=*/{}, limits, kEq);
+  ASSERT_TRUE(result.located);
+  EXPECT_TRUE(result.used_fallback);
+  EXPECT_TRUE(result.ambiguous);
+  EXPECT_EQ(result.values, (std::vector<int>{7}));
+  EXPECT_TRUE(result.guilty.empty())
+      << "guilt is the intersection of the minimal explanations";
+  EXPECT_NE(result.detail.find("ambiguous"), std::string::npos);
+}
+
+TEST(LocateAndDecode, ConflictingExplanationsClaimNothing) {
+  // Two candidates, each from its own device, disagreeing: excluding either
+  // device "works" but the surviving values differ — nothing may be claimed.
+  std::vector<DecodeUnit<int>> units(1);
+  units[0].candidates = {Cand(5, {0}), Cand(42, {1})};
+  LocatorLimits limits;
+  limits.max_guilty = 1;
+  const auto result = LocateAndDecode(units, /*flagged=*/{}, limits, kEq);
+  EXPECT_FALSE(result.located);
+  EXPECT_TRUE(result.ambiguous);
+  EXPECT_NE(result.detail.find("conflicting"), std::string::npos);
+}
+
+TEST(LocateAndDecode, SubsetBudgetExhaustionIsReportedNotMisattributed) {
+  std::vector<DecodeUnit<int>> units(1);
+  units[0].candidates = {Cand(5, {0}), Cand(42, {1}), Cand(5, {2})};
+  LocatorLimits limits;
+  limits.max_guilty = 1;
+  limits.max_subsets = 0;
+  const auto result = LocateAndDecode(units, /*flagged=*/{}, limits, kEq);
+  EXPECT_FALSE(result.located);
+  EXPECT_TRUE(result.used_fallback);
+  EXPECT_NE(result.detail.find("budget exhausted"), std::string::npos);
+}
+
+// --- Exhaustive ≤ t-subset attribution ----------------------------------
+
+TEST(LocateAndDecode, EveryLiarSubsetUpToToleranceIsNamedExactly) {
+  // 6 devices, 3 units, one single-device candidate per (unit, device) —
+  // every unit has >= t + 2 honest paths for t = 2, so the minimal
+  // explanation is unique. For EVERY liar subset S with |S| <= 2 the
+  // locator must decode the honest values and name exactly S.
+  constexpr size_t kDevices = 6;
+  constexpr size_t kUnits = 3;
+  constexpr size_t kTolerance = 2;
+  const auto honest = [](size_t unit) { return static_cast<int>(10 + unit); };
+  const auto lie = [](size_t unit, size_t device) {
+    return static_cast<int>(100 + 10 * unit + device);
+  };
+
+  std::vector<std::vector<size_t>> subsets = {{}};
+  for (size_t a = 0; a < kDevices; ++a) {
+    subsets.push_back({a});
+    for (size_t b = a + 1; b < kDevices; ++b) subsets.push_back({a, b});
+  }
+  ASSERT_EQ(subsets.size(), 1u + 6u + 15u);
+
+  for (const std::vector<size_t>& liars : subsets) {
+    std::vector<DecodeUnit<int>> units(kUnits);
+    for (size_t u = 0; u < kUnits; ++u) {
+      for (size_t d = 0; d < kDevices; ++d) {
+        const bool lies =
+            std::find(liars.begin(), liars.end(), d) != liars.end();
+        units[u].candidates.push_back(Cand(lies ? lie(u, d) : honest(u), {d}));
+      }
+    }
+    LocatorLimits limits;
+    limits.max_guilty = kTolerance;
+    const auto result = LocateAndDecode(units, /*flagged=*/{}, limits, kEq);
+    ASSERT_TRUE(result.located) << "liars=" << liars.size() << ": "
+                                << result.detail;
+    EXPECT_FALSE(result.ambiguous);
+    EXPECT_EQ(result.guilty, liars);
+    for (size_t u = 0; u < kUnits; ++u) {
+      EXPECT_EQ(result.values[u], honest(u));
+    }
+    EXPECT_EQ(result.used_fallback, !liars.empty());
+  }
+}
+
+// --- MajorityVote -------------------------------------------------------
+
+TEST(MajorityVote, UnanimityHasNoDisagreement) {
+  const auto outcome = MajorityVote<int>({4, 4, 4}, kEq);
+  EXPECT_FALSE(outcome.disagreement);
+  EXPECT_TRUE(outcome.strict_majority);
+  EXPECT_EQ(outcome.best_votes, 3u);
+}
+
+TEST(MajorityVote, StrictMajorityWinsAndIsAuthoritative) {
+  const auto outcome = MajorityVote<int>({4, 9, 4}, kEq);
+  EXPECT_TRUE(outcome.disagreement);
+  EXPECT_TRUE(outcome.strict_majority);
+  EXPECT_EQ(outcome.best_index, 0u);
+  EXPECT_EQ(outcome.best_votes, 2u);
+}
+
+TEST(MajorityVote, TieKeepsFirstMaximumWithoutAuthority) {
+  const auto outcome = MajorityVote<int>({4, 9, 9, 4}, kEq);
+  EXPECT_TRUE(outcome.disagreement);
+  EXPECT_FALSE(outcome.strict_majority) << "2 of 4 is not > n/2";
+  EXPECT_EQ(outcome.best_index, 0u) << "first maximum wins the tie";
+}
+
+}  // namespace
+}  // namespace scec

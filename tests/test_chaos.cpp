@@ -18,7 +18,7 @@ namespace {
 ChaosConfig SmallConfig() {
   ChaosConfig config;
   config.seed = 7;
-  config.episodes = 16;  // two passes over the 8 default mixes
+  config.episodes = 26;  // two passes over the 13 default mixes
   config.queries_per_episode = 1;
   return config;
 }
@@ -33,7 +33,7 @@ size_t FirstDecodedEpisode(const ChaosConfig& config) {
   return 0;
 }
 
-TEST(ChaosSoak, SmallSoakHoldsAllFourInvariants) {
+TEST(ChaosSoak, SmallSoakHoldsAllInvariants) {
   const ChaosConfig config = SmallConfig();
   const ChaosSoakSummary summary = RunChaosSoak(config);
   EXPECT_TRUE(summary.ok());
@@ -130,6 +130,63 @@ TEST(ChaosSoak, DefaultMixRotationCoversHedgingAndAdaptive) {
   EXPECT_TRUE(any_hedging);
   EXPECT_TRUE(any_adaptive);
   EXPECT_TRUE(any_plain);
+}
+
+TEST(ChaosSoak, DefaultMixRotationCoversTheByzantineAdversaries) {
+  // The adversarial mixes must span the richer Byzantine models: always-on
+  // liars under masking, intermittent lying, minimal-magnitude corruption,
+  // equivocation, and a coordinated <= t-subset attack.
+  bool any_masked = false;
+  bool any_intermittent = false;
+  bool any_relative = false;
+  bool any_equivocate = false;
+  bool any_coordinated = false;
+  for (const ChaosMix& mix : DefaultChaosMixes()) {
+    if (mix.byzantine_tolerance == 0) continue;
+    EXPECT_GT(mix.corruption, 0.0)
+        << mix.name << ": a byzantine mix must script liars";
+    any_masked |= mix.corruption_probability >= 1.0 &&
+                  !mix.corruption_relative && !mix.corruption_equivocate &&
+                  !mix.coordinated;
+    any_intermittent |= mix.corruption_probability < 1.0;
+    any_relative |= mix.corruption_relative;
+    any_equivocate |= mix.corruption_equivocate;
+    any_coordinated |= mix.coordinated;
+  }
+  EXPECT_TRUE(any_masked);
+  EXPECT_TRUE(any_intermittent);
+  EXPECT_TRUE(any_relative);
+  EXPECT_TRUE(any_equivocate);
+  EXPECT_TRUE(any_coordinated);
+}
+
+TEST(ChaosSoak, ByzantineEpisodesMaskAndQuarantineScriptedLiars) {
+  // Soak only the byzantine mixes and check the harness's invariants 5/6
+  // did real work: at least one episode masked a liar in a single round and
+  // quarantined it.
+  ChaosConfig config;
+  config.seed = 11;
+  config.episodes = 39;  // three passes over the 13 default mixes
+  config.queries_per_episode = 2;
+  const ChaosSoakSummary summary = RunChaosSoak(config);
+  EXPECT_TRUE(summary.ok());
+  bool any_guarded = false;
+  bool any_masked = false;
+  bool any_quarantined = false;
+  for (const ChaosEpisode& episode : summary.detail) {
+    EXPECT_TRUE(episode.invariants.masking) << DescribeSchedule(episode);
+    EXPECT_TRUE(episode.invariants.quarantine) << DescribeSchedule(episode);
+    if (episode.byzantine_tolerance == 0) {
+      EXPECT_EQ(episode.byzantine_effective, 0u);
+      continue;
+    }
+    any_guarded |= episode.byzantine_effective > 0;
+    any_masked |= episode.recovery.byzantine_masked_queries > 0;
+    any_quarantined |= episode.recovery.devices_quarantined > 0;
+  }
+  EXPECT_TRUE(any_guarded) << "no byzantine episode ever provisioned guards";
+  EXPECT_TRUE(any_masked) << "no liar was ever masked in a single round";
+  EXPECT_TRUE(any_quarantined) << "no liar was ever quarantined";
 }
 
 TEST(ChaosSoak, EmptySoakIsNotOk) {

@@ -211,9 +211,67 @@ TEST(FaultRecoveryMetricsExport, HedgeAndAdaptiveFieldsRoundTrip) {
   EXPECT_EQ(column("queries_dispatched"), "16");
   EXPECT_DOUBLE_EQ(std::stod(column("settled_completion_s")), 0.375);
   // Appended columns keep older CSV consumers' column indices valid: the
-  // settle time is the LAST column, right after total_completion_s.
-  EXPECT_EQ(header.back(), "settled_completion_s");
-  EXPECT_EQ(header[header.size() - 2], "total_completion_s");
+  // Byzantine/reputation block comes strictly AFTER the PR 2 settle time.
+  EXPECT_EQ(header.back(), "canaries_failed");
+  auto index_of = [&](const std::string& name) {
+    for (size_t i = 0; i < header.size(); ++i) {
+      if (header[i] == name) return i;
+    }
+    ADD_FAILURE() << "column " << name << " missing";
+    return header.size();
+  };
+  EXPECT_LT(index_of("settled_completion_s"),
+            index_of("byzantine_guard_segments"));
+}
+
+TEST(FaultRecoveryMetricsExport, ByzantineAndReputationFieldsRoundTrip) {
+  FaultRecoveryMetrics metrics;
+  metrics.byzantine_guard_segments = 2;
+  metrics.byzantine_guard_rows = 48;
+  metrics.byzantine_guard_cost = 12.5;
+  metrics.byzantine_masked_queries = 3;
+  metrics.byzantine_located_liars = 2;
+  metrics.byzantine_fallback_locates = 1;
+  metrics.byzantine_ambiguous_locates = 1;
+  metrics.devices_quarantined = 2;
+  metrics.devices_readmitted = 1;
+  metrics.canaries_sent = 5;
+  metrics.canaries_passed = 4;
+  metrics.canaries_failed = 1;
+
+  const std::string json = ToJson(metrics);
+  EXPECT_EQ(JsonUint(json, "byzantine_guard_segments"), 2u);
+  EXPECT_EQ(JsonUint(json, "byzantine_guard_rows"), 48u);
+  EXPECT_NE(json.find("\"byzantine_guard_cost\":12.5"), std::string::npos)
+      << json;
+  EXPECT_EQ(JsonUint(json, "byzantine_masked_queries"), 3u);
+  EXPECT_EQ(JsonUint(json, "byzantine_located_liars"), 2u);
+  EXPECT_EQ(JsonUint(json, "byzantine_fallback_locates"), 1u);
+  EXPECT_EQ(JsonUint(json, "byzantine_ambiguous_locates"), 1u);
+  EXPECT_EQ(JsonUint(json, "devices_quarantined"), 2u);
+  EXPECT_EQ(JsonUint(json, "devices_readmitted"), 1u);
+  EXPECT_EQ(JsonUint(json, "canaries_sent"), 5u);
+  EXPECT_EQ(JsonUint(json, "canaries_passed"), 4u);
+  EXPECT_EQ(JsonUint(json, "canaries_failed"), 1u);
+
+  const std::vector<std::string> header =
+      SplitCsv(FaultRecoveryMetricsCsvHeader());
+  const std::vector<std::string> row = SplitCsv(ToCsvRow(metrics));
+  ASSERT_EQ(header.size(), row.size());
+  auto column = [&](const std::string& name) -> std::string {
+    for (size_t i = 0; i < header.size(); ++i) {
+      if (header[i] == name) return row[i];
+    }
+    ADD_FAILURE() << "column " << name << " missing";
+    return "";
+  };
+  EXPECT_EQ(column("byzantine_guard_segments"), "2");
+  EXPECT_EQ(column("byzantine_guard_rows"), "48");
+  EXPECT_EQ(column("byzantine_masked_queries"), "3");
+  EXPECT_EQ(column("devices_quarantined"), "2");
+  EXPECT_EQ(column("devices_readmitted"), "1");
+  EXPECT_EQ(column("canaries_sent"), "5");
+  EXPECT_EQ(column("canaries_failed"), "1");
 }
 
 TEST(RunMetricsExport, EmptyMetricsStillSerialise) {

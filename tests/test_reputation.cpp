@@ -1,0 +1,165 @@
+// SPDX-License-Identifier: MIT
+//
+// ReputationTracker (sim/reputation.h): scoring, quarantine, canary pacing,
+// probationary readmission, and determinism.
+
+#include "sim/reputation.h"
+
+#include <gtest/gtest.h>
+
+namespace scec::sim {
+namespace {
+
+ReputationOptions Enabled() {
+  ReputationOptions options;
+  options.enabled = true;
+  return options;
+}
+
+TEST(ReputationTracker, DisabledTrackerIsInert) {
+  ReputationTracker tracker(3, {});
+  EXPECT_FALSE(tracker.enabled());
+  EXPECT_FALSE(tracker.RecordCorrupt(0));
+  tracker.RecordTimeout(1);
+  tracker.AdvanceQuery();
+  EXPECT_FALSE(tracker.CanaryDue(0));
+  for (size_t device = 0; device < 3; ++device) {
+    EXPECT_TRUE(tracker.Usable(device)) << "disabled must never gate dispatch";
+    EXPECT_EQ(tracker.standing(device), DeviceStanding::kActive);
+  }
+  EXPECT_EQ(tracker.quarantined_total(), 0u);
+}
+
+TEST(ReputationTracker, CorruptIsDisqualifyingOnTheSpot) {
+  ReputationTracker tracker(3, Enabled());
+  EXPECT_TRUE(tracker.Usable(1));
+  EXPECT_TRUE(tracker.RecordCorrupt(1)) << "newly quarantined";
+  EXPECT_EQ(tracker.standing(1), DeviceStanding::kQuarantined);
+  EXPECT_DOUBLE_EQ(tracker.score(1), 0.0);
+  EXPECT_FALSE(tracker.Usable(1));
+  EXPECT_FALSE(tracker.RecordCorrupt(1)) << "already quarantined";
+  EXPECT_EQ(tracker.quarantined_total(), 1u);
+  EXPECT_EQ(tracker.num_quarantined(), 1u);
+  EXPECT_TRUE(tracker.Usable(0)) << "other devices unaffected";
+}
+
+TEST(ReputationTracker, VerifiedRewardIsCappedAtOne) {
+  ReputationTracker tracker(1, Enabled());
+  for (int i = 0; i < 100; ++i) tracker.RecordVerified(0);
+  EXPECT_DOUBLE_EQ(tracker.score(0), 1.0);
+}
+
+TEST(ReputationTracker, RepeatedTimeoutsDecayIntoQuarantine) {
+  // Binary-exact knobs so "equal to the threshold" really is equal.
+  ReputationOptions options = Enabled();
+  options.initial_score = 0.5;
+  options.timeout_penalty = 0.125;
+  options.quarantine_threshold = 0.25;
+  ReputationTracker tracker(2, options);
+  tracker.RecordTimeout(0);  // 0.375
+  EXPECT_TRUE(tracker.Usable(0));
+  tracker.RecordTimeout(0);  // 0.25 — not yet below the threshold
+  EXPECT_TRUE(tracker.Usable(0));
+  tracker.RecordTimeout(0);  // 0.125 < 0.25
+  EXPECT_EQ(tracker.standing(0), DeviceStanding::kQuarantined);
+  EXPECT_EQ(tracker.quarantined_total(), 1u);
+}
+
+TEST(ReputationTracker, VerifiedResponsesOffsetTimeoutDecay) {
+  ReputationOptions options = Enabled();
+  options.verified_reward = 0.05;
+  options.timeout_penalty = 0.15;
+  ReputationTracker tracker(1, options);
+  for (int round = 0; round < 50; ++round) {
+    tracker.RecordTimeout(0);
+    for (int i = 0; i < 3; ++i) tracker.RecordVerified(0);
+  }
+  EXPECT_TRUE(tracker.Usable(0)) << "break-even workload must not quarantine";
+}
+
+TEST(ReputationTracker, CanaryIsPacedFromTheOffence) {
+  ReputationOptions options = Enabled();
+  options.canary_interval = 2;
+  ReputationTracker tracker(1, options);
+  tracker.AdvanceQuery();
+  tracker.RecordCorrupt(0);
+  EXPECT_FALSE(tracker.CanaryDue(0)) << "a full interval from the offence";
+  tracker.AdvanceQuery();
+  EXPECT_FALSE(tracker.CanaryDue(0));
+  tracker.AdvanceQuery();
+  EXPECT_TRUE(tracker.CanaryDue(0));
+  tracker.NoteCanarySent(0);
+  EXPECT_FALSE(tracker.CanaryDue(0)) << "pacing restarts at the send";
+}
+
+TEST(ReputationTracker, ConsecutiveCanaryPassesReadmitAtProbationaryScore) {
+  ReputationOptions options = Enabled();
+  options.canary_passes_to_readmit = 2;
+  options.readmit_score = 0.35;
+  ReputationTracker tracker(1, options);
+  tracker.RecordCorrupt(0);
+  EXPECT_FALSE(tracker.RecordCanaryResult(0, true)) << "streak 1 of 2";
+  EXPECT_FALSE(tracker.Usable(0));
+  EXPECT_TRUE(tracker.RecordCanaryResult(0, true)) << "readmitted";
+  EXPECT_EQ(tracker.standing(0), DeviceStanding::kActive);
+  EXPECT_DOUBLE_EQ(tracker.score(0), 0.35)
+      << "probationary score, not a clean slate";
+  EXPECT_TRUE(tracker.Usable(0));
+  EXPECT_EQ(tracker.readmitted_total(), 1u);
+  EXPECT_FALSE(tracker.RecordCanaryResult(0, true))
+      << "canary results are ignored once active";
+}
+
+TEST(ReputationTracker, FailedCanaryResetsTheStreak) {
+  ReputationOptions options = Enabled();
+  options.canary_passes_to_readmit = 2;
+  ReputationTracker tracker(1, options);
+  tracker.RecordCorrupt(0);
+  EXPECT_FALSE(tracker.RecordCanaryResult(0, true));
+  EXPECT_FALSE(tracker.RecordCanaryResult(0, false)) << "streak wiped";
+  EXPECT_FALSE(tracker.RecordCanaryResult(0, true)) << "back to 1 of 2";
+  EXPECT_FALSE(tracker.Usable(0));
+  EXPECT_TRUE(tracker.RecordCanaryResult(0, true));
+  EXPECT_TRUE(tracker.Usable(0));
+}
+
+TEST(ReputationTracker, RelapseAfterReadmissionQuarantinesAgain) {
+  ReputationOptions options = Enabled();
+  options.canary_passes_to_readmit = 1;
+  ReputationTracker tracker(1, options);
+  EXPECT_TRUE(tracker.RecordCorrupt(0));
+  EXPECT_TRUE(tracker.RecordCanaryResult(0, true));
+  EXPECT_TRUE(tracker.RecordCorrupt(0)) << "readmission is probation, not amnesty";
+  EXPECT_EQ(tracker.quarantined_total(), 2u);
+  EXPECT_EQ(tracker.readmitted_total(), 1u);
+}
+
+TEST(ReputationTracker, IdenticalEventSequencesProduceIdenticalStandings) {
+  // Pure counter machine: no RNG, no clock — the chaos harness's (seed,
+  // index) reproducibility depends on this.
+  const auto drive = [](ReputationTracker& tracker) {
+    tracker.AdvanceQuery();
+    tracker.RecordVerified(0);
+    tracker.RecordTimeout(1);
+    tracker.RecordCorrupt(2);
+    tracker.AdvanceQuery();
+    if (tracker.CanaryDue(2)) {
+      tracker.NoteCanarySent(2);
+      tracker.RecordCanaryResult(2, true);
+    }
+    tracker.RecordTimeout(1);
+  };
+  ReputationTracker first(4, Enabled());
+  ReputationTracker second(4, Enabled());
+  drive(first);
+  drive(second);
+  for (size_t device = 0; device < 4; ++device) {
+    EXPECT_DOUBLE_EQ(first.score(device), second.score(device));
+    EXPECT_EQ(first.standing(device), second.standing(device));
+  }
+  EXPECT_EQ(first.quarantined_total(), second.quarantined_total());
+  EXPECT_EQ(first.readmitted_total(), second.readmitted_total());
+}
+
+}  // namespace
+}  // namespace scec::sim
