@@ -13,9 +13,11 @@
 // byzantine_tolerance t in {0, 1, 2} and records rounds-to-completion,
 // masked fraction, and the Eq. (1) guard-cost overhead vs t (--byz-out).
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,7 @@
 #include "common/stats.h"
 #include "common/string_util.h"
 #include "linalg/matrix_ops.h"
+#include "recovery/coordinator.h"
 #include "sim/chaos.h"
 #include "sim/fault_tolerant_protocol.h"
 #include "sim/metrics.h"
@@ -53,15 +56,20 @@ std::string EpisodeJson(const ChaosEpisode& episode) {
          ",\"seed\":" + std::to_string(episode.seed) + ",\"mix\":\"" +
          episode.mix + "\",\"outcome\":\"" + episode.outcome +
          "\",\"ok\":" + (episode.ok() ? "true" : "false") +
+         ",\"crash_fired\":" + (episode.crash_fired ? "true" : "false") +
+         ",\"generations\":" + std::to_string(episode.generations) +
          ",\"run\":" + scec::sim::ToJson(episode.run) +
          ",\"recovery\":" + scec::sim::ToJson(episode.recovery) + "}\n";
 }
 
-// Replays one episode (optionally sabotaged) and prints its verdicts. In
+// Replays one episode (optionally sabotaged) and prints its verdicts —
+// through the durable kill/restart coordinator when `crash` is set. In
 // sabotage mode success means the harness CAUGHT the deliberate violation.
-int Replay(const ChaosConfig& config, size_t index, ChaosSabotage sabotage) {
+int Replay(const ChaosConfig& config, size_t index, ChaosSabotage sabotage,
+           bool crash) {
   const ChaosEpisode episode =
-      scec::sim::RunChaosEpisode(config, index, sabotage);
+      crash ? scec::sim::RunCrashEpisode(config, index, sabotage)
+            : scec::sim::RunChaosEpisode(config, index, sabotage);
   std::cout << scec::sim::DescribeSchedule(episode);
   std::cout << "  outcome=" << episode.outcome
             << " decode=" << (episode.invariants.decode ? "ok" : "FAIL")
@@ -70,10 +78,21 @@ int Replay(const ChaosConfig& config, size_t index, ChaosSabotage sabotage) {
             << " liveness=" << (episode.invariants.liveness ? "ok" : "FAIL")
             << " masking=" << (episode.invariants.masking ? "ok" : "FAIL")
             << " quarantine="
-            << (episode.invariants.quarantine ? "ok" : "FAIL") << "\n";
+            << (episode.invariants.quarantine ? "ok" : "FAIL");
+  if (crash) {
+    std::cout << " restart_decode="
+              << (episode.invariants.restart_decode ? "ok" : "FAIL")
+              << " restart_security="
+              << (episode.invariants.restart_security ? "ok" : "FAIL")
+              << " restart_ledger="
+              << (episode.invariants.restart_ledger ? "ok" : "FAIL");
+  }
+  std::cout << "\n";
   if (!episode.failure.empty()) {
     std::cout << "  failure: " << episode.failure << "\n";
   }
+  std::cout << "  repro: " << scec::sim::ReproCommand(config, episode)
+            << "\n";
   if (sabotage != ChaosSabotage::kNone) {
     const bool caught = !episode.ok();
     std::cout << (caught ? "  [PASS] " : "  [FAIL] ")
@@ -279,6 +298,133 @@ std::vector<ByzArm> RunByzantineAb(size_t trials, size_t queries,
   return arms;
 }
 
+struct CrashTrials {
+  double plain_qps = 0.0;    // bare protocol, no journal
+  double durable_qps = 0.0;  // DurableCoordinator, write-ahead journaled
+  uint64_t journal_bytes = 0;
+  uint64_t journal_events = 0;
+  size_t queries_journaled = 0;
+  // (queries journaled, wall-clock ms to restart from snapshot + journal)
+  std::vector<std::pair<size_t, double>> replay_ms;
+  bool ok = true;
+};
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// A/B on one fixed healthy scenario: the same deployment and queries with
+// and without the write-ahead journal, measuring the journal's wall-clock
+// overhead per query; then restart-from-journal wall clock as a function of
+// journal length (queries journaled before the kill).
+CrashTrials RunCrashTrials(size_t trials, size_t queries, uint64_t seed) {
+  CrashTrials result;
+  scec::Xoshiro256StarStar rng(seed);
+  scec::McscecProblem problem;
+  problem.m = 24;
+  problem.l = 16;
+  problem.fleet = scec::MakeCampusFleet(10, rng);
+  const auto a = scec::RandomMatrix<double>(problem.m, problem.l, rng);
+  const auto x = scec::RandomVector<double>(problem.l, rng);
+  const auto expected = scec::MatVec(a, std::span<const double>(x));
+
+  scec::ChaCha20Rng coding_rng(seed ^ 0xD0u);
+  const auto deployment = scec::Deploy(problem, a, coding_rng);
+  SCEC_CHECK(deployment.ok());
+
+  const scec::sim::SimOptions sim_options;
+  const scec::sim::FaultToleranceOptions ft;
+  auto check = [&](const scec::Result<std::vector<double>>& decoded) {
+    result.ok = result.ok && decoded.ok() &&
+                scec::MaxAbsDiff(std::span<const double>(*decoded),
+                                 std::span<const double>(expected)) < 1e-9;
+  };
+
+  // Arm A: the bare protocol.
+  const auto plain_t0 = std::chrono::steady_clock::now();
+  for (size_t trial = 0; trial < trials; ++trial) {
+    scec::sim::FaultTolerantScecProtocol protocol(
+        &*deployment, &a, problem.fleet.devices(), sim_options, ft);
+    protocol.Stage();
+    for (size_t q = 0; q < queries; ++q) check(protocol.RunQuery(x));
+  }
+  const double plain_s = SecondsSince(plain_t0);
+
+  // Arm B: the durable coordinator (sealed snapshot + journaled queries).
+  scec::recovery::DurableCoordinatorOptions copts;
+  copts.sealing_key = seed ^ 0x5EA1EDu;
+  copts.seal_salt = seed;
+  copts.sim = sim_options;
+  copts.ft = ft;
+  const auto durable_t0 = std::chrono::steady_clock::now();
+  for (size_t trial = 0; trial < trials; ++trial) {
+    std::string snapshot;
+    std::ostringstream journal;
+    auto coordinator = scec::recovery::DurableCoordinator::Start(
+        *deployment, &a, problem.fleet.devices(), &snapshot, &journal, copts);
+    SCEC_CHECK(coordinator.ok());
+    for (size_t q = 0; q < queries; ++q) check((*coordinator)->Query(x));
+    result.journal_bytes += journal.str().size();
+    result.journal_events += (*coordinator)->journal().events_appended();
+  }
+  const double durable_s = SecondsSince(durable_t0);
+
+  const double total = static_cast<double>(trials * queries);
+  result.plain_qps = plain_s > 0.0 ? total / plain_s : 0.0;
+  result.durable_qps = durable_s > 0.0 ? total / durable_s : 0.0;
+  result.queries_journaled = trials * queries;
+
+  // Restart wall clock vs journal length.
+  for (const size_t journaled : {size_t{4}, size_t{16}, size_t{64}}) {
+    std::string snapshot;
+    std::ostringstream journal;
+    auto coordinator = scec::recovery::DurableCoordinator::Start(
+        *deployment, &a, problem.fleet.devices(), &snapshot, &journal, copts);
+    SCEC_CHECK(coordinator.ok());
+    for (size_t q = 0; q < journaled; ++q) check((*coordinator)->Query(x));
+    coordinator->reset();  // the kill
+    const auto restart_t0 = std::chrono::steady_clock::now();
+    std::ostringstream tail;
+    auto restarted = scec::recovery::DurableCoordinator::Restart(
+        snapshot, journal.str(), &a, problem.fleet.devices(), &tail, copts);
+    const double restart_ms = SecondsSince(restart_t0) * 1e3;
+    result.ok = result.ok && restarted.ok() &&
+                (*restarted)->replay().completed.size() == journaled;
+    result.replay_ms.emplace_back(journaled, restart_ms);
+  }
+  return result;
+}
+
+std::string CrashTrialsJson(const CrashTrials& trials) {
+  std::string replay = "[";
+  for (size_t i = 0; i < trials.replay_ms.size(); ++i) {
+    replay += (i == 0 ? "" : ",");
+    replay += "{\"queries_journaled\":" +
+              std::to_string(trials.replay_ms[i].first) +
+              ",\"restart_ms\":" +
+              scec::FormatDouble(trials.replay_ms[i].second, 4) + "}";
+  }
+  replay += "]";
+  const double overhead = trials.plain_qps > 0.0 && trials.durable_qps > 0.0
+                              ? trials.plain_qps / trials.durable_qps - 1.0
+                              : 0.0;
+  const double bytes_per_query =
+      trials.queries_journaled == 0
+          ? 0.0
+          : static_cast<double>(trials.journal_bytes) /
+                static_cast<double>(trials.queries_journaled);
+  return "{\"crash_trials\":{\"plain_qps\":" +
+         scec::FormatDouble(trials.plain_qps, 2) +
+         ",\"durable_qps\":" + scec::FormatDouble(trials.durable_qps, 2) +
+         ",\"journal_overhead_fraction\":" + scec::FormatDouble(overhead, 6) +
+         ",\"journal_bytes_per_query\":" +
+         scec::FormatDouble(bytes_per_query, 2) +
+         ",\"journal_events\":" + std::to_string(trials.journal_events) +
+         ",\"restart\":" + replay +
+         ",\"ok\":" + (trials.ok ? "true" : "false") + "}}\n";
+}
+
 std::string ByzArmJson(const ByzArm& arm) {
   return "{\"tolerance\":" + std::to_string(arm.tolerance) +
          ",\"effective\":" + std::to_string(arm.effective) +
@@ -298,6 +444,11 @@ int main(int argc, char** argv) {
   int64_t seed = 1;
   int64_t queries = 2;
   int64_t replay = -1;
+  int64_t crash_episodes = 0;
+  int64_t crash_replay = -1;
+  int64_t crash_trials = 0;
+  std::string crash_artifacts_dir;
+  std::string crash_out;
   int64_t ab_trials = 0;
   int64_t ab_queries = 4;
   int64_t byz_trials = 0;
@@ -322,6 +473,20 @@ int main(int argc, char** argv) {
                 "(tamper-result | forge-ledger) and expect it caught");
   cli.AddString("fail-out", &fail_out,
                 "write failing episodes (seed + schedule + repro) here");
+  cli.AddInt("crash-episodes", &crash_episodes,
+             "kill/restart soak: episodes run through the durable "
+             "coordinator with a seeded crash point each (0 = skip)");
+  cli.AddInt("crash-replay", &crash_replay,
+             "replay just this crash-injected episode and print its "
+             "schedule, crash point, and journal/snapshot artifacts");
+  cli.AddString("crash-artifacts-dir", &crash_artifacts_dir,
+                "write each crash episode's sealed snapshot + combined "
+                "journal into this directory (sealed bytes only)");
+  cli.AddInt("crash-trials", &crash_trials,
+             "journal-overhead A/B trials (journaling on vs off on the same "
+             "scenario) plus restart wall-clock vs journal length (0 = skip)");
+  cli.AddString("crash-out", &crash_out,
+                "write the crash-trials summary JSON here");
   cli.AddInt("ab-trials", &ab_trials,
              "paired hedging-on/off trials under exponential stragglers "
              "(0 = skip)");
@@ -344,8 +509,9 @@ int main(int argc, char** argv) {
   config.seed = static_cast<uint64_t>(seed);
   config.episodes = static_cast<size_t>(episodes);
   config.queries_per_episode = static_cast<size_t>(queries);
+  config.crash_artifacts_dir = crash_artifacts_dir;
 
-  if (replay >= 0) {
+  if (replay >= 0 || crash_replay >= 0) {
     ChaosSabotage sabotage = ChaosSabotage::kNone;
     if (sabotage_name == "tamper-result") {
       sabotage = ChaosSabotage::kTamperResult;
@@ -355,7 +521,12 @@ int main(int argc, char** argv) {
       std::cerr << "unknown --sabotage: " << sabotage_name << "\n";
       return 1;
     }
-    return Replay(config, static_cast<size_t>(replay), sabotage);
+    if (crash_replay >= 0) {
+      return Replay(config, static_cast<size_t>(crash_replay), sabotage,
+                    /*crash=*/true);
+    }
+    return Replay(config, static_cast<size_t>(replay), sabotage,
+                  /*crash=*/false);
   }
 
   const ChaosSoakSummary summary = scec::sim::RunChaosSoak(config);
@@ -420,9 +591,98 @@ int main(int argc, char** argv) {
   }
 
   bool ok = config.episodes == 0 || summary.ok();  // 0 = A/B-only run
+
+  if (crash_episodes > 0) {
+    ChaosConfig crash_config = config;
+    crash_config.episodes = static_cast<size_t>(crash_episodes);
+    const ChaosSoakSummary crash_summary =
+        scec::sim::RunCrashSoak(crash_config);
+    struct PointStats {
+      size_t episodes = 0;
+      size_t fired = 0;
+      size_t passed = 0;
+    };
+    std::map<std::string, PointStats> points;
+    size_t fired = 0;
+    size_t resumed = 0;
+    uint64_t journal_bytes = 0;
+    for (const ChaosEpisode& episode : crash_summary.detail) {
+      PointStats& point =
+          points[scec::recovery::CrashPointName(episode.crash.point)];
+      ++point.episodes;
+      if (episode.crash_fired) {
+        ++point.fired;
+        ++fired;
+      }
+      if (episode.ok()) ++point.passed;
+      resumed += episode.recovery.resumed_responses;
+      journal_bytes += episode.journal_bytes;
+      json_lines += EpisodeJson(episode);
+    }
+    scec::TablePrinter crash_table(
+        {"crash point", "episodes", "fired", "passed"});
+    for (const auto& [name, point] : points) {
+      crash_table.AddRow({name, std::to_string(point.episodes),
+                          std::to_string(point.fired),
+                          std::to_string(point.passed)});
+    }
+    crash_table.Print(std::cout);
+    std::cout << "  crash soak: episodes=" << crash_summary.episodes
+              << " passed=" << crash_summary.passed << " fired=" << fired
+              << " resumed_responses=" << resumed << " avg_journal_bytes="
+              << journal_bytes / std::max<size_t>(crash_summary.episodes, 1)
+              << "\n";
+    for (size_t index : crash_summary.failing) {
+      const ChaosEpisode& episode = crash_summary.detail[index];
+      fail_report += scec::sim::DescribeSchedule(episode);
+      fail_report += "  failure: " + episode.failure + "\n";
+      fail_report +=
+          "  repro: " + scec::sim::ReproCommand(crash_config, episode) +
+          "\n\n";
+    }
+    if (!crash_summary.failing.empty()) {
+      std::cerr << fail_report;
+    }
+    ok = ok && crash_summary.ok();
+    std::cout << (crash_summary.ok() ? "  [PASS] " : "  [FAIL] ")
+              << "every kill/restart episode holds the nine invariants "
+                 "(exact decode, fresh pads, balanced journal ledger)\n";
+  }
+
   ok = WriteFile(fail_out, fail_report) && ok;
   ok = WriteFile(metrics_csv, csv_lines) && ok;
   ok = WriteFile(metrics_json, json_lines) && ok;
+
+  if (crash_trials > 0) {
+    const CrashTrials trials =
+        RunCrashTrials(static_cast<size_t>(crash_trials),
+                       static_cast<size_t>(queries > 0 ? queries * 4 : 8),
+                       static_cast<uint64_t>(seed) ^ 0xC4A54ull);
+    scec::TablePrinter trial_table(
+        {"arm", "queries/s", "journal bytes/query"});
+    const double bytes_per_query =
+        trials.queries_journaled == 0
+            ? 0.0
+            : static_cast<double>(trials.journal_bytes) /
+                  static_cast<double>(trials.queries_journaled);
+    trial_table.AddRow(
+        {"plain", scec::FormatDouble(trials.plain_qps, 1), "0"});
+    trial_table.AddRow({"durable", scec::FormatDouble(trials.durable_qps, 1),
+                        scec::FormatDouble(bytes_per_query, 1)});
+    trial_table.Print(std::cout);
+    for (const auto& [journaled, ms] : trials.replay_ms) {
+      std::cout << "  restart after " << journaled
+                << " journaled queries: " << scec::FormatDouble(ms, 3)
+                << " ms\n";
+    }
+    const std::string trials_json = CrashTrialsJson(trials);
+    std::cout << "  " << trials_json;
+    ok = WriteFile(crash_out, trials_json) && ok;
+    ok = ok && trials.ok;
+    std::cout << (trials.ok ? "  [PASS] " : "  [FAIL] ")
+              << "journaled queries decode exactly and every restart "
+                 "recovers the full committed history\n";
+  }
 
   if (ab_trials > 0) {
     const AbResult ab =
@@ -523,7 +783,8 @@ int main(int argc, char** argv) {
 
   ok = scec::bench::ExportTelemetry(telemetry) && ok;
   std::cout << (ok ? "  [PASS] " : "  [FAIL] ")
-            << "all episodes hold the six chaos invariants (decode, ITS, "
-               "ledger, liveness, masking, quarantine)\n";
+            << "all episodes hold the chaos invariants (decode, ITS, ledger, "
+               "liveness, masking, quarantine, restart decode/security/"
+               "ledger)\n";
   return ok ? 0 : 1;
 }

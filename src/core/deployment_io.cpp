@@ -195,11 +195,24 @@ Status SaveDeploymentToFile(const Deployment<double>& deployment,
   return SaveDeployment(deployment, os);
 }
 
+Status SaveDeploymentToFile(const Deployment<Gf61>& deployment,
+                            const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return InvalidArgument("cannot open " + path + " for writing");
+  return SaveDeployment(deployment, os);
+}
+
 Result<Deployment<double>> LoadDeploymentDoubleFromFile(
     const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) return InvalidArgument("cannot open " + path + " for reading");
   return LoadDeploymentDouble(is);
+}
+
+Result<Deployment<Gf61>> LoadDeploymentGf61FromFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return InvalidArgument("cannot open " + path + " for reading");
+  return LoadDeploymentGf61(is);
 }
 
 }  // namespace scec

@@ -34,7 +34,10 @@ Result<Deployment<Gf61>> LoadDeploymentGf61(std::istream& is);
 // File-path conveniences.
 Status SaveDeploymentToFile(const Deployment<double>& deployment,
                             const std::string& path);
+Status SaveDeploymentToFile(const Deployment<Gf61>& deployment,
+                            const std::string& path);
 Result<Deployment<double>> LoadDeploymentDoubleFromFile(
     const std::string& path);
+Result<Deployment<Gf61>> LoadDeploymentGf61FromFile(const std::string& path);
 
 }  // namespace scec

@@ -1,0 +1,185 @@
+// SPDX-License-Identifier: MIT
+
+#include "recovery/coordinator.h"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "recovery/crc32.h"
+#include "recovery/sealed_snapshot.h"
+
+namespace scec::recovery {
+namespace {
+
+// Replayed state is journal input, i.e. disk input: everything it names is
+// re-validated against the live deployment, matrix, and fleet before the
+// protocol adopts any of it. A doctored or stale journal yields a Status,
+// never an out-of-bounds restore.
+Status ValidateReplayState(const ReplayState& state,
+                           const Deployment<double>& deployment,
+                           const Matrix<double>& a, size_t fleet_size) {
+  for (const size_t d : state.evicted_devices) {
+    if (d >= fleet_size) {
+      return DecodeFailure("journaled eviction names device " +
+                           std::to_string(d) + " outside the fleet");
+    }
+  }
+  for (const size_t d : state.quarantined_devices) {
+    if (d >= fleet_size) {
+      return DecodeFailure("journaled quarantine names device " +
+                           std::to_string(d) + " outside the fleet");
+    }
+  }
+  for (const JournalSegmentRecord& rec : state.prior_segments) {
+    for (const size_t p : rec.phys) {
+      if (p >= fleet_size) {
+        return DecodeFailure("journaled segment maps to device " +
+                             std::to_string(p) + " outside the fleet");
+      }
+    }
+    for (const size_t row : rec.data_rows) {
+      if (row >= a.rows()) {
+        return DecodeFailure("journaled segment covers row " +
+                             std::to_string(row) + " outside the matrix");
+      }
+    }
+  }
+  if (state.has_in_flight && state.in_flight_x.size() != deployment.l) {
+    return DecodeFailure(
+        "journaled in-flight query length does not match the deployment");
+  }
+  for (const auto& [local, values] : state.in_flight_responses) {
+    (void)values;
+    if (local >= deployment.shares.size()) {
+      return DecodeFailure("journaled response names a base-segment device " +
+                           std::to_string(local) + " outside the scheme");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DurableCoordinator>> DurableCoordinator::Start(
+    const Deployment<double>& deployment, const Matrix<double>* a,
+    std::vector<EdgeDevice> fleet, std::string* snapshot_out,
+    std::ostream* journal_os, DurableCoordinatorOptions options) {
+  SCEC_CHECK(a != nullptr);
+  SCEC_CHECK(snapshot_out != nullptr);
+  SCEC_CHECK(journal_os != nullptr);
+
+  std::ostringstream sealed_os;
+  SCEC_RETURN_IF_ERROR(SaveSealedDeployment(deployment, options.sealing_key,
+                                            options.seal_salt, sealed_os));
+  *snapshot_out = sealed_os.str();
+  const uint64_t snapshot_crc =
+      Crc32(snapshot_out->data(), snapshot_out->size());
+
+  // Serve from the unsealed copy of the snapshot, not the caller's object:
+  // if the coordinator can answer queries, the durable bytes provably hold
+  // the same deployment a restart would recover.
+  std::istringstream sealed_is(*snapshot_out);
+  auto unsealed = LoadSealedDeploymentDouble(sealed_is, options.sealing_key);
+  if (!unsealed.ok()) return unsealed.status();
+
+  auto coordinator =
+      std::unique_ptr<DurableCoordinator>(new DurableCoordinator());
+  coordinator->deployment_ = std::move(unsealed).value();
+  coordinator->generation_ = 0;
+  coordinator->journal_ = std::make_unique<QueryJournal>(
+      journal_os, snapshot_crc, options.group_commit_records,
+      /*write_header=*/true);
+  if (options.crash_probe) {
+    coordinator->journal_->set_crash_probe(options.crash_probe);
+  }
+  options.ft.generation = 0;
+  coordinator->protocol_ = std::make_unique<sim::FaultTolerantScecProtocol>(
+      &coordinator->deployment_, a, std::move(fleet), options.sim,
+      options.ft);
+  coordinator->protocol_->AttachJournal(coordinator->journal_.get());
+  coordinator->protocol_->Stage();  // may throw CoordinatorCrash
+  return coordinator;
+}
+
+Result<std::unique_ptr<DurableCoordinator>> DurableCoordinator::Restart(
+    const std::string& snapshot, const std::string& journal_bytes,
+    const Matrix<double>* a, std::vector<EdgeDevice> fleet,
+    std::ostream* journal_os, DurableCoordinatorOptions options) {
+  SCEC_CHECK(a != nullptr);
+  SCEC_CHECK(journal_os != nullptr);
+  const auto replay_start = std::chrono::steady_clock::now();
+
+  SCEC_ASSIGN_OR_RETURN(JournalReplay replay, LoadJournal(journal_bytes));
+  const uint64_t snapshot_crc = Crc32(snapshot.data(), snapshot.size());
+  if (replay.snapshot_crc != snapshot_crc) {
+    return FailedPrecondition(
+        "journal is not bound to this snapshot (CRC mismatch)");
+  }
+
+  std::istringstream sealed_is(snapshot);
+  auto unsealed = LoadSealedDeploymentDouble(sealed_is, options.sealing_key);
+  if (!unsealed.ok()) return unsealed.status();
+
+  SCEC_ASSIGN_OR_RETURN(ReplayState state, BuildReplayState(replay));
+  SCEC_RETURN_IF_ERROR(
+      ValidateReplayState(state, *unsealed, *a, fleet.size()));
+
+  auto coordinator =
+      std::unique_ptr<DurableCoordinator>(new DurableCoordinator());
+  coordinator->deployment_ = std::move(unsealed).value();
+  coordinator->generation_ = state.last_generation + 1;
+  coordinator->journal_ = std::make_unique<QueryJournal>(
+      journal_os, snapshot_crc, options.group_commit_records,
+      /*write_header=*/false);
+  if (options.crash_probe) {
+    coordinator->journal_->set_crash_probe(options.crash_probe);
+  }
+
+  // The incarnation marker goes in before anything else this generation
+  // writes: a later replay needs it to attribute the records that follow.
+  JournalEvent restart_event;
+  restart_event.kind = JournalEventKind::kRestart;
+  restart_event.generation = coordinator->generation_;
+  coordinator->journal_->AppendCommitted(restart_event);
+
+  options.ft.generation = coordinator->generation_;
+  coordinator->protocol_ = std::make_unique<sim::FaultTolerantScecProtocol>(
+      &coordinator->deployment_, a, std::move(fleet), options.sim,
+      options.ft);
+  coordinator->protocol_->AttachJournal(coordinator->journal_.get());
+  coordinator->protocol_->Stage();  // may throw CoordinatorCrash
+  coordinator->protocol_->RestoreFromReplay(state);
+  coordinator->replay_ = std::move(state);
+
+  const double replay_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    replay_start)
+          .count();
+  obs::MetricsRegistry::Global()
+      .GetHistogram("scec_recovery_replay_seconds")
+      .Observe(replay_seconds);
+  return coordinator;
+}
+
+Result<std::vector<double>> DurableCoordinator::Query(
+    const std::vector<double>& x) {
+  SCEC_CHECK(protocol_ != nullptr);
+  return protocol_->RunQuery(x);
+}
+
+Result<std::vector<double>> DurableCoordinator::ResumeInFlight() {
+  SCEC_CHECK(protocol_ != nullptr);
+  if (!replay_.has_in_flight) {
+    return FailedPrecondition("no in-flight query to resume");
+  }
+  // The protocol consumes its resume arming on the first RunQuery either
+  // way, so the in-flight marker is cleared even on failure — a retry
+  // would be a fresh dispatch, not a resumption.
+  replay_.has_in_flight = false;
+  return protocol_->RunQuery(replay_.in_flight_x);
+}
+
+}  // namespace scec::recovery

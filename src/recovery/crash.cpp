@@ -1,0 +1,78 @@
+// SPDX-License-Identifier: MIT
+
+#include "recovery/crash.h"
+
+namespace scec::recovery {
+
+const char* CrashPointName(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kNone:
+      return "none";
+    case CrashPoint::kAfterStage:
+      return "after_stage";
+    case CrashPoint::kOnQueryBegin:
+      return "on_query_begin";
+    case CrashPoint::kOnDispatch:
+      return "on_dispatch";
+    case CrashPoint::kOnResponse:
+      return "on_response";
+    case CrashPoint::kOnSegmentAdded:
+      return "on_segment_added";
+    case CrashPoint::kOnEvict:
+      return "on_evict";
+    case CrashPoint::kBeforeResultCommit:
+      return "before_result_commit";
+    case CrashPoint::kAfterResultCommit:
+      return "after_result_commit";
+  }
+  return "unknown";
+}
+
+CrashDecision CrashInjector::Decide(const JournalEvent& event) {
+  if (fired_ || spec_.point == CrashPoint::kNone) {
+    return CrashDecision::kNone;
+  }
+  CrashPoint point;
+  switch (event.kind) {
+    case JournalEventKind::kStageDone:
+      point = CrashPoint::kAfterStage;
+      break;
+    case JournalEventKind::kQueryBegin:
+      point = CrashPoint::kOnQueryBegin;
+      break;
+    case JournalEventKind::kDispatch:
+      point = CrashPoint::kOnDispatch;
+      break;
+    case JournalEventKind::kResponse:
+      point = CrashPoint::kOnResponse;
+      break;
+    case JournalEventKind::kSegmentAdded:
+      point = CrashPoint::kOnSegmentAdded;
+      break;
+    case JournalEventKind::kEvict:
+      point = CrashPoint::kOnEvict;
+      break;
+    case JournalEventKind::kQueryResult:
+      // One record, two nameable deaths: pin to whichever side the spec
+      // asked for so both are reachable.
+      point = spec_.point == CrashPoint::kAfterResultCommit
+                  ? CrashPoint::kAfterResultCommit
+                  : CrashPoint::kBeforeResultCommit;
+      break;
+    default:
+      return CrashDecision::kNone;
+  }
+  if (point != spec_.point) return CrashDecision::kNone;
+  if (++seen_ < spec_.occurrence) return CrashDecision::kNone;
+  fired_ = true;
+  if (spec_.point == CrashPoint::kBeforeResultCommit) {
+    return CrashDecision::kBeforeCommit;
+  }
+  if (spec_.point == CrashPoint::kAfterResultCommit) {
+    return CrashDecision::kAfterCommit;
+  }
+  return spec_.lose_tail ? CrashDecision::kBeforeCommit
+                         : CrashDecision::kAfterCommit;
+}
+
+}  // namespace scec::recovery

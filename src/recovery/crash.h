@@ -1,0 +1,78 @@
+// SPDX-License-Identifier: MIT
+//
+// Deterministic crash-point injection for the durable coordinator. A
+// CrashSpec names a protocol point (the Nth dispatch, the Nth accepted
+// response, the instant before/after a query result is committed, ...) and
+// the CrashInjector turns journal append events into CrashDecisions: die
+// with the buffered journal tail lost, or die right after the batch hit the
+// disk. The injected death is a CoordinatorCrash exception — the chaos
+// harness catches it, throws the coordinator away, and restarts from the
+// sealed snapshot plus whatever journal bytes were durable at that instant.
+
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "recovery/journal.h"
+
+namespace scec::recovery {
+
+// Named protocol points a crash can be pinned to. Each (except kNone) maps
+// to the journal event emitted at that point.
+enum class CrashPoint : uint8_t {
+  kNone = 0,
+  kAfterStage,          // staging finished (kStageDone record)
+  kOnQueryBegin,        // a query was admitted (kQueryBegin record)
+  kOnDispatch,          // a share of x went out (kDispatch record)
+  kOnResponse,          // a response passed verification (kResponse record)
+  kOnSegmentAdded,      // a guard/recovery/hedge segment was provisioned
+  kOnEvict,             // a device was evicted/quarantined/readmitted
+  kBeforeResultCommit,  // result computed but its record not yet durable
+  kAfterResultCommit,   // result record durable, caller never saw it
+};
+
+const char* CrashPointName(CrashPoint point);
+
+struct CrashSpec {
+  CrashPoint point = CrashPoint::kNone;
+  // Die at the `occurrence`-th time the point is reached (1-based).
+  uint64_t occurrence = 1;
+  // When true the crash strikes before the journal batch is committed, so
+  // the buffered tail is lost; kBeforeResultCommit/kAfterResultCommit pin
+  // this themselves. Either way only durable bytes survive.
+  bool lose_tail = false;
+};
+
+// Thrown out of QueryJournal::Append when the injector decides to die. The
+// protocol object is abandoned mid-flight; only the journal stream and the
+// sealed snapshot survive, exactly like a process kill.
+class CoordinatorCrash : public std::runtime_error {
+ public:
+  CoordinatorCrash(CrashPoint point, const std::string& what)
+      : std::runtime_error(what), point_(point) {}
+  CrashPoint point() const { return point_; }
+
+ private:
+  CrashPoint point_;
+};
+
+// Stateful matcher: fires exactly once, on the spec's Nth occurrence.
+class CrashInjector {
+ public:
+  explicit CrashInjector(const CrashSpec& spec) : spec_(spec) {}
+
+  // Crash-probe hook for QueryJournal::set_crash_probe.
+  CrashDecision Decide(const JournalEvent& event);
+
+  bool fired() const { return fired_; }
+  const CrashSpec& spec() const { return spec_; }
+
+ private:
+  CrashSpec spec_;
+  uint64_t seen_ = 0;
+  bool fired_ = false;
+};
+
+}  // namespace scec::recovery

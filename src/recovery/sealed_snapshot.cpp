@@ -1,0 +1,187 @@
+// SPDX-License-Identifier: MIT
+
+#include "recovery/sealed_snapshot.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/serde.h"
+#include "core/deployment_io.h"
+#include "recovery/crc32.h"
+
+namespace scec::recovery {
+namespace {
+
+// Keystream generator: 256-bit ChaCha20 key expanded from the sealing key,
+// nonced by the snapshot salt. SplitMix64 is only a key-derivation
+// convenience here; the stream itself is ChaCha20.
+ChaCha20Rng SealKeystream(uint64_t sealing_key, uint64_t salt) {
+  SplitMix64 key_mix(sealing_key);
+  std::array<uint32_t, 8> key{};
+  for (size_t i = 0; i < key.size(); i += 2) {
+    const uint64_t word = key_mix.Next();
+    key[i] = static_cast<uint32_t>(word);
+    key[i + 1] = static_cast<uint32_t>(word >> 32);
+  }
+  SplitMix64 nonce_mix(salt);
+  const uint64_t nonce_lo = nonce_mix.Next();
+  const std::array<uint32_t, 3> nonce = {
+      static_cast<uint32_t>(nonce_lo), static_cast<uint32_t>(nonce_lo >> 32),
+      static_cast<uint32_t>(nonce_mix.Next())};
+  return ChaCha20Rng(key, nonce);
+}
+
+void XorSeal(std::string* bytes, uint64_t sealing_key, uint64_t salt) {
+  ChaCha20Rng stream = SealKeystream(sealing_key, salt);
+  size_t i = 0;
+  while (i < bytes->size()) {
+    uint64_t word = stream.NextUint64();
+    const size_t n = std::min<size_t>(8, bytes->size() - i);
+    for (size_t b = 0; b < n; ++b) {
+      (*bytes)[i + b] ^= static_cast<char>(word & 0xFFu);
+      word >>= 8;
+    }
+    i += n;
+  }
+}
+
+void AppendU32(std::string* bytes, uint32_t v) {
+  for (int b = 0; b < 4; ++b) {
+    bytes->push_back(static_cast<char>((v >> (8 * b)) & 0xFFu));
+  }
+}
+
+template <typename T>
+Status SaveSealedImpl(const Deployment<T>& deployment, uint64_t sealing_key,
+                      uint64_t salt, std::ostream& os) {
+  std::ostringstream plain_os;
+  SCEC_RETURN_IF_ERROR(SaveDeployment(deployment, plain_os));
+  std::string payload = plain_os.str();
+  // Inner CRC over the plaintext: after unsealing, this is the proof the
+  // sealing key was right (a wrong key yields uniformly garbled bytes).
+  AppendU32(&payload, Crc32(payload.data(), payload.size()));
+  XorSeal(&payload, sealing_key, salt);
+
+  BinaryWriter writer(os);
+  os.write(kSealedSnapshotMagic, sizeof(kSealedSnapshotMagic));
+  writer.WriteU32(kSealedSnapshotVersion);
+  writer.WriteU64(salt);
+  writer.WriteU32(Crc32(payload.data(), payload.size()));
+  writer.WriteU64(payload.size());
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  os.flush();
+  if (!os.good()) return Internal("sealed snapshot stream write failed");
+  return Status::Ok();
+}
+
+template <typename T, typename LoadFn>
+Result<Deployment<T>> LoadSealedImpl(std::istream& is, uint64_t sealing_key,
+                                     LoadFn load_plain) {
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  if (is.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kSealedSnapshotMagic, sizeof(magic)) != 0) {
+    return DecodeFailure("bad magic: not a sealed SCEC snapshot");
+  }
+  BinaryReader reader(is);
+  uint32_t version = 0;
+  SCEC_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (version != kSealedSnapshotVersion) {
+    return DecodeFailure("unsupported sealed snapshot version " +
+                         std::to_string(version));
+  }
+  uint64_t salt = 0;
+  uint32_t stored_crc = 0;
+  uint64_t payload_len = 0;
+  SCEC_RETURN_IF_ERROR(reader.ReadU64(&salt));
+  SCEC_RETURN_IF_ERROR(reader.ReadU32(&stored_crc));
+  SCEC_RETURN_IF_ERROR(reader.ReadU64(&payload_len));
+  if (payload_len < 4 || payload_len > kMaxSealedPayloadBytes) {
+    return DecodeFailure("sealed snapshot payload length out of range");
+  }
+  std::string payload(payload_len, '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(payload_len));
+  if (static_cast<uint64_t>(is.gcount()) != payload_len) {
+    return DecodeFailure("sealed snapshot truncated");
+  }
+  if (Crc32(payload.data(), payload.size()) != stored_crc) {
+    return DecodeFailure("sealed snapshot checksum mismatch");
+  }
+  XorSeal(&payload, sealing_key, salt);
+  const size_t plain_len = payload.size() - 4;
+  uint32_t inner_crc = 0;
+  for (int b = 3; b >= 0; --b) {
+    inner_crc = (inner_crc << 8) |
+                static_cast<unsigned char>(payload[plain_len + b]);
+  }
+  if (Crc32(payload.data(), plain_len) != inner_crc) {
+    return InvalidArgument("sealing key mismatch or corrupted snapshot");
+  }
+  std::istringstream plain_is(payload.substr(0, plain_len));
+  return load_plain(plain_is);
+}
+
+}  // namespace
+
+Status SaveSealedDeployment(const Deployment<double>& deployment,
+                            uint64_t sealing_key, uint64_t salt,
+                            std::ostream& os) {
+  return SaveSealedImpl(deployment, sealing_key, salt, os);
+}
+
+Status SaveSealedDeployment(const Deployment<Gf61>& deployment,
+                            uint64_t sealing_key, uint64_t salt,
+                            std::ostream& os) {
+  return SaveSealedImpl(deployment, sealing_key, salt, os);
+}
+
+Result<Deployment<double>> LoadSealedDeploymentDouble(std::istream& is,
+                                                      uint64_t sealing_key) {
+  return LoadSealedImpl<double>(
+      is, sealing_key, [](std::istream& plain) {
+        return LoadDeploymentDouble(plain);
+      });
+}
+
+Result<Deployment<Gf61>> LoadSealedDeploymentGf61(std::istream& is,
+                                                  uint64_t sealing_key) {
+  return LoadSealedImpl<Gf61>(is, sealing_key, [](std::istream& plain) {
+    return LoadDeploymentGf61(plain);
+  });
+}
+
+Status SaveSealedDeploymentToFile(const Deployment<double>& deployment,
+                                  uint64_t sealing_key, uint64_t salt,
+                                  const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return InvalidArgument("cannot open " + path + " for writing");
+  return SaveSealedDeployment(deployment, sealing_key, salt, os);
+}
+
+Status SaveSealedDeploymentToFile(const Deployment<Gf61>& deployment,
+                                  uint64_t sealing_key, uint64_t salt,
+                                  const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return InvalidArgument("cannot open " + path + " for writing");
+  return SaveSealedDeployment(deployment, sealing_key, salt, os);
+}
+
+Result<Deployment<double>> LoadSealedDeploymentDoubleFromFile(
+    const std::string& path, uint64_t sealing_key) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return InvalidArgument("cannot open " + path + " for reading");
+  return LoadSealedDeploymentDouble(is, sealing_key);
+}
+
+Result<Deployment<Gf61>> LoadSealedDeploymentGf61FromFile(
+    const std::string& path, uint64_t sealing_key) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return InvalidArgument("cannot open " + path + " for reading");
+  return LoadSealedDeploymentGf61(is, sealing_key);
+}
+
+}  // namespace scec::recovery

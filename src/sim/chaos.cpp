@@ -3,11 +3,17 @@
 #include "sim/chaos.h"
 
 #include <algorithm>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
 #include <sstream>
 #include <utility>
 
 #include "common/rng.h"
 #include "linalg/matrix_ops.h"
+#include "recovery/coordinator.h"
 #include "workload/device_profiles.h"
 
 namespace scec::sim {
@@ -79,6 +85,264 @@ std::string CheckLedger(const ChaosEpisode& episode, double value_bytes) {
   return "";
 }
 
+// Everything an episode's protocol run needs, derived once from the episode
+// seed. Plain and crash-injected episodes share this derivation VERBATIM so
+// RunCrashEpisode(config, i) exercises the bit-identical scenario of
+// RunChaosEpisode(config, i). Filled in place (never moved): options.faults
+// points at this object's own schedule.
+struct ChaosScenario {
+  McscecProblem problem;
+  Matrix<double> a;
+  std::vector<double> x;
+  std::vector<double> expected;
+  Deployment<double> deployment;
+  FaultSchedule faults;
+  SimOptions options;
+  FaultToleranceOptions ft;
+};
+
+// Draws the scenario from `rng` (already seeded with the episode seed) and
+// fills `episode`'s identity fields. Returns false when deployment fails —
+// the episode is then fully marked (liveness violation) and must be
+// returned as-is. The RNG draw order below is load-bearing: it must match
+// the historical RunChaosEpisode exactly, or every soak seed changes.
+bool DeriveScenario(const ChaosConfig& config, const ChaosMix& mix,
+                    Xoshiro256StarStar& rng, ChaosEpisode* episode,
+                    ChaosScenario* scenario) {
+  episode->m = DrawInRange(rng, config.m_min, config.m_max);
+  episode->l = DrawInRange(rng, config.l_min, config.l_max);
+  episode->fleet = DrawInRange(rng, config.fleet_min, config.fleet_max);
+  episode->stragglers = rng.NextDouble() < mix.straggler;
+  episode->lossy = rng.NextDouble() < mix.lossy_links;
+  episode->hedging = mix.hedging;
+  episode->adaptive = mix.adaptive_timeouts;
+  episode->byzantine_tolerance = mix.byzantine_tolerance;
+
+  McscecProblem& problem = scenario->problem;
+  problem.m = episode->m;
+  problem.l = episode->l;
+  problem.fleet = MakeCampusFleet(episode->fleet, rng);
+  scenario->a = RandomMatrix<double>(problem.m, problem.l, rng);
+  scenario->x = RandomVector<double>(problem.l, rng);
+  scenario->expected =
+      MatVec(scenario->a, std::span<const double>(scenario->x));
+
+  ChaCha20Rng coding_rng(episode->seed ^ 0xC0D1A6ull);
+  auto deployment = Deploy(problem, scenario->a, coding_rng);
+  if (!deployment.ok()) {
+    episode->outcome = deployment.status().ToString();
+    episode->invariants.liveness = false;
+    episode->failure = "liveness: deployment failed: " + episode->outcome;
+    return false;
+  }
+  scenario->deployment = std::move(deployment).value();
+  const std::vector<size_t>& participating =
+      scenario->deployment.plan.participating;
+
+  // Scripted fault schedule over participating devices, capped so the
+  // script alone cannot push the fleet below k = 2. Byzantine mixes cap
+  // liars at t as well, so masked episodes stay within the locator's budget.
+  size_t cap = std::min(
+      config.max_faulty,
+      participating.size() > 2 ? participating.size() - 2 : size_t{0});
+  if (mix.byzantine_tolerance > 0) {
+    cap = std::min(cap, mix.byzantine_tolerance);
+  }
+  std::vector<size_t> candidates = participating;
+  for (size_t i = candidates.size(); i > 1; --i) {  // seeded Fisher–Yates
+    std::swap(candidates[i - 1], candidates[rng.NextBelow(i)]);
+  }
+  const double fault_weight =
+      mix.crash + mix.omission + mix.corruption + mix.transient;
+  FaultSchedule& faults = scenario->faults;
+  faults.SetSeed(episode->seed ^ 0xB42Dull);
+  double coordinated_delta = 0.0;
+  bool coordinated_drawn = false;
+  for (size_t i = 0; i < candidates.size() && episode->schedule.size() < cap;
+       ++i) {
+    if (rng.NextDouble() >= fault_weight) continue;
+    double pick = rng.NextDouble() * fault_weight;
+    ChaosScheduledFault fault;
+    fault.device = candidates[i];
+    if ((pick -= mix.crash) < 0.0) {
+      fault.kind = FaultKind::kCrash;
+      fault.start_s = rng.NextDouble(0.0, 0.02);
+      faults.AddCrash(fault.device, fault.start_s);
+    } else if ((pick -= mix.omission) < 0.0) {
+      fault.kind = FaultKind::kOmission;
+      fault.start_s = rng.NextDouble(0.0, 0.01);
+      faults.AddOmission(fault.device, fault.start_s);
+    } else if ((pick -= mix.corruption) < 0.0) {
+      fault.kind = FaultKind::kCorruption;
+      fault.start_s = 0.0;
+      if (mix.coordinated) {
+        // Coordinated ≤ t-subset attack: every liar injects the SAME
+        // (element, delta), so their corruptions corroborate each other.
+        if (!coordinated_drawn) {
+          coordinated_delta = (rng.NextDouble() < 0.5 ? 1.0 : -1.0) *
+                              rng.NextDouble(0.5, 2.0);
+          coordinated_drawn = true;
+        }
+        fault.delta = coordinated_delta;
+      } else if (mix.corruption_relative) {
+        // Minimal-magnitude attack: deltas near the decode tolerance,
+        // scaled by the element's own magnitude at firing time.
+        fault.delta = (rng.NextDouble() < 0.5 ? 1.0 : -1.0) *
+                      rng.NextDouble(1e-5, 1e-3);
+      } else {
+        fault.delta = (rng.NextDouble() < 0.5 ? 1.0 : -1.0) *
+                      rng.NextDouble(0.5, 2.0);
+      }
+      fault.probability = mix.corruption_probability;
+      fault.relative = mix.corruption_relative;
+      fault.equivocate = mix.corruption_equivocate;
+      if (fault.probability < 1.0 || fault.relative || fault.equivocate) {
+        FaultEvent event;
+        event.kind = FaultKind::kCorruption;
+        event.start_s = fault.start_s;
+        event.element = 0;
+        event.delta = fault.delta;
+        event.probability = fault.probability;
+        event.relative = fault.relative;
+        event.equivocate = fault.equivocate;
+        faults.Add(fault.device, event);
+      } else {
+        faults.AddCorruption(fault.device, fault.start_s, 0, fault.delta);
+      }
+    } else {
+      fault.kind = FaultKind::kTransient;
+      fault.start_s = rng.NextDouble(0.0, 0.01);
+      fault.end_s = fault.start_s + rng.NextDouble(0.02, 0.1);
+      faults.AddTransient(fault.device, fault.start_s, fault.end_s);
+    }
+    episode->schedule.push_back(fault);
+  }
+
+  SimOptions& options = scenario->options;
+  options.straggler_seed = episode->seed ^ 0x57A661ull;
+  if (episode->stragglers) {
+    options.straggler.kind = StragglerKind::kShiftedExponential;
+    options.straggler.rate = rng.NextDouble(0.5, 4.0);
+    options.straggler.shift = 1.0;
+    options.straggler.multiplier_cap = 25.0;  // bounded tail: no stalls
+  }
+  if (episode->lossy) {
+    options.loss_probability = config.loss_probability;
+    options.loss_seed = episode->seed ^ 0x105Eull;
+  }
+
+  FaultToleranceOptions& ft = scenario->ft;
+  ft = config.ft;
+  ft.hedging = mix.hedging;
+  ft.adaptive_timeouts = mix.adaptive_timeouts;
+  ft.backoff_jitter = config.backoff_jitter;
+  ft.jitter_seed = episode->seed ^ 0x317732ull;
+  ft.verifier_seed = episode->seed ^ 0xF4E1A7D5ull;
+  ft.repair_pad_seed = episode->seed ^ 0x9D2C5680ull;
+  ft.hedge_pad_seed = episode->seed ^ 0xA409382229F31D0Cull;
+  ft.byzantine_tolerance = mix.byzantine_tolerance;
+  ft.guard_pad_seed = episode->seed ^ 0x6A09E667ull;
+
+  // Last: the schedule pointer must target THIS scenario object, which the
+  // caller keeps alive for the whole episode.
+  options.faults = &scenario->faults;
+  return true;
+}
+
+// Invariants 5 + 6 (byzantine mixes only): single-round masking and liar
+// quarantine. Gated on always-lying liars (probability 1) on an episode
+// whose schedule is PURE corruption — any other fault kind legitimately
+// forces recovery rounds. Minimal-magnitude (relative) lies may slip the
+// digest (caught by the locator's value check instead), so the
+// flag-dependent halves are skipped for them. `final_gen_ran_queries` is
+// false only on crash episodes whose final incarnation answered every query
+// from the journal: its per-generation masked-query counter is then
+// legitimately zero.
+void CheckByzantineInvariants(const ChaosMix& mix,
+                              FaultTolerantScecProtocol& protocol,
+                              bool final_gen_ran_queries,
+                              ChaosEpisode* episode) {
+  size_t liars = 0;
+  bool pure_corruption = true;
+  for (const ChaosScheduledFault& fault : episode->schedule) {
+    if (fault.kind == FaultKind::kCorruption) {
+      ++liars;
+    } else {
+      pure_corruption = false;
+    }
+  }
+  const bool always_lying = mix.corruption_probability >= 1.0;
+  const bool digest_visible = !mix.corruption_relative;
+  if (pure_corruption && always_lying && episode->byzantine_effective >= 1) {
+    if (episode->recovery.recovery_rounds != 0) {
+      episode->invariants.masking = false;
+      if (episode->failure.empty()) {
+        episode->failure =
+            "masking: " + std::to_string(episode->recovery.recovery_rounds) +
+            " recovery rounds despite guards covering the liars";
+      }
+    }
+    if (digest_visible && liars > 0 && final_gen_ran_queries &&
+        episode->recovery.byzantine_masked_queries == 0) {
+      episode->invariants.masking = false;
+      if (episode->failure.empty()) {
+        episode->failure = "masking: no query was counted masked despite " +
+                           std::to_string(liars) + " scripted liars";
+      }
+    }
+    if (digest_visible) {
+      for (const ChaosScheduledFault& fault : episode->schedule) {
+        if (protocol.reputation().standing(fault.device) !=
+            DeviceStanding::kQuarantined) {
+          episode->invariants.quarantine = false;
+          if (episode->failure.empty()) {
+            episode->failure = "quarantine: scripted liar " +
+                               std::to_string(fault.device) +
+                               " was never quarantined";
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+// Crash spec of a crash-injected episode, drawn AFTER the scenario so the
+// scenario itself stays bit-identical to the plain episode. Dispatch- and
+// response-pinned crashes strike within the first few shares; query-pinned
+// points pick a uniformly random query of the episode.
+recovery::CrashSpec DrawCrashSpec(Xoshiro256StarStar& rng,
+                                  size_t queries_per_episode) {
+  using recovery::CrashPoint;
+  static constexpr CrashPoint kPoints[] = {
+      CrashPoint::kAfterStage,         CrashPoint::kOnQueryBegin,
+      CrashPoint::kOnDispatch,         CrashPoint::kOnDispatch,
+      CrashPoint::kOnResponse,         CrashPoint::kOnResponse,
+      CrashPoint::kOnSegmentAdded,     CrashPoint::kOnEvict,
+      CrashPoint::kBeforeResultCommit, CrashPoint::kAfterResultCommit,
+  };
+  recovery::CrashSpec spec;
+  spec.point = kPoints[rng.NextBelow(sizeof(kPoints) / sizeof(kPoints[0]))];
+  const uint64_t queries =
+      queries_per_episode > 0 ? queries_per_episode : uint64_t{1};
+  switch (spec.point) {
+    case CrashPoint::kOnDispatch:
+    case CrashPoint::kOnResponse:
+      spec.occurrence = 1 + rng.NextBelow(3);
+      break;
+    case CrashPoint::kOnQueryBegin:
+    case CrashPoint::kBeforeResultCommit:
+    case CrashPoint::kAfterResultCommit:
+      spec.occurrence = 1 + rng.NextBelow(queries);
+      break;
+    default:
+      spec.occurrence = 1;
+      break;
+  }
+  spec.lose_tail = rng.NextDouble() < 0.4;
+  return spec;
+}
+
 }  // namespace
 
 std::vector<ChaosMix> DefaultChaosMixes() {
@@ -137,145 +401,20 @@ ChaosEpisode RunChaosEpisode(const ChaosConfig& config, size_t index,
   episode.mix = mix.name;
 
   Xoshiro256StarStar rng(episode.seed);
-  episode.m = DrawInRange(rng, config.m_min, config.m_max);
-  episode.l = DrawInRange(rng, config.l_min, config.l_max);
-  episode.fleet = DrawInRange(rng, config.fleet_min, config.fleet_max);
-  episode.stragglers = rng.NextDouble() < mix.straggler;
-  episode.lossy = rng.NextDouble() < mix.lossy_links;
-  episode.hedging = mix.hedging;
-  episode.adaptive = mix.adaptive_timeouts;
-  episode.byzantine_tolerance = mix.byzantine_tolerance;
-
-  McscecProblem problem;
-  problem.m = episode.m;
-  problem.l = episode.l;
-  problem.fleet = MakeCampusFleet(episode.fleet, rng);
-  const Matrix<double> a = RandomMatrix<double>(problem.m, problem.l, rng);
-  const std::vector<double> x = RandomVector<double>(problem.l, rng);
-  const std::vector<double> expected = MatVec(a, std::span<const double>(x));
-
-  ChaCha20Rng coding_rng(episode.seed ^ 0xC0D1A6ull);
-  const auto deployment = Deploy(problem, a, coding_rng);
-  if (!deployment.ok()) {
-    episode.outcome = deployment.status().ToString();
-    episode.invariants.liveness = false;
-    episode.failure = "liveness: deployment failed: " + episode.outcome;
+  ChaosScenario scenario;
+  if (!DeriveScenario(config, mix, rng, &episode, &scenario)) {
     return episode;
   }
-  const std::vector<size_t>& participating = deployment->plan.participating;
 
-  // Scripted fault schedule over participating devices, capped so the
-  // script alone cannot push the fleet below k = 2. Byzantine mixes cap
-  // liars at t as well, so masked episodes stay within the locator's budget.
-  size_t cap = std::min(
-      config.max_faulty,
-      participating.size() > 2 ? participating.size() - 2 : size_t{0});
-  if (mix.byzantine_tolerance > 0) {
-    cap = std::min(cap, mix.byzantine_tolerance);
-  }
-  std::vector<size_t> candidates = participating;
-  for (size_t i = candidates.size(); i > 1; --i) {  // seeded Fisher–Yates
-    std::swap(candidates[i - 1], candidates[rng.NextBelow(i)]);
-  }
-  const double fault_weight =
-      mix.crash + mix.omission + mix.corruption + mix.transient;
-  FaultSchedule faults;
-  faults.SetSeed(episode.seed ^ 0xB42Dull);
-  double coordinated_delta = 0.0;
-  bool coordinated_drawn = false;
-  for (size_t i = 0; i < candidates.size() && episode.schedule.size() < cap;
-       ++i) {
-    if (rng.NextDouble() >= fault_weight) continue;
-    double pick = rng.NextDouble() * fault_weight;
-    ChaosScheduledFault fault;
-    fault.device = candidates[i];
-    if ((pick -= mix.crash) < 0.0) {
-      fault.kind = FaultKind::kCrash;
-      fault.start_s = rng.NextDouble(0.0, 0.02);
-      faults.AddCrash(fault.device, fault.start_s);
-    } else if ((pick -= mix.omission) < 0.0) {
-      fault.kind = FaultKind::kOmission;
-      fault.start_s = rng.NextDouble(0.0, 0.01);
-      faults.AddOmission(fault.device, fault.start_s);
-    } else if ((pick -= mix.corruption) < 0.0) {
-      fault.kind = FaultKind::kCorruption;
-      fault.start_s = 0.0;
-      if (mix.coordinated) {
-        // Coordinated ≤ t-subset attack: every liar injects the SAME
-        // (element, delta), so their corruptions corroborate each other.
-        if (!coordinated_drawn) {
-          coordinated_delta = (rng.NextDouble() < 0.5 ? 1.0 : -1.0) *
-                              rng.NextDouble(0.5, 2.0);
-          coordinated_drawn = true;
-        }
-        fault.delta = coordinated_delta;
-      } else if (mix.corruption_relative) {
-        // Minimal-magnitude attack: deltas near the decode tolerance,
-        // scaled by the element's own magnitude at firing time.
-        fault.delta = (rng.NextDouble() < 0.5 ? 1.0 : -1.0) *
-                      rng.NextDouble(1e-5, 1e-3);
-      } else {
-        fault.delta = (rng.NextDouble() < 0.5 ? 1.0 : -1.0) *
-                      rng.NextDouble(0.5, 2.0);
-      }
-      fault.probability = mix.corruption_probability;
-      fault.relative = mix.corruption_relative;
-      fault.equivocate = mix.corruption_equivocate;
-      if (fault.probability < 1.0 || fault.relative || fault.equivocate) {
-        FaultEvent event;
-        event.kind = FaultKind::kCorruption;
-        event.start_s = fault.start_s;
-        event.element = 0;
-        event.delta = fault.delta;
-        event.probability = fault.probability;
-        event.relative = fault.relative;
-        event.equivocate = fault.equivocate;
-        faults.Add(fault.device, event);
-      } else {
-        faults.AddCorruption(fault.device, fault.start_s, 0, fault.delta);
-      }
-    } else {
-      fault.kind = FaultKind::kTransient;
-      fault.start_s = rng.NextDouble(0.0, 0.01);
-      fault.end_s = fault.start_s + rng.NextDouble(0.02, 0.1);
-      faults.AddTransient(fault.device, fault.start_s, fault.end_s);
-    }
-    episode.schedule.push_back(fault);
-  }
-
-  SimOptions options;
-  options.faults = &faults;
-  options.straggler_seed = episode.seed ^ 0x57A661ull;
-  if (episode.stragglers) {
-    options.straggler.kind = StragglerKind::kShiftedExponential;
-    options.straggler.rate = rng.NextDouble(0.5, 4.0);
-    options.straggler.shift = 1.0;
-    options.straggler.multiplier_cap = 25.0;  // bounded tail: no stalls
-  }
-  if (episode.lossy) {
-    options.loss_probability = config.loss_probability;
-    options.loss_seed = episode.seed ^ 0x105Eull;
-  }
-
-  FaultToleranceOptions ft = config.ft;
-  ft.hedging = mix.hedging;
-  ft.adaptive_timeouts = mix.adaptive_timeouts;
-  ft.backoff_jitter = config.backoff_jitter;
-  ft.jitter_seed = episode.seed ^ 0x317732ull;
-  ft.verifier_seed = episode.seed ^ 0xF4E1A7D5ull;
-  ft.repair_pad_seed = episode.seed ^ 0x9D2C5680ull;
-  ft.hedge_pad_seed = episode.seed ^ 0xA409382229F31D0Cull;
-  ft.byzantine_tolerance = mix.byzantine_tolerance;
-  ft.guard_pad_seed = episode.seed ^ 0x6A09E667ull;
-
-  FaultTolerantScecProtocol protocol(&*deployment, &a,
-                                     problem.fleet.devices(), options, ft);
+  FaultTolerantScecProtocol protocol(&scenario.deployment, &scenario.a,
+                                     scenario.problem.fleet.devices(),
+                                     scenario.options, scenario.ft);
   protocol.Stage();
   episode.byzantine_effective = protocol.byzantine_tolerance_effective();
 
   episode.outcome = "decoded";
   for (size_t q = 0; q < config.queries_per_episode; ++q) {
-    const auto result = protocol.RunQuery(x);
+    const auto result = protocol.RunQuery(scenario.x);
     if (!result.ok()) {
       const ErrorCode code = result.status().code();
       if (code == ErrorCode::kInfeasible) {
@@ -295,8 +434,9 @@ ChaosEpisode RunChaosEpisode(const ChaosConfig& config, size_t index,
     if (sabotage == ChaosSabotage::kTamperResult && !decoded.empty()) {
       decoded[0] += 1.0;
     }
-    const double err = MaxAbsDiff(std::span<const double>(decoded),
-                                  std::span<const double>(expected));
+    const double err =
+        MaxAbsDiff(std::span<const double>(decoded),
+                   std::span<const double>(scenario.expected));
     if (!(err < 1e-9) && episode.invariants.decode) {
       episode.invariants.decode = false;
       episode.failure =
@@ -319,61 +459,12 @@ ChaosEpisode RunChaosEpisode(const ChaosConfig& config, size_t index,
     episode.run.query_downlink_bytes += 7;
   }
 
-  // Invariants 5 + 6 (byzantine mixes only): single-round masking and liar
-  // quarantine. Gated on always-lying liars (probability 1) on an episode
-  // whose schedule is PURE corruption — any other fault kind legitimately
-  // forces recovery rounds. Minimal-magnitude (relative) lies may slip the
-  // digest (caught by the locator's value check instead), so the
-  // flag-dependent halves are skipped for them.
   if (mix.byzantine_tolerance > 0 && episode.outcome == "decoded") {
-    size_t liars = 0;
-    bool pure_corruption = true;
-    for (const ChaosScheduledFault& fault : episode.schedule) {
-      if (fault.kind == FaultKind::kCorruption) {
-        ++liars;
-      } else {
-        pure_corruption = false;
-      }
-    }
-    const bool always_lying = mix.corruption_probability >= 1.0;
-    const bool digest_visible = !mix.corruption_relative;
-    if (pure_corruption && always_lying &&
-        episode.byzantine_effective >= 1) {
-      if (episode.recovery.recovery_rounds != 0) {
-        episode.invariants.masking = false;
-        if (episode.failure.empty()) {
-          episode.failure =
-              "masking: " +
-              std::to_string(episode.recovery.recovery_rounds) +
-              " recovery rounds despite guards covering the liars";
-        }
-      }
-      if (digest_visible && liars > 0 &&
-          episode.recovery.byzantine_masked_queries == 0) {
-        episode.invariants.masking = false;
-        if (episode.failure.empty()) {
-          episode.failure = "masking: no query was counted masked despite " +
-                            std::to_string(liars) + " scripted liars";
-        }
-      }
-      if (digest_visible) {
-        for (const ChaosScheduledFault& fault : episode.schedule) {
-          if (protocol.reputation().standing(fault.device) !=
-              DeviceStanding::kQuarantined) {
-            episode.invariants.quarantine = false;
-            if (episode.failure.empty()) {
-              episode.failure = "quarantine: scripted liar " +
-                                std::to_string(fault.device) +
-                                " was never quarantined";
-            }
-            break;
-          }
-        }
-      }
-    }
+    CheckByzantineInvariants(mix, protocol, /*final_gen_ran_queries=*/true,
+                             &episode);
   }
   // Invariant 3: the independent ledgers agree.
-  const std::string ledger = CheckLedger(episode, options.value_bytes);
+  const std::string ledger = CheckLedger(episode, scenario.options.value_bytes);
   if (!ledger.empty()) {
     episode.invariants.ledger = false;
     if (episode.failure.empty()) episode.failure = "ledger: " + ledger;
@@ -402,6 +493,382 @@ ChaosSoakSummary RunChaosSoak(const ChaosConfig& config) {
     summary.detail.push_back(std::move(episode));
   }
   return summary;
+}
+
+ChaosEpisode RunCrashEpisode(const ChaosConfig& config, size_t index,
+                             ChaosSabotage sabotage) {
+  const std::vector<ChaosMix> mixes =
+      config.mixes.empty() ? DefaultChaosMixes() : config.mixes;
+  const ChaosMix& mix = mixes[index % mixes.size()];
+
+  ChaosEpisode episode;
+  episode.index = index;
+  episode.seed = EpisodeSeed(config.seed, index);
+  episode.mix = mix.name;
+
+  Xoshiro256StarStar rng(episode.seed);
+  ChaosScenario scenario;
+  if (!DeriveScenario(config, mix, rng, &episode, &scenario)) {
+    return episode;
+  }
+  // Drawn AFTER the scenario: the rng prefix above matches the plain
+  // episode of the same (seed, index) draw for draw.
+  episode.crash = DrawCrashSpec(rng, config.queries_per_episode);
+
+  // One injector shared by every incarnation: it fires at most once per
+  // episode, so the restarted coordinator survives re-reaching the point.
+  recovery::CrashInjector injector(episode.crash);
+  recovery::DurableCoordinatorOptions copts;
+  copts.sealing_key = SplitMix64(episode.seed ^ 0x5EA1EDull).Next();
+  copts.seal_salt = episode.seed ^ 0x5A17ull;
+  copts.sim = scenario.options;
+  copts.ft = scenario.ft;
+  copts.crash_probe = [&injector](const recovery::JournalEvent& event) {
+    return injector.Decide(event);
+  };
+
+  std::string snapshot;
+  std::ostringstream journal_gen0;  // gen-0 durable bytes: survive the kill
+  std::ostringstream journal_gen1;  // the restarted incarnation appends here
+
+  const size_t total_queries = config.queries_per_episode;
+  std::vector<std::optional<std::vector<double>>> answered(total_queries);
+  size_t final_gen_queries = 0;  // queries the FINAL incarnation actually ran
+  std::unique_ptr<recovery::DurableCoordinator> coordinator;
+  episode.outcome = "decoded";
+
+  // Maps one query result onto the episode outcome, mirroring the plain
+  // episode's status handling. Returns false on a terminal status.
+  auto record = [&](size_t q, Result<std::vector<double>> result) -> bool {
+    if (!result.ok()) {
+      const ErrorCode code = result.status().code();
+      if (code == ErrorCode::kInfeasible) {
+        episode.outcome = "infeasible";
+      } else if (code == ErrorCode::kInternal) {
+        episode.outcome = "internal";
+      } else {
+        episode.outcome = result.status().ToString();
+        episode.invariants.liveness = false;
+        episode.failure = "liveness: " + episode.outcome;
+      }
+      return false;
+    }
+    ++final_gen_queries;
+    if (q < total_queries) answered[q] = std::move(result).value();
+    return true;
+  };
+  auto run_queries = [&](size_t first) {
+    for (size_t q = first; q < total_queries; ++q) {
+      if (!record(q, coordinator->Query(scenario.x))) break;
+    }
+  };
+
+  try {
+    auto started = recovery::DurableCoordinator::Start(
+        scenario.deployment, &scenario.a, scenario.problem.fleet.devices(),
+        &snapshot, &journal_gen0, copts);
+    if (!started.ok()) {
+      episode.outcome = started.status().ToString();
+      episode.invariants.liveness = false;
+      episode.failure = "liveness: start failed: " + episode.outcome;
+      return episode;
+    }
+    coordinator = std::move(started).value();
+    run_queries(0);
+  } catch (const recovery::CoordinatorCrash&) {
+    // The kill. Everything the dead incarnation buffered is gone; only
+    // `snapshot` and the bytes already committed to journal_gen0 survive.
+  }
+  episode.crash_fired = injector.fired();
+
+  if (episode.crash_fired) {
+    episode.generations = 2;
+    // Destroy the dead coordinator BEFORE restarting: its event queue still
+    // holds callbacks into protocol state, and nothing may run them now.
+    coordinator.reset();
+    episode.outcome = "decoded";
+    final_gen_queries = 0;
+    auto restarted = recovery::DurableCoordinator::Restart(
+        snapshot, journal_gen0.str(), &scenario.a,
+        scenario.problem.fleet.devices(), &journal_gen1, copts);
+    if (!restarted.ok()) {
+      episode.outcome = restarted.status().ToString();
+      episode.invariants.restart_decode = false;
+      episode.failure = "restart_decode: restart failed: " + episode.outcome;
+      return episode;
+    }
+    coordinator = std::move(restarted).value();
+
+    // Adopt every journaled result: the journal owns those answers now, and
+    // the restarted coordinator must never re-run them. Where a result was
+    // also seen live (answered before the crash), the two must agree.
+    for (const auto& [id, values] : coordinator->replay().completed) {
+      if (id >= total_queries) continue;
+      if (answered[id].has_value() && *answered[id] != values) {
+        episode.invariants.restart_decode = false;
+        if (episode.failure.empty()) {
+          episode.failure = "restart_decode: journal result for query " +
+                            std::to_string(id) +
+                            " disagrees with the live answer";
+        }
+      }
+      answered[id] = values;
+    }
+    const size_t next = coordinator->replay().next_query_id;
+    if (coordinator->has_in_flight()) {
+      const uint64_t in_id = coordinator->replay().in_flight_id;
+      record(in_id, coordinator->ResumeInFlight());
+    }
+    if (episode.outcome == "decoded") run_queries(next);
+  }
+
+  // Invariant 1 (+ restart_decode): every answered query equals A·x.
+  for (size_t q = 0; q < total_queries; ++q) {
+    if (!answered[q].has_value()) continue;
+    std::vector<double> decoded = *answered[q];
+    if (sabotage == ChaosSabotage::kTamperResult && q == 0 &&
+        !decoded.empty()) {
+      decoded[0] += 1.0;
+    }
+    const double err =
+        MaxAbsDiff(std::span<const double>(decoded),
+                   std::span<const double>(scenario.expected));
+    if (!(err < 1e-9) && episode.invariants.decode) {
+      episode.invariants.decode = false;
+      episode.failure =
+          "decode: query " + std::to_string(q) + " off by " + Num(err);
+    }
+  }
+  if (episode.outcome == "decoded") {
+    size_t answered_count = 0;
+    for (const auto& ans : answered) answered_count += ans.has_value() ? 1 : 0;
+    if (answered_count != total_queries) {
+      episode.invariants.restart_decode = false;
+      if (episode.failure.empty()) {
+        episode.failure = "restart_decode: only " +
+                          std::to_string(answered_count) + " of " +
+                          std::to_string(total_queries) +
+                          " queries were answered across the restart";
+      }
+    }
+  }
+
+  // Invariant 2 (+ restart_security): the final incarnation's cumulative
+  // Def. 2 view spans its own segments AND every restored prior-generation
+  // pad column — a replayed pad stream drops the extended rank here.
+  if (!coordinator->protocol().VerifyCumulativeSecurity().all_secure) {
+    episode.invariants.security = false;
+    if (episode.crash_fired) episode.invariants.restart_security = false;
+    if (episode.failure.empty()) {
+      episode.failure = "security: cumulative view rank dropped" +
+                        std::string(episode.crash_fired
+                                        ? " across the restart"
+                                        : "");
+    }
+  }
+
+  episode.run = coordinator->protocol().metrics();
+  episode.recovery = coordinator->protocol().recovery_metrics();
+  if (sabotage == ChaosSabotage::kForgeLedger) {
+    episode.run.query_downlink_bytes += 7;
+  }
+
+  if (mix.byzantine_tolerance > 0 && episode.outcome == "decoded") {
+    CheckByzantineInvariants(mix, coordinator->protocol(),
+                             final_gen_queries > 0, &episode);
+  }
+  // Invariant 3: the plain ledger identities hold for the final incarnation
+  // whenever it decoded at least one query itself (a generation that only
+  // served journaled answers has no per-device roll-up to balance).
+  if (final_gen_queries > 0) {
+    const std::string ledger =
+        CheckLedger(episode, scenario.options.value_bytes);
+    if (!ledger.empty()) {
+      episode.invariants.ledger = false;
+      if (episode.failure.empty()) episode.failure = "ledger: " + ledger;
+    }
+  }
+
+  // restart_ledger: the combined journal (gen-0 durable bytes + gen-1
+  // appends) must parse as one untorn stream and balance double-entry
+  // against the final incarnation's metrics.
+  const std::string combined = journal_gen0.str() + journal_gen1.str();
+  episode.journal_bytes = combined.size();
+  episode.snapshot_bytes = snapshot.size();
+  auto parsed = recovery::LoadJournal(combined);
+  if (!parsed.ok()) {
+    episode.invariants.restart_ledger = false;
+    if (episode.failure.empty()) {
+      episode.failure =
+          "restart_ledger: combined journal unreadable: " +
+          parsed.status().ToString();
+    }
+  } else {
+    episode.journal_events = parsed->events.size();
+    std::string audit;
+    if (parsed->torn_tail) {
+      audit = "combined journal has a torn tail (committed bytes must "
+              "always parse whole)";
+    } else {
+      audit = CheckCrashLedger(episode, parsed->events,
+                               scenario.options.value_bytes);
+    }
+    if (!audit.empty()) {
+      episode.invariants.restart_ledger = false;
+      if (episode.failure.empty()) {
+        episode.failure = "restart_ledger: " + audit;
+      }
+    }
+  }
+
+  if (!config.crash_artifacts_dir.empty()) {
+    const std::string base =
+        config.crash_artifacts_dir + "/ep" + std::to_string(index);
+    std::ofstream snap_os(base + "_snapshot.bin",
+                          std::ios::binary | std::ios::trunc);
+    snap_os.write(snapshot.data(),
+                  static_cast<std::streamsize>(snapshot.size()));
+    if (snap_os.good()) episode.snapshot_path = base + "_snapshot.bin";
+    std::ofstream journal_os(base + "_journal.bin",
+                             std::ios::binary | std::ios::trunc);
+    journal_os.write(combined.data(),
+                     static_cast<std::streamsize>(combined.size()));
+    if (journal_os.good()) episode.journal_path = base + "_journal.bin";
+  }
+  return episode;
+}
+
+ChaosSoakSummary RunCrashSoak(const ChaosConfig& config) {
+  ChaosSoakSummary summary;
+  summary.episodes = config.episodes;
+  summary.detail.reserve(config.episodes);
+  for (size_t i = 0; i < config.episodes; ++i) {
+    ChaosEpisode episode = RunCrashEpisode(config, i);
+    if (episode.ok()) {
+      ++summary.passed;
+    } else {
+      summary.failing.push_back(i);
+    }
+    if (episode.outcome == "decoded") {
+      ++summary.decoded;
+    } else if (episode.outcome == "infeasible") {
+      ++summary.infeasible;
+    } else if (episode.outcome == "internal") {
+      ++summary.internal;
+    }
+    summary.detail.push_back(std::move(episode));
+  }
+  return summary;
+}
+
+std::string CheckCrashLedger(const ChaosEpisode& episode,
+                             const std::vector<recovery::JournalEvent>& events,
+                             double value_bytes) {
+  using recovery::JournalEvent;
+  using recovery::JournalEventKind;
+  const FaultRecoveryMetrics& rec = episode.recovery;
+  const RunMetrics& run = episode.run;
+  const uint32_t final_gen = static_cast<uint32_t>(rec.generation);
+  const uint64_t x_bytes =
+      static_cast<uint64_t>(static_cast<double>(episode.l) * value_bytes);
+
+  uint64_t dispatches = 0;      // final generation, canaries included
+  uint64_t dispatch_bytes = 0;  // final generation
+  uint64_t responses = 0;       // final generation accepted responses
+  uint64_t response_values = 0;
+  std::map<uint64_t, size_t> results_per_query;  // across ALL generations
+  // Exactly-once audit state: per query, which base-segment shares had an
+  // accepted (and billed) response journaled so far; frozen into `paid` at
+  // the query's resumption marker. A post-resumption re-dispatch of a paid
+  // share is a double-spend.
+  std::map<uint64_t, uint32_t> begun_gen;
+  std::map<uint64_t, std::set<uint64_t>> responded;
+  std::map<uint64_t, std::set<uint64_t>> paid;
+  uint64_t paid_total = 0;
+
+  for (const JournalEvent& ev : events) {
+    switch (ev.kind) {
+      case JournalEventKind::kQueryBegin: {
+        auto [it, inserted] = begun_gen.emplace(ev.query_id, ev.generation);
+        if (!inserted && ev.generation != it->second) {
+          // Resumption marker: the restarted generation re-admitted an
+          // in-flight query. Freeze what was already paid for.
+          paid[ev.query_id] = responded[ev.query_id];
+          paid_total += paid[ev.query_id].size();
+        }
+        break;
+      }
+      case JournalEventKind::kResponse:
+        if (ev.segment == 0) responded[ev.query_id].insert(ev.local);
+        if (ev.generation == final_gen) {
+          ++responses;
+          response_values += ev.values.size();
+        }
+        break;
+      case JournalEventKind::kDispatch: {
+        if (ev.generation == final_gen) {
+          ++dispatches;
+          dispatch_bytes += ev.bytes;
+          if (ev.bytes != x_bytes) {
+            return "journaled dispatch carries " + std::to_string(ev.bytes) +
+                   " bytes, expected l x value_bytes = " +
+                   std::to_string(x_bytes);
+          }
+        }
+        if (ev.attempt >= 1 && ev.segment == 0) {
+          auto it = paid.find(ev.query_id);
+          if (it != paid.end() && it->second.count(ev.local) > 0) {
+            return "double-spend: share " + std::to_string(ev.local) +
+                   " of query " + std::to_string(ev.query_id) +
+                   " was re-dispatched after its paid response was resumed";
+          }
+        }
+        break;
+      }
+      case JournalEventKind::kQueryResult:
+        if (++results_per_query[ev.query_id] > 1) {
+          return "query " + std::to_string(ev.query_id) +
+                 " has more than one journaled result (exactly-once broken)";
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Write-ahead discipline, final generation: every billed dispatch has a
+  // durable record, byte for byte. (Equality, not <=: the protocol commits
+  // each round's batch before the run settles.)
+  if (dispatches != rec.queries_dispatched) {
+    return "final generation journaled " + std::to_string(dispatches) +
+           " dispatches but billed " +
+           std::to_string(rec.queries_dispatched);
+  }
+  if (dispatch_bytes != run.query_uplink_bytes) {
+    return "final generation journaled " + std::to_string(dispatch_bytes) +
+           " uplink bytes but billed " +
+           std::to_string(run.query_uplink_bytes);
+  }
+  // Accepted-response records can only undercount the metric (arrivals that
+  // were billed then rejected, and canary probes, are never journaled).
+  if (responses > rec.responses_received) {
+    return "final generation journaled " + std::to_string(responses) +
+           " accepted responses but billed only " +
+           std::to_string(rec.responses_received);
+  }
+  if (response_values > rec.response_values_received) {
+    return "final generation journaled " + std::to_string(response_values) +
+           " response values but billed only " +
+           std::to_string(rec.response_values_received);
+  }
+  // A resumed query may inject at most what the journal paid for.
+  if (rec.resumed_responses > paid_total) {
+    return "final generation resumed " +
+           std::to_string(rec.resumed_responses) +
+           " responses but the journal only paid for " +
+           std::to_string(paid_total);
+  }
+  return "";
 }
 
 std::string DescribeSchedule(const ChaosEpisode& episode) {
@@ -433,11 +900,36 @@ std::string DescribeSchedule(const ChaosEpisode& episode) {
     os << "\n";
   }
   if (episode.schedule.empty()) os << "  (no scripted faults)\n";
+  if (episode.crash.point != recovery::CrashPoint::kNone) {
+    os << "  crash " << recovery::CrashPointName(episode.crash.point)
+       << " occurrence=" << episode.crash.occurrence
+       << (episode.crash.lose_tail ? " lose_tail" : "")
+       << (episode.crash_fired ? " fired" : " not-reached")
+       << " generations=" << episode.generations << "\n";
+    if (!episode.snapshot_path.empty()) {
+      os << "  snapshot " << episode.snapshot_path << " ("
+         << episode.snapshot_bytes << " sealed bytes)\n";
+    }
+    if (!episode.journal_path.empty()) {
+      os << "  journal " << episode.journal_path << " ("
+         << episode.journal_bytes << " bytes, " << episode.journal_events
+         << " events)\n";
+    }
+  }
   return os.str();
 }
 
 std::string ReproCommand(const ChaosConfig& config,
                          const ChaosEpisode& episode) {
+  if (episode.crash.point != recovery::CrashPoint::kNone) {
+    std::string cmd = "bench/chaos_soak --seed=" +
+                      std::to_string(config.seed) +
+                      " --crash-replay=" + std::to_string(episode.index);
+    if (!config.crash_artifacts_dir.empty()) {
+      cmd += " --crash-artifacts-dir=" + config.crash_artifacts_dir;
+    }
+    return cmd;
+  }
   return "bench/chaos_soak --seed=" + std::to_string(config.seed) +
          " --replay=" + std::to_string(episode.index);
 }

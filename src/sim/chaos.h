@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "recovery/crash.h"
 #include "sim/fault_tolerant_protocol.h"
 #include "sim/faults.h"
 
@@ -101,6 +102,12 @@ struct ChaosConfig {
   double loss_probability = 0.03;
   double backoff_jitter = 0.2;  // exercises the seeded-jitter path
   FaultToleranceOptions ft;     // base options; per-mix toggles override
+
+  // Crash-injected episodes (RunCrashEpisode/RunCrashSoak) write each
+  // episode's sealed snapshot + combined journal here when set, so a
+  // failing episode is reproducible from its durable artifacts alone.
+  // Sealed bytes only — pads never reach the disk in plaintext.
+  std::string crash_artifacts_dir;
 };
 
 // Deliberately corrupt one invariant input AFTER the episode ran, on copies
@@ -139,8 +146,25 @@ struct ChaosInvariants {
   //                the episode quarantined.
   bool masking = true;
   bool quarantine = true;
+  // Crash-recovery invariants (trivially true off crash-injected episodes):
+  //   restart_decode   — every query decodes exactly once to A·x across the
+  //                      kill/restart, whether the answer came from the live
+  //                      run, the journal (result committed pre-crash), or
+  //                      the resumed in-flight query;
+  //   restart_security — the restarted coordinator's cumulative Def. 2 view
+  //                      (this generation's segments PLUS every restored
+  //                      prior-generation pad column) stays ITS-secure: no
+  //                      pad stream is ever replayed across a restart;
+  //   restart_ledger   — the combined write-ahead journal balances against
+  //                      the final generation's metrics double-entry style:
+  //                      every billed dispatch was journaled first, no
+  //                      (query, share) billed twice, one result per query.
+  bool restart_decode = true;
+  bool restart_security = true;
+  bool restart_ledger = true;
   bool AllHold() const {
-    return decode && security && ledger && liveness && masking && quarantine;
+    return decode && security && ledger && liveness && masking &&
+           quarantine && restart_decode && restart_security && restart_ledger;
   }
 };
 
@@ -159,6 +183,19 @@ struct ChaosEpisode {
   size_t byzantine_tolerance = 0;  // requested t of the mix
   size_t byzantine_effective = 0;  // guard segments actually provisioned
   std::vector<ChaosScheduledFault> schedule;
+
+  // Crash injection (RunCrashEpisode only; crash.point == kNone on plain
+  // episodes). The spec is drawn from the episode seed AFTER the scenario,
+  // so a crash episode's scenario is bit-identical to the plain episode of
+  // the same (seed, index).
+  recovery::CrashSpec crash;
+  bool crash_fired = false;   // the injector actually killed a generation
+  size_t generations = 1;     // coordinator incarnations that ran
+  size_t journal_events = 0;  // parsed records of the combined journal
+  size_t journal_bytes = 0;
+  size_t snapshot_bytes = 0;  // sealed snapshot size
+  std::string snapshot_path;  // set when ChaosConfig::crash_artifacts_dir is
+  std::string journal_path;   // configured and the write succeeded
 
   // Outcome.
   std::string outcome;  // "decoded" | "infeasible" | "internal" | error text
@@ -188,6 +225,28 @@ ChaosEpisode RunChaosEpisode(const ChaosConfig& config, size_t index,
 // Runs the full soak. Stops at nothing: every episode executes and failing
 // ones are collected (seed + schedule) for repro.
 ChaosSoakSummary RunChaosSoak(const ChaosConfig& config);
+
+// Crash-injected episode: the SAME derived scenario as RunChaosEpisode(
+// config, index), but run through a DurableCoordinator with a crash point
+// drawn from the episode seed. When the injector fires, the coordinator is
+// destroyed mid-flight and restarted from its sealed snapshot + surviving
+// journal bytes; the episode then checks the three restart invariants on
+// top of the usual six. A drawn point that is never reached (e.g. kOnEvict
+// on a fault-free episode) leaves the episode uncrashed — still checked.
+ChaosEpisode RunCrashEpisode(const ChaosConfig& config, size_t index,
+                             ChaosSabotage sabotage = ChaosSabotage::kNone);
+
+// Full kill/restart soak over crash-injected episodes.
+ChaosSoakSummary RunCrashSoak(const ChaosConfig& config);
+
+// The exactly-once cost audit behind ChaosInvariants::restart_ledger,
+// exposed so negative tests can prove a doctored journal (duplicate result
+// record, re-billed share, forged dispatch bytes) is caught. `events` is
+// the parsed combined journal; episode supplies the final generation's
+// metrics. Returns the first violation, or "" when the ledger balances.
+std::string CheckCrashLedger(const ChaosEpisode& episode,
+                             const std::vector<recovery::JournalEvent>& events,
+                             double value_bytes);
 
 // Human-readable schedule of one episode (one line per scripted fault plus
 // the scenario header).

@@ -70,6 +70,39 @@ struct ResilienceMetrics {
             "scec_device_response_seconds")) {}
 };
 
+// Crash-recovery instruments (scec_recovery_*), same lazy idiom.
+struct RecoveryInstruments {
+  obs::Counter& restarts;
+  obs::Counter& resumed_responses;
+  obs::Counter& restored_segments;
+  obs::Counter& restored_evictions;
+
+  static RecoveryInstruments& Get() {
+    static RecoveryInstruments instruments;
+    return instruments;
+  }
+
+ private:
+  RecoveryInstruments()
+      : restarts(obs::MetricsRegistry::Global().GetCounter(
+            "scec_recovery_total", {{"event", "restart"}})),
+        resumed_responses(obs::MetricsRegistry::Global().GetCounter(
+            "scec_recovery_total", {{"event", "resumed_response"}})),
+        restored_segments(obs::MetricsRegistry::Global().GetCounter(
+            "scec_recovery_total", {{"event", "restored_segment"}})),
+        restored_evictions(obs::MetricsRegistry::Global().GetCounter(
+            "scec_recovery_total", {{"event", "restored_eviction"}})) {}
+};
+
+// Pad seeds for coordinator incarnation `generation`. Generation 0 keeps the
+// seed verbatim (bit-identical to the pre-journal runtime); restarts mix the
+// generation in so no incarnation ever replays another's pad stream.
+uint64_t GenerationSeed(uint64_t seed, uint32_t generation) {
+  if (generation == 0) return seed;
+  SplitMix64 mix(seed ^ (0x9E3779B97F4A7C15ull * generation));
+  return mix.Next();
+}
+
 // row index within B -> (scheme device, offset within its response).
 std::vector<std::pair<size_t, size_t>> HolderMap(const LcecScheme& scheme) {
   std::vector<std::pair<size_t, size_t>> holder(scheme.total_rows());
@@ -95,9 +128,12 @@ FaultTolerantScecProtocol::FaultTolerantScecProtocol(
       straggler_rng_(options.straggler_seed),
       jitter_rng_(ft_options.jitter_seed),
       verifier_rng_(ft_options.verifier_seed),
-      repair_rng_(ft_options.repair_pad_seed),
-      hedge_rng_(ft_options.hedge_pad_seed),
-      guard_rng_(ft_options.guard_pad_seed) {
+      repair_rng_(
+          GenerationSeed(ft_options.repair_pad_seed, ft_options.generation)),
+      hedge_rng_(
+          GenerationSeed(ft_options.hedge_pad_seed, ft_options.generation)),
+      guard_rng_(
+          GenerationSeed(ft_options.guard_pad_seed, ft_options.generation)) {
   SCEC_CHECK(deployment_ != nullptr);
   SCEC_CHECK(a_ != nullptr);
   SCEC_CHECK_EQ(a_->rows(), deployment_->code.m());
@@ -141,6 +177,24 @@ FaultTolerantScecProtocol::FaultTolerantScecProtocol(
   AddSegment(std::move(all_rows), deployment_->code, deployment_->plan.scheme,
              deployment_->plan.participating, deployment_->shares);
   recovery_.base_plan_cost = deployment_->plan.allocation.total_cost;
+  recovery_.generation = ft_.generation;
+}
+
+void FaultTolerantScecProtocol::AttachJournal(
+    recovery::QueryJournal* journal) {
+  SCEC_CHECK(!staged_) << "AttachJournal() must precede Stage()";
+  journal_ = journal;
+}
+
+void FaultTolerantScecProtocol::JournalAppend(recovery::JournalEvent event,
+                                              bool committed) {
+  if (journal_ == nullptr) return;
+  event.generation = ft_.generation;
+  if (committed) {
+    journal_->AppendCommitted(event);
+  } else {
+    journal_->Append(event);
+  }
 }
 
 size_t FaultTolerantScecProtocol::num_evicted() const {
@@ -247,6 +301,27 @@ void FaultTolerantScecProtocol::AddSegment(
   }
   seg.responses.assign(seg.scheme.num_devices(), std::nullopt);
   segments_.push_back(std::move(seg));
+
+  // Journal the new segment's shape so a restarted coordinator can
+  // re-account its pad columns. The base segment (index 0) is added in the
+  // constructor, before any journal can be attached — deliberately: it is
+  // rebuilt from the sealed snapshot, not the journal, and its pad VALUES
+  // must never leave the coordinator. Only shapes are journaled, ever.
+  if (journal_ != nullptr) {
+    const Segment& added = segments_.back();
+    recovery::JournalEvent event;
+    event.kind = recovery::JournalEventKind::kSegmentAdded;
+    event.segment = seg_index;
+    recovery::JournalSegmentRecord record;
+    record.index = seg_index;
+    record.m = added.code.m();
+    record.r = added.code.r();
+    record.row_counts = added.scheme.row_counts;
+    record.phys = added.phys;
+    record.data_rows = added.data_rows;
+    event.segment_record = std::move(record);
+    JournalAppend(std::move(event), /*committed=*/true);
+  }
 }
 
 void FaultTolerantScecProtocol::StageSegment(size_t segment_index) {
@@ -318,6 +393,12 @@ void FaultTolerantScecProtocol::Stage() {
     obs::Tracer::Global().RecordSimSpan("stage", stage_start,
                                         queue_.now() - stage_start,
                                         /*tid=*/devices_.size());
+  }
+  {
+    recovery::JournalEvent event;
+    event.kind = recovery::JournalEventKind::kStageDone;
+    event.device = byzantine_tolerance_effective_;
+    JournalAppend(std::move(event), /*committed=*/true);
   }
   staged_ = true;
 }
@@ -446,6 +527,20 @@ void FaultTolerantScecProtocol::Dispatch(Pending* pending) {
   const uint64_t x_bytes = static_cast<uint64_t>(
       static_cast<double>(x.size()) * options_.value_bytes);
   metrics_.query_uplink_bytes += x_bytes;
+  // Write-ahead the billing entry (group-committed in CollectRound): the
+  // uplink spend is journaled before the bytes move, so a crash can lose the
+  // dispatch but never bill one that was not journaled first.
+  if (journal_ != nullptr) {
+    recovery::JournalEvent event;
+    event.kind = recovery::JournalEventKind::kDispatch;
+    event.query_id = current_query_id_;
+    event.segment = pending->segment;
+    event.local = pending->local;
+    event.device = pending->phys;
+    event.attempt = attempt;
+    event.bytes = x_bytes;
+    JournalAppend(std::move(event), /*committed=*/false);
+  }
   SendMsg(kUserNode, DeviceNode(pending->phys), x_bytes,
           [actor, x]() { actor->OnQueryDelivered(x); },
           /*abort_on_failure=*/false);
@@ -478,6 +573,12 @@ void FaultTolerantScecProtocol::Dispatch(Pending* pending) {
               "quarantine(timeout)", queue_.now(), /*tid=*/pending->phys,
               "fault");
         }
+        recovery::JournalEvent event;
+        event.kind = recovery::JournalEventKind::kEvict;
+        event.query_id = current_query_id_;
+        event.device = pending->phys;
+        event.attempt = recovery::kEvictReasonQuarantine;
+        JournalAppend(std::move(event), /*committed=*/true);
       }
     }
     if (pending->attempts >= ft_.retry.max_attempts) {
@@ -488,6 +589,12 @@ void FaultTolerantScecProtocol::Dispatch(Pending* pending) {
         obs::Tracer::Global().RecordSimInstant("evict(timeout)", queue_.now(),
                                                /*tid=*/pending->phys, "fault");
       }
+      recovery::JournalEvent event;
+      event.kind = recovery::JournalEventKind::kEvict;
+      event.query_id = current_query_id_;
+      event.device = pending->phys;
+      event.attempt = recovery::kEvictReasonTimeout;
+      JournalAppend(std::move(event), /*committed=*/true);
       return;
     }
     ++recovery_.retries_sent;
@@ -532,6 +639,12 @@ void FaultTolerantScecProtocol::OnResponse(size_t segment, size_t local,
         obs::Tracer::Global().RecordSimInstant("readmit", queue_.now(),
                                                /*tid=*/phys, "fault");
       }
+      recovery::JournalEvent event;
+      event.kind = recovery::JournalEventKind::kEvict;
+      event.query_id = current_query_id_;
+      event.device = phys;
+      event.attempt = recovery::kEvictReasonReadmit;
+      JournalAppend(std::move(event), /*committed=*/true);
     }
     return;
   }
@@ -563,6 +676,12 @@ void FaultTolerantScecProtocol::OnResponse(size_t segment, size_t local,
         obs::Tracer::Global().RecordSimInstant("evict(corrupt)", queue_.now(),
                                                /*tid=*/pending->phys, "fault");
       }
+      recovery::JournalEvent event;
+      event.kind = recovery::JournalEventKind::kEvict;
+      event.query_id = current_query_id_;
+      event.device = pending->phys;
+      event.attempt = recovery::kEvictReasonCorrupt;
+      JournalAppend(std::move(event), /*committed=*/true);
     }
     return;
   }
@@ -576,6 +695,19 @@ void FaultTolerantScecProtocol::OnResponse(size_t segment, size_t local,
     obs::Tracer::Global().RecordSimSpan(
         "device_response seg" + std::to_string(segment), pending->dispatch_s,
         duration, /*tid=*/pending->phys);
+  }
+  // Durable before usable: the verified payload is committed to the journal
+  // before it enters the decode, so a restarted coordinator can re-verify
+  // and re-inject it instead of re-dispatching (and re-billing) the device.
+  if (journal_ != nullptr) {
+    recovery::JournalEvent event;
+    event.kind = recovery::JournalEventKind::kResponse;
+    event.query_id = current_query_id_;
+    event.segment = segment;
+    event.local = local;
+    event.device = pending->phys;
+    event.values = response;
+    JournalAppend(std::move(event), /*committed=*/true);
   }
   seg.responses[local] = std::move(response);
 
@@ -812,7 +944,12 @@ void FaultTolerantScecProtocol::CollectRound(std::vector<Pending>* pendings) {
   round_unresolved_ = pendings->size();
   round_settled_s_ = queue_.now();
   for (Pending& pending : *pendings) Dispatch(&pending);
+  // Group commit: the whole round's dispatch batch becomes durable in one
+  // write before the event loop runs, and any retries/hedges appended during
+  // the loop are flushed after it.
+  if (journal_ != nullptr) journal_->Commit();
   queue_.RunUntilEmpty();
+  if (journal_ != nullptr) journal_->Commit();
   for (const Pending& pending : *pendings) {
     SCEC_CHECK(pending.accepted || pending.failed || pending.cancelled)
         << "collection round ended with an unresolved device";
@@ -863,6 +1000,12 @@ void FaultTolerantScecProtocol::FlagByzantine(size_t fleet_index) {
       obs::Tracer::Global().RecordSimInstant("quarantine", queue_.now(),
                                              /*tid=*/fleet_index, "fault");
     }
+    recovery::JournalEvent event;
+    event.kind = recovery::JournalEventKind::kEvict;
+    event.query_id = current_query_id_;
+    event.device = fleet_index;
+    event.attempt = recovery::kEvictReasonQuarantine;
+    JournalAppend(std::move(event), /*committed=*/true);
   }
 }
 
@@ -990,6 +1133,20 @@ void FaultTolerantScecProtocol::RunCanaries() {
             static_cast<double>(x.size()) * options_.value_bytes);
         metrics_.query_uplink_bytes += x_bytes;
         ++recovery_.queries_dispatched;
+        // attempt = 0 marks a canary in the journal: the double-spend audit
+        // must not mistake a probe of an already-answered share for a
+        // re-billed dispatch.
+        if (journal_ != nullptr) {
+          recovery::JournalEvent event;
+          event.kind = recovery::JournalEventKind::kDispatch;
+          event.query_id = current_query_id_;
+          event.segment = s;
+          event.local = j;
+          event.device = d;
+          event.attempt = 0;
+          event.bytes = x_bytes;
+          JournalAppend(std::move(event), /*committed=*/true);
+        }
         SendMsg(kUserNode, DeviceNode(d), x_bytes,
                 [actor, x]() { actor->OnQueryDelivered(x); },
                 /*abort_on_failure=*/false);
@@ -1020,17 +1177,50 @@ Result<std::vector<double>> FaultTolerantScecProtocol::RunQuery(
   located_this_query_.clear();
   reputation_.AdvanceQuery();
 
+  // Admit the query durably before any work: a resumed query keeps its
+  // original id (the duplicate kQueryBegin is the resumption marker).
+  const bool resuming = resume_query_id_.has_value();
+  current_query_id_ = resuming ? *resume_query_id_ : query_seq_++;
+  {
+    recovery::JournalEvent event;
+    event.kind = recovery::JournalEventKind::kQueryBegin;
+    event.query_id = current_query_id_;
+    event.values = x;
+    JournalAppend(std::move(event), /*committed=*/true);
+  }
+
   for (Segment& seg : segments_) {
     seg.responses.assign(seg.scheme.num_devices(), std::nullopt);
   }
 
   // Round 0: query every non-evicted holder across all staged segments
   // (a hedge segment whose staging was abandoned never gets queried).
+  // When resuming a crashed query, a base-segment response the previous
+  // incarnation journaled is re-verified against x and injected instead of
+  // re-dispatched: the device already did the work and was already billed —
+  // exactly-once Eq. (1) accounting. Aux segments are never injected: their
+  // pads were re-drawn this generation, so old responses cannot verify.
   std::vector<Pending> round;
   for (size_t s = 0; s < segments_.size(); ++s) {
     if (!segments_[s].staged) continue;
     for (size_t j = 0; j < segments_[s].scheme.num_devices(); ++j) {
       const size_t phys = segments_[s].phys[j];
+      if (resuming && s == 0) {
+        const auto it = resume_responses_.find(j);
+        if (it != resume_responses_.end() &&
+            segments_[0].verifier.Check(
+                j, std::span<const double>(x),
+                std::span<const double>(it->second))) {
+          segments_[0].responses[j] = it->second;
+          ++recovery_.resumed_responses;
+          RecoveryInstruments::Get().resumed_responses.Increment();
+          if (obs::Tracer::Enabled()) {
+            obs::Tracer::Global().RecordSimInstant(
+                "resume_inject", queue_.now(), /*tid=*/phys, "fault");
+          }
+          continue;
+        }
+      }
       if (!UsableDevice(phys)) continue;
       Pending pending;
       pending.segment = s;
@@ -1038,6 +1228,10 @@ Result<std::vector<double>> FaultTolerantScecProtocol::RunQuery(
       pending.phys = phys;
       round.push_back(pending);
     }
+  }
+  if (resuming) {
+    resume_responses_.clear();
+    resume_query_id_.reset();
   }
   CollectRound(&round);
   // With hedging on, completion is when the round SETTLED (last pending
@@ -1174,6 +1368,11 @@ Result<std::vector<double>> FaultTolerantScecProtocol::RunQuery(
       obs::Tracer::Global().RecordSimInstant("masked_query", queue_.now(),
                                              /*tid=*/devices_.size(), "fault");
     }
+    recovery::JournalEvent event;
+    event.kind = recovery::JournalEventKind::kMaskedQuery;
+    event.query_id = current_query_id_;
+    event.device = flagged_this_query_.size();
+    JournalAppend(std::move(event), /*committed=*/false);
   }
   // Probe quarantined devices that are due a canary. Runs after the decode
   // settles, so probe latency never pollutes the completion metrics.
@@ -1197,7 +1396,105 @@ Result<std::vector<double>> FaultTolerantScecProtocol::RunQuery(
 
   std::vector<double> result(decoded.size());
   for (size_t g = 0; g < decoded.size(); ++g) result[g] = *decoded[g];
+
+  // Commit the result record LAST: a crash before this line leaves the
+  // query in-flight (the restarted coordinator finishes it); a crash after
+  // it must NOT re-run the query — the journal already owns the answer.
+  {
+    recovery::JournalEvent event;
+    event.kind = recovery::JournalEventKind::kQueryResult;
+    event.query_id = current_query_id_;
+    event.values = result;
+    JournalAppend(std::move(event), /*committed=*/true);
+  }
+  if (journal_ != nullptr) {
+    recovery_.journal_events = journal_->events_appended();
+    recovery_.journal_commits = journal_->commits();
+  }
   return result;
+}
+
+void FaultTolerantScecProtocol::RestorePriorSegment(
+    const recovery::JournalSegmentRecord& record) {
+  // Mirror of AddSegment's held-row bookkeeping for a segment a PREVIOUS
+  // incarnation staged. No actors, no shares, no staging: the devices still
+  // physically hold those coefficient rows, so the cumulative Def. 2 check
+  // must keep seeing them — forgetting a dead generation's pads is exactly
+  // how pad reuse would slip past the verifier.
+  SCEC_CHECK_GE(record.m, 1u);
+  SCEC_CHECK_GE(record.r, 1u);
+  SCEC_CHECK_LE(record.r, record.m);
+  StructuredCode code(record.m, record.r);
+  size_t start = 0;
+  for (size_t j = 0; j < record.row_counts.size(); ++j) {
+    SCEC_CHECK_LT(record.phys[j], devices_.size());
+    DeviceState& dev = devices_[record.phys[j]];
+    for (size_t row = 0; row < record.row_counts[j]; ++row) {
+      const CodedRowSpec spec = code.RowSpec(start + row);
+      HeldRow held;
+      if (spec.data_row.has_value()) {
+        SCEC_CHECK_LT(*spec.data_row, record.data_rows.size());
+        held.data_row = record.data_rows[*spec.data_row];
+      }
+      held.pad_col = pads_total_ + spec.random_row;
+      dev.held.push_back(held);
+    }
+    start += record.row_counts[j];
+  }
+  pads_total_ += record.r;
+  ++recovery_.restored_segments;
+  RecoveryInstruments::Get().restored_segments.Increment();
+}
+
+void FaultTolerantScecProtocol::RestoreFromReplay(
+    const recovery::ReplayState& state) {
+  SCEC_CHECK(staged_) << "RestoreFromReplay() requires Stage() first";
+  SCEC_CHECK_GT(ft_.generation, 0u)
+      << "generation 0 is the original coordinator; nothing to restore";
+
+  for (const recovery::JournalSegmentRecord& record : state.prior_segments) {
+    RestorePriorSegment(record);
+  }
+  for (const size_t device : state.evicted_devices) {
+    SCEC_CHECK_LT(device, devices_.size());
+    if (devices_[device].evicted) continue;
+    devices_[device].evicted = true;
+    ++recovery_.restored_evictions;
+    RecoveryInstruments::Get().restored_evictions.Increment();
+  }
+  if (ft_.reputation.enabled) {
+    for (const size_t device : state.quarantined_devices) {
+      SCEC_CHECK_LT(device, devices_.size());
+      // Re-poison the tracker until the device is quarantined again (its
+      // canary path back stays open, same as before the crash).
+      for (int i = 0; i < 64 && reputation_.Usable(device); ++i) {
+        reputation_.RecordCorrupt(device);
+      }
+      ++recovery_.restored_evictions;
+      RecoveryInstruments::Get().restored_evictions.Increment();
+    }
+  }
+  query_seq_ = state.next_query_id;
+  if (state.has_in_flight) {
+    resume_query_id_ = state.in_flight_id;
+    resume_responses_.clear();
+    for (const auto& [local, values] : state.in_flight_responses) {
+      resume_responses_[local] = values;
+    }
+  }
+
+  // The restored cumulative view — this generation's base + guards PLUS all
+  // prior generations' segments — must still be ITS-secure. A leak here
+  // means a pad stream was replayed across the crash.
+  SCEC_CHECK(VerifyCumulativeSecurity().all_secure)
+      << "restored cumulative view leaks data rows (pad reuse across restart)";
+
+  RecoveryInstruments::Get().restarts.Increment();
+  if (obs::Tracer::Enabled()) {
+    obs::Tracer::Global().RecordSimInstant(
+        "restart(gen " + std::to_string(ft_.generation) + ")", queue_.now(),
+        /*tid=*/devices_.size(), "fault");
+  }
 }
 
 SchemeSecurityReport FaultTolerantScecProtocol::VerifyCumulativeSecurity()

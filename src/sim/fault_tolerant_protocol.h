@@ -85,6 +85,7 @@
 #include "coding/security_check.h"
 #include "common/retry.h"
 #include "core/pipeline.h"
+#include "recovery/journal.h"
 #include "sim/actors.h"
 #include "sim/latency_estimator.h"
 #include "sim/metrics.h"
@@ -153,6 +154,17 @@ struct FaultToleranceOptions {
   // Reputation / quarantine / canary-readmission knobs. `enabled` is forced
   // on whenever byzantine_tolerance > 0.
   ReputationOptions reputation;
+
+  // --- Crash recovery (src/recovery). Coordinator incarnation number: 0 is
+  // the original process (bit-identical to the pre-journal runtime), each
+  // restart increments it. Generations > 0 salt the repair/hedge/guard pad
+  // seeds so a restarted coordinator NEVER replays a pad stream an earlier
+  // incarnation already shipped — reuse would let a device subtract old and
+  // new rows and unmask data (Def. 2). The verifier seed is deliberately
+  // NOT salted: the restarted cloud must be able to re-check responses that
+  // were journaled against base-segment shares, which are byte-identical
+  // across generations.
+  uint32_t generation = 0;
 };
 
 class FaultTolerantScecProtocol {
@@ -171,6 +183,23 @@ class FaultTolerantScecProtocol {
 
   // Phase 1 for the base segment. Runs the event queue to completion.
   void Stage();
+
+  // --- Crash recovery (src/recovery). AttachJournal must be called before
+  // Stage(): from then on every lifecycle event (staging, segment
+  // provisioning, query admission, dispatch, accepted response, eviction,
+  // masking, query result) is written ahead to the journal. The base
+  // segment is never journaled — it is rebuilt from the sealed snapshot.
+  // The journal must outlive the protocol.
+  void AttachJournal(recovery::QueryJournal* journal);
+
+  // Restores journaled state after Stage() on a restarted coordinator
+  // (generation > 0): re-marks evictions and quarantines, re-accounts the
+  // pad columns of every prior guard/recovery/hedge segment so cumulative
+  // ITS verification still sees them, adopts the query-id sequence, and
+  // arms RunQuery to re-verify and inject the in-flight query's already
+  // paid-for base-segment responses instead of re-dispatching (exactly-once
+  // Eq. (1) accounting). Aborts if the restored cumulative view leaks.
+  void RestoreFromReplay(const recovery::ReplayState& state);
 
   // Phases 2–3 with detection + recovery. Returns the decoded A·x, or
   //   kInfeasible — fewer than 2 devices survive to re-plan over,
@@ -335,6 +364,13 @@ class FaultTolerantScecProtocol {
   // (existing shares, digest-checked, response discarded) and drains them.
   void RunCanaries();
 
+  // Crash-recovery internals. JournalAppend fills the generation and
+  // forwards to the attached journal (no-op when none is attached).
+  void JournalAppend(recovery::JournalEvent event, bool committed);
+  // Re-accounts one prior-incarnation segment's held rows and pad columns
+  // (mirrors AddSegment's bookkeeping without actors or staging).
+  void RestorePriorSegment(const recovery::JournalSegmentRecord& record);
+
   const Deployment<double>* deployment_;
   const Matrix<double>* a_;
   SimOptions options_;
@@ -376,6 +412,16 @@ class FaultTolerantScecProtocol {
   std::vector<size_t> flagged_this_query_;
   std::vector<size_t> located_this_query_;
   std::map<std::pair<size_t, size_t>, size_t> canary_probes_;
+
+  // Crash-recovery state: attached write-ahead journal (may be null), the
+  // query-id sequence, and — on a restarted coordinator — the in-flight
+  // query id plus its journaled base-segment responses to re-verify and
+  // inject instead of re-dispatching.
+  recovery::QueryJournal* journal_ = nullptr;
+  uint64_t query_seq_ = 0;
+  uint64_t current_query_id_ = 0;
+  std::optional<uint64_t> resume_query_id_;
+  std::map<uint64_t, std::vector<double>> resume_responses_;
 
   RunMetrics metrics_;
   FaultRecoveryMetrics recovery_;

@@ -99,6 +99,12 @@ std::string ToJson(const FaultRecoveryMetrics& metrics) {
      << Num(metrics.first_attempt_completion_s)
      << ",\"total_completion_s\":" << Num(metrics.total_completion_s)
      << ",\"settled_completion_s\":" << Num(metrics.settled_completion_s)
+     << ",\"generation\":" << metrics.generation
+     << ",\"journal_events\":" << metrics.journal_events
+     << ",\"journal_commits\":" << metrics.journal_commits
+     << ",\"restored_segments\":" << metrics.restored_segments
+     << ",\"restored_evictions\":" << metrics.restored_evictions
+     << ",\"resumed_responses\":" << metrics.resumed_responses
      << ",\"recovery_latency_s\":" << Num(metrics.RecoveryLatency()) << "}";
   return os.str();
 }
@@ -137,7 +143,9 @@ std::string FaultRecoveryMetricsCsvHeader() {
          "byzantine_guard_cost,byzantine_masked_queries,"
          "byzantine_located_liars,byzantine_fallback_locates,"
          "byzantine_ambiguous_locates,devices_quarantined,"
-         "devices_readmitted,canaries_sent,canaries_passed,canaries_failed";
+         "devices_readmitted,canaries_sent,canaries_passed,canaries_failed,"
+         "generation,journal_events,journal_commits,restored_segments,"
+         "restored_evictions,resumed_responses";
 }
 
 std::string ToCsvRow(const FaultRecoveryMetrics& metrics) {
@@ -165,7 +173,10 @@ std::string ToCsvRow(const FaultRecoveryMetrics& metrics) {
      << metrics.byzantine_ambiguous_locates << ','
      << metrics.devices_quarantined << ',' << metrics.devices_readmitted
      << ',' << metrics.canaries_sent << ',' << metrics.canaries_passed << ','
-     << metrics.canaries_failed;
+     << metrics.canaries_failed << ',' << metrics.generation << ','
+     << metrics.journal_events << ',' << metrics.journal_commits << ','
+     << metrics.restored_segments << ',' << metrics.restored_evictions << ','
+     << metrics.resumed_responses;
   return os.str();
 }
 

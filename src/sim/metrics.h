@@ -130,6 +130,18 @@ struct FaultRecoveryMetrics {
   // measure the same thing in both arms.
   double settled_completion_s = 0.0;
 
+  // Crash recovery (src/recovery). Generation 0 is the original
+  // coordinator; each restart increments it. journal_* mirror the attached
+  // write-ahead journal's counters at the end of the last query; restored_*
+  // and resumed_responses count state re-adopted from the journal replay.
+  uint64_t generation = 0;
+  uint64_t journal_events = 0;       // records appended (all generations')
+  uint64_t journal_commits = 0;      // group commits that reached the disk
+  uint64_t restored_segments = 0;    // prior-generation segments re-accounted
+  uint64_t restored_evictions = 0;   // evictions/quarantines re-marked
+  uint64_t resumed_responses = 0;    // journaled responses injected, not
+                                     // re-dispatched (exactly-once billing)
+
   double RecoveryLatency() const {
     return total_completion_s - first_attempt_completion_s;
   }

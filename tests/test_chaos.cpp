@@ -8,8 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "recovery/journal.h"
 #include "sim/metrics.h"
 
 namespace scec::sim {
@@ -192,6 +196,144 @@ TEST(ChaosSoak, ByzantineEpisodesMaskAndQuarantineScriptedLiars) {
 TEST(ChaosSoak, EmptySoakIsNotOk) {
   ChaosSoakSummary summary;
   EXPECT_FALSE(summary.ok()) << "zero episodes must not read as a pass";
+}
+
+// --- Crash-injected episodes (kill/restart drills) ---
+
+// First crash episode of `config` that decoded AND actually fired its
+// injector (ledger tests need a real restart to doctor).
+size_t FirstFiredCrashEpisode(const ChaosConfig& config) {
+  for (size_t i = 0; i < config.episodes; ++i) {
+    const ChaosEpisode episode = RunCrashEpisode(config, i);
+    if (episode.ok() && episode.crash_fired && episode.outcome == "decoded") {
+      return i;
+    }
+  }
+  ADD_FAILURE() << "no fired crash episode in the small soak";
+  return 0;
+}
+
+TEST(ChaosCrashSoak, SmallSoakHoldsAllNineInvariants) {
+  const ChaosConfig config = SmallConfig();
+  const ChaosSoakSummary summary = RunCrashSoak(config);
+  EXPECT_TRUE(summary.ok());
+  EXPECT_EQ(summary.passed, config.episodes);
+  size_t fired = 0;
+  for (const ChaosEpisode& episode : summary.detail) {
+    EXPECT_TRUE(episode.invariants.AllHold())
+        << DescribeSchedule(episode) << episode.failure;
+    fired += episode.crash_fired;
+    if (episode.crash_fired) {
+      EXPECT_EQ(episode.generations, 2u);
+      EXPECT_GT(episode.journal_events, 0u);
+      EXPECT_GT(episode.snapshot_bytes, 0u);
+    }
+  }
+  EXPECT_GT(fired, 0u) << "a crash soak where no crash ever fires checks "
+                          "nothing about restarts";
+}
+
+TEST(ChaosCrashSoak, CrashEpisodesShareThePlainEpisodeScenario) {
+  // The repro contract: a crash episode's scenario (problem, fleet, fault
+  // schedule) is bit-identical to the plain episode of the same (seed,
+  // index) — the crash spec is drawn AFTER the scenario.
+  const ChaosConfig config = SmallConfig();
+  for (const size_t index : {0u, 4u, 9u}) {
+    const ChaosEpisode plain = RunChaosEpisode(config, index);
+    const ChaosEpisode crash = RunCrashEpisode(config, index);
+    EXPECT_EQ(plain.seed, crash.seed);
+    EXPECT_EQ(plain.mix, crash.mix);
+    EXPECT_EQ(plain.m, crash.m);
+    EXPECT_EQ(plain.l, crash.l);
+    EXPECT_EQ(plain.fleet, crash.fleet);
+    EXPECT_EQ(plain.schedule.size(), crash.schedule.size());
+  }
+}
+
+TEST(ChaosCrashSoak, CrashEpisodesReplayBitForBit) {
+  const ChaosConfig config = SmallConfig();
+  for (const size_t index : {1u, 6u, 13u}) {
+    const ChaosEpisode first = RunCrashEpisode(config, index);
+    const ChaosEpisode second = RunCrashEpisode(config, index);
+    EXPECT_EQ(first.outcome, second.outcome) << "episode " << index;
+    EXPECT_EQ(first.crash_fired, second.crash_fired);
+    EXPECT_EQ(first.generations, second.generations);
+    EXPECT_EQ(first.journal_bytes, second.journal_bytes);
+    EXPECT_EQ(first.journal_events, second.journal_events);
+    EXPECT_EQ(first.snapshot_bytes, second.snapshot_bytes);
+    EXPECT_EQ(DescribeSchedule(first), DescribeSchedule(second));
+  }
+}
+
+TEST(ChaosCrashSoak, TamperSabotageTripsTheDecodeInvariant) {
+  const ChaosConfig config = SmallConfig();
+  const size_t index = FirstFiredCrashEpisode(config);
+  const ChaosEpisode episode =
+      RunCrashEpisode(config, index, ChaosSabotage::kTamperResult);
+  EXPECT_FALSE(episode.ok());
+  EXPECT_FALSE(episode.invariants.decode);
+}
+
+TEST(ChaosCrashSoak, ReproCommandNamesTheCrashReplayFlag) {
+  const ChaosConfig config = SmallConfig();
+  const ChaosEpisode episode = RunCrashEpisode(config, 2);
+  const std::string repro = ReproCommand(config, episode);
+  EXPECT_NE(repro.find("--seed=7"), std::string::npos) << repro;
+  EXPECT_NE(repro.find("--crash-replay=2"), std::string::npos) << repro;
+  const std::string schedule = DescribeSchedule(episode);
+  EXPECT_NE(schedule.find("crash "), std::string::npos) << schedule;
+}
+
+TEST(ChaosCrashSoak, ArtifactsHoldTheParseableJournal) {
+  ChaosConfig config = SmallConfig();
+  config.crash_artifacts_dir = ::testing::TempDir();
+  const size_t index = FirstFiredCrashEpisode(config);
+  const ChaosEpisode episode = RunCrashEpisode(config, index);
+  ASSERT_FALSE(episode.journal_path.empty());
+  ASSERT_FALSE(episode.snapshot_path.empty());
+
+  std::ifstream journal_file(episode.journal_path, std::ios::binary);
+  ASSERT_TRUE(journal_file.good());
+  std::stringstream journal_bytes;
+  journal_bytes << journal_file.rdbuf();
+  EXPECT_EQ(journal_bytes.str().size(), episode.journal_bytes);
+  const auto replay = recovery::LoadJournal(journal_bytes.str());
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_EQ(replay->events.size(), episode.journal_events);
+
+  // The balanced journal is the positive control for the doctored-journal
+  // tests below: CheckCrashLedger must accept what the episode accepted.
+  EXPECT_EQ(CheckCrashLedger(episode, replay->events, /*value_bytes=*/8.0),
+            "");
+
+  // Doctor 1: duplicate a committed result record -> exactly-once broken.
+  std::vector<recovery::JournalEvent> doctored = replay->events;
+  bool duplicated = false;
+  for (const recovery::JournalEvent& event : replay->events) {
+    if (event.kind == recovery::JournalEventKind::kQueryResult) {
+      doctored.push_back(event);
+      duplicated = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(duplicated);
+  EXPECT_NE(CheckCrashLedger(episode, doctored, 8.0), "");
+
+  // Doctor 2: forge one dispatch's billed bytes -> double-entry mismatch.
+  // The audit bills the FINAL generation against the final metrics, so
+  // doctor the last dispatch (the restarted incarnation's).
+  doctored = replay->events;
+  bool forged = false;
+  for (auto it = doctored.rbegin(); it != doctored.rend(); ++it) {
+    if (it->kind == recovery::JournalEventKind::kDispatch &&
+        it->attempt >= 1 && it->generation >= 1) {
+      it->bytes += 8;
+      forged = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(forged);
+  EXPECT_NE(CheckCrashLedger(episode, doctored, 8.0), "");
 }
 
 }  // namespace

@@ -146,5 +146,60 @@ TEST(DeploymentIo, FileHelpersRoundTrip) {
   EXPECT_FALSE(LoadDeploymentDoubleFromFile("/nonexistent/nope.bin").ok());
 }
 
+TEST(DeploymentIo, FieldFileHelpersRoundTrip) {
+  // Save/load symmetry for the exact-field deployments: the Gf61 loader
+  // now has the same file-path convenience as the double one.
+  const auto original = MakeDeployment<Gf61>(9);
+  const std::string path =
+      ::testing::TempDir() + "/scec_deployment_gf61_test.bin";
+  ASSERT_TRUE(SaveDeploymentToFile(original, path).ok());
+  const auto loaded = LoadDeploymentGf61FromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->shares.size(), original.shares.size());
+  for (size_t d = 0; d < loaded->shares.size(); ++d) {
+    EXPECT_EQ(loaded->shares[d].coded_rows, original.shares[d].coded_rows);
+  }
+  EXPECT_FALSE(LoadDeploymentGf61FromFile("/nonexistent/nope.bin").ok());
+}
+
+TEST(DeploymentIo, EveryTruncationRejectedCleanly) {
+  // Not just a few depths: EVERY proper prefix must fail with a Status —
+  // never crash, never hand back a partial deployment.
+  const auto original = MakeDeployment<double>(10);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveDeployment(original, buf).ok());
+  const std::string full = buf.str();
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    std::stringstream truncated(full.substr(0, cut));
+    const auto loaded = LoadDeploymentDouble(truncated);
+    EXPECT_FALSE(loaded.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(DeploymentIo, EveryByteFlipFailsCleanly) {
+  // Flipping any single byte must yield a Status or a well-formed
+  // deployment (a flip inside a share value changes data, not structure) —
+  // never undefined behaviour. The structural prefix must always reject.
+  const auto original = MakeDeployment<double>(11);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveDeployment(original, buf).ok());
+  const std::string full = buf.str();
+  const size_t header = 4 + 4 + 1;  // magic, version, scalar tag
+  for (size_t i = 0; i < full.size(); ++i) {
+    std::string flipped = full;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0xFF);
+    std::stringstream is(flipped);
+    const auto loaded = LoadDeploymentDouble(is);
+    if (i < header) {
+      EXPECT_FALSE(loaded.ok()) << "flip at " << i;
+    } else if (loaded.ok()) {
+      // Loaded despite the flip: must still be internally consistent.
+      EXPECT_EQ(loaded->shares.size(), original.shares.size())
+          << "flip at " << i;
+      EXPECT_EQ(loaded->l, original.l) << "flip at " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace scec

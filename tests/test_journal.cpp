@@ -1,0 +1,379 @@
+// SPDX-License-Identifier: MIT
+//
+// Write-ahead query journal: framing round-trips, group-commit atomicity
+// (a died coordinator loses its buffered tail, never half a record), torn
+// and bit-flipped streams recovering the longest valid prefix, and the
+// replay fold (BuildReplayState) that a restarted coordinator trusts.
+
+#include "recovery/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace scec::recovery {
+namespace {
+
+JournalEvent Event(JournalEventKind kind, uint32_t generation = 0) {
+  JournalEvent event;
+  event.kind = kind;
+  event.generation = generation;
+  return event;
+}
+
+// One committed event of every kind, with every field exercised.
+std::vector<JournalEvent> AllKindsFixture() {
+  std::vector<JournalEvent> events;
+  {
+    JournalEvent e = Event(JournalEventKind::kStageDone);
+    e.device = 2;  // effective byzantine tolerance
+    events.push_back(e);
+  }
+  {
+    JournalEvent e = Event(JournalEventKind::kSegmentAdded);
+    JournalSegmentRecord seg;
+    seg.index = 1;
+    seg.m = 4;
+    seg.r = 2;
+    seg.row_counts = {3, 3};
+    seg.phys = {5, 7};
+    seg.data_rows = {0, 1, 2, 3};
+    e.segment = 1;
+    e.segment_record = seg;
+    events.push_back(e);
+  }
+  {
+    JournalEvent e = Event(JournalEventKind::kQueryBegin);
+    e.query_id = 0;
+    e.values = {1.5, -2.25, 0.0};
+    events.push_back(e);
+  }
+  {
+    JournalEvent e = Event(JournalEventKind::kDispatch);
+    e.query_id = 0;
+    e.segment = 0;
+    e.local = 3;
+    e.device = 9;
+    e.attempt = 1;
+    e.bytes = 24;
+    events.push_back(e);
+  }
+  {
+    JournalEvent e = Event(JournalEventKind::kResponse);
+    e.query_id = 0;
+    e.segment = 0;
+    e.local = 3;
+    e.device = 9;
+    e.values = {3.125, 7.75};
+    events.push_back(e);
+  }
+  {
+    JournalEvent e = Event(JournalEventKind::kEvict);
+    e.device = 4;
+    e.attempt = kEvictReasonCorrupt;
+    events.push_back(e);
+  }
+  {
+    JournalEvent e = Event(JournalEventKind::kMaskedQuery);
+    e.query_id = 0;
+    e.attempt = 2;  // liars masked
+    events.push_back(e);
+  }
+  {
+    JournalEvent e = Event(JournalEventKind::kQueryResult);
+    e.query_id = 0;
+    e.values = {10.0, 20.0, 30.0, 40.0};
+    events.push_back(e);
+  }
+  {
+    JournalEvent e = Event(JournalEventKind::kRestart, /*generation=*/1);
+    events.push_back(e);
+  }
+  return events;
+}
+
+void ExpectSameEvent(const JournalEvent& got, const JournalEvent& want) {
+  EXPECT_EQ(static_cast<int>(got.kind), static_cast<int>(want.kind));
+  EXPECT_EQ(got.generation, want.generation);
+  EXPECT_EQ(got.query_id, want.query_id);
+  EXPECT_EQ(got.segment, want.segment);
+  EXPECT_EQ(got.local, want.local);
+  EXPECT_EQ(got.device, want.device);
+  EXPECT_EQ(got.attempt, want.attempt);
+  EXPECT_EQ(got.bytes, want.bytes);
+  EXPECT_EQ(got.values, want.values);
+  ASSERT_EQ(got.segment_record.has_value(), want.segment_record.has_value());
+  if (want.segment_record.has_value()) {
+    EXPECT_EQ(got.segment_record->index, want.segment_record->index);
+    EXPECT_EQ(got.segment_record->m, want.segment_record->m);
+    EXPECT_EQ(got.segment_record->r, want.segment_record->r);
+    EXPECT_EQ(got.segment_record->row_counts,
+              want.segment_record->row_counts);
+    EXPECT_EQ(got.segment_record->phys, want.segment_record->phys);
+    EXPECT_EQ(got.segment_record->data_rows,
+              want.segment_record->data_rows);
+  }
+}
+
+std::string CommittedStream(const std::vector<JournalEvent>& events,
+                            uint64_t snapshot_crc = 0xFEEDull) {
+  std::ostringstream os;
+  QueryJournal journal(&os, snapshot_crc);
+  for (const JournalEvent& event : events) journal.Append(event);
+  journal.Commit();
+  return os.str();
+}
+
+TEST(QueryJournal, EveryEventKindRoundTrips) {
+  const std::vector<JournalEvent> events = AllKindsFixture();
+  const std::string bytes = CommittedStream(events, 0xABCDEFull);
+  const auto replay = LoadJournal(bytes);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_EQ(replay->version, kJournalFormatVersion);
+  EXPECT_EQ(replay->snapshot_crc, 0xABCDEFull);
+  EXPECT_FALSE(replay->torn_tail);
+  EXPECT_EQ(replay->valid_bytes, bytes.size());
+  ASSERT_EQ(replay->events.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    SCOPED_TRACE("event " + std::to_string(i));
+    ExpectSameEvent(replay->events[i], events[i]);
+  }
+}
+
+TEST(QueryJournal, GroupCommitIsAtomic) {
+  std::ostringstream os;
+  QueryJournal journal(&os, 1, /*group_commit_records=*/16);
+  const size_t header = os.str().size();
+  journal.Append(Event(JournalEventKind::kStageDone));
+  journal.Append(Event(JournalEventKind::kQueryBegin));
+  // Buffered, not durable: the stream still holds only the header.
+  EXPECT_EQ(os.str().size(), header);
+  EXPECT_EQ(journal.buffered_events(), 2u);
+  journal.Commit();
+  EXPECT_GT(os.str().size(), header);
+  const auto replay = LoadJournal(os.str());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->events.size(), 2u);
+}
+
+TEST(QueryJournal, DyingWithABufferedTailLosesOnlyTheTail) {
+  std::ostringstream os;
+  {
+    QueryJournal journal(&os, 1, /*group_commit_records=*/16);
+    journal.AppendCommitted(Event(JournalEventKind::kStageDone));
+    journal.Append(Event(JournalEventKind::kQueryBegin));
+    // Destructor deliberately does NOT commit: process-kill semantics.
+  }
+  const auto replay = LoadJournal(os.str());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay->torn_tail);
+  ASSERT_EQ(replay->events.size(), 1u);
+  EXPECT_EQ(static_cast<int>(replay->events[0].kind),
+            static_cast<int>(JournalEventKind::kStageDone));
+}
+
+TEST(QueryJournal, BatchAutoCommitsWhenFull) {
+  std::ostringstream os;
+  QueryJournal journal(&os, 1, /*group_commit_records=*/2);
+  journal.Append(Event(JournalEventKind::kStageDone));
+  journal.Append(Event(JournalEventKind::kQueryBegin));  // batch full
+  const auto replay = LoadJournal(os.str());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->events.size(), 2u);
+  EXPECT_GE(journal.commits(), 1u);
+}
+
+TEST(QueryJournal, TornTailRecoversLongestValidPrefix) {
+  const std::vector<JournalEvent> events = AllKindsFixture();
+  const std::string bytes = CommittedStream(events);
+  // Cut inside the last record.
+  const std::string torn = bytes.substr(0, bytes.size() - 3);
+  const auto replay = LoadJournal(torn);
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_TRUE(replay->torn_tail);
+  EXPECT_EQ(replay->events.size(), events.size() - 1);
+  EXPECT_LT(replay->valid_bytes, torn.size());
+}
+
+TEST(QueryJournal, EveryTruncationFailsCleanly) {
+  const std::string bytes = CommittedStream(AllKindsFixture());
+  const auto full = LoadJournal(bytes);
+  ASSERT_TRUE(full.ok());
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    SCOPED_TRACE("cut at " + std::to_string(cut));
+    const auto replay = LoadJournal(bytes.substr(0, cut));
+    if (cut < 16) {
+      // Inside the header: no valid journal at all.
+      EXPECT_FALSE(replay.ok());
+      continue;
+    }
+    // Past the header: always readable, events a prefix of the original.
+    ASSERT_TRUE(replay.ok()) << replay.status();
+    EXPECT_LE(replay->events.size(), full->events.size());
+    if (cut < bytes.size()) {
+      EXPECT_TRUE(replay->torn_tail || replay->events.size() <
+                                           full->events.size() ||
+                  replay->valid_bytes == cut);
+    }
+    for (size_t i = 0; i < replay->events.size(); ++i) {
+      ExpectSameEvent(replay->events[i], full->events[i]);
+    }
+  }
+}
+
+TEST(QueryJournal, EveryByteFlipFailsCleanly) {
+  const std::string bytes = CommittedStream(AllKindsFixture(), 0x5EEDull);
+  const auto full = LoadJournal(bytes);
+  ASSERT_TRUE(full.ok());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    SCOPED_TRACE("flip at " + std::to_string(i));
+    std::string flipped = bytes;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0xFF);
+    const auto replay = LoadJournal(flipped);
+    if (i < 8) {
+      // Magic or version damage: not a journal.
+      EXPECT_FALSE(replay.ok());
+    } else if (i < 16) {
+      // Snapshot-CRC damage: parses, but the binding check must catch it.
+      ASSERT_TRUE(replay.ok());
+      EXPECT_NE(replay->snapshot_crc, 0x5EEDull);
+    } else {
+      // Record damage: the longest valid prefix survives, the damaged
+      // record and everything after it is dropped — never garbage events.
+      ASSERT_TRUE(replay.ok()) << replay.status();
+      EXPECT_LT(replay->events.size(), full->events.size());
+      EXPECT_TRUE(replay->torn_tail);
+      for (size_t k = 0; k < replay->events.size(); ++k) {
+        ExpectSameEvent(replay->events[k], full->events[k]);
+      }
+    }
+  }
+}
+
+TEST(QueryJournal, RestartedStreamsConcatenateIntoOneJournal) {
+  std::ostringstream gen0;
+  {
+    QueryJournal journal(&gen0, 0x77ull);
+    journal.AppendCommitted(Event(JournalEventKind::kStageDone));
+    JournalEvent begin = Event(JournalEventKind::kQueryBegin);
+    begin.query_id = 0;
+    begin.values = {1.0};
+    journal.AppendCommitted(begin);
+    journal.Append(Event(JournalEventKind::kDispatch));  // lost with the kill
+  }
+  std::ostringstream gen1;
+  {
+    QueryJournal journal(&gen1, 0x77ull, 16, /*write_header=*/false);
+    journal.AppendCommitted(Event(JournalEventKind::kRestart, 1));
+  }
+  const auto replay = LoadJournal(gen0.str() + gen1.str());
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_FALSE(replay->torn_tail);
+  ASSERT_EQ(replay->events.size(), 3u);
+  EXPECT_EQ(static_cast<int>(replay->events[2].kind),
+            static_cast<int>(JournalEventKind::kRestart));
+  EXPECT_EQ(replay->events[2].generation, 1u);
+}
+
+TEST(BuildReplayState, FoldsCompletedInFlightAndStandings) {
+  std::vector<JournalEvent> events;
+  events.push_back(Event(JournalEventKind::kStageDone));
+  JournalEvent begin0 = Event(JournalEventKind::kQueryBegin);
+  begin0.query_id = 0;
+  begin0.values = {1.0, 2.0};
+  events.push_back(begin0);
+  JournalEvent result0 = Event(JournalEventKind::kQueryResult);
+  result0.query_id = 0;
+  result0.values = {5.0, 6.0, 7.0};
+  events.push_back(result0);
+  JournalEvent evict = Event(JournalEventKind::kEvict);
+  evict.device = 3;
+  evict.attempt = kEvictReasonTimeout;
+  events.push_back(evict);
+  JournalEvent quarantine = Event(JournalEventKind::kEvict);
+  quarantine.device = 5;
+  quarantine.attempt = kEvictReasonQuarantine;
+  events.push_back(quarantine);
+  JournalEvent begin1 = Event(JournalEventKind::kQueryBegin);
+  begin1.query_id = 1;
+  begin1.values = {3.0, 4.0};
+  events.push_back(begin1);
+  JournalEvent resp = Event(JournalEventKind::kResponse);
+  resp.query_id = 1;
+  resp.segment = 0;
+  resp.local = 2;
+  resp.values = {9.0};
+  events.push_back(resp);
+
+  const auto replay = LoadJournal(CommittedStream(events));
+  ASSERT_TRUE(replay.ok());
+  const auto state = BuildReplayState(*replay);
+  ASSERT_TRUE(state.ok()) << state.status();
+  ASSERT_EQ(state->completed.size(), 1u);
+  EXPECT_EQ(state->completed[0].first, 0u);
+  EXPECT_EQ(state->completed[0].second, std::vector<double>({5.0, 6.0, 7.0}));
+  EXPECT_TRUE(state->has_in_flight);
+  EXPECT_EQ(state->in_flight_id, 1u);
+  EXPECT_EQ(state->in_flight_x, std::vector<double>({3.0, 4.0}));
+  ASSERT_EQ(state->in_flight_responses.size(), 1u);
+  EXPECT_EQ(state->in_flight_responses.at(2), std::vector<double>({9.0}));
+  EXPECT_EQ(state->next_query_id, 2u);
+  EXPECT_EQ(state->evicted_devices, std::vector<size_t>({3}));
+  EXPECT_EQ(state->quarantined_devices, std::vector<size_t>({5}));
+}
+
+TEST(BuildReplayState, RejectsUnknownEvictReason) {
+  std::vector<JournalEvent> events;
+  JournalEvent evict = Event(JournalEventKind::kEvict);
+  evict.device = 1;
+  evict.attempt = 99;  // not a reason code
+  events.push_back(evict);
+  const auto replay = LoadJournal(CommittedStream(events));
+  ASSERT_TRUE(replay.ok());
+  const auto state = BuildReplayState(*replay);
+  EXPECT_FALSE(state.ok());
+  EXPECT_EQ(state.status().code(), ErrorCode::kDecodeFailure);
+}
+
+TEST(BuildReplayState, RejectsInconsistentSegmentRecord) {
+  std::vector<JournalEvent> events;
+  JournalEvent seg = Event(JournalEventKind::kSegmentAdded);
+  JournalSegmentRecord record;
+  record.index = 1;
+  record.m = 4;
+  record.r = 2;
+  record.row_counts = {3, 3, 3};  // sums to 9, not m + r = 6
+  record.phys = {0, 1, 2};
+  record.data_rows = {0, 1, 2, 3};
+  seg.segment_record = record;
+  events.push_back(seg);
+  const auto replay = LoadJournal(CommittedStream(events));
+  ASSERT_TRUE(replay.ok());
+  const auto state = BuildReplayState(*replay);
+  EXPECT_FALSE(state.ok());
+}
+
+TEST(BuildReplayState, DuplicateQueryBeginIsAResumptionMarker) {
+  std::vector<JournalEvent> events;
+  JournalEvent begin = Event(JournalEventKind::kQueryBegin);
+  begin.query_id = 0;
+  begin.values = {1.0};
+  events.push_back(begin);
+  events.push_back(Event(JournalEventKind::kRestart, 1));
+  JournalEvent again = begin;
+  again.generation = 1;
+  events.push_back(again);  // the restarted generation re-admits query 0
+  const auto replay = LoadJournal(CommittedStream(events));
+  ASSERT_TRUE(replay.ok());
+  const auto state = BuildReplayState(*replay);
+  ASSERT_TRUE(state.ok()) << state.status();
+  EXPECT_TRUE(state->has_in_flight);
+  EXPECT_EQ(state->in_flight_id, 0u);
+  EXPECT_EQ(state->last_generation, 1u);
+  EXPECT_EQ(state->next_query_id, 1u);
+}
+
+}  // namespace
+}  // namespace scec::recovery

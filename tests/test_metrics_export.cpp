@@ -212,7 +212,7 @@ TEST(FaultRecoveryMetricsExport, HedgeAndAdaptiveFieldsRoundTrip) {
   EXPECT_DOUBLE_EQ(std::stod(column("settled_completion_s")), 0.375);
   // Appended columns keep older CSV consumers' column indices valid: the
   // Byzantine/reputation block comes strictly AFTER the PR 2 settle time.
-  EXPECT_EQ(header.back(), "canaries_failed");
+  EXPECT_EQ(header.back(), "resumed_responses");
   auto index_of = [&](const std::string& name) {
     for (size_t i = 0; i < header.size(); ++i) {
       if (header[i] == name) return i;
@@ -272,6 +272,42 @@ TEST(FaultRecoveryMetricsExport, ByzantineAndReputationFieldsRoundTrip) {
   EXPECT_EQ(column("devices_readmitted"), "1");
   EXPECT_EQ(column("canaries_sent"), "5");
   EXPECT_EQ(column("canaries_failed"), "1");
+}
+
+TEST(FaultRecoveryMetricsExport, CrashRecoveryFieldsRoundTrip) {
+  FaultRecoveryMetrics metrics;
+  metrics.generation = 2;
+  metrics.journal_events = 37;
+  metrics.journal_commits = 9;
+  metrics.restored_segments = 3;
+  metrics.restored_evictions = 1;
+  metrics.resumed_responses = 5;
+
+  const std::string json = ToJson(metrics);
+  EXPECT_EQ(JsonUint(json, "generation"), 2u);
+  EXPECT_EQ(JsonUint(json, "journal_events"), 37u);
+  EXPECT_EQ(JsonUint(json, "journal_commits"), 9u);
+  EXPECT_EQ(JsonUint(json, "restored_segments"), 3u);
+  EXPECT_EQ(JsonUint(json, "restored_evictions"), 1u);
+  EXPECT_EQ(JsonUint(json, "resumed_responses"), 5u);
+
+  const std::vector<std::string> header =
+      SplitCsv(FaultRecoveryMetricsCsvHeader());
+  const std::vector<std::string> row = SplitCsv(ToCsvRow(metrics));
+  ASSERT_EQ(header.size(), row.size());
+  auto column = [&](const std::string& name) -> std::string {
+    for (size_t i = 0; i < header.size(); ++i) {
+      if (header[i] == name) return row[i];
+    }
+    ADD_FAILURE() << "column " << name << " missing";
+    return "";
+  };
+  EXPECT_EQ(column("generation"), "2");
+  EXPECT_EQ(column("journal_events"), "37");
+  EXPECT_EQ(column("journal_commits"), "9");
+  EXPECT_EQ(column("restored_segments"), "3");
+  EXPECT_EQ(column("restored_evictions"), "1");
+  EXPECT_EQ(column("resumed_responses"), "5");
 }
 
 TEST(RunMetricsExport, EmptyMetricsStillSerialise) {

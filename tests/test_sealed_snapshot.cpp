@@ -1,0 +1,180 @@
+// SPDX-License-Identifier: MIT
+//
+// Sealed deployment snapshots: exact round-trips (double and GF(2^61−1)),
+// wrong-key rejection, every-byte corruption and truncation sweeps, and the
+// machine-checked guarantee the whole feature exists for — not one coded
+// share value (data + ChaCha20 pad, the ITS secret) ever reaches the
+// durable bytes in plaintext.
+
+#include "recovery/sealed_snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "linalg/matrix_ops.h"
+#include "core/deployment_io.h"
+#include "workload/distributions.h"
+
+namespace scec::recovery {
+namespace {
+
+McscecProblem UniformProblem(size_t m, size_t l, size_t k, uint64_t seed) {
+  Xoshiro256StarStar rng(seed);
+  const auto costs =
+      SampleSortedCosts(CostDistribution::Uniform(5.0), k, rng);
+  return MakeAbstractProblem(m, l, costs);
+}
+
+template <typename T>
+Deployment<T> MakeDeployment(uint64_t seed) {
+  const McscecProblem problem = UniformProblem(15, 4, 7, seed);
+  ChaCha20Rng rng(seed);
+  const auto a = RandomMatrix<T>(problem.m, problem.l, rng);
+  auto deployment = Deploy(problem, a, rng);
+  EXPECT_TRUE(deployment.ok());
+  return *std::move(deployment);
+}
+
+constexpr uint64_t kKey = 0x1234ABCDull;
+constexpr uint64_t kSalt = 0x77ull;
+
+template <typename T>
+std::string Sealed(const Deployment<T>& deployment, uint64_t key = kKey,
+                   uint64_t salt = kSalt) {
+  std::ostringstream os;
+  EXPECT_TRUE(SaveSealedDeployment(deployment, key, salt, os).ok());
+  return os.str();
+}
+
+TEST(SealedSnapshot, DoubleRoundTripAnswersQueries) {
+  const McscecProblem problem = UniformProblem(12, 5, 6, 2);
+  ChaCha20Rng rng(2);
+  Xoshiro256StarStar drng(3);
+  const auto a = RandomMatrix<double>(problem.m, problem.l, drng);
+  const auto deployment = Deploy(problem, a, rng);
+  ASSERT_TRUE(deployment.ok());
+
+  std::istringstream is(Sealed(*deployment));
+  const auto loaded = LoadSealedDeploymentDouble(is, kKey);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->shares.size(), deployment->shares.size());
+  for (size_t d = 0; d < loaded->shares.size(); ++d) {
+    EXPECT_EQ(loaded->shares[d].coded_rows,
+              deployment->shares[d].coded_rows);
+  }
+  const auto x = RandomVector<double>(problem.l, drng);
+  const auto y = Query(*loaded, x);
+  const auto expected = MatVec(a, std::span<const double>(x));
+  EXPECT_LT(MaxAbsDiff(std::span<const double>(y),
+                       std::span<const double>(expected)),
+            1e-9);
+}
+
+TEST(SealedSnapshot, FieldRoundTrip) {
+  const auto original = MakeDeployment<Gf61>(4);
+  std::istringstream is(Sealed(original));
+  const auto loaded = LoadSealedDeploymentGf61(is, kKey);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->shares.size(), original.shares.size());
+  for (size_t d = 0; d < loaded->shares.size(); ++d) {
+    EXPECT_EQ(loaded->shares[d].coded_rows, original.shares[d].coded_rows);
+  }
+}
+
+TEST(SealedSnapshot, WrongKeyRejected) {
+  const std::string bytes = Sealed(MakeDeployment<double>(5));
+  std::istringstream is(bytes);
+  const auto loaded = LoadSealedDeploymentDouble(is, kKey ^ 1);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SealedSnapshot, DistinctSaltsNeverShareKeystream) {
+  const auto deployment = MakeDeployment<double>(6);
+  const std::string a = Sealed(deployment, kKey, /*salt=*/1);
+  const std::string b = Sealed(deployment, kKey, /*salt=*/2);
+  // Same plaintext, same key: any keystream overlap would leave equal
+  // sealed bytes. Beyond the header, the payloads must diverge.
+  ASSERT_EQ(a.size(), b.size());
+  size_t differing = 0;
+  for (size_t i = 16; i < a.size(); ++i) differing += (a[i] != b[i]);
+  EXPECT_GT(differing, a.size() / 4);
+}
+
+TEST(SealedSnapshot, EveryByteFlipRejected) {
+  const std::string bytes = Sealed(MakeDeployment<double>(7));
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    SCOPED_TRACE("flip at " + std::to_string(i));
+    std::string flipped = bytes;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0xFF);
+    std::istringstream is(flipped);
+    const auto loaded = LoadSealedDeploymentDouble(is, kKey);
+    EXPECT_FALSE(loaded.ok());
+  }
+}
+
+TEST(SealedSnapshot, EveryTruncationRejected) {
+  const std::string bytes = Sealed(MakeDeployment<double>(8));
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    SCOPED_TRACE("cut at " + std::to_string(cut));
+    std::istringstream is(bytes.substr(0, cut));
+    const auto loaded = LoadSealedDeploymentDouble(is, kKey);
+    EXPECT_FALSE(loaded.ok());
+  }
+}
+
+TEST(SealedSnapshot, FileHelpersRoundTrip) {
+  const auto original = MakeDeployment<double>(9);
+  const std::string path =
+      ::testing::TempDir() + "/scec_sealed_snapshot_test.bin";
+  ASSERT_TRUE(SaveSealedDeploymentToFile(original, kKey, kSalt, path).ok());
+  const auto loaded = LoadSealedDeploymentDoubleFromFile(path, kKey);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->shares.size(), original.shares.size());
+  EXPECT_FALSE(
+      LoadSealedDeploymentDoubleFromFile("/nonexistent/nope.bin", kKey).ok());
+
+  const auto gf = MakeDeployment<Gf61>(10);
+  const std::string gf_path =
+      ::testing::TempDir() + "/scec_sealed_snapshot_gf_test.bin";
+  ASSERT_TRUE(SaveSealedDeploymentToFile(gf, kKey, kSalt, gf_path).ok());
+  const auto gf_loaded = LoadSealedDeploymentGf61FromFile(gf_path, kKey);
+  ASSERT_TRUE(gf_loaded.ok()) << gf_loaded.status();
+  EXPECT_EQ(gf_loaded->shares.size(), gf.shares.size());
+}
+
+// The machine check behind the "pads never plaintext on disk" claim: every
+// coded share value's 8-byte little-endian image must be findable in the
+// PLAIN deployment_io bytes (sanity: the scan works) and findable NOWHERE
+// in the sealed bytes.
+TEST(SealedSnapshot, NoShareValueSurvivesInPlaintext) {
+  const auto deployment = MakeDeployment<double>(11);
+  std::stringstream plain_buf;
+  ASSERT_TRUE(SaveDeployment(deployment, plain_buf).ok());
+  const std::string plain = plain_buf.str();
+  const std::string sealed = Sealed(deployment);
+
+  size_t scanned = 0;
+  for (const auto& share : deployment.shares) {
+    const auto& rows = share.coded_rows;
+    for (size_t i = 0; i < rows.rows(); ++i) {
+      for (size_t j = 0; j < rows.cols(); ++j) {
+        char pattern[sizeof(double)];
+        std::memcpy(pattern, &rows(i, j), sizeof(double));
+        const std::string needle(pattern, sizeof(double));
+        EXPECT_NE(plain.find(needle), std::string::npos)
+            << "share value missing from the plain image — scan is broken";
+        EXPECT_EQ(sealed.find(needle), std::string::npos)
+            << "share value found in sealed bytes at device " << share.device
+            << " row " << i << " col " << j;
+        ++scanned;
+      }
+    }
+  }
+  EXPECT_GT(scanned, 0u);
+}
+
+}  // namespace
+}  // namespace scec::recovery
