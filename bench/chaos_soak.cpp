@@ -23,6 +23,7 @@
 
 #include "common/cli.h"
 #include "common/csv.h"
+#include "common/report.h"
 #include "common/stats.h"
 #include "common/string_util.h"
 #include "linalg/matrix_ops.h"
@@ -95,10 +96,9 @@ int Replay(const ChaosConfig& config, size_t index, ChaosSabotage sabotage,
             << "\n";
   if (sabotage != ChaosSabotage::kNone) {
     const bool caught = !episode.ok();
-    std::cout << (caught ? "  [PASS] " : "  [FAIL] ")
-              << "deliberately broken invariant "
-              << (caught ? "was caught" : "SLIPPED THROUGH") << "\n";
-    return caught ? 0 : 1;
+    return scec::CheckLine(
+        caught, std::string("deliberately broken invariant ") +
+                    (caught ? "was caught" : "SLIPPED THROUGH"));
   }
   return episode.ok() ? 0 : 1;
 }
@@ -462,7 +462,10 @@ int main(int argc, char** argv) {
   scec::CliParser cli("chaos_soak",
                       "seeded chaos soak over the fault-tolerant SCEC "
                       "runtime (composed faults x stragglers x lossy links "
-                      "x hedging), with invariant checks per episode");
+                      "x hedging x byzantine devices x kill/restart crash "
+                      "recovery), with invariant checks per episode; "
+                      "--crash-* flags drive the durable-coordinator soak "
+                      "and --byz-* the byzantine A/B arms");
   cli.AddInt("episodes", &episodes, "episodes to run");
   cli.AddInt("seed", &seed, "master seed (episode i derives from (seed, i))");
   cli.AddInt("queries", &queries, "queries per episode");
@@ -503,6 +506,28 @@ int main(int argc, char** argv) {
                 "write per-episode run+recovery metrics JSON lines here");
   scec::bench::AddTelemetryFlags(&cli, &telemetry);
   if (!cli.Parse(argc, argv)) return 1;
+
+  // Flag combinations that would otherwise be silently ignored are hard
+  // errors: a soak invocation that *looks* like it sabotaged an episode or
+  // recorded an A/B summary but actually did neither is worse than a typo.
+  if (!sabotage_name.empty() && replay < 0 && crash_replay < 0) {
+    std::cerr << "--sabotage requires --replay or --crash-replay\n";
+    return 1;
+  }
+  if (!crash_out.empty() && crash_trials <= 0) {
+    std::cerr << "--crash-out requires --crash-trials > 0\n";
+    return 1;
+  }
+  if (!byz_out.empty() && byz_trials <= 0) {
+    std::cerr << "--byz-out requires --byz-trials > 0\n";
+    return 1;
+  }
+  if (!crash_artifacts_dir.empty() && crash_episodes <= 0 &&
+      crash_replay < 0) {
+    std::cerr << "--crash-artifacts-dir requires --crash-episodes > 0 or "
+                 "--crash-replay\n";
+    return 1;
+  }
   scec::bench::StartTelemetry(telemetry);
 
   ChaosConfig config;
@@ -644,9 +669,9 @@ int main(int argc, char** argv) {
       std::cerr << fail_report;
     }
     ok = ok && crash_summary.ok();
-    std::cout << (crash_summary.ok() ? "  [PASS] " : "  [FAIL] ")
-              << "every kill/restart episode holds the nine invariants "
-                 "(exact decode, fresh pads, balanced journal ledger)\n";
+    scec::CheckLine(crash_summary.ok(),
+                    "every kill/restart episode holds the nine invariants "
+                    "(exact decode, fresh pads, balanced journal ledger)");
   }
 
   ok = WriteFile(fail_out, fail_report) && ok;
@@ -679,9 +704,9 @@ int main(int argc, char** argv) {
     std::cout << "  " << trials_json;
     ok = WriteFile(crash_out, trials_json) && ok;
     ok = ok && trials.ok;
-    std::cout << (trials.ok ? "  [PASS] " : "  [FAIL] ")
-              << "journaled queries decode exactly and every restart "
-                 "recovers the full committed history\n";
+    scec::CheckLine(trials.ok,
+                    "journaled queries decode exactly and every restart "
+                    "recovers the full committed history");
   }
 
   if (ab_trials > 0) {
@@ -733,9 +758,9 @@ int main(int argc, char** argv) {
               << scec::FormatDouble(extra_dispatch, 6)
               << ",\"hedge_staging_bytes\":" << ab.staging_extra_bytes << "}\n";
     ok = ok && ab.ok && p99_on < p99_off;
-    std::cout << (ab.ok && p99_on < p99_off ? "  [PASS] " : "  [FAIL] ")
-              << "hedging lowers p99 completion under exponential "
-                 "stragglers at bounded extra cost\n";
+    scec::CheckLine(ab.ok && p99_on < p99_off,
+                    "hedging lowers p99 completion under exponential "
+                    "stragglers at bounded extra cost");
   }
 
   if (byz_trials > 0) {
@@ -776,15 +801,16 @@ int main(int argc, char** argv) {
     std::cout << "  " << byz_json;
     ok = WriteFile(byz_out, byz_json) && ok;
     ok = ok && byz_ok;
-    std::cout << (byz_ok ? "  [PASS] " : "  [FAIL] ")
-              << "tolerance t masks <= t liars in a single round and bills "
-                 "the Eq. (1) surplus honestly\n";
+    scec::CheckLine(byz_ok,
+                    "tolerance t masks <= t liars in a single round and "
+                    "bills the Eq. (1) surplus honestly");
   }
 
   ok = scec::bench::ExportTelemetry(telemetry) && ok;
-  std::cout << (ok ? "  [PASS] " : "  [FAIL] ")
-            << "all episodes hold the chaos invariants (decode, ITS, ledger, "
-               "liveness, masking, quarantine, restart decode/security/"
-               "ledger)\n";
-  return ok ? 0 : 1;
+  return scec::CheckLine(
+             ok, "all episodes hold the chaos invariants (decode, ITS, "
+                 "ledger, liveness, masking, quarantine, restart "
+                 "decode/security/ledger)") == 0
+             ? 0
+             : 1;
 }

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/cli.h"
+#include "common/report.h"
 #include "common/string_util.h"
 #include "telemetry.h"
 #include "workload/experiment.h"
@@ -79,9 +80,9 @@ inline void EmitResult(const SweepResult& result, const FigFlags& flags) {
 }
 
 // Prints a reproduction-check line; returns 1 on failure for exit codes.
+// (Shared format lives in common/report.h so non-Fig harnesses agree.)
 inline int Check(bool ok, const std::string& claim) {
-  std::cout << (ok ? "  [PASS] " : "  [FAIL] ") << claim << "\n";
-  return ok ? 0 : 1;
+  return CheckLine(ok, claim);
 }
 
 // §V headline shared by all panels: MCSCEC within 0.5% of the lower bound.

@@ -1,0 +1,445 @@
+// SPDX-License-Identifier: MIT
+//
+// Open-loop load generator for the multi-tenant serving tier
+// (src/serve/coordinator.h): Poisson arrivals per tenant drive the
+// coordinator on a VIRTUAL decision clock while each coalesced panel is
+// executed for real and its wall-clock service time advances a virtual
+// single-server busy period. Two arms run the identical arrival trace:
+//
+//   single     max_batch = 1  — one ServeBatch panel per query (the
+//                               one-query-at-a-time baseline)
+//   coalesced  max_batch = B  — deadline-class batch coalescing
+//
+// Per arm the harness reports saturation throughput (flood drain: every
+// query queued at t=0, throughput = queries / wall drain time) and a
+// p99-vs-load curve over an arrival-rate sweep, into BENCH_pr7.json. The
+// PR-7 acceptance claim — coalesced panel serving sustains >= 2x the
+// saturation throughput of one-query-at-a-time at 8 tenants — is asserted
+// with --assert-speedup (full runs; CI smoke only checks qps > 0 and a
+// finite p99).
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/csv.h"
+#include "common/report.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "field/gf_prime.h"
+#include "serve/coordinator.h"
+#include "telemetry.h"
+#include "workload/distributions.h"
+
+namespace {
+
+using scec::Gf61;
+using scec::serve::DeadlineClass;
+using scec::serve::ServeCoordinator;
+using scec::serve::ServeOptions;
+
+struct LoadFlags {
+  int64_t tenants = 8;
+  int64_t m = 256;
+  int64_t l = 256;
+  int64_t k = 8;
+  int64_t max_batch = 32;
+  int64_t flood_queries = 1536;  // total, across tenants (saturation arm)
+  double duration_s = 2.0;       // virtual seconds per load point
+  std::string rates = "50,100,200,400";  // per-tenant arrival qps sweep
+  int64_t seed = 20190707;
+  int64_t threads = 0;
+  std::string out;  // JSON results path
+  bool assert_speedup = false;
+  scec::bench::TelemetryFlags telemetry;
+};
+
+struct Tenant {
+  scec::McscecProblem problem;
+  scec::Matrix<Gf61> a;
+};
+
+std::vector<Tenant> MakeTenants(const LoadFlags& flags) {
+  std::vector<Tenant> tenants(static_cast<size_t>(flags.tenants));
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    scec::Xoshiro256StarStar cost_rng(static_cast<uint64_t>(flags.seed) + t);
+    const auto costs = scec::SampleSortedCosts(
+        scec::CostDistribution::Uniform(5.0), static_cast<size_t>(flags.k),
+        cost_rng);
+    tenants[t].problem = scec::MakeAbstractProblem(
+        static_cast<size_t>(flags.m), static_cast<size_t>(flags.l), costs);
+    scec::ChaCha20Rng arng(static_cast<uint64_t>(flags.seed) * 31 + t);
+    tenants[t].a = scec::RandomMatrix<Gf61>(static_cast<size_t>(flags.m),
+                                            static_cast<size_t>(flags.l),
+                                            arng);
+  }
+  return tenants;
+}
+
+ServeCoordinator<Gf61>::DeployFn DeployFnFor(const std::vector<Tenant>& tenants,
+                                             uint64_t seed) {
+  return [&tenants, seed](uint64_t tenant) {
+    const Tenant& world = tenants[static_cast<size_t>(tenant)];
+    scec::ChaCha20Rng rng(seed ^ (0x5EC0DEull + tenant));
+    auto session =
+        scec::DeploymentSession<Gf61>::Open(world.problem, world.a, rng);
+    SCEC_CHECK(session.ok()) << session.status();
+    return std::move(*session);
+  };
+}
+
+struct Arrival {
+  double at_s = 0.0;
+  size_t tenant = 0;
+  DeadlineClass cls = DeadlineClass::kStandard;
+};
+
+// Merged Poisson arrival trace: exponential interarrivals per tenant at
+// `rate_qps`, classes drawn round-robin-ish per tenant, sorted by time.
+std::vector<Arrival> PoissonTrace(size_t tenants, double rate_qps,
+                                  double duration_s, uint64_t seed) {
+  std::vector<Arrival> trace;
+  for (size_t t = 0; t < tenants; ++t) {
+    scec::Xoshiro256StarStar rng(seed + 7919 * t);
+    double now = 0.0;
+    size_t i = 0;
+    while (true) {
+      now += -std::log(1.0 - rng.NextDouble(0.0, 1.0)) / rate_qps;
+      if (now >= duration_s) break;
+      Arrival a;
+      a.at_s = now;
+      a.tenant = t;
+      a.cls = static_cast<DeadlineClass>((t + i++) % 3);
+      trace.push_back(a);
+    }
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const Arrival& a, const Arrival& b) {
+              if (a.at_s != b.at_s) return a.at_s < b.at_s;
+              return a.tenant < b.tenant;
+            });
+  return trace;
+}
+
+struct RunStats {
+  size_t offered = 0;
+  size_t served = 0;
+  size_t rejected = 0;
+  double virtual_end_s = 0.0;
+  double busy_wall_s = 0.0;  // summed panel service wall time
+  scec::SampleStat latency;  // virtual sojourn incl. service
+  scec::SampleStat batch;    // panel widths
+};
+
+// Replays one arrival trace through a coordinator. Virtual single-server
+// model: the decision clock follows arrivals; batches due at or before an
+// arrival are pumped first, and each pump's measured wall service extends
+// a virtual busy period (`free_at`) so queueing delay under load is real.
+RunStats Replay(ServeCoordinator<Gf61>& coordinator,
+                const std::vector<Tenant>& tenants,
+                const std::vector<Arrival>& trace, uint64_t seed) {
+  RunStats stats;
+  stats.offered = trace.size();
+  scec::ChaCha20Rng xrng(seed ^ 0xF00Dull);
+  double free_at = 0.0;
+  double now = 0.0;
+
+  const auto pump = [&](double at, bool flush) {
+    at = std::max(at, now);
+    scec::Stopwatch wall;
+    const auto completions = coordinator.Pump(at, flush);
+    if (completions.empty()) {
+      now = std::max(now, at);
+      return;
+    }
+    const double service_s = wall.ElapsedSeconds();
+    stats.busy_wall_s += service_s;
+    // The panels finish after the busy period that starts now.
+    const double done_at = std::max(at, free_at) + service_s;
+    free_at = done_at;
+    now = std::max(now, at);
+    std::map<size_t, size_t> widths;
+    for (const auto& done : completions) {
+      stats.latency.Add(done_at - done.enqueue_s);
+      ++widths[done.batch_size];
+      ++stats.served;
+    }
+    for (const auto& [width, count] : widths) {
+      // One histogram sample per batch, not per query.
+      for (size_t i = 0; i < count / width; ++i) {
+        stats.batch.Add(static_cast<double>(width));
+      }
+    }
+  };
+
+  for (const Arrival& arrival : trace) {
+    // Close every batch that came due before this arrival. Pumping at
+    // t >= NextCloseDeadline() always closes at least the oldest due
+    // batch (the deadline and Form() evaluate the same timeout on the
+    // same estimator state), so this loop strictly drains.
+    while (coordinator.QueueDepth() > 0) {
+      const double next_close = coordinator.NextCloseDeadline();
+      if (next_close > arrival.at_s) break;
+      pump(std::max(next_close, free_at), /*flush=*/false);
+    }
+    now = std::max(now, arrival.at_s);
+    const Tenant& world = tenants[arrival.tenant];
+    const auto x = scec::RandomVector<Gf61>(world.problem.l, xrng);
+    const auto result = coordinator.Submit(
+        static_cast<uint64_t>(arrival.tenant), arrival.cls, x, arrival.at_s);
+    if (!result.admitted) ++stats.rejected;
+  }
+  while (coordinator.QueueDepth() > 0) {
+    pump(std::max(coordinator.NextCloseDeadline(), free_at), /*flush=*/true);
+  }
+  stats.virtual_end_s = std::max(free_at, now);
+  return stats;
+}
+
+ServeOptions ArmOptions(const LoadFlags& flags, size_t max_batch,
+                        scec::ThreadPool* pool,
+                        scec::obs::MetricsRegistry* metrics) {
+  ServeOptions options;
+  options.batching.max_batch = max_batch;
+  options.batching.per_tenant_queue_limit =
+      std::max<size_t>(4096, max_batch * 16);
+  options.pool = pool;
+  options.metrics = metrics;
+  return options;
+}
+
+struct CurvePoint {
+  double rate_qps = 0.0;
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  double mean_batch = 0.0;
+  size_t rejected = 0;
+};
+
+struct ArmResult {
+  std::string name;
+  double saturation_qps = 0.0;
+  double mean_flood_batch = 0.0;
+  std::vector<CurvePoint> curve;
+};
+
+std::string ToJson(const ArmResult& arm) {
+  std::string json = "{\"arm\":\"" + arm.name + "\",\"saturation_qps\":" +
+                     scec::FormatDouble(arm.saturation_qps, 1) +
+                     ",\"mean_flood_batch\":" +
+                     scec::FormatDouble(arm.mean_flood_batch, 2) +
+                     ",\"curve\":[";
+  for (size_t i = 0; i < arm.curve.size(); ++i) {
+    const CurvePoint& p = arm.curve[i];
+    json += std::string(i == 0 ? "" : ",") + "{\"rate_qps\":" +
+            scec::FormatDouble(p.rate_qps, 1) +
+            ",\"offered_qps\":" + scec::FormatDouble(p.offered_qps, 1) +
+            ",\"achieved_qps\":" + scec::FormatDouble(p.achieved_qps, 1) +
+            ",\"p50_s\":" + scec::FormatDouble(p.p50_s, 6) +
+            ",\"p99_s\":" + scec::FormatDouble(p.p99_s, 6) +
+            ",\"mean_batch\":" + scec::FormatDouble(p.mean_batch, 2) +
+            ",\"rejected\":" + std::to_string(p.rejected) + "}";
+  }
+  return json + "]}";
+}
+
+ArmResult RunArm(const std::string& name, size_t max_batch,
+                 const LoadFlags& flags, const std::vector<Tenant>& tenants,
+                 scec::ThreadPool* pool,
+                 const std::vector<double>& rate_sweep) {
+  ArmResult result;
+  result.name = name;
+  const uint64_t seed = static_cast<uint64_t>(flags.seed);
+
+  // Saturation: flood every query at t=0 and measure the wall drain time.
+  {
+    scec::obs::MetricsRegistry metrics;
+    ServeCoordinator<Gf61> coordinator(
+        tenants.size(), DeployFnFor(tenants, seed),
+        ArmOptions(flags, max_batch, pool, &metrics));
+    std::vector<Arrival> flood(static_cast<size_t>(flags.flood_queries));
+    for (size_t i = 0; i < flood.size(); ++i) {
+      flood[i].at_s = 0.0;
+      flood[i].tenant = i % tenants.size();
+      flood[i].cls = static_cast<DeadlineClass>(i % 3);
+    }
+    // Warm the deployment cache outside the timed drain (encode-once is
+    // amortized over millions of queries; the drain measures serving).
+    for (size_t t = 0; t < tenants.size(); ++t) {
+      scec::ChaCha20Rng warm_rng(seed ^ 0xAAu);
+      const auto x = scec::RandomVector<Gf61>(tenants[t].problem.l, warm_rng);
+      coordinator.Submit(static_cast<uint64_t>(t), DeadlineClass::kBulk, x,
+                         0.0);
+    }
+    coordinator.Pump(0.0, /*flush=*/true);
+
+    for (const Arrival& a : flood) {
+      scec::ChaCha20Rng xrng(seed ^ (a.tenant * 131 + 1));
+      const auto x = scec::RandomVector<Gf61>(tenants[a.tenant].problem.l,
+                                              xrng);
+      SCEC_CHECK(coordinator
+                     .Submit(static_cast<uint64_t>(a.tenant), a.cls, x, 0.0)
+                     .admitted);
+    }
+    scec::Stopwatch wall;
+    size_t served = 0;
+    scec::SampleStat widths;
+    while (coordinator.QueueDepth() > 0) {
+      const auto completions = coordinator.Pump(0.0, /*flush=*/true);
+      served += completions.size();
+      std::map<size_t, size_t> seen;
+      for (const auto& done : completions) ++seen[done.batch_size];
+      for (const auto& [width, count] : seen) {
+        for (size_t i = 0; i < count / width; ++i) {
+          widths.Add(static_cast<double>(width));
+        }
+      }
+    }
+    const double drain_s = wall.ElapsedSeconds();
+    SCEC_CHECK_GT(drain_s, 0.0);
+    result.saturation_qps = static_cast<double>(served) / drain_s;
+    result.mean_flood_batch = widths.count() == 0 ? 0.0 : widths.mean();
+  }
+
+  // p99-vs-load curve: open-loop Poisson arrivals per tenant.
+  for (const double rate : rate_sweep) {
+    scec::obs::MetricsRegistry metrics;
+    ServeCoordinator<Gf61> coordinator(
+        tenants.size(), DeployFnFor(tenants, seed),
+        ArmOptions(flags, max_batch, pool, &metrics));
+    const auto trace = PoissonTrace(tenants.size(), rate, flags.duration_s,
+                                    seed + static_cast<uint64_t>(rate));
+    const RunStats stats = Replay(coordinator, tenants, trace, seed);
+    CurvePoint point;
+    point.rate_qps = rate;
+    point.offered_qps = static_cast<double>(stats.offered) / flags.duration_s;
+    point.achieved_qps =
+        stats.virtual_end_s <= 0.0
+            ? 0.0
+            : static_cast<double>(stats.served) / stats.virtual_end_s;
+    if (stats.latency.count() > 0) {
+      point.p50_s = stats.latency.Percentile(50.0);
+      point.p99_s = stats.latency.Percentile(99.0);
+    }
+    point.mean_batch = stats.batch.count() == 0 ? 0.0 : stats.batch.mean();
+    point.rejected = stats.rejected;
+    result.curve.push_back(point);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadFlags flags;
+  scec::CliParser cli(
+      "load_serve",
+      "open-loop load generator for the multi-tenant serving tier: "
+      "deployment-cached session serving with deadline-class batch "
+      "coalescing vs one-query-at-a-time, sweeping tenants x arrival rate "
+      "for saturation throughput and p99-vs-load (BENCH_pr7.json)");
+  cli.AddInt("tenants", &flags.tenants, "number of tenants (deployments)");
+  cli.AddInt("m", &flags.m, "rows of each tenant's A");
+  cli.AddInt("l", &flags.l, "columns of each tenant's A");
+  cli.AddInt("k", &flags.k, "edge devices per tenant deployment");
+  cli.AddInt("max-batch", &flags.max_batch,
+             "panel width cap of the coalesced arm");
+  cli.AddInt("flood-queries", &flags.flood_queries,
+             "total queries in the saturation flood");
+  cli.AddDouble("duration", &flags.duration_s,
+                "virtual seconds per load point");
+  cli.AddString("rates", &flags.rates,
+                "comma-separated per-tenant arrival rates (qps)");
+  cli.AddInt("seed", &flags.seed, "base RNG seed");
+  cli.AddInt("threads", &flags.threads,
+             "panel pool threads (0 = hardware concurrency)");
+  cli.AddString("out", &flags.out, "write the JSON summary here");
+  cli.AddBool("assert-speedup", &flags.assert_speedup,
+              "fail unless coalesced saturation >= 2x single");
+  scec::bench::AddTelemetryFlags(&cli, &flags.telemetry);
+  if (!cli.Parse(argc, argv)) return 1;
+  scec::bench::StartTelemetry(flags.telemetry);
+
+  std::vector<double> rate_sweep;
+  for (const auto& token : scec::Split(flags.rates, ',')) {
+    rate_sweep.push_back(std::stod(token));
+  }
+  SCEC_CHECK(!rate_sweep.empty());
+
+  const auto tenants = MakeTenants(flags);
+  scec::ThreadPool pool(flags.threads > 0
+                            ? static_cast<size_t>(flags.threads)
+                            : scec::ThreadPool::DefaultThreads());
+
+  const ArmResult single =
+      RunArm("single", 1, flags, tenants, &pool, rate_sweep);
+  const ArmResult coalesced =
+      RunArm("coalesced", static_cast<size_t>(flags.max_batch), flags,
+             tenants, &pool, rate_sweep);
+  const double speedup = single.saturation_qps <= 0.0
+                             ? 0.0
+                             : coalesced.saturation_qps /
+                                   single.saturation_qps;
+
+  scec::TablePrinter table({"arm", "saturation qps", "mean batch", "rate",
+                            "achieved qps", "p50 ms", "p99 ms"});
+  for (const ArmResult* arm : {&single, &coalesced}) {
+    for (const CurvePoint& p : arm->curve) {
+      table.AddRow({arm->name, scec::FormatDouble(arm->saturation_qps, 0),
+                    scec::FormatDouble(arm->mean_flood_batch, 1),
+                    scec::FormatDouble(p.rate_qps, 0),
+                    scec::FormatDouble(p.achieved_qps, 0),
+                    scec::FormatDouble(p.p50_s * 1e3, 3),
+                    scec::FormatDouble(p.p99_s * 1e3, 3)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "  coalesced/single saturation speedup: "
+            << scec::FormatDouble(speedup, 2) << "x\n";
+
+  const std::string json =
+      "{\"bench\":\"load_serve\",\"tenants\":" + std::to_string(flags.tenants) +
+      ",\"m\":" + std::to_string(flags.m) + ",\"l\":" +
+      std::to_string(flags.l) + ",\"max_batch\":" +
+      std::to_string(flags.max_batch) + ",\"speedup\":" +
+      scec::FormatDouble(speedup, 3) + ",\"arms\":[" + ToJson(single) + "," +
+      ToJson(coalesced) + "]}\n";
+  std::cout << "  " << json;
+  if (!flags.out.empty()) {
+    std::ofstream out(flags.out);
+    if (!out) {
+      std::cerr << "cannot open " << flags.out << "\n";
+      return 1;
+    }
+    out << json;
+  }
+
+  int failures = 0;
+  failures += scec::CheckLine(
+      single.saturation_qps > 0.0 && coalesced.saturation_qps > 0.0,
+      "both arms drain the saturation flood (qps > 0)");
+  bool finite_p99 = true;
+  for (const ArmResult* arm : {&single, &coalesced}) {
+    for (const CurvePoint& p : arm->curve) {
+      finite_p99 = finite_p99 && std::isfinite(p.p99_s);
+    }
+  }
+  failures += scec::CheckLine(finite_p99, "p99 latency finite at every load");
+  if (flags.assert_speedup) {
+    failures += scec::CheckLine(
+        speedup >= 2.0,
+        "coalesced panel serving sustains >= 2x single-query saturation "
+        "throughput (" + scec::FormatDouble(speedup, 2) + "x)");
+  }
+  scec::bench::ExportTelemetry(flags.telemetry);
+  return failures == 0 ? 0 : 1;
+}

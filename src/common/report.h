@@ -1,0 +1,21 @@
+// SPDX-License-Identifier: MIT
+//
+// Shared PASS/FAIL reporting line for the bench harnesses: every harness
+// prints its paper-shape assertions in the same grep-able format so
+// `for b in build/bench/*; do $b; done` doubles as a reproduction check
+// (and CI greps for "[FAIL]"). Returns 0/1 so callers can sum failures
+// into their exit code.
+
+#pragma once
+
+#include <iostream>
+#include <string>
+
+namespace scec {
+
+inline int CheckLine(bool ok, const std::string& claim) {
+  std::cout << (ok ? "  [PASS] " : "  [FAIL] ") << claim << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace scec

@@ -71,6 +71,18 @@ void SampleStat::Add(double x) {
   running_.Add(x);
 }
 
+double SortedQuantile(std::span<const double> sorted, double q) {
+  SCEC_CHECK(!sorted.empty()) << "quantile of empty sample set";
+  SCEC_CHECK_GE(q, 0.0);
+  SCEC_CHECK_LE(q, 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
 double SampleStat::Percentile(double p) const {
   SCEC_CHECK(!samples_.empty()) << "Percentile of empty sample set";
   SCEC_CHECK_GE(p, 0.0);
@@ -79,12 +91,7 @@ double SampleStat::Percentile(double p) const {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
-  if (samples_.size() == 1) return samples_[0];
-  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-  const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, samples_.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  return SortedQuantile(samples_, p / 100.0);
 }
 
 Histogram::Histogram(double lo, double hi, size_t buckets)

@@ -9,10 +9,18 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace scec {
+
+// Linear-interpolated quantile (q in [0, 1]) over an ascending-sorted,
+// non-empty sample set: rank r = q*(n-1), result interpolates between
+// samples[floor(r)] and samples[ceil(r)]. This is THE quantile estimator of
+// the repo — SampleStat::Percentile and sim::LatencyEstimator::Quantile
+// both delegate here, so exact-percentile code paths agree bit-for-bit.
+double SortedQuantile(std::span<const double> sorted, double q);
 
 // Numerically stable running mean / variance (Welford). O(1) memory.
 class RunningStat {

@@ -62,6 +62,65 @@ void FillOffsets(const Deployment<T>& deployment,
   SCEC_CHECK_EQ(row, deployment.code.total_rows());
 }
 
+// The O(m) subtraction decode over one stacked response vector: data row p
+// is mixed row r+p minus the pad row it reuses (p mod r).
+template <typename T>
+void SubtractionDecodeInto(const StructuredCode& code, std::span<const T> y,
+                           std::span<T> ax) {
+  const size_t m = code.m();
+  const size_t r = code.r();
+  SCEC_CHECK_EQ(y.size(), code.total_rows());
+  SCEC_CHECK_EQ(ax.size(), m);
+  for (size_t p = 0; p < m; ++p) ax[p] = y[r + p] - y[p % r];
+}
+
+// Column-wise subtraction decode of a stacked (m+r)×b response panel.
+template <typename T>
+void SubtractionDecodePanel(const StructuredCode& code,
+                            const Matrix<T>& stacked, Matrix<T>& result) {
+  const size_t m = code.m();
+  const size_t r = code.r();
+  const size_t batch = stacked.cols();
+  SCEC_CHECK_EQ(stacked.rows(), code.total_rows());
+  SCEC_CHECK_EQ(result.rows(), m);
+  SCEC_CHECK_EQ(result.cols(), batch);
+  for (size_t p = 0; p < m; ++p) {
+    auto mixed = stacked.Row(r + p);
+    auto pad = stacked.Row(p % r);
+    auto out = result.Row(p);
+    for (size_t col = 0; col < batch; ++col) out[col] = mixed[col] - pad[col];
+  }
+}
+
+// Shared device fan-out of the panel product: each device's share times X
+// lands in its contiguous row block of `stacked` — disjoint slices, so the
+// loop is safe to parallelise and deterministic for every pool size.
+template <typename T>
+void ComputeStackedPanels(const Deployment<T>& deployment,
+                          const std::vector<size_t>& offsets,
+                          const Matrix<T>& x, Matrix<T>& stacked,
+                          ThreadPool* pool) {
+  const size_t batch = x.cols();
+  const size_t num_devices = deployment.shares.size();
+  std::span<T> sdata = stacked.Data();
+  auto compute_device = [&](size_t device) {
+    obs::SpanGuard span(
+        [&] { return "query_batch/device " + std::to_string(device); },
+        "pipeline");
+    const Matrix<T>& share = deployment.shares[device].coded_rows;
+    MatMulPanelSpan(share, x,
+                    sdata.subspan(offsets[device] * batch,
+                                  share.rows() * batch));
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && num_devices > 1) {
+    pool->ParallelFor(0, num_devices, compute_device, /*grain=*/1);
+  } else {
+    for (size_t device = 0; device < num_devices; ++device) {
+      compute_device(device);
+    }
+  }
+}
+
 }  // namespace
 
 template <typename T>
@@ -130,11 +189,10 @@ std::span<const T> QueryInto(const Deployment<T>& deployment,
     const Matrix<T>& share = deployment.shares[device].coded_rows;
     MatVecInto(share, x, y.subspan(ws.offsets[device], share.rows()));
   }
-  const size_t m = deployment.code.m();
-  const size_t r = deployment.code.r();
   {
     SCEC_TRACE_SPAN("query/decode", "pipeline");
-    for (size_t p = 0; p < m; ++p) ws.ax[p] = ws.y[r + p] - ws.y[p % r];
+    SubtractionDecodeInto(deployment.code, std::span<const T>(ws.y),
+                          std::span<T>(ws.ax));
   }
   const PipelineMetrics<T>& metrics = PipelineMetrics<T>::Get();
   metrics.queries.Increment();
@@ -191,7 +249,8 @@ std::vector<T> Query(const Deployment<T>& deployment,
 template <typename T>
 Result<std::vector<T>> QueryVerified(
     const Deployment<T>& deployment, const ResultVerifier<T>& verifier,
-    const std::vector<T>& x, const std::vector<std::vector<T>>& responses) {
+    const std::vector<T>& x,
+    const std::vector<std::vector<T>>& responses) {
   SCEC_CHECK_EQ(x.size(), deployment.l);
   SCEC_CHECK_EQ(responses.size(), deployment.shares.size());
   SCEC_CHECK_EQ(verifier.num_devices(), deployment.shares.size());
@@ -210,7 +269,8 @@ Result<std::vector<T>> QueryVerified(
 template <typename T>
 Result<Matrix<T>> QueryVerifiedBatch(
     const Deployment<T>& deployment, const ResultVerifier<T>& verifier,
-    const Matrix<T>& x, const std::vector<Matrix<T>>& response_panels) {
+    const Matrix<T>& x,
+    const std::vector<Matrix<T>>& response_panels) {
   SCEC_CHECK_EQ(x.rows(), deployment.l);
   SCEC_CHECK_EQ(response_panels.size(), deployment.shares.size());
   SCEC_CHECK_EQ(verifier.num_devices(), deployment.shares.size());
@@ -248,12 +308,7 @@ Result<Matrix<T>> QueryVerifiedBatch(
   }
   SCEC_CHECK_EQ(row, m + r);
   Matrix<T> result(m, batch);
-  for (size_t p = 0; p < m; ++p) {
-    auto mixed = stacked.Row(r + p);
-    auto pad = stacked.Row(p % r);
-    auto out = result.Row(p);
-    for (size_t col = 0; col < batch; ++col) out[col] = mixed[col] - pad[col];
-  }
+  SubtractionDecodePanel(deployment.code, stacked, result);
   return result;
 }
 
@@ -266,45 +321,19 @@ Matrix<T> QueryBatch(const Deployment<T>& deployment, const Matrix<T>& x,
   const size_t m = deployment.code.m();
   const size_t r = deployment.code.r();
   const size_t batch = x.cols();
-  const size_t num_devices = deployment.shares.size();
 
   // Devices: each computes its share times X ((V_j × l)·(l × b)) with the
-  // blocked panel kernel, writing straight into its contiguous row block of
-  // the stacked response matrix — disjoint slices, so the device loop is
-  // safe to fan out and deterministic for every pool size.
+  // blocked panel kernel.
   std::vector<size_t> offsets;
   FillOffsets(deployment, offsets);
   Matrix<T> stacked(m + r, batch);
-  std::span<T> sdata = stacked.Data();
-  auto compute_device = [&](size_t device) {
-    obs::SpanGuard span(
-        [&] { return "query_batch/device " + std::to_string(device); },
-        "pipeline");
-    const Matrix<T>& share = deployment.shares[device].coded_rows;
-    MatMulPanelSpan(share, x,
-                    sdata.subspan(offsets[device] * batch,
-                                  share.rows() * batch));
-  };
-  if (pool != nullptr && pool->num_threads() > 1 && num_devices > 1) {
-    pool->ParallelFor(0, num_devices, compute_device, /*grain=*/1);
-  } else {
-    for (size_t device = 0; device < num_devices; ++device) {
-      compute_device(device);
-    }
-  }
+  ComputeStackedPanels(deployment, offsets, x, stacked, pool);
 
   // User: column-wise subtraction decode.
   Matrix<T> result(m, batch);
   {
     SCEC_TRACE_SPAN("query_batch/decode", "pipeline");
-    for (size_t p = 0; p < m; ++p) {
-      auto mixed = stacked.Row(r + p);
-      auto pad = stacked.Row(p % r);
-      auto out = result.Row(p);
-      for (size_t col = 0; col < batch; ++col) {
-        out[col] = mixed[col] - pad[col];
-      }
-    }
+    SubtractionDecodePanel(deployment.code, stacked, result);
   }
   const PipelineMetrics<T>& metrics = PipelineMetrics<T>::Get();
   metrics.query_batches.Increment();
@@ -312,8 +341,121 @@ Matrix<T> QueryBatch(const Deployment<T>& deployment, const Matrix<T>& x,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Session layer
+// ---------------------------------------------------------------------------
+
+template <typename T>
+DeploymentSession<T>::DeploymentSession(Deployment<T> deployment)
+    : deployment_(std::move(deployment)) {
+  FillOffsets(deployment_, offsets_);
+}
+
+template <typename T>
+Result<DeploymentSession<T>> DeploymentSession<T>::Open(
+    const McscecProblem& problem, const Matrix<T>& a, ChaCha20Rng& rng,
+    SessionOptions options) {
+  SCEC_ASSIGN_OR_RETURN(
+      Deployment<T> deployment,
+      Deploy(problem, a, rng, options.algorithm, options.verify_security,
+             options.pool));
+  DeploymentSession session(std::move(deployment));
+  if (options.num_digests > 0) {
+    session.MakeVerifier(rng, options.num_digests);
+  }
+  return session;
+}
+
+template <typename T>
+DeploymentSession<T> DeploymentSession<T>::Adopt(Deployment<T> deployment) {
+  return DeploymentSession(std::move(deployment));
+}
+
+template <typename T>
+void DeploymentSession<T>::MakeVerifier(ChaCha20Rng& rng,
+                                        size_t num_digests) {
+  verifier_ =
+      ResultVerifier<T>::Create(deployment_.shares, rng, num_digests);
+}
+
+template <typename T>
+QuerySession<T> DeploymentSession<T>::OpenQuery() const {
+  return QuerySession<T>(this);
+}
+
+template <typename T>
+std::vector<T> DeploymentSession<T>::Serve(const std::vector<T>& x) const {
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  return Query(deployment_, x);
+}
+
+template <typename T>
+Matrix<T> DeploymentSession<T>::ServeBatch(const Matrix<T>& x,
+                                           ThreadPool* pool) const {
+  SCEC_CHECK_EQ(x.rows(), deployment_.l);
+  SCEC_TRACE_SPAN("serve_batch", "pipeline");
+  const Stopwatch stopwatch;
+  const size_t m = deployment_.code.m();
+  const size_t r = deployment_.code.r();
+  const size_t batch = x.cols();
+
+  // Same device fan-out + column decode as QueryBatch, but against the
+  // session's cached offsets — no per-call offset recomputation on the
+  // serving hot path.
+  Matrix<T> stacked(m + r, batch);
+  ComputeStackedPanels(deployment_, offsets_, x, stacked, pool);
+  Matrix<T> result(m, batch);
+  {
+    SCEC_TRACE_SPAN("serve_batch/decode", "pipeline");
+    SubtractionDecodePanel(deployment_.code, stacked, result);
+  }
+
+  queries_served_.fetch_add(batch, std::memory_order_relaxed);
+  batches_served_.fetch_add(1, std::memory_order_relaxed);
+  const PipelineMetrics<T>& metrics = PipelineMetrics<T>::Get();
+  metrics.query_batches.Increment();
+  metrics.query_batch_seconds.Observe(stopwatch.ElapsedSeconds());
+  return result;
+}
+
+template <typename T>
+Result<std::vector<T>> DeploymentSession<T>::ServeVerified(
+    const std::vector<T>& x,
+    const std::vector<std::vector<T>>& responses) const {
+  SCEC_CHECK(has_verifier()) << "ServeVerified without a session verifier";
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  return QueryVerified(deployment_, verifier_, x, responses);
+}
+
+template <typename T>
+Result<Matrix<T>> DeploymentSession<T>::ServeVerifiedBatch(
+    const Matrix<T>& x,
+    const std::vector<Matrix<T>>& response_panels) const {
+  SCEC_CHECK(has_verifier()) << "ServeVerifiedBatch without a session "
+                                "verifier";
+  queries_served_.fetch_add(x.cols(), std::memory_order_relaxed);
+  batches_served_.fetch_add(1, std::memory_order_relaxed);
+  return QueryVerifiedBatch(deployment_, verifier_, x, response_panels);
+}
+
+template <typename T>
+QuerySession<T>::QuerySession(const DeploymentSession<T>* session)
+    : session_(session) {
+  SCEC_CHECK(session != nullptr);
+  ws_ = MakeQueryWorkspace(session->deployment());
+}
+
+template <typename T>
+std::span<const T> QuerySession<T>::Serve(std::span<const T> x) {
+  ++served_;
+  session_->queries_served_.fetch_add(1, std::memory_order_relaxed);
+  return QueryInto(session_->deployment(), x, ws_);
+}
+
 // Explicit instantiations for the three scalar types the library serves.
 #define SCEC_INSTANTIATE_PIPELINE(T)                                         \
+  template class DeploymentSession<T>;                                       \
+  template class QuerySession<T>;                                            \
   template Result<Deployment<T>> Deploy<T>(const McscecProblem&,             \
                                            const Matrix<T>&, ChaCha20Rng&,   \
                                            TaAlgorithm, bool, ThreadPool*);  \

@@ -87,19 +87,19 @@ Result<std::unique_ptr<DurableCoordinator>> DurableCoordinator::Start(
 
   auto coordinator =
       std::unique_ptr<DurableCoordinator>(new DurableCoordinator());
-  coordinator->deployment_ = std::move(unsealed).value();
-  coordinator->generation_ = 0;
+  coordinator->session_.emplace(
+      DeploymentSession<double>::Adopt(std::move(unsealed).value()));
+  coordinator->session_->set_pad_generation(0);
   coordinator->journal_ = std::make_unique<QueryJournal>(
       journal_os, snapshot_crc, options.group_commit_records,
       /*write_header=*/true);
   if (options.crash_probe) {
     coordinator->journal_->set_crash_probe(options.crash_probe);
   }
-  options.ft.generation = 0;
+  coordinator->session_->AttachJournal(coordinator->journal_.get());
+  // The protocol adopts the session's pad generation and journal.
   coordinator->protocol_ = std::make_unique<sim::FaultTolerantScecProtocol>(
-      &coordinator->deployment_, a, std::move(fleet), options.sim,
-      options.ft);
-  coordinator->protocol_->AttachJournal(coordinator->journal_.get());
+      &*coordinator->session_, a, std::move(fleet), options.sim, options.ft);
   coordinator->protocol_->Stage();  // may throw CoordinatorCrash
   return coordinator;
 }
@@ -129,27 +129,29 @@ Result<std::unique_ptr<DurableCoordinator>> DurableCoordinator::Restart(
 
   auto coordinator =
       std::unique_ptr<DurableCoordinator>(new DurableCoordinator());
-  coordinator->deployment_ = std::move(unsealed).value();
-  coordinator->generation_ = state.last_generation + 1;
+  coordinator->session_.emplace(
+      DeploymentSession<double>::Adopt(std::move(unsealed).value()));
+  coordinator->session_->set_pad_generation(state.last_generation + 1);
   coordinator->journal_ = std::make_unique<QueryJournal>(
       journal_os, snapshot_crc, options.group_commit_records,
       /*write_header=*/false);
   if (options.crash_probe) {
     coordinator->journal_->set_crash_probe(options.crash_probe);
   }
+  coordinator->session_->AttachJournal(coordinator->journal_.get());
 
   // The incarnation marker goes in before anything else this generation
   // writes: a later replay needs it to attribute the records that follow.
   JournalEvent restart_event;
   restart_event.kind = JournalEventKind::kRestart;
-  restart_event.generation = coordinator->generation_;
+  restart_event.generation = coordinator->session_->pad_generation();
   coordinator->journal_->AppendCommitted(restart_event);
 
-  options.ft.generation = coordinator->generation_;
+  // The protocol adopts the session's pad generation (salting repair/hedge/
+  // guard pad seeds — restarts never replay an earlier incarnation's pads)
+  // and its journal attachment.
   coordinator->protocol_ = std::make_unique<sim::FaultTolerantScecProtocol>(
-      &coordinator->deployment_, a, std::move(fleet), options.sim,
-      options.ft);
-  coordinator->protocol_->AttachJournal(coordinator->journal_.get());
+      &*coordinator->session_, a, std::move(fleet), options.sim, options.ft);
   coordinator->protocol_->Stage();  // may throw CoordinatorCrash
   coordinator->protocol_->RestoreFromReplay(state);
   coordinator->replay_ = std::move(state);

@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -93,17 +94,25 @@ class DurableCoordinator {
   sim::FaultTolerantScecProtocol& protocol() { return *protocol_; }
   const sim::FaultTolerantScecProtocol& protocol() const { return *protocol_; }
   QueryJournal& journal() { return *journal_; }
-  uint32_t generation() const { return generation_; }
-  const Deployment<double>& deployment() const { return deployment_; }
+  uint32_t generation() const { return session_->pad_generation(); }
+  const Deployment<double>& deployment() const {
+    return session_->deployment();
+  }
+  // The unsealed working copy, held open as a session: pad generation ==
+  // coordinator incarnation, journal attached (core/pipeline.h).
+  const DeploymentSession<double>& session() const { return *session_; }
 
  private:
   DurableCoordinator() = default;
 
-  Deployment<double> deployment_;  // unsealed working copy (owned)
+  // Unsealed working copy of the snapshot, owned as a session. The session
+  // carries the incarnation number (pad_generation) and the journal
+  // attachment; the protocol is constructed FROM the session so both are
+  // adopted before staging.
+  std::optional<DeploymentSession<double>> session_;
   std::unique_ptr<QueryJournal> journal_;
   std::unique_ptr<sim::FaultTolerantScecProtocol> protocol_;
   ReplayState replay_;
-  uint32_t generation_ = 0;
 };
 
 }  // namespace scec::recovery

@@ -1,0 +1,124 @@
+// SPDX-License-Identifier: MIT
+
+#include "serve/batch_former.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace scec::serve {
+
+const char* BatchCloseReasonName(BatchCloseReason reason) {
+  switch (reason) {
+    case BatchCloseReason::kFull:
+      return "full";
+    case BatchCloseReason::kDeadline:
+      return "deadline";
+    case BatchCloseReason::kFlush:
+      return "flush";
+  }
+  return "unknown";
+}
+
+void BatchFormerOptions::Validate() const {
+  SCEC_CHECK_GT(max_batch, 0u);
+  SCEC_CHECK_GT(per_tenant_queue_limit, 0u);
+  SCEC_CHECK_GE(per_tenant_queue_limit, max_batch);
+  timeout.Validate();
+}
+
+BatchFormer::BatchFormer(size_t num_tenants, BatchFormerOptions options)
+    : options_(options), queues_(num_tenants) {
+  SCEC_CHECK_GT(num_tenants, 0u);
+  options_.Validate();
+}
+
+bool BatchFormer::Enqueue(const QueuedTicket& ticket) {
+  SCEC_CHECK_LT(ticket.tenant, queues_.size());
+  const size_t cls = static_cast<size_t>(ticket.cls);
+  SCEC_CHECK_LT(cls, kNumDeadlineClasses);
+  if (depth(ticket.tenant) >= options_.per_tenant_queue_limit) {
+    return false;
+  }
+  auto& fifo = queues_[ticket.tenant][cls];
+  if (!fifo.empty()) {
+    SCEC_CHECK_GE(ticket.enqueue_s, fifo.back().enqueue_s);
+  }
+  fifo.push_back(ticket);
+  ++depth_;
+  return true;
+}
+
+double BatchFormer::CloseTimeout(DeadlineClass cls) const {
+  return BatchCloseTimeout(cls, options_.timeout, serve_latency_);
+}
+
+std::vector<FormedBatch> BatchFormer::Form(double now_s, bool flush) {
+  std::vector<FormedBatch> formed;
+  const size_t n = queues_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const size_t tenant = (cursor_ + i) % n;
+    for (size_t c = 0; c < kNumDeadlineClasses; ++c) {
+      const DeadlineClass cls = static_cast<DeadlineClass>(c);
+      auto& fifo = queues_[tenant][c];
+      const double close_after = CloseTimeout(cls);
+      while (!fifo.empty()) {
+        BatchCloseReason reason;
+        if (fifo.size() >= options_.max_batch) {
+          reason = BatchCloseReason::kFull;
+        } else if (flush) {
+          reason = BatchCloseReason::kFlush;
+        } else if (now_s >= fifo.front().enqueue_s + close_after) {
+          // Same expression as NextCloseDeadline's due time, so pumping AT
+          // the advertised deadline always closes the batch (a - b >= T can
+          // round below T exactly when a == b + T).
+          reason = BatchCloseReason::kDeadline;
+        } else {
+          break;  // oldest query can still wait — keep coalescing
+        }
+        FormedBatch batch;
+        batch.tenant = tenant;
+        batch.cls = cls;
+        batch.reason = reason;
+        const size_t take = std::min(fifo.size(), options_.max_batch);
+        batch.tickets.reserve(take);
+        for (size_t k = 0; k < take; ++k) {
+          batch.tickets.push_back(fifo.front());
+          fifo.pop_front();
+        }
+        depth_ -= take;
+        formed.push_back(std::move(batch));
+      }
+    }
+  }
+  // Rotate the scan origin so every tenant periodically goes first.
+  cursor_ = n > 0 ? (cursor_ + 1) % n : 0;
+  return formed;
+}
+
+double BatchFormer::NextCloseDeadline() const {
+  double next = std::numeric_limits<double>::infinity();
+  for (const auto& per_tenant : queues_) {
+    for (size_t c = 0; c < kNumDeadlineClasses; ++c) {
+      const auto& fifo = per_tenant[c];
+      if (fifo.empty()) continue;
+      if (fifo.size() >= options_.max_batch) {
+        // A full batch is due immediately.
+        return -std::numeric_limits<double>::infinity();
+      }
+      const double due = fifo.front().enqueue_s +
+                         CloseTimeout(static_cast<DeadlineClass>(c));
+      next = std::min(next, due);
+    }
+  }
+  return next;
+}
+
+size_t BatchFormer::depth(size_t tenant) const {
+  SCEC_CHECK_LT(tenant, queues_.size());
+  size_t total = 0;
+  for (const auto& fifo : queues_[tenant]) total += fifo.size();
+  return total;
+}
+
+}  // namespace scec::serve

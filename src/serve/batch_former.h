@@ -1,0 +1,107 @@
+// SPDX-License-Identifier: MIT
+//
+// Deadline-class batch former for the serving tier: bounded per-(tenant,
+// class) FIFO queues plus the policy that coalesces queued queries into
+// panel batches for the PR-2 MatMulPanel kernels.
+//
+// The former works on ticket METADATA only (ticket id, tenant, class,
+// admission time) — never on query payloads and never on threads — so batch
+// formation is a pure deterministic function of the admission sequence and
+// the clock values passed in. Identical queue contents + options produce
+// bit-identical groupings regardless of SCEC_THREADS or pool size; only the
+// panel execution underneath fans out (tests/test_batch_former.cpp pins
+// this down).
+//
+// Policy (docs/SERVING.md):
+//   * a (tenant, class) batch closes FULL when max_batch queries are queued;
+//   * otherwise it closes on DEADLINE when its oldest query has waited
+//     BatchCloseTimeout(class) — a timeout sized from the class budget minus
+//     the observed panel service time (serve/deadline.h), fed back through
+//     ObserveServeSeconds();
+//   * Form() scans tenants round-robin from a rotating cursor, so a hot
+//     tenant cannot starve the others' due batches; within a tenant,
+//     latency-sensitive classes close first.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "serve/deadline.h"
+#include "sim/latency_estimator.h"
+
+namespace scec::serve {
+
+struct QueuedTicket {
+  uint64_t ticket = 0;
+  size_t tenant = 0;
+  DeadlineClass cls = DeadlineClass::kStandard;
+  double enqueue_s = 0.0;
+};
+
+enum class BatchCloseReason { kFull, kDeadline, kFlush };
+
+const char* BatchCloseReasonName(BatchCloseReason reason);
+
+struct FormedBatch {
+  size_t tenant = 0;
+  DeadlineClass cls = DeadlineClass::kStandard;
+  BatchCloseReason reason = BatchCloseReason::kFull;
+  std::vector<QueuedTicket> tickets;
+};
+
+struct BatchFormerOptions {
+  // Panel width cap — the b of the MatMulPanel call a batch becomes.
+  size_t max_batch = 32;
+  // Admission bound per tenant across its classes; Enqueue refuses beyond
+  // it (the caller surfaces the rejection).
+  size_t per_tenant_queue_limit = 256;
+  BatchTimeoutOptions timeout;
+
+  void Validate() const;
+};
+
+class BatchFormer {
+ public:
+  explicit BatchFormer(size_t num_tenants, BatchFormerOptions options = {});
+
+  // Admits one ticket into its (tenant, class) FIFO. Returns false — and
+  // queues nothing — when the tenant is at its queue limit. `enqueue_s`
+  // values must be non-decreasing per queue (they come from one clock).
+  bool Enqueue(const QueuedTicket& ticket);
+
+  // Closes every batch due at `now_s` (see policy above) and hands the
+  // groupings back in service order. With `flush` every queued ticket is
+  // drained regardless of deadlines (shutdown / end of open-loop run).
+  std::vector<FormedBatch> Form(double now_s, bool flush = false);
+
+  // Absolute time the earliest queued batch must close; +infinity when
+  // idle. Drives the caller's pump scheduling.
+  double NextCloseDeadline() const;
+
+  // Feeds one observed panel service duration into the estimator that
+  // sizes the deadline-class close timeouts.
+  void ObserveServeSeconds(double seconds) { serve_latency_.Observe(seconds); }
+
+  size_t depth() const { return depth_; }
+  size_t depth(size_t tenant) const;
+  size_t num_tenants() const { return queues_.size(); }
+  const sim::LatencyEstimator& serve_latency() const { return serve_latency_; }
+  const BatchFormerOptions& options() const { return options_; }
+
+ private:
+  double CloseTimeout(DeadlineClass cls) const;
+
+  BatchFormerOptions options_;
+  std::vector<std::array<std::deque<QueuedTicket>, kNumDeadlineClasses>>
+      queues_;  // [tenant][class]
+  sim::LatencyEstimator serve_latency_;
+  size_t cursor_ = 0;  // round-robin start tenant of the next Form()
+  size_t depth_ = 0;   // total queued tickets
+};
+
+}  // namespace scec::serve

@@ -1,0 +1,250 @@
+// SPDX-License-Identifier: MIT
+//
+// ServeCoordinator: the multi-tenant query-serving tier (docs/SERVING.md).
+//
+// Ties the serving pieces together over the session layer:
+//
+//   Submit(tenant, class, x)           admission: bounded per-tenant FIFO
+//        │                             (BatchFormer queues; rejects surface
+//        ▼                             as scec_serve_rejected_total)
+//   Pump(now)                          batch formation: deadline-class
+//        │                             coalescing (serve/batch_former.h)
+//        ▼
+//   DeploymentCache::Acquire(tenant)   encode-once reuse: LRU + Lease pin
+//        │                             (serve/deployment_cache.h)
+//        ▼
+//   session.ServeBatch(X, pool)        ONE MatMulPanel fan-out per batch on
+//        │                             the PR-2 thread pool; replica lane
+//        ▼                             picked by reputation (placement.h)
+//   Completions (per-query results)
+//
+// The coordinator separates the DECISION clock from the MEASUREMENT clock:
+// Submit/Pump take an external `now_s` (virtual in the load bench and the
+// determinism tests, wall in live use), while panel service time is always
+// measured on the wall clock and fed back to size batch-close timeouts.
+// With a fixed submission trace and virtual clock, every decision —
+// admission, grouping, placement — is bit-identical across SCEC_THREADS
+// (tests/test_serve_coordinator.cpp).
+//
+// Thread model: Submit and Pump are mutex-serialized against each other;
+// the parallelism lives INSIDE ServeBatch's panel fan-out, which is where
+// the arithmetic is. One coordinator per serving process is the intended
+// shape.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/pipeline.h"
+#include "obs/metrics.h"
+#include "serve/batch_former.h"
+#include "serve/deployment_cache.h"
+#include "serve/placement.h"
+
+namespace scec::serve {
+
+struct ServeOptions {
+  BatchFormerOptions batching;
+  DeploymentCacheOptions cache;
+  // Replica lanes batches are placed on (see placement.h). Lane choice is
+  // recorded per completion and in scec_serve_batches_total{replica=...}.
+  size_t num_replicas = 1;
+  // Optional reputation scores driving lane choice; not owned, may be null
+  // (plain round-robin placement).
+  const sim::ReputationTracker* reputation = nullptr;
+  // Pool for the panel fan-out; null uses ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
+  // Registry for scec_serve_* series; null uses the global registry.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+template <typename T>
+class ServeCoordinator {
+ public:
+  // Builds a tenant's DeploymentSession on a cache miss (encode + pads +
+  // plan). Invoked at most once per miss, under the cache lock.
+  using DeployFn = std::function<DeploymentSession<T>(uint64_t tenant)>;
+
+  struct SubmitResult {
+    bool admitted = false;
+    uint64_t ticket = 0;  // valid only when admitted
+  };
+
+  // One served query, handed back from Pump() in batch order.
+  struct Completion {
+    uint64_t ticket = 0;
+    uint64_t tenant = 0;
+    DeadlineClass cls = DeadlineClass::kStandard;
+    BatchCloseReason reason = BatchCloseReason::kFull;
+    size_t batch_size = 0;  // columns of the panel this query rode in
+    size_t replica = 0;     // lane the batch was placed on
+    double enqueue_s = 0.0;  // decision-clock admission time
+    double complete_s = 0.0;  // decision-clock time Pump() ran
+    std::vector<T> result;    // y = A x for this query's column
+  };
+
+  ServeCoordinator(size_t num_tenants, DeployFn deploy,
+                   ServeOptions options = {})
+      : options_(options),
+        deploy_(std::move(deploy)),
+        former_(num_tenants, options.batching),
+        cache_(WithMetrics(options.cache, options.metrics)),
+        placement_(options.reputation, options.num_replicas),
+        metrics_(options.metrics != nullptr ? *options.metrics
+                                            : obs::MetricsRegistry::Global()),
+        submitted_(metrics_.GetCounter("scec_serve_submitted_total")),
+        rejected_(metrics_.GetCounter("scec_serve_rejected_total")),
+        served_(metrics_.GetCounter("scec_serve_completed_total")),
+        queue_depth_(metrics_.GetGauge("scec_serve_queue_depth")),
+        batch_size_hist_(metrics_.GetHistogram(
+            "scec_serve_batch_size", {},
+            {1, 2, 4, 8, 16, 32, 64, 128, 256})),
+        queue_wait_hist_(metrics_.GetHistogram("scec_serve_queue_wait_seconds")),
+        service_hist_(metrics_.GetHistogram("scec_serve_panel_seconds")) {
+    SCEC_CHECK(deploy_ != nullptr);
+  }
+
+  // Admits one query for `tenant` under `cls`. `x` must have the tenant's
+  // l entries (checked when the batch executes). Returns admitted=false —
+  // dropping x — when the tenant's queue is at its admission limit.
+  SubmitResult Submit(uint64_t tenant, DeadlineClass cls, std::vector<T> x,
+                      double now_s) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    QueuedTicket ticket;
+    ticket.ticket = next_ticket_;
+    ticket.tenant = static_cast<size_t>(tenant);
+    ticket.cls = cls;
+    ticket.enqueue_s = now_s;
+    if (!former_.Enqueue(ticket)) {
+      rejected_.Increment();
+      return {false, 0};
+    }
+    ++next_ticket_;
+    payloads_.emplace(ticket.ticket, std::move(x));
+    submitted_.Increment();
+    queue_depth_.Set(static_cast<double>(former_.depth()));
+    return {true, ticket.ticket};
+  }
+
+  // Forms and executes every batch due at `now_s`; with `flush` drains all
+  // queues regardless of deadlines. Each batch becomes one ServeBatch panel
+  // call against the tenant's leased session.
+  std::vector<Completion> Pump(double now_s, bool flush = false) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Completion> completions;
+    for (FormedBatch& batch : former_.Form(now_s, flush)) {
+      ExecuteBatch(batch, now_s, &completions);
+    }
+    queue_depth_.Set(static_cast<double>(former_.depth()));
+    return completions;
+  }
+
+  // Decision-clock instant the next queued batch must close (+infinity when
+  // idle); callers pump at or before it.
+  double NextCloseDeadline() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return former_.NextCloseDeadline();
+  }
+
+  size_t QueueDepth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return former_.depth();
+  }
+
+  DeploymentCache<T>& cache() { return cache_; }
+  const DeploymentCache<T>& cache() const { return cache_; }
+  uint64_t submitted() const { return submitted_.value(); }
+  uint64_t rejected() const { return rejected_.value(); }
+  uint64_t completed() const { return served_.value(); }
+
+ private:
+  // The cache inherits the coordinator's registry unless the caller gave
+  // the cache its own (one scec_serve_* namespace per serving process).
+  static DeploymentCacheOptions WithMetrics(DeploymentCacheOptions cache,
+                                            obs::MetricsRegistry* metrics) {
+    if (cache.metrics == nullptr) cache.metrics = metrics;
+    return cache;
+  }
+
+  void ExecuteBatch(FormedBatch& batch, double now_s,
+                    std::vector<Completion>* completions) {
+    const size_t width = batch.tickets.size();
+    SCEC_CHECK_GT(width, 0u);
+    const uint64_t tenant = static_cast<uint64_t>(batch.tenant);
+    const size_t replica = placement_.Pick();
+
+    typename DeploymentCache<T>::Lease lease =
+        cache_.Acquire(tenant, [&] { return deploy_(tenant); });
+    const size_t l = lease->deployment().l;
+
+    // Assemble the panel: one column per queued query, admission order.
+    Matrix<T> x(l, width);
+    for (size_t c = 0; c < width; ++c) {
+      auto it = payloads_.find(batch.tickets[c].ticket);
+      SCEC_CHECK(it != payloads_.end());
+      SCEC_CHECK_EQ(it->second.size(), l);
+      for (size_t row = 0; row < l; ++row) x(row, c) = it->second[row];
+      payloads_.erase(it);
+    }
+
+    Stopwatch timer;  // measurement clock: real panel service time
+    const Matrix<T> y = lease.session().ServeBatch(x, options_.pool);
+    const double service_s = timer.ElapsedSeconds();
+    former_.ObserveServeSeconds(service_s);
+    service_hist_.Observe(service_s);
+    batch_size_hist_.Observe(static_cast<double>(width));
+    metrics_
+        .GetCounter("scec_serve_batches_total",
+                    {{"reason", BatchCloseReasonName(batch.reason)}})
+        .Increment();
+
+    const size_t m = y.rows();
+    for (size_t c = 0; c < width; ++c) {
+      Completion done;
+      done.ticket = batch.tickets[c].ticket;
+      done.tenant = tenant;
+      done.cls = batch.cls;
+      done.reason = batch.reason;
+      done.batch_size = width;
+      done.replica = replica;
+      done.enqueue_s = batch.tickets[c].enqueue_s;
+      done.complete_s = now_s;
+      done.result.resize(m);
+      for (size_t row = 0; row < m; ++row) done.result[row] = y(row, c);
+      queue_wait_hist_.Observe(now_s - done.enqueue_s);
+      served_.Increment();
+      completions->push_back(std::move(done));
+    }
+  }
+
+  ServeOptions options_;
+  DeployFn deploy_;
+
+  mutable std::mutex mutex_;  // serializes Submit/Pump decision state
+  BatchFormer former_;
+  DeploymentCache<T> cache_;
+  ReputationPlacement placement_;
+  std::unordered_map<uint64_t, std::vector<T>> payloads_;  // ticket -> x
+  uint64_t next_ticket_ = 1;
+
+  obs::MetricsRegistry& metrics_;
+  obs::Counter& submitted_;
+  obs::Counter& rejected_;
+  obs::Counter& served_;
+  obs::Gauge& queue_depth_;
+  obs::Histogram& batch_size_hist_;
+  obs::Histogram& queue_wait_hist_;
+  obs::Histogram& service_hist_;
+};
+
+}  // namespace scec::serve

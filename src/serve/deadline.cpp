@@ -1,0 +1,61 @@
+// SPDX-License-Identifier: MIT
+
+#include "serve/deadline.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace scec::serve {
+
+const char* DeadlineClassName(DeadlineClass cls) {
+  switch (cls) {
+    case DeadlineClass::kInteractive:
+      return "interactive";
+    case DeadlineClass::kStandard:
+      return "standard";
+    case DeadlineClass::kBulk:
+      return "bulk";
+  }
+  return "unknown";
+}
+
+double DeadlineBudgets::Budget(DeadlineClass cls) const {
+  switch (cls) {
+    case DeadlineClass::kInteractive:
+      return interactive_s;
+    case DeadlineClass::kStandard:
+      return standard_s;
+    case DeadlineClass::kBulk:
+      return bulk_s;
+  }
+  return standard_s;
+}
+
+void DeadlineBudgets::Validate() const {
+  SCEC_CHECK_GT(interactive_s, 0.0);
+  SCEC_CHECK_GT(standard_s, 0.0);
+  SCEC_CHECK_GT(bulk_s, 0.0);
+}
+
+void BatchTimeoutOptions::Validate() const {
+  budgets.Validate();
+  SCEC_CHECK_GE(service_quantile, 0.0);
+  SCEC_CHECK_LE(service_quantile, 1.0);
+  SCEC_CHECK_GT(service_margin, 0.0);
+  SCEC_CHECK_GT(min_close_s, 0.0);
+}
+
+double BatchCloseTimeout(DeadlineClass cls, const BatchTimeoutOptions& options,
+                         const sim::LatencyEstimator& serve_latency) {
+  const double budget = options.budgets.Budget(cls);
+  if (!serve_latency.HasEstimate()) {
+    // Cold start: split the budget evenly between coalescing and serving.
+    return std::max(options.min_close_s, budget * 0.5);
+  }
+  const double service =
+      options.service_margin * serve_latency.Quantile(options.service_quantile);
+  return std::max(options.min_close_s, budget - service);
+}
+
+}  // namespace scec::serve

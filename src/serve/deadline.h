@@ -1,0 +1,62 @@
+// SPDX-License-Identifier: MIT
+//
+// Deadline classes for the multi-tenant serving tier (docs/SERVING.md).
+//
+// Every submitted query names a class; the batch former coalesces queued
+// queries per (tenant, class) and sizes each class's batch-close timeout
+// from the class's completion budget minus the OBSERVED panel service time
+// (sim/latency_estimator.h — the same observe-then-adapt loop PR 4 uses for
+// device deadlines): when serving is fast there is slack to hold a batch
+// open and coalesce more columns into one MatMulPanel call; when serving
+// slows down, batches close earlier so the budget still holds.
+
+#pragma once
+
+#include <cstddef>
+
+#include "sim/latency_estimator.h"
+
+namespace scec::serve {
+
+// Ordered latency-sensitive first; used as array indices.
+enum class DeadlineClass : size_t {
+  kInteractive = 0,  // user-facing point lookups
+  kStandard = 1,     // default API traffic
+  kBulk = 2,         // analytics / offline scans
+};
+
+inline constexpr size_t kNumDeadlineClasses = 3;
+
+const char* DeadlineClassName(DeadlineClass cls);
+
+// Completion budget (seconds from admission) per class.
+struct DeadlineBudgets {
+  double interactive_s = 0.005;
+  double standard_s = 0.050;
+  double bulk_s = 0.500;
+
+  double Budget(DeadlineClass cls) const;
+  void Validate() const;
+};
+
+struct BatchTimeoutOptions {
+  DeadlineBudgets budgets;
+  // Headroom multiplier on the observed service-time quantile subtracted
+  // from the budget (the batch must still be SERVED within the budget after
+  // it closes).
+  double service_quantile = 0.99;
+  double service_margin = 1.5;
+  // Close-timeout floor: even a blown budget estimate keeps coalescing for
+  // at least this long (prevents degenerating to batch size 1 under noise).
+  double min_close_s = 1e-4;
+
+  void Validate() const;
+};
+
+// Seconds a (tenant, class) batch may stay open after its oldest query was
+// admitted. Cold start (no service estimate yet) falls back to half the
+// class budget.
+double BatchCloseTimeout(DeadlineClass cls, const BatchTimeoutOptions& options,
+                         const sim::LatencyEstimator& serve_latency);
+
+}  // namespace scec::serve

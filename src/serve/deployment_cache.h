@@ -1,0 +1,233 @@
+// SPDX-License-Identifier: MIT
+//
+// Refcounted LRU cache of DeploymentSession objects, one per tenant.
+//
+// The SCEC regime is encode-once / query-millions: deploying a tenant's A
+// (TA1/TA2 allocation, structured encode, pad generation) costs O(m*l*n)
+// while each query costs O(m*l), so the serving tier keeps hot deployments
+// resident and re-derives cold ones on demand. Acquire() returns a Lease —
+// an RAII pin that keeps the entry ineligible for eviction while any query
+// against it is in flight. Eviction only ever considers unpinned entries;
+// when every resident entry is pinned the cache overflows its capacity
+// rather than dropping a deployment out from under a live query
+// (tests/test_deployment_cache.cpp).
+//
+// Exported metrics (docs/OBSERVABILITY.md): scec_serve_cache_hits_total,
+// scec_serve_cache_misses_total, scec_serve_cache_evictions_total and the
+// scec_serve_cache_entries / scec_serve_cache_pinned gauges.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/check.h"
+#include "core/pipeline.h"
+#include "obs/metrics.h"
+
+namespace scec::serve {
+
+struct DeploymentCacheOptions {
+  // Resident deployments before LRU eviction kicks in (soft under pinning).
+  size_t capacity = 8;
+  // Registry for the scec_serve_cache_* series; defaults to the global one.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+template <typename T>
+class DeploymentCache {
+  struct Entry {
+    uint64_t tenant = 0;
+    DeploymentSession<T> session;
+    size_t pins = 0;       // outstanding leases; guarded by cache mutex
+    uint64_t last_use = 0;  // LRU tick of the most recent Acquire
+
+    Entry(uint64_t tenant_id, DeploymentSession<T> s)
+        : tenant(tenant_id), session(std::move(s)) {}
+  };
+
+ public:
+  // Builds the session for a tenant on a cache miss.
+  using Factory = std::function<DeploymentSession<T>()>;
+
+  // RAII pin on a cached deployment. The entry cannot be evicted while any
+  // Lease on it is alive; the shared_ptr additionally keeps the session
+  // storage valid even across a Clear().
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease(Lease&& other) noexcept
+        : cache_(std::exchange(other.cache_, nullptr)),
+          entry_(std::move(other.entry_)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        cache_ = std::exchange(other.cache_, nullptr);
+        entry_ = std::move(other.entry_);
+      }
+      return *this;
+    }
+    ~Lease() { Release(); }
+
+    explicit operator bool() const { return entry_ != nullptr; }
+    const DeploymentSession<T>& session() const {
+      SCEC_CHECK(entry_ != nullptr);
+      return entry_->session;
+    }
+    const DeploymentSession<T>* operator->() const { return &session(); }
+    uint64_t tenant() const {
+      SCEC_CHECK(entry_ != nullptr);
+      return entry_->tenant;
+    }
+
+   private:
+    friend class DeploymentCache;
+    Lease(DeploymentCache* cache, std::shared_ptr<Entry> entry)
+        : cache_(cache), entry_(std::move(entry)) {}
+
+    void Release() {
+      if (cache_ != nullptr && entry_ != nullptr) {
+        cache_->Unpin(entry_.get());
+      }
+      cache_ = nullptr;
+      entry_.reset();
+    }
+
+    DeploymentCache* cache_ = nullptr;
+    std::shared_ptr<Entry> entry_;
+  };
+
+  explicit DeploymentCache(DeploymentCacheOptions options = {})
+      : options_(options),
+        metrics_(options.metrics != nullptr ? *options.metrics
+                                            : obs::MetricsRegistry::Global()),
+        hits_(metrics_.GetCounter("scec_serve_cache_hits_total")),
+        misses_(metrics_.GetCounter("scec_serve_cache_misses_total")),
+        evictions_(metrics_.GetCounter("scec_serve_cache_evictions_total")),
+        entries_gauge_(metrics_.GetGauge("scec_serve_cache_entries")),
+        pinned_gauge_(metrics_.GetGauge("scec_serve_cache_pinned")) {
+    SCEC_CHECK_GT(options_.capacity, 0u);
+  }
+
+  DeploymentCache(const DeploymentCache&) = delete;
+  DeploymentCache& operator=(const DeploymentCache&) = delete;
+
+  // Returns a pinned lease on the tenant's deployment, invoking `factory`
+  // (outside any fast path but under the cache lock, deployments being
+  // rebuilt at most once per miss) when it is not resident. May evict the
+  // least-recently-used UNPINNED entry to make room.
+  Lease Acquire(uint64_t tenant, const Factory& factory) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(tenant);
+    if (it == entries_.end()) {
+      misses_.Increment();
+      it = entries_.emplace(tenant, std::make_shared<Entry>(tenant, factory()))
+               .first;
+    } else {
+      hits_.Increment();
+    }
+    std::shared_ptr<Entry> entry = it->second;
+    // Touch + pin BEFORE considering eviction, so a just-built entry can
+    // never be its own LRU victim.
+    entry->last_use = ++tick_;
+    ++entry->pins;
+    ++total_pins_;
+    EvictLocked();
+    PublishGaugesLocked();
+    return Lease(this, std::move(entry));
+  }
+
+  bool Contains(uint64_t tenant) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.count(tenant) != 0;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+  size_t capacity() const { return options_.capacity; }
+  size_t pinned() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_pins_;
+  }
+
+  uint64_t hits() const { return hits_.value(); }
+  uint64_t misses() const { return misses_.value(); }
+  uint64_t evictions() const { return evictions_.value(); }
+  double HitRate() const {
+    const uint64_t h = hits();
+    const uint64_t total = h + misses();
+    return total == 0 ? 0.0 : static_cast<double>(h) / total;
+  }
+
+  // Drops every unpinned entry (outstanding leases keep their sessions
+  // alive through the shared_ptr and release harmlessly afterwards).
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second->pins == 0) {
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    PublishGaugesLocked();
+  }
+
+ private:
+  void Unpin(Entry* entry) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SCEC_CHECK_GT(entry->pins, 0u);
+    --entry->pins;
+    --total_pins_;
+    EvictLocked();
+    PublishGaugesLocked();
+  }
+
+  // Evicts least-recently-used unpinned entries until the cache fits its
+  // capacity; stops early (overflowing) when only pinned entries remain.
+  void EvictLocked() {
+    while (entries_.size() > options_.capacity) {
+      auto victim = entries_.end();
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->second->pins != 0) continue;
+        if (victim == entries_.end() ||
+            it->second->last_use < victim->second->last_use) {
+          victim = it;
+        }
+      }
+      if (victim == entries_.end()) return;  // everything pinned: overflow
+      entries_.erase(victim);
+      evictions_.Increment();
+    }
+  }
+
+  void PublishGaugesLocked() {
+    entries_gauge_.Set(static_cast<double>(entries_.size()));
+    pinned_gauge_.Set(static_cast<double>(total_pins_));
+  }
+
+  DeploymentCacheOptions options_;
+  obs::MetricsRegistry& metrics_;
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& evictions_;
+  obs::Gauge& entries_gauge_;
+  obs::Gauge& pinned_gauge_;
+
+  mutable std::mutex mutex_;
+  std::map<uint64_t, std::shared_ptr<Entry>> entries_;
+  uint64_t tick_ = 0;
+  size_t total_pins_ = 0;
+};
+
+}  // namespace scec::serve

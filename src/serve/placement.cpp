@@ -1,0 +1,67 @@
+// SPDX-License-Identifier: MIT
+
+#include "serve/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace scec::serve {
+
+std::vector<size_t> PreferredDeviceOrder(
+    const sim::ReputationTracker& tracker) {
+  std::vector<size_t> order(tracker.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const bool ua = tracker.Usable(a);
+    const bool ub = tracker.Usable(b);
+    if (ua != ub) return ua;
+    const double sa = tracker.score(a);
+    const double sb = tracker.score(b);
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  return order;
+}
+
+ReputationPlacement::ReputationPlacement(const sim::ReputationTracker* tracker,
+                                         size_t num_replicas, double score_band)
+    : tracker_(tracker), num_replicas_(num_replicas), score_band_(score_band) {
+  SCEC_CHECK_GT(num_replicas, 0u);
+  SCEC_CHECK_GE(score_band, 0.0);
+  if (tracker_ != nullptr && tracker_->enabled()) {
+    SCEC_CHECK_GE(tracker_->size(), num_replicas);
+  }
+}
+
+size_t ReputationPlacement::Pick() {
+  if (tracker_ == nullptr || !tracker_->enabled()) {
+    const size_t lane = rr_ % num_replicas_;
+    ++rr_;
+    return lane;
+  }
+  // Collect usable lanes within `score_band` of the best usable score.
+  double best = -1.0;
+  for (size_t lane = 0; lane < num_replicas_; ++lane) {
+    if (tracker_->Usable(lane)) best = std::max(best, tracker_->score(lane));
+  }
+  if (best < 0.0) {
+    // Every lane quarantined: keep serving rather than stall (the tracker
+    // readmits via canaries; the serving tier must not deadlock on it).
+    const size_t lane = rr_ % num_replicas_;
+    ++rr_;
+    return lane;
+  }
+  std::vector<size_t> band;
+  for (size_t lane = 0; lane < num_replicas_; ++lane) {
+    if (tracker_->Usable(lane) && tracker_->score(lane) >= best - score_band_) {
+      band.push_back(lane);
+    }
+  }
+  const size_t lane = band[rr_ % band.size()];
+  ++rr_;
+  return lane;
+}
+
+}  // namespace scec::serve

@@ -1,0 +1,50 @@
+// SPDX-License-Identifier: MIT
+//
+// Reputation-driven replica placement for the serving tier.
+//
+// The serving coordinator executes each formed batch on one of R replica
+// lanes (each lane standing in for a replicated edge device group holding
+// the tenant's shares). PR 5's ReputationTracker already scores devices
+// from digest-verified / timed-out / corrupt responses; here those scores
+// become the placement signal: batches go to usable lanes in descending
+// score order, rotating among ties so healthy replicas share load, and
+// quarantined lanes receive nothing until readmitted.
+//
+// Both helpers are pure functions of tracker state — no RNG, no clock — so
+// placement sequences are reproducible (same property the chaos harness
+// relies on for the tracker itself).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/reputation.h"
+
+namespace scec::serve {
+
+// Devices ranked for dispatch preference: usable before quarantined, then
+// by descending score, index ascending as the deterministic tie-break.
+std::vector<size_t> PreferredDeviceOrder(const sim::ReputationTracker& tracker);
+
+// Stateful picker over `num_replicas` lanes scored by an optional tracker.
+// Pick() returns the lane for the next batch: the highest-scored usable
+// lane, rotating round-robin among lanes within `score_band` of the best so
+// one pristine replica does not absorb every batch. With no tracker (or all
+// lanes quarantined) it degrades to plain round-robin.
+class ReputationPlacement {
+ public:
+  ReputationPlacement(const sim::ReputationTracker* tracker,
+                      size_t num_replicas, double score_band = 0.1);
+
+  size_t Pick();
+  size_t num_replicas() const { return num_replicas_; }
+
+ private:
+  const sim::ReputationTracker* tracker_;  // may be null; not owned
+  size_t num_replicas_;
+  double score_band_;
+  size_t rr_ = 0;  // rotation cursor within the top score band
+};
+
+}  // namespace scec::serve

@@ -95,7 +95,9 @@ struct ChaosScenario {
   Matrix<double> a;
   std::vector<double> x;
   std::vector<double> expected;
-  Deployment<double> deployment;
+  // The episode's tenant session (core/pipeline.h): owns the deployment;
+  // plain and crash episodes build their protocol / coordinator from it.
+  std::optional<DeploymentSession<double>> session;
   FaultSchedule faults;
   SimOptions options;
   FaultToleranceOptions ft;
@@ -128,16 +130,20 @@ bool DeriveScenario(const ChaosConfig& config, const ChaosMix& mix,
       MatVec(scenario->a, std::span<const double>(scenario->x));
 
   ChaCha20Rng coding_rng(episode->seed ^ 0xC0D1A6ull);
-  auto deployment = Deploy(problem, scenario->a, coding_rng);
-  if (!deployment.ok()) {
-    episode->outcome = deployment.status().ToString();
+  // Session Open with default options draws the exact rng stream of the
+  // free Deploy() call it replaced, so every historical soak seed still
+  // derives the bit-identical deployment.
+  auto session =
+      DeploymentSession<double>::Open(problem, scenario->a, coding_rng);
+  if (!session.ok()) {
+    episode->outcome = session.status().ToString();
     episode->invariants.liveness = false;
     episode->failure = "liveness: deployment failed: " + episode->outcome;
     return false;
   }
-  scenario->deployment = std::move(deployment).value();
+  scenario->session.emplace(std::move(session).value());
   const std::vector<size_t>& participating =
-      scenario->deployment.plan.participating;
+      scenario->session->plan().participating;
 
   // Scripted fault schedule over participating devices, capped so the
   // script alone cannot push the fleet below k = 2. Byzantine mixes cap
@@ -406,7 +412,7 @@ ChaosEpisode RunChaosEpisode(const ChaosConfig& config, size_t index,
     return episode;
   }
 
-  FaultTolerantScecProtocol protocol(&scenario.deployment, &scenario.a,
+  FaultTolerantScecProtocol protocol(&*scenario.session, &scenario.a,
                                      scenario.problem.fleet.devices(),
                                      scenario.options, scenario.ft);
   protocol.Stage();
@@ -565,8 +571,8 @@ ChaosEpisode RunCrashEpisode(const ChaosConfig& config, size_t index,
 
   try {
     auto started = recovery::DurableCoordinator::Start(
-        scenario.deployment, &scenario.a, scenario.problem.fleet.devices(),
-        &snapshot, &journal_gen0, copts);
+        scenario.session->deployment(), &scenario.a,
+        scenario.problem.fleet.devices(), &snapshot, &journal_gen0, copts);
     if (!started.ok()) {
       episode.outcome = started.status().ToString();
       episode.invariants.liveness = false;

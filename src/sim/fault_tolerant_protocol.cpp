@@ -117,6 +117,38 @@ std::vector<std::pair<size_t, size_t>> HolderMap(const LcecScheme& scheme) {
 
 }  // namespace
 
+namespace {
+
+// Helpers for the session-based constructor: both dereference through a
+// checked pointer so a null session fails loudly whichever argument the
+// compiler evaluates first.
+const Deployment<double>* SessionDeployment(
+    const DeploymentSession<double>* session) {
+  SCEC_CHECK(session != nullptr);
+  return &session->deployment();
+}
+
+FaultToleranceOptions WithSessionGeneration(
+    FaultToleranceOptions ft, const DeploymentSession<double>* session) {
+  SCEC_CHECK(session != nullptr);
+  ft.generation = session->pad_generation();
+  return ft;
+}
+
+}  // namespace
+
+FaultTolerantScecProtocol::FaultTolerantScecProtocol(
+    const DeploymentSession<double>* session, const Matrix<double>* a,
+    std::vector<EdgeDevice> fleet_specs, SimOptions options,
+    FaultToleranceOptions ft_options)
+    : FaultTolerantScecProtocol(SessionDeployment(session), a,
+                                std::move(fleet_specs), options,
+                                WithSessionGeneration(ft_options, session)) {
+  if (session->journal() != nullptr) {
+    AttachJournal(session->journal());
+  }
+}
+
 FaultTolerantScecProtocol::FaultTolerantScecProtocol(
     const Deployment<double>* deployment, const Matrix<double>* a,
     std::vector<EdgeDevice> fleet_specs, SimOptions options,

@@ -181,6 +181,18 @@ class FaultTolerantScecProtocol {
                             SimOptions options,
                             FaultToleranceOptions ft_options = {});
 
+  // Session-based construction (core/pipeline.h session layer): serves the
+  // session's deployment, adopts its pad generation (overriding
+  // ft_options.generation, so a restarted session never replays an earlier
+  // incarnation's repair/hedge/guard pad streams), and attaches its journal
+  // if one is attached to the session. The session must outlive the
+  // protocol.
+  FaultTolerantScecProtocol(const DeploymentSession<double>* session,
+                            const Matrix<double>* a,
+                            std::vector<EdgeDevice> fleet_specs,
+                            SimOptions options,
+                            FaultToleranceOptions ft_options = {});
+
   // Phase 1 for the base segment. Runs the event queue to completion.
   void Stage();
 

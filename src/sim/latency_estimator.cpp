@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "common/stats.h"
+
 namespace scec::sim {
 
 LatencyEstimator::LatencyEstimator(LatencyEstimatorOptions options)
@@ -39,12 +41,7 @@ double LatencyEstimator::Quantile(double q) const {
   SCEC_CHECK_LE(q, 1.0);
   scratch_ = window_;
   std::sort(scratch_.begin(), scratch_.end());
-  if (scratch_.size() == 1) return scratch_[0];
-  const double rank = q * static_cast<double>(scratch_.size() - 1);
-  const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, scratch_.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return scratch_[lo] * (1.0 - frac) + scratch_[hi] * frac;
+  return SortedQuantile(scratch_, q);
 }
 
 }  // namespace scec::sim

@@ -1,0 +1,140 @@
+// SPDX-License-Identifier: MIT
+//
+// Deployment-cache tests: LRU keeps hot tenants resident, leases pin
+// entries against eviction (the ISSUE acceptance property: eviction never
+// drops a deployment with in-flight queries), and the scec_serve_cache_*
+// series track hits/misses/evictions.
+
+#include "serve/deployment_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "workload/distributions.h"
+
+namespace scec::serve {
+namespace {
+
+DeploymentSession<double> MakeSession(uint64_t tenant) {
+  Xoshiro256StarStar cost_rng(100 + tenant);
+  const auto costs =
+      SampleSortedCosts(CostDistribution::Uniform(5.0), 6, cost_rng);
+  const McscecProblem problem = MakeAbstractProblem(12, 5, costs);
+  ChaCha20Rng rng(200 + tenant);
+  const auto a = RandomMatrix<double>(12, 5, rng);
+  auto session = DeploymentSession<double>::Open(problem, a, rng);
+  SCEC_CHECK(session.ok()) << session.status();
+  return std::move(*session);
+}
+
+struct CacheFixture {
+  obs::MetricsRegistry metrics;
+  size_t factory_calls = 0;
+
+  DeploymentCache<double> MakeCache(size_t capacity) {
+    DeploymentCacheOptions options;
+    options.capacity = capacity;
+    options.metrics = &metrics;
+    return DeploymentCache<double>(options);
+  }
+
+  DeploymentCache<double>::Factory FactoryFor(uint64_t tenant) {
+    return [this, tenant] {
+      ++factory_calls;
+      return MakeSession(tenant);
+    };
+  }
+};
+
+TEST(DeploymentCache, HitsReuseTheDeployedSession) {
+  CacheFixture fx;
+  auto cache = fx.MakeCache(4);
+  const DeploymentSession<double>* first = nullptr;
+  for (int i = 0; i < 5; ++i) {
+    auto lease = cache.Acquire(7, fx.FactoryFor(7));
+    ASSERT_TRUE(lease);
+    const DeploymentSession<double>* p = &lease.session();
+    if (first == nullptr) {
+      first = p;
+    } else {
+      EXPECT_EQ(p, first) << "hit rebuilt the session";
+    }
+  }
+  EXPECT_EQ(fx.factory_calls, 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 4u);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.8);
+}
+
+TEST(DeploymentCache, EvictsLeastRecentlyUsedUnpinned) {
+  CacheFixture fx;
+  auto cache = fx.MakeCache(2);
+  { auto l = cache.Acquire(1, fx.FactoryFor(1)); }
+  { auto l = cache.Acquire(2, fx.FactoryFor(2)); }
+  { auto l = cache.Acquire(1, fx.FactoryFor(1)); }  // touch 1: 2 is now LRU
+  { auto l = cache.Acquire(3, fx.FactoryFor(3)); }  // evicts 2
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(DeploymentCache, PinnedEntriesSurviveEvictionPressure) {
+  CacheFixture fx;
+  auto cache = fx.MakeCache(2);
+  auto pinned_a = cache.Acquire(1, fx.FactoryFor(1));
+  auto pinned_b = cache.Acquire(2, fx.FactoryFor(2));
+  // Every resident entry is pinned: the cache must overflow rather than
+  // drop a deployment with in-flight queries.
+  for (uint64_t tenant = 3; tenant <= 6; ++tenant) {
+    auto extra = cache.Acquire(tenant, fx.FactoryFor(tenant));
+    EXPECT_TRUE(cache.Contains(1));
+    EXPECT_TRUE(cache.Contains(2));
+  }
+  EXPECT_GE(cache.size(), 2u);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+
+  // The pinned sessions stay fully servable under pressure.
+  ChaCha20Rng xrng(9);
+  const auto x = RandomVector<double>(pinned_a->deployment().l, xrng);
+  EXPECT_EQ(pinned_a->Serve(x).size(), pinned_a->deployment().code.m());
+
+  // Releasing the pins makes the overflow collapse back to capacity.
+  { auto moved = std::move(pinned_a); }
+  { auto moved = std::move(pinned_b); }
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+TEST(DeploymentCache, ClearSparesPinnedEntries) {
+  CacheFixture fx;
+  auto cache = fx.MakeCache(4);
+  auto pinned = cache.Acquire(1, fx.FactoryFor(1));
+  { auto l = cache.Acquire(2, fx.FactoryFor(2)); }
+  cache.Clear();
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_EQ(pinned.tenant(), 1u);
+}
+
+TEST(DeploymentCache, ExportsServeCacheMetrics) {
+  CacheFixture fx;
+  auto cache = fx.MakeCache(1);
+  { auto l = cache.Acquire(1, fx.FactoryFor(1)); }
+  { auto l = cache.Acquire(2, fx.FactoryFor(2)); }  // evicts 1
+  { auto l = cache.Acquire(2, fx.FactoryFor(2)); }  // hit
+  EXPECT_EQ(fx.metrics.GetCounter("scec_serve_cache_hits_total").value(), 1u);
+  EXPECT_EQ(fx.metrics.GetCounter("scec_serve_cache_misses_total").value(),
+            2u);
+  EXPECT_EQ(fx.metrics.GetCounter("scec_serve_cache_evictions_total").value(),
+            1u);
+  EXPECT_DOUBLE_EQ(fx.metrics.GetGauge("scec_serve_cache_entries").value(),
+                   1.0);
+  EXPECT_DOUBLE_EQ(fx.metrics.GetGauge("scec_serve_cache_pinned").value(),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace scec::serve

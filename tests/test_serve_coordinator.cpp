@@ -1,0 +1,213 @@
+// SPDX-License-Identifier: MIT
+//
+// Serving-tier end-to-end tests: coalesced panel answers are bit-identical
+// to the per-query scalar path for every thread count, admission bounds
+// reject (not drop) overload, completions honor the virtual decision clock,
+// and reputation scores steer replica placement.
+
+#include "serve/coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/distributions.h"
+
+namespace scec::serve {
+namespace {
+
+struct World {
+  McscecProblem problem;
+  Matrix<double> a;
+
+  explicit World(uint64_t tenant) {
+    Xoshiro256StarStar cost_rng(300 + tenant);
+    const auto costs =
+        SampleSortedCosts(CostDistribution::Uniform(5.0), 6, cost_rng);
+    problem = MakeAbstractProblem(16, 6, costs);
+    ChaCha20Rng rng(400 + tenant);
+    a = RandomMatrix<double>(16, 6, rng);
+  }
+
+  DeploymentSession<double> Deploy() const {
+    ChaCha20Rng rng(500);
+    auto session = DeploymentSession<double>::Open(problem, a, rng);
+    SCEC_CHECK(session.ok()) << session.status();
+    return std::move(*session);
+  }
+};
+
+ServeCoordinator<double>::DeployFn DeployFnFor(
+    const std::map<uint64_t, World>& worlds) {
+  return [&worlds](uint64_t tenant) {
+    return worlds.at(tenant).Deploy();
+  };
+}
+
+std::vector<double> Column(const Matrix<double>& a, size_t l, uint64_t seed) {
+  ChaCha20Rng rng(seed);
+  return RandomVector<double>(l, rng);
+}
+
+TEST(ServeCoordinator, CoalescedAnswersBitIdenticalToPerQueryPath) {
+  std::map<uint64_t, World> worlds;
+  worlds.emplace(0, World(0));
+  worlds.emplace(1, World(1));
+
+  // Reference answers straight off the session's scalar path.
+  std::map<uint64_t, DeploymentSession<double>> reference;
+  reference.emplace(0, worlds.at(0).Deploy());
+  reference.emplace(1, worlds.at(1).Deploy());
+
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ThreadPool pool(threads);
+    obs::MetricsRegistry metrics;
+    ServeOptions options;
+    options.batching.max_batch = 8;
+    options.pool = &pool;
+    options.metrics = &metrics;
+    ServeCoordinator<double> coordinator(2, DeployFnFor(worlds), options);
+
+    std::map<uint64_t, std::vector<double>> queries;  // ticket -> expected
+    double now = 0.0;
+    for (int i = 0; i < 40; ++i) {
+      const uint64_t tenant = static_cast<uint64_t>(i % 2);
+      const auto x =
+          Column(worlds.at(tenant).a, worlds.at(tenant).problem.l,
+                 1000 + static_cast<uint64_t>(i));
+      const auto result = coordinator.Submit(
+          tenant, static_cast<DeadlineClass>(i % 3), x, now);
+      ASSERT_TRUE(result.admitted);
+      queries[result.ticket] = reference.at(tenant).Serve(x);
+      now += 0.0005;
+    }
+    const auto completions = coordinator.Pump(now, /*flush=*/true);
+    ASSERT_EQ(completions.size(), queries.size());
+    for (const auto& done : completions) {
+      const auto& expected = queries.at(done.ticket);
+      ASSERT_EQ(done.result.size(), expected.size());
+      for (size_t row = 0; row < expected.size(); ++row) {
+        ASSERT_EQ(done.result[row], expected[row])
+            << "ticket " << done.ticket << " row " << row << " threads "
+            << threads;
+      }
+      EXPECT_GE(done.batch_size, 1u);
+    }
+    EXPECT_EQ(coordinator.completed(), queries.size());
+    EXPECT_EQ(coordinator.cache().misses(), 2u);  // one deploy per tenant
+    EXPECT_GT(metrics.GetHistogram("scec_serve_batch_size").count(), 0u);
+  }
+}
+
+TEST(ServeCoordinator, BatchGroupingsIdenticalAcrossThreadCounts) {
+  std::map<uint64_t, World> worlds;
+  worlds.emplace(0, World(0));
+  worlds.emplace(1, World(1));
+  worlds.emplace(2, World(2));
+
+  std::string reference;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    ThreadPool pool(threads);
+    obs::MetricsRegistry metrics;
+    ServeOptions options;
+    options.batching.max_batch = 4;
+    options.pool = &pool;
+    options.metrics = &metrics;
+    ServeCoordinator<double> coordinator(3, DeployFnFor(worlds), options);
+
+    std::string fp;
+    double now = 0.0;
+    for (int i = 0; i < 60; ++i) {
+      const uint64_t tenant = static_cast<uint64_t>((i * 5 + i / 4) % 3);
+      const auto x = Column(worlds.at(tenant).a, worlds.at(tenant).problem.l,
+                            2000 + static_cast<uint64_t>(i));
+      ASSERT_TRUE(coordinator
+                      .Submit(tenant, static_cast<DeadlineClass>(i % 3), x,
+                              now)
+                      .admitted);
+      now += 0.002;
+      if (i % 8 == 7) {
+        for (const auto& done : coordinator.Pump(now)) {
+          fp += std::to_string(done.ticket) + "@" +
+                std::to_string(done.tenant) + "x" +
+                std::to_string(done.batch_size) + ";";
+        }
+      }
+    }
+    for (const auto& done : coordinator.Pump(now, /*flush=*/true)) {
+      fp += std::to_string(done.ticket) + "@" + std::to_string(done.tenant) +
+            "x" + std::to_string(done.batch_size) + ";";
+    }
+    if (reference.empty()) {
+      reference = fp;
+      ASSERT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(fp, reference) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ServeCoordinator, AdmissionRejectsBeyondQueueLimit) {
+  std::map<uint64_t, World> worlds;
+  worlds.emplace(0, World(0));
+  obs::MetricsRegistry metrics;
+  ServeOptions options;
+  options.batching.max_batch = 4;
+  options.batching.per_tenant_queue_limit = 4;
+  options.metrics = &metrics;
+  ServeCoordinator<double> coordinator(1, DeployFnFor(worlds), options);
+
+  const auto x = Column(worlds.at(0).a, worlds.at(0).problem.l, 3000);
+  for (int i = 0; i < 4; ++i) {
+    // Bulk queries never hit max_batch=4's FULL close between submissions.
+    ASSERT_TRUE(
+        coordinator.Submit(0, DeadlineClass::kBulk, x, 0.0).admitted);
+  }
+  EXPECT_FALSE(coordinator.Submit(0, DeadlineClass::kBulk, x, 0.0).admitted);
+  EXPECT_EQ(coordinator.rejected(), 1u);
+  EXPECT_EQ(metrics.GetCounter("scec_serve_rejected_total").value(), 1u);
+
+  // Serving drains the queue and admission reopens.
+  EXPECT_EQ(coordinator.Pump(0.0, /*flush=*/true).size(), 4u);
+  EXPECT_TRUE(coordinator.Submit(0, DeadlineClass::kBulk, x, 0.1).admitted);
+}
+
+TEST(ServeCoordinator, ReputationSteersPlacementAwayFromQuarantined) {
+  std::map<uint64_t, World> worlds;
+  worlds.emplace(0, World(0));
+
+  sim::ReputationOptions rep_options;
+  rep_options.enabled = true;
+  sim::ReputationTracker tracker(3, rep_options);
+  // Lane 1 is caught lying: quarantined, must receive no batches.
+  tracker.RecordCorrupt(1);
+  ASSERT_FALSE(tracker.Usable(1));
+
+  obs::MetricsRegistry metrics;
+  ServeOptions options;
+  options.batching.max_batch = 1;
+  options.num_replicas = 3;
+  options.reputation = &tracker;
+  options.metrics = &metrics;
+  ServeCoordinator<double> coordinator(1, DeployFnFor(worlds), options);
+
+  const auto x = Column(worlds.at(0).a, worlds.at(0).problem.l, 4000);
+  std::vector<size_t> lanes;
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(
+        coordinator.Submit(0, DeadlineClass::kStandard, x, 0.0).admitted);
+    for (const auto& done : coordinator.Pump(0.0, /*flush=*/true)) {
+      lanes.push_back(done.replica);
+    }
+  }
+  ASSERT_EQ(lanes.size(), 12u);
+  for (const size_t lane : lanes) {
+    EXPECT_NE(lane, 1u) << "batch placed on a quarantined replica";
+  }
+}
+
+}  // namespace
+}  // namespace scec::serve
