@@ -12,6 +12,12 @@
 // A second A/B (--byz-trials) runs the same two always-lying devices against
 // byzantine_tolerance t in {0, 1, 2} and records rounds-to-completion,
 // masked fraction, and the Eq. (1) guard-cost overhead vs t (--byz-out).
+// --overload-episodes drives the serving-tier overload soak
+// (sim/overload_chaos.h): seeded tenant-flood / flash-crowd / fleet-brownout
+// / retry-storm episodes against the coordinator's protection stack, with
+// decode, shed-accounting, no-metastability, and liveness invariants and
+// one-command repro via --overload-replay (sabotage: tamper-result |
+// drop-completion).
 
 #include <chrono>
 #include <fstream>
@@ -31,6 +37,7 @@
 #include "sim/chaos.h"
 #include "sim/fault_tolerant_protocol.h"
 #include "sim/metrics.h"
+#include "sim/overload_chaos.h"
 #include "telemetry.h"
 #include "workload/device_profiles.h"
 
@@ -98,6 +105,34 @@ int Replay(const ChaosConfig& config, size_t index, ChaosSabotage sabotage,
     const bool caught = !episode.ok();
     return scec::CheckLine(
         caught, std::string("deliberately broken invariant ") +
+                    (caught ? "was caught" : "SLIPPED THROUGH"));
+  }
+  return episode.ok() ? 0 : 1;
+}
+
+// Replays one overload episode (optionally sabotaged) and prints its
+// verdicts. In sabotage mode success means the harness CAUGHT the violation.
+int ReplayOverload(const scec::sim::OverloadConfig& config, size_t index,
+                   scec::sim::OverloadSabotage sabotage) {
+  const scec::sim::OverloadEpisode episode =
+      scec::sim::RunOverloadEpisode(config, index, sabotage);
+  std::cout << scec::sim::DescribeOverloadEpisode(episode);
+  std::cout << "  decode=" << (episode.invariants.decode ? "ok" : "FAIL")
+            << " shed_accounting="
+            << (episode.invariants.shed_accounting ? "ok" : "FAIL")
+            << " no_metastability="
+            << (episode.invariants.no_metastability ? "ok" : "FAIL")
+            << " liveness=" << (episode.invariants.liveness ? "ok" : "FAIL")
+            << "\n";
+  if (!episode.failure.empty()) {
+    std::cout << "  failure: " << episode.failure << "\n";
+  }
+  std::cout << "  repro: "
+            << scec::sim::OverloadReproCommand(config, episode) << "\n";
+  if (sabotage != scec::sim::OverloadSabotage::kNone) {
+    const bool caught = !episode.ok();
+    return scec::CheckLine(
+        caught, std::string("deliberately broken overload invariant ") +
                     (caught ? "was caught" : "SLIPPED THROUGH"));
   }
   return episode.ok() ? 0 : 1;
@@ -454,6 +489,8 @@ int main(int argc, char** argv) {
   int64_t byz_trials = 0;
   int64_t byz_queries = 2;
   std::string byz_out;
+  int64_t overload_episodes = 0;
+  int64_t overload_replay = -1;
   std::string sabotage_name;
   std::string fail_out;
   std::string metrics_csv;
@@ -464,8 +501,9 @@ int main(int argc, char** argv) {
                       "runtime (composed faults x stragglers x lossy links "
                       "x hedging x byzantine devices x kill/restart crash "
                       "recovery), with invariant checks per episode; "
-                      "--crash-* flags drive the durable-coordinator soak "
-                      "and --byz-* the byzantine A/B arms");
+                      "--crash-* flags drive the durable-coordinator soak, "
+                      "--byz-* the byzantine A/B arms, and "
+                      "--overload-* the serving-tier overload soak");
   cli.AddInt("episodes", &episodes, "episodes to run");
   cli.AddInt("seed", &seed, "master seed (episode i derives from (seed, i))");
   cli.AddInt("queries", &queries, "queries per episode");
@@ -500,6 +538,14 @@ int main(int argc, char** argv) {
   cli.AddInt("byz-queries", &byz_queries, "queries per byzantine A/B trial");
   cli.AddString("byz-out", &byz_out,
                 "write the byzantine A/B summary JSON here");
+  cli.AddInt("overload-episodes", &overload_episodes,
+             "serving-tier overload soak: episodes rotating through tenant "
+             "flood / flash crowd / fleet brownout / retry storm mixes with "
+             "decode, shed-accounting, no-metastability, and liveness "
+             "invariants (0 = skip)");
+  cli.AddInt("overload-replay", &overload_replay,
+             "replay just this overload episode and print its scenario, "
+             "phase goodputs, and invariant verdicts");
   cli.AddString("run-metrics-csv", &metrics_csv,
                 "write per-episode run+recovery metrics CSV here");
   cli.AddString("run-metrics-json", &metrics_json,
@@ -510,8 +556,10 @@ int main(int argc, char** argv) {
   // Flag combinations that would otherwise be silently ignored are hard
   // errors: a soak invocation that *looks* like it sabotaged an episode or
   // recorded an A/B summary but actually did neither is worse than a typo.
-  if (!sabotage_name.empty() && replay < 0 && crash_replay < 0) {
-    std::cerr << "--sabotage requires --replay or --crash-replay\n";
+  if (!sabotage_name.empty() && replay < 0 && crash_replay < 0 &&
+      overload_replay < 0) {
+    std::cerr << "--sabotage requires --replay, --crash-replay, or "
+                 "--overload-replay\n";
     return 1;
   }
   if (!crash_out.empty() && crash_trials <= 0) {
@@ -535,6 +583,25 @@ int main(int argc, char** argv) {
   config.episodes = static_cast<size_t>(episodes);
   config.queries_per_episode = static_cast<size_t>(queries);
   config.crash_artifacts_dir = crash_artifacts_dir;
+
+  if (overload_replay >= 0) {
+    scec::sim::OverloadConfig overload_config;
+    overload_config.seed = static_cast<uint64_t>(seed);
+    scec::sim::OverloadSabotage overload_sabotage =
+        scec::sim::OverloadSabotage::kNone;
+    if (sabotage_name == "tamper-result") {
+      overload_sabotage = scec::sim::OverloadSabotage::kTamperResult;
+    } else if (sabotage_name == "drop-completion") {
+      overload_sabotage = scec::sim::OverloadSabotage::kDropCompletion;
+    } else if (!sabotage_name.empty()) {
+      std::cerr << "unknown overload --sabotage: " << sabotage_name
+                << " (tamper-result | drop-completion)\n";
+      return 1;
+    }
+    return ReplayOverload(overload_config,
+                          static_cast<size_t>(overload_replay),
+                          overload_sabotage);
+  }
 
   if (replay >= 0 || crash_replay >= 0) {
     ChaosSabotage sabotage = ChaosSabotage::kNone;
@@ -672,6 +739,63 @@ int main(int argc, char** argv) {
     scec::CheckLine(crash_summary.ok(),
                     "every kill/restart episode holds the nine invariants "
                     "(exact decode, fresh pads, balanced journal ledger)");
+  }
+
+  if (overload_episodes > 0) {
+    scec::sim::OverloadConfig overload_config;
+    overload_config.seed = static_cast<uint64_t>(seed);
+    overload_config.episodes = static_cast<size_t>(overload_episodes);
+    const scec::sim::OverloadSoakSummary overload_summary =
+        scec::sim::RunOverloadSoak(overload_config);
+    struct OverloadMixStats {
+      size_t episodes = 0;
+      size_t passed = 0;
+      uint64_t rejected = 0;
+      uint64_t shed = 0;
+      uint64_t transitions = 0;
+      uint64_t breaker_opens = 0;
+    };
+    std::map<std::string, OverloadMixStats> overload_mixes;
+    for (const scec::sim::OverloadEpisode& episode : overload_summary.detail) {
+      OverloadMixStats& mix = overload_mixes[episode.mix];
+      ++mix.episodes;
+      if (episode.ok()) ++mix.passed;
+      mix.rejected += episode.rejected;
+      mix.shed += episode.shed;
+      mix.transitions += episode.ladder_transitions;
+      mix.breaker_opens += episode.breaker_opens;
+    }
+    scec::TablePrinter overload_table({"overload mix", "episodes", "passed",
+                                       "rejected", "shed", "ladder moves",
+                                       "breaker opens"});
+    for (const auto& [name, mix] : overload_mixes) {
+      overload_table.AddRow(
+          {name, std::to_string(mix.episodes), std::to_string(mix.passed),
+           std::to_string(mix.rejected), std::to_string(mix.shed),
+           std::to_string(mix.transitions),
+           std::to_string(mix.breaker_opens)});
+    }
+    overload_table.Print(std::cout);
+    std::cout << "  overload soak: episodes=" << overload_summary.episodes
+              << " passed=" << overload_summary.passed
+              << " failing=" << overload_summary.failing.size() << "\n";
+    for (size_t index : overload_summary.failing) {
+      const scec::sim::OverloadEpisode& episode =
+          overload_summary.detail[index];
+      fail_report += scec::sim::DescribeOverloadEpisode(episode);
+      fail_report += "  failure: " + episode.failure + "\n";
+      fail_report += "  repro: " +
+                     scec::sim::OverloadReproCommand(overload_config, episode) +
+                     "\n\n";
+    }
+    if (!overload_summary.failing.empty()) {
+      std::cerr << fail_report;
+    }
+    ok = ok && overload_summary.ok();
+    scec::CheckLine(overload_summary.ok(),
+                    "every overload episode holds the serving invariants "
+                    "(exact decode, total shed accounting, goodput recovery, "
+                    "drained queue)");
   }
 
   ok = WriteFile(fail_out, fail_report) && ok;

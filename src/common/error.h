@@ -26,6 +26,8 @@ enum class ErrorCode {
   kInfeasible,        // no solution satisfies the constraints (e.g. k < 2)
   kSecurityViolation, // a coding scheme failed the ITS condition
   kDecodeFailure,     // encoding matrix not invertible / inconsistent data
+  kResourceExhausted, // a quota / queue / budget refused the work
+  kUnavailable,       // service degraded or browned out; retry later
   kInternal,          // invariant violated inside the library
 };
 
@@ -79,6 +81,12 @@ inline Status SecurityViolation(std::string msg) {
 }
 inline Status DecodeFailure(std::string msg) {
   return Status(ErrorCode::kDecodeFailure, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(ErrorCode::kResourceExhausted, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(ErrorCode::kUnavailable, std::move(msg));
 }
 inline Status Internal(std::string msg) {
   return Status(ErrorCode::kInternal, std::move(msg));
@@ -151,6 +159,8 @@ inline const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kInfeasible: return "INFEASIBLE";
     case ErrorCode::kSecurityViolation: return "SECURITY_VIOLATION";
     case ErrorCode::kDecodeFailure: return "DECODE_FAILURE";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
     case ErrorCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

@@ -1,0 +1,94 @@
+// SPDX-License-Identifier: MIT
+//
+// Adaptive retry throttling for the fault-tolerant runtime (and, later, the
+// wire transport): a token bucket refilled by FRESH work, spent by RECOVERY
+// work (retries and hedges).
+//
+// Under partial overload, naive exponential backoff is not enough: every
+// timed-out dispatch earns a retry, so when a fleet browns out the recovery
+// traffic grows with the failure rate and keeps the fleet saturated after
+// the original surge has passed (a metastable retry storm). The classic fix
+// (client-side retry quotas, as in AWS SDK adaptive retries / Google SRE's
+// retry budgets) couples recovery spend to fresh throughput instead: each
+// first-attempt dispatch deposits `fill_per_fresh` tokens, each retry or
+// hedge withdraws one, and an empty bucket suppresses the retry outright.
+// Steady-state recovery traffic can therefore never exceed ~fill_per_fresh
+// of fresh traffic, no matter how many deadlines expire.
+//
+// The budget is a pure counter machine — no clock, no RNG — so identical
+// event sequences produce identical decisions on every platform and thread
+// count (the chaos and determinism tests rely on this). One budget per
+// tenant (or per protocol) is the intended granularity; it is not
+// thread-safe and belongs under whatever lock serializes the dispatch
+// decisions it gates.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace scec {
+
+struct RetryBudgetOptions {
+  // Token ceiling: the largest burst of back-to-back retries the budget
+  // allows after a long healthy stretch.
+  double capacity = 20.0;
+  // Tokens earned per fresh (first-attempt, non-hedge) dispatch. 0.1 means
+  // sustained recovery traffic is capped at ~10% of fresh traffic.
+  double fill_per_fresh = 0.1;
+  // Tokens in the bucket at construction (cold-start allowance).
+  double initial = 10.0;
+
+  void Validate() const {
+    SCEC_CHECK_GT(capacity, 0.0);
+    SCEC_CHECK_GE(fill_per_fresh, 0.0);
+    SCEC_CHECK_GE(initial, 0.0);
+    SCEC_CHECK_LE(initial, capacity);
+  }
+};
+
+class RetryBudget {
+ public:
+  explicit RetryBudget(RetryBudgetOptions options = {})
+      : options_(options), tokens_(options.initial) {
+    options_.Validate();
+  }
+
+  // A fresh (first-attempt, non-hedge) dispatch earns its share of future
+  // recovery spend.
+  void OnFreshDispatch() {
+    tokens_ = std::min(options_.capacity, tokens_ + options_.fill_per_fresh);
+    ++fresh_;
+  }
+
+  // Withdraws `cost` tokens for one retry or hedge. Returns false — and
+  // counts a suppression — when the bucket cannot cover it; the caller must
+  // then fail fast instead of amplifying load.
+  bool TrySpend(double cost = 1.0) {
+    SCEC_CHECK_GT(cost, 0.0);
+    if (tokens_ + 1e-12 < cost) {  // epsilon: 10 × 0.1-fills must cover 1.0
+      ++suppressed_;
+      return false;
+    }
+    tokens_ -= cost;
+    ++spent_;
+    return true;
+  }
+
+  double tokens() const { return tokens_; }
+  uint64_t fresh_dispatches() const { return fresh_; }
+  uint64_t spends() const { return spent_; }
+  uint64_t suppressed() const { return suppressed_; }
+  const RetryBudgetOptions& options() const { return options_; }
+
+ private:
+  RetryBudgetOptions options_;
+  double tokens_ = 0.0;
+  uint64_t fresh_ = 0;
+  uint64_t spent_ = 0;
+  uint64_t suppressed_ = 0;
+};
+
+}  // namespace scec

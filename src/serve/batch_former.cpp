@@ -68,6 +68,8 @@ std::vector<FormedBatch> BatchFormer::Form(double now_s, bool flush) {
           reason = BatchCloseReason::kFull;
         } else if (flush) {
           reason = BatchCloseReason::kFlush;
+        } else if (rush_ && now_s >= fifo.front().enqueue_s) {
+          reason = BatchCloseReason::kDeadline;
         } else if (now_s >= fifo.front().enqueue_s + close_after) {
           // Same expression as NextCloseDeadline's due time, so pumping AT
           // the advertised deadline always closes the batch (a - b >= T can
@@ -106,12 +108,29 @@ double BatchFormer::NextCloseDeadline() const {
         // A full batch is due immediately.
         return -std::numeric_limits<double>::infinity();
       }
-      const double due = fifo.front().enqueue_s +
-                         CloseTimeout(static_cast<DeadlineClass>(c));
+      const double due =
+          rush_ ? fifo.front().enqueue_s
+                : fifo.front().enqueue_s +
+                      CloseTimeout(static_cast<DeadlineClass>(c));
       next = std::min(next, due);
     }
   }
   return next;
+}
+
+std::vector<QueuedTicket> BatchFormer::ShedClass(DeadlineClass cls) {
+  const size_t c = static_cast<size_t>(cls);
+  SCEC_CHECK_LT(c, kNumDeadlineClasses);
+  std::vector<QueuedTicket> shed;
+  for (auto& per_tenant : queues_) {
+    auto& fifo = per_tenant[c];
+    while (!fifo.empty()) {
+      shed.push_back(fifo.front());
+      fifo.pop_front();
+      --depth_;
+    }
+  }
+  return shed;
 }
 
 size_t BatchFormer::depth(size_t tenant) const {

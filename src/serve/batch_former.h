@@ -20,7 +20,12 @@
 //     ObserveServeSeconds();
 //   * Form() scans tenants round-robin from a rotating cursor, so a hot
 //     tenant cannot starve the others' due batches; within a tenant,
-//     latency-sensitive classes close first.
+//     latency-sensitive classes close first;
+//   * in RUSH mode (set_rush) every queued batch is due immediately: while
+//     the brownout breaker is not closed, coalescing buys nothing — almost
+//     no traffic is admitted — and holding the half-open canary to a close
+//     timeout sized from a brownout-poisoned estimator would delay the very
+//     verdict that lets the breaker recover.
 
 #pragma once
 
@@ -83,9 +88,26 @@ class BatchFormer {
   // idle. Drives the caller's pump scheduling.
   double NextCloseDeadline() const;
 
+  // Drains every queued ticket of `cls` across all tenants, in tenant then
+  // FIFO order, WITHOUT serving them — the degradation ladder's explicit
+  // shed (serve/overload.h). The caller must surface each returned ticket
+  // as a rejection or shed completion: a shed is never a silent drop
+  // (the shed-accounting chaos invariant).
+  std::vector<QueuedTicket> ShedClass(DeadlineClass cls);
+
   // Feeds one observed panel service duration into the estimator that
   // sizes the deadline-class close timeouts.
   void ObserveServeSeconds(double seconds) { serve_latency_.Observe(seconds); }
+
+  // Rush mode: every queued batch is due at its oldest ticket's enqueue
+  // time, ignoring close timeouts (see policy above).
+  void set_rush(bool rush) { rush_ = rush; }
+  bool rush() const { return rush_; }
+
+  // Drops the latency window back to cold start — the coordinator calls
+  // this when the brownout breaker closes and the window is known to be
+  // full of brownout-era samples (see LatencyEstimator::Reset).
+  void ResetServeLatency() { serve_latency_.Reset(); }
 
   size_t depth() const { return depth_; }
   size_t depth(size_t tenant) const;
@@ -100,8 +122,9 @@ class BatchFormer {
   std::vector<std::array<std::deque<QueuedTicket>, kNumDeadlineClasses>>
       queues_;  // [tenant][class]
   sim::LatencyEstimator serve_latency_;
-  size_t cursor_ = 0;  // round-robin start tenant of the next Form()
-  size_t depth_ = 0;   // total queued tickets
+  size_t cursor_ = 0;   // round-robin start tenant of the next Form()
+  size_t depth_ = 0;    // total queued tickets
+  bool rush_ = false;   // close everything queued at the next Form()
 };
 
 }  // namespace scec::serve

@@ -1,0 +1,127 @@
+// SPDX-License-Identifier: MIT
+
+#include "serve/breaker.h"
+
+#include <limits>
+
+namespace scec::serve {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+void BreakerOptions::Validate() const {
+  SCEC_CHECK_GE(window, 1u);
+  SCEC_CHECK_GE(min_samples, 1u);
+  SCEC_CHECK_LE(min_samples, window);
+  SCEC_CHECK_GT(open_threshold, 0.0);
+  SCEC_CHECK_LE(open_threshold, 1.0);
+  SCEC_CHECK_GE(min_usable_fraction, 0.0);
+  SCEC_CHECK_LE(min_usable_fraction, 1.0);
+  SCEC_CHECK_GE(open_cooldown_s, 0.0);
+  SCEC_CHECK_GE(canary_interval_s, 0.0);
+  SCEC_CHECK_GE(canary_successes_to_close, 1u);
+}
+
+BrownoutBreaker::BrownoutBreaker(BreakerOptions options) : options_(options) {
+  options_.Validate();
+  ring_.assign(options_.window, false);
+}
+
+double BrownoutBreaker::FailureRate() const {
+  if (ring_count_ == 0) return 0.0;
+  return static_cast<double>(ring_failures_) /
+         static_cast<double>(ring_count_);
+}
+
+void BrownoutBreaker::TripOpen(double now_s) {
+  state_ = BreakerState::kOpen;
+  opened_at_s_ = now_s;
+  canary_streak_ = 0;
+  canary_outstanding_ = false;
+  ++opens_;
+}
+
+void BrownoutBreaker::Close() {
+  state_ = BreakerState::kClosed;
+  // Hysteresis: the window that tripped the breaker must not re-trip it on
+  // the first post-recovery failure; the canary successes start it afresh.
+  ring_.assign(options_.window, false);
+  ring_next_ = 0;
+  ring_count_ = 0;
+  ring_failures_ = 0;
+}
+
+bool BrownoutBreaker::Allow(double now_s) {
+  if (!options_.enabled) return true;
+  if (state_ == BreakerState::kClosed) return true;
+  if (state_ == BreakerState::kOpen) {
+    if (now_s - opened_at_s_ < options_.open_cooldown_s) return false;
+    state_ = BreakerState::kHalfOpen;
+    canary_streak_ = 0;
+    canary_outstanding_ = false;
+    // Arm so the first post-cooldown submission becomes the first canary.
+    last_canary_s_ = -std::numeric_limits<double>::infinity();
+  }
+  // Half-open: one paced canary at a time.
+  if (canary_outstanding_) return false;
+  if (now_s - last_canary_s_ < options_.canary_interval_s) return false;
+  canary_outstanding_ = true;
+  last_canary_s_ = now_s;
+  ++canaries_admitted_;
+  return true;
+}
+
+void BrownoutBreaker::ObserveOutcome(double now_s, bool failure) {
+  if (!options_.enabled) return;
+  switch (state_) {
+    case BreakerState::kClosed: {
+      if (ring_count_ == options_.window) {
+        if (ring_[ring_next_]) --ring_failures_;
+      } else {
+        ++ring_count_;
+      }
+      ring_[ring_next_] = failure;
+      if (failure) ++ring_failures_;
+      ring_next_ = (ring_next_ + 1) % options_.window;
+      if (ring_count_ >= options_.min_samples &&
+          FailureRate() >= options_.open_threshold) {
+        TripOpen(now_s);
+      }
+      return;
+    }
+    case BreakerState::kHalfOpen: {
+      canary_outstanding_ = false;
+      if (failure) {
+        TripOpen(now_s);  // cooldown restarts from this verdict
+        return;
+      }
+      if (++canary_streak_ >= options_.canary_successes_to_close) Close();
+      return;
+    }
+    case BreakerState::kOpen:
+      return;  // a straggling completion from before the trip; ignore
+  }
+}
+
+void BrownoutBreaker::OnCanaryDropped() {
+  if (!options_.enabled || state_ != BreakerState::kHalfOpen) return;
+  canary_outstanding_ = false;  // the streak is untouched: no verdict either way
+}
+
+void BrownoutBreaker::ObserveFleetHealth(double now_s,
+                                         double usable_fraction) {
+  if (!options_.enabled || options_.min_usable_fraction <= 0.0) return;
+  if (usable_fraction >= options_.min_usable_fraction) return;
+  if (state_ != BreakerState::kOpen) TripOpen(now_s);
+}
+
+}  // namespace scec::serve

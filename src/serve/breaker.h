@@ -1,0 +1,113 @@
+// SPDX-License-Identifier: MIT
+//
+// Fleet brownout circuit breaker for the serving tier (docs/SERVING.md).
+//
+// Edge fleets see time-varying capacity (PAPERS.md: rateless/adaptive coded
+// computing exists because of exactly this); when the fleet browns out —
+// panels blow their class budgets, devices time out, reputation quarantines
+// pile up — continuing to admit traffic just converts every queued query
+// into a timeout and feeds the retry storm. The breaker sheds at the front
+// door instead, with the classic three-state machine:
+//
+//   CLOSED     admit everything; track the failure rate over a sliding
+//              window of service outcomes. Trips OPEN when the rate reaches
+//              `open_threshold` (with >= min_samples observed), or when the
+//              fleet-health signal (fraction of reputation-usable devices)
+//              falls below `min_usable_fraction`.
+//   OPEN       admit nothing (Submit rejects kBrownout). After
+//              `open_cooldown_s` of decision time the breaker arms HALF-OPEN.
+//   HALF-OPEN  admit one CANARY submission per `canary_interval_s`; serve it
+//              for real. `canary_successes_to_close` consecutive successes
+//              re-CLOSE the breaker with a cleared window (hysteresis: the
+//              window that tripped it cannot instantly re-trip it); a single
+//              canary failure re-OPENs and restarts the cooldown.
+//
+// Pure counter-and-clock machine on the decision clock — no wall time, RNG,
+// or threads — so breaker decisions are bit-identical across SCEC_THREADS
+// for a fixed submission trace (tests/test_breaker.cpp).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace scec::serve {
+
+enum class BreakerState { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+const char* BreakerStateName(BreakerState state);
+
+struct BreakerOptions {
+  bool enabled = false;
+  // Sliding outcome window (ring of the most recent service outcomes).
+  size_t window = 64;
+  size_t min_samples = 16;       // observations before the rate is trusted
+  double open_threshold = 0.5;   // failure rate that trips CLOSED -> OPEN
+  double min_usable_fraction = 0.0;  // fleet-health trip wire; 0 disables
+  double open_cooldown_s = 0.5;  // OPEN dwell before arming HALF-OPEN
+  double canary_interval_s = 0.02;   // pacing of half-open canaries
+  size_t canary_successes_to_close = 3;
+
+  void Validate() const;
+};
+
+class BrownoutBreaker {
+ public:
+  explicit BrownoutBreaker(BreakerOptions options = {});
+
+  // Admission gate at `now_s`. CLOSED: true. OPEN: false (flips to
+  // HALF-OPEN once the cooldown has elapsed, then paces canaries).
+  // HALF-OPEN: true for one canary per canary_interval_s, false otherwise.
+  // Always true when disabled.
+  bool Allow(double now_s);
+
+  // One service outcome (e.g. "panel served within the batch's class
+  // budget"). In HALF-OPEN every outcome is a canary verdict.
+  void ObserveOutcome(double now_s, bool failure);
+
+  // Fleet-health signal: fraction of devices the reputation tracker still
+  // considers usable. Below min_usable_fraction trips the breaker straight
+  // to OPEN regardless of the outcome window.
+  void ObserveFleetHealth(double now_s, double usable_fraction);
+
+  // Releases the in-flight canary slot WITHOUT a verdict. The coordinator
+  // calls this when the submission that consumed the slot never reaches
+  // execution — a later admission gate rejected it, its enqueue failed, or
+  // its queued entry was shed as ladder ballast. Without the release the
+  // half-open breaker would wait forever for an outcome that cannot arrive
+  // and reject every submission until then. Canary pacing still applies to
+  // the replacement. No-op outside HALF-OPEN.
+  void OnCanaryDropped();
+
+  BreakerState state() const { return state_; }
+  bool enabled() const { return options_.enabled; }
+  double FailureRate() const;  // over the current window
+  uint64_t opens() const { return opens_; }
+  uint64_t canaries_admitted() const { return canaries_admitted_; }
+  const BreakerOptions& options() const { return options_; }
+
+ private:
+  void TripOpen(double now_s);
+  void Close();
+
+  BreakerOptions options_;
+  BreakerState state_ = BreakerState::kClosed;
+
+  // Outcome ring: failures_in_window_ tracked incrementally.
+  std::vector<bool> ring_;
+  size_t ring_next_ = 0;
+  size_t ring_count_ = 0;
+  size_t ring_failures_ = 0;
+
+  double opened_at_s_ = 0.0;
+  double last_canary_s_ = 0.0;
+  bool canary_outstanding_ = false;  // one canary in flight at a time
+  size_t canary_streak_ = 0;
+  uint64_t opens_ = 0;
+  uint64_t canaries_admitted_ = 0;
+};
+
+}  // namespace scec::serve

@@ -1,0 +1,99 @@
+// SPDX-License-Identifier: MIT
+
+#include "serve/overload.h"
+
+namespace scec::serve {
+
+const char* OverloadLevelName(OverloadLevel level) {
+  switch (level) {
+    case OverloadLevel::kNormal:
+      return "normal";
+    case OverloadLevel::kShedBulk:
+      return "shed_bulk";
+    case OverloadLevel::kNoHedge:
+      return "no_hedge";
+    case OverloadLevel::kSampleVerify:
+      return "sample_verify";
+    case OverloadLevel::kRejectStandard:
+      return "reject_standard";
+  }
+  return "unknown";
+}
+
+void OverloadOptions::Validate() const {
+  double prev_enter = 0.0;
+  for (size_t i = 0; i + 1 < kNumOverloadLevels; ++i) {
+    SCEC_CHECK_GT(enter[i], 0.0);
+    SCEC_CHECK_LE(enter[i], 1.0);
+    SCEC_CHECK_GE(enter[i], prev_enter);
+    SCEC_CHECK_GE(exit[i], 0.0);
+    // The hysteresis band: a rung's exit must sit strictly below its enter,
+    // or a single pressure value could escalate and de-escalate forever.
+    SCEC_CHECK_LT(exit[i], enter[i]);
+    prev_enter = enter[i];
+  }
+  SCEC_CHECK_GE(dwell_s, 0.0);
+  SCEC_CHECK_GE(verify_sample_every, 1u);
+}
+
+OverloadGovernor::OverloadGovernor(OverloadOptions options)
+    : options_(options) {
+  options_.Validate();
+}
+
+OverloadLevel OverloadGovernor::Update(double now_s, double pressure) {
+  if (!options_.enabled) return level_;
+
+  // Escalation: jump straight to the highest rung whose enter threshold the
+  // pressure reaches — a flash crowd must not climb one rung per sample.
+  size_t target = 0;
+  for (size_t i = 0; i + 1 < kNumOverloadLevels; ++i) {
+    if (pressure >= options_.enter[i]) target = i + 1;
+  }
+  const size_t current = static_cast<size_t>(level_);
+  if (target > current) {
+    level_ = static_cast<OverloadLevel>(target);
+    below_since_s_ = -1.0;
+    ++transitions_;
+    return level_;
+  }
+
+  // De-escalation: one rung at a time, only after dwelling below the
+  // current rung's exit threshold.
+  if (current == 0) return level_;
+  if (pressure < options_.exit[current - 1]) {
+    if (below_since_s_ < 0.0) below_since_s_ = now_s;
+    if (now_s - below_since_s_ >= options_.dwell_s) {
+      level_ = static_cast<OverloadLevel>(current - 1);
+      below_since_s_ = -1.0;  // the next rung down re-arms its own dwell
+      ++transitions_;
+    }
+  } else {
+    below_since_s_ = -1.0;
+  }
+  return level_;
+}
+
+bool OverloadGovernor::AdmitClass(DeadlineClass cls) const {
+  switch (cls) {
+    case DeadlineClass::kInteractive:
+      return true;  // never shed: the class users are staring at
+    case DeadlineClass::kStandard:
+      return static_cast<size_t>(level_) <
+             static_cast<size_t>(OverloadLevel::kRejectStandard);
+    case DeadlineClass::kBulk:
+      return static_cast<size_t>(level_) <
+             static_cast<size_t>(OverloadLevel::kShedBulk);
+  }
+  return true;
+}
+
+bool OverloadGovernor::ShouldVerifyBatch() {
+  if (static_cast<size_t>(level_) <
+      static_cast<size_t>(OverloadLevel::kSampleVerify)) {
+    return true;
+  }
+  return verify_counter_++ % options_.verify_sample_every == 0;
+}
+
+}  // namespace scec::serve

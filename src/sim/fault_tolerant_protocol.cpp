@@ -547,6 +547,11 @@ void FaultTolerantScecProtocol::Dispatch(Pending* pending) {
   const size_t attempt = pending->attempts;
   if (attempt == 1) {
     pending->dispatch_s = queue_.now();
+    // Fresh (first-attempt, non-hedge) work earns the retry budget its
+    // future recovery spend; retries and hedges only ever withdraw.
+    if (ft_.retry_budget != nullptr && !pending->is_hedge) {
+      ft_.retry_budget->OnFreshDispatch();
+    }
   } else if (obs::Tracer::Enabled()) {
     obs::Tracer::Global().RecordSimInstant(
         "retry attempt " + std::to_string(attempt), queue_.now(),
@@ -613,7 +618,17 @@ void FaultTolerantScecProtocol::Dispatch(Pending* pending) {
         JournalAppend(std::move(event), /*committed=*/true);
       }
     }
-    if (pending->attempts >= ft_.retry.max_attempts) {
+    bool fail_fast = pending->attempts >= ft_.retry.max_attempts;
+    if (!fail_fast && ft_.retry_budget != nullptr &&
+        !ft_.retry_budget->TrySpend()) {
+      // Adaptive retry throttling: the shared budget is dry, so another
+      // retry would only amplify the storm. Fail fast exactly as if the
+      // attempt limit were reached — evict, and let the recovery re-plan
+      // pick the rows up on surviving devices.
+      ++recovery_.retries_suppressed;
+      fail_fast = true;
+    }
+    if (fail_fast) {
       Resolve(pending, PendingOutcome::kFailed);
       ++recovery_.devices_evicted_timeout;
       devices_[pending->phys].evicted = true;
@@ -872,6 +887,18 @@ void FaultTolerantScecProtocol::MaybeHedge(Pending* pending) {
     idle.push_back(d);
   }
   if (idle.size() < 2) return;
+  // Overload gates, checked only once a hedge is otherwise viable (an
+  // earlier check would spend budget on hedges that could never launch):
+  // the degradation ladder's kNoHedge rung vetoes via hedging_gate, and the
+  // shared retry budget treats a hedge as one unit of recovery spend.
+  if (ft_.hedging_gate && !ft_.hedging_gate()) {
+    ++recovery_.hedges_suppressed;
+    return;
+  }
+  if (ft_.retry_budget != nullptr && !ft_.retry_budget->TrySpend()) {
+    ++recovery_.hedges_suppressed;
+    return;
+  }
   std::sort(idle.begin(), idle.end(), [&](size_t lhs, size_t rhs) {
     if (serving[lhs] != serving[rhs]) return !serving[lhs];  // spares first
     const double lhs_cost = UnitCost(devices_[lhs].spec.costs, deployment_->l);

@@ -84,6 +84,7 @@
 #include "coding/result_verify.h"
 #include "coding/security_check.h"
 #include "common/retry.h"
+#include "common/retry_budget.h"
 #include "core/pipeline.h"
 #include "recovery/journal.h"
 #include "sim/actors.h"
@@ -165,6 +166,23 @@ struct FaultToleranceOptions {
   // were journaled against base-segment shares, which are byte-identical
   // across generations.
   uint32_t generation = 0;
+
+  // --- Overload protection (default OFF: bit-identical retry/hedge
+  // schedule). `retry_budget` is a shared adaptive retry throttle
+  // (common/retry_budget.h): fresh dispatches deposit fractional tokens,
+  // every retry spends one, and when the budget is dry a timed-out query
+  // fails fast (evict + kFailed) instead of feeding a retry storm —
+  // metrics.recovery.retries_suppressed counts the suppressions. Not owned;
+  // may be shared across protocols of one coordinator, must outlive the
+  // protocol. `hedging_gate` is consulted immediately before a hedge would
+  // commit (after the idle-pair check, so a vetoed hedge never wastes
+  // tokens): false suppresses the hedge (metrics.recovery.hedges_suppressed)
+  // — the degradation ladder's kNoHedge rung plugs in here
+  // (serve/overload.h, ServeCoordinator::HedgingGate()). Hedges also spend
+  // from `retry_budget` when one is set: speculative duplicates are exactly
+  // the traffic a retry storm is made of.
+  RetryBudget* retry_budget = nullptr;
+  std::function<bool()> hedging_gate;
 };
 
 class FaultTolerantScecProtocol {

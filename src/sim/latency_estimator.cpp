@@ -30,6 +30,13 @@ void LatencyEstimator::Observe(double seconds) {
   ++count_;
 }
 
+void LatencyEstimator::Reset() {
+  window_.clear();
+  next_ = 0;
+  count_ = 0;
+  ewma_ = 0.0;
+}
+
 double LatencyEstimator::Ewma() const {
   SCEC_CHECK_GT(count_, 0u) << "Ewma() before any observation";
   return ewma_;

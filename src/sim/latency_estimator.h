@@ -54,6 +54,14 @@ class LatencyEstimator {
   // Records one observed response duration (seconds, >= 0).
   void Observe(double seconds);
 
+  // Forgets every observation and returns to cold start. For callers whose
+  // window is KNOWN stale — e.g. the serving tier after a brownout breaker
+  // closes: the canaries just proved service is healthy again, and waiting
+  // for post-recovery traffic to slide a window full of brownout-era
+  // samples out would keep deadline forecasts inflated long after the
+  // incident (a metastable failure mode).
+  void Reset();
+
   size_t count() const { return count_; }
 
   // True once min_samples observations have been recorded; until then

@@ -58,6 +58,7 @@ std::string ToJson(const FaultRecoveryMetrics& metrics) {
   std::ostringstream os;
   os << "{\"deadline_timeouts\":" << metrics.deadline_timeouts
      << ",\"retries_sent\":" << metrics.retries_sent
+     << ",\"retries_suppressed\":" << metrics.retries_suppressed
      << ",\"corrupt_responses\":" << metrics.corrupt_responses
      << ",\"devices_recovered_by_retry\":"
      << metrics.devices_recovered_by_retry
@@ -70,6 +71,7 @@ std::string ToJson(const FaultRecoveryMetrics& metrics) {
      << ",\"hedged_rows\":" << metrics.hedged_rows
      << ",\"hedge_staging_bytes\":" << metrics.hedge_staging_bytes
      << ",\"hedge_staging_aborts\":" << metrics.hedge_staging_aborts
+     << ",\"hedges_suppressed\":" << metrics.hedges_suppressed
      << ",\"hedge_rate\":" << Num(metrics.HedgeRate())
      << ",\"adaptive_deadlines\":" << metrics.adaptive_deadlines
      << ",\"byzantine_guard_segments\":" << metrics.byzantine_guard_segments
@@ -130,11 +132,13 @@ std::string ToCsvRow(const RunMetrics& metrics) {
 }
 
 std::string FaultRecoveryMetricsCsvHeader() {
-  return "deadline_timeouts,retries_sent,corrupt_responses,"
+  return "deadline_timeouts,retries_sent,retries_suppressed,"
+         "corrupt_responses,"
          "devices_recovered_by_retry,devices_evicted_timeout,"
          "devices_evicted_corrupt,hedges_dispatched,hedges_won,"
          "hedges_cancelled,hedged_rows,hedge_staging_bytes,"
-         "hedge_staging_aborts,adaptive_deadlines,queries_dispatched,"
+         "hedge_staging_aborts,hedges_suppressed,"
+         "adaptive_deadlines,queries_dispatched,"
          "responses_received,response_values_received,recovery_rounds,"
          "replanned_rows,base_plan_cost,recovery_plan_cost,"
          "recovery_staging_seconds,first_attempt_completion_s,"
@@ -152,12 +156,14 @@ std::string ToCsvRow(const FaultRecoveryMetrics& metrics) {
   std::ostringstream os;
   os.precision(17);
   os << metrics.deadline_timeouts << ',' << metrics.retries_sent << ','
+     << metrics.retries_suppressed << ','
      << metrics.corrupt_responses << ',' << metrics.devices_recovered_by_retry
      << ',' << metrics.devices_evicted_timeout << ','
      << metrics.devices_evicted_corrupt << ',' << metrics.hedges_dispatched
      << ',' << metrics.hedges_won << ',' << metrics.hedges_cancelled << ','
      << metrics.hedged_rows << ',' << metrics.hedge_staging_bytes << ','
-     << metrics.hedge_staging_aborts << ',' << metrics.adaptive_deadlines
+     << metrics.hedge_staging_aborts << ',' << metrics.hedges_suppressed
+     << ',' << metrics.adaptive_deadlines
      << ',' << metrics.queries_dispatched << ',' << metrics.responses_received
      << ',' << metrics.response_values_received << ','
      << metrics.recovery_rounds

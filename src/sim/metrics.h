@@ -69,6 +69,7 @@ struct FaultRecoveryMetrics {
   // Detection.
   uint64_t deadline_timeouts = 0;    // per-device deadline expiries
   uint64_t retries_sent = 0;         // query re-deliveries after a timeout
+  uint64_t retries_suppressed = 0;   // retries vetoed by a dry retry budget
   uint64_t corrupt_responses = 0;    // Freivalds check failures
   uint64_t devices_recovered_by_retry = 0;  // answered after >= 1 retry
   uint64_t devices_evicted_timeout = 0;     // retry budget exhausted
@@ -89,6 +90,8 @@ struct FaultRecoveryMetrics {
   uint64_t hedged_rows = 0;           // data rows covered by hedge segments
   uint64_t hedge_staging_bytes = 0;   // share bytes shipped for hedges
   uint64_t hedge_staging_aborts = 0;  // hedge shares lost in transit
+  uint64_t hedges_suppressed = 0;     // hedges vetoed by the overload ladder
+                                      // gate or a dry retry budget
 
   // Adaptive timeouts.
   uint64_t adaptive_deadlines = 0;    // deadlines taken from the estimator

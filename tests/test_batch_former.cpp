@@ -104,6 +104,38 @@ TEST(BatchFormer, ObservedServiceTimeShortensCloseTimeout) {
   EXPECT_EQ(former.Form(0.011).size(), 1u);
 }
 
+TEST(BatchFormer, RushModeClosesQueuedBatchesImmediately) {
+  BatchFormerOptions options;
+  options.max_batch = 32;
+  BatchFormer former(1, options);
+  // Poison the estimator the way a fleet brownout would: 200 ms observed
+  // service puts the bulk close timeout at 500 − 1.5·200 = 200 ms.
+  for (int i = 0; i < 64; ++i) former.ObserveServeSeconds(0.2);
+  ASSERT_TRUE(former.Enqueue(Ticket(1, 0, DeadlineClass::kBulk, 1.0)));
+  EXPECT_TRUE(former.Form(1.01).empty()) << "not due for ~200 ms normally";
+
+  // Rush (breaker not closed): the batch is due at its enqueue time.
+  former.set_rush(true);
+  EXPECT_DOUBLE_EQ(former.NextCloseDeadline(), 1.0);
+  const auto rushed = former.Form(1.01);
+  ASSERT_EQ(rushed.size(), 1u);
+  EXPECT_EQ(rushed[0].reason, BatchCloseReason::kDeadline);
+
+  // Back to normal: timeouts apply again.
+  former.set_rush(false);
+  ASSERT_TRUE(former.Enqueue(Ticket(2, 0, DeadlineClass::kBulk, 2.0)));
+  EXPECT_TRUE(former.Form(2.01).empty());
+}
+
+TEST(BatchFormer, ResetServeLatencyReturnsToColdStart) {
+  BatchFormer former(1, BatchFormerOptions{});
+  for (int i = 0; i < 64; ++i) former.ObserveServeSeconds(0.4);
+  ASSERT_TRUE(former.serve_latency().HasEstimate());
+  former.ResetServeLatency();
+  EXPECT_FALSE(former.serve_latency().HasEstimate());
+  EXPECT_EQ(former.serve_latency().count(), 0u);
+}
+
 TEST(BatchFormer, AdmissionBoundedPerTenant) {
   BatchFormerOptions options;
   options.max_batch = 2;

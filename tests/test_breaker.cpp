@@ -1,0 +1,158 @@
+// SPDX-License-Identifier: MIT
+//
+// Brownout-breaker tests: the closed/open/half-open machine, cooldown and
+// canary pacing, close hysteresis (cleared window), the fleet-health trip
+// wire, and decision determinism (pure function of the outcome/clock trace).
+
+#include "serve/breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scec::serve {
+namespace {
+
+BreakerOptions SmallOptions() {
+  BreakerOptions options;
+  options.enabled = true;
+  options.window = 8;
+  options.min_samples = 4;
+  options.open_threshold = 0.5;
+  options.open_cooldown_s = 1.0;
+  options.canary_interval_s = 0.1;
+  options.canary_successes_to_close = 2;
+  return options;
+}
+
+TEST(BrownoutBreaker, DisabledAlwaysAdmitsAndNeverTrips) {
+  BrownoutBreaker breaker;  // enabled = false
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(breaker.Allow(i * 0.01));
+    breaker.ObserveOutcome(i * 0.01, /*failure=*/true);
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.opens(), 0u);
+}
+
+TEST(BrownoutBreaker, TripsAtThresholdOnlyWithEnoughSamples) {
+  BrownoutBreaker breaker(SmallOptions());
+  // 3 failures: rate 1.0 but below min_samples=4 — must NOT trip yet.
+  for (int i = 0; i < 3; ++i) breaker.ObserveOutcome(0.0, true);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  // Fourth sample reaches min_samples at rate 1.0 >= 0.5: trips.
+  breaker.ObserveOutcome(0.0, true);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+  EXPECT_FALSE(breaker.Allow(0.0));
+}
+
+TEST(BrownoutBreaker, SlidingWindowForgetsOldFailures) {
+  BrownoutBreaker breaker(SmallOptions());
+  // One early failure, then a healthy run: the window (8) slides the
+  // failure out and the rate decays to zero without ever tripping.
+  breaker.ObserveOutcome(0.0, true);
+  for (int i = 0; i < 8; ++i) breaker.ObserveOutcome(0.0, false);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_DOUBLE_EQ(breaker.FailureRate(), 0.0);
+}
+
+TEST(BrownoutBreaker, CooldownThenPacedCanariesThenClose) {
+  BrownoutBreaker breaker(SmallOptions());
+  for (int i = 0; i < 4; ++i) breaker.ObserveOutcome(0.0, true);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+
+  // Rejecting for the whole cooldown.
+  EXPECT_FALSE(breaker.Allow(0.5));
+  EXPECT_FALSE(breaker.Allow(0.999));
+
+  // Cooldown elapsed: half-open, first submission becomes the canary...
+  EXPECT_TRUE(breaker.Allow(1.0));
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.canaries_admitted(), 1u);
+  // ...and everything else is rejected while it is outstanding.
+  EXPECT_FALSE(breaker.Allow(1.0));
+  EXPECT_FALSE(breaker.Allow(5.0));
+
+  // First canary verdict: success. Next canary only after the interval.
+  breaker.ObserveOutcome(1.05, false);
+  EXPECT_FALSE(breaker.Allow(1.05));  // 0.05 < canary_interval_s
+  EXPECT_TRUE(breaker.Allow(1.2));
+  breaker.ObserveOutcome(1.25, false);
+
+  // canary_successes_to_close=2 consecutive successes: closed again, and
+  // the tripping window was cleared (hysteresis) — one failure cannot
+  // instantly re-trip.
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.ObserveOutcome(1.3, true);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_DOUBLE_EQ(breaker.FailureRate(), 1.0);  // 1 of 1 post-close samples
+}
+
+TEST(BrownoutBreaker, CanaryFailureReopensAndRestartsCooldown) {
+  BrownoutBreaker breaker(SmallOptions());
+  for (int i = 0; i < 4; ++i) breaker.ObserveOutcome(0.0, true);
+  ASSERT_TRUE(breaker.Allow(1.0));  // the canary
+  breaker.ObserveOutcome(1.1, /*failure=*/true);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  // Cooldown restarts from the canary verdict, not the original trip.
+  EXPECT_FALSE(breaker.Allow(1.9));
+  EXPECT_TRUE(breaker.Allow(2.1));
+}
+
+TEST(BrownoutBreaker, DroppedCanaryReleasesTheSlotWithoutAVerdict) {
+  BrownoutBreaker breaker(SmallOptions());
+  for (int i = 0; i < 4; ++i) breaker.ObserveOutcome(0.0, true);
+  ASSERT_TRUE(breaker.Allow(1.0));  // canary slot consumed
+  ASSERT_FALSE(breaker.Allow(1.5)) << "slot held while the canary is out";
+
+  // The canary never executed (shed / gated downstream): the release frees
+  // the slot but is NOT a success — the streak must restart from zero.
+  breaker.OnCanaryDropped();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow(1.05)) << "pacing still applies after a drop";
+  EXPECT_TRUE(breaker.Allow(1.2));
+  breaker.ObserveOutcome(1.25, false);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen)
+      << "one success after the drop cannot close: streak was not credited";
+  ASSERT_TRUE(breaker.Allow(1.4));
+  breaker.ObserveOutcome(1.45, false);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(BrownoutBreaker, FleetHealthTripsRegardlessOfOutcomeWindow) {
+  BreakerOptions options = SmallOptions();
+  options.min_usable_fraction = 0.5;
+  BrownoutBreaker breaker(options);
+  breaker.ObserveOutcome(0.0, false);  // healthy outcomes
+  breaker.ObserveFleetHealth(0.0, 0.8);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  // 40% usable < 50% floor: trip, even though no outcome ever failed.
+  breaker.ObserveFleetHealth(0.1, 0.4);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+TEST(BrownoutBreaker, DecisionsAreAPureFunctionOfTheTrace) {
+  // Identical (clock, outcome) traces must produce identical decision
+  // sequences — the breaker holds no hidden wall-clock or RNG state, which
+  // is what makes coordinator runs bit-identical across SCEC_THREADS.
+  auto run = [] {
+    BrownoutBreaker breaker(SmallOptions());
+    std::vector<int> decisions;
+    double now = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      now += 0.037;
+      decisions.push_back(breaker.Allow(now) ? 1 : 0);
+      breaker.ObserveOutcome(now, /*failure=*/(i / 10) % 3 == 0);
+      decisions.push_back(static_cast<int>(breaker.state()));
+    }
+    decisions.push_back(static_cast<int>(breaker.opens()));
+    decisions.push_back(static_cast<int>(breaker.canaries_admitted()));
+    return decisions;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace scec::serve

@@ -100,6 +100,28 @@ TEST(LatencyEstimator, QuantileAndEwmaTrackSlowdownStep) {
   EXPECT_DOUBLE_EQ(estimator.Quantile(0.95), 0.010);
 }
 
+TEST(LatencyEstimator, ResetForgetsTheWindowAndRewarms) {
+  // A window KNOWN to be stale (a brownout that just ended) is dropped in
+  // one call instead of waiting `window` observations for it to slide out.
+  LatencyEstimatorOptions options;
+  options.window = 32;
+  options.min_samples = 4;
+  LatencyEstimator estimator(options);
+  for (size_t i = 0; i < 64; ++i) estimator.Observe(0.160);  // browned out
+  ASSERT_TRUE(estimator.HasEstimate());
+
+  estimator.Reset();
+  EXPECT_FALSE(estimator.HasEstimate());
+  EXPECT_EQ(estimator.count(), 0u);
+
+  // Re-warming sees ONLY post-reset samples — no brownout residue in the
+  // quantile or the EWMA.
+  for (size_t i = 0; i < 4; ++i) estimator.Observe(0.010);
+  ASSERT_TRUE(estimator.HasEstimate());
+  EXPECT_DOUBLE_EQ(estimator.Quantile(1.0), 0.010);
+  EXPECT_DOUBLE_EQ(estimator.Ewma(), 0.010);
+}
+
 TEST(LatencyEstimatorOptions, ValidateAcceptsDefaults) {
   LatencyEstimatorOptions options;
   options.Validate();  // must not abort
