@@ -1,0 +1,312 @@
+// SPDX-License-Identifier: MIT
+//
+// Loopback-cluster harness for the networked coordinator (ISSUE 10):
+//
+//   --mode=bench     1 coordinator + N in-process scecd daemons over
+//                    loopback TCP; measures staging time, queries/sec, and
+//                    per-query p50/p99 latency; emits one JSON object
+//                    (--out writes it to a file for BENCH_pr10.json).
+//   --mode=chaos     replays seeded socket-chaos episodes (net/net_chaos.h);
+//                    the flags mirror NetReproCommand() so a failing
+//                    episode's printed repro line runs verbatim.
+//   --mode=identity  runs the SAME fault-free workload through the
+//                    simulator transport and a live socket cluster and
+//                    diffs the coordinator's decision traces byte-by-byte —
+//                    the ISSUE 10 acceptance check.
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/stats.h"
+#include "linalg/matrix_ops.h"
+#include "net/driver.h"
+#include "net/net_chaos.h"
+#include "net/scecd.h"
+#include "net/sim_transport.h"
+#include "net/socket_transport.h"
+
+namespace {
+
+using scec::CliParser;
+using scec::DeviceFleet;
+using scec::EdgeDevice;
+using scec::Matrix;
+using scec::SortedQuantile;
+using scec::Xoshiro256StarStar;
+using scec::net::NetChaosConfig;
+using scec::net::NetChaosEpisode;
+using scec::net::NetCoordinator;
+using scec::net::NetCoordinatorOptions;
+using scec::net::ScecDaemon;
+using scec::net::ScecdOptions;
+using scec::net::SimTransport;
+using scec::net::SimTransportOptions;
+using scec::net::SocketTransport;
+using scec::net::SocketTransportOptions;
+
+std::vector<EdgeDevice> MakeSpecs(size_t k) {
+  std::vector<EdgeDevice> specs;
+  for (size_t d = 0; d < k; ++d) {
+    EdgeDevice device;
+    device.name = "edge-" + std::to_string(d);
+    device.costs.comm = 1.0 + 0.1 * static_cast<double>(d % 7);
+    device.compute_rate_flops = 1e9;
+    device.uplink_bps = 1e8;
+    device.downlink_bps = 1e8;
+    device.link_latency_s = 1e-3;
+    specs.push_back(device);
+  }
+  return specs;
+}
+
+Matrix<double> MakeMatrix(size_t m, size_t l, uint64_t seed) {
+  Matrix<double> a(m, l);
+  Xoshiro256StarStar rng(seed);
+  for (double& value : a.Data()) value = 2.0 * rng.NextDouble() - 1.0;
+  return a;
+}
+
+double WallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int RunBench(size_t devices, size_t m, size_t l, size_t queries,
+             uint64_t seed, const std::string& out_path) {
+  const Matrix<double> a = MakeMatrix(m, l, seed);
+  DeviceFleet fleet(MakeSpecs(devices));
+
+  std::vector<std::unique_ptr<ScecDaemon>> daemons;
+  std::vector<uint16_t> ports;
+  for (size_t d = 0; d < devices; ++d) {
+    auto daemon = std::make_unique<ScecDaemon>(ScecdOptions{.daemon_id = d});
+    if (!daemon->Start().ok()) {
+      std::cerr << "failed to start daemon " << d << "\n";
+      return 1;
+    }
+    ports.push_back(daemon->port());
+    daemons.push_back(std::move(daemon));
+  }
+
+  NetCoordinatorOptions options;
+  options.rpc_deadline_s = 5.0;
+  options.record_trace = false;
+  NetCoordinator coordinator(a, fleet, options);
+
+  double stage_s = 0.0;
+  double run_s = 0.0;
+  std::vector<double> latencies;
+  {
+    SocketTransport transport(ports, SocketTransportOptions{});
+    const double stage_start = WallSeconds();
+    scec::Status setup = coordinator.Setup(&transport);
+    stage_s = WallSeconds() - stage_start;
+    if (!setup.ok()) {
+      std::cerr << "setup failed: " << setup.message() << "\n";
+      return 1;
+    }
+
+    Xoshiro256StarStar xrng(seed + 1);
+    const double run_start = WallSeconds();
+    for (size_t q = 0; q < queries; ++q) {
+      std::vector<double> x(l);
+      for (double& value : x) value = 2.0 * xrng.NextDouble() - 1.0;
+      const double t0 = WallSeconds();
+      auto answer = coordinator.Query(x);
+      const double t1 = WallSeconds();
+      if (!answer.ok()) {
+        std::cerr << "query " << q << " failed: " << answer.status().message()
+                  << "\n";
+        return 1;
+      }
+      latencies.push_back(t1 - t0);
+    }
+    run_s = WallSeconds() - run_start;
+    (void)transport.Drain(2.0);
+
+    std::sort(latencies.begin(), latencies.end());
+    const double qps =
+        run_s > 0.0 ? static_cast<double>(queries) / run_s : 0.0;
+    const auto& dstats = coordinator.stats();
+    const auto& tstats = transport.stats();
+
+    std::ostringstream json;
+    json << "{\"bench\":\"net_cluster\",\"seed\":" << seed
+         << ",\"devices\":" << devices << ",\"m\":" << m << ",\"l\":" << l
+         << ",\"queries\":" << queries << ",\"stage_s\":" << stage_s
+         << ",\"run_s\":" << run_s << ",\"queries_per_s\":" << qps
+         << ",\"p50_s\":" << SortedQuantile(latencies, 0.50)
+         << ",\"p99_s\":" << SortedQuantile(latencies, 0.99)
+         << ",\"dispatches\":" << dstats.dispatches
+         << ",\"responses_used\":" << dstats.responses_used
+         << ",\"retries\":" << dstats.retries
+         << ",\"evictions\":" << dstats.evictions
+         << ",\"staged_value_bytes\":" << dstats.staged_value_bytes
+         << ",\"query_value_bytes\":" << dstats.query_value_bytes
+         << ",\"response_value_bytes\":" << dstats.response_value_bytes
+         << ",\"transport\":{\"queries_sent\":" << tstats.queries_sent
+         << ",\"responses_delivered\":" << tstats.responses_delivered
+         << ",\"timeouts\":" << tstats.timeouts
+         << ",\"reconnects\":" << tstats.reconnects << "}}";
+
+    std::cout << json.str() << "\n";
+    if (!out_path.empty()) {
+      std::ofstream out(out_path);
+      out << json.str() << "\n";
+    }
+  }
+  for (auto& daemon : daemons) daemon->Stop();
+  return 0;
+}
+
+int RunChaos(const NetChaosConfig& config, size_t first_episode,
+             size_t episodes) {
+  size_t failures = 0;
+  for (size_t i = 0; i < episodes; ++i) {
+    const size_t index = first_episode + i;
+    NetChaosEpisode episode = scec::net::RunNetChaosEpisode(config, index);
+    std::cout << scec::net::DescribeNetSchedule(episode)
+              << " queries=" << episode.queries_answered << "/"
+              << config.queries << " wall=" << episode.wall_s << "s "
+              << (episode.ok() ? "OK" : ("FAIL: " + episode.failure)) << "\n";
+    if (!episode.ok()) {
+      ++failures;
+      std::cout << "  repro: " << scec::net::NetReproCommand(config, index)
+                << "\n";
+    }
+  }
+  std::cout << (episodes - failures) << "/" << episodes
+            << " episodes passed\n";
+  return failures == 0 ? 0 : 1;
+}
+
+int RunIdentity(size_t devices, size_t m, size_t l, size_t queries,
+                uint64_t seed) {
+  const Matrix<double> a = MakeMatrix(m, l, seed);
+  DeviceFleet fleet(MakeSpecs(devices));
+  NetCoordinatorOptions options;
+  options.rpc_deadline_s = 10.0;
+
+  Xoshiro256StarStar xrng(seed + 1);
+  std::vector<std::vector<double>> xs;
+  for (size_t q = 0; q < queries; ++q) {
+    std::vector<double> x(l);
+    for (double& value : x) value = 2.0 * xrng.NextDouble() - 1.0;
+    xs.push_back(std::move(x));
+  }
+
+  // Arm 1: simulator transport.
+  NetCoordinator sim_coord(a, fleet, options);
+  SimTransport sim(MakeSpecs(devices), SimTransportOptions{});
+  if (!sim_coord.Setup(&sim).ok()) return 1;
+  for (const auto& x : xs) {
+    if (!sim_coord.Query(x).ok()) return 1;
+  }
+
+  // Arm 2: live loopback cluster.
+  std::vector<std::unique_ptr<ScecDaemon>> daemons;
+  std::vector<uint16_t> ports;
+  for (size_t d = 0; d < devices; ++d) {
+    auto daemon = std::make_unique<ScecDaemon>(ScecdOptions{.daemon_id = d});
+    if (!daemon->Start().ok()) return 1;
+    ports.push_back(daemon->port());
+    daemons.push_back(std::move(daemon));
+  }
+  NetCoordinator net_coord(a, fleet, options);
+  int rc = 0;
+  {
+    SocketTransport transport(ports, SocketTransportOptions{});
+    if (!net_coord.Setup(&transport).ok()) rc = 1;
+    if (rc == 0) {
+      for (const auto& x : xs) {
+        if (!net_coord.Query(x).ok()) {
+          rc = 1;
+          break;
+        }
+      }
+    }
+    (void)transport.Drain(2.0);
+  }
+  for (auto& daemon : daemons) daemon->Stop();
+  if (rc != 0) return rc;
+
+  const auto& sim_trace = sim_coord.trace();
+  const auto& net_trace = net_coord.trace();
+  if (sim_trace == net_trace) {
+    std::cout << "IDENTICAL: " << sim_trace.size()
+              << " decision-trace entries match between simulator and "
+                 "socket transports\n";
+    return 0;
+  }
+  std::cout << "MISMATCH: sim=" << sim_trace.size()
+            << " entries, socket=" << net_trace.size() << "\n";
+  const size_t n = std::min(sim_trace.size(), net_trace.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (sim_trace[i] != net_trace[i]) {
+      std::cout << "  first diff at entry " << i << ":\n    sim:    "
+                << sim_trace[i] << "\n    socket: " << net_trace[i] << "\n";
+      break;
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("net_cluster",
+                "Loopback cluster bench / socket chaos / trace identity");
+  std::string mode = "bench";
+  uint64_t seed = 20190707;
+  int64_t devices = 16;
+  int64_t m = 64;
+  int64_t l = 32;
+  int64_t queries = 32;
+  int64_t episodes = 4;
+  int64_t first_episode = 0;
+  double max_drop = 0.12;
+  std::string out_path;
+  cli.AddString("mode", &mode, "bench | chaos | identity");
+  cli.AddUint("seed", &seed, "base seed");
+  cli.AddInt("devices", &devices, "edge daemons in the cluster");
+  cli.AddInt("m", &m, "matrix rows");
+  cli.AddInt("l", &l, "matrix cols");
+  cli.AddInt("queries", &queries, "queries per run/episode");
+  cli.AddInt("episodes", &episodes, "chaos episodes to run");
+  cli.AddInt("first_episode", &first_episode, "first chaos episode index");
+  cli.AddDouble("max_drop", &max_drop, "chaos: max per-episode drop prob");
+  cli.AddString("out", &out_path, "bench: write the JSON line here too");
+  if (!cli.Parse(argc, argv)) return 1;
+
+  if (mode == "bench") {
+    return RunBench(static_cast<size_t>(devices), static_cast<size_t>(m),
+                    static_cast<size_t>(l), static_cast<size_t>(queries),
+                    seed, out_path);
+  }
+  if (mode == "chaos") {
+    NetChaosConfig config;
+    config.seed = seed;
+    config.num_devices = static_cast<size_t>(devices);
+    config.m = static_cast<size_t>(m);
+    config.l = static_cast<size_t>(l);
+    config.queries = static_cast<size_t>(queries);
+    config.max_drop_prob = max_drop;
+    return RunChaos(config, static_cast<size_t>(first_episode),
+                    static_cast<size_t>(episodes));
+  }
+  if (mode == "identity") {
+    return RunIdentity(static_cast<size_t>(devices), static_cast<size_t>(m),
+                       static_cast<size_t>(l), static_cast<size_t>(queries),
+                       seed);
+  }
+  std::cerr << "unknown --mode=" << mode << "\n" << cli.Usage();
+  return 1;
+}

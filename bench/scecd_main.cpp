@@ -1,0 +1,55 @@
+// SPDX-License-Identifier: MIT
+//
+// Standalone scecd launcher: one SCEC edge-device daemon on loopback TCP.
+// Useful for driving a multi-process cluster by hand; the in-process bench
+// (net_cluster) and tests spawn daemons directly instead.
+//
+//   scecd --port=7401 --daemon_id=3
+//
+// Runs until SIGINT/SIGTERM, then stops cleanly (drains connections).
+
+#include <csignal>
+#include <iostream>
+
+#include "common/cli.h"
+#include "net/scecd.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  scec::CliParser cli("scecd", "SCEC edge-device share/query daemon");
+  int64_t port = 0;
+  uint64_t daemon_id = 0;
+  cli.AddInt("port", &port, "TCP port on 127.0.0.1 (0 = ephemeral)");
+  cli.AddUint("daemon_id", &daemon_id, "device id reported in HELLO_ACK");
+  if (!cli.Parse(argc, argv)) return 1;
+
+  scec::net::ScecdOptions options;
+  options.daemon_id = daemon_id;
+  options.port = static_cast<uint16_t>(port);
+  scec::net::ScecDaemon daemon(options);
+  scec::Status started = daemon.Start();
+  if (!started.ok()) {
+    std::cerr << "scecd: " << started.message() << "\n";
+    return 1;
+  }
+  std::cout << "scecd listening on 127.0.0.1:" << daemon.port()
+            << " (daemon_id=" << daemon_id << ")" << std::endl;
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    struct timespec ts = {0, 100'000'000};
+    nanosleep(&ts, nullptr);
+  }
+  daemon.Stop();
+  std::cout << "scecd: stopped (served " << daemon.queries_served()
+            << " queries)" << std::endl;
+  return 0;
+}

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "common/check.h"
+#include "common/rng.h"
 
 namespace scec {
 
@@ -43,6 +45,35 @@ struct RetryPolicy {
     for (size_t i = 0; i + 1 < max_attempts; ++i) total += BackoffFor(i);
     return total;
   }
+};
+
+// Deterministic multiplicative jitter on retry delays:
+// delay *= 1 + U(-jitter, +jitter), drawn from a dedicated PRNG seeded with
+// `seed`, so reruns of the same seed replay the exact schedule while distinct
+// seeds decorrelate retry storms. One policy is shared by every retransmit
+// scheduler — the fault-tolerant sim protocol, ReliableChannel wire
+// retransmissions, and the socket transport's reconnect backoff — so sim and
+// wall-clock schedules jitter identically.
+class BackoffJitter {
+ public:
+  BackoffJitter(double jitter, uint64_t seed) : jitter_(jitter), rng_(seed) {
+    SCEC_CHECK_GE(jitter, 0.0);
+    SCEC_CHECK_LT(jitter, 1.0);
+  }
+
+  double jitter() const { return jitter_; }
+
+  // Jittered delay. Consumes a PRNG draw ONLY when jitter > 0, so a zero
+  // jitter reproduces pre-jitter schedules bit-for-bit (and leaves sibling
+  // RNG streams untouched).
+  double Apply(double delay) {
+    if (jitter_ == 0.0) return delay;
+    return delay * (1.0 + jitter_ * (2.0 * rng_.NextDouble() - 1.0));
+  }
+
+ private:
+  double jitter_;
+  Xoshiro256StarStar rng_;
 };
 
 }  // namespace scec

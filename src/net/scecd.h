@@ -1,0 +1,94 @@
+// SPDX-License-Identifier: MIT
+//
+// scecd: the SCEC edge-device daemon. Listens on loopback TCP, stores coded
+// shares shipped by the coordinator, and answers queries with B_j·T·x over
+// the checksummed wire format. One daemon models one edge device; a
+// loopback cluster is N daemons + one networked coordinator
+// (net/socket_transport.h), each daemon on its own event-loop thread.
+//
+// Robustness behavior:
+//   * shares survive reconnects — they are keyed by share id and owned by
+//     the daemon process, so a coordinator that reconnects after a reset or
+//     partition resumes querying without restaging (HELLO_ACK reports the
+//     count),
+//   * heartbeats are answered from the read path, so a live daemon is never
+//     evicted for slow compute,
+//   * corrupt frames poison only the offending connection (typed teardown),
+//     never the daemon,
+//   * kDrain finishes queued work, answers kDrainAck, and closes cleanly.
+//
+// Fault injection for tests and chaos benches (SetBehavior): honest,
+// corrupt (Byzantine lie on element 0), silent (accept query, never
+// answer), delay (answer after a fixed pause via the loop's timer wheel).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+#include "linalg/matrix.h"
+#include "net/event_loop.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace scec::net {
+
+struct ScecdOptions {
+  uint64_t daemon_id = 0;
+  uint16_t port = 0;  // 0 = ephemeral (read back via port())
+};
+
+class ScecDaemon {
+ public:
+  enum class Behavior { kHonest, kCorrupt, kSilent, kDelay };
+
+  explicit ScecDaemon(ScecdOptions options);
+  ~ScecDaemon();
+
+  // Binds the listen socket and spawns the loop thread.
+  Status Start();
+  // Stops the loop and joins the thread. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+  // Thread-safe fault injection; applies to queries arriving after the call.
+  void SetBehavior(Behavior behavior, double delay_s = 0.0);
+
+  uint64_t shares_held() const { return shares_held_.load(); }
+  uint64_t queries_served() const { return queries_served_.load(); }
+  uint64_t queries_suppressed() const { return queries_suppressed_.load(); }
+
+ private:
+  struct Connection;
+
+  void HandleAccept();
+  void HandleFrame(Connection* conn, Frame frame);
+  void CloseConnection(Connection* conn);
+  void AnswerQuery(Connection* conn, QueryMsg query);
+
+  ScecdOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  EventLoop loop_;
+  std::thread thread_;
+  bool started_ = false;
+
+  std::atomic<int> behavior_{0};  // Behavior
+  std::atomic<double> behavior_delay_s_{0.0};
+  std::atomic<uint64_t> shares_held_{0};
+  std::atomic<uint64_t> queries_served_{0};
+  std::atomic<uint64_t> queries_suppressed_{0};
+
+  // Loop-thread state.
+  std::unordered_map<uint64_t, Matrix<double>> shares_;
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace scec::net

@@ -1,0 +1,222 @@
+// SPDX-License-Identifier: MIT
+
+#include "net/sim_transport.h"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+#include "common/check.h"
+#include "linalg/matrix_ops.h"
+
+namespace scec::net {
+
+SimTransport::SimTransport(std::vector<EdgeDevice> fleet,
+                           SimTransportOptions options)
+    : options_(options), straggler_rng_(options.straggler_seed) {
+  SCEC_CHECK(!fleet.empty());
+  SCEC_CHECK_GT(options_.value_bytes, 0.0);
+  devices_.reserve(fleet.size());
+  for (EdgeDevice& spec : fleet) {
+    const size_t d = devices_.size();
+    const sim::NodeId node = sim::DeviceNode(d);
+    // Same star shape as the in-sim protocols: user -> device rides the
+    // device's downlink, device -> user its uplink.
+    network_.AddLink(sim::kUserNode, node,
+                     sim::LinkSpec{spec.link_latency_s, spec.downlink_bps});
+    network_.AddLink(node, sim::kUserNode,
+                     sim::LinkSpec{spec.link_latency_s, spec.uplink_bps});
+    DeviceState state;
+    state.spec = std::move(spec);
+    devices_.push_back(std::move(state));
+  }
+}
+
+Status SimTransport::StageShare(size_t device, uint64_t share_id,
+                                const Matrix<double>& rows) {
+  if (device >= devices_.size()) {
+    return OutOfRange("device index out of range");
+  }
+  if (draining_) return ToStatus(NetError::kDraining, "transport draining");
+  // Staging is synchronous setup: ship the bytes, run the simulation until
+  // the delivery lands. No queries are in flight during staging rounds, so
+  // the extra events drained here belong to this transfer alone.
+  bool delivered = false;
+  const uint64_t bytes = static_cast<uint64_t>(
+      static_cast<double>(rows.size()) * options_.value_bytes);
+  network_.Send(sim::kUserNode, sim::DeviceNode(device), bytes,
+                [this, device, share_id, &rows, &delivered]() {
+                  devices_[device].shares[share_id] = rows;
+                  delivered = true;
+                });
+  while (!delivered && queue_.RunOne()) {
+  }
+  if (!delivered) return Internal("staging transfer never delivered");
+  return Status::Ok();
+}
+
+void SimTransport::Dispatch(uint64_t rpc_id, size_t device, uint64_t share_id,
+                            std::vector<double> x, double deadline_s) {
+  auto rpc_it = rpcs_.find(rpc_id);
+  if (rpc_it == rpcs_.end()) return;  // cancelled during the start delay
+  rpc_it->second.dispatched = true;
+
+  ++stats_.queries_sent;
+  stats_.query_value_bytes_sent += static_cast<uint64_t>(
+      static_cast<double>(x.size()) * options_.value_bytes);
+
+  // Deadline timer starts at dispatch, exactly like the socket transport.
+  rpc_it->second.deadline_event =
+      queue_.ScheduleAfter(deadline_s, [this, rpc_id]() {
+        auto it = rpcs_.find(rpc_id);
+        if (it == rpcs_.end()) return;
+        const size_t dev = it->second.device;
+        rpcs_.erase(it);
+        ++stats_.timeouts;
+        Completion completion;
+        completion.kind = Completion::Kind::kError;
+        completion.id = rpc_id;
+        completion.device = dev;
+        completion.error = NetError::kTimeout;
+        ready_.push_back(std::move(completion));
+      });
+
+  const uint64_t query_bytes = static_cast<uint64_t>(
+      static_cast<double>(x.size()) * options_.value_bytes);
+  network_.Send(
+      sim::kUserNode, sim::DeviceNode(device), query_bytes,
+      [this, rpc_id, device, share_id, x = std::move(x)]() {
+        DeviceState& dev = devices_[device];
+        auto share_it = dev.shares.find(share_id);
+        if (share_it == dev.shares.end()) return;  // unknown share: drop
+        const Matrix<double>& share = share_it->second;
+        if (x.size() != share.cols()) return;
+
+        // Single-core device: queue behind the in-flight query; Eq. (1)
+        // compute term V_j·l mults + V_j·(l−1) adds.
+        const double flops = static_cast<double>(
+            share.rows() * share.cols() + share.rows() * (share.cols() - 1));
+        const double nominal = flops / dev.spec.compute_rate_flops;
+        const double duration =
+            options_.straggler.Apply(nominal, straggler_rng_);
+        const double start = std::max(queue_.now(), dev.busy_until);
+        const double done = start + duration;
+        dev.busy_until = done;
+
+        queue_.ScheduleAt(done, [this, rpc_id, device, share_id,
+                                 x = std::move(x)]() {
+          DeviceState& dev = devices_[device];
+          auto it = dev.shares.find(share_id);
+          if (it == dev.shares.end()) return;
+          const SimFault fault = fault_hook_ == nullptr
+                                     ? SimFault::kHonest
+                                     : fault_hook_(device, rpc_id);
+          if (fault == SimFault::kSilent) return;  // deadline will fire
+          std::vector<double> values(it->second.rows());
+          MatVecInto(it->second, std::span<const double>(x),
+                     std::span<double>(values));
+          if (fault == SimFault::kCorrupt && !values.empty()) {
+            values[0] += 1.0;
+          }
+          const uint64_t bytes = static_cast<uint64_t>(
+              static_cast<double>(values.size()) * options_.value_bytes);
+          network_.Send(sim::DeviceNode(device), sim::kUserNode, bytes,
+                        [this, rpc_id, device,
+                         values = std::move(values)]() {
+                          auto rpc = rpcs_.find(rpc_id);
+                          if (rpc == rpcs_.end()) {
+                            // Late: RPC already timed out or was cancelled.
+                            ++stats_.stale_responses;
+                            return;
+                          }
+                          queue_.Cancel(rpc->second.deadline_event);
+                          rpcs_.erase(rpc);
+                          ++stats_.responses_delivered;
+                          stats_.response_value_bytes_delivered +=
+                              static_cast<uint64_t>(
+                                  static_cast<double>(values.size()) *
+                                  options_.value_bytes);
+                          Completion completion;
+                          completion.kind = Completion::Kind::kResponse;
+                          completion.id = rpc_id;
+                          completion.device = device;
+                          completion.values = std::move(values);
+                          ready_.push_back(std::move(completion));
+                        });
+        });
+      });
+}
+
+uint64_t SimTransport::SubmitQuery(size_t device, uint64_t share_id,
+                                   const std::vector<double>& x,
+                                   double deadline_s, double start_delay_s) {
+  SCEC_CHECK_LT(device, devices_.size());
+  SCEC_CHECK_GT(deadline_s, 0.0);
+  SCEC_CHECK_GE(start_delay_s, 0.0);
+  SCEC_CHECK(!draining_);
+  const uint64_t rpc_id = next_id_++;
+  rpcs_.emplace(rpc_id, Rpc{device, share_id, 0, false});
+  if (start_delay_s == 0.0) {
+    Dispatch(rpc_id, device, share_id, x, deadline_s);
+  } else {
+    queue_.ScheduleAfter(start_delay_s,
+                         [this, rpc_id, device, share_id, x, deadline_s]() {
+                           Dispatch(rpc_id, device, share_id, x, deadline_s);
+                         });
+  }
+  return rpc_id;
+}
+
+uint64_t SimTransport::AddAlarm(double delay_s) {
+  SCEC_CHECK_GE(delay_s, 0.0);
+  const uint64_t alarm_id = next_id_++;
+  alarms_[alarm_id] = queue_.ScheduleAfter(delay_s, [this, alarm_id]() {
+    if (alarms_.erase(alarm_id) == 0) return;
+    Completion completion;
+    completion.kind = Completion::Kind::kAlarm;
+    completion.id = alarm_id;
+    ready_.push_back(std::move(completion));
+  });
+  return alarm_id;
+}
+
+bool SimTransport::Cancel(uint64_t id) {
+  auto rpc = rpcs_.find(id);
+  if (rpc != rpcs_.end()) {
+    if (rpc->second.deadline_event != 0) {
+      queue_.Cancel(rpc->second.deadline_event);
+    }
+    rpcs_.erase(rpc);
+    ++stats_.cancelled;
+    return true;
+  }
+  auto alarm = alarms_.find(id);
+  if (alarm != alarms_.end()) {
+    queue_.Cancel(alarm->second);
+    alarms_.erase(alarm);
+    return true;
+  }
+  return false;
+}
+
+size_t SimTransport::PollInto(std::vector<Completion>* out,
+                              double /*max_wait_s*/) {
+  SCEC_CHECK(out != nullptr);
+  // Advance simulated time one event at a time until something completes or
+  // the simulation runs dry (every pending event fired without producing a
+  // completion — only possible if the driver has nothing outstanding).
+  while (ready_.empty()) {
+    if (!queue_.RunOne()) break;
+  }
+  const size_t n = ready_.size();
+  for (Completion& completion : ready_) out->push_back(std::move(completion));
+  ready_.clear();
+  return n;
+}
+
+Status SimTransport::Drain(double /*timeout_s*/) {
+  draining_ = true;
+  return Status::Ok();
+}
+
+}  // namespace scec::net

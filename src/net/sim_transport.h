@@ -1,0 +1,101 @@
+// SPDX-License-Identifier: MIT
+//
+// Transport backed by the deterministic discrete-event simulator. Devices
+// are modeled exactly like EdgeDeviceActor (sim/actors.h): a star topology
+// of latency+bandwidth links around the user node, single-core devices
+// whose queries queue behind the one in progress, straggler-inflated
+// compute, and seeded fault injection — but exposed through the poll-based
+// Transport interface so the networked coordinator drives it with the same
+// code path as real sockets.
+//
+// PollInto() advances the simulation one event at a time until a completion
+// materialises, so the driver's interleaving of decisions matches the
+// socket transport's (one completion batch per wakeup).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "allocation/device.h"
+#include "linalg/matrix.h"
+#include "net/transport.h"
+#include "sim/actors.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/straggler.h"
+
+namespace scec::net {
+
+// Per-query fault verdict from the test/chaos hook.
+enum class SimFault {
+  kHonest,   // respond correctly
+  kCorrupt,  // respond with element 0 perturbed (Byzantine lie)
+  kSilent,   // never respond (crash / omission; deadline will fire)
+};
+
+struct SimTransportOptions {
+  double value_bytes = 8.0;
+  sim::StragglerModel straggler;
+  uint64_t straggler_seed = 7;
+};
+
+class SimTransport : public Transport {
+ public:
+  // `fleet` supplies per-device link latency/bandwidth and compute rate.
+  SimTransport(std::vector<EdgeDevice> fleet, SimTransportOptions options);
+
+  // Scripted fault injection, consulted at compute-completion time for
+  // every dispatched query. Deterministic inputs (device, rpc id) keep
+  // chaos episodes replayable.
+  using FaultHook = std::function<SimFault(size_t device, uint64_t rpc_id)>;
+  void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  size_t num_devices() const override { return devices_.size(); }
+  double Now() const override { return queue_.now(); }
+  Status StageShare(size_t device, uint64_t share_id,
+                    const Matrix<double>& rows) override;
+  uint64_t SubmitQuery(size_t device, uint64_t share_id,
+                       const std::vector<double>& x, double deadline_s,
+                       double start_delay_s) override;
+  uint64_t AddAlarm(double delay_s) override;
+  bool Cancel(uint64_t id) override;
+  size_t PollInto(std::vector<Completion>* out, double max_wait_s) override;
+  const NetTransportStats& stats() const override { return stats_; }
+  Status Drain(double timeout_s) override;
+
+ private:
+  struct DeviceState {
+    EdgeDevice spec;
+    std::unordered_map<uint64_t, Matrix<double>> shares;
+    double busy_until = 0.0;
+  };
+
+  struct Rpc {
+    size_t device = 0;
+    uint64_t share_id = 0;
+    uint64_t deadline_event = 0;  // EventQueue id; 0 = not yet dispatched
+    bool dispatched = false;
+  };
+
+  void Dispatch(uint64_t rpc_id, size_t device, uint64_t share_id,
+                std::vector<double> x, double deadline_s);
+
+  SimTransportOptions options_;
+  sim::EventQueue queue_;
+  sim::Network network_{&queue_};
+  Xoshiro256StarStar straggler_rng_;
+  FaultHook fault_hook_;
+
+  std::vector<DeviceState> devices_;
+  uint64_t next_id_ = 1;  // shared by RPCs and alarms
+  std::unordered_map<uint64_t, Rpc> rpcs_;
+  std::unordered_map<uint64_t, uint64_t> alarms_;  // alarm id -> event id
+  std::vector<Completion> ready_;
+  NetTransportStats stats_;
+  bool draining_ = false;
+};
+
+}  // namespace scec::net

@@ -1,0 +1,225 @@
+// SPDX-License-Identifier: MIT
+
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+
+namespace scec::net {
+namespace {
+
+Status Errno(const std::string& what, int err) {
+  return Unavailable(what + ": " + std::strerror(err));
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  SCEC_CHECK_GE(flags, 0);
+  SCEC_CHECK_EQ(fcntl(fd, F_SETFL, flags | O_NONBLOCK), 0);
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+Result<int> ListenTcp(uint16_t port, uint16_t* actual_port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket", errno);
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = LoopbackAddr(port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    close(fd);
+    return Errno("bind", err);
+  }
+  if (listen(fd, 128) != 0) {
+    const int err = errno;
+    close(fd);
+    return Errno("listen", err);
+  }
+  if (actual_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      const int err = errno;
+      close(fd);
+      return Errno("getsockname", err);
+    }
+    *actual_port = ntohs(bound.sin_port);
+  }
+  SetNonBlocking(fd);
+  return fd;
+}
+
+Result<int> AcceptTcp(int listen_fd) {
+  const int fd = accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    return Errno("accept", errno);
+  }
+  return fd;
+}
+
+Result<int> ConnectTcp(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket", errno);
+  sockaddr_in addr = LoopbackAddr(port);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    close(fd);
+    return Errno("connect", err);
+  }
+  return fd;
+}
+
+BufferedSocket::BufferedSocket(EventLoop* loop, int fd)
+    : loop_(loop), fd_(fd) {
+  SCEC_CHECK(loop != nullptr);
+  SCEC_CHECK_GE(fd, 0);
+  SetNonBlocking(fd_);
+  SetNoDelay(fd_);
+}
+
+BufferedSocket::~BufferedSocket() {
+  *alive_ = false;
+  TearDown();
+}
+
+void BufferedSocket::Start(DataHandler on_data, CloseHandler on_close) {
+  SCEC_CHECK(on_data != nullptr);
+  SCEC_CHECK(on_close != nullptr);
+  on_data_ = std::move(on_data);
+  on_close_ = std::move(on_close);
+  loop_->WatchFd(fd_, /*want_read=*/true, /*want_write=*/false,
+                 [this](uint32_t events) { HandleEvents(events); });
+}
+
+void BufferedSocket::TearDown() {
+  if (fd_ < 0) return;
+  loop_->UnwatchFd(fd_);
+  close(fd_);
+  fd_ = -1;
+  write_queue_.clear();
+  queued_bytes_ = 0;
+  front_offset_ = 0;
+}
+
+void BufferedSocket::Close() { TearDown(); }
+
+void BufferedSocket::FailFromErrno(int err) {
+  CloseHandler handler = std::move(on_close_);
+  on_close_ = nullptr;
+  TearDown();
+  if (handler != nullptr) {
+    handler(NetError::kConnReset,
+            err == 0 ? "connection closed by peer" : std::strerror(err));
+  }
+}
+
+void BufferedSocket::HandleEvents(uint32_t events) {
+  std::shared_ptr<bool> alive = alive_;
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0 && (events & EPOLLIN) == 0) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+    FailFromErrno(err == 0 ? ECONNRESET : err);
+    return;
+  }
+  if ((events & EPOLLIN) != 0) {
+    HandleReadable();
+    // The read handler may have closed — or DESTROYED — this socket.
+    if (!*alive || fd_ < 0) return;
+  }
+  if ((events & EPOLLOUT) != 0) HandleWritable();
+}
+
+void BufferedSocket::HandleReadable() {
+  std::shared_ptr<bool> alive = alive_;
+  char buf[65536];
+  while (fd_ >= 0) {
+    const ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      on_data_(std::string_view(buf, static_cast<size_t>(n)));
+      if (!*alive) return;  // handler destroyed the socket
+      continue;
+    }
+    if (n == 0) {
+      FailFromErrno(0);  // orderly EOF still means this channel is gone
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    FailFromErrno(errno);
+    return;
+  }
+}
+
+void BufferedSocket::Flush() {
+  while (!write_queue_.empty()) {
+    const std::string& front = write_queue_.front();
+    const char* data = front.data() + front_offset_;
+    const size_t len = front.size() - front_offset_;
+    const ssize_t n = write(fd_, data, len);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      FailFromErrno(errno);
+      return;
+    }
+    queued_bytes_ -= static_cast<size_t>(n);
+    front_offset_ += static_cast<size_t>(n);
+    if (front_offset_ == front.size()) {
+      write_queue_.pop_front();
+      front_offset_ = 0;
+    }
+  }
+  const bool need_epollout = !write_queue_.empty();
+  if (need_epollout != want_write_) {
+    want_write_ = need_epollout;
+    loop_->UpdateFd(fd_, /*want_read=*/true, /*want_write=*/want_write_);
+  }
+  if (above_high_ && queued_bytes_ <= low_watermark_) {
+    above_high_ = false;
+    if (on_writable_ != nullptr) on_writable_();
+  }
+}
+
+void BufferedSocket::HandleWritable() {
+  if (fd_ < 0) return;
+  Flush();
+}
+
+bool BufferedSocket::Send(std::string bytes) {
+  if (fd_ < 0) return false;
+  if (bytes.empty()) return true;
+  queued_bytes_ += bytes.size();
+  write_queue_.push_back(std::move(bytes));
+  Flush();
+  if (fd_ >= 0 && queued_bytes_ >= high_watermark_) above_high_ = true;
+  return fd_ >= 0;
+}
+
+}  // namespace scec::net

@@ -1,0 +1,112 @@
+// SPDX-License-Identifier: MIT
+//
+// Non-blocking TCP plumbing for the event loop: listen/connect helpers and a
+// BufferedSocket that owns one connected fd, feeds inbound bytes to a
+// handler, and maintains a backpressure-aware outbound queue (immediate
+// write when the kernel buffer has room, EPOLLOUT-driven flush when it does
+// not, high/low watermarks so producers can pause instead of ballooning the
+// queue). Peer-initiated closure and write errors surface exactly once as a
+// typed NetError (kConnReset) through the close handler.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+#include "net/error.h"
+#include "net/event_loop.h"
+
+namespace scec::net {
+
+// Opens a listening TCP socket on 127.0.0.1:`port` (0 = ephemeral) with
+// SO_REUSEADDR, non-blocking. On success stores the bound port in
+// `*actual_port` and returns the fd.
+Result<int> ListenTcp(uint16_t port, uint16_t* actual_port);
+
+// Accepts one pending connection (non-blocking listen fd). Returns the
+// connected fd, or -1 if no connection is pending (EAGAIN).
+Result<int> AcceptTcp(int listen_fd);
+
+// Connects to 127.0.0.1:`port`. Loopback connects complete (or refuse)
+// immediately, so this is safe on the loop thread. kRefused surfaces as
+// Status(kUnavailable).
+Result<int> ConnectTcp(uint16_t port);
+
+class BufferedSocket {
+ public:
+  // Inbound bytes; the handler must consume the whole view (the socket does
+  // not retain it). Invoked on the loop thread.
+  using DataHandler = std::function<void(std::string_view)>;
+  // Invoked exactly once, on the loop thread, when the peer closes or an
+  // I/O error occurs. NOT invoked for locally-initiated Close().
+  using CloseHandler = std::function<void(NetError, const std::string&)>;
+
+  // Takes ownership of `fd` (sets O_NONBLOCK + TCP_NODELAY).
+  BufferedSocket(EventLoop* loop, int fd);
+  ~BufferedSocket();
+  BufferedSocket(const BufferedSocket&) = delete;
+  BufferedSocket& operator=(const BufferedSocket&) = delete;
+
+  // Registers with the loop and starts reading. Loop thread only.
+  void Start(DataHandler on_data, CloseHandler on_close);
+
+  // Queues `bytes` for transmission (writes immediately when possible).
+  // Returns false if the socket is already closed. Loop thread only.
+  bool Send(std::string bytes);
+
+  // Bytes accepted but not yet handed to the kernel.
+  size_t queued_bytes() const { return queued_bytes_; }
+  // Below the high watermark: producers may keep sending. Crossing the high
+  // watermark only flags pressure — Send still queues — so callers decide
+  // whether to pause (the chaos proxy does; staging waits on acks anyway).
+  bool writable() const { return queued_bytes_ < high_watermark_; }
+  void SetWatermarks(size_t high, size_t low) {
+    high_watermark_ = high;
+    low_watermark_ = low;
+  }
+  // Fires on the loop thread when the queue drains below the low watermark
+  // after having crossed the high one.
+  void SetWritableCallback(std::function<void()> cb) {
+    on_writable_ = std::move(cb);
+  }
+
+  // Stops I/O and closes the fd. Does NOT invoke the close handler.
+  void Close();
+
+  bool closed() const { return fd_ < 0; }
+  int fd() const { return fd_; }
+
+ private:
+  void HandleEvents(uint32_t events);
+  void HandleReadable();
+  void HandleWritable();
+  void FailFromErrno(int err);
+  void TearDown();  // unwatch + close fd
+  void Flush();     // write queued bytes until EAGAIN or empty
+
+  EventLoop* loop_;
+  int fd_;
+  // Destruction sentinel: handlers (on_data_, on_close_) are allowed to
+  // destroy this socket — owners tear whole connections down from inside a
+  // read callback. Event-path frames hold a copy and bail out once cleared,
+  // so no member is touched after the object is gone.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  bool want_write_ = false;  // EPOLLOUT currently armed
+  bool above_high_ = false;
+  size_t high_watermark_ = 4u << 20;
+  size_t low_watermark_ = 1u << 20;
+  size_t queued_bytes_ = 0;
+  std::deque<std::string> write_queue_;
+  size_t front_offset_ = 0;  // bytes of write_queue_.front() already sent
+
+  DataHandler on_data_;
+  CloseHandler on_close_;
+  std::function<void()> on_writable_;
+};
+
+}  // namespace scec::net

@@ -1,0 +1,175 @@
+// SPDX-License-Identifier: MIT
+//
+// Compact checksummed binary wire format for the networked SCEC protocol:
+// coded row shipment (staging), query dispatch, and B_j·T·x responses, plus
+// the control plane (handshake, heartbeats, cancellation, draining).
+//
+// Frame layout (little-endian):
+//
+//   offset  size  field
+//   0       4     magic "SNET"
+//   4       1     version (kWireVersion)
+//   5       1     type (WireType)
+//   6       2     reserved (must be 0)
+//   8       4     payload length
+//   12      4     CRC-32 of the payload bytes
+//   16      4     CRC-32 of header bytes [0, 16)
+//   20      ...   payload
+//
+// Both the header and the payload carry their own CRC, so EVERY corrupted
+// byte — magic, version, type, reserved, length, either checksum, or any
+// payload byte — is detected deterministically and surfaces as a typed
+// Status (kInvalidArgument), never a crash or a silent misdecode. Truncated
+// buffers report kNeedMore rather than faulting, so a streaming reader can
+// accumulate bytes safely. Tested byte-by-byte in tests/test_net_wire.cpp.
+//
+// Payload bodies reuse the BinaryWriter/BinaryReader encoding from
+// common/serde.h (fixed-width little-endian, length-prefixed vectors with
+// allocation bounds against hostile inputs).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace scec::net {
+
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 20;
+// Bounds a single frame; large enough for a 64k×128-value share, small
+// enough that a corrupted length field cannot provoke a huge allocation.
+inline constexpr uint32_t kMaxPayloadLen = 1u << 26;
+
+enum class WireType : uint8_t {
+  kHello = 1,      // coordinator -> daemon: identify + session epoch
+  kHelloAck,       // daemon -> coordinator: accepted, reports shares held
+  kShare,          // coordinator -> daemon: coded rows for one share id
+  kShareAck,       // daemon -> coordinator: share stored (or typed refusal)
+  kQuery,          // coordinator -> daemon: x vector for share·x
+  kResponse,       // daemon -> coordinator: response values
+  kRpcError,       // daemon -> coordinator: typed per-RPC failure
+  kHeartbeat,      // either direction: liveness probe
+  kHeartbeatAck,   // reply to kHeartbeat, echoes the sequence number
+  kCancel,         // coordinator -> daemon: abandon an in-flight RPC
+  kDrain,          // coordinator -> daemon: finish queued work, then close
+  kDrainAck,       // daemon -> coordinator: drained; closing after this
+};
+
+const char* WireTypeName(WireType type);
+bool IsKnownWireType(uint8_t raw);
+
+struct Frame {
+  WireType type = WireType::kHeartbeat;
+  std::string payload;
+};
+
+// Serializes one frame (header + checksummed payload).
+std::string EncodeFrame(WireType type, std::string_view payload);
+
+enum class DecodeProgress {
+  kNeedMore,  // buffer holds a prefix of a valid frame; feed more bytes
+  kFrame,     // one frame decoded; `consumed` bytes may be discarded
+  kError,     // corrupt stream; the connection must be torn down
+};
+
+struct DecodeResult {
+  DecodeProgress progress = DecodeProgress::kNeedMore;
+  Frame frame;          // valid iff progress == kFrame
+  size_t consumed = 0;  // bytes of `buffer` consumed (kFrame only)
+  Status status;        // non-OK iff progress == kError
+};
+
+// Attempts to decode the frame at the head of `buffer`. Never reads past
+// `buffer.size()`; never aborts on hostile bytes.
+DecodeResult DecodeFrame(std::string_view buffer);
+
+// Streaming frame extractor: append raw socket bytes, pull whole frames.
+class FrameReader {
+ public:
+  // Appends bytes, then decodes as many complete frames as available into
+  // `out` (appended). Returns a non-OK Status on the first corrupt frame;
+  // the reader is then poisoned and the connection should be closed.
+  Status Feed(std::string_view bytes, std::vector<Frame>* out);
+
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  bool poisoned_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Message bodies. Each struct encodes to a payload string and decodes with a
+// typed Status; all reads are bounds-checked.
+
+struct HelloMsg {
+  uint64_t coordinator_id = 0;
+  uint64_t session_epoch = 0;  // bumps on coordinator restart
+  std::string Encode() const;
+  static Result<HelloMsg> Decode(std::string_view payload);
+};
+
+struct HelloAckMsg {
+  uint64_t daemon_id = 0;
+  uint64_t shares_held = 0;  // survives reconnects: no restaging needed
+  std::string Encode() const;
+  static Result<HelloAckMsg> Decode(std::string_view payload);
+};
+
+struct ShareMsg {
+  uint64_t share_id = 0;
+  uint32_t rows = 0;
+  uint32_t cols = 0;
+  std::vector<double> values;  // rows × cols, row-major
+  std::string Encode() const;
+  static Result<ShareMsg> Decode(std::string_view payload);
+};
+
+struct ShareAckMsg {
+  uint64_t share_id = 0;
+  uint8_t ok = 1;
+  std::string error;
+  std::string Encode() const;
+  static Result<ShareAckMsg> Decode(std::string_view payload);
+};
+
+struct QueryMsg {
+  uint64_t rpc_id = 0;
+  uint64_t share_id = 0;
+  std::vector<double> x;
+  std::string Encode() const;
+  static Result<QueryMsg> Decode(std::string_view payload);
+};
+
+struct ResponseMsg {
+  uint64_t rpc_id = 0;
+  std::vector<double> values;
+  std::string Encode() const;
+  static Result<ResponseMsg> Decode(std::string_view payload);
+};
+
+struct RpcErrorMsg {
+  uint64_t rpc_id = 0;
+  uint8_t code = 0;  // NetError
+  std::string message;
+  std::string Encode() const;
+  static Result<RpcErrorMsg> Decode(std::string_view payload);
+};
+
+struct HeartbeatMsg {
+  uint64_t seq = 0;
+  std::string Encode() const;
+  static Result<HeartbeatMsg> Decode(std::string_view payload);
+};
+
+struct CancelMsg {
+  uint64_t rpc_id = 0;
+  std::string Encode() const;
+  static Result<CancelMsg> Decode(std::string_view payload);
+};
+
+}  // namespace scec::net

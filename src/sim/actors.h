@@ -71,6 +71,10 @@ struct SimOptions {
   uint64_t loss_seed = 99;
   double retransmit_timeout_s = 0.05;
   size_t max_retries = 25;
+  // Shared BackoffJitter policy (common/retry.h) applied to ReliableChannel
+  // retransmission timeouts. 0 = legacy unjittered schedule bit-for-bit.
+  double retransmit_jitter = 0.0;
+  uint64_t retransmit_jitter_seed = 0x2545F4914F6CDD1DULL;
 };
 
 // An edge device actor: stores its coded share, answers queries.

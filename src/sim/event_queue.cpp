@@ -32,6 +32,19 @@ bool EventQueue::PopNext(Entry* out) {
   return false;
 }
 
+bool EventQueue::RunOne() {
+  Entry entry{};
+  if (!PopNext(&entry)) return false;
+  now_ = entry.when;
+  auto it = callbacks_.find(entry.seq);
+  SCEC_CHECK(it != callbacks_.end());
+  Callback fn = std::move(it->second);
+  callbacks_.erase(it);
+  fn();
+  ++processed_;
+  return true;
+}
+
 SimTime EventQueue::RunUntilEmpty() {
   RunUntil(std::numeric_limits<SimTime>::infinity());
   return now_;

@@ -46,6 +46,12 @@ class EventQueue {
   // event time). Returns the number of events processed by this call.
   uint64_t RunUntil(SimTime deadline);
 
+  // Runs exactly one event (the earliest pending), advancing the clock to
+  // its time. Returns false if the queue is empty. Lets a poll-style caller
+  // (net/sim_transport.h) interleave simulation steps with completion-queue
+  // checks without running past the first interesting event.
+  bool RunOne();
+
  private:
   struct Entry {
     SimTime when;

@@ -158,7 +158,7 @@ FaultTolerantScecProtocol::FaultTolerantScecProtocol(
       options_(options),
       ft_(ft_options),
       straggler_rng_(options.straggler_seed),
-      jitter_rng_(ft_options.jitter_seed),
+      jitter_(ft_options.backoff_jitter, ft_options.jitter_seed),
       verifier_rng_(ft_options.verifier_seed),
       repair_rng_(
           GenerationSeed(ft_options.repair_pad_seed, ft_options.generation)),
@@ -238,7 +238,8 @@ size_t FaultTolerantScecProtocol::num_evicted() const {
 void FaultTolerantScecProtocol::BuildTopology() {
   if (options_.loss_probability > 0.0) {
     channel_ = std::make_unique<ReliableChannel>(
-        &queue_, &network_, options_.loss_probability, options_.loss_seed);
+        &queue_, &network_, options_.loss_probability, options_.loss_seed,
+        options_.retransmit_jitter, options_.retransmit_jitter_seed);
   }
   // Links for the FULL fleet (node id = fleet index): recovery can re-plan
   // onto any surviving device, whether or not segment 0 used it.
@@ -645,12 +646,9 @@ void FaultTolerantScecProtocol::Dispatch(Pending* pending) {
       return;
     }
     ++recovery_.retries_sent;
-    double backoff = ft_.retry.BackoffFor(pending->attempts - 1);
-    if (ft_.backoff_jitter > 0.0) {
-      // Deterministic multiplicative jitter: same jitter_seed, same trace.
-      backoff *=
-          1.0 + ft_.backoff_jitter * (2.0 * jitter_rng_.NextDouble() - 1.0);
-    }
+    // Deterministic multiplicative jitter: same jitter_seed, same trace.
+    const double backoff =
+        jitter_.Apply(ft_.retry.BackoffFor(pending->attempts - 1));
     queue_.ScheduleAfter(backoff, [this, pending]() {
       if (pending->accepted || pending->failed || pending->cancelled) return;
       Dispatch(pending);

@@ -410,7 +410,7 @@ class FaultTolerantScecProtocol {
   Network network_{&queue_};
   std::unique_ptr<ReliableChannel> channel_;  // non-null iff lossy links
   Xoshiro256StarStar straggler_rng_;
-  Xoshiro256StarStar jitter_rng_;
+  BackoffJitter jitter_;  // shared policy (common/retry.h); 0 = no jitter
   ChaCha20Rng verifier_rng_;
   ChaCha20Rng repair_rng_;
   ChaCha20Rng hedge_rng_;

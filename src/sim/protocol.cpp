@@ -46,7 +46,8 @@ void ScecProtocol::SendMsg(NodeId from, NodeId to, uint64_t bytes,
 void ScecProtocol::BuildTopology() {
   if (options_.loss_probability > 0.0) {
     channel_ = std::make_unique<ReliableChannel>(
-        &queue_, &network_, options_.loss_probability, options_.loss_seed);
+        &queue_, &network_, options_.loss_probability, options_.loss_seed,
+        options_.retransmit_jitter, options_.retransmit_jitter_seed);
   }
   // Star topology around the user, plus cloud links for staging. Reverse
   // links exist for every pair we send on, so acks (lossy mode) can ride.

@@ -30,12 +30,15 @@ struct ReliableChannel::ChannelMetrics {
 };
 
 ReliableChannel::ReliableChannel(EventQueue* queue, Network* network,
-                                 double loss_probability, uint64_t loss_seed)
+                                 double loss_probability, uint64_t loss_seed,
+                                 double retransmit_jitter,
+                                 uint64_t retransmit_jitter_seed)
     : metrics_(std::make_unique<ChannelMetrics>()),
       queue_(queue),
       network_(network),
       loss_probability_(loss_probability),
-      loss_rng_(loss_seed) {
+      loss_rng_(loss_seed),
+      retransmit_jitter_(retransmit_jitter, retransmit_jitter_seed) {
   SCEC_CHECK(queue_ != nullptr);
   SCEC_CHECK(network_ != nullptr);
   SCEC_CHECK_GE(loss_probability, 0.0);
@@ -118,8 +121,11 @@ void ReliableChannel::Attempt(std::shared_ptr<Transfer> transfer) {
                        });
       });
 
-  // Sender-side timeout: if no ack by then, retransmit or give up.
-  queue_->ScheduleAfter(transfer->timeout_s, [this, transfer]() {
+  // Sender-side timeout: if no ack by then, retransmit or give up. The wait
+  // is jittered by the shared policy (0 = bit-for-bit legacy schedule) so
+  // concurrent transfers that start together do not retransmit in lockstep.
+  queue_->ScheduleAfter(retransmit_jitter_.Apply(transfer->timeout_s),
+                        [this, transfer]() {
     if (transfer->acked) {
       transfer->settled = true;
       MaybePrune(transfer);

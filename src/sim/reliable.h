@@ -22,6 +22,7 @@
 #include <memory>
 #include <unordered_set>
 
+#include "common/retry.h"
 #include "common/rng.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
@@ -45,8 +46,15 @@ class ReliableChannel {
   // of every Send (acks use the reverse link). loss_probability = 1.0 is
   // allowed: every Send then terminates with `on_failure` once its retry
   // budget runs out (it can never deliver, but it must not hang).
+  //
+  // `retransmit_jitter` applies the shared BackoffJitter policy
+  // (common/retry.h) to every retransmission timeout, decorrelating
+  // retransmit storms across concurrent transfers; 0 (default) reproduces
+  // the unjittered schedule bit-for-bit. The jitter PRNG is independent of
+  // the loss PRNG, so enabling jitter never perturbs which packets drop.
   ReliableChannel(EventQueue* queue, Network* network, double loss_probability,
-                  uint64_t loss_seed);
+                  uint64_t loss_seed, double retransmit_jitter = 0.0,
+                  uint64_t retransmit_jitter_seed = 0x2545F4914F6CDD1DULL);
   ~ReliableChannel();  // out-of-line: ChannelMetrics is incomplete here
 
   // At-least-once wire, exactly-once app delivery. `on_delivered` runs at
@@ -100,6 +108,7 @@ class ReliableChannel {
   Network* network_;
   double loss_probability_;
   Xoshiro256StarStar loss_rng_;
+  BackoffJitter retransmit_jitter_;
   uint64_t next_sequence_ = 1;
   // Sequences already delivered to the application (receiver-side dedup).
   std::unordered_set<uint64_t> delivered_;

@@ -1,0 +1,213 @@
+// SPDX-License-Identifier: MIT
+//
+// Wire-format robustness sweep (ISSUE 10 satellite S2), mirroring the
+// deployment_io corruption sweep: EVERY single-byte corruption of a frame
+// must surface as a typed Status, and every truncation as kNeedMore —
+// never a crash, never a silent misdecode.
+
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace scec::net {
+namespace {
+
+std::string SampleFrame() {
+  ShareMsg share;
+  share.share_id = 7;
+  share.rows = 3;
+  share.cols = 4;
+  share.values = {1.0, 2.0, 3.0,  4.0,  -1.5, 0.25,
+                  0.0, 9.0, -2.0, 1e-9, 1e9,  42.0};
+  return EncodeFrame(WireType::kShare, share.Encode());
+}
+
+TEST(NetWire, EncodeDecodeRoundtrip) {
+  const std::string encoded = SampleFrame();
+  DecodeResult result = DecodeFrame(encoded);
+  ASSERT_EQ(result.progress, DecodeProgress::kFrame);
+  EXPECT_EQ(result.consumed, encoded.size());
+  EXPECT_EQ(result.frame.type, WireType::kShare);
+  Result<ShareMsg> share = ShareMsg::Decode(result.frame.payload);
+  ASSERT_TRUE(share.ok()) << share.status().message();
+  EXPECT_EQ(share->share_id, 7u);
+  EXPECT_EQ(share->rows, 3u);
+  EXPECT_EQ(share->cols, 4u);
+  EXPECT_EQ(share->values.size(), 12u);
+  EXPECT_DOUBLE_EQ(share->values[10], 1e9);
+}
+
+TEST(NetWire, EveryByteFlipIsTypedError) {
+  const std::string pristine = SampleFrame();
+  for (size_t pos = 0; pos < pristine.size(); ++pos) {
+    for (uint8_t mask : {uint8_t{0xFF}, uint8_t{0x01}, uint8_t{0x80}}) {
+      std::string corrupted = pristine;
+      corrupted[pos] = static_cast<char>(corrupted[pos] ^ mask);
+      DecodeResult result = DecodeFrame(corrupted);
+      // A flipped length byte may claim a longer frame — then the buffer
+      // looks truncated (kNeedMore), which is also safe. What must NEVER
+      // happen is a successfully decoded frame from corrupt bytes.
+      if (result.progress == DecodeProgress::kFrame) {
+        FAIL() << "byte " << pos << " mask " << int(mask)
+               << " produced a silent misdecode";
+      }
+      if (result.progress == DecodeProgress::kError) {
+        EXPECT_FALSE(result.status.ok());
+        EXPECT_EQ(result.status.code(), ErrorCode::kInvalidArgument)
+            << "byte " << pos;
+      }
+    }
+  }
+}
+
+TEST(NetWire, HeaderFlipsAreAlwaysErrorsNeverNeedMore) {
+  // The header carries its own CRC precisely so that a corrupted LENGTH
+  // field cannot stall the stream forever as kNeedMore: any header flip is
+  // detected from the first 20 bytes alone.
+  const std::string pristine = SampleFrame();
+  for (size_t pos = 0; pos < kFrameHeaderSize; ++pos) {
+    std::string corrupted = pristine;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x5A);
+    DecodeResult result = DecodeFrame(corrupted);
+    EXPECT_EQ(result.progress, DecodeProgress::kError)
+        << "header byte " << pos << " not caught";
+  }
+}
+
+TEST(NetWire, EveryTruncationIsNeedMore) {
+  const std::string pristine = SampleFrame();
+  for (size_t len = 0; len < pristine.size(); ++len) {
+    DecodeResult result = DecodeFrame(std::string_view(pristine).substr(0, len));
+    EXPECT_EQ(result.progress, DecodeProgress::kNeedMore)
+        << "prefix of " << len << " bytes misreported";
+  }
+}
+
+TEST(NetWire, OversizePayloadLengthRejected) {
+  std::string frame = SampleFrame();
+  // Splice an over-limit length in; header CRC catches it first, which is
+  // fine — the point is a typed error, not an allocation attempt.
+  const uint32_t huge = kMaxPayloadLen + 1;
+  for (int i = 0; i < 4; ++i) frame[8 + i] = char((huge >> (8 * i)) & 0xFF);
+  DecodeResult result = DecodeFrame(frame);
+  EXPECT_EQ(result.progress, DecodeProgress::kError);
+}
+
+TEST(NetWire, TrailingBytesInBodyAreRejected) {
+  QueryMsg query;
+  query.rpc_id = 3;
+  query.share_id = 9;
+  query.x = {1.0, 2.0};
+  std::string payload = query.Encode();
+  payload.push_back('\0');
+  Result<QueryMsg> decoded = QueryMsg::Decode(payload);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(NetWire, AllMessageBodiesRoundtrip) {
+  {
+    HelloMsg msg{11, 22};
+    auto back = HelloMsg::Decode(msg.Encode());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->coordinator_id, 11u);
+    EXPECT_EQ(back->session_epoch, 22u);
+  }
+  {
+    HelloAckMsg msg{5, 3};
+    auto back = HelloAckMsg::Decode(msg.Encode());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->daemon_id, 5u);
+    EXPECT_EQ(back->shares_held, 3u);
+  }
+  {
+    ShareAckMsg msg;
+    msg.share_id = 8;
+    msg.ok = 0;
+    msg.error = "refused";
+    auto back = ShareAckMsg::Decode(msg.Encode());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->ok, 0);
+    EXPECT_EQ(back->error, "refused");
+  }
+  {
+    ResponseMsg msg;
+    msg.rpc_id = 77;
+    msg.values = {1.5, -2.5};
+    auto back = ResponseMsg::Decode(msg.Encode());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->values.size(), 2u);
+  }
+  {
+    RpcErrorMsg msg;
+    msg.rpc_id = 4;
+    msg.code = 2;
+    msg.message = "boom";
+    auto back = RpcErrorMsg::Decode(msg.Encode());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->message, "boom");
+  }
+  {
+    HeartbeatMsg msg{1234};
+    auto back = HeartbeatMsg::Decode(msg.Encode());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->seq, 1234u);
+  }
+  {
+    CancelMsg msg{55};
+    auto back = CancelMsg::Decode(msg.Encode());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->rpc_id, 55u);
+  }
+}
+
+TEST(NetWire, FrameReaderReassemblesByteByByte) {
+  const std::string one = SampleFrame();
+  HeartbeatMsg hb{9};
+  const std::string two = EncodeFrame(WireType::kHeartbeat, hb.Encode());
+  const std::string stream = one + two;
+
+  FrameReader reader;
+  std::vector<Frame> frames;
+  for (char byte : stream) {
+    Status status = reader.Feed(std::string_view(&byte, 1), &frames);
+    ASSERT_TRUE(status.ok()) << status.message();
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, WireType::kShare);
+  EXPECT_EQ(frames[1].type, WireType::kHeartbeat);
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+TEST(NetWire, FrameReaderPoisonsOnCorruption) {
+  std::string corrupted = SampleFrame();
+  corrupted[kFrameHeaderSize + 2] ^= 0x10;  // payload byte
+  FrameReader reader;
+  std::vector<Frame> frames;
+  Status status = reader.Feed(corrupted, &frames);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(frames.empty());
+  // Poisoned: even pristine bytes are rejected afterwards.
+  Status after = reader.Feed(SampleFrame(), &frames);
+  EXPECT_FALSE(after.ok());
+  EXPECT_TRUE(frames.empty());
+}
+
+TEST(NetWire, UnknownTypeAndBadVersionRejected) {
+  std::string frame = EncodeFrame(WireType::kHello, HelloMsg{1, 1}.Encode());
+  {
+    std::string bad = frame;
+    bad[4] = char(kWireVersion + 1);  // version — header CRC now stale too
+    EXPECT_EQ(DecodeFrame(bad).progress, DecodeProgress::kError);
+  }
+  {
+    std::string bad = frame;
+    bad[5] = char(200);  // unknown type
+    EXPECT_EQ(DecodeFrame(bad).progress, DecodeProgress::kError);
+  }
+}
+
+}  // namespace
+}  // namespace scec::net

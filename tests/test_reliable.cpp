@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "sim/simulation.h"
 #include "workload/distributions.h"
 
@@ -144,6 +146,73 @@ TEST(ReliableChannel, LossSlowsDeliveryDown) {
   ASSERT_GE(clean_done, 0.0);
   ASSERT_GE(lossy_done, 0.0);
   EXPECT_GE(lossy_done, clean_done);
+}
+
+TEST(ReliableChannel, ZeroJitterReproducesLegacyScheduleBitForBit) {
+  // ISSUE 10 satellite S1: retransmission jitter defaults OFF, and 0 must
+  // reproduce the pre-jitter schedule exactly — same delivery times, same
+  // drop pattern — so every existing seeded experiment replays unchanged.
+  Rig legacy_rig, jitter_rig;
+  ReliableChannel legacy(&legacy_rig.queue, &legacy_rig.network, 0.4, 9);
+  ReliableChannel zero(&jitter_rig.queue, &jitter_rig.network, 0.4, 9,
+                       /*retransmit_jitter=*/0.0,
+                       /*retransmit_jitter_seed=*/12345);  // seed irrelevant
+  std::vector<double> legacy_times, zero_times;
+  for (int msg = 0; msg < 30; ++msg) {
+    legacy.Send(0, 1, 100,
+                [&] { legacy_times.push_back(legacy_rig.queue.now()); },
+                nullptr, 0.05, 60);
+    zero.Send(0, 1, 100,
+              [&] { zero_times.push_back(jitter_rig.queue.now()); },
+              nullptr, 0.05, 60);
+  }
+  legacy_rig.queue.RunUntilEmpty();
+  jitter_rig.queue.RunUntilEmpty();
+  EXPECT_EQ(legacy_times, zero_times);
+  EXPECT_EQ(legacy.stats().data_drops, zero.stats().data_drops);
+  EXPECT_EQ(legacy.stats().retransmissions, zero.stats().retransmissions);
+}
+
+TEST(ReliableChannel, JitterChangesTimingButNotLossPattern) {
+  // The jitter PRNG is independent of the loss PRNG: for a single transfer
+  // (whose loss draws are strictly sequential) enabling jitter must change
+  // retransmit TIMING while leaving which packets drop untouched.
+  Rig plain_rig, jittered_rig;
+  ReliableChannel plain(&plain_rig.queue, &plain_rig.network, 0.7, 13);
+  ReliableChannel jittered(&jittered_rig.queue, &jittered_rig.network, 0.7,
+                           13, /*retransmit_jitter=*/0.35,
+                           /*retransmit_jitter_seed=*/77);
+  double plain_done = -1.0, jittered_done = -1.0;
+  plain.Send(0, 1, 100, [&] { plain_done = plain_rig.queue.now(); },
+             nullptr, 0.05, 60);
+  jittered.Send(0, 1, 100, [&] { jittered_done = jittered_rig.queue.now(); },
+                nullptr, 0.05, 60);
+  plain_rig.queue.RunUntilEmpty();
+  jittered_rig.queue.RunUntilEmpty();
+  ASSERT_GE(plain_done, 0.0);
+  ASSERT_GE(jittered_done, 0.0);
+  ASSERT_GT(plain.stats().retransmissions, 0u)
+      << "seed must force at least one retransmission for timing to differ";
+  EXPECT_EQ(plain.stats().data_drops, jittered.stats().data_drops);
+  EXPECT_EQ(plain.stats().data_sends, jittered.stats().data_sends);
+  EXPECT_NE(plain_done, jittered_done);
+}
+
+TEST(ReliableChannel, JitteredRetransmissionsStayExactlyOnce) {
+  Rig rig;
+  ReliableChannel channel(&rig.queue, &rig.network, 0.5, 8,
+                          /*retransmit_jitter=*/0.3,
+                          /*retransmit_jitter_seed=*/99);
+  int delivered = 0;
+  for (int msg = 0; msg < 50; ++msg) {
+    channel.Send(0, 1, 100, [&] { ++delivered; },
+                 /*on_failure=*/nullptr, 0.05, 60);
+  }
+  rig.queue.RunUntilEmpty();
+  EXPECT_EQ(delivered, 50);
+  EXPECT_EQ(channel.stats().failures, 0u);
+  EXPECT_GT(channel.stats().retransmissions, 0u);
+  EXPECT_EQ(channel.dedup_entries(), 0u);
 }
 
 McscecProblem MakeProblem(size_t m, size_t l, size_t k, uint64_t seed) {
