@@ -223,7 +223,11 @@ void RpcChannel::HandleFrame(Frame frame) {
         ++stats_.frames_sent;
         socket_->Send(EncodeFrame(type, payload));
       }
-      if (callbacks_.on_ready != nullptr) callbacks_.on_ready();
+      // A Send above can fail synchronously and kick off a reconnect; only
+      // report readiness if the channel is still actually READY.
+      if (state_ == ChannelState::kReady && callbacks_.on_ready != nullptr) {
+        callbacks_.on_ready();
+      }
       return;
     }
     case WireType::kHeartbeatAck:

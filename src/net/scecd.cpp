@@ -115,8 +115,14 @@ void ScecDaemon::HandleAccept() {
 void ScecDaemon::CloseConnection(Connection* conn) {
   auto it = connections_.find(conn->fd);
   if (it == connections_.end()) return;
-  it->second->socket->Close();
+  // This often runs from inside the connection's own data handler, whose
+  // lambda storage lives in the BufferedSocket being torn down. Close stops
+  // all I/O now, but destruction is deferred to the next loop tick so the
+  // executing handler's captures stay valid through its return.
+  std::shared_ptr<Connection> doomed{it->second.release()};
   connections_.erase(it);
+  doomed->socket->Close();
+  loop_.Post([doomed]() {});
 }
 
 void ScecDaemon::AnswerQuery(Connection* conn, QueryMsg query) {

@@ -182,7 +182,9 @@ void BufferedSocket::Flush() {
     const std::string& front = write_queue_.front();
     const char* data = front.data() + front_offset_;
     const size_t len = front.size() - front_offset_;
-    const ssize_t n = write(fd_, data, len);
+    // MSG_NOSIGNAL: a peer RST (routine under the chaos proxy) must surface
+    // as EPIPE through FailFromErrno, not kill the process with SIGPIPE.
+    const ssize_t n = send(fd_, data, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
@@ -215,9 +217,13 @@ void BufferedSocket::HandleWritable() {
 bool BufferedSocket::Send(std::string bytes) {
   if (fd_ < 0) return false;
   if (bytes.empty()) return true;
+  const std::shared_ptr<bool> alive = alive_;
   queued_bytes_ += bytes.size();
   write_queue_.push_back(std::move(bytes));
   Flush();
+  // A synchronous write error ran on_close_, and owners destroy this socket
+  // from inside that handler — bail before touching any member.
+  if (!*alive) return false;
   if (fd_ >= 0 && queued_bytes_ >= high_watermark_) above_high_ = true;
   return fd_ >= 0;
 }

@@ -40,9 +40,12 @@ namespace scec::net {
 
 inline constexpr uint8_t kWireVersion = 1;
 inline constexpr size_t kFrameHeaderSize = 20;
-// Bounds a single frame; large enough for a 64k×128-value share, small
-// enough that a corrupted length field cannot provoke a huge allocation.
-inline constexpr uint32_t kMaxPayloadLen = 1u << 26;
+// Bounds a single frame. A 64k×128-value share is exactly 2^26 bytes of
+// doubles; the +64 slack covers the body's share_id/rows/cols fields and
+// the vector count prefix, so the documented capacity actually encodes.
+// Still small enough that a corrupted length field cannot provoke a huge
+// allocation.
+inline constexpr uint32_t kMaxPayloadLen = (1u << 26) + 64;
 
 enum class WireType : uint8_t {
   kHello = 1,      // coordinator -> daemon: identify + session epoch

@@ -96,6 +96,23 @@ TEST(NetWire, OversizePayloadLengthRejected) {
   EXPECT_EQ(result.progress, DecodeProgress::kError);
 }
 
+TEST(NetWire, MaxAdvertisedShareFitsPayloadLimit) {
+  // Regression: the 64k×128 share the limit is documented to hold is 2^26
+  // bytes of doubles PLUS body overhead — it must encode and frame without
+  // tripping EncodeFrame's bound.
+  ShareMsg share;
+  share.share_id = 1;
+  share.rows = 65536;
+  share.cols = 128;
+  share.values.assign(static_cast<size_t>(share.rows) * share.cols, 0.5);
+  const std::string payload = share.Encode();
+  ASSERT_LE(payload.size(), static_cast<size_t>(kMaxPayloadLen));
+  const std::string frame = EncodeFrame(WireType::kShare, payload);
+  DecodeResult result = DecodeFrame(frame);
+  EXPECT_EQ(result.progress, DecodeProgress::kFrame);
+  EXPECT_EQ(result.consumed, frame.size());
+}
+
 TEST(NetWire, TrailingBytesInBodyAreRejected) {
   QueryMsg query;
   query.rpc_id = 3;
